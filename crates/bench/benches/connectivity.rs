@@ -1,0 +1,35 @@
+//! Wall-clock benches of the threshold realizations (Theorems 17/18).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgr_connectivity::{realize_ncc0, realize_ncc1, ThresholdInstance};
+use dgr_graphgen as graphgen;
+use dgr_ncc::Config;
+
+fn bench_ncc1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threshold_ncc1");
+    g.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let inst =
+            ThresholdInstance::new(graphgen::uniform_thresholds(n, 1, 8, 8));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| realize_ncc1(i, Config::ncc1(8)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_ncc0(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threshold_ncc0");
+    g.sample_size(10);
+    for &n in &[64usize, 128] {
+        let inst =
+            ThresholdInstance::new(graphgen::uniform_thresholds(n, 1, 8, 9));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
+            b.iter(|| realize_ncc0(i, Config::ncc0(9).with_queueing()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ncc1, bench_ncc0);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Wall-clock benches of the NCC primitives (simulator throughput):
+//! context establishment (undirect + contacts + BBST + positions) and the
+//! distributed sort, across network sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgr_ncc::{Config, Network};
+use dgr_primitives::sort::{self, Order};
+use dgr_primitives::PathCtx;
+
+fn bench_establish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("establish_path_ctx");
+    g.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let net = Network::new(n, Config::ncc0(1));
+                net.run(|h| PathCtx::establish(h).position).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed_sort");
+    g.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let net = Network::new(n, Config::ncc0(2));
+                net.run(|h| {
+                    let ctx = PathCtx::establish(h);
+                    sort::sort_at(
+                        h,
+                        &ctx.vp,
+                        &ctx.contacts,
+                        ctx.position,
+                        h.id() % 1000,
+                        Order::Descending,
+                    )
+                    .rank
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_establish, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Wall-clock benches of the sequential layer: Erdős–Gallai, the two
+//! Havel–Hakimi implementations, and the greedy tree — the centralized
+//! baselines the distributed algorithms are compared against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgr_core::{erdos_gallai, havel_hakimi, DegreeSequence};
+use dgr_graphgen as graphgen;
+use dgr_trees::greedy;
+
+fn bench_erdos_gallai(c: &mut Criterion) {
+    let mut g = c.benchmark_group("erdos_gallai");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let d = graphgen::random_graphic_sequence(n, 64, 10);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            b.iter(|| erdos_gallai::is_graphic(d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_havel_hakimi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("havel_hakimi");
+    for &n in &[1_000usize, 10_000] {
+        let d = DegreeSequence::new(graphgen::random_graphic_sequence(n, 32, 11));
+        g.bench_with_input(BenchmarkId::new("heap", n), &d, |b, d| {
+            b.iter(|| havel_hakimi::realize(d).unwrap())
+        });
+    }
+    // The naive oracle is O(n² log n) — bench it small to show the gap.
+    let d = DegreeSequence::new(graphgen::random_graphic_sequence(1_000, 32, 11));
+    g.bench_function("naive/1000", |b| {
+        b.iter(|| havel_hakimi::realize_naive(&d).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_greedy_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy_tree");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let d = DegreeSequence::new(graphgen::random_tree_sequence(n, 12));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            b.iter(|| greedy::greedy_tree(d).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_erdos_gallai, bench_havel_hakimi, bench_greedy_tree);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Wall-clock benches of the tree realizations (Theorems 14/16), plus the
+//! Algorithm 4 vs Algorithm 5 head-to-head.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgr_graphgen as graphgen;
+use dgr_ncc::Config;
+use dgr_trees::{realize_tree, TreeAlgo};
+
+fn bench_tree_algos(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_realization");
+    g.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        let degrees = graphgen::random_tree_sequence(n, 7);
+        g.bench_with_input(
+            BenchmarkId::new("alg4_chain", n),
+            &degrees,
+            |b, d| {
+                b.iter(|| realize_tree(d, Config::ncc0(7), TreeAlgo::Chain).unwrap())
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("alg5_greedy", n),
+            &degrees,
+            |b, d| {
+                b.iter(|| {
+                    realize_tree(d, Config::ncc0(7), TreeAlgo::Greedy).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree_algos);
+criterion_main!(benches);

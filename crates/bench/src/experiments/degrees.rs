@@ -1,0 +1,192 @@
+//! Degree-realization experiments (Theorems 11, 12, 13): the paper's
+//! headline results.
+
+use crate::experiments::ratios_flat;
+use crate::table::{f2, Table};
+use dgr_core::{realize_approx, realize_explicit, realize_implicit, DegreeSequence};
+use dgr_graphgen as graphgen;
+use dgr_ncc::Config;
+
+fn lg(n: usize) -> f64 {
+    (n as f64).log2()
+}
+
+/// Theorem 11: implicit realization in `O~(min{√m, Δ})` rounds. Swept two
+/// ways: Δ growing at fixed shape (regular graphs — the Δ side of the
+/// min), and the √m-concentrated family (the √m side).
+pub fn t11_implicit() -> Vec<Table> {
+    // --- Δ sweep: k-regular on fixed n. ---
+    let n = 256;
+    let mut t1 = Table::new(
+        format!("Theorem 11a — implicit realization, Δ sweep (regular, n = {n})"),
+        &["Δ", "m", "phases", "rounds", "min(√m,Δ)", "phases/bound", "degrees"],
+    );
+    let mut ratios = Vec::new();
+    let mut exact = true;
+    for &k in &[2usize, 4, 8, 16, 32] {
+        let degrees = graphgen::near_regular_sequence(n, k, 7);
+        let seq = DegreeSequence::new(degrees.clone());
+        let out = realize_implicit(&degrees, Config::ncc0(7)).unwrap();
+        let r = out.expect_realized();
+        let ok = dgr_core::verify::degrees_match(&r.graph, &r.requested).is_ok();
+        exact &= ok && r.metrics.is_clean();
+        let bound = dgr_core::distributed::implicit::phase_bound(&seq);
+        ratios.push(r.phases as f64 / bound);
+        t1.row(vec![
+            seq.max_degree().to_string(),
+            seq.edge_count().to_string(),
+            r.phases.to_string(),
+            r.metrics.rounds.to_string(),
+            f2(bound),
+            f2(r.phases as f64 / bound),
+            if ok { "exact".into() } else { "MISMATCH".into() },
+        ]);
+    }
+    t1.verdict(
+        exact && ratios_flat(&ratios, 3.0),
+        "phases/min(√m,Δ) stays flat as Δ grows 16x; all realizations \
+         exact under strict KT0",
+    );
+
+    // --- √m sweep: the concentrated D* family (Δ ≈ √m ≈ k). ---
+    let mut t2 = Table::new(
+        "Theorem 11b — implicit realization, √m sweep (K_k-profile, n = 300)",
+        &["m", "√m", "phases", "rounds", "rounds/(√m·log²n)", "degrees"],
+    );
+    let mut ratios = Vec::new();
+    let mut exact = true;
+    for &m in &[25usize, 100, 400, 1600, 6400] {
+        let n = 300;
+        let degrees = graphgen::sqrt_m_family(n, m);
+        let seq = DegreeSequence::new(degrees.clone());
+        let out = realize_implicit(&degrees, Config::ncc0(8)).unwrap();
+        let r = out.expect_realized();
+        let ok = dgr_core::verify::degrees_match(&r.graph, &r.requested).is_ok();
+        exact &= ok && r.metrics.is_clean();
+        let m_real = seq.edge_count();
+        let sqrt_m = (m_real as f64).sqrt();
+        let ratio = r.metrics.rounds as f64 / (sqrt_m * lg(n) * lg(n));
+        ratios.push(ratio);
+        t2.row(vec![
+            m_real.to_string(),
+            f2(sqrt_m),
+            r.phases.to_string(),
+            r.metrics.rounds.to_string(),
+            f2(ratio),
+            if ok { "exact".into() } else { "MISMATCH".into() },
+        ]);
+    }
+    t2.verdict(
+        exact && ratios_flat(&ratios, 4.0),
+        "rounds/(√m · polylog) stays flat while m grows 256x — the O~(√m) \
+         side of the bound",
+    );
+    vec![t1, t2]
+}
+
+/// Theorem 12: explicit realization — the hand-off adds
+/// `O(Δ/log n + log n)` rounds on top of the implicit realization.
+pub fn t12_explicit() -> Vec<Table> {
+    let n = 256;
+    let mut t = Table::new(
+        format!("Theorem 12 — explicit realization hand-off (star-heavy, n = {n})"),
+        &["Δ", "implicit rounds", "explicit rounds", "extra", "Δ/cap + log n", "extra/budget"],
+    );
+    let mut ratios = Vec::new();
+    let mut ok_all = true;
+    for &delta in &[16usize, 32, 64, 128, 255] {
+        let mut degrees = vec![2usize; n];
+        degrees[0] = delta;
+        graphgen::repair_to_graphic(&mut degrees);
+        let seq = DegreeSequence::new(degrees.clone());
+        let imp = realize_implicit(&degrees, Config::ncc0(9)).unwrap();
+        let exp =
+            realize_explicit(&degrees, Config::ncc0(9).with_queueing()).unwrap();
+        let (ri, re) = (imp.expect_realized(), exp.expect_realized());
+        ok_all &= dgr_core::verify::degrees_match(&re.graph, &re.requested)
+            .is_ok()
+            && re.metrics.undelivered == 0;
+        let extra = re.metrics.rounds.saturating_sub(ri.metrics.rounds);
+        let cap = re.metrics.capacity as f64;
+        let budget = seq.max_degree() as f64 / cap + lg(n);
+        ratios.push(extra as f64 / budget);
+        t.row(vec![
+            seq.max_degree().to_string(),
+            ri.metrics.rounds.to_string(),
+            re.metrics.rounds.to_string(),
+            extra.to_string(),
+            f2(budget),
+            f2(extra as f64 / budget),
+        ]);
+    }
+    t.verdict(
+        ok_all && ratios_flat(&ratios, 4.0),
+        "hand-off cost tracks Δ/cap + log n while Δ grows 16x; every edge \
+         known at both endpoints, zero undelivered messages",
+    );
+    vec![t]
+}
+
+/// Theorem 13: non-graphic sequences get upper envelopes with
+/// `d'ᵢ ≥ dᵢ` and `Σd' ≤ 2Σd`.
+pub fn t13_envelope() -> Vec<Table> {
+    let mut t = Table::new(
+        "Theorem 13 — upper-envelope realization of non-graphic sequences",
+        &["family", "n", "Σd", "Σd'", "Σd'/Σd", "d'≥d everywhere", "duplicates"],
+    );
+    let mut ok_all = true;
+    let families: Vec<(&str, Vec<usize>)> = vec![
+        ("odd sum", {
+            let mut d = graphgen::random_graphic_sequence(60, 12, 21);
+            d[0] += 1;
+            d
+        }),
+        ("EG violation", {
+            let mut d = vec![2usize; 50];
+            d[0] = 49;
+            d[1] = 49;
+            d[2] = 49;
+            d
+        }),
+        ("random + noise", {
+            let mut d = graphgen::random_graphic_sequence(80, 20, 22);
+            for (i, v) in d.iter_mut().enumerate() {
+                if i % 7 == 0 {
+                    *v += 3;
+                }
+            }
+            d
+        }),
+        ("already graphic", graphgen::random_graphic_sequence(64, 10, 23)),
+    ];
+    for (name, degrees) in families {
+        let n = degrees.len();
+        let sum: usize = degrees.iter().sum();
+        let out = realize_approx(&degrees, Config::ncc0(24)).unwrap();
+        let r = out.expect_realized();
+        let mut env_sum = 0usize;
+        let mut dominates = true;
+        for (i, &id) in r.path_order.iter().enumerate() {
+            let d_prime = r.multi_degrees[&id];
+            dominates &= d_prime >= degrees[i];
+            env_sum += d_prime;
+        }
+        let ok = dominates && env_sum <= 2 * sum;
+        ok_all &= ok;
+        t.row(vec![
+            name.into(),
+            n.to_string(),
+            sum.to_string(),
+            env_sum.to_string(),
+            f2(env_sum as f64 / sum as f64),
+            dominates.to_string(),
+            r.duplicate_edges.to_string(),
+        ]);
+    }
+    t.verdict(
+        ok_all,
+        "every envelope dominates its input with Σd' ≤ 2Σd (and graphic \
+         inputs realize exactly, ratio 1.00)",
+    );
+    vec![t]
+}

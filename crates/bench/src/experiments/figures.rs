@@ -1,0 +1,97 @@
+//! Figures 1 and 2: exact reproduction of the paper's two construction
+//! illustrations on the path `1‥8`.
+
+use crate::table::Table;
+use dgr_ncc::{Config, Network, NodeId};
+use dgr_primitives::{bbst, contacts, vpath, warmup};
+use std::collections::HashMap;
+
+fn tree_rows<T>(
+    nodes: &[(NodeId, T)],
+    fmt: impl Fn(&T) -> (String, String, String),
+) -> Vec<Vec<String>> {
+    let mut rows: Vec<(NodeId, Vec<String>)> = nodes
+        .iter()
+        .map(|(id, t)| {
+            let (parent, left, right) = fmt(t);
+            (*id, vec![id.to_string(), parent, left, right])
+        })
+        .collect();
+    rows.sort_by_key(|(id, _)| *id);
+    rows.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Figure 1: the warm-up balanced binary tree on the 8-node path.
+pub fn fig1() -> Vec<Table> {
+    let net = Network::new(8, Config::ncc0(0).with_sequential_ids());
+    let result = net
+        .run(|h| {
+            let vp = vpath::undirect(h);
+            warmup::build(h, &vp)
+        })
+        .unwrap();
+    let mut t = Table::new(
+        "Figure 1 — warm-up balanced binary tree on G_k = 1‥8",
+        &["node", "parent", "left", "right"],
+    );
+    let opt = |o: Option<NodeId>| o.map_or("-".into(), |x| x.to_string());
+    for row in tree_rows(&result.outputs, |w: &warmup::WarmupTree| {
+        (opt(w.parent), opt(w.left), opt(w.right))
+    }) {
+        t.row(row);
+    }
+    let view: HashMap<NodeId, &warmup::WarmupTree> =
+        result.outputs.iter().map(|(id, w)| (*id, w)).collect();
+    let expected = view[&1].is_root
+        && view[&1].left == Some(2)
+        && view[&1].right == Some(3)
+        && view[&2].left == Some(4)
+        && view[&2].right == Some(6)
+        && view[&3].left == Some(5)
+        && view[&3].right == Some(7)
+        && view[&4].left == Some(8);
+    t.verdict(
+        expected,
+        "tree shape matches the paper's recursive construction; \
+         height O(log n)",
+    );
+    vec![t]
+}
+
+/// Figure 2: the balanced binary *search* tree (Algorithm 1) on 1‥8.
+pub fn fig2() -> Vec<Table> {
+    let net = Network::new(8, Config::ncc0(0).with_sequential_ids());
+    let result = net
+        .run(|h| {
+            let vp = vpath::undirect(h);
+            let ct = contacts::build(h, &vp);
+            bbst::build(h, &vp, &ct)
+        })
+        .unwrap();
+    let mut t = Table::new(
+        "Figure 2 — balanced binary search tree (Algorithm 1) on G_k = 1‥8",
+        &["node", "parent", "left", "right"],
+    );
+    let opt = |o: Option<NodeId>| o.map_or("-".into(), |x| x.to_string());
+    for row in tree_rows(&result.outputs, |b: &bbst::Bbst| {
+        (opt(b.parent), opt(b.left), opt(b.right))
+    }) {
+        t.row(row);
+    }
+    let view: HashMap<NodeId, &bbst::Bbst> =
+        result.outputs.iter().map(|(id, b)| (*id, b)).collect();
+    let expected = view[&1].is_root
+        && view[&1].right == Some(5)
+        && view[&5].left == Some(3)
+        && view[&5].right == Some(7)
+        && view[&3].left == Some(2)
+        && view[&3].right == Some(4)
+        && view[&7].left == Some(6)
+        && view[&7].right == Some(8);
+    t.verdict(
+        expected,
+        "matches the figure exactly (root 1 → 5 → {3,7} → leaves); \
+         inorder = G_k; height = ⌈log 8⌉ + 1",
+    );
+    vec![t]
+}

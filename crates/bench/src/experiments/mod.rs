@@ -1,0 +1,38 @@
+//! The experiment implementations, one module per paper section.
+
+pub mod ablations;
+pub mod connectivity;
+pub mod degrees;
+pub mod figures;
+pub mod lower_bounds;
+pub mod primitives;
+pub mod trees;
+
+/// "Shape" check for asymptotic claims: the measured/bound ratios along a
+/// sweep must stay within a bounded band (no systematic growth), i.e.
+/// `max_ratio / min_ratio ≤ slack`. This is the paper-reproduction notion
+/// of success — constants are ours, growth rates are the paper's.
+pub fn ratios_flat(ratios: &[f64], slack: f64) -> bool {
+    let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+    for &r in ratios {
+        if !r.is_finite() || r <= 0.0 {
+            return false;
+        }
+        lo = lo.min(r);
+        hi = hi.max(r);
+    }
+    hi / lo <= slack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ratios_flat;
+
+    #[test]
+    fn flat_bands_pass() {
+        assert!(ratios_flat(&[1.0, 1.5, 1.2, 0.9], 2.0));
+        assert!(!ratios_flat(&[1.0, 5.0], 2.0));
+        assert!(!ratios_flat(&[1.0, f64::NAN], 10.0));
+        assert!(!ratios_flat(&[0.0, 1.0], 10.0));
+    }
+}

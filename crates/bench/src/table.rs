@@ -1,0 +1,107 @@
+//! Minimal markdown-table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A titled table with aligned markdown rendering.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (the claim being tested).
+    pub title: String,
+    /// What "success" means and whether it held.
+    pub verdict: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            verdict: String::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifies each cell).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Sets the verdict line.
+    pub fn verdict(&mut self, ok: bool, claim: impl Into<String>) {
+        let mark = if ok { "PASS" } else { "FAIL" };
+        self.verdict = format!("[{mark}] {}", claim.into());
+    }
+
+    /// Renders as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> =
+            self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            let inner: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            format!("| {} |", inner.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let sep: Vec<String> =
+            widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&sep));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        if !self.verdict.is_empty() {
+            let _ = writeln!(out, "\n{}", self.verdict);
+        }
+        out
+    }
+
+    /// Did the verdict pass (empty verdict counts as pass)?
+    pub fn passed(&self) -> bool {
+        !self.verdict.starts_with("[FAIL]")
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["n", "rounds"]);
+        t.row(vec!["8".into(), "12".into()]);
+        t.row(vec!["1024".into(), "40".into()]);
+        t.verdict(true, "rounds grow like log n");
+        let md = t.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| n    | rounds |"));
+        assert!(md.contains("[PASS]"));
+        assert!(t.passed());
+    }
+
+    #[test]
+    fn fail_verdicts_are_detected() {
+        let mut t = Table::new("demo", &["x"]);
+        t.verdict(false, "nope");
+        assert!(!t.passed());
+    }
+}

@@ -1,0 +1,139 @@
+//! Drivers: run the distributed threshold realizations on simulated
+//! networks, assemble the overlay, and certify it with max-flow.
+
+use crate::distributed::{ncc0, ncc1};
+use crate::verify::{check_thresholds, ThresholdReport};
+use crate::ThresholdInstance;
+use dgr_core::verify as core_verify;
+use dgr_graph::Graph;
+use dgr_ncc::{Config, Model, Network, NodeId, RunMetrics, SimError};
+use std::collections::HashMap;
+
+/// How many nodes at most get the full `O(n²)`-flow all-pairs check;
+/// larger instances use the hub check (which the paper's own proof
+/// reduces to).
+const ALL_PAIRS_LIMIT: usize = 24;
+
+/// A certified threshold realization.
+#[derive(Clone, Debug)]
+pub struct ThresholdRealization {
+    /// The realized overlay.
+    pub graph: Graph,
+    /// Requirement per node.
+    pub rho: HashMap<NodeId, usize>,
+    /// Node IDs in knowledge-path order.
+    pub path_order: Vec<NodeId>,
+    /// Explicit neighbor lists (NCC0 driver only; empty for NCC1).
+    pub explicit_neighbors: HashMap<NodeId, Vec<NodeId>>,
+    /// The max-flow certification report.
+    pub report: ThresholdReport,
+    /// Simulator metrics.
+    pub metrics: RunMetrics,
+}
+
+fn rho_assignment(
+    net: &Network,
+    inst: &ThresholdInstance,
+) -> HashMap<NodeId, usize> {
+    net.ids_in_path_order()
+        .iter()
+        .copied()
+        .zip(inst.rho.iter().copied())
+        .collect()
+}
+
+/// Runs the Theorem 17 NCC1 star construction.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `config` is not an NCC1 configuration.
+pub fn realize_ncc1(
+    inst: &ThresholdInstance,
+    config: Config,
+) -> Result<ThresholdRealization, SimError> {
+    assert_eq!(config.model, Model::Ncc1, "Theorem 17 requires NCC1");
+    let net = Network::new(inst.len(), config);
+    let by_id = rho_assignment(&net, inst);
+    let result = net.run(|h| ncc1::realize(h, by_id[&h.id()]))?;
+    let metrics = result.metrics.clone();
+    // Implicit: each edge is stored at its adding endpoint.
+    let assembled = core_verify::assemble_implicit(
+        net.ids_in_path_order(),
+        result.outputs.into_iter().map(|(id, o)| (id, o.neighbors)),
+    );
+    let report = check_thresholds(
+        &assembled.graph,
+        &by_id,
+        inst.len() <= ALL_PAIRS_LIMIT,
+    );
+    Ok(ThresholdRealization {
+        graph: assembled.graph,
+        rho: by_id,
+        path_order: net.ids_in_path_order().to_vec(),
+        explicit_neighbors: HashMap::new(),
+        report,
+        metrics,
+    })
+}
+
+/// Runs the Algorithm 6 NCC0 explicit construction. Use a queueing
+/// configuration.
+///
+/// # Errors
+///
+/// Propagates simulator errors; panics if the explicit symmetry is broken
+/// (a protocol bug, not an input condition).
+pub fn realize_ncc0(
+    inst: &ThresholdInstance,
+    config: Config,
+) -> Result<ThresholdRealization, SimError> {
+    let net = Network::new(inst.len(), config);
+    let by_id = rho_assignment(&net, inst);
+    let result = net.run(|h| ncc0::realize(h, by_id[&h.id()]))?;
+    let metrics = result.metrics.clone();
+    let lists: HashMap<NodeId, Vec<NodeId>> = result
+        .outputs
+        .into_iter()
+        .map(|(id, o)| (id, o.neighbors))
+        .collect();
+    let assembled =
+        core_verify::assemble_explicit(net.ids_in_path_order(), &lists)
+            .expect("Algorithm 6 lost explicit symmetry");
+    let report = check_thresholds(
+        &assembled.graph,
+        &by_id,
+        inst.len() <= ALL_PAIRS_LIMIT,
+    );
+    Ok(ThresholdRealization {
+        graph: assembled.graph,
+        rho: by_id,
+        path_order: net.ids_in_path_order().to_vec(),
+        explicit_neighbors: lists,
+        report,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ncc1_driver_smoke() {
+        let inst = ThresholdInstance::new(vec![2, 2, 1, 1, 1]);
+        let out = realize_ncc1(&inst, Config::ncc1(55)).unwrap();
+        assert!(out.report.satisfied);
+        assert!(out.explicit_neighbors.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NCC1")]
+    fn ncc1_driver_rejects_ncc0_config() {
+        let inst = ThresholdInstance::new(vec![1, 1]);
+        let _ = realize_ncc1(&inst, Config::ncc0(1));
+    }
+}

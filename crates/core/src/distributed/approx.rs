@@ -1,0 +1,114 @@
+//! Theorem 13: approximately realizing (possibly) non-graphic sequences by
+//! an **upper envelope** `D' = (d'_1, …, d'_n)` with `d'_i ≥ d_i` and
+//! `Σ d'_i ≤ 2 Σ d_i`.
+//!
+//! The construction is Algorithm 3 with one altered step: a node whose
+//! remaining degree would go negative resets it to 0 (i.e. accepts the
+//! extra edge) instead of declaring failure. Whenever a node is reset, the
+//! re-sorting guarantees it is used as a neighbor at most `d_i` more times,
+//! which bounds the total discrepancy `Σ(d'_i - d_i)` by `Σ d_i`.
+//!
+//! **Multigraph semantics.** Late phases may connect a pair of nodes that
+//! is already adjacent (a retired group leader can re-enter a later group).
+//! The paper's degree guarantees hold for the resulting *multiset* of
+//! edges; `DESIGN.md` §4 documents this. The driver reports duplicate
+//! counts so callers can quantify it (it is zero on every exact-mode run).
+
+use super::{ImplicitOutcome, Unrealizable};
+use dgr_ncc::NodeHandle;
+use dgr_primitives::PathCtx;
+
+/// Runs the upper-envelope realization at one node. `degree` is this
+/// node's requested degree; the call must be made by every node
+/// simultaneously.
+///
+/// # Errors
+///
+/// [`Unrealizable`] only when some degree is `≥ n` (no envelope exists in
+/// that case either); every other sequence is realized.
+pub fn realize(
+    h: &mut NodeHandle,
+    degree: usize,
+) -> Result<ImplicitOutcome, Unrealizable> {
+    let ctx = PathCtx::establish(h);
+    realize_on(h, &ctx, &ctx, degree)
+}
+
+/// Envelope realization on an arbitrary established path context (used by
+/// Algorithm 6 phase 1 over a sorted-path prefix). Non-members idle
+/// through the computation; `global` must be a context spanning every
+/// node (it carries the loop-control broadcasts — see
+/// [`super::implicit::realize`]'s engine).
+///
+/// # Errors
+///
+/// [`Unrealizable`] when some member degree is `≥ ctx.vp.len`.
+pub fn realize_on(
+    h: &mut NodeHandle,
+    ctx: &PathCtx,
+    global: &PathCtx,
+    degree: usize,
+) -> Result<ImplicitOutcome, Unrealizable> {
+    super::implicit::realize_on(h, ctx, global, degree, super::implicit::Mode::Envelope)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::driver;
+    use dgr_ncc::Config;
+
+    /// Checks the two Theorem 13 invariants on a realized envelope.
+    fn check_envelope(degrees: &[usize], seed: u64) {
+        let out = driver::realize_approx(degrees, Config::ncc0(seed)).unwrap();
+        let g = out.expect_realized();
+        let sum: usize = degrees.iter().sum();
+        let mut envelope_sum = 0;
+        for (i, &id) in g.path_order.iter().enumerate() {
+            let d_prime = g.multi_degrees[&id];
+            assert!(
+                d_prime >= degrees[i],
+                "node {i}: envelope {d_prime} < requested {}",
+                degrees[i]
+            );
+            envelope_sum += d_prime;
+        }
+        assert!(
+            envelope_sum <= 2 * sum,
+            "Σd' = {envelope_sum} exceeds 2Σd = {}",
+            2 * sum
+        );
+    }
+
+    #[test]
+    fn envelopes_odd_sum_sequences() {
+        check_envelope(&[3, 3, 1, 0], 11);
+        check_envelope(&[1, 0, 0], 12);
+        check_envelope(&[5, 3, 3, 2, 2, 2, 1, 1], 13);
+    }
+
+    #[test]
+    fn envelopes_eg_violating_sequences() {
+        check_envelope(&[4, 4, 4, 1, 1], 14);
+        check_envelope(&[3, 3, 1, 1], 15);
+        check_envelope(&[5, 5, 4, 3, 2, 1], 16);
+    }
+
+    #[test]
+    fn graphic_input_realizes_exactly() {
+        // On a graphic sequence the envelope variant must produce an exact
+        // realization with zero discrepancy and zero duplicates.
+        let degrees = vec![3, 2, 2, 2, 1];
+        let out = driver::realize_approx(&degrees, Config::ncc0(17)).unwrap();
+        let g = out.expect_realized();
+        assert_eq!(g.duplicate_edges, 0);
+        let mut want = degrees.clone();
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(g.graph.degree_sequence(), want);
+    }
+
+    #[test]
+    fn rejects_oversized_degrees() {
+        let out = driver::realize_approx(&[3, 1, 1], Config::ncc0(18)).unwrap();
+        assert!(out.is_unrealizable());
+    }
+}

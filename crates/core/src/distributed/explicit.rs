@@ -1,0 +1,139 @@
+//! Theorem 12: explicit degree realization in
+//! `O(m/n + Δ/log n + log n)` rounds.
+//!
+//! After Algorithm 3, every edge `(u, v)` is stored at exactly one endpoint
+//! (the group member `u`); `u` must announce its ID to `v` to make the
+//! realization explicit. A node may be the target of up to `Δ`
+//! announcements, far beyond its per-round receive capacity, so the
+//! hand-off uses the staggered-delivery primitive (`DESIGN.md` §4's
+//! substitute for the Theorem 8 butterfly collection): every announcement
+//! is delayed uniformly in `[0, Θ(Δ/cap))` rounds and receive-side queueing
+//! absorbs the w.h.p. `O(log n)` per-round overflow.
+//!
+//! Run this under [`CapacityPolicy::Queue`](dgr_ncc::CapacityPolicy::Queue);
+//! the epoch length covers the worst-case queue drain unconditionally, so
+//! delivery is guaranteed, not just w.h.p.
+
+use super::{ExplicitOutcome, ImplicitOutcome, Unrealizable};
+use dgr_ncc::{tags, Msg, NodeHandle};
+use dgr_primitives::{ops, stagger, PathCtx};
+
+/// Full explicit realization: Algorithm 3, then the staggered hand-off.
+///
+/// # Errors
+///
+/// [`Unrealizable`] when the sequence is not graphic.
+pub fn realize(
+    h: &mut NodeHandle,
+    degree: usize,
+) -> Result<ExplicitOutcome, Unrealizable> {
+    let ctx = PathCtx::establish(h);
+    let implicit = super::implicit::realize_on(
+        h,
+        &ctx,
+        &ctx,
+        degree,
+        super::implicit::Mode::Exact,
+    )?;
+    // Everyone learns Δ = max requested degree: the bound on any node's
+    // incoming announcements, from which the epoch length is derived.
+    let delta = ops::aggregate_broadcast(
+        h,
+        &ctx.vp,
+        &ctx.tree,
+        degree as u64,
+        u64::max,
+    ) as usize;
+    Ok(make_explicit(h, implicit, delta))
+}
+
+/// The hand-off alone: turns an implicit outcome into an explicit one.
+/// `delta` must be a *commonly known* bound on any node's incoming
+/// announcements (typically the broadcast maximum degree) — it determines
+/// the epoch length, so every node of the network must pass the same
+/// value, including nodes that did not participate in the realization.
+pub fn make_explicit(
+    h: &mut NodeHandle,
+    implicit: ImplicitOutcome,
+    delta: usize,
+) -> ExplicitOutcome {
+    let (spread, drain) = stagger::plan(delta, h.capacity());
+
+    let sends = implicit
+        .neighbors
+        .iter()
+        .map(|&nb| (nb, Msg::signal(tags::EDGE)))
+        .collect();
+    let received = stagger::staggered_send(h, sends, spread, drain);
+
+    let mut neighbors = implicit.neighbors;
+    neighbors.extend(
+        received
+            .iter()
+            .filter(|e| e.msg.tag == tags::EDGE)
+            .map(|e| e.src),
+    );
+    ExplicitOutcome {
+        requested: implicit.requested,
+        neighbors,
+        phases: implicit.phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::driver;
+    use dgr_ncc::Config;
+
+    #[test]
+    fn both_endpoints_know_every_edge() {
+        let degrees = vec![4, 3, 3, 2, 2, 2, 1, 1];
+        let out = driver::realize_explicit(
+            &degrees,
+            Config::ncc0(31).with_queueing(),
+        )
+        .unwrap();
+        let g = out.expect_realized();
+        // Explicit: every node's neighbor list is exactly its graph
+        // adjacency — symmetric by construction of the check in the driver.
+        for &id in &g.path_order {
+            let mut listed = g.explicit_neighbors[&id].clone();
+            listed.sort_unstable();
+            listed.dedup();
+            let mut actual = g.graph.neighbors_of(id);
+            actual.sort_unstable();
+            assert_eq!(listed, actual, "node {id}");
+        }
+        let mut want = degrees.clone();
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(g.graph.degree_sequence(), want);
+        assert_eq!(g.metrics.undelivered, 0);
+    }
+
+    #[test]
+    fn explicit_rejects_non_graphic() {
+        let out = driver::realize_explicit(
+            &[3, 3, 1, 1],
+            Config::ncc0(33).with_queueing(),
+        )
+        .unwrap();
+        assert!(out.is_unrealizable());
+    }
+
+    #[test]
+    fn star_fan_in_is_paced() {
+        // A star forces Δ = n-1 announcements at the hub; receive capacity
+        // must never be exceeded at delivery time.
+        let n = 48;
+        let mut degrees = vec![1usize; n];
+        degrees[0] = n - 1;
+        let out = driver::realize_explicit(
+            &degrees,
+            Config::ncc0(35).with_queueing(),
+        )
+        .unwrap();
+        let g = out.expect_realized();
+        assert!(g.metrics.max_received_per_round <= g.metrics.capacity);
+        assert_eq!(g.graph.degree_sequence()[0], n - 1);
+    }
+}

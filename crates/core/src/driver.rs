@@ -1,0 +1,234 @@
+//! Drivers: wire a degree sequence onto a simulated NCC network, run a
+//! distributed realization, and re-assemble + sanity-check the output.
+//!
+//! Degrees are assigned to nodes by knowledge-path position: `degrees[i]`
+//! goes to the `i`-th node of `G_k`. (The algorithms themselves never use
+//! path positions as input — assignment order is just bookkeeping.)
+
+use crate::distributed::{approx, explicit, implicit};
+use crate::verify::{self, Assembled};
+use dgr_graph::Graph;
+use dgr_ncc::{Config, Network, NodeId, RunMetrics, SimError};
+use std::collections::HashMap;
+
+/// A realized overlay together with everything needed to verify it.
+#[derive(Clone, Debug)]
+pub struct RealizedOutput {
+    /// The overlay as a simple graph.
+    pub graph: Graph,
+    /// Multiset degrees (duplicates counted; equals simple degrees on all
+    /// exact runs).
+    pub multi_degrees: HashMap<NodeId, usize>,
+    /// Requested degree per node.
+    pub requested: HashMap<NodeId, usize>,
+    /// Node IDs in knowledge-path order (position `i` requested
+    /// `degrees[i]`).
+    pub path_order: Vec<NodeId>,
+    /// Explicit-mode only: each node's full claimed neighbor list.
+    pub explicit_neighbors: HashMap<NodeId, Vec<NodeId>>,
+    /// Duplicate edge claims (multigraph bookkeeping; 0 in exact mode).
+    pub duplicate_edges: usize,
+    /// Algorithm 3 phase count (the Lemma 10 quantity).
+    pub phases: u64,
+    /// Simulator metrics (rounds, messages, capacity compliance).
+    pub metrics: RunMetrics,
+}
+
+/// Outcome of a driver run: realized, or correctly refused.
+#[derive(Clone, Debug)]
+pub enum DriverOutput {
+    /// The sequence was realized.
+    Realized(Box<RealizedOutput>),
+    /// Every node reported `UNREALIZABLE`.
+    Unrealizable {
+        /// Metrics of the refusing run.
+        metrics: RunMetrics,
+    },
+}
+
+impl DriverOutput {
+    /// Unwraps the realized output, panicking (with context) otherwise.
+    pub fn expect_realized(&self) -> &RealizedOutput {
+        match self {
+            DriverOutput::Realized(r) => r,
+            DriverOutput::Unrealizable { .. } => {
+                panic!("expected a realization, got UNREALIZABLE")
+            }
+        }
+    }
+
+    /// Did the run (correctly) refuse the sequence?
+    pub fn is_unrealizable(&self) -> bool {
+        matches!(self, DriverOutput::Unrealizable { .. })
+    }
+
+    /// The run metrics, whichever way it ended.
+    pub fn metrics(&self) -> &RunMetrics {
+        match self {
+            DriverOutput::Realized(r) => &r.metrics,
+            DriverOutput::Unrealizable { metrics } => metrics,
+        }
+    }
+}
+
+fn degree_assignment(net: &Network, degrees: &[usize]) -> HashMap<NodeId, usize> {
+    assert_eq!(net.n(), degrees.len());
+    net.ids_in_path_order()
+        .iter()
+        .copied()
+        .zip(degrees.iter().copied())
+        .collect()
+}
+
+fn finish(
+    net: &Network,
+    degrees: &[usize],
+    assembled: Assembled,
+    explicit_neighbors: HashMap<NodeId, Vec<NodeId>>,
+    phases: u64,
+    metrics: RunMetrics,
+) -> DriverOutput {
+    let path_order = net.ids_in_path_order().to_vec();
+    let requested = degree_assignment(net, degrees);
+    DriverOutput::Realized(Box::new(RealizedOutput {
+        graph: assembled.graph,
+        multi_degrees: assembled.multi_degrees,
+        requested,
+        path_order,
+        explicit_neighbors,
+        duplicate_edges: assembled.duplicate_edges,
+        phases,
+        metrics,
+    }))
+}
+
+/// Checks that either every node realized or every node refused; returns
+/// the per-node successes or `None` for a (consistent) refusal.
+fn split_consistent<T>(
+    outputs: Vec<(NodeId, Result<T, crate::distributed::Unrealizable>)>,
+) -> Option<Vec<(NodeId, T)>> {
+    let failures = outputs.iter().filter(|(_, r)| r.is_err()).count();
+    if failures == 0 {
+        Some(
+            outputs
+                .into_iter()
+                .map(|(id, r)| (id, r.ok().unwrap()))
+                .collect(),
+        )
+    } else {
+        assert_eq!(
+            failures,
+            outputs.len(),
+            "nodes disagree about realizability"
+        );
+        None
+    }
+}
+
+/// Runs Algorithm 3 (implicit, exact) on a fresh network.
+///
+/// # Errors
+///
+/// Propagates simulator errors (model violations, round-limit).
+pub fn realize_implicit(
+    degrees: &[usize],
+    config: Config,
+) -> Result<DriverOutput, SimError> {
+    let net = Network::new(degrees.len(), config);
+    let by_id = degree_assignment(&net, degrees);
+    let result = net.run(|h| implicit::realize(h, by_id[&h.id()]))?;
+    let metrics = result.metrics.clone();
+    match split_consistent(result.outputs) {
+        None => Ok(DriverOutput::Unrealizable { metrics }),
+        Some(outs) => {
+            let phases = outs.first().map(|(_, o)| o.phases).unwrap_or(0);
+            let assembled = verify::assemble_implicit(
+                net.ids_in_path_order(),
+                outs.into_iter().map(|(id, o)| (id, o.neighbors)),
+            );
+            Ok(finish(&net, degrees, assembled, HashMap::new(), phases, metrics))
+        }
+    }
+}
+
+/// Runs the Theorem 13 upper-envelope realization (implicit, multigraph
+/// semantics) on a fresh network.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn realize_approx(
+    degrees: &[usize],
+    config: Config,
+) -> Result<DriverOutput, SimError> {
+    let net = Network::new(degrees.len(), config);
+    let by_id = degree_assignment(&net, degrees);
+    let result = net.run(|h| approx::realize(h, by_id[&h.id()]))?;
+    let metrics = result.metrics.clone();
+    match split_consistent(result.outputs) {
+        None => Ok(DriverOutput::Unrealizable { metrics }),
+        Some(outs) => {
+            let phases = outs.first().map(|(_, o)| o.phases).unwrap_or(0);
+            let assembled = verify::assemble_implicit(
+                net.ids_in_path_order(),
+                outs.into_iter().map(|(id, o)| (id, o.neighbors)),
+            );
+            Ok(finish(&net, degrees, assembled, HashMap::new(), phases, metrics))
+        }
+    }
+}
+
+/// Runs the Theorem 12 explicit realization on a fresh network. Use a
+/// [`Config::with_queueing`] configuration — the staggered hand-off relies
+/// on receive-side queueing.
+///
+/// # Errors
+///
+/// Propagates simulator errors, and reports asymmetric explicit claims as
+/// a node panic (they indicate a protocol bug).
+pub fn realize_explicit(
+    degrees: &[usize],
+    config: Config,
+) -> Result<DriverOutput, SimError> {
+    let net = Network::new(degrees.len(), config);
+    let by_id = degree_assignment(&net, degrees);
+    let result = net.run(|h| explicit::realize(h, by_id[&h.id()]))?;
+    let metrics = result.metrics.clone();
+    match split_consistent(result.outputs) {
+        None => Ok(DriverOutput::Unrealizable { metrics }),
+        Some(outs) => {
+            let phases = outs.first().map(|(_, o)| o.phases).unwrap_or(0);
+            let lists: HashMap<NodeId, Vec<NodeId>> = outs
+                .into_iter()
+                .map(|(id, o)| (id, o.neighbors))
+                .collect();
+            let assembled =
+                verify::assemble_explicit(net.ids_in_path_order(), &lists)
+                    .expect("explicit realization lost symmetry");
+            Ok(finish(&net, degrees, assembled, lists, phases, metrics))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_driver_end_to_end() {
+        let degrees = vec![2, 2, 1, 1];
+        let out = realize_implicit(&degrees, Config::ncc0(41)).unwrap();
+        let g = out.expect_realized();
+        assert_eq!(g.graph.edge_count(), 3);
+        verify::degrees_match(&g.graph, &g.requested).unwrap();
+        assert!(g.metrics.is_clean());
+        assert!(g.phases >= 1);
+    }
+
+    #[test]
+    fn metrics_accessible_on_refusal() {
+        let out = realize_implicit(&[1, 1, 1], Config::ncc0(42)).unwrap();
+        assert!(out.is_unrealizable());
+        assert!(out.metrics().rounds > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The Erdős–Gallai characterization of graphic sequences (1960):
+//! a non-increasing sequence `D` with even sum is graphic iff for every
+//! `k ∈ [1, n]`:
+//!
+//! ```text
+//! Σ_{i=1..k} d_i  ≤  k(k-1) + Σ_{i=k+1..n} min(d_i, k)
+//! ```
+//!
+//! Implemented in `O(n log n)` (sort + prefix sums + a binary search per
+//! `k`, and it is enough to test `k` up to the Durfee number).
+
+/// Is the sequence graphic? Order does not matter; the empty sequence is
+/// graphic (the empty graph).
+pub fn is_graphic(degrees: &[usize]) -> bool {
+    let n = degrees.len();
+    if n == 0 {
+        return true;
+    }
+    let mut d = degrees.to_vec();
+    d.sort_unstable_by(|a, b| b.cmp(a));
+    if d[0] >= n {
+        return false;
+    }
+    if d.iter().sum::<usize>() % 2 != 0 {
+        return false;
+    }
+    // prefix[i] = d_0 + … + d_{i-1}.
+    let mut prefix = vec![0u64; n + 1];
+    for i in 0..n {
+        prefix[i + 1] = prefix[i] + d[i] as u64;
+    }
+    // It suffices to check k up to the Durfee number (largest k with
+    // d_k ≥ k-1, 1-based) — beyond it the inequality is implied.
+    for k in 1..=n {
+        if d[k - 1] < k - 1 {
+            break;
+        }
+        let lhs = prefix[k];
+        // Σ_{i>k} min(d_i, k): entries after position k with d_i ≥ k
+        // contribute k; the rest contribute d_i. `d` is non-increasing, so
+        // binary-search the first index (≥ k) with d_i < k.
+        let split = d.partition_point(|&x| x >= k).max(k);
+        let big = (split - k) as u64 * k as u64;
+        let small = prefix[n] - prefix[split];
+        let rhs = (k as u64) * (k as u64 - 1) + big + small;
+        if lhs > rhs {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force check of the inequalities for cross-validation.
+    fn is_graphic_naive(degrees: &[usize]) -> bool {
+        let n = degrees.len();
+        if n == 0 {
+            return true;
+        }
+        let mut d = degrees.to_vec();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        if d[0] >= n || d.iter().sum::<usize>() % 2 != 0 {
+            return false;
+        }
+        for k in 1..=n {
+            let lhs: usize = d[..k].iter().sum();
+            let rhs: usize =
+                k * (k - 1) + d[k..].iter().map(|&x| x.min(k)).sum::<usize>();
+            if lhs > rhs {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn known_graphic_sequences() {
+        assert!(is_graphic(&[]));
+        assert!(is_graphic(&[0]));
+        assert!(is_graphic(&[1, 1]));
+        assert!(is_graphic(&[2, 2, 2])); // triangle
+        assert!(is_graphic(&[3, 3, 3, 3])); // K4
+        assert!(is_graphic(&[3, 2, 2, 2, 1])); // house graph
+        assert!(is_graphic(&[5, 5, 5, 5, 5, 5])); // K6
+        assert!(is_graphic(&[2, 1, 1, 0])); // path + isolated
+        assert!(is_graphic(&[3, 1, 1, 1, 1, 1])); // star plus an extra edge
+    }
+
+    #[test]
+    fn known_non_graphic_sequences() {
+        assert!(!is_graphic(&[1])); // odd sum
+        assert!(!is_graphic(&[4, 4, 4, 1, 1])); // fails EG at k=3
+        assert!(!is_graphic(&[3, 3, 1, 1])); // fails EG at k=2
+        assert!(!is_graphic(&[2, 2])); // degree ≥ n
+        assert!(!is_graphic(&[5, 5, 4, 3, 2, 1])); // classic non-graphic
+    }
+
+    #[test]
+    fn matches_naive_exhaustively_small() {
+        // All sequences over {0..4}^5.
+        fn rec(buf: &mut Vec<usize>, len: usize) {
+            if buf.len() == len {
+                assert_eq!(
+                    is_graphic(buf),
+                    is_graphic_naive(buf),
+                    "mismatch on {buf:?}"
+                );
+                return;
+            }
+            for d in 0..5 {
+                buf.push(d);
+                rec(buf, len);
+                buf.pop();
+            }
+        }
+        rec(&mut Vec::new(), 5);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        assert_eq!(is_graphic(&[1, 3, 2, 2]), is_graphic(&[3, 2, 2, 1]));
+        assert_eq!(is_graphic(&[1, 4, 1, 4, 4]), is_graphic(&[4, 4, 4, 1, 1]));
+    }
+}

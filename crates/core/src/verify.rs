@@ -1,0 +1,140 @@
+//! Assembly and verification of distributed realization outputs.
+//!
+//! The simulator returns per-node edge claims; these functions reconstruct
+//! the realized overlay as a [`Graph`], count multigraph duplicates, and —
+//! for explicit realizations — check the symmetry property that defines
+//! explicitness (both endpoints list every edge).
+
+use dgr_graph::Graph;
+use dgr_ncc::NodeId;
+use std::collections::HashMap;
+
+/// An assembled overlay: the simple graph plus multiset bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Assembled {
+    /// The realized overlay as a simple graph (duplicates collapsed).
+    pub graph: Graph,
+    /// Multiset degree of every node (duplicates counted — the quantity
+    /// the Theorem 13 envelope guarantees speak about).
+    pub multi_degrees: HashMap<NodeId, usize>,
+    /// Number of duplicate edge claims (0 for every exact realization).
+    pub duplicate_edges: usize,
+}
+
+/// Assembles an *implicit* realization from per-node stored-edge lists:
+/// edge `(u, v)` appears once, at the storing endpoint.
+pub fn assemble_implicit(
+    nodes: &[NodeId],
+    stored: impl IntoIterator<Item = (NodeId, Vec<NodeId>)>,
+) -> Assembled {
+    let mut graph = Graph::new(nodes.iter().copied());
+    let mut multi_degrees: HashMap<NodeId, usize> =
+        nodes.iter().map(|&id| (id, 0)).collect();
+    let mut duplicate_edges = 0;
+    for (u, neighbors) in stored {
+        for v in neighbors {
+            *multi_degrees.get_mut(&u).expect("unknown claimant") += 1;
+            *multi_degrees.get_mut(&v).expect("unknown neighbor") += 1;
+            if graph.add_edge(u, v).is_err() {
+                duplicate_edges += 1;
+            }
+        }
+    }
+    Assembled { graph, multi_degrees, duplicate_edges }
+}
+
+/// Assembles an *explicit* realization from per-node full neighbor lists,
+/// checking the defining symmetry: `v ∈ list(u) ⇔ u ∈ list(v)`.
+///
+/// # Errors
+///
+/// A description of the first asymmetric edge claim found.
+pub fn assemble_explicit(
+    nodes: &[NodeId],
+    lists: &HashMap<NodeId, Vec<NodeId>>,
+) -> Result<Assembled, String> {
+    // Normalize: each claimed edge (u,v) keyed min/max; must be claimed by
+    // exactly both endpoints.
+    let mut claims: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    for (&u, neighbors) in lists {
+        for &v in neighbors {
+            if u == v {
+                return Err(format!("self-claim at {u}"));
+            }
+            *claims.entry((u.min(v), u.max(v))).or_default() += 1;
+        }
+    }
+    let mut graph = Graph::new(nodes.iter().copied());
+    let mut multi_degrees: HashMap<NodeId, usize> =
+        nodes.iter().map(|&id| (id, 0)).collect();
+    let mut duplicate_edges = 0;
+    for (&(u, v), &count) in &claims {
+        if count % 2 != 0 {
+            return Err(format!(
+                "edge ({u}, {v}) claimed asymmetrically ({count} claims)"
+            ));
+        }
+        let copies = count / 2;
+        duplicate_edges += copies - 1;
+        *multi_degrees.get_mut(&u).ok_or("unknown endpoint")? += copies;
+        *multi_degrees.get_mut(&v).ok_or("unknown endpoint")? += copies;
+        graph.add_edge(u, v).map_err(|e| format!("bad edge: {e}"))?;
+    }
+    Ok(Assembled { graph, multi_degrees, duplicate_edges })
+}
+
+/// Do the realized (simple-graph) degrees match the requested degrees
+/// exactly? Returns the first mismatch.
+pub fn degrees_match(
+    graph: &Graph,
+    requested: &HashMap<NodeId, usize>,
+) -> Result<(), String> {
+    for (&id, &want) in requested {
+        let got = graph.degree_of(id);
+        if got != want {
+            return Err(format!("node {id}: degree {got}, requested {want}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_assembly_counts_duplicates() {
+        let nodes = [1, 2, 3];
+        let a = assemble_implicit(
+            &nodes,
+            vec![(1, vec![2]), (2, vec![3]), (3, vec![1, 2])],
+        );
+        // (3,2) duplicates (2,3).
+        assert_eq!(a.duplicate_edges, 1);
+        assert_eq!(a.graph.edge_count(), 3);
+        assert_eq!(a.multi_degrees[&2], 3); // multiset counts the duplicate
+        assert_eq!(a.multi_degrees[&1], 2);
+    }
+
+    #[test]
+    fn explicit_assembly_requires_symmetry() {
+        let nodes = [1, 2];
+        let mut lists = HashMap::new();
+        lists.insert(1, vec![2]);
+        lists.insert(2, vec![]);
+        assert!(assemble_explicit(&nodes, &lists).is_err());
+        lists.insert(2, vec![1]);
+        let a = assemble_explicit(&nodes, &lists).unwrap();
+        assert_eq!(a.graph.edge_count(), 1);
+        assert_eq!(a.duplicate_edges, 0);
+    }
+
+    #[test]
+    fn degree_match_reports_mismatch() {
+        let g = Graph::from_edges([1, 2, 3], [(1, 2)]).unwrap();
+        let want: HashMap<_, _> = [(1, 1), (2, 1), (3, 0)].into();
+        assert!(degrees_match(&g, &want).is_ok());
+        let want: HashMap<_, _> = [(1, 2)].into();
+        assert!(degrees_match(&g, &want).is_err());
+    }
+}

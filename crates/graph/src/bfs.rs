@@ -1,0 +1,131 @@
+//! BFS-based graph queries: distances, connectivity, eccentricity, exact
+//! diameter. Used to verify tree realizations (Theorems 14 and 16 make
+//! diameter claims) and overlay connectivity.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// BFS distances (in hops) from the node at dense index `src`;
+/// `usize::MAX` marks unreachable vertices.
+pub fn bfs_distances(g: &Graph, src: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The connected components as lists of dense indices.
+pub fn connected_components(g: &Graph) -> Vec<Vec<usize>> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for &v in g.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        components.push(comp);
+    }
+    components
+}
+
+/// Is the graph connected? (The empty graph counts as connected.)
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() == 0 || connected_components(g).len() == 1
+}
+
+/// Eccentricity of the node at dense index `src`: its maximum BFS distance.
+/// Returns `None` if the graph is disconnected from `src`.
+pub fn eccentricity(g: &Graph, src: usize) -> Option<usize> {
+    let dist = bfs_distances(g, src);
+    let max = *dist.iter().max()?;
+    if max == usize::MAX {
+        None
+    } else {
+        Some(max)
+    }
+}
+
+/// Exact diameter via all-pairs BFS (`O(nm)` — fine at verification scale).
+/// Returns `None` for disconnected or empty graphs.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for src in 0..n {
+        best = best.max(eccentricity(g, src)?);
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(
+            1..=n as u64,
+            (1..n as u64).map(|i| (i, i + 1)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = Graph::from_edges([1, 2, 3, 4, 5], [(1, 2), (3, 4)]).unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&path(4)));
+    }
+
+    #[test]
+    fn diameter_of_known_shapes() {
+        assert_eq!(diameter(&path(6)), Some(5));
+        // Star: diameter 2.
+        let star =
+            Graph::from_edges(0..=4, (1..=4).map(|i| (0, i))).unwrap();
+        assert_eq!(diameter(&star), Some(2));
+        // Singleton: diameter 0.
+        assert_eq!(diameter(&Graph::new([7])), Some(0));
+        // Disconnected: None.
+        let g = Graph::from_edges([1, 2, 3], [(1, 2)]).unwrap();
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = path(7);
+        assert_eq!(eccentricity(&g, 3), Some(3)); // center
+        assert_eq!(eccentricity(&g, 0), Some(6)); // end
+    }
+}

@@ -1,0 +1,219 @@
+//! A simple undirected graph over arbitrary `u64` node IDs.
+//!
+//! Realization outputs are edge lists over NCC node IDs (sparse, random
+//! 64-bit values), so the graph keeps an ID↔index mapping and exposes both
+//! views. Parallel edges and self-loops are rejected: degree-sequence
+//! realizations must be *simple* graphs.
+
+use std::collections::HashMap;
+
+/// Node identifier type (matches `dgr_ncc::NodeId`).
+pub type NodeId = u64;
+
+/// A map from node ID to its degree.
+pub type DegreeMap = HashMap<NodeId, usize>;
+
+/// A simple undirected graph.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    ids: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    adj: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// An empty graph over the given vertex set (isolated vertices count:
+    /// a realization may legitimately assign degree 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate IDs.
+    pub fn new(ids: impl IntoIterator<Item = NodeId>) -> Self {
+        let ids: Vec<NodeId> = ids.into_iter().collect();
+        let mut index = HashMap::with_capacity(ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            let dup = index.insert(id, i);
+            assert!(dup.is_none(), "duplicate node ID {id}");
+        }
+        let adj = vec![Vec::new(); ids.len()];
+        Graph { ids, index, adj, edges: 0 }
+    }
+
+    /// Builds a graph from a vertex set and an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first self-loop, duplicate edge, or
+    /// unknown endpoint encountered — the verification failures we want to
+    /// catch in realization outputs.
+    pub fn from_edges(
+        ids: impl IntoIterator<Item = NodeId>,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, String> {
+        let mut g = Graph::new(ids);
+        for (u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds one undirected edge.
+    ///
+    /// # Errors
+    ///
+    /// Rejects self-loops, unknown endpoints and duplicate edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), String> {
+        if u == v {
+            return Err(format!("self-loop at {u}"));
+        }
+        let &ui = self.index.get(&u).ok_or_else(|| format!("unknown node {u}"))?;
+        let &vi = self.index.get(&v).ok_or_else(|| format!("unknown node {v}"))?;
+        if self.adj[ui].contains(&vi) {
+            return Err(format!("duplicate edge ({u}, {v})"));
+        }
+        self.adj[ui].push(vi);
+        self.adj[vi].push(ui);
+        self.edges += 1;
+        Ok(())
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// All node IDs, in insertion order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// The dense index of a node ID.
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// The ID at a dense index.
+    pub fn id_of(&self, index: usize) -> NodeId {
+        self.ids[index]
+    }
+
+    /// Neighbor indices of a dense index.
+    pub fn neighbors(&self, index: usize) -> &[usize] {
+        &self.adj[index]
+    }
+
+    /// Neighbor IDs of a node ID.
+    pub fn neighbors_of(&self, id: NodeId) -> Vec<NodeId> {
+        let i = self.index[&id];
+        self.adj[i].iter().map(|&j| self.ids[j]).collect()
+    }
+
+    /// Is `(u, v)` an edge?
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        match (self.index.get(&u), self.index.get(&v)) {
+            (Some(&ui), Some(&vi)) => self.adj[ui].contains(&vi),
+            _ => false,
+        }
+    }
+
+    /// Degree of a node by ID.
+    pub fn degree_of(&self, id: NodeId) -> usize {
+        self.adj[self.index[&id]].len()
+    }
+
+    /// The degree of every node.
+    pub fn degree_map(&self) -> DegreeMap {
+        self.ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, self.adj[i].len()))
+            .collect()
+    }
+
+    /// The degree sequence in non-increasing order.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        d
+    }
+
+    /// The edge list as ID pairs (each edge once, smaller ID first).
+    pub fn edge_list(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.edges);
+        for (i, nbrs) in self.adj.iter().enumerate() {
+            for &j in nbrs {
+                if i < j {
+                    let (a, b) = (self.ids[i], self.ids[j]);
+                    out.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Is this graph a tree (connected with exactly n-1 edges)?
+    pub fn is_tree(&self) -> bool {
+        !self.ids.is_empty()
+            && self.edges == self.ids.len() - 1
+            && crate::is_connected(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = Graph::from_edges([1, 2, 3, 4], [(1, 2), (2, 3)]).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(1, 3));
+        assert_eq!(g.degree_of(2), 2);
+        assert_eq!(g.degree_of(4), 0);
+        assert_eq!(g.degree_sequence(), vec![2, 1, 1, 0]);
+        assert_eq!(g.edge_list(), vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut g = Graph::new([1, 2]);
+        assert!(g.add_edge(1, 1).is_err());
+        g.add_edge(1, 2).unwrap();
+        assert!(g.add_edge(2, 1).is_err());
+        assert!(g.add_edge(1, 9).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node ID")]
+    fn rejects_duplicate_ids() {
+        let _ = Graph::new([5, 5]);
+    }
+
+    #[test]
+    fn tree_detection() {
+        let path = Graph::from_edges([1, 2, 3], [(1, 2), (2, 3)]).unwrap();
+        assert!(path.is_tree());
+        let cycle =
+            Graph::from_edges([1, 2, 3], [(1, 2), (2, 3), (3, 1)]).unwrap();
+        assert!(!cycle.is_tree());
+        let forest = Graph::from_edges([1, 2, 3, 4], [(1, 2), (3, 4)]).unwrap();
+        assert!(!forest.is_tree());
+    }
+
+    #[test]
+    fn neighbors_by_id() {
+        let g = Graph::from_edges([10, 20, 30], [(10, 20), (10, 30)]).unwrap();
+        let mut n = g.neighbors_of(10);
+        n.sort_unstable();
+        assert_eq!(n, vec![20, 30]);
+    }
+}

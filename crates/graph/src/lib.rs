@@ -1,0 +1,16 @@
+//! Graph substrate for verifying realizations: simple undirected graphs
+//! keyed by arbitrary node IDs, BFS-based connectivity and diameter, and
+//! Dinic max-flow for exact pairwise edge connectivity (the quantity the
+//! connectivity-threshold theorems are stated in, via Menger's theorem).
+//!
+//! This crate is the *measurement instrument* for the realization
+//! algorithms: every distributed construction in the workspace is checked
+//! against it — degrees, tree-ness, diameters, connectivity thresholds.
+
+mod bfs;
+mod flow;
+mod graph;
+
+pub use bfs::{bfs_distances, connected_components, diameter, eccentricity, is_connected};
+pub use flow::{edge_connectivity, global_edge_connectivity, Dinic};
+pub use graph::{DegreeMap, Graph};

@@ -1,0 +1,179 @@
+//! Random graphic degree sequences of controlled shape.
+//!
+//! All generators draw a raw sequence from a target distribution and then
+//! [`repair_to_graphic`]: clamp degrees to `n-1`, fix the parity of the
+//! sum, and walk the largest degrees down until the Erdős–Gallai
+//! inequalities hold. Repair touches as little probability mass as it can,
+//! so the realized shape (regular / power-law / star-heavy) survives.
+
+use dgr_core::erdos_gallai::is_graphic;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Makes an arbitrary degree list graphic in place, preserving its rough
+/// shape: clamps to `n-1`, evens the sum (decrementing one odd-positioned
+/// positive degree), then repeatedly decrements the largest degree by 2
+/// while Erdős–Gallai fails.
+///
+/// Always terminates: the all-zero sequence is graphic.
+pub fn repair_to_graphic(degrees: &mut [usize]) {
+    let n = degrees.len();
+    if n == 0 {
+        return;
+    }
+    for d in degrees.iter_mut() {
+        *d = (*d).min(n - 1);
+    }
+    if degrees.iter().sum::<usize>() % 2 != 0 {
+        let i = degrees
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(i, _)| i)
+            .next_back()
+            .expect("odd sum implies a positive degree");
+        degrees[i] -= 1;
+    }
+    while !is_graphic(degrees) {
+        // Reduce the most extreme degree, keeping parity.
+        let i = degrees
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        debug_assert!(degrees[i] >= 2, "repair underflow on a bad sequence");
+        degrees[i] -= 2;
+    }
+}
+
+/// A uniformly random graphic sequence: degrees i.i.d. uniform in
+/// `[0, d_max]`, then repaired.
+pub fn random_graphic_sequence(n: usize, d_max: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = d_max.min(n.saturating_sub(1));
+    let mut d: Vec<usize> = (0..n).map(|_| rng.gen_range(0..=cap)).collect();
+    repair_to_graphic(&mut d);
+    d
+}
+
+/// A near-`k`-regular graphic sequence: every degree is `k ± 1` (jitter
+/// keeps the sorting non-trivial), then repaired.
+pub fn near_regular_sequence(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d: Vec<usize> = (0..n)
+        .map(|_| {
+            let jitter: i64 = rng.gen_range(-1..=1);
+            (k as i64 + jitter).max(0) as usize
+        })
+        .collect();
+    repair_to_graphic(&mut d);
+    d
+}
+
+/// A power-law-ish graphic sequence: `d_i ∝ (i+1)^(-1/(γ-1))` scaled so the
+/// maximum is `d_max`, shuffled, then repaired. `γ ≈ 2–3` matches the
+/// heavy-tailed degree profiles P2P overlays care about.
+pub fn power_law_sequence(n: usize, d_max: usize, gamma: f64, seed: u64) -> Vec<usize> {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = d_max.min(n.saturating_sub(1)).max(1);
+    let alpha = 1.0 / (gamma - 1.0);
+    let mut d: Vec<usize> = (0..n)
+        .map(|i| {
+            let rank = (i + 1) as f64;
+            let v = (cap as f64 * rank.powf(-alpha)).round() as usize;
+            v.max(1)
+        })
+        .collect();
+    use rand::seq::SliceRandom;
+    d.shuffle(&mut rng);
+    repair_to_graphic(&mut d);
+    d
+}
+
+/// A star-heavy sequence: `hubs` nodes of degree ≈ `n-1`, everyone else
+/// degree `base`; the Theorem 19 shape where explicit realization must pay
+/// `Ω(Δ/log n)`.
+pub fn star_heavy_sequence(n: usize, hubs: usize, base: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hubs = hubs.min(n);
+    let mut d: Vec<usize> = (0..n)
+        .map(|i| {
+            if i < hubs {
+                n - 1
+            } else {
+                rng.gen_range(base.saturating_sub(1)..=base + 1)
+            }
+        })
+        .collect();
+    repair_to_graphic(&mut d);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repair_outputs_are_graphic() {
+        for seed in 0..20 {
+            let d = random_graphic_sequence(50, 30, seed);
+            assert!(is_graphic(&d), "seed {seed}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn repair_handles_extremes() {
+        let mut d = vec![100, 100, 100]; // way over n-1
+        repair_to_graphic(&mut d);
+        assert!(is_graphic(&d));
+        let mut d = vec![0, 0, 0];
+        repair_to_graphic(&mut d);
+        assert_eq!(d, vec![0, 0, 0]);
+        let mut d: Vec<usize> = vec![];
+        repair_to_graphic(&mut d);
+        assert!(d.is_empty());
+        let mut d = vec![1]; // odd sum, single node
+        repair_to_graphic(&mut d);
+        assert_eq!(d, vec![0]);
+    }
+
+    #[test]
+    fn near_regular_stays_near_k() {
+        let d = near_regular_sequence(100, 8, 7);
+        assert!(is_graphic(&d));
+        let within = d.iter().filter(|&&x| (7..=9).contains(&x)).count();
+        assert!(within >= 95, "only {within} degrees near 8");
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed_and_graphic() {
+        let d = power_law_sequence(200, 60, 2.5, 3);
+        assert!(is_graphic(&d));
+        let max = *d.iter().max().unwrap();
+        let light = d.iter().filter(|&&x| x <= 3).count();
+        assert!(max >= 30, "max {max} not heavy");
+        assert!(light >= 120, "tail not light: {light}");
+    }
+
+    #[test]
+    fn star_heavy_has_hubs() {
+        let d = star_heavy_sequence(64, 2, 2, 5);
+        assert!(is_graphic(&d));
+        let hubs = d.iter().filter(|&&x| x >= 50).count();
+        assert!(hubs >= 1, "no hub survived repair: {d:?}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            random_graphic_sequence(40, 10, 9),
+            random_graphic_sequence(40, 10, 9)
+        );
+        assert_ne!(
+            random_graphic_sequence(40, 10, 9),
+            random_graphic_sequence(40, 10, 10)
+        );
+    }
+}

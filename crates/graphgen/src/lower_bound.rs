@@ -1,0 +1,77 @@
+//! The adversarial degree-sequence families behind the paper's lower
+//! bounds (Section 7, Theorems 19–20).
+//!
+//! * [`sqrt_m_family`] — the `D*_{n,m}` family: `k = ⌊√m⌋` nodes carry all
+//!   the degree, everyone else gets 0. Any implicit realization forces the
+//!   heavy nodes to jointly learn `Ω(m)` IDs, so some node must learn
+//!   `Ω(√m)` of them — `Ω̃(√m)` rounds.
+//! * [`delta_regular_family`] — `d_i = Δ` for all `i`: every node must
+//!   learn (or be learned by) `Δ` endpoints — `Ω̃(Δ)` rounds, and
+//!   `Ω(Δ/log n)` for explicit realizations (Theorem 19).
+
+use dgr_core::erdos_gallai::is_graphic;
+
+/// The `D*` family: `k = ⌊√m⌋` heavy nodes forming (approximately) a
+/// clique among themselves — `d_i = k-1` for `i < k`, else 0 — which packs
+/// `m ≈ k²/2` edges onto `√m`-many nodes.
+///
+/// # Panics
+///
+/// Panics if `n` is too small to host the clique.
+pub fn sqrt_m_family(n: usize, m: usize) -> Vec<usize> {
+    let k = (m as f64).sqrt().floor() as usize;
+    let k = k.max(2).min(n);
+    let mut d = vec![0usize; n];
+    for item in d.iter_mut().take(k) {
+        *item = k - 1;
+    }
+    // K_k needs k nodes; parity is automatic (k(k-1) is even).
+    debug_assert!(is_graphic(&d), "K_k profile must be graphic");
+    d
+}
+
+/// The `Δ`-regular family: `d_i = Δ` everywhere (padded to even `nΔ` by
+/// bumping `n` odd/even compatibility onto the caller — asserted graphic).
+///
+/// # Panics
+///
+/// Panics when `nΔ` is odd or `Δ ≥ n` (no Δ-regular graph exists).
+pub fn delta_regular_family(n: usize, delta: usize) -> Vec<usize> {
+    assert!(delta < n, "Δ-regular needs Δ < n");
+    assert!((n * delta).is_multiple_of(2), "nΔ must be even");
+    let d = vec![delta; n];
+    debug_assert!(is_graphic(&d));
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_m_family_is_graphic_and_concentrated() {
+        for m in [4usize, 16, 100, 400] {
+            let d = sqrt_m_family(100, m);
+            assert!(is_graphic(&d), "m={m}");
+            let k = (m as f64).sqrt() as usize;
+            let heavy = d.iter().filter(|&&x| x > 0).count();
+            assert!(heavy.abs_diff(k) <= 1, "m={m}: {heavy} heavy nodes");
+            // Edge count is ~m.
+            let edges: usize = d.iter().sum::<usize>() / 2;
+            assert!(edges <= m && edges * 2 >= m / 2, "m={m} edges={edges}");
+        }
+    }
+
+    #[test]
+    fn delta_regular_is_graphic() {
+        let d = delta_regular_family(16, 5);
+        assert!(is_graphic(&d));
+        assert!(d.iter().all(|&x| x == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn delta_regular_rejects_odd_products() {
+        let _ = delta_regular_family(5, 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Connectivity-threshold workloads: per-node `ρ(v)` values for the
+//! Section 6 realizations (the `ρ`-reduction means a threshold *vector*
+//! per node collapses to one value, so workloads are `Vec<ρ>`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform thresholds: `ρ(v)` i.i.d. uniform in `[lo, hi]`, capped at
+/// `n-1` (no node can have more edge-disjoint paths than neighbors).
+pub fn uniform_thresholds(n: usize, lo: usize, hi: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = n.saturating_sub(1);
+    (0..n)
+        .map(|_| rng.gen_range(lo.min(cap)..=hi.min(cap)).max(1.min(cap)))
+        .collect()
+}
+
+/// Tiered thresholds, the "survivable network" shape of Frank–Chou \[15\]:
+/// a small core with high requirements, a middle tier, and a large edge
+/// tier with requirement 1.
+pub fn tiered_thresholds(n: usize, core: usize, core_rho: usize) -> Vec<usize> {
+    let cap = n.saturating_sub(1);
+    let core = core.min(n);
+    let mid = (n / 4).min(n - core);
+    (0..n)
+        .map(|i| {
+            if i < core {
+                core_rho.min(cap)
+            } else if i < core + mid {
+                (core_rho / 2).max(1).min(cap)
+            } else {
+                1.min(cap)
+            }
+        })
+        .collect()
+}
+
+/// One demanding hub, everyone else at 1: maximizes the gap between `Δ`
+/// and typical load (the NCC0 algorithm's `O~(Δ)` round bill is all hub).
+pub fn single_hub_thresholds(n: usize, hub_rho: usize) -> Vec<usize> {
+    let cap = n.saturating_sub(1);
+    (0..n)
+        .map(|i| if i == 0 { hub_rho.min(cap) } else { 1.min(cap) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform_thresholds(50, 2, 6, 1);
+        assert!(t.iter().all(|&r| (2..=6).contains(&r)));
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn uniform_caps_at_n_minus_1() {
+        let t = uniform_thresholds(4, 10, 20, 2);
+        assert!(t.iter().all(|&r| r <= 3));
+    }
+
+    #[test]
+    fn tiers_are_ordered() {
+        let t = tiered_thresholds(40, 4, 8);
+        assert!(t[..4].iter().all(|&r| r == 8));
+        assert!(t[4..14].iter().all(|&r| r == 4));
+        assert!(t[14..].iter().all(|&r| r == 1));
+    }
+
+    #[test]
+    fn single_hub_shape() {
+        let t = single_hub_thresholds(10, 5);
+        assert_eq!(t[0], 5);
+        assert!(t[1..].iter().all(|&r| r == 1));
+    }
+}

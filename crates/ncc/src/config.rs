@@ -1,0 +1,154 @@
+//! Simulation configuration: model variant, capacities, policies, seeding.
+
+/// Which NCC variant the network starts in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Model {
+    /// KT0-like: each node initially knows only its out-neighbor on a
+    /// directed path `G_k` over the nodes (seeded random order).
+    Ncc0,
+    /// KT1-like (the SPAA'19 NCC): all node IDs are common knowledge.
+    Ncc1,
+}
+
+/// What the engine does when a node exceeds its per-round send or receive
+/// capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapacityPolicy {
+    /// Any violation aborts the run with
+    /// [`SimError::Violation`](crate::SimError::Violation). Use this in
+    /// tests to *prove* an
+    /// algorithm is capacity-legal.
+    Strict,
+    /// Violations are counted in the metrics but messages are still
+    /// delivered. Useful for measuring how far an algorithm overshoots.
+    Record,
+    /// Receive-side congestion is modeled honestly: each node owns a FIFO
+    /// delivery queue from which at most `cap` messages are handed over per
+    /// round. Send-side violations are still hard errors (a node must pace
+    /// itself), but bursty fan-in is absorbed and paid for in rounds.
+    Queue,
+}
+
+/// How node IDs are assigned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdAssignment {
+    /// IDs `1..=n`. Convenient for debugging and for reproducing the paper's
+    /// figures, and the paper notes NCC1 may w.l.o.g. use `[1, n]`.
+    Sequential,
+    /// Distinct IDs sampled from `[1, n^3]` — the honest NCC0 setting where
+    /// IDs carry no positional information.
+    Random,
+}
+
+/// Full configuration of a simulated NCC network.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// NCC0 or NCC1.
+    pub model: Model,
+    /// Capacity enforcement policy.
+    pub capacity_policy: CapacityPolicy,
+    /// Multiplier `c` in `cap = max(min_capacity, ceil(c * log2 n))`.
+    pub capacity_factor: f64,
+    /// Floor on the per-round capacity (avoids degenerate tiny-`n` caps).
+    pub min_capacity: usize,
+    /// Maximum data words per message.
+    pub max_words: usize,
+    /// Maximum addresses per message.
+    pub max_addrs: usize,
+    /// When true, the engine tracks the set of IDs each node has learned and
+    /// flags any send addressed to an unknown ID (KT0 legality checking).
+    /// Ignored under [`Model::Ncc1`], where everything is known.
+    pub track_knowledge: bool,
+    /// ID assignment scheme.
+    pub id_assignment: IdAssignment,
+    /// Master seed: drives ID assignment, the `G_k` permutation, and each
+    /// node's local RNG (derived per node). Identical configs replay
+    /// identically.
+    pub seed: u64,
+    /// Safety valve: abort if the protocol runs longer than this many rounds.
+    pub max_rounds: u64,
+}
+
+impl Config {
+    /// A strict NCC0 configuration with knowledge tracking on — the default
+    /// for tests, since a green run certifies NCC0 legality.
+    pub fn ncc0(seed: u64) -> Self {
+        Config {
+            model: Model::Ncc0,
+            capacity_policy: CapacityPolicy::Strict,
+            capacity_factor: 2.0,
+            min_capacity: 4,
+            max_words: 4,
+            max_addrs: 2,
+            track_knowledge: true,
+            id_assignment: IdAssignment::Random,
+            seed,
+            max_rounds: 10_000_000,
+        }
+    }
+
+    /// A strict NCC1 configuration.
+    pub fn ncc1(seed: u64) -> Self {
+        Config { model: Model::Ncc1, track_knowledge: false, ..Config::ncc0(seed) }
+    }
+
+    /// Switches to the queueing capacity policy (used by the staggered
+    /// token-collection primitive and the explicit realizations).
+    pub fn with_queueing(mut self) -> Self {
+        self.capacity_policy = CapacityPolicy::Queue;
+        self
+    }
+
+    /// Overrides the capacity multiplier.
+    pub fn with_capacity_factor(mut self, factor: f64) -> Self {
+        self.capacity_factor = factor;
+        self
+    }
+
+    /// Uses sequential IDs `1..=n` (handy for figure-exact tests).
+    pub fn with_sequential_ids(mut self) -> Self {
+        self.id_assignment = IdAssignment::Sequential;
+        self
+    }
+
+    /// The concrete per-round send/receive capacity for an `n`-node network
+    /// under this configuration.
+    pub fn capacity(&self, n: usize) -> usize {
+        crate::capacity_for(n, self.capacity_factor, self.min_capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_strict_kt0() {
+        let c = Config::ncc0(1);
+        assert_eq!(c.model, Model::Ncc0);
+        assert_eq!(c.capacity_policy, CapacityPolicy::Strict);
+        assert!(c.track_knowledge);
+    }
+
+    #[test]
+    fn ncc1_disables_knowledge_tracking() {
+        let c = Config::ncc1(1);
+        assert_eq!(c.model, Model::Ncc1);
+        assert!(!c.track_knowledge);
+    }
+
+    #[test]
+    fn capacity_uses_factor_and_floor() {
+        let c = Config::ncc0(0).with_capacity_factor(1.0);
+        assert_eq!(c.capacity(2), 4); // floor
+        assert_eq!(c.capacity(1 << 16), 16);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = Config::ncc0(7).with_queueing().with_sequential_ids();
+        assert_eq!(c.capacity_policy, CapacityPolicy::Queue);
+        assert_eq!(c.id_assignment, IdAssignment::Sequential);
+        assert_eq!(c.seed, 7);
+    }
+}

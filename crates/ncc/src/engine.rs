@@ -1,0 +1,328 @@
+//! The round engine: a coordinator that implements the synchronous barrier,
+//! routes messages, enforces the model constraints, and gathers metrics.
+//!
+//! The coordinator runs on the thread that called [`Network::run`]
+//! (crate::Network::run); node protocols run on their own threads and talk to
+//! the coordinator through crossbeam channels. One *round* is: every live
+//! node submits an outbox, the coordinator validates and routes, every live
+//! node receives its inbox.
+
+use crate::config::{CapacityPolicy, Config, Model};
+use crate::error::{SimError, Violation, ViolationKind};
+use crate::knowledge::KnowledgeTracker;
+use crate::message::{Envelope, Msg, NodeId};
+use crate::metrics::RunMetrics;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+
+/// What a node thread sends to the coordinator.
+pub(crate) enum Submission {
+    /// The node's outbox for this round (possibly empty).
+    Step { index: usize, out: Vec<(NodeId, Msg)> },
+    /// The node's protocol function returned; it no longer participates.
+    Done { index: usize },
+    /// The node's protocol panicked (bug); carries the panic message.
+    Panicked { index: usize, message: String },
+}
+
+/// What the coordinator sends back to a node thread.
+pub(crate) enum Delivery {
+    /// The node's inbox for the next round.
+    Inbox(Vec<Envelope>),
+    /// Fatal engine error: the node thread must unwind immediately.
+    Poison,
+}
+
+/// Maximum number of concrete violation records kept for diagnostics.
+const VIOLATION_SAMPLE_LIMIT: usize = 16;
+
+pub(crate) struct Coordinator {
+    config: Config,
+    n: usize,
+    cap: usize,
+    ids: Vec<NodeId>,
+    id_to_index: HashMap<NodeId, usize>,
+    knowledge: KnowledgeTracker,
+    from_nodes: Receiver<Submission>,
+    to_nodes: Vec<Sender<Delivery>>,
+    alive: Vec<bool>,
+    live_count: usize,
+    /// Receive queues (only used under `CapacityPolicy::Queue`).
+    queues: Vec<VecDeque<Envelope>>,
+    pub(crate) metrics: RunMetrics,
+    /// First node panic observed, if any.
+    pub(crate) panic: Option<(NodeId, String)>,
+}
+
+impl Coordinator {
+    pub(crate) fn new(
+        config: Config,
+        ids: Vec<NodeId>,
+        from_nodes: Receiver<Submission>,
+        to_nodes: Vec<Sender<Delivery>>,
+    ) -> Self {
+        let n = ids.len();
+        let cap = config.capacity(n);
+        let mut id_to_index = HashMap::with_capacity(n);
+        for (i, &id) in ids.iter().enumerate() {
+            id_to_index.insert(id, i);
+        }
+        let track = config.track_knowledge && config.model == Model::Ncc0;
+        let mut knowledge = KnowledgeTracker::new(n, track);
+        if track {
+            for i in 0..n {
+                knowledge.learn(i, ids[i]);
+                if i + 1 < n {
+                    // Initial knowledge graph G_k: node i's out-neighbor is
+                    // its successor on the path.
+                    knowledge.learn(i, ids[i + 1]);
+                }
+            }
+        }
+        let queues = if config.capacity_policy == CapacityPolicy::Queue {
+            vec![VecDeque::new(); n]
+        } else {
+            Vec::new()
+        };
+        let metrics = RunMetrics { capacity: cap, ..RunMetrics::default() };
+        Coordinator {
+            config,
+            n,
+            cap,
+            ids,
+            id_to_index,
+            knowledge,
+            from_nodes,
+            to_nodes,
+            alive: vec![true; n],
+            live_count: n,
+            queues,
+            metrics,
+            panic: None,
+        }
+    }
+
+    /// Runs rounds until every node has terminated (or an error occurs).
+    pub(crate) fn run_rounds(&mut self) -> Result<(), SimError> {
+        let mut outboxes: Vec<Option<Vec<(NodeId, Msg)>>> = vec![None; self.n];
+        let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); self.n];
+
+        while self.live_count > 0 {
+            // --- Collect one submission from every live node. ---
+            let mut expected = self.live_count;
+            for slot in outboxes.iter_mut() {
+                *slot = None;
+            }
+            while expected > 0 {
+                match self.from_nodes.recv() {
+                    Ok(Submission::Step { index, out }) => {
+                        debug_assert!(self.alive[index], "step from dead node");
+                        outboxes[index] = Some(out);
+                        expected -= 1;
+                    }
+                    Ok(Submission::Done { index }) => {
+                        self.alive[index] = false;
+                        self.live_count -= 1;
+                        expected -= 1;
+                    }
+                    Ok(Submission::Panicked { index, message }) => {
+                        if self.panic.is_none() {
+                            self.panic = Some((self.ids[index], message));
+                        }
+                        self.alive[index] = false;
+                        self.live_count -= 1;
+                        expected -= 1;
+                    }
+                    Err(_) => {
+                        // All senders dropped: treat as everyone done.
+                        self.live_count = 0;
+                        expected = 0;
+                    }
+                }
+            }
+            if let Some((node, message)) = self.panic.take() {
+                self.poison_all();
+                return Err(SimError::NodePanic { node, message });
+            }
+            if self.live_count == 0 {
+                break;
+            }
+
+            // --- Route: validate every message and append to inboxes. ---
+            for inbox in inboxes.iter_mut() {
+                inbox.clear();
+            }
+            let mut round_messages: u64 = 0;
+            for src_index in 0..self.n {
+                let Some(out) = outboxes[src_index].take() else { continue };
+                let src_id = self.ids[src_index];
+                let attempted = out.len();
+                for (dst, msg) in out {
+                    // Under the lenient policies a violating message is still
+                    // delivered when physically possible (the violation is
+                    // counted); under Strict, `record` aborts the run.
+                    let dst_index = match self.validate(src_index, src_id, dst, &msg) {
+                        Ok(i) => Some(i),
+                        Err(v) => {
+                            self.record(v)?;
+                            self.id_to_index.get(&dst).copied().filter(|&i| self.alive[i])
+                        }
+                    };
+                    if let Some(dst_index) = dst_index {
+                        round_messages += 1;
+                        self.metrics.words += msg.size_words() as u64;
+                        inboxes[dst_index].push(Envelope { src: src_id, msg });
+                    }
+                }
+                if attempted > self.cap {
+                    self.record(Violation {
+                        round: self.metrics.rounds,
+                        node: src_id,
+                        kind: ViolationKind::SendCapacity { sent: attempted, cap: self.cap },
+                    })?;
+                }
+                self.metrics.max_sent_per_round =
+                    self.metrics.max_sent_per_round.max(attempted);
+            }
+
+            // --- Apply the receive-side capacity policy. ---
+            if self.config.capacity_policy == CapacityPolicy::Queue {
+                for i in 0..self.n {
+                    self.queues[i].extend(inboxes[i].drain(..));
+                    let take = self.queues[i].len().min(self.cap);
+                    inboxes[i].extend(self.queues[i].drain(..take));
+                    self.metrics.max_queue_len =
+                        self.metrics.max_queue_len.max(self.queues[i].len());
+                }
+            } else {
+                for i in 0..self.n {
+                    if inboxes[i].len() > self.cap {
+                        self.record(Violation {
+                            round: self.metrics.rounds,
+                            node: self.ids[i],
+                            kind: ViolationKind::ReceiveCapacity {
+                                received: inboxes[i].len(),
+                                cap: self.cap,
+                            },
+                        })?;
+                    }
+                }
+            }
+
+            // --- Knowledge propagation + delivery metrics. ---
+            for i in 0..self.n {
+                let delivered = inboxes[i].len();
+                self.metrics.max_received_per_round =
+                    self.metrics.max_received_per_round.max(delivered);
+                if self.knowledge.enabled() {
+                    for env in &inboxes[i] {
+                        self.knowledge.learn(i, env.src);
+                        for &a in &env.msg.addrs {
+                            self.knowledge.learn(i, a);
+                        }
+                    }
+                }
+            }
+
+            self.metrics.messages += round_messages;
+            self.metrics.messages_per_round.push(round_messages);
+            self.metrics.rounds += 1;
+            if self.metrics.rounds > self.config.max_rounds {
+                self.poison_all();
+                return Err(SimError::RoundLimitExceeded { limit: self.config.max_rounds });
+            }
+
+            // --- Deliver. ---
+            for i in 0..self.n {
+                if self.alive[i] {
+                    let inbox = std::mem::take(&mut inboxes[i]);
+                    // A send error here means the node thread died abnormally;
+                    // the panic will surface on the next collection pass.
+                    let _ = self.to_nodes[i].send(Delivery::Inbox(inbox));
+                } else if !inboxes[i].is_empty() {
+                    // Messages routed to a node that terminated this very
+                    // round (validation saw it alive). Count as undelivered.
+                    self.metrics.undelivered += inboxes[i].len() as u64;
+                    inboxes[i].clear();
+                }
+            }
+        }
+
+        // Undrained queues mean some protocol stopped listening too early.
+        for q in &self.queues {
+            self.metrics.undelivered += q.len() as u64;
+        }
+        if self.knowledge.enabled() {
+            self.metrics.max_knowledge = (0..self.n)
+                .map(|i| self.knowledge.knowledge_size(i))
+                .max()
+                .unwrap_or(0);
+        }
+        Ok(())
+    }
+
+    /// Validates a single message; returns the destination index on success.
+    fn validate(
+        &self,
+        src_index: usize,
+        src_id: NodeId,
+        dst: NodeId,
+        msg: &Msg,
+    ) -> Result<usize, Violation> {
+        let round = self.metrics.rounds;
+        let fail = |kind| Violation { round, node: src_id, kind };
+        if msg.words.len() > self.config.max_words || msg.addrs.len() > self.config.max_addrs {
+            return Err(fail(ViolationKind::MessageTooLarge {
+                words: msg.words.len(),
+                addrs: msg.addrs.len(),
+            }));
+        }
+        let Some(&dst_index) = self.id_to_index.get(&dst) else {
+            return Err(fail(ViolationKind::NoSuchNode { dst }));
+        };
+        if !self.alive[dst_index] {
+            return Err(fail(ViolationKind::DeadRecipient { dst }));
+        }
+        if !self.knowledge.knows(src_index, dst) {
+            return Err(fail(ViolationKind::UnknownAddressee { dst }));
+        }
+        for &a in &msg.addrs {
+            if !self.knowledge.knows(src_index, a) {
+                return Err(fail(ViolationKind::UnknownCarriedAddress { carried: a }));
+            }
+        }
+        Ok(dst_index)
+    }
+
+    /// Records a violation; fatal under the strict policy.
+    fn record(&mut self, v: Violation) -> Result<(), SimError> {
+        let counts = &mut self.metrics.violations;
+        match v.kind {
+            ViolationKind::SendCapacity { .. } => counts.send_capacity += 1,
+            ViolationKind::ReceiveCapacity { .. } => counts.receive_capacity += 1,
+            ViolationKind::MessageTooLarge { .. } => counts.message_too_large += 1,
+            ViolationKind::UnknownAddressee { .. } => counts.unknown_addressee += 1,
+            ViolationKind::UnknownCarriedAddress { .. } => counts.unknown_carried += 1,
+            ViolationKind::NoSuchNode { .. } | ViolationKind::DeadRecipient { .. } => {
+                counts.bad_recipient += 1
+            }
+        }
+        if self.metrics.violation_samples.len() < VIOLATION_SAMPLE_LIMIT {
+            self.metrics.violation_samples.push(v.clone());
+        }
+        if self.config.capacity_policy == CapacityPolicy::Strict {
+            self.poison_all();
+            return Err(SimError::Violation(v));
+        }
+        Ok(())
+    }
+
+    /// Tells every live node thread to unwind.
+    fn poison_all(&mut self) {
+        for i in 0..self.n {
+            if self.alive[i] {
+                let _ = self.to_nodes[i].send(Delivery::Poison);
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The node-side API: what a simulated node can see and do.
+
+use crate::config::Model;
+use crate::engine::{Delivery, Submission};
+use crate::message::{Envelope, Msg, NodeId};
+use crossbeam::channel::{Receiver, Sender};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Handle through which a node's protocol function interacts with the
+/// network. One round = one call to [`NodeHandle::step`].
+///
+/// The handle exposes exactly the information the NCC model grants a node:
+/// its own ID, `n`, its out-neighbor on the initial knowledge path (NCC0),
+/// or the full ID list (NCC1) — plus a seeded local RNG for Las Vegas
+/// protocols. A node's *position* on the knowledge path is deliberately not
+/// exposed; protocols must compute it (Corollary 2 of the paper).
+pub struct NodeHandle {
+    pub(crate) id: NodeId,
+    pub(crate) index: usize,
+    pub(crate) n: usize,
+    pub(crate) capacity: usize,
+    pub(crate) model: Model,
+    pub(crate) initial_successor: Option<NodeId>,
+    pub(crate) all_ids: Option<Arc<Vec<NodeId>>>,
+    pub(crate) round: u64,
+    pub(crate) to_coord: Sender<Submission>,
+    pub(crate) from_coord: Receiver<Delivery>,
+    pub(crate) rng: SmallRng,
+}
+
+/// Panic payload used to unwind a node thread when the engine poisons it.
+pub(crate) const POISON_PANIC: &str = "__ncc_poison__";
+
+impl NodeHandle {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: NodeId,
+        index: usize,
+        n: usize,
+        capacity: usize,
+        model: Model,
+        initial_successor: Option<NodeId>,
+        all_ids: Option<Arc<Vec<NodeId>>>,
+        seed: u64,
+        to_coord: Sender<Submission>,
+        from_coord: Receiver<Delivery>,
+    ) -> Self {
+        // Derive a per-node RNG stream from the master seed and the node ID.
+        let mix = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        NodeHandle {
+            id,
+            index,
+            n,
+            capacity,
+            model,
+            initial_successor,
+            all_ids,
+            round: 0,
+            to_coord,
+            from_coord,
+            rng: SmallRng::seed_from_u64(mix),
+        }
+    }
+
+    /// This node's ID (its "address").
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Network size. The paper assumes `n` (or a good upper bound) is common
+    /// knowledge.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The per-round send/receive capacity enforced by the engine
+    /// (`Θ(log n)`); a model constant every node knows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The model variant this network runs under.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// Rounds completed so far by this node.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// NCC0 initial knowledge: the ID of this node's out-neighbor (successor)
+    /// on the directed knowledge path `G_k`, or `None` for the path's tail.
+    ///
+    /// Under NCC1 this is also populated (NCC1 strictly dominates NCC0), so
+    /// path-based primitives run unchanged in either model.
+    pub fn initial_successor(&self) -> Option<NodeId> {
+        self.initial_successor
+    }
+
+    /// NCC1 initial knowledge: every node's ID, sorted by ID (so the list
+    /// leaks no information about the path order).
+    ///
+    /// # Panics
+    ///
+    /// Panics under NCC0 — asking for it there is a model violation in the
+    /// protocol's *code*, which we want to fail loudly.
+    pub fn all_ids(&self) -> &[NodeId] {
+        self.all_ids
+            .as_deref()
+            .map(|v| v.as_slice())
+            .expect("all_ids() requires the NCC1 model")
+    }
+
+    /// This node's local randomness (deterministically seeded).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Executes one synchronous round: submits `out` and blocks until the
+    /// coordinator delivers this node's inbox for the round.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with an internal payload) if the engine aborted the run; the
+    /// panic is caught by the runner and surfaced as the engine's error.
+    pub fn step(&mut self, out: Vec<(NodeId, Msg)>) -> Vec<Envelope> {
+        self.to_coord
+            .send(Submission::Step { index: self.index, out })
+            .unwrap_or_else(|_| panic!("{POISON_PANIC}"));
+        match self.from_coord.recv() {
+            Ok(Delivery::Inbox(inbox)) => {
+                self.round += 1;
+                inbox
+            }
+            Ok(Delivery::Poison) | Err(_) => panic!("{POISON_PANIC}"),
+        }
+    }
+
+    /// A round in which this node sends nothing.
+    pub fn idle(&mut self) -> Vec<Envelope> {
+        self.step(Vec::new())
+    }
+
+    /// Runs `rounds` idle rounds, asserting nothing arrives. Used to keep a
+    /// node in lockstep through a collective operation it does not
+    /// participate in.
+    pub fn idle_quiet(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            let inbox = self.idle();
+            debug_assert!(
+                inbox.is_empty(),
+                "node {} expected quiet rounds but received {} messages",
+                self.id,
+                inbox.len()
+            );
+        }
+    }
+
+    /// Sends a single message and returns the round's inbox.
+    pub fn exchange(&mut self, dst: NodeId, msg: Msg) -> Vec<Envelope> {
+        self.step(vec![(dst, msg)])
+    }
+}

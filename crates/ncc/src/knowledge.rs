@@ -1,0 +1,85 @@
+//! KT0 knowledge tracking.
+//!
+//! In NCC0 a node may address only IDs it has *learned*. Knowledge spreads in
+//! exactly two ways: receiving a message reveals the sender's ID, and a
+//! message payload may carry explicit addresses. The engine maintains each
+//! node's knowledge set and checks every outgoing message against it, so a
+//! clean strict run is a machine-checked proof that the protocol is a legal
+//! NCC0 algorithm.
+
+use crate::message::NodeId;
+use std::collections::HashSet;
+
+/// Per-node knowledge sets, indexed by the engine's dense node index.
+#[derive(Debug)]
+pub struct KnowledgeTracker {
+    sets: Vec<HashSet<NodeId>>,
+    enabled: bool,
+}
+
+impl KnowledgeTracker {
+    /// Creates a tracker for `n` nodes. When `enabled` is false all queries
+    /// answer "known" and no memory is spent.
+    pub fn new(n: usize, enabled: bool) -> Self {
+        KnowledgeTracker {
+            sets: if enabled { vec![HashSet::new(); n] } else { Vec::new() },
+            enabled,
+        }
+    }
+
+    /// Whether tracking is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Grants `node` knowledge of `id` (initial knowledge or learning).
+    pub fn learn(&mut self, node: usize, id: NodeId) {
+        if self.enabled {
+            self.sets[node].insert(id);
+        }
+    }
+
+    /// Does `node` know `id`?
+    pub fn knows(&self, node: usize, id: NodeId) -> bool {
+        !self.enabled || self.sets[node].contains(&id)
+    }
+
+    /// Number of IDs `node` has learned (0 when tracking is off).
+    pub fn knowledge_size(&self, node: usize) -> usize {
+        if self.enabled {
+            self.sets[node].len()
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracker_knows_everything() {
+        let t = KnowledgeTracker::new(4, false);
+        assert!(t.knows(0, 999));
+        assert_eq!(t.knowledge_size(0), 0);
+    }
+
+    #[test]
+    fn learning_is_per_node() {
+        let mut t = KnowledgeTracker::new(2, true);
+        t.learn(0, 7);
+        assert!(t.knows(0, 7));
+        assert!(!t.knows(1, 7));
+        assert_eq!(t.knowledge_size(0), 1);
+        assert_eq!(t.knowledge_size(1), 0);
+    }
+
+    #[test]
+    fn learning_is_idempotent() {
+        let mut t = KnowledgeTracker::new(1, true);
+        t.learn(0, 7);
+        t.learn(0, 7);
+        assert_eq!(t.knowledge_size(0), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Simulator for the **node-capacitated clique** (NCC) model of distributed
+//! computing, as defined in *Distributed Graph Realizations* (Augustine,
+//! Choudhary, Cohen, Peleg, Sivasubramaniam, Sourav — IPDPS 2020) and
+//! originally introduced by Augustine et al. (SPAA 2019).
+//!
+//! # The model
+//!
+//! The network consists of `n` nodes with unique IDs drawn from a space much
+//! larger than `n`. Computation proceeds in **synchronous rounds**. In every
+//! round each node may send at most `cap = Θ(log n)` messages of `O(log n)`
+//! bits each, and receive at most `cap` messages. A node `u` can address a
+//! message to `v` only if `u` *knows* `v`'s ID (think of the ID as `v`'s IP
+//! address).
+//!
+//! Two variants differ in the initial knowledge:
+//!
+//! * **NCC1** (the SPAA'19 model, KT1-like): every node knows every other
+//!   node's ID from the start.
+//! * **NCC0** (KT0-like): each node initially knows only the IDs of its
+//!   out-neighbors in a directed *initial knowledge graph* `G_k`; following
+//!   the paper, `G_k` is a directed path over the `n` nodes in an arbitrary
+//!   (here: seeded random) order.
+//!
+//! # The simulator
+//!
+//! Each simulated node runs its protocol as ordinary straight-line Rust on a
+//! dedicated OS thread; a coordinator thread implements the synchronous round
+//! barrier, routes messages, enforces the capacity and knowledge constraints,
+//! and gathers metrics. Protocols are written in *direct style*:
+//!
+//! ```
+//! use dgr_ncc::{Config, Msg, Network, tags};
+//!
+//! // Every node learns its predecessor on the knowledge path (the paper's
+//! // "undirecting" step): each node sends its ID to its successor.
+//! let result = Network::new(8, Config::ncc0(42)).run(|h| {
+//!     let out = h
+//!         .initial_successor()
+//!         .map(|succ| (succ, Msg::addr(tags::GENERIC, h.id())))
+//!         .into_iter()
+//!         .collect();
+//!     let inbox = h.step(out);
+//!     inbox.first().map(|env| env.src) // my predecessor, if any
+//! }).unwrap();
+//! assert_eq!(result.metrics.rounds, 1);
+//! // Exactly one node (the head of the path) has no predecessor.
+//! assert_eq!(result.outputs.iter().filter(|(_, p)| p.is_none()).count(), 1);
+//! ```
+//!
+//! All runs are deterministic given [`Config::seed`]: node-local randomness is
+//! derived from the seed and the node ID, and message routing is performed in
+//! a canonical order.
+
+mod config;
+mod engine;
+mod error;
+mod handle;
+mod knowledge;
+mod message;
+mod metrics;
+mod network;
+
+pub use config::{CapacityPolicy, Config, IdAssignment, Model};
+pub use error::{SimError, Violation, ViolationKind};
+pub use handle::NodeHandle;
+pub use message::{tags, Envelope, Msg, NodeId};
+pub use metrics::{RunMetrics, ViolationCounts};
+pub use network::{Network, RunResult};
+
+/// Computes the per-round send/receive capacity for an `n`-node network:
+/// `max(min_capacity, ceil(factor * log2(n)))` messages per node per round.
+///
+/// This is the `O(log n)` bound of the NCC model made concrete; the constants
+/// are part of [`Config`].
+pub fn capacity_for(n: usize, factor: f64, min_capacity: usize) -> usize {
+    let lg = (n.max(2) as f64).log2();
+    let cap = (factor * lg).ceil() as usize;
+    cap.max(min_capacity).max(1)
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::capacity_for;
+
+    #[test]
+    fn grows_logarithmically() {
+        assert_eq!(capacity_for(2, 1.0, 1), 1);
+        assert_eq!(capacity_for(1024, 1.0, 1), 10);
+        assert_eq!(capacity_for(1 << 20, 1.0, 1), 20);
+    }
+
+    #[test]
+    fn respects_minimum() {
+        assert_eq!(capacity_for(2, 1.0, 4), 4);
+        assert_eq!(capacity_for(1024, 2.0, 4), 20);
+    }
+
+    #[test]
+    fn never_zero() {
+        assert_eq!(capacity_for(1, 0.0, 0), 1);
+    }
+}

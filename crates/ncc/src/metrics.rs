@@ -1,0 +1,125 @@
+//! Round/message metrics gathered by the engine.
+//!
+//! The theorems in the paper are statements about *rounds* (and implicitly
+//! about message budgets), so the metrics are the primary experimental
+//! output of every run — the simulator is the measurement instrument.
+
+use crate::error::Violation;
+
+/// Counters for the different violation kinds (meaningful under
+/// [`CapacityPolicy::Record`](crate::CapacityPolicy::Record), where runs
+/// continue past violations).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ViolationCounts {
+    /// Send-capacity overshoots.
+    pub send_capacity: u64,
+    /// Receive-capacity overshoots.
+    pub receive_capacity: u64,
+    /// Oversized messages.
+    pub message_too_large: u64,
+    /// KT0 addressing violations.
+    pub unknown_addressee: u64,
+    /// KT0 carried-address violations.
+    pub unknown_carried: u64,
+    /// Sends to nonexistent or terminated nodes.
+    pub bad_recipient: u64,
+}
+
+impl ViolationCounts {
+    /// Total number of recorded violations.
+    pub fn total(&self) -> u64 {
+        self.send_capacity
+            + self.receive_capacity
+            + self.message_too_large
+            + self.unknown_addressee
+            + self.unknown_carried
+            + self.bad_recipient
+    }
+}
+
+/// Aggregate metrics of a completed run.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Number of synchronous rounds executed.
+    pub rounds: u64,
+    /// Total messages delivered over the whole run.
+    pub messages: u64,
+    /// Total message volume in machine words (tag + words + addrs).
+    pub words: u64,
+    /// Maximum messages sent by any single node in any single round.
+    pub max_sent_per_round: usize,
+    /// Maximum messages delivered to any single node in any single round.
+    pub max_received_per_round: usize,
+    /// Maximum length any receive queue reached (only non-zero under the
+    /// [`Queue`](crate::CapacityPolicy::Queue) policy).
+    pub max_queue_len: usize,
+    /// Messages still undelivered when the run ended (queued for terminated
+    /// nodes; indicates a protocol that stopped listening too early).
+    pub undelivered: u64,
+    /// The per-round capacity that was enforced.
+    pub capacity: usize,
+    /// Largest knowledge set any node accumulated (0 when tracking is off).
+    /// This is the information-theoretic quantity behind the paper's lower
+    /// bounds: realizing a heavy node forces it to learn many IDs.
+    pub max_knowledge: usize,
+    /// Violation counters (all zero on a clean strict run).
+    pub violations: ViolationCounts,
+    /// Sample of concrete violations (first few, for diagnostics).
+    pub violation_samples: Vec<Violation>,
+    /// Messages delivered per round (index = round). Enables congestion
+    /// profiles over time.
+    pub messages_per_round: Vec<u64>,
+}
+
+impl RunMetrics {
+    /// True when the run obeyed every model constraint.
+    pub fn is_clean(&self) -> bool {
+        self.violations.total() == 0 && self.undelivered == 0
+    }
+
+    /// Average messages per round (0 for an empty run).
+    pub fn avg_messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_all_kinds() {
+        let v = ViolationCounts {
+            send_capacity: 1,
+            receive_capacity: 2,
+            message_too_large: 3,
+            unknown_addressee: 4,
+            unknown_carried: 5,
+            bad_recipient: 6,
+        };
+        assert_eq!(v.total(), 21);
+    }
+
+    #[test]
+    fn clean_run_detection() {
+        let mut m = RunMetrics::default();
+        assert!(m.is_clean());
+        m.undelivered = 1;
+        assert!(!m.is_clean());
+        m.undelivered = 0;
+        m.violations.send_capacity = 1;
+        assert!(!m.is_clean());
+    }
+
+    #[test]
+    fn average_is_safe_on_empty() {
+        let m = RunMetrics::default();
+        assert_eq!(m.avg_messages_per_round(), 0.0);
+        let m = RunMetrics { rounds: 4, messages: 10, ..Default::default() };
+        assert!((m.avg_messages_per_round() - 2.5).abs() < 1e-12);
+    }
+}

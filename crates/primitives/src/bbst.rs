@@ -1,0 +1,342 @@
+//! Balanced binary *search* tree on a virtual path — Algorithm 1 of the
+//! paper (§3.1.1, Theorem 1, Figure 2).
+//!
+//! The paper first builds the structure `L`: level `L_0` is the path itself
+//! and level `L_i` splits every level-`(i-1)` path into its odd- and
+//! even-position sub-paths. A node's neighbors at level `i` are therefore
+//! exactly the nodes `2^i` positions away on the original path — i.e. **the
+//! structure `L` is the power-of-two contact table** ([`crate::contacts`]),
+//! which we reuse directly.
+//!
+//! The tree is then produced by the *controlled BFS* of Algorithm 1: the
+//! path's head is the root; iterating levels from high to low, every node in
+//! `S_p` with a level-`i` predecessor invites it as its left child, every
+//! node in `S_s` with a level-`i` successor invites it as its right child,
+//! and invited nodes not yet in the tree accept exactly one invitation.
+//!
+//! Guarantees (Theorem 1): the result is a binary tree of height at most
+//! `⌈log n⌉ + 1` whose inorder traversal is the original path order — a
+//! balanced binary *search* tree over path positions, built in `O(log n)`
+//! rounds.
+
+use crate::contacts::ContactTable;
+use crate::vpath::VPath;
+use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+
+/// Which side of its parent a node hangs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// The node precedes its parent on the path.
+    Left,
+    /// The node succeeds its parent on the path.
+    Right,
+}
+
+/// One node's view of the balanced binary search tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bbst {
+    /// True for the tree's root (the path's head).
+    pub is_root: bool,
+    /// Parent ID (None for the root and for non-members).
+    pub parent: Option<NodeId>,
+    /// Which child of the parent this node is.
+    pub side: Option<Side>,
+    /// Left child, if any.
+    pub left: Option<NodeId>,
+    /// Right child, if any.
+    pub right: Option<NodeId>,
+    /// Distance from the root (root = 0).
+    pub depth: u64,
+    /// Is this node a tree member (i.e. was it a path member)?
+    pub member: bool,
+}
+
+impl Bbst {
+    fn non_member() -> Self {
+        Bbst {
+            is_root: false,
+            parent: None,
+            side: None,
+            left: None,
+            right: None,
+            depth: 0,
+            member: false,
+        }
+    }
+
+    /// Number of children (0, 1 or 2).
+    pub fn child_count(&self) -> usize {
+        usize::from(self.left.is_some()) + usize::from(self.right.is_some())
+    }
+
+    /// Upper bound on the tree depth for a path of `len` nodes
+    /// (Theorem 1: height ≤ `⌈log n⌉ + 1`).
+    pub fn depth_bound(len: usize) -> u64 {
+        crate::levels_for(len) as u64 + 1
+    }
+}
+
+/// Number of rounds [`build`] takes on a path of `len` nodes: two rounds
+/// (invite + accept) per doubling level.
+pub fn rounds_for(len: usize) -> u64 {
+    2 * crate::levels_for(len) as u64
+}
+
+/// Round budget for one full sweep of the tree (root-to-leaves or
+/// leaves-to-root) on a path of `len` nodes: the Theorem-1 depth bound plus
+/// one completion round.
+pub fn sweep_rounds(len: usize) -> u64 {
+    Bbst::depth_bound(len) + 1
+}
+
+/// Builds the balanced binary search tree by controlled BFS (Algorithm 1).
+/// Requires the contact table for the same path. Non-members idle.
+///
+/// Rounds: exactly [`rounds_for`]`(vp.len)`.
+pub fn build(h: &mut NodeHandle, vp: &VPath, contacts: &ContactTable) -> Bbst {
+    let levels = vp.levels();
+    if !vp.member {
+        h.idle_quiet(rounds_for(vp.len));
+        return Bbst::non_member();
+    }
+
+    let mut tree = Bbst {
+        is_root: vp.is_head(),
+        parent: None,
+        side: None,
+        left: None,
+        right: None,
+        depth: 0,
+        member: true,
+    };
+    let mut in_tree = tree.is_root;
+    // S_p / S_s membership: the root starts in both (Algorithm 1 line 1).
+    let mut in_sp = tree.is_root;
+    let mut in_ss = tree.is_root;
+
+    // `level_neighbor(i, …)`: this node's predecessor/successor at level
+    // L_i of the structure L = its contact 2^i away on the path.
+    let pred_at = |i: usize| -> Option<NodeId> {
+        if i == 0 {
+            vp.pred
+        } else {
+            contacts.behind(i)
+        }
+    };
+    let succ_at = |i: usize| -> Option<NodeId> {
+        if i == 0 {
+            vp.succ
+        } else {
+            contacts.ahead(i)
+        }
+    };
+
+    for i in (0..levels).rev() {
+        // --- Invitation round (Algorithm 1 lines 3-10). ---
+        let mut out = Vec::new();
+        if in_sp {
+            if let Some(p) = pred_at(i) {
+                out.push((p, Msg::word(tags::INVITE_LEFT, tree.depth + 1)));
+                in_sp = false;
+            }
+        }
+        if in_ss {
+            if let Some(s) = succ_at(i) {
+                out.push((s, Msg::word(tags::INVITE_RIGHT, tree.depth + 1)));
+                in_ss = false;
+            }
+        }
+        let inbox = h.step(out);
+
+        // --- Acceptance round (lines 11-15). ---
+        let mut out = Vec::new();
+        if !in_tree {
+            let mut invites: Vec<_> = inbox
+                .iter()
+                .filter(|e| {
+                    e.msg.tag == tags::INVITE_LEFT || e.msg.tag == tags::INVITE_RIGHT
+                })
+                .collect();
+            // Deterministic choice among simultaneous invitations: prefer
+            // becoming a left child, then the smaller inviter ID. (At most
+            // one invite of each kind can arrive per iteration, since the
+            // level-i predecessor/successor are unique.)
+            invites.sort_by_key(|e| (e.msg.tag != tags::INVITE_LEFT, e.src));
+            if let Some(env) = invites.first() {
+                let side = if env.msg.tag == tags::INVITE_LEFT {
+                    Side::Left
+                } else {
+                    Side::Right
+                };
+                tree.parent = Some(env.src);
+                tree.side = Some(side);
+                tree.depth = env.word();
+                in_tree = true;
+                in_sp = true;
+                in_ss = true;
+                let side_word = match side {
+                    Side::Left => 0,
+                    Side::Right => 1,
+                };
+                out.push((env.src, Msg::word(tags::ACCEPT, side_word)));
+            }
+        }
+        let inbox = h.step(out);
+        for env in inbox.iter().filter(|e| e.msg.tag == tags::ACCEPT) {
+            match env.word() {
+                0 => tree.left = Some(env.src),
+                1 => tree.right = Some(env.src),
+                other => unreachable!("bad accept side word {other}"),
+            }
+        }
+    }
+
+    debug_assert!(in_tree, "node {} never joined the BFS tree", h.id());
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{contacts, vpath};
+    use dgr_ncc::{Config, Network, RunResult};
+    use std::collections::HashMap;
+
+    fn build_tree(n: usize, seed: u64) -> RunResult<Bbst> {
+        let net = Network::new(n, Config::ncc0(seed));
+        net.run(|h| {
+            let vp = vpath::undirect(h);
+            let ct = contacts::build(h, &vp);
+            build(h, &vp, &ct)
+        })
+        .unwrap()
+    }
+
+    /// Recovers the inorder traversal of the tree from the per-node views.
+    fn inorder(result: &RunResult<Bbst>) -> Vec<NodeId> {
+        let view: HashMap<NodeId, &Bbst> =
+            result.outputs.iter().map(|(id, b)| (*id, b)).collect();
+        let root = result
+            .outputs
+            .iter()
+            .find(|(_, b)| b.is_root)
+            .map(|(id, _)| *id)
+            .expect("no root");
+        let mut order = Vec::new();
+        fn walk(
+            id: NodeId,
+            view: &HashMap<NodeId, &Bbst>,
+            order: &mut Vec<NodeId>,
+        ) {
+            let b = view[&id];
+            if let Some(l) = b.left {
+                walk(l, view, order);
+            }
+            order.push(id);
+            if let Some(r) = b.right {
+                walk(r, view, order);
+            }
+        }
+        walk(root, &view, &mut order);
+        order
+    }
+
+    fn check(n: usize, seed: u64) {
+        let result = build_tree(n, seed);
+        assert!(result.metrics.is_clean(), "n={n}: violations");
+        // Theorem 1: inorder traversal recovers G_k.
+        assert_eq!(inorder(&result), result.gk_order(), "n={n} inorder");
+        // Theorem 1: height bound and structural sanity.
+        let bound = Bbst::depth_bound(n);
+        let mut roots = 0;
+        for (_, b) in &result.outputs {
+            assert!(b.depth <= bound, "n={n}: depth {} > {bound}", b.depth);
+            roots += usize::from(b.is_root);
+            if !b.is_root {
+                assert!(b.parent.is_some());
+            }
+        }
+        assert_eq!(roots, 1);
+        // Parent/child views agree.
+        let view: HashMap<NodeId, &Bbst> =
+            result.outputs.iter().map(|(id, b)| (*id, b)).collect();
+        for (id, b) in &result.outputs {
+            if let Some(l) = b.left {
+                assert_eq!(view[&l].parent, Some(*id));
+                assert_eq!(view[&l].side, Some(Side::Left));
+                assert_eq!(view[&l].depth, b.depth + 1);
+            }
+            if let Some(r) = b.right {
+                assert_eq!(view[&r].parent, Some(*id));
+                assert_eq!(view[&r].side, Some(Side::Right));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_small_sizes() {
+        for n in 1..=17 {
+            check(n, 42 + n as u64);
+        }
+    }
+
+    #[test]
+    fn theorem1_medium_sizes() {
+        for &n in &[31, 32, 33, 63, 64, 100, 127, 128, 200, 255, 256] {
+            check(n, n as u64);
+        }
+    }
+
+    #[test]
+    fn theorem1_round_count_is_logarithmic() {
+        let result = build_tree(256, 1);
+        // 1 (undirect) + (levels-1) (contacts) + 2*levels (BFS).
+        let levels = crate::levels_for(256) as u64;
+        assert_eq!(result.metrics.rounds, 1 + (levels - 1) + 2 * levels);
+    }
+
+    /// Figure 2 of the paper: the BBST built on the path 1..8 (sequential
+    /// IDs along G_k). Expected tree: 1 is the root with right child 5;
+    /// 5 has children 3 and 7; 3 has children 2 and 4; 7 has 6 and 8.
+    #[test]
+    fn fig2_exact_shape() {
+        let net = Network::new(8, Config::ncc0(0).with_sequential_ids());
+        let result = net
+            .run(|h| {
+                let vp = vpath::undirect(h);
+                let ct = contacts::build(h, &vp);
+                build(h, &vp, &ct)
+            })
+            .unwrap();
+        let view: HashMap<NodeId, &Bbst> =
+            result.outputs.iter().map(|(id, b)| (*id, b)).collect();
+        assert!(view[&1].is_root);
+        assert_eq!(view[&1].left, None);
+        assert_eq!(view[&1].right, Some(5));
+        assert_eq!(view[&5].left, Some(3));
+        assert_eq!(view[&5].right, Some(7));
+        assert_eq!(view[&3].left, Some(2));
+        assert_eq!(view[&3].right, Some(4));
+        assert_eq!(view[&7].left, Some(6));
+        assert_eq!(view[&7].right, Some(8));
+        for leaf in [2, 4, 6, 8] {
+            assert_eq!(view[&leaf].child_count(), 0);
+        }
+        // Height ⌈log 8⌉ + 1 = 4 (i.e. max depth 3).
+        assert_eq!(
+            result.outputs.iter().map(|(_, b)| b.depth).max().unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn single_and_pair() {
+        let r = build_tree(1, 9);
+        assert!(r.outputs[0].1.is_root);
+        assert_eq!(r.outputs[0].1.child_count(), 0);
+        let r = build_tree(2, 9);
+        let order = r.gk_order();
+        assert!(r.output_of(order[0]).unwrap().is_root);
+        assert_eq!(r.output_of(order[0]).unwrap().right, Some(order[1]));
+    }
+}

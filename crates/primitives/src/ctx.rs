@@ -1,0 +1,96 @@
+//! [`PathCtx`]: the bundle of structures every algorithm establishes on a
+//! path before doing real work — contact table, BBST and positions.
+
+use crate::bbst::{self, Bbst};
+use crate::contacts::{self, ContactTable};
+use crate::traversal::{self, Traversal};
+use crate::vpath::{self, VPath};
+use dgr_ncc::NodeHandle;
+
+/// Everything a node knows about one virtual path after the standard
+/// `O(log n)`-round setup: the path view itself, its power-of-two contacts,
+/// the balanced binary search tree, and its exact position.
+#[derive(Clone, Debug)]
+pub struct PathCtx {
+    /// The path view this context was built on.
+    pub vp: VPath,
+    /// Power-of-two contacts along the path.
+    pub contacts: ContactTable,
+    /// The balanced binary search tree (Algorithm 1).
+    pub tree: Bbst,
+    /// This node's position on the path (inorder number, Corollary 2).
+    pub position: usize,
+    /// Full traversal data (subtree sizes).
+    pub traversal: Traversal,
+}
+
+/// Rounds for [`PathCtx::establish_on`] on a path of `len` nodes.
+pub fn rounds_on(len: usize) -> u64 {
+    contacts::rounds_for(len) + bbst::rounds_for(len) + traversal::rounds_for(len)
+}
+
+/// Rounds for [`PathCtx::establish`] (includes the 1-round undirection).
+pub fn rounds_for(len: usize) -> u64 {
+    1 + rounds_on(len)
+}
+
+impl PathCtx {
+    /// Establishes the full context on the physical knowledge path `G_k`:
+    /// undirection, contact table, BBST, positions.
+    ///
+    /// Rounds: exactly [`rounds_for`]`(h.n())`.
+    pub fn establish(h: &mut NodeHandle) -> PathCtx {
+        let vp = vpath::undirect(h);
+        Self::establish_on(h, vp)
+    }
+
+    /// Establishes the context on an arbitrary, already-linked virtual path
+    /// (e.g. a sorted path or a sorted-path prefix). Non-members idle.
+    ///
+    /// Rounds: exactly [`rounds_on`]`(vp.len)`.
+    pub fn establish_on(h: &mut NodeHandle, vp: VPath) -> PathCtx {
+        let contacts = contacts::build(h, &vp);
+        let tree = bbst::build(h, &vp, &contacts);
+        let traversal = traversal::positions(h, &vp, &tree);
+        PathCtx {
+            position: traversal.position,
+            vp,
+            contacts,
+            tree,
+            traversal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_ncc::{Config, Network};
+
+    #[test]
+    fn establish_round_budget_matches() {
+        let n = 48;
+        let net = Network::new(n, Config::ncc0(21));
+        let result = net
+            .run(|h| {
+                let ctx = PathCtx::establish(h);
+                (h.round(), ctx.position)
+            })
+            .unwrap();
+        assert!(result.metrics.is_clean());
+        for (i, (_, (rounds, pos))) in result.outputs.iter().enumerate() {
+            assert_eq!(*rounds, rounds_for(n));
+            assert_eq!(*pos, i);
+        }
+    }
+
+    #[test]
+    fn establish_is_o_log_n_rounds() {
+        // The total setup cost grows logarithmically: quadrupling n adds
+        // only a constant number of levels' worth of rounds.
+        let r1 = rounds_for(64);
+        let r2 = rounds_for(256);
+        assert!(r2 > r1);
+        assert!(r2 - r1 <= 14, "setup rounds grew too fast: {r1} -> {r2}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Interval multicast: a source delivers a payload to a contiguous range of
+//! ranks *adjacent to itself* on a virtual path, in `O(log n)` rounds via
+//! doubling cover — our congestion-free substitute for the butterfly
+//! multicast of Theorem 7 (see `DESIGN.md` §4).
+//!
+//! The realization algorithms only ever multicast to contiguous rank
+//! intervals headed (or tailed) by the source: Algorithm 3's groups are
+//! `[i, i+δ]` with source `t_i` at rank `i`; Algorithm 6 phase 2 covers the
+//! `ρ(x_i)` *predecessors* of `x_i`. Where the paper needs a source to reach
+//! a distant interval (Algorithms 4/5), our implementations first re-sort so
+//! that every group becomes contiguous with its source at its head — after
+//! which this primitive applies directly.
+//!
+//! Cover protocol ("after" side): a node at rank `r` responsible for the
+//! `c` ranks after it jumps its payload to the contact `2^k` ahead
+//! (`2^k = ⌊c⌋₂`, the largest power of two ≤ c), delegating the trailing
+//! `c - 2^k` ranks, and keeps the leading `2^k - 1`. Both residues are less
+//! than `2^k`, so the responsibility halves every round: `O(log c)` rounds,
+//! at most one send and one receive per node per round as long as different
+//! sources' intervals are disjoint.
+
+use crate::contacts::ContactTable;
+use crate::vpath::VPath;
+use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+
+/// Which side of the source the covered interval lies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoverSide {
+    /// Cover the `count` ranks immediately after the source.
+    After,
+    /// Cover the `count` ranks immediately before the source.
+    Before,
+}
+
+/// A multicast payload: one address (typically the source's ID — this is
+/// how realization edges are announced) plus one data word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Payload {
+    /// Address carried to every covered node.
+    pub addr: NodeId,
+    /// Data word carried to every covered node.
+    pub word: u64,
+}
+
+/// Number of rounds [`interval_multicast`] takes on a path of `len` nodes.
+pub fn rounds_for(len: usize) -> u64 {
+    crate::levels_for(len) as u64 + 1
+}
+
+/// Runs one interval-multicast epoch. `task` is `Some` at sources:
+/// `(side, count, payload)` covers the `count` ranks adjacent to this node
+/// on `side`. Intervals of distinct sources must be disjoint and must not
+/// contain any source. Returns the payload this node received, if any.
+///
+/// Rounds: exactly [`rounds_for`]`(vp.len)`.
+pub fn interval_multicast(
+    h: &mut NodeHandle,
+    vp: &VPath,
+    contacts: &ContactTable,
+    task: Option<(CoverSide, usize, Payload)>,
+) -> Option<Payload> {
+    let rounds = rounds_for(vp.len);
+    if !vp.member {
+        h.idle_quiet(rounds);
+        return None;
+    }
+    // (side, remaining count, payload) this node is responsible for.
+    let mut duty: Option<(CoverSide, usize, Payload)> = task.filter(|t| t.1 > 0);
+    let mut received: Option<Payload> = None;
+    for _ in 0..rounds {
+        let mut out = Vec::new();
+        if let Some((side, count, payload)) = duty {
+            debug_assert!(count >= 1);
+            let k = usize::BITS as usize - 1 - count.leading_zeros() as usize;
+            let forward = side == CoverSide::After;
+            let target = contacts
+                .at_offset(k, forward)
+                .expect("interval multicast ran off the path");
+            let delegated = count - (1 << k);
+            let side_word = match side {
+                CoverSide::After => 0u64,
+                CoverSide::Before => 1,
+            };
+            out.push((
+                target,
+                Msg::addr_words(
+                    tags::IMCAST,
+                    payload.addr,
+                    vec![payload.word, delegated as u64, side_word],
+                ),
+            ));
+            let keep = (1 << k) - 1;
+            duty = (keep > 0).then_some((side, keep, payload));
+        }
+        let inbox = h.step(out);
+        for env in inbox.iter().filter(|e| e.msg.tag == tags::IMCAST) {
+            debug_assert!(received.is_none(), "overlapping multicast intervals");
+            let payload = Payload { addr: env.addr(), word: env.msg.words[0] };
+            received = Some(payload);
+            let delegated = env.msg.words[1] as usize;
+            let side = if env.msg.words[2] == 0 {
+                CoverSide::After
+            } else {
+                CoverSide::Before
+            };
+            debug_assert!(duty.is_none(), "covered node already had a duty");
+            duty = (delegated > 0).then_some((side, delegated, payload));
+        }
+    }
+    debug_assert!(duty.is_none(), "multicast round budget too small");
+    received
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::PathCtx;
+    use dgr_ncc::{Config, Network};
+
+    /// Disjoint groups of width w: source at rank q*w covers the w-1 ranks
+    /// after it; every covered node must learn the source's ID.
+    fn check_after(n: usize, w: usize, seed: u64) {
+        let net = Network::new(n, Config::ncc0(seed));
+        let result = net
+            .run(move |h| {
+                let ctx = PathCtx::establish(h);
+                let r = ctx.position;
+                let task = r.is_multiple_of(w).then(|| {
+                    let count = (w - 1).min(n - 1 - r);
+                    (CoverSide::After, count, Payload { addr: h.id(), word: r as u64 })
+                });
+                let got = interval_multicast(h, &ctx.vp, &ctx.contacts, task);
+                (r, got)
+            })
+            .unwrap();
+        assert!(result.metrics.is_clean(), "n={n} w={w}");
+        let order = result.gk_order();
+        for (_, (r, got)) in &result.outputs {
+            if r % w == 0 {
+                assert_eq!(*got, None, "source must not receive");
+            } else {
+                let src_rank = (r / w) * w;
+                let want = Payload { addr: order[src_rank], word: src_rank as u64 };
+                assert_eq!(*got, Some(want), "n={n} w={w} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_after_groups() {
+        check_after(40, 5, 61);
+        check_after(64, 8, 62);
+        check_after(37, 7, 63);
+        check_after(16, 16, 64);
+        check_after(9, 1, 65); // every node a source, nothing covered
+    }
+
+    #[test]
+    fn before_side_covers_predecessors() {
+        // The tail covers the whole rest of the path backwards.
+        let n = 23;
+        let net = Network::new(n, Config::ncc0(66));
+        let result = net
+            .run(move |h| {
+                let ctx = PathCtx::establish(h);
+                let task = (ctx.position == n - 1).then(|| {
+                    (CoverSide::Before, n - 1, Payload { addr: h.id(), word: 9 })
+                });
+                interval_multicast(h, &ctx.vp, &ctx.contacts, task)
+            })
+            .unwrap();
+        assert!(result.metrics.is_clean());
+        let tail = *result.gk_order().last().unwrap();
+        for (id, got) in &result.outputs {
+            if *id == tail {
+                assert_eq!(*got, None);
+            } else {
+                assert_eq!(*got, Some(Payload { addr: tail, word: 9 }));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_count_task_is_a_noop() {
+        let net = Network::new(8, Config::ncc0(67));
+        let result = net
+            .run(|h| {
+                let ctx = PathCtx::establish(h);
+                let task =
+                    Some((CoverSide::After, 0, Payload { addr: h.id(), word: 0 }));
+                interval_multicast(h, &ctx.vp, &ctx.contacts, task)
+            })
+            .unwrap();
+        assert!(result.outputs.iter().all(|(_, got)| got.is_none()));
+    }
+}

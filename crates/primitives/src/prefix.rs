@@ -1,0 +1,103 @@
+//! Distributed prefix sums along a virtual path by pointer doubling —
+//! the `O(log n)`-round computation behind the tree-realization algorithms
+//! (Algorithms 4 and 5 compute prefix sums `p_i` over sorted degrees).
+//!
+//! The classic parallel-prefix invariant: after step `k`, node at position
+//! `r` holds the sum of values at positions `(r - 2^k, r]`. At step `k` each
+//! node sends its running sum to the node `2^k` ahead, which adds it.
+//! `⌈log n⌉` steps, one message per node per round.
+
+use crate::contacts::ContactTable;
+use crate::vpath::VPath;
+use dgr_ncc::{tags, Msg, NodeHandle};
+
+/// Number of rounds [`prefix_sum`] takes on a path of `len` nodes.
+pub fn rounds_for(len: usize) -> u64 {
+    crate::levels_for(len) as u64
+}
+
+/// Computes the *inclusive* prefix sum of `value` along the path: the
+/// returned number at the node of position `r` is `Σ value_i` over positions
+/// `i ≤ r`. Non-members idle and return 0.
+///
+/// Rounds: exactly [`rounds_for`]`(vp.len)`.
+pub fn prefix_sum(
+    h: &mut NodeHandle,
+    vp: &VPath,
+    contacts: &ContactTable,
+    value: u64,
+) -> u64 {
+    let levels = vp.levels();
+    if !vp.member {
+        h.idle_quiet(rounds_for(vp.len));
+        return 0;
+    }
+    let mut acc = value;
+    for k in 0..levels {
+        let out = contacts
+            .ahead(k)
+            .map(|t| (t, Msg::word(tags::PREFIX, acc)))
+            .into_iter()
+            .collect();
+        let inbox = h.step(out);
+        for env in inbox.iter().filter(|e| e.msg.tag == tags::PREFIX) {
+            acc += env.word();
+        }
+    }
+    acc
+}
+
+/// Exclusive prefix sum: sum of `value` over positions strictly before this
+/// node. Convenience wrapper over [`prefix_sum`].
+pub fn prefix_sum_exclusive(
+    h: &mut NodeHandle,
+    vp: &VPath,
+    contacts: &ContactTable,
+    value: u64,
+) -> u64 {
+    prefix_sum(h, vp, contacts, value) - if vp.member { value } else { 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::PathCtx;
+    use dgr_ncc::{Config, Network};
+
+    #[test]
+    fn inclusive_prefix_sums_are_exact() {
+        for &n in &[1usize, 2, 3, 7, 16, 33, 100] {
+            let net = Network::new(n, Config::ncc0(31));
+            let result = net
+                .run(|h| {
+                    let ctx = PathCtx::establish(h);
+                    let v = (ctx.position as u64 % 5) + 1;
+                    (v, prefix_sum(h, &ctx.vp, &ctx.contacts, v))
+                })
+                .unwrap();
+            assert!(result.metrics.is_clean());
+            let mut running = 0;
+            for (_, (v, got)) in &result.outputs {
+                running += v;
+                assert_eq!(*got, running, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_prefix_shifts_by_own_value() {
+        let net = Network::new(20, Config::ncc0(32));
+        let result = net
+            .run(|h| {
+                let ctx = PathCtx::establish(h);
+                let v = ctx.position as u64;
+                prefix_sum_exclusive(h, &ctx.vp, &ctx.contacts, v)
+            })
+            .unwrap();
+        let mut running = 0u64;
+        for (i, (_, got)) in result.outputs.iter().enumerate() {
+            assert_eq!(*got, running);
+            running += i as u64;
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Distributed sorting into a *sorted path* — the Theorem 3 primitive.
+//!
+//! The paper sorts by recursively merging sorted sub-paths with median
+//! splitting (`O(log³ n)` rounds). We substitute a **Batcher odd-even
+//! mergesort network** over path positions, which achieves the same
+//! primitive contract in `O(log² n)` rounds (see `DESIGN.md` §4):
+//!
+//! * every comparator connects two positions a power-of-two apart, so the
+//!   [`ContactTable`] provides the addressing;
+//! * every comparator points the same way (minimum to the lower position),
+//!   so the network is correct for arbitrary `n` with no virtual padding;
+//! * records `(key, origin)` migrate between positions; the nodes
+//!   themselves never move.
+//!
+//! A 2-round epilogue then tells each record's origin its *rank* and the IDs
+//! of its sorted predecessor/successor — producing a new [`VPath`] in sorted
+//! order, on which every other primitive (contacts, BBST, multicast,
+//! prefix sums) can be established. This "sorted path handle" is exactly
+//! what the realization algorithms consume.
+
+use crate::contacts::ContactTable;
+use crate::vpath::VPath;
+use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+
+/// Sort direction. The paper's algorithms sort by *non-increasing* degree,
+/// i.e. [`Order::Descending`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Order {
+    /// Smallest key at rank 0.
+    Ascending,
+    /// Largest key at rank 0.
+    Descending,
+}
+
+impl Order {
+    /// Transforms a key so that ascending order on the transformed key
+    /// realizes this order on the original key.
+    fn encode(self, key: u64) -> u64 {
+        match self {
+            Order::Ascending => key,
+            Order::Descending => !key,
+        }
+    }
+}
+
+/// The sorted-path handle a node receives for its own key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SortedPath {
+    /// This node's rank in sorted order (0-based; rank 0 = head).
+    pub rank: usize,
+    /// The sorted path as a [`VPath`]: predecessor = rank-1 node,
+    /// successor = rank+1 node.
+    pub vp: VPath,
+}
+
+/// A record traveling through the comparator network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Record {
+    key: u64,
+    origin: NodeId,
+}
+
+/// The comparator schedule of Batcher's odd-even mergesort: a list of
+/// `(p, k)` stages; within a stage, position `x` compares with `x ± k`.
+/// Shared with the double-width network of [`crate::scatter`].
+pub(crate) fn stages_of(len: usize) -> Vec<(usize, usize)> {
+    stages(len)
+}
+
+fn stages(len: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut p = 1;
+    while p < len {
+        let mut k = p;
+        while k > 0 {
+            out.push((p, k));
+            k /= 2;
+        }
+        p *= 2;
+    }
+    out
+}
+
+/// Number of comparator stages for a path of `len` nodes: `O(log² len)`.
+pub fn stage_count(len: usize) -> usize {
+    stages(len).len()
+}
+
+/// Number of rounds [`sort_at`] takes on a path of `len` nodes: one per
+/// comparator stage plus the 2-round epilogue.
+pub fn rounds_for(len: usize) -> u64 {
+    stage_count(len) as u64 + 2
+}
+
+/// Whether position `x` participates in stage `(p, k)` of the network, and
+/// with which partner. Returns `(partner_position, i_am_low)`.
+///
+/// Derived from the classic triple loop
+/// `for j in (k%p..).step_by(2k) { for i in 0..k { compare(i+j, i+j+k) if
+/// same 2p-block } }` — solved for `x` in O(1).
+pub(crate) fn comparator_at(
+    x: usize,
+    len: usize,
+    p: usize,
+    k: usize,
+) -> Option<(usize, bool)> {
+    let j0 = k % p;
+    let two_k = 2 * k;
+    // Is `lo` the low endpoint of a stage comparator? lo = i + j with
+    // i ∈ [0, k), j ≡ j0 (mod 2k), j ≥ j0 — equivalently lo ≥ j0 and
+    // (lo - j0) mod 2k < k — and lo, lo+k must share a 2p-block.
+    let is_low = |lo: usize| -> bool {
+        lo >= j0
+            && (lo - j0) % two_k < k
+            && lo + k < len
+            && lo / (2 * p) == (lo + k) / (2 * p)
+    };
+    if is_low(x) {
+        return Some((x + k, true));
+    }
+    if x >= k && is_low(x - k) {
+        return Some((x - k, false));
+    }
+    None
+}
+
+/// Sorts the members of a virtual path by `key` into a new sorted path.
+/// Each member supplies its key and its path `position` (from
+/// [`crate::traversal::positions`]); ties break by node ID (ascending),
+/// making the order total and the result deterministic. Non-members idle.
+///
+/// Returns the node's [`SortedPath`] handle. Rounds: exactly
+/// [`rounds_for`]`(vp.len)`.
+pub fn sort_at(
+    h: &mut NodeHandle,
+    vp: &VPath,
+    contacts: &ContactTable,
+    position: usize,
+    key: u64,
+    order: Order,
+) -> SortedPath {
+    let len = vp.len;
+    if !vp.member {
+        h.idle_quiet(rounds_for(len));
+        return SortedPath { rank: 0, vp: VPath::non_member(len) };
+    }
+
+    let mut held = Record { key: order.encode(key), origin: h.id() };
+    let x = position;
+
+    // --- Comparator network. ---
+    for (p, k) in stages(len) {
+        let cmp = comparator_at(x, len, p, k);
+        let mut out = Vec::new();
+        if let Some((partner, _)) = cmp {
+            let level = k.trailing_zeros() as usize;
+            debug_assert_eq!(1 << level, k);
+            let partner_id = contacts
+                .at_offset(level, partner > x)
+                .expect("comparator partner outside contact table");
+            out.push((
+                partner_id,
+                Msg::addr_words(tags::SORT_XCHG, held.origin, vec![held.key]),
+            ));
+        }
+        let inbox = h.step(out);
+        if let Some((_, i_am_low)) = cmp {
+            let env = inbox
+                .iter()
+                .find(|e| e.msg.tag == tags::SORT_XCHG)
+                .expect("comparator partner did not exchange");
+            let theirs = Record { key: env.word(), origin: env.addr() };
+            // All comparators keep the minimum at the low position.
+            held = if i_am_low {
+                held.min(theirs)
+            } else {
+                held.max(theirs)
+            };
+        } else {
+            debug_assert!(inbox.iter().all(|e| e.msg.tag != tags::SORT_XCHG));
+        }
+    }
+
+    // --- Epilogue round 1: learn the origins held by my path neighbors
+    // (they hold the records ranked x-1 and x+1). ---
+    let mut out = Vec::new();
+    for nb in [vp.pred, vp.succ].into_iter().flatten() {
+        out.push((nb, Msg::addr(tags::SORT_LINK, held.origin)));
+    }
+    let inbox = h.step(out);
+    let mut pred_origin = None;
+    let mut succ_origin = None;
+    for env in inbox.iter().filter(|e| e.msg.tag == tags::SORT_LINK) {
+        if Some(env.src) == vp.pred {
+            pred_origin = Some(env.addr());
+        } else if Some(env.src) == vp.succ {
+            succ_origin = Some(env.addr());
+        }
+    }
+
+    // --- Epilogue round 2: tell the held record's origin its rank and
+    // sorted neighbors. Flags word: bit0 = has pred, bit1 = has succ. ---
+    let flags =
+        u64::from(pred_origin.is_some()) | (u64::from(succ_origin.is_some()) << 1);
+    let mut msg = Msg::words(tags::SORT_LINK, vec![x as u64, flags]);
+    if let Some(a) = pred_origin {
+        msg = msg.with_addr(a);
+    }
+    if let Some(a) = succ_origin {
+        msg = msg.with_addr(a);
+    }
+    let inbox = h.step(vec![(held.origin, msg)]);
+    let env = inbox
+        .iter()
+        .find(|e| e.msg.tag == tags::SORT_LINK)
+        .expect("no rank notification received");
+    let rank = env.msg.words[0] as usize;
+    let flags = env.msg.words[1];
+    let mut addrs = env.msg.addrs.iter().copied();
+    let pred = (flags & 1 != 0).then(|| addrs.next().unwrap());
+    let succ = (flags & 2 != 0).then(|| addrs.next().unwrap());
+    SortedPath { rank, vp: VPath { member: true, pred, succ, len } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::PathCtx;
+    use dgr_ncc::{Config, Network};
+    use std::collections::HashMap;
+
+    /// Sequential reference for the comparator network.
+    fn network_sorts(len: usize, keys: &[u64]) -> Vec<u64> {
+        let mut a: Vec<Record> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Record { key: k, origin: i as u64 })
+            .collect();
+        for (p, k) in stages(len) {
+            // Apply all comparators of this stage simultaneously.
+            let snapshot = a.clone();
+            for x in 0..len {
+                if let Some((partner, i_am_low)) = comparator_at(x, len, p, k) {
+                    // Sanity: the relation is symmetric.
+                    let back = comparator_at(partner, len, p, k);
+                    assert_eq!(back, Some((x, !i_am_low)), "p={p} k={k} x={x}");
+                    let pair = (snapshot[x], snapshot[partner]);
+                    a[x] = if i_am_low {
+                        pair.0.min(pair.1)
+                    } else {
+                        pair.0.max(pair.1)
+                    };
+                }
+            }
+        }
+        a.iter().map(|r| r.key).collect()
+    }
+
+    #[test]
+    fn comparator_network_sorts_sequentially() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        for len in 1..=48 {
+            for _ in 0..8 {
+                let keys: Vec<u64> =
+                    (0..len).map(|_| rng.gen_range(0..32)).collect();
+                let sorted = network_sorts(len, &keys);
+                let mut want = keys.clone();
+                want.sort_unstable();
+                assert_eq!(sorted, want, "len={len} keys={keys:?}");
+            }
+        }
+    }
+
+    fn run_sort(n: usize, seed: u64, order: Order) {
+        let net = Network::new(n, Config::ncc0(seed));
+        let result = net
+            .run(move |h| {
+                let ctx = PathCtx::establish(h);
+                let key = h.id() % 17; // plenty of ties
+                let sp = sort_at(h, &ctx.vp, &ctx.contacts, ctx.position, key, order);
+                (key, sp)
+            })
+            .unwrap();
+        assert!(result.metrics.is_clean(), "n={n}");
+        // Ranks form a permutation and keys are ordered along ranks.
+        let mut by_rank: Vec<(usize, u64, NodeId, &SortedPath)> = result
+            .outputs
+            .iter()
+            .map(|(id, (key, sp))| (sp.rank, *key, *id, sp))
+            .collect();
+        by_rank.sort_unstable_by_key(|(r, ..)| *r);
+        for (want, (got, ..)) in by_rank.iter().enumerate() {
+            assert_eq!(*got, want, "ranks not a permutation");
+        }
+        for w in by_rank.windows(2) {
+            match order {
+                Order::Ascending => assert!(w[0].1 <= w[1].1),
+                Order::Descending => assert!(w[0].1 >= w[1].1),
+            }
+        }
+        // The sorted-path links agree with the rank order.
+        let id_at: HashMap<usize, NodeId> =
+            by_rank.iter().map(|(r, _, id, _)| (*r, *id)).collect();
+        for (rank, _, _, sp) in &by_rank {
+            let want_pred = rank.checked_sub(1).map(|r| id_at[&r]);
+            let want_succ = id_at.get(&(rank + 1)).copied();
+            assert_eq!(sp.vp.pred, want_pred, "rank {rank} pred");
+            assert_eq!(sp.vp.succ, want_succ, "rank {rank} succ");
+            assert!(sp.vp.member);
+            assert_eq!(sp.vp.len, n);
+        }
+    }
+
+    #[test]
+    fn distributed_sort_small_sizes() {
+        for n in [1, 2, 3, 5, 8, 13, 16, 21] {
+            run_sort(n, n as u64 + 500, Order::Ascending);
+            run_sort(n, n as u64 + 900, Order::Descending);
+        }
+    }
+
+    #[test]
+    fn distributed_sort_medium() {
+        run_sort(100, 4, Order::Descending);
+        run_sort(128, 5, Order::Ascending);
+    }
+
+    #[test]
+    fn theorem3_rounds_are_polylog() {
+        // O(log² n): stage count for n=1024 is 10*11/2 = 55.
+        assert_eq!(stage_count(1024), 55);
+        assert_eq!(stage_count(1), 0);
+        // Sub-quadratic growth in log n.
+        assert!(stage_count(1 << 16) <= 16 * 17 / 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Randomly staggered point-to-point delivery — our Las Vegas substitute
+//! for the butterfly token collection of Theorem 8 (see `DESIGN.md` §4).
+//!
+//! When many nodes must deliver tokens to a common target (the hand-off
+//! that turns an implicit realization into an explicit one, Theorem 12),
+//! sending them all at once would exceed the target's receive capacity.
+//! Instead every sender delays each message by an independent uniform
+//! number of rounds in `[0, spread)`; with `spread = Θ(k/cap)` each round
+//! carries `O(cap)` expected messages per target, and the receive-side
+//! [`Queue`](dgr_ncc::CapacityPolicy::Queue) policy absorbs the whp
+//! `O(log n)` overflow. Senders additionally pace themselves to at most
+//! `cap` sends per round (deterministic re-queueing), so send capacity is
+//! never violated regardless of the random draws.
+//!
+//! The epoch length `spread + drain` is a deterministic function of
+//! commonly known quantities, preserving lockstep; `drain` must cover the
+//! worst-case queue drain (`⌈k_max/cap⌉` rounds suffice *unconditionally*,
+//! because a target receiving `k` messages drains them in `⌈k/cap⌉`
+//! rounds).
+
+use dgr_ncc::{Envelope, Msg, NodeHandle, NodeId};
+use rand::Rng;
+
+/// Rounds for a staggered epoch with the given parameters.
+pub fn rounds_for(spread: u64, drain: u64) -> u64 {
+    spread + drain
+}
+
+/// Recommended `(spread, drain)` for an epoch where each target receives at
+/// most `k_max` tokens, at per-round capacity `cap`:
+/// `spread = 2⌈k_max/cap⌉` (keeps expected per-round fan-in at `cap/2`) and
+/// `drain = ⌈k_max/cap⌉ + 2` (unconditional worst-case queue drain).
+pub fn plan(k_max: usize, cap: usize) -> (u64, u64) {
+    let base = (k_max as u64).div_ceil(cap as u64);
+    (2 * base + 1, base + 2)
+}
+
+/// Sends every `(target, message)` pair at an independently random round in
+/// `[0, spread)`, paced to the send capacity, then idles through the drain
+/// window. Returns everything received during the epoch.
+///
+/// Rounds: exactly [`rounds_for`]`(spread, drain)`. All participants of the
+/// epoch must use the same `spread` and `drain`.
+pub fn staggered_send(
+    h: &mut NodeHandle,
+    sends: Vec<(NodeId, Msg)>,
+    spread: u64,
+    drain: u64,
+) -> Vec<Envelope> {
+    let cap = h.capacity();
+    // Schedule: (round, target, msg), sorted by round; the per-round budget
+    // re-queues overflow deterministically.
+    let mut schedule: Vec<(u64, NodeId, Msg)> = sends
+        .into_iter()
+        .map(|(t, m)| (h.rng().gen_range(0..spread.max(1)), t, m))
+        .collect();
+    schedule.sort_by_key(|(r, ..)| *r);
+    schedule.reverse(); // pop from the back = earliest first
+
+    let mut received = Vec::new();
+    for round in 0..rounds_for(spread, drain) {
+        let mut out = Vec::new();
+        while out.len() < cap {
+            match schedule.last() {
+                Some((r, ..)) if *r <= round => {
+                    let (_, t, m) = schedule.pop().unwrap();
+                    out.push((t, m));
+                }
+                _ => break,
+            }
+        }
+        received.extend(h.step(out));
+    }
+    debug_assert!(
+        schedule.is_empty(),
+        "staggered epoch too short to send everything"
+    );
+    received
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_ncc::{tags, Config, Network};
+
+    #[test]
+    fn all_tokens_arrive_under_queue_policy() {
+        // Everyone sends one token to the head: k = n-1 fan-in.
+        let n = 128;
+        let net = Network::new(n, Config::ncc0(71).with_queueing());
+        let cap = net.capacity();
+        let head = net.ids_in_path_order()[0];
+        let (spread, drain) = plan(n - 1, cap);
+        let result = net
+            .run(move |h| {
+                let sends = if h.id() == head {
+                    vec![]
+                } else {
+                    vec![(head, Msg::word(tags::TOKEN, h.id() % 1000))]
+                };
+                // Everyone must know the head's address for this test.
+                staggered_send(h, sends, spread, drain).len()
+            })
+            .unwrap();
+        assert_eq!(*result.output_of(head).unwrap(), n - 1);
+        assert_eq!(result.metrics.undelivered, 0);
+        // Receive capacity was never exceeded at delivery time.
+        assert!(result.metrics.max_received_per_round <= cap);
+    }
+
+    #[test]
+    fn send_capacity_is_self_paced() {
+        // One node sends 10x its capacity worth of messages to distinct
+        // targets under the STRICT policy: pacing must keep it legal.
+        let n = 64;
+        let mut config = Config::ncc0(72);
+        config.track_knowledge = false; // sender addresses everyone directly
+        let net = Network::new(n, config);
+        let cap = net.capacity();
+        let head = net.ids_in_path_order()[0];
+        let targets: Vec<_> = net.ids_in_path_order()[1..].to_vec();
+        let k = targets.len();
+        let (spread, drain) = plan(k, cap);
+        let result = net
+            .run(move |h| {
+                let sends = if h.id() == head {
+                    targets
+                        .iter()
+                        .map(|&t| (t, Msg::word(tags::TOKEN, 1)))
+                        .collect()
+                } else {
+                    vec![]
+                };
+                staggered_send(h, sends, spread, drain).len()
+            })
+            .unwrap();
+        assert!(result.metrics.max_sent_per_round <= cap);
+        let delivered: usize =
+            result.outputs.iter().map(|(_, c)| *c).sum();
+        assert_eq!(delivered, k);
+    }
+
+    #[test]
+    fn plan_scales_inversely_with_capacity() {
+        let (s1, d1) = plan(1000, 10);
+        let (s2, d2) = plan(1000, 20);
+        assert!(s2 < s1 && d2 <= d1);
+        let (s0, d0) = plan(0, 10);
+        assert_eq!((s0, d0), (1, 2));
+    }
+}

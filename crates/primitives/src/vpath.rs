@@ -1,0 +1,117 @@
+//! Virtual paths: the universal substrate for all primitives.
+//!
+//! A [`VPath`] describes one node's view of a linked path over some subset of
+//! the network: its predecessor and successor on that path, the path's total
+//! length, and whether this node is a member at all. The initial knowledge
+//! graph `G_k` yields the first virtual path (via [`undirect`]); sorting
+//! yields new ones; taking a prefix of a sorted path yields sub-network
+//! paths for recursive algorithms.
+//!
+//! Non-members still participate in the *rounds* of any primitive run on the
+//! path (idling in lockstep) — they simply never send or receive. This keeps
+//! the whole network synchronized through sub-network computations, which is
+//! how Algorithm 6 runs a degree realization on only its first `d₀+1` nodes.
+
+use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+
+/// One node's view of a virtual path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VPath {
+    /// Is this node on the path? Non-members only idle through primitives.
+    pub member: bool,
+    /// ID of the previous node on the path (None for the head, and for
+    /// non-members).
+    pub pred: Option<NodeId>,
+    /// ID of the next node on the path (None for the tail, and for
+    /// non-members).
+    pub succ: Option<NodeId>,
+    /// Total number of nodes on the path — common knowledge among all
+    /// participants of the primitives run on it.
+    pub len: usize,
+}
+
+impl VPath {
+    /// A view for a node that is not on the path but must stay in lockstep.
+    pub fn non_member(len: usize) -> Self {
+        VPath { member: false, pred: None, succ: None, len }
+    }
+
+    /// True if this node is the path's head (member with no predecessor).
+    pub fn is_head(&self) -> bool {
+        self.member && self.pred.is_none()
+    }
+
+    /// True if this node is the path's tail (member with no successor).
+    pub fn is_tail(&self) -> bool {
+        self.member && self.succ.is_none()
+    }
+
+    /// Number of doubling levels for this path: `ceil(log2(len))`.
+    pub fn levels(&self) -> usize {
+        crate::levels_for(self.len)
+    }
+}
+
+/// Converts the directed initial knowledge path `G_k` into an undirected
+/// (but still ordered) [`VPath`] — the 1-round construction from §3.1 of the
+/// paper: every node sends its ID to its out-neighbor, so each node learns
+/// its predecessor; a node that receives nothing learns it is the head.
+///
+/// Rounds: exactly 1.
+pub fn undirect(h: &mut NodeHandle) -> VPath {
+    let out = h
+        .initial_successor()
+        .map(|s| (s, Msg::signal(tags::UNDIRECT)))
+        .into_iter()
+        .collect();
+    let inbox = h.step(out);
+    let pred = inbox
+        .iter()
+        .find(|e| e.msg.tag == tags::UNDIRECT)
+        .map(|e| e.src);
+    VPath { member: true, pred, succ: h.initial_successor(), len: h.n() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_ncc::{Config, Network};
+
+    #[test]
+    fn undirect_reconstructs_the_path() {
+        let net = Network::new(10, Config::ncc0(5));
+        let result = net.run(undirect).unwrap();
+        assert!(result.metrics.is_clean());
+        assert_eq!(result.metrics.rounds, 1);
+        let order = result.gk_order();
+        for (i, (_, vp)) in result.outputs.iter().enumerate() {
+            assert!(vp.member);
+            assert_eq!(vp.len, 10);
+            assert_eq!(vp.pred, if i == 0 { None } else { Some(order[i - 1]) });
+            assert_eq!(
+                vp.succ,
+                if i == 9 { None } else { Some(order[i + 1]) }
+            );
+        }
+    }
+
+    #[test]
+    fn head_and_tail_predicates() {
+        let vp = VPath { member: true, pred: None, succ: Some(3), len: 4 };
+        assert!(vp.is_head());
+        assert!(!vp.is_tail());
+        let vp = VPath { member: true, pred: Some(2), succ: None, len: 4 };
+        assert!(vp.is_tail());
+        let vp = VPath::non_member(4);
+        assert!(!vp.is_head() && !vp.is_tail());
+    }
+
+    #[test]
+    fn single_node_path() {
+        let net = Network::new(1, Config::ncc0(5));
+        let result = net.run(undirect).unwrap();
+        let vp = &result.outputs[0].1;
+        assert!(vp.is_head() && vp.is_tail());
+        assert_eq!(vp.levels(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The warm-up balanced binary tree of §3.1.1 (Figure 1) — *not* a search
+//! tree, but a simple `O(log n)`-round recursive construction.
+//!
+//! In every recursion step, the left-most node `r` of each live path makes
+//! its immediate neighbor `a` its left child and `a`'s other neighbor `b`
+//! its right child, then removes itself; the remaining path decomposes into
+//! the two grand-neighbor sub-paths headed by `a` and `b`, and the step
+//! repeats in parallel on both. Path lengths halve per step, so the
+//! recursion terminates after `O(log n)` levels and the resulting tree has
+//! height `O(log n)`.
+
+use crate::vpath::VPath;
+use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+
+/// Child-assignment messages (distinct from the controlled-BFS invites).
+const CHILD_LEFT: u64 = 0;
+const CHILD_RIGHT: u64 = 1;
+
+/// One node's view of the warm-up tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WarmupTree {
+    /// True for the overall root (the head of the original path).
+    pub is_root: bool,
+    /// Parent ID (None for the root and non-members).
+    pub parent: Option<NodeId>,
+    /// Left child (the former immediate neighbor).
+    pub left: Option<NodeId>,
+    /// Right child (the former neighbor's neighbor).
+    pub right: Option<NodeId>,
+    /// Recursion level at which this node became a path head (root = 0);
+    /// equals its depth in the tree.
+    pub depth: u64,
+}
+
+/// Number of recursion levels (and half the rounds) for a path of `len`
+/// nodes: path lengths roughly halve per level.
+pub fn levels(len: usize) -> u64 {
+    crate::levels_for(len) as u64 + 1
+}
+
+/// Number of rounds [`build`] takes: two per recursion level.
+pub fn rounds_for(len: usize) -> u64 {
+    2 * levels(len)
+}
+
+/// Builds the warm-up balanced binary tree (Figure 1). Non-members idle.
+///
+/// Rounds: exactly [`rounds_for`]`(vp.len)`.
+pub fn build(h: &mut NodeHandle, vp: &VPath) -> WarmupTree {
+    let total_levels = levels(vp.len);
+    if !vp.member {
+        h.idle_quiet(rounds_for(vp.len));
+        return WarmupTree::default();
+    }
+    let mut tree = WarmupTree { is_root: vp.is_head(), ..WarmupTree::default() };
+    let mut pred = vp.pred;
+    let mut succ = vp.succ;
+    let mut removed = false;
+
+    for level in 0..total_levels {
+        // --- Round 1: grand-neighbor exchange on every live path. ---
+        let mut out = Vec::new();
+        if !removed {
+            if let (Some(p), Some(s)) = (pred, succ) {
+                // Tell my successor who my predecessor is and vice versa.
+                out.push((s, Msg::addr_words(tags::LEVEL_LINK, p, vec![CHILD_LEFT])));
+                out.push((p, Msg::addr_words(tags::LEVEL_LINK, s, vec![CHILD_RIGHT])));
+            }
+        }
+        let inbox = h.step(out);
+        let mut grand_pred = None;
+        let mut grand_succ = None;
+        for env in inbox.iter().filter(|e| e.msg.tag == tags::LEVEL_LINK) {
+            match env.word() {
+                CHILD_LEFT => grand_pred = Some(env.addr()),
+                CHILD_RIGHT => grand_succ = Some(env.addr()),
+                other => unreachable!("bad link word {other}"),
+            }
+        }
+
+        // --- Round 2: each path head adopts `a` (its neighbor) as left
+        // child and `b` (its grand-successor) as right child, then leaves. ---
+        let mut out = Vec::new();
+        if !removed && pred.is_none() {
+            if let Some(a) = succ {
+                out.push((a, Msg::word(tags::INVITE_LEFT, level)));
+                tree.left = Some(a);
+            }
+            if let Some(b) = grand_succ {
+                out.push((b, Msg::word(tags::INVITE_RIGHT, level)));
+                tree.right = Some(b);
+            }
+            removed = true;
+        }
+        let inbox = h.step(out);
+        let mut became_head = false;
+        for env in inbox.iter() {
+            match env.msg.tag {
+                tags::INVITE_LEFT => {
+                    tree.parent = Some(env.src);
+                    tree.depth = env.word() + 1;
+                    became_head = true;
+                }
+                tags::INVITE_RIGHT => {
+                    tree.parent = Some(env.src);
+                    tree.depth = env.word() + 1;
+                    became_head = true;
+                }
+                _ => {}
+            }
+        }
+        // --- Local restructure: the path splits into grand-neighbor
+        // sub-paths; the freshly adopted children are the new heads. ---
+        if !removed {
+            pred = if became_head { None } else { grand_pred };
+            succ = grand_succ;
+        }
+    }
+    debug_assert!(removed, "node {} never became a path head", h.id());
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vpath;
+    use dgr_ncc::{Config, Network, RunResult};
+    use std::collections::HashMap;
+
+    fn run(n: usize, seed: u64) -> RunResult<WarmupTree> {
+        let net = Network::new(n, Config::ncc0(seed));
+        net.run(|h| {
+            let vp = vpath::undirect(h);
+            build(h, &vp)
+        })
+        .unwrap()
+    }
+
+    fn check(n: usize, seed: u64) {
+        let result = run(n, seed);
+        assert!(result.metrics.is_clean(), "n={n}");
+        let view: HashMap<NodeId, &WarmupTree> =
+            result.outputs.iter().map(|(id, t)| (*id, t)).collect();
+        // Exactly one root: the head of G_k.
+        let roots: Vec<_> =
+            result.outputs.iter().filter(|(_, t)| t.is_root).collect();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].0, result.gk_order()[0]);
+        // Tree is spanning: walking parents reaches the root from everywhere,
+        // and depth decreases along the way.
+        for (id, t) in &result.outputs {
+            let mut cur = *id;
+            let mut hops = 0;
+            while let Some(p) = view[&cur].parent {
+                assert!(view[&p].depth + 1 == view[&cur].depth);
+                cur = p;
+                hops += 1;
+                assert!(hops <= n, "parent cycle at node {id}");
+            }
+            assert!(view[&cur].is_root);
+            // Balanced: depth is O(log n).
+            assert!(
+                t.depth <= levels(n),
+                "n={n}: depth {} exceeds {}",
+                t.depth,
+                levels(n)
+            );
+        }
+        // Parent/child agreement and binary-ness.
+        for (id, t) in &result.outputs {
+            for c in [t.left, t.right].into_iter().flatten() {
+                assert_eq!(view[&c].parent, Some(*id));
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_tree_is_balanced_and_spanning() {
+        for &n in &[1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 50, 64, 100, 128] {
+            check(n, n as u64 + 70);
+        }
+    }
+
+    /// Figure 1 of the paper: the warm-up tree on the path 1..8.
+    /// Derived by hand from the recursive rule: 1 adopts 2 (left) and 3
+    /// (right); the remainder splits into (2,4,6,8) and (3,5,7); 2 adopts
+    /// 4 and 6; 3 adopts 5 and 7; (4,8) leaves 8 under 4.
+    #[test]
+    fn fig1_exact_shape() {
+        let net = Network::new(8, Config::ncc0(0).with_sequential_ids());
+        let result = net
+            .run(|h| {
+                let vp = vpath::undirect(h);
+                build(h, &vp)
+            })
+            .unwrap();
+        let view: HashMap<NodeId, &WarmupTree> =
+            result.outputs.iter().map(|(id, t)| (*id, t)).collect();
+        assert!(view[&1].is_root);
+        assert_eq!((view[&1].left, view[&1].right), (Some(2), Some(3)));
+        assert_eq!((view[&2].left, view[&2].right), (Some(4), Some(6)));
+        assert_eq!((view[&3].left, view[&3].right), (Some(5), Some(7)));
+        assert_eq!((view[&4].left, view[&4].right), (Some(8), None));
+        for leaf in [5, 6, 7, 8] {
+            assert_eq!((view[&leaf].left, view[&leaf].right), (None, None));
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        let result = run(128, 3);
+        assert_eq!(result.metrics.rounds, 1 + rounds_for(128));
+        assert_eq!(rounds_for(128), 2 * 8);
+    }
+}

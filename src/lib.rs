@@ -1,0 +1,47 @@
+//! # Distributed Graph Realizations
+//!
+//! A Rust implementation of the algorithms from *Distributed Graph
+//! Realizations* (Augustine, Choudhary, Cohen, Peleg, Sivasubramaniam,
+//! Sourav — IPDPS 2020, arXiv:2002.05376): constructing overlay networks
+//! that realize degree sequences, trees, and connectivity thresholds in the
+//! node-capacitated clique (NCC) model of distributed computing.
+//!
+//! This crate is an umbrella façade re-exporting the workspace crates:
+//!
+//! * [`ncc`] — the NCC0/NCC1 model simulator (rounds, capacities, KT0
+//!   knowledge tracking).
+//! * [`primitives`] — structural and computational primitives (balanced
+//!   binary search trees on a path, distributed sorting, broadcast,
+//!   aggregation, multicast).
+//! * [`graph`] — the verification substrate (BFS, diameter, Dinic max-flow
+//!   edge connectivity).
+//! * [`graphgen`] — seeded workload generators (graphic sequences,
+//!   power-law, trees, thresholds).
+//! * [`realization`] — degree-sequence realization, sequential
+//!   (Erdős–Gallai, Havel–Hakimi) and distributed (implicit, explicit,
+//!   approximate).
+//! * [`trees`] — tree realization (Algorithms 4 and 5, minimum diameter).
+//! * [`connectivity`] — connectivity-threshold realization (NCC1 `O~(1)`
+//!   and NCC0 `O~(Δ)` 2-approximations).
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the reproduction of every paper claim.
+
+pub use dgr_connectivity as connectivity;
+pub use dgr_core as realization;
+pub use dgr_graph as graph;
+pub use dgr_graphgen as graphgen;
+pub use dgr_ncc as ncc;
+pub use dgr_primitives as primitives;
+pub use dgr_trees as trees;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use dgr_connectivity::{ThresholdInstance, ThresholdRealization};
+    pub use dgr_core::{
+        DegreeSequence, DistributedRealization, Realization, RealizeError,
+    };
+    pub use dgr_graph::Graph;
+    pub use dgr_ncc::{CapacityPolicy, Config, Model, Network, NodeId, RunMetrics};
+    pub use dgr_trees::TreeRealization;
+}

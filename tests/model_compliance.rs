@@ -1,0 +1,109 @@
+//! Model-compliance tests: the NCC constraints (capacities, KT0
+//! addressing, message sizes) hold across every algorithm in the
+//! workspace. These run under `CapacityPolicy::Strict` wherever the
+//! algorithm allows, and otherwise assert clean metrics after the fact.
+
+use distributed_graph_realizations::prelude::*;
+use distributed_graph_realizations::{connectivity, graphgen, realization, trees};
+
+/// Capacity usage must stay within the enforced Θ(log n) budget — not
+/// just "no violations" (Strict guarantees that) but visibly bounded.
+#[test]
+fn implicit_realization_respects_capacity_headroom() {
+    let degrees = graphgen::near_regular_sequence(64, 6, 3);
+    let out = realization::realize_implicit(&degrees, Config::ncc0(3)).unwrap();
+    let r = out.expect_realized();
+    assert!(r.metrics.max_sent_per_round <= r.metrics.capacity);
+    assert!(r.metrics.max_received_per_round <= r.metrics.capacity);
+    assert_eq!(r.metrics.violations.total(), 0);
+}
+
+/// The KT0 knowledge tracker is on in `Config::ncc0`; a star sequence
+/// forces maximal knowledge spread and must still be legal.
+#[test]
+fn star_realization_is_kt0_legal() {
+    let n = 48;
+    let mut degrees = vec![1usize; n];
+    degrees[0] = n - 1;
+    if (degrees.iter().sum::<usize>()) % 2 != 0 {
+        degrees[1] = 2;
+        degrees[2] = 2;
+    }
+    graphgen::repair_to_graphic(&mut degrees);
+    let out = realization::realize_implicit(&degrees, Config::ncc0(8)).unwrap();
+    let r = out.expect_realized();
+    assert!(r.metrics.is_clean());
+    // Lower-bound intuition (Theorem 20): realizing a heavy node forces
+    // substantial knowledge to accumulate somewhere.
+    assert!(r.metrics.max_knowledge >= 4);
+}
+
+/// Explicit realization under queueing must deliver everything: an
+/// undelivered message means some node stopped listening too early.
+#[test]
+fn explicit_realization_drains_all_queues() {
+    let degrees = graphgen::star_heavy_sequence(56, 1, 2, 4);
+    let out = realization::realize_explicit(
+        &degrees,
+        Config::ncc0(4).with_queueing(),
+    )
+    .unwrap();
+    let r = out.expect_realized();
+    assert_eq!(r.metrics.undelivered, 0);
+    assert!(r.metrics.max_received_per_round <= r.metrics.capacity);
+}
+
+/// Both tree algorithms run fully strict.
+#[test]
+fn tree_algorithms_run_strict() {
+    let degrees = graphgen::random_tree_sequence(72, 6);
+    for algo in [trees::TreeAlgo::Chain, trees::TreeAlgo::Greedy] {
+        let out = trees::realize_tree(&degrees, Config::ncc0(6), algo).unwrap();
+        let t = out.expect_realized();
+        assert!(t.metrics.is_clean(), "{algo:?}");
+    }
+}
+
+/// Algorithm 6's phases must never overflow receive capacity at delivery
+/// time (the queue policy paces, but delivery stays within cap).
+#[test]
+fn connectivity_ncc0_delivery_is_paced() {
+    let inst = connectivity::ThresholdInstance::new(
+        graphgen::uniform_thresholds(40, 1, 6, 7),
+    );
+    let out =
+        connectivity::realize_ncc0(&inst, Config::ncc0(7).with_queueing())
+            .unwrap();
+    assert!(out.metrics.max_received_per_round <= out.metrics.capacity);
+    assert_eq!(out.metrics.undelivered, 0);
+    assert_eq!(out.metrics.violations.total(), 0);
+}
+
+/// Message volume sanity: the implicit realization is message-frugal —
+/// within a polylog factor of one message per edge per phase.
+#[test]
+fn message_volume_is_bounded() {
+    let n = 64;
+    let degrees = graphgen::near_regular_sequence(n, 4, 9);
+    let out = realization::realize_implicit(&degrees, Config::ncc0(9)).unwrap();
+    let r = out.expect_realized();
+    let phases = r.phases.max(1);
+    let per_phase = r.metrics.messages / phases;
+    // Each phase sorts (O(n log² n) messages) plus broadcasts; allow a
+    // generous constant.
+    let budget = (n as u64) * 64 * 8;
+    assert!(
+        per_phase < budget,
+        "phase message volume {per_phase} exceeds {budget}"
+    );
+}
+
+/// The paper's remark: every NCC0 algorithm runs unchanged in NCC1.
+#[test]
+fn ncc0_algorithms_run_in_ncc1() {
+    let degrees = graphgen::random_graphic_sequence(32, 6, 10);
+    let out =
+        realization::realize_implicit(&degrees, Config::ncc1(10)).unwrap();
+    let r = out.expect_realized();
+    realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
+}

@@ -1,0 +1,123 @@
+//! Property-based tests (proptest) on the workspace invariants.
+//!
+//! Simulated-network properties use modest `n` and case counts to keep
+//! runtimes sane; the sequential properties run at full throttle.
+
+use distributed_graph_realizations::prelude::*;
+use distributed_graph_realizations::{graphgen, realization, trees};
+use proptest::prelude::*;
+
+proptest! {
+    /// Erdős–Gallai and Havel–Hakimi must agree on arbitrary sequences.
+    #[test]
+    fn eg_and_hh_agree(degrees in prop::collection::vec(0usize..12, 0..40)) {
+        let seq = DegreeSequence::new(degrees.clone());
+        let eg = realization::erdos_gallai::is_graphic(&degrees);
+        let hh = realization::havel_hakimi::realize(&seq).is_ok();
+        prop_assert_eq!(eg, hh, "disagree on {:?}", degrees);
+    }
+
+    /// Havel–Hakimi outputs realize their input exactly, as simple graphs.
+    #[test]
+    fn hh_realizations_are_exact(degrees in prop::collection::vec(0usize..10, 1..30)) {
+        let seq = DegreeSequence::new(degrees.clone());
+        if let Ok(r) = realization::havel_hakimi::realize(&seq) {
+            prop_assert_eq!(&r.degrees(seq.len()), seq.degrees());
+            let mut seen = std::collections::HashSet::new();
+            for &(u, v) in &r.edges {
+                prop_assert_ne!(u, v);
+                prop_assert!(seen.insert((u.min(v), u.max(v))));
+            }
+        }
+    }
+
+    /// Graphic-sequence repair always lands on a graphic sequence and
+    /// never increases any degree.
+    #[test]
+    fn repair_is_sound(degrees in prop::collection::vec(0usize..64, 1..50)) {
+        let mut repaired = degrees.clone();
+        graphgen::repair_to_graphic(&mut repaired);
+        prop_assert!(realization::erdos_gallai::is_graphic(&repaired));
+        for (a, b) in degrees.iter().zip(&repaired) {
+            prop_assert!(b <= a || *b < repaired.len());
+        }
+    }
+
+    /// The sequential greedy tree realizes exactly and is never beaten by
+    /// the brute-force minimum diameter (n ≤ 7 ⇒ it *equals* it).
+    #[test]
+    fn greedy_tree_is_minimal(extra in prop::collection::vec(0usize..5, 5)) {
+        // Build a tree-realizable sequence on n = 7 from increments.
+        let n = 7;
+        let mut degrees = vec![1usize; n];
+        let mut budget = n - 2;
+        for (i, &e) in extra.iter().enumerate() {
+            let take = e.min(budget);
+            degrees[i % n] += take;
+            budget -= take;
+        }
+        degrees[0] += budget;
+        let seq = DegreeSequence::new(degrees.clone());
+        prop_assume!(seq.is_tree_realizable());
+        let g = trees::greedy::greedy_tree(&seq).unwrap();
+        let got = trees::greedy::diameter_of(&g, n);
+        let want = trees::greedy::min_diameter_brute(&seq).unwrap();
+        prop_assert_eq!(got, want, "greedy not minimal on {:?}", degrees);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Distributed implicit realization matches its input exactly on
+    /// random graphic sequences (full simulation, strict KT0).
+    #[test]
+    fn distributed_realization_is_exact(seed in 0u64..500, n in 8usize..40) {
+        let degrees = graphgen::random_graphic_sequence(n, n / 2, seed);
+        let out = realization::realize_implicit(&degrees, Config::ncc0(seed))
+            .unwrap();
+        let r = out.expect_realized();
+        realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
+        prop_assert!(r.metrics.is_clean());
+        prop_assert_eq!(r.duplicate_edges, 0);
+    }
+
+    /// The distributed envelope realization satisfies both Theorem 13
+    /// invariants on arbitrary (possibly non-graphic) inputs.
+    #[test]
+    fn distributed_envelope_invariants(
+        degrees in prop::collection::vec(0usize..10, 4..24),
+        seed in 0u64..100,
+    ) {
+        let n = degrees.len();
+        prop_assume!(degrees.iter().all(|&d| d < n));
+        let out = realization::realize_approx(&degrees, Config::ncc0(seed))
+            .unwrap();
+        let r = out.expect_realized();
+        let mut envelope_sum = 0;
+        for (i, &id) in r.path_order.iter().enumerate() {
+            let d_prime = r.multi_degrees[&id];
+            prop_assert!(d_prime >= degrees[i]);
+            envelope_sum += d_prime;
+        }
+        let sum: usize = degrees.iter().sum();
+        prop_assert!(envelope_sum <= 2 * sum);
+        prop_assert!(r.metrics.is_clean());
+    }
+
+    /// Distributed greedy trees have brute-force-minimal diameter (n ≤ 8).
+    #[test]
+    fn distributed_greedy_tree_minimal(seed in 0u64..200, n in 3usize..8) {
+        let degrees = graphgen::random_tree_sequence(n, seed);
+        let out = trees::realize_tree(
+            &degrees,
+            Config::ncc0(seed),
+            trees::TreeAlgo::Greedy,
+        )
+        .unwrap();
+        let t = out.expect_realized();
+        let seq = DegreeSequence::new(degrees);
+        let want = trees::greedy::min_diameter_brute(&seq).unwrap();
+        prop_assert_eq!(t.diameter, want);
+    }
+}

@@ -1,0 +1,79 @@
+//! Scale tests: the thread-per-node simulator at four-digit network
+//! sizes. These are the largest routine runs in the suite (the experiment
+//! harness goes bigger); they exist to catch regressions in engine
+//! scalability and in the O(polylog)-round claims at scale.
+
+use distributed_graph_realizations::prelude::*;
+use distributed_graph_realizations::{graphgen, realization, trees};
+
+#[test]
+fn implicit_realization_at_n_1024() {
+    let n = 1024;
+    let degrees = graphgen::near_regular_sequence(n, 6, 99);
+    let out =
+        realization::realize_implicit(&degrees, Config::ncc0(99)).unwrap();
+    let r = out.expect_realized();
+    realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
+    assert!(r.metrics.is_clean());
+    // Lemma 10 at scale.
+    let seq = DegreeSequence::new(degrees);
+    let bound = realization::distributed::implicit::phase_bound(&seq);
+    assert!((r.phases as f64) <= 2.0 * bound + 4.0);
+}
+
+#[test]
+fn greedy_tree_at_n_2048() {
+    let n = 2048;
+    let degrees = graphgen::random_tree_sequence(n, 98);
+    let out = trees::realize_tree(
+        &degrees,
+        Config::ncc0(98),
+        trees::TreeAlgo::Greedy,
+    )
+    .unwrap();
+    let t = out.expect_realized();
+    assert!(t.graph.is_tree());
+    // Polylog rounds at scale: log2(2048) = 11 → comfortably under
+    // 8·log² n.
+    assert!(
+        t.metrics.rounds < 8 * 11 * 11,
+        "rounds = {}",
+        t.metrics.rounds
+    );
+    // Theorem 16 still holds at scale.
+    let seq = DegreeSequence::new(degrees);
+    let reference = trees::greedy::greedy_tree(&seq).unwrap();
+    assert_eq!(t.diameter, trees::greedy::diameter_of(&reference, n));
+}
+
+#[test]
+fn sorting_at_n_2048_is_polylog() {
+    use distributed_graph_realizations::primitives::{
+        sort::{self, Order},
+        PathCtx,
+    };
+    let n = 2048;
+    let net = Network::new(n, Config::ncc0(97));
+    let result = net
+        .run(|h| {
+            let c = PathCtx::establish(h);
+            let sp = sort::sort_at(
+                h,
+                &c.vp,
+                &c.contacts,
+                c.position,
+                h.id(),
+                Order::Ascending,
+            );
+            sp.rank
+        })
+        .unwrap();
+    assert!(result.metrics.is_clean());
+    // 11·12/2 comparator stages + setup: well under 10·log² n.
+    assert!(result.metrics.rounds < 10 * 11 * 11);
+    // Ranks form a permutation.
+    let mut ranks: Vec<usize> =
+        result.outputs.iter().map(|(_, r)| *r).collect();
+    ranks.sort_unstable();
+    assert!(ranks.iter().enumerate().all(|(i, &r)| i == r));
+}
