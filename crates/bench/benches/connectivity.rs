@@ -9,8 +9,7 @@ fn bench_ncc1(c: &mut Criterion) {
     let mut g = c.benchmark_group("threshold_ncc1");
     g.sample_size(10);
     for &n in &[64usize, 128, 256] {
-        let inst =
-            ThresholdInstance::new(graphgen::uniform_thresholds(n, 1, 8, 8));
+        let inst = ThresholdInstance::new(graphgen::uniform_thresholds(n, 1, 8, 8));
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
             b.iter(|| realize_ncc1(i, Config::ncc1(8)).unwrap())
         });
@@ -22,8 +21,7 @@ fn bench_ncc0(c: &mut Criterion) {
     let mut g = c.benchmark_group("threshold_ncc0");
     g.sample_size(10);
     for &n in &[64usize, 128] {
-        let inst =
-            ThresholdInstance::new(graphgen::uniform_thresholds(n, 1, 8, 9));
+        let inst = ThresholdInstance::new(graphgen::uniform_thresholds(n, 1, 8, 9));
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
             b.iter(|| realize_ncc0(i, Config::ncc0(9).with_queueing()).unwrap())
         });

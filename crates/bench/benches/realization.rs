@@ -28,9 +28,7 @@ fn bench_explicit(c: &mut Criterion) {
     for &n in &[64usize, 128, 256] {
         let degrees = graphgen::near_regular_sequence(n, 6, 5);
         g.bench_with_input(BenchmarkId::from_parameter(n), &degrees, |b, d| {
-            b.iter(|| {
-                realize_explicit(d, Config::ncc0(5).with_queueing()).unwrap()
-            })
+            b.iter(|| realize_explicit(d, Config::ncc0(5).with_queueing()).unwrap())
         });
     }
     g.finish();
@@ -42,11 +40,9 @@ fn bench_envelope(c: &mut Criterion) {
     let n = 128;
     let mut degrees = graphgen::random_graphic_sequence(n, 16, 6);
     degrees[0] += 1; // break graphicness
-    g.bench_with_input(
-        BenchmarkId::from_parameter(n),
-        &degrees,
-        |b, d| b.iter(|| realize_approx(d, Config::ncc0(6)).unwrap()),
-    );
+    g.bench_with_input(BenchmarkId::from_parameter(n), &degrees, |b, d| {
+        b.iter(|| realize_approx(d, Config::ncc0(6)).unwrap())
+    });
     g.finish();
 }
 

@@ -45,5 +45,10 @@ fn bench_greedy_tree(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_erdos_gallai, bench_havel_hakimi, bench_greedy_tree);
+criterion_group!(
+    benches,
+    bench_erdos_gallai,
+    bench_havel_hakimi,
+    bench_greedy_tree
+);
 criterion_main!(benches);

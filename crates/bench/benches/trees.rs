@@ -11,22 +11,12 @@ fn bench_tree_algos(c: &mut Criterion) {
     g.sample_size(10);
     for &n in &[64usize, 256, 1024] {
         let degrees = graphgen::random_tree_sequence(n, 7);
-        g.bench_with_input(
-            BenchmarkId::new("alg4_chain", n),
-            &degrees,
-            |b, d| {
-                b.iter(|| realize_tree(d, Config::ncc0(7), TreeAlgo::Chain).unwrap())
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("alg5_greedy", n),
-            &degrees,
-            |b, d| {
-                b.iter(|| {
-                    realize_tree(d, Config::ncc0(7), TreeAlgo::Greedy).unwrap()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("alg4_chain", n), &degrees, |b, d| {
+            b.iter(|| realize_tree(d, Config::ncc0(7), TreeAlgo::Chain).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("alg5_greedy", n), &degrees, |b, d| {
+            b.iter(|| realize_tree(d, Config::ncc0(7), TreeAlgo::Greedy).unwrap())
+        });
     }
     g.finish();
 }

@@ -1,0 +1,147 @@
+//! Engine round-throughput benchmark: batched step-function executor vs
+//! the thread-per-node oracle, on the NCC₀ path-to-clique warm-up.
+//!
+//! Writes `BENCH_engine.json` (rounds/sec per engine per size, plus the
+//! batched/threaded speedup at n = 10k) so the performance trajectory is
+//! recorded in-repo across PRs.
+//!
+//! Usage: `cargo run --release -p bench --bin engine_bench [--quick] [OUT.json]`
+//! `--quick` caps the batched sweep at n = 100k (CI smoke); the default
+//! sweep ends at one million nodes.
+
+use dgr_ncc::{Config, Network};
+use dgr_primitives::proto::PathToClique;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured configuration.
+struct Entry {
+    engine: &'static str,
+    n: usize,
+    rounds: u64,
+    messages: u64,
+    seconds: f64,
+}
+
+impl Entry {
+    fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / self.seconds
+    }
+}
+
+/// Benchmark config: tracking off (KT0 legality is proven in the tests;
+/// the hash-set tracker is a verification instrument, not an engine cost
+/// both engines should pay in a throughput figure).
+fn bench_config(seed: u64) -> Config {
+    let mut config = Config::ncc0(seed);
+    config.track_knowledge = false;
+    config
+}
+
+fn run_batched(n: usize, repeats: u32) -> Entry {
+    let net = Network::new(n, bench_config(42));
+    // Warm-up run (fills allocator arenas, page-faults the slabs).
+    let warm = net.run_protocol(PathToClique::new).unwrap();
+    let start = Instant::now();
+    for _ in 0..repeats {
+        let result = net.run_protocol(PathToClique::new).unwrap();
+        assert_eq!(result.metrics.rounds, warm.metrics.rounds);
+    }
+    Entry {
+        engine: "batched",
+        n,
+        rounds: warm.metrics.rounds * repeats as u64,
+        messages: warm.metrics.messages * repeats as u64,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn run_threaded(n: usize, repeats: u32) -> Entry {
+    let net = Network::new(n, bench_config(42));
+    let warm = net.run_protocol_threaded(PathToClique::new).unwrap();
+    let start = Instant::now();
+    for _ in 0..repeats {
+        let result = net.run_protocol_threaded(PathToClique::new).unwrap();
+        assert_eq!(result.metrics.rounds, warm.metrics.rounds);
+    }
+    Entry {
+        engine: "threaded",
+        n,
+        rounds: warm.metrics.rounds * repeats as u64,
+        messages: warm.metrics.messages * repeats as u64,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let mut entries: Vec<Entry> = Vec::new();
+    // The threaded oracle tops out near 10^4 nodes (one OS thread each).
+    for &(n, repeats) in &[(1_000usize, 5u32), (10_000, 2)] {
+        eprintln!("threaded n={n} ...");
+        entries.push(run_threaded(n, repeats));
+    }
+    let batched_sizes: &[(usize, u32)] = if quick {
+        &[(1_000, 20), (10_000, 10), (100_000, 3)]
+    } else {
+        &[(1_000, 20), (10_000, 10), (100_000, 3), (1_000_000, 1)]
+    };
+    for &(n, repeats) in batched_sizes {
+        eprintln!("batched n={n} ...");
+        entries.push(run_batched(n, repeats));
+    }
+
+    let rps = |engine: &str, n: usize| {
+        entries
+            .iter()
+            .find(|e| e.engine == engine && e.n == n)
+            .map(Entry::rounds_per_sec)
+    };
+    let speedup_10k = match (rps("batched", 10_000), rps("threaded", 10_000)) {
+        (Some(b), Some(t)) => b / t,
+        _ => f64::NAN,
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"workload\": \"ncc0 path-to-clique warm-up (undirect + pointer-doubling contacts)\",\n",
+    );
+    json.push_str("  \"note\": \"rounds/sec per engine; track_knowledge off; release build\",\n");
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"n\": {}, \"rounds\": {}, \"messages\": {}, \
+             \"seconds\": {:.4}, \"rounds_per_sec\": {:.1}}}{}",
+            e.engine,
+            e.n,
+            e.rounds,
+            e.messages,
+            e.seconds,
+            e.rounds_per_sec(),
+            if i + 1 < entries.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = write!(
+        json,
+        "  \"batched_over_threaded_at_10k\": {speedup_10k:.1}\n}}\n"
+    );
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    assert!(
+        speedup_10k.is_nan() || speedup_10k >= 10.0,
+        "regression: batched engine is only {speedup_10k:.1}x the threaded \
+         oracle at n=10k (target: >=10x)"
+    );
+}

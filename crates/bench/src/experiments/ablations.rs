@@ -20,7 +20,10 @@ pub fn a1_capacity() -> Vec<Table> {
     graphgen::repair_to_graphic(&mut degrees);
 
     let mut t = Table::new(
-        format!("Ablation A1 — capacity factor c (n = {n}, star-heavy Δ = {})", n - 1),
+        format!(
+            "Ablation A1 — capacity factor c (n = {n}, star-heavy Δ = {})",
+            n - 1
+        ),
         &["c", "cap", "implicit rounds", "explicit rounds", "hand-off"],
     );
     let mut handoffs = Vec::new();
@@ -71,7 +74,14 @@ pub fn a2_policy() -> Vec<Table> {
     let n = 128;
     let mut t = Table::new(
         format!("Ablation A2 — receive policy under an n-to-1 burst (n = {n})"),
-        &["policy", "rounds to drain", "max recv/round", "cap", "recv violations", "delivered"],
+        &[
+            "policy",
+            "rounds to drain",
+            "max recv/round",
+            "cap",
+            "recv violations",
+            "delivered",
+        ],
     );
     let mut rows = Vec::new();
     for (name, policy) in [

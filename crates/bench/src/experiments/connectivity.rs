@@ -54,7 +54,14 @@ pub fn t18_ncc0() -> Vec<Table> {
     let n = 128;
     let mut t = Table::new(
         format!("Theorem 18 — NCC0 explicit threshold realization (n = {n})"),
-        &["Δρ", "rounds", "Δ + log²n", "rounds/budget", "edges/LB", "satisfied"],
+        &[
+            "Δρ",
+            "rounds",
+            "Δ + log²n",
+            "rounds/budget",
+            "edges/LB",
+            "satisfied",
+        ],
     );
     let mut ok_all = true;
     let mut ratios = Vec::new();
@@ -64,9 +71,7 @@ pub fn t18_ncc0() -> Vec<Table> {
         let out = realize_ncc0(&inst, Config::ncc0(42).with_queueing()).unwrap();
         let lb = edge_lower_bound(&inst);
         let approx = out.graph.edge_count() as f64 / lb as f64;
-        ok_all &= out.report.satisfied
-            && approx <= 2.0
-            && out.metrics.undelivered == 0;
+        ok_all &= out.report.satisfied && approx <= 2.0 && out.metrics.undelivered == 0;
         let budget = inst.max_rho() as f64 + lg(n) * lg(n);
         ratios.push(out.metrics.rounds as f64 / budget);
         t.row(vec![

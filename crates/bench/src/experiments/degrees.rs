@@ -19,7 +19,15 @@ pub fn t11_implicit() -> Vec<Table> {
     let n = 256;
     let mut t1 = Table::new(
         format!("Theorem 11a — implicit realization, Δ sweep (regular, n = {n})"),
-        &["Δ", "m", "phases", "rounds", "min(√m,Δ)", "phases/bound", "degrees"],
+        &[
+            "Δ",
+            "m",
+            "phases",
+            "rounds",
+            "min(√m,Δ)",
+            "phases/bound",
+            "degrees",
+        ],
     );
     let mut ratios = Vec::new();
     let mut exact = true;
@@ -39,7 +47,11 @@ pub fn t11_implicit() -> Vec<Table> {
             r.metrics.rounds.to_string(),
             f2(bound),
             f2(r.phases as f64 / bound),
-            if ok { "exact".into() } else { "MISMATCH".into() },
+            if ok {
+                "exact".into()
+            } else {
+                "MISMATCH".into()
+            },
         ]);
     }
     t1.verdict(
@@ -51,7 +63,14 @@ pub fn t11_implicit() -> Vec<Table> {
     // --- √m sweep: the concentrated D* family (Δ ≈ √m ≈ k). ---
     let mut t2 = Table::new(
         "Theorem 11b — implicit realization, √m sweep (K_k-profile, n = 300)",
-        &["m", "√m", "phases", "rounds", "rounds/(√m·log²n)", "degrees"],
+        &[
+            "m",
+            "√m",
+            "phases",
+            "rounds",
+            "rounds/(√m·log²n)",
+            "degrees",
+        ],
     );
     let mut ratios = Vec::new();
     let mut exact = true;
@@ -73,7 +92,11 @@ pub fn t11_implicit() -> Vec<Table> {
             r.phases.to_string(),
             r.metrics.rounds.to_string(),
             f2(ratio),
-            if ok { "exact".into() } else { "MISMATCH".into() },
+            if ok {
+                "exact".into()
+            } else {
+                "MISMATCH".into()
+            },
         ]);
     }
     t2.verdict(
@@ -90,7 +113,14 @@ pub fn t12_explicit() -> Vec<Table> {
     let n = 256;
     let mut t = Table::new(
         format!("Theorem 12 — explicit realization hand-off (star-heavy, n = {n})"),
-        &["Δ", "implicit rounds", "explicit rounds", "extra", "Δ/cap + log n", "extra/budget"],
+        &[
+            "Δ",
+            "implicit rounds",
+            "explicit rounds",
+            "extra",
+            "Δ/cap + log n",
+            "extra/budget",
+        ],
     );
     let mut ratios = Vec::new();
     let mut ok_all = true;
@@ -100,11 +130,9 @@ pub fn t12_explicit() -> Vec<Table> {
         graphgen::repair_to_graphic(&mut degrees);
         let seq = DegreeSequence::new(degrees.clone());
         let imp = realize_implicit(&degrees, Config::ncc0(9)).unwrap();
-        let exp =
-            realize_explicit(&degrees, Config::ncc0(9).with_queueing()).unwrap();
+        let exp = realize_explicit(&degrees, Config::ncc0(9).with_queueing()).unwrap();
         let (ri, re) = (imp.expect_realized(), exp.expect_realized());
-        ok_all &= dgr_core::verify::degrees_match(&re.graph, &re.requested)
-            .is_ok()
+        ok_all &= dgr_core::verify::degrees_match(&re.graph, &re.requested).is_ok()
             && re.metrics.undelivered == 0;
         let extra = re.metrics.rounds.saturating_sub(ri.metrics.rounds);
         let cap = re.metrics.capacity as f64;
@@ -132,7 +160,15 @@ pub fn t12_explicit() -> Vec<Table> {
 pub fn t13_envelope() -> Vec<Table> {
     let mut t = Table::new(
         "Theorem 13 — upper-envelope realization of non-graphic sequences",
-        &["family", "n", "Σd", "Σd'", "Σd'/Σd", "d'≥d everywhere", "duplicates"],
+        &[
+            "family",
+            "n",
+            "Σd",
+            "Σd'",
+            "Σd'/Σd",
+            "d'≥d everywhere",
+            "duplicates",
+        ],
     );
     let mut ok_all = true;
     let families: Vec<(&str, Vec<usize>)> = vec![
@@ -157,7 +193,10 @@ pub fn t13_envelope() -> Vec<Table> {
             }
             d
         }),
-        ("already graphic", graphgen::random_graphic_sequence(64, 10, 23)),
+        (
+            "already graphic",
+            graphgen::random_graphic_sequence(64, 10, 23),
+        ),
     ];
     for (name, degrees) in families {
         let n = degrees.len();

@@ -32,8 +32,7 @@ pub fn t19_explicit() -> Vec<Table> {
         degrees[0] = delta;
         graphgen::repair_to_graphic(&mut degrees);
         let seq = DegreeSequence::new(degrees.clone());
-        let out =
-            realize_explicit(&degrees, Config::ncc0(51).with_queueing()).unwrap();
+        let out = realize_explicit(&degrees, Config::ncc0(51).with_queueing()).unwrap();
         let r = out.expect_realized();
         let d = seq.max_degree() as f64;
         let budget = d / lg(n) + lg(n) * lg(n);
@@ -59,7 +58,14 @@ pub fn t20_implicit() -> Vec<Table> {
     let n = 300;
     let mut t1 = Table::new(
         format!("Theorem 20a — implicit realization on D* (√m family, n = {n})"),
-        &["m", "√m", "rounds", "rounds/(√m·log²n)", "max knowledge", "≥ √m?"],
+        &[
+            "m",
+            "√m",
+            "rounds",
+            "rounds/(√m·log²n)",
+            "max knowledge",
+            "≥ √m?",
+        ],
     );
     let mut ratios = Vec::new();
     let mut knowledge_ok = true;

@@ -19,7 +19,14 @@ fn lg(n: usize) -> f64 {
 pub fn t1_bbst() -> Vec<Table> {
     let mut t = Table::new(
         "Theorem 1 — balanced binary search tree construction",
-        &["n", "rounds", "log2(n)", "rounds/log2(n)", "max depth", "bound"],
+        &[
+            "n",
+            "rounds",
+            "log2(n)",
+            "rounds/log2(n)",
+            "max depth",
+            "bound",
+        ],
     );
     let mut ratios = Vec::new();
     let mut heights_ok = true;
@@ -60,7 +67,13 @@ pub fn t1_bbst() -> Vec<Table> {
 pub fn c2_positions() -> Vec<Table> {
     let mut t = Table::new(
         "Corollary 2 — path positions and median in O(log n) rounds",
-        &["n", "pos rounds", "median rounds", "total/log2(n)", "all correct"],
+        &[
+            "n",
+            "pos rounds",
+            "median rounds",
+            "total/log2(n)",
+            "all correct",
+        ],
     );
     let mut ratios = Vec::new();
     let mut correct = true;
@@ -110,7 +123,13 @@ pub fn c2_positions() -> Vec<Table> {
 pub fn t3_sort() -> Vec<Table> {
     let mut t = Table::new(
         "Theorem 3 — distributed sorting into a sorted path",
-        &["n", "rounds", "log2²(n)", "rounds/log²", "paper budget log³"],
+        &[
+            "n",
+            "rounds",
+            "log2²(n)",
+            "rounds/log²",
+            "paper budget log³",
+        ],
     );
     let mut ratios = Vec::new();
     let mut sorted_ok = true;
@@ -121,9 +140,7 @@ pub fn t3_sort() -> Vec<Table> {
                 let c = PathCtx::establish(h);
                 let key = h.id() % 97;
                 let r0 = h.round();
-                let sp = sort::sort_at(
-                    h, &c.vp, &c.contacts, c.position, key, Order::Ascending,
-                );
+                let sp = sort::sort_at(h, &c.vp, &c.contacts, c.position, key, Order::Ascending);
                 (h.round() - r0, key, sp.rank)
             })
             .unwrap();
@@ -169,9 +186,7 @@ pub fn t4_aggregate() -> Vec<Table> {
             .run(|h| {
                 let c = PathCtx::establish(h);
                 let r0 = h.round();
-                let sum = ops::aggregate_broadcast(
-                    h, &c.vp, &c.tree, h.id() % 64, |a, b| a + b,
-                );
+                let sum = ops::aggregate_broadcast(h, &c.vp, &c.tree, h.id() % 64, |a, b| a + b);
                 (h.round() - r0, sum)
             })
             .unwrap();
@@ -209,8 +224,7 @@ pub fn t5_collect() -> Vec<Table> {
         let result = net
             .run(move |h| {
                 let c = PathCtx::establish(h);
-                let token = (c.position > 0 && c.position <= k)
-                    .then_some(c.position as u64);
+                let token = (c.position > 0 && c.position <= k).then_some(c.position as u64);
                 let r0 = h.round();
                 let got = ops::collect(h, &c.vp, &c.tree, token, k);
                 (h.round() - r0, c.tree.is_root, got.len())

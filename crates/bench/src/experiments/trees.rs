@@ -15,17 +15,22 @@ fn lg(n: usize) -> f64 {
 pub fn t14_chain() -> Vec<Table> {
     let mut t = Table::new(
         "Theorem 14 — tree realization (Algorithm 4), n sweep",
-        &["n", "rounds", "log2²(n)", "rounds/log²", "is tree", "degrees"],
+        &[
+            "n",
+            "rounds",
+            "log2²(n)",
+            "rounds/log²",
+            "is tree",
+            "degrees",
+        ],
     );
     let mut ratios = Vec::new();
     let mut ok_all = true;
     for &n in &[32usize, 64, 128, 256, 512, 1024] {
         let degrees = graphgen::random_tree_sequence(n, n as u64);
-        let out =
-            realize_tree(&degrees, Config::ncc0(31), TreeAlgo::Chain).unwrap();
+        let out = realize_tree(&degrees, Config::ncc0(31), TreeAlgo::Chain).unwrap();
         let r = out.expect_realized();
-        let deg_ok =
-            dgr_core::verify::degrees_match(&r.graph, &r.requested).is_ok();
+        let deg_ok = dgr_core::verify::degrees_match(&r.graph, &r.requested).is_ok();
         ok_all &= r.graph.is_tree() && deg_ok && r.metrics.is_clean();
         let ratio = r.metrics.rounds as f64 / (lg(n) * lg(n));
         ratios.push(ratio);
@@ -35,7 +40,11 @@ pub fn t14_chain() -> Vec<Table> {
             f2(lg(n) * lg(n)),
             f2(ratio),
             r.graph.is_tree().to_string(),
-            if deg_ok { "exact".into() } else { "MISMATCH".into() },
+            if deg_ok {
+                "exact".into()
+            } else {
+                "MISMATCH".into()
+            },
         ]);
     }
     t.verdict(
@@ -62,7 +71,10 @@ pub fn t16_greedy() -> Vec<Table> {
     let mut ok_all = true;
     let profiles: Vec<(&str, Vec<usize>)> = vec![
         ("star", graphgen::star_tree_sequence(64)),
-        ("caterpillar", graphgen::caterpillar_tree_sequence(64, 20, 3)),
+        (
+            "caterpillar",
+            graphgen::caterpillar_tree_sequence(64, 20, 3),
+        ),
         ("random", graphgen::random_tree_sequence(64, 4)),
         ("binary-ish", {
             let mut d = vec![3usize; 31];
@@ -72,7 +84,10 @@ pub fn t16_greedy() -> Vec<Table> {
             d[1] = 4;
             d
         }),
-        ("tiny (brute-checkable)", graphgen::random_tree_sequence(8, 5)),
+        (
+            "tiny (brute-checkable)",
+            graphgen::random_tree_sequence(8, 5),
+        ),
     ];
     for (name, degrees) in profiles {
         let n = degrees.len();
@@ -80,10 +95,8 @@ pub fn t16_greedy() -> Vec<Table> {
         if !seq.is_tree_realizable() {
             panic!("profile {name} is not tree-realizable");
         }
-        let chain =
-            realize_tree(&degrees, Config::ncc0(32), TreeAlgo::Chain).unwrap();
-        let greedy_t =
-            realize_tree(&degrees, Config::ncc0(32), TreeAlgo::Greedy).unwrap();
+        let chain = realize_tree(&degrees, Config::ncc0(32), TreeAlgo::Chain).unwrap();
+        let greedy_t = realize_tree(&degrees, Config::ncc0(32), TreeAlgo::Greedy).unwrap();
         let (c, g) = (chain.expect_realized(), greedy_t.expect_realized());
         let reference = greedy::greedy_tree(&seq).unwrap();
         let ref_dia = greedy::diameter_of(&reference, n);

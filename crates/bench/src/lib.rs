@@ -10,8 +10,8 @@ pub use table::Table;
 
 /// All experiment IDs, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "F1", "F2", "T1", "C2", "T3", "T4", "T5", "T11", "T12", "T13", "T14",
-    "T16", "T17", "T18", "T19", "T20", "A1", "A2",
+    "F1", "F2", "T1", "C2", "T3", "T4", "T5", "T11", "T12", "T13", "T14", "T16", "T17", "T18",
+    "T19", "T20", "A1", "A2",
 ];
 
 /// Runs one experiment by ID, returning its tables.

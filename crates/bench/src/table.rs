@@ -40,8 +40,7 @@ impl Table {
 
     /// Renders as a markdown table.
     pub fn to_markdown(&self) -> String {
-        let mut widths: Vec<usize> =
-            self.headers.iter().map(String::len).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -58,8 +57,7 @@ impl Table {
             format!("| {} |", inner.join(" | "))
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers));
-        let sep: Vec<String> =
-            widths.iter().map(|w| "-".repeat(*w)).collect();
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
         let _ = writeln!(out, "{}", fmt_row(&sep));
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row));

@@ -89,7 +89,10 @@ fn token_pipeline(
 pub fn realize(h: &mut NodeHandle, rho: usize) -> ThresholdOutcome {
     let ctx = PathCtx::establish(h);
     let n = ctx.vp.len;
-    let mut outcome = ThresholdOutcome { rho, neighbors: Vec::new() };
+    let mut outcome = ThresholdOutcome {
+        rho,
+        neighbors: Vec::new(),
+    };
     if n == 1 {
         return outcome;
     }
@@ -104,15 +107,8 @@ pub fn realize(h: &mut NodeHandle, rho: usize) -> ThresholdOutcome {
         Order::Descending,
     );
     let rank = sp.rank;
-    let d0 =
-        ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, rho as u64, u64::max)
-            as usize;
-    let x1 = ops::broadcast_addr(
-        h,
-        &ctx.vp,
-        &ctx.tree,
-        (rank == 0).then(|| h.id()),
-    );
+    let d0 = ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, rho as u64, u64::max) as usize;
+    let x1 = ops::broadcast_addr(h, &ctx.vp, &ctx.tree, (rank == 0).then(|| h.id()));
     let prefix_len = (d0 + 1).min(n);
     let in_prefix = rank < prefix_len;
     let b = (h.capacity() / 2).max(1);
@@ -150,9 +146,11 @@ pub fn realize(h: &mut NodeHandle, rho: usize) -> ThresholdOutcome {
         .map(|&origin| (origin, Msg::signal(tags::EDGE_ACK)))
         .collect();
     let acks = stagger::staggered_send(h, replies, spread, drain);
-    outcome
-        .neighbors
-        .extend(acks.iter().filter(|e| e.msg.tag == tags::EDGE_ACK).map(|e| e.src));
+    outcome.neighbors.extend(
+        acks.iter()
+            .filter(|e| e.msg.tag == tags::EDGE_ACK)
+            .map(|e| e.src),
+    );
 
     outcome
 }
@@ -172,8 +170,7 @@ mod tests {
             vec![4, 4, 3, 2, 2, 1, 1, 1, 1, 1],
         ] {
             let inst = ThresholdInstance::new(rho.clone());
-            let out = realize_ncc0(&inst, Config::ncc0(71).with_queueing())
-                .unwrap();
+            let out = realize_ncc0(&inst, Config::ncc0(71).with_queueing()).unwrap();
             assert!(out.report.satisfied, "{rho:?}: {:?}", out.report);
             assert!(
                 out.graph.edge_count() <= inst.sum(),
@@ -182,9 +179,7 @@ mod tests {
                 inst.sum()
             );
             // 2-approximation against the universal lower bound.
-            assert!(
-                out.graph.edge_count() <= 2 * sequential::edge_lower_bound(&inst)
-            );
+            assert!(out.graph.edge_count() <= 2 * sequential::edge_lower_bound(&inst));
             assert!(out.metrics.undelivered == 0);
         }
     }
@@ -192,8 +187,7 @@ mod tests {
     #[test]
     fn explicitness_both_endpoints_list_every_edge() {
         let inst = ThresholdInstance::new(vec![3, 2, 2, 1, 1, 1, 1, 1]);
-        let out =
-            realize_ncc0(&inst, Config::ncc0(72).with_queueing()).unwrap();
+        let out = realize_ncc0(&inst, Config::ncc0(72).with_queueing()).unwrap();
         // assemble_explicit (inside the driver) already asserts symmetry;
         // double-check degree consistency here.
         for &id in &out.path_order {
@@ -210,8 +204,7 @@ mod tests {
     fn uniform_high_rho() {
         // Everyone wants connectivity 5 on n = 12.
         let inst = ThresholdInstance::new(vec![5; 12]);
-        let out =
-            realize_ncc0(&inst, Config::ncc0(73).with_queueing()).unwrap();
+        let out = realize_ncc0(&inst, Config::ncc0(73).with_queueing()).unwrap();
         assert!(out.report.satisfied, "{:?}", out.report);
     }
 
@@ -220,8 +213,7 @@ mod tests {
         // Everyone wants n-1: the realization must be (close to) complete.
         let n = 8;
         let inst = ThresholdInstance::new(vec![n - 1; n]);
-        let out =
-            realize_ncc0(&inst, Config::ncc0(74).with_queueing()).unwrap();
+        let out = realize_ncc0(&inst, Config::ncc0(74).with_queueing()).unwrap();
         assert!(out.report.satisfied, "{:?}", out.report);
         assert_eq!(out.graph.edge_count(), n * (n - 1) / 2);
     }
@@ -240,8 +232,7 @@ mod tests {
             *r = 3;
         }
         let inst = ThresholdInstance::new(rho);
-        let out =
-            realize_ncc0(&inst, Config::ncc0(31).with_queueing()).unwrap();
+        let out = realize_ncc0(&inst, Config::ncc0(31).with_queueing()).unwrap();
         assert!(out.report.satisfied, "{:?}", out.report);
     }
 }

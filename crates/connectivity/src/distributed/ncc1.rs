@@ -23,8 +23,7 @@ pub fn realize(h: &mut NodeHandle, rho: usize) -> ThresholdOutcome {
     // NCC1 the knowledge path is available too, and this is the cheapest
     // O~(1) aggregation structure we have).
     let ctx = PathCtx::establish(h);
-    let max_rho =
-        ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, rho as u64, u64::max);
+    let max_rho = ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, rho as u64, u64::max);
     // w = the smallest-ID node among the maximizers (broadcast_addr picks
     // the minimum, making the choice consistent everywhere).
     let w = ops::broadcast_addr(
@@ -34,7 +33,10 @@ pub fn realize(h: &mut NodeHandle, rho: usize) -> ThresholdOutcome {
         (rho as u64 == max_rho).then(|| h.id()),
     );
 
-    let mut outcome = ThresholdOutcome { rho, neighbors: Vec::new() };
+    let mut outcome = ThresholdOutcome {
+        rho,
+        neighbors: Vec::new(),
+    };
     if h.id() != w {
         // X_v: w plus the first ρ(v)-1 other IDs from the global list.
         outcome.neighbors.push(w);
@@ -80,8 +82,14 @@ mod tests {
         // O~(1): round count must not depend on Δ = max ρ.
         let small = ThresholdInstance::new(vec![2; 32]);
         let large = ThresholdInstance::new(vec![20; 32]);
-        let r1 = realize_ncc1(&small, Config::ncc1(62)).unwrap().metrics.rounds;
-        let r2 = realize_ncc1(&large, Config::ncc1(62)).unwrap().metrics.rounds;
+        let r1 = realize_ncc1(&small, Config::ncc1(62))
+            .unwrap()
+            .metrics
+            .rounds;
+        let r2 = realize_ncc1(&large, Config::ncc1(62))
+            .unwrap()
+            .metrics
+            .rounds;
         assert_eq!(r1, r2, "rounds depend on Δ");
     }
 }

@@ -1,7 +1,14 @@
 //! Drivers: run the distributed threshold realizations on simulated
 //! networks, assemble the overlay, and certify it with max-flow.
+//!
+//! [`realize_ncc1`] runs the direct-style Theorem 17 implementation on the
+//! threaded oracle engine; [`realize_ncc1_batched`] runs the step-function
+//! port ([`ncc1_step::Ncc1Star`]) on the batched executor. Both make the
+//! same deterministic hub and edge choices, so they realize the same
+//! overlay — `batched_and_threaded_realize_the_same_overlay` below holds
+//! them to that.
 
-use crate::distributed::{ncc0, ncc1};
+use crate::distributed::{ncc0, ncc1, ncc1_step, ThresholdOutcome};
 use crate::verify::{check_thresholds, ThresholdReport};
 use crate::ThresholdInstance;
 use dgr_core::verify as core_verify;
@@ -31,10 +38,7 @@ pub struct ThresholdRealization {
     pub metrics: RunMetrics,
 }
 
-fn rho_assignment(
-    net: &Network,
-    inst: &ThresholdInstance,
-) -> HashMap<NodeId, usize> {
+fn rho_assignment(net: &Network, inst: &ThresholdInstance) -> HashMap<NodeId, usize> {
     net.ids_in_path_order()
         .iter()
         .copied()
@@ -59,25 +63,54 @@ pub fn realize_ncc1(
     let net = Network::new(inst.len(), config);
     let by_id = rho_assignment(&net, inst);
     let result = net.run(|h| ncc1::realize(h, by_id[&h.id()]))?;
+    Ok(certify_implicit(&net, inst, by_id, result))
+}
+
+/// Runs the Theorem 17 star construction as a step-function protocol on
+/// the **batched engine** — the production path; unlike the threaded
+/// driver it is practical at six-digit and seven-digit `n`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `config` is not an NCC1 configuration.
+pub fn realize_ncc1_batched(
+    inst: &ThresholdInstance,
+    config: Config,
+) -> Result<ThresholdRealization, SimError> {
+    assert_eq!(config.model, Model::Ncc1, "Theorem 17 requires NCC1");
+    let net = Network::new(inst.len(), config);
+    let by_id = rho_assignment(&net, inst);
+    let result = net.run_protocol(|s| ncc1_step::Ncc1Star::new(s, by_id[&s.id]))?;
+    Ok(certify_implicit(&net, inst, by_id, result))
+}
+
+/// Shared implicit-realization assembly + max-flow certification (both
+/// engines' NCC1 runs funnel through here).
+fn certify_implicit(
+    net: &Network,
+    inst: &ThresholdInstance,
+    by_id: HashMap<NodeId, usize>,
+    result: dgr_ncc::RunResult<ThresholdOutcome>,
+) -> ThresholdRealization {
     let metrics = result.metrics.clone();
     // Implicit: each edge is stored at its adding endpoint.
     let assembled = core_verify::assemble_implicit(
         net.ids_in_path_order(),
         result.outputs.into_iter().map(|(id, o)| (id, o.neighbors)),
     );
-    let report = check_thresholds(
-        &assembled.graph,
-        &by_id,
-        inst.len() <= ALL_PAIRS_LIMIT,
-    );
-    Ok(ThresholdRealization {
+    let report = check_thresholds(&assembled.graph, &by_id, inst.len() <= ALL_PAIRS_LIMIT);
+    ThresholdRealization {
         graph: assembled.graph,
         rho: by_id,
         path_order: net.ids_in_path_order().to_vec(),
         explicit_neighbors: HashMap::new(),
         report,
         metrics,
-    })
+    }
 }
 
 /// Runs the Algorithm 6 NCC0 explicit construction. Use a queueing
@@ -100,14 +133,9 @@ pub fn realize_ncc0(
         .into_iter()
         .map(|(id, o)| (id, o.neighbors))
         .collect();
-    let assembled =
-        core_verify::assemble_explicit(net.ids_in_path_order(), &lists)
-            .expect("Algorithm 6 lost explicit symmetry");
-    let report = check_thresholds(
-        &assembled.graph,
-        &by_id,
-        inst.len() <= ALL_PAIRS_LIMIT,
-    );
+    let assembled = core_verify::assemble_explicit(net.ids_in_path_order(), &lists)
+        .expect("Algorithm 6 lost explicit symmetry");
+    let report = check_thresholds(&assembled.graph, &by_id, inst.len() <= ALL_PAIRS_LIMIT);
     Ok(ThresholdRealization {
         graph: assembled.graph,
         rho: by_id,
@@ -128,6 +156,37 @@ mod tests {
         let out = realize_ncc1(&inst, Config::ncc1(55)).unwrap();
         assert!(out.report.satisfied);
         assert!(out.explicit_neighbors.is_empty());
+    }
+
+    #[test]
+    fn batched_and_threaded_realize_the_same_overlay() {
+        for rho in [
+            vec![2, 2, 1, 1, 1],
+            vec![4, 3, 2, 2, 1, 1, 1, 1],
+            vec![3; 9],
+        ] {
+            let inst = ThresholdInstance::new(rho);
+            let threaded = realize_ncc1(&inst, Config::ncc1(77)).unwrap();
+            let batched = realize_ncc1_batched(&inst, Config::ncc1(77)).unwrap();
+            assert!(batched.report.satisfied);
+            assert_eq!(
+                threaded.graph.edge_list(),
+                batched.graph.edge_list(),
+                "engines disagree on the realized overlay"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_ncc1_scales_past_the_threaded_engine() {
+        // 2k nodes, fully certified (the hub check is n-1 max-flows, so
+        // the six-digit-scale structural checks live in tests/scale.rs).
+        let n = 2_000;
+        let inst = ThresholdInstance::new(vec![3; n]);
+        let out = realize_ncc1_batched(&inst, Config::ncc1(88)).unwrap();
+        assert!(out.report.satisfied);
+        assert!(out.metrics.is_clean());
+        assert!(out.metrics.rounds <= 2 * 13);
     }
 
     #[test]

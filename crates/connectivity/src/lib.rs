@@ -10,6 +10,9 @@
 //!
 //! * [`distributed::ncc1`] — Theorem 17: `O~(1)`-round implicit
 //!   realization in NCC1 (star through the maximum-`ρ` node `w`).
+//! * [`distributed::ncc1_step`] — the same construction as a
+//!   step-function protocol for the batched engine
+//!   ([`driver::realize_ncc1_batched`]), practical at 10⁵–10⁶ nodes.
 //! * [`distributed::ncc0`] — Theorem 18 / Algorithm 6: `O~(Δ)`-round
 //!   explicit realization in NCC0 (and NCC1).
 //! * [`sequential`] — the centralized Frank–Chou-style baseline and the
@@ -21,7 +24,7 @@ pub mod driver;
 pub mod sequential;
 pub mod verify;
 
-pub use driver::{realize_ncc0, realize_ncc1, ThresholdRealization};
+pub use driver::{realize_ncc0, realize_ncc1, realize_ncc1_batched, ThresholdRealization};
 pub use sequential::{edge_lower_bound, sequential_realization};
 pub use verify::{check_thresholds, ThresholdReport};
 

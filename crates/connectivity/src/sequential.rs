@@ -53,11 +53,7 @@ pub fn sequential_realization(inst: &ThresholdInstance) -> Graph {
 /// ones; when targets run out, reuse saturated nodes (envelope growth).
 fn sequential_envelope_into(g: &mut Graph, nodes: &[usize], degrees: &[usize]) {
     let k = nodes.len();
-    let mut rem: Vec<(usize, usize)> = degrees
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| (d, i))
-        .collect();
+    let mut rem: Vec<(usize, usize)> = degrees.iter().enumerate().map(|(i, &d)| (d, i)).collect();
     loop {
         rem.sort_unstable_by(|a, b| b.cmp(a));
         let (d, u) = rem[0];
@@ -66,14 +62,14 @@ fn sequential_envelope_into(g: &mut Graph, nodes: &[usize], degrees: &[usize]) {
         }
         rem[0].0 = 0;
         let mut connected = 0;
-        for j in 1..k {
+        for other in rem.iter_mut().take(k).skip(1) {
             if connected == d {
                 break;
             }
-            let v = rem[j].1;
+            let v = other.1;
             let (a, b) = (nodes[u] as u64, nodes[v] as u64);
             if g.add_edge(a, b).is_ok() {
-                rem[j].0 = rem[j].0.saturating_sub(1);
+                other.0 = other.0.saturating_sub(1);
                 connected += 1;
             }
         }
@@ -99,7 +95,10 @@ mod tests {
     fn lower_bound_rounds_up() {
         assert_eq!(edge_lower_bound(&ThresholdInstance::new(vec![1, 1, 1])), 2);
         assert_eq!(edge_lower_bound(&ThresholdInstance::new(vec![2, 2, 2])), 3);
-        assert_eq!(edge_lower_bound(&ThresholdInstance::new(vec![3, 1, 1, 1])), 3);
+        assert_eq!(
+            edge_lower_bound(&ThresholdInstance::new(vec![3, 1, 1, 1])),
+            3
+        );
     }
 
     #[test]

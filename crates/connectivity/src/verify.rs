@@ -75,8 +75,7 @@ mod tests {
 
     #[test]
     fn cycle_satisfies_rho_two() {
-        let g = Graph::from_edges(0..4, [(0, 1), (1, 2), (2, 3), (3, 0)])
-            .unwrap();
+        let g = Graph::from_edges(0..4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         let rho: HashMap<u64, usize> = (0..4).map(|i| (i, 2)).collect();
         let r = check_thresholds(&g, &rho, true);
         assert!(r.satisfied);
@@ -95,11 +94,7 @@ mod tests {
 
     #[test]
     fn hub_mode_agrees_with_all_pairs_here() {
-        let g = Graph::from_edges(
-            0..5,
-            [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(0..5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)]).unwrap();
         let mut rho: HashMap<u64, usize> = (1..5).map(|i| (i, 2)).collect();
         rho.insert(0, 4);
         assert!(check_thresholds(&g, &rho, true).satisfied);

@@ -26,10 +26,7 @@ use dgr_primitives::PathCtx;
 ///
 /// [`Unrealizable`] only when some degree is `≥ n` (no envelope exists in
 /// that case either); every other sequence is realized.
-pub fn realize(
-    h: &mut NodeHandle,
-    degree: usize,
-) -> Result<ImplicitOutcome, Unrealizable> {
+pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<ImplicitOutcome, Unrealizable> {
     let ctx = PathCtx::establish(h);
     realize_on(h, &ctx, &ctx, degree)
 }

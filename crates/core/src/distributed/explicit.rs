@@ -23,27 +23,13 @@ use dgr_primitives::{ops, stagger, PathCtx};
 /// # Errors
 ///
 /// [`Unrealizable`] when the sequence is not graphic.
-pub fn realize(
-    h: &mut NodeHandle,
-    degree: usize,
-) -> Result<ExplicitOutcome, Unrealizable> {
+pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<ExplicitOutcome, Unrealizable> {
     let ctx = PathCtx::establish(h);
-    let implicit = super::implicit::realize_on(
-        h,
-        &ctx,
-        &ctx,
-        degree,
-        super::implicit::Mode::Exact,
-    )?;
+    let implicit =
+        super::implicit::realize_on(h, &ctx, &ctx, degree, super::implicit::Mode::Exact)?;
     // Everyone learns Δ = max requested degree: the bound on any node's
     // incoming announcements, from which the epoch length is derived.
-    let delta = ops::aggregate_broadcast(
-        h,
-        &ctx.vp,
-        &ctx.tree,
-        degree as u64,
-        u64::max,
-    ) as usize;
+    let delta = ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, degree as u64, u64::max) as usize;
     Ok(make_explicit(h, implicit, delta))
 }
 
@@ -88,11 +74,7 @@ mod tests {
     #[test]
     fn both_endpoints_know_every_edge() {
         let degrees = vec![4, 3, 3, 2, 2, 2, 1, 1];
-        let out = driver::realize_explicit(
-            &degrees,
-            Config::ncc0(31).with_queueing(),
-        )
-        .unwrap();
+        let out = driver::realize_explicit(&degrees, Config::ncc0(31).with_queueing()).unwrap();
         let g = out.expect_realized();
         // Explicit: every node's neighbor list is exactly its graph
         // adjacency — symmetric by construction of the check in the driver.
@@ -112,11 +94,8 @@ mod tests {
 
     #[test]
     fn explicit_rejects_non_graphic() {
-        let out = driver::realize_explicit(
-            &[3, 3, 1, 1],
-            Config::ncc0(33).with_queueing(),
-        )
-        .unwrap();
+        let out =
+            driver::realize_explicit(&[3, 3, 1, 1], Config::ncc0(33).with_queueing()).unwrap();
         assert!(out.is_unrealizable());
     }
 
@@ -127,11 +106,7 @@ mod tests {
         let n = 48;
         let mut degrees = vec![1usize; n];
         degrees[0] = n - 1;
-        let out = driver::realize_explicit(
-            &degrees,
-            Config::ncc0(35).with_queueing(),
-        )
-        .unwrap();
+        let out = driver::realize_explicit(&degrees, Config::ncc0(35).with_queueing()).unwrap();
         let g = out.expect_realized();
         assert!(g.metrics.max_received_per_round <= g.metrics.capacity);
         assert_eq!(g.graph.degree_sequence()[0], n - 1);

@@ -63,7 +63,10 @@ pub(crate) fn realize_on(
     degree: usize,
     mode: Mode,
 ) -> Result<ImplicitOutcome, Unrealizable> {
-    debug_assert!(global.vp.member, "global control context must span all nodes");
+    debug_assert!(
+        global.vp.member,
+        "global control context must span all nodes"
+    );
     let len = ctx.vp.len;
     let mut need = if ctx.vp.member { degree as u64 } else { 0 };
     let mut outcome = ImplicitOutcome {
@@ -77,14 +80,18 @@ pub(crate) fn realize_on(
 
         // Step 1: sort by remaining degree, non-increasing.
         let sp = sort::sort_at(
-            h, &ctx.vp, &ctx.contacts, ctx.position, need, Order::Descending,
+            h,
+            &ctx.vp,
+            &ctx.contacts,
+            ctx.position,
+            need,
+            Order::Descending,
         );
         let sorted_contacts = contacts::build(h, &sp.vp);
 
         // Step 2: broadcast δ (on the fixed global tree — it never
         // changes, only the logical sorted order does).
-        let delta =
-            ops::aggregate_broadcast(h, &global.vp, &global.tree, need, u64::max);
+        let delta = ops::aggregate_broadcast(h, &global.vp, &global.tree, need, u64::max);
         if delta == 0 {
             break;
         }
@@ -109,10 +116,16 @@ pub(crate) fn realize_on(
 
         // Step 4: q disjoint star groups via interval multicast.
         let rank = sp.rank;
-        let is_leader =
-            ctx.vp.member && rank < group_span && rank.is_multiple_of(delta + 1);
+        let is_leader = ctx.vp.member && rank < group_span && rank.is_multiple_of(delta + 1);
         let task = is_leader.then(|| {
-            (CoverSide::After, delta, Payload { addr: h.id(), word: 0 })
+            (
+                CoverSide::After,
+                delta,
+                Payload {
+                    addr: h.id(),
+                    word: 0,
+                },
+            )
         });
         let got = imcast::interval_multicast(h, &sp.vp, &sorted_contacts, task);
 
@@ -156,7 +169,7 @@ pub fn phase_bound(seq: &DegreeSequence) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::driver;
     use dgr_ncc::Config;
 
@@ -178,8 +191,7 @@ mod tests {
             vec![0, 0, 0],
             vec![1, 1, 0, 0],
         ] {
-            let out =
-                driver::realize_implicit(&degrees, Config::ncc0(7)).unwrap();
+            let out = driver::realize_implicit(&degrees, Config::ncc0(7)).unwrap();
             let g = out.expect_realized();
             let mut want = degrees.clone();
             want.sort_unstable_by(|a, b| b.cmp(a));
@@ -191,14 +203,13 @@ mod tests {
     #[test]
     fn rejects_non_graphic_sequences() {
         for degrees in [
-            vec![1, 0],               // odd sum
-            vec![3, 3, 1, 1],         // EG violation
-            vec![4, 4, 4, 1, 1],      // EG violation
-            vec![3, 1, 1],            // degree ≥ n handled mid-run
-            vec![5, 5, 4, 3, 2, 1],   // classic
+            vec![1, 0],             // odd sum
+            vec![3, 3, 1, 1],       // EG violation
+            vec![4, 4, 4, 1, 1],    // EG violation
+            vec![3, 1, 1],          // degree ≥ n handled mid-run
+            vec![5, 5, 4, 3, 2, 1], // classic
         ] {
-            let out =
-                driver::realize_implicit(&degrees, Config::ncc0(3)).unwrap();
+            let out = driver::realize_implicit(&degrees, Config::ncc0(3)).unwrap();
             assert!(out.is_unrealizable(), "{degrees:?} was accepted");
         }
     }

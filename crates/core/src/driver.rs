@@ -4,6 +4,15 @@
 //! Degrees are assigned to nodes by knowledge-path position: `degrees[i]`
 //! goes to the `i`-th node of `G_k`. (The algorithms themselves never use
 //! path positions as input — assignment order is just bookkeeping.)
+//!
+//! Engine note: the realization algorithms (`implicit`, `explicit`,
+//! `approx`) are direct-style closures, so these drivers run on the
+//! threaded oracle engine (`dgr-ncc/threaded`, which this crate opts
+//! into). Their `O(log n)`-round setup phase exists as a batched
+//! step-function protocol ([`dgr_primitives::proto::PathToClique`]);
+//! porting the realization phases onto [`dgr_ncc::NodeProtocol`] is
+//! tracked in ROADMAP.md, and `ARCHITECTURE.md` documents the porting
+//! recipe these drivers will adopt.
 
 use crate::distributed::{approx, explicit, implicit};
 use crate::verify::{self, Assembled};
@@ -130,10 +139,7 @@ fn split_consistent<T>(
 /// # Errors
 ///
 /// Propagates simulator errors (model violations, round-limit).
-pub fn realize_implicit(
-    degrees: &[usize],
-    config: Config,
-) -> Result<DriverOutput, SimError> {
+pub fn realize_implicit(degrees: &[usize], config: Config) -> Result<DriverOutput, SimError> {
     let net = Network::new(degrees.len(), config);
     let by_id = degree_assignment(&net, degrees);
     let result = net.run(|h| implicit::realize(h, by_id[&h.id()]))?;
@@ -146,7 +152,14 @@ pub fn realize_implicit(
                 net.ids_in_path_order(),
                 outs.into_iter().map(|(id, o)| (id, o.neighbors)),
             );
-            Ok(finish(&net, degrees, assembled, HashMap::new(), phases, metrics))
+            Ok(finish(
+                &net,
+                degrees,
+                assembled,
+                HashMap::new(),
+                phases,
+                metrics,
+            ))
         }
     }
 }
@@ -157,10 +170,7 @@ pub fn realize_implicit(
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn realize_approx(
-    degrees: &[usize],
-    config: Config,
-) -> Result<DriverOutput, SimError> {
+pub fn realize_approx(degrees: &[usize], config: Config) -> Result<DriverOutput, SimError> {
     let net = Network::new(degrees.len(), config);
     let by_id = degree_assignment(&net, degrees);
     let result = net.run(|h| approx::realize(h, by_id[&h.id()]))?;
@@ -173,7 +183,14 @@ pub fn realize_approx(
                 net.ids_in_path_order(),
                 outs.into_iter().map(|(id, o)| (id, o.neighbors)),
             );
-            Ok(finish(&net, degrees, assembled, HashMap::new(), phases, metrics))
+            Ok(finish(
+                &net,
+                degrees,
+                assembled,
+                HashMap::new(),
+                phases,
+                metrics,
+            ))
         }
     }
 }
@@ -186,10 +203,7 @@ pub fn realize_approx(
 ///
 /// Propagates simulator errors, and reports asymmetric explicit claims as
 /// a node panic (they indicate a protocol bug).
-pub fn realize_explicit(
-    degrees: &[usize],
-    config: Config,
-) -> Result<DriverOutput, SimError> {
+pub fn realize_explicit(degrees: &[usize], config: Config) -> Result<DriverOutput, SimError> {
     let net = Network::new(degrees.len(), config);
     let by_id = degree_assignment(&net, degrees);
     let result = net.run(|h| explicit::realize(h, by_id[&h.id()]))?;
@@ -198,13 +212,10 @@ pub fn realize_explicit(
         None => Ok(DriverOutput::Unrealizable { metrics }),
         Some(outs) => {
             let phases = outs.first().map(|(_, o)| o.phases).unwrap_or(0);
-            let lists: HashMap<NodeId, Vec<NodeId>> = outs
-                .into_iter()
-                .map(|(id, o)| (id, o.neighbors))
-                .collect();
-            let assembled =
-                verify::assemble_explicit(net.ids_in_path_order(), &lists)
-                    .expect("explicit realization lost symmetry");
+            let lists: HashMap<NodeId, Vec<NodeId>> =
+                outs.into_iter().map(|(id, o)| (id, o.neighbors)).collect();
+            let assembled = verify::assemble_explicit(net.ids_in_path_order(), &lists)
+                .expect("explicit realization lost symmetry");
             Ok(finish(&net, degrees, assembled, lists, phases, metrics))
         }
     }

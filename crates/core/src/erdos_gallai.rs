@@ -67,8 +67,7 @@ mod tests {
         }
         for k in 1..=n {
             let lhs: usize = d[..k].iter().sum();
-            let rhs: usize =
-                k * (k - 1) + d[k..].iter().map(|&x| x.min(k)).sum::<usize>();
+            let rhs: usize = k * (k - 1) + d[k..].iter().map(|&x| x.min(k)).sum::<usize>();
             if lhs > rhs {
                 return false;
             }

@@ -37,7 +37,9 @@ pub struct DegreeSequence {
 impl DegreeSequence {
     /// Wraps a list of degrees.
     pub fn new(degrees: impl Into<Vec<usize>>) -> Self {
-        DegreeSequence { degrees: degrees.into() }
+        DegreeSequence {
+            degrees: degrees.into(),
+        }
     }
 
     /// Number of nodes.
@@ -151,7 +153,10 @@ mod tests {
     fn quick_check_failures() {
         assert_eq!(
             DegreeSequence::new(vec![4, 1, 1]).quick_check(),
-            Err(RealizeError::DegreeTooLarge { index: 0, degree: 4 })
+            Err(RealizeError::DegreeTooLarge {
+                index: 0,
+                degree: 4
+            })
         );
         assert_eq!(
             DegreeSequence::new(vec![1, 1, 1]).quick_check(),

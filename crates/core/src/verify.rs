@@ -28,8 +28,7 @@ pub fn assemble_implicit(
     stored: impl IntoIterator<Item = (NodeId, Vec<NodeId>)>,
 ) -> Assembled {
     let mut graph = Graph::new(nodes.iter().copied());
-    let mut multi_degrees: HashMap<NodeId, usize> =
-        nodes.iter().map(|&id| (id, 0)).collect();
+    let mut multi_degrees: HashMap<NodeId, usize> = nodes.iter().map(|&id| (id, 0)).collect();
     let mut duplicate_edges = 0;
     for (u, neighbors) in stored {
         for v in neighbors {
@@ -40,7 +39,11 @@ pub fn assemble_implicit(
             }
         }
     }
-    Assembled { graph, multi_degrees, duplicate_edges }
+    Assembled {
+        graph,
+        multi_degrees,
+        duplicate_edges,
+    }
 }
 
 /// Assembles an *explicit* realization from per-node full neighbor lists,
@@ -65,8 +68,7 @@ pub fn assemble_explicit(
         }
     }
     let mut graph = Graph::new(nodes.iter().copied());
-    let mut multi_degrees: HashMap<NodeId, usize> =
-        nodes.iter().map(|&id| (id, 0)).collect();
+    let mut multi_degrees: HashMap<NodeId, usize> = nodes.iter().map(|&id| (id, 0)).collect();
     let mut duplicate_edges = 0;
     for (&(u, v), &count) in &claims {
         if count % 2 != 0 {
@@ -80,15 +82,16 @@ pub fn assemble_explicit(
         *multi_degrees.get_mut(&v).ok_or("unknown endpoint")? += copies;
         graph.add_edge(u, v).map_err(|e| format!("bad edge: {e}"))?;
     }
-    Ok(Assembled { graph, multi_degrees, duplicate_edges })
+    Ok(Assembled {
+        graph,
+        multi_degrees,
+        duplicate_edges,
+    })
 }
 
 /// Do the realized (simple-graph) degrees match the requested degrees
 /// exactly? Returns the first mismatch.
-pub fn degrees_match(
-    graph: &Graph,
-    requested: &HashMap<NodeId, usize>,
-) -> Result<(), String> {
+pub fn degrees_match(graph: &Graph, requested: &HashMap<NodeId, usize>) -> Result<(), String> {
     for (&id, &want) in requested {
         let got = graph.degree_of(id);
         if got != want {
@@ -105,10 +108,7 @@ mod tests {
     #[test]
     fn implicit_assembly_counts_duplicates() {
         let nodes = [1, 2, 3];
-        let a = assemble_implicit(
-            &nodes,
-            vec![(1, vec![2]), (2, vec![3]), (3, vec![1, 2])],
-        );
+        let a = assemble_implicit(&nodes, vec![(1, vec![2]), (2, vec![3]), (3, vec![1, 2])]);
         // (3,2) duplicates (2,3).
         assert_eq!(a.duplicate_edges, 1);
         assert_eq!(a.graph.edge_count(), 3);

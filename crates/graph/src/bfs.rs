@@ -85,11 +85,7 @@ mod tests {
     use super::*;
 
     fn path(n: usize) -> Graph {
-        Graph::from_edges(
-            1..=n as u64,
-            (1..n as u64).map(|i| (i, i + 1)),
-        )
-        .unwrap()
+        Graph::from_edges(1..=n as u64, (1..n as u64).map(|i| (i, i + 1))).unwrap()
     }
 
     #[test]
@@ -112,8 +108,7 @@ mod tests {
     fn diameter_of_known_shapes() {
         assert_eq!(diameter(&path(6)), Some(5));
         // Star: diameter 2.
-        let star =
-            Graph::from_edges(0..=4, (1..=4).map(|i| (0, i))).unwrap();
+        let star = Graph::from_edges(0..=4, (1..=4).map(|i| (0, i))).unwrap();
         assert_eq!(diameter(&star), Some(2));
         // Singleton: diameter 0.
         assert_eq!(diameter(&Graph::new([7])), Some(0));

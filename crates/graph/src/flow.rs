@@ -93,14 +93,7 @@ impl Dinic {
         }
     }
 
-    fn dfs(
-        &mut self,
-        u: usize,
-        t: usize,
-        limit: i64,
-        level: &[usize],
-        iter: &mut [usize],
-    ) -> i64 {
+    fn dfs(&mut self, u: usize, t: usize, limit: i64, level: &[usize], iter: &mut [usize]) -> i64 {
         if u == t {
             return limit;
         }
@@ -108,8 +101,7 @@ impl Dinic {
             let a = self.head[u][iter[u]];
             let v = self.to[a];
             if self.cap[a] > 0 && level[v] == level[u] + 1 {
-                let pushed =
-                    self.dfs(v, t, limit.min(self.cap[a]), level, iter);
+                let pushed = self.dfs(v, t, limit.min(self.cap[a]), level, iter);
                 if pushed > 0 {
                     self.cap[a] -= pushed;
                     self.cap[a ^ 1] += pushed;
@@ -158,8 +150,7 @@ mod tests {
 
     #[test]
     fn cycle_has_connectivity_two() {
-        let g =
-            Graph::from_edges(1..=4, [(1, 2), (2, 3), (3, 4), (4, 1)]).unwrap();
+        let g = Graph::from_edges(1..=4, [(1, 2), (2, 3), (3, 4), (4, 1)]).unwrap();
         assert_eq!(edge_connectivity(&g, 1, 3), 2);
         assert_eq!(global_edge_connectivity(&g), 2);
     }
@@ -204,11 +195,7 @@ mod tests {
     fn matches_menger_on_star_plus_matching() {
         // Star on 0..=4 plus edges (1,2) and (3,4): Conn(1,2)=2 via the
         // direct edge and via the hub.
-        let g = Graph::from_edges(
-            0..=4,
-            [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(0..=4, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)]).unwrap();
         assert_eq!(edge_connectivity(&g, 1, 2), 2);
         assert_eq!(edge_connectivity(&g, 1, 3), 2);
     }

@@ -37,7 +37,12 @@ impl Graph {
             assert!(dup.is_none(), "duplicate node ID {id}");
         }
         let adj = vec![Vec::new(); ids.len()];
-        Graph { ids, index, adj, edges: 0 }
+        Graph {
+            ids,
+            index,
+            adj,
+            edges: 0,
+        }
     }
 
     /// Builds a graph from a vertex set and an edge list.
@@ -67,8 +72,14 @@ impl Graph {
         if u == v {
             return Err(format!("self-loop at {u}"));
         }
-        let &ui = self.index.get(&u).ok_or_else(|| format!("unknown node {u}"))?;
-        let &vi = self.index.get(&v).ok_or_else(|| format!("unknown node {v}"))?;
+        let &ui = self
+            .index
+            .get(&u)
+            .ok_or_else(|| format!("unknown node {u}"))?;
+        let &vi = self
+            .index
+            .get(&v)
+            .ok_or_else(|| format!("unknown node {v}"))?;
         if self.adj[ui].contains(&vi) {
             return Err(format!("duplicate edge ({u}, {v})"));
         }
@@ -160,9 +171,7 @@ impl Graph {
 
     /// Is this graph a tree (connected with exactly n-1 edges)?
     pub fn is_tree(&self) -> bool {
-        !self.ids.is_empty()
-            && self.edges == self.ids.len() - 1
-            && crate::is_connected(self)
+        !self.ids.is_empty() && self.edges == self.ids.len() - 1 && crate::is_connected(self)
     }
 }
 
@@ -202,8 +211,7 @@ mod tests {
     fn tree_detection() {
         let path = Graph::from_edges([1, 2, 3], [(1, 2), (2, 3)]).unwrap();
         assert!(path.is_tree());
-        let cycle =
-            Graph::from_edges([1, 2, 3], [(1, 2), (2, 3), (3, 1)]).unwrap();
+        let cycle = Graph::from_edges([1, 2, 3], [(1, 2), (2, 3), (3, 1)]).unwrap();
         assert!(!cycle.is_tree());
         let forest = Graph::from_edges([1, 2, 3, 4], [(1, 2), (3, 4)]).unwrap();
         assert!(!forest.is_tree());

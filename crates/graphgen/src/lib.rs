@@ -12,8 +12,8 @@ mod thresholds;
 mod trees;
 
 pub use graphic::{
-    near_regular_sequence, power_law_sequence, random_graphic_sequence,
-    repair_to_graphic, star_heavy_sequence,
+    near_regular_sequence, power_law_sequence, random_graphic_sequence, repair_to_graphic,
+    star_heavy_sequence,
 };
 pub use lower_bound::{delta_regular_family, sqrt_m_family};
 pub use thresholds::{single_hub_thresholds, tiered_thresholds, uniform_thresholds};

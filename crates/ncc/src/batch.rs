@@ -1,0 +1,432 @@
+//! The batched step-function executor.
+//!
+//! One round has two phases. The **step phase** polls every live node's
+//! [`NodeProtocol::step`] across a rayon worker pool — node state is
+//! sharded into disjoint `&mut` chunks, each node writes into its own
+//! reusable outbox, and the previous round's inboxes are disjoint spans of
+//! a shared read-only arena, so the phase is data-race-free by
+//! construction and deterministic regardless of worker count. The
+//! **routing phase** runs on the coordinating thread: a stable counting
+//! sort by destination index (validate + count, prefix-sum, scatter) with
+//! capacity checks per bucket. All routing state lives in reusable buffers
+//! ([`RouteBuffers`](crate::route::RouteBuffers)); at steady state a round
+//! allocates nothing.
+//!
+//! Semantics are bit-for-bit those of the threaded oracle engine
+//! (`crates/ncc/src/engine.rs`): same canonical routing order, same
+//! validation order, same violation accounting, same metrics. The
+//! differential tests in `crates/ncc/tests/differential.rs` hold the two
+//! engines to that.
+
+use crate::config::{CapacityPolicy, Config, Model};
+use crate::error::{panic_message, SimError, Violation, ViolationKind};
+use crate::knowledge::KnowledgeTracker;
+use crate::message::NodeId;
+use crate::metrics::RunMetrics;
+use crate::network::{Network, RunResult};
+use crate::protocol::{NodeProtocol, NodeSeed, RoundCtx, Status};
+use crate::route::RouteBuffers;
+use crate::wire::{WireEnvelope, NO_INDEX, WIRE_ADDRS, WIRE_WORDS};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One node's state under the batched executor.
+struct Slot<P: NodeProtocol> {
+    id: NodeId,
+    succ: Option<NodeId>,
+    alive: bool,
+    rounds: u64,
+    inbox_start: u32,
+    inbox_len: u32,
+    rng: SmallRng,
+    out: Vec<WireEnvelope>,
+    proto: Option<P>,
+    output: Option<P::Output>,
+    panic: Option<String>,
+}
+
+/// Runs `factory`-built protocols on every participating node until all
+/// have returned [`Status::Done`]. `participants` masks nodes out of the
+/// network entirely (they are dead from round zero and the knowledge path
+/// links across them); `None` means everyone participates.
+pub(crate) fn run<P, F>(
+    net: &Network,
+    participants: Option<&[bool]>,
+    factory: F,
+) -> Result<RunResult<P::Output>, SimError>
+where
+    P: NodeProtocol,
+    F: Fn(&NodeSeed<'_>) -> P + Sync,
+{
+    let config: &Config = net.config();
+    let ids = net.ids_in_path_order();
+    let n = ids.len();
+    let cap = config.capacity(n);
+    assert!(
+        config.max_words <= WIRE_WORDS && config.max_addrs <= WIRE_ADDRS,
+        "batched engine: configured message budget ({} words, {} addrs) \
+         exceeds the inline wire budget ({WIRE_WORDS} words, {WIRE_ADDRS} addrs)",
+        config.max_words,
+        config.max_addrs,
+    );
+    if let Some(mask) = participants {
+        assert_eq!(mask.len(), n, "participant mask length must equal n");
+    }
+    let participating = |i: usize| participants.is_none_or(|m| m[i]);
+
+    // NCC1 common knowledge: all participating IDs, sorted.
+    let all_ids: Option<Arc<Vec<NodeId>>> = match config.model {
+        Model::Ncc1 => {
+            let mut sorted: Vec<NodeId> = (0..n)
+                .filter(|&i| participating(i))
+                .map(|i| ids[i])
+                .collect();
+            sorted.sort_unstable();
+            Some(Arc::new(sorted))
+        }
+        Model::Ncc0 => None,
+    };
+    let all_ids_slice: Option<&[NodeId]> = all_ids.as_deref().map(Vec::as_slice);
+
+    // KT0 knowledge, seeded along the path of *participating* nodes.
+    let track = config.track_knowledge && config.model == Model::Ncc0;
+    let mut knowledge = KnowledgeTracker::new(n, track);
+    crate::knowledge::seed_path(&mut knowledge, ids, participating);
+
+    // Build the node slots. The per-node RNG stream derivation matches
+    // `NodeHandle::new`, so a protocol draws identical randomness on
+    // either engine.
+    let mut slots: Vec<Slot<P>> = Vec::with_capacity(n);
+    let mut live = 0usize;
+    for i in 0..n {
+        let alive = participating(i);
+        let succ = (i + 1..n).find(|&j| participating(j)).map(|j| ids[j]);
+        let seed = NodeSeed {
+            id: ids[i],
+            n,
+            capacity: cap,
+            model: config.model,
+            initial_successor: if alive { succ } else { None },
+            all_ids: all_ids.as_ref(),
+        };
+        let mix = config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(ids[i].wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        live += alive as usize;
+        slots.push(Slot {
+            id: ids[i],
+            succ: seed.initial_successor,
+            alive,
+            rounds: 0,
+            inbox_start: 0,
+            inbox_len: 0,
+            rng: SmallRng::seed_from_u64(mix),
+            out: Vec::with_capacity(cap + 1),
+            proto: alive.then(|| factory(&seed)),
+            output: None,
+            panic: None,
+        });
+    }
+
+    let mut alive_now: Vec<bool> = (0..n).map(&participating).collect();
+    let mut buffers = RouteBuffers::new(n);
+    let queue_mode = config.capacity_policy == CapacityPolicy::Queue;
+    let strict = config.capacity_policy == CapacityPolicy::Strict;
+    let mut queues: Vec<VecDeque<WireEnvelope>> = if queue_mode {
+        vec![VecDeque::new(); n]
+    } else {
+        Vec::new()
+    };
+    let mut qarena: Vec<WireEnvelope> = Vec::new();
+
+    let mut metrics = RunMetrics {
+        capacity: cap,
+        ..RunMetrics::default()
+    };
+    // Pre-reserve the full (capped) trace so recording a round can never
+    // allocate inside the round loop.
+    metrics
+        .messages_per_round
+        .reserve(crate::metrics::ROUND_TRACE_LIMIT);
+
+    let workers = match config.worker_threads {
+        0 => rayon::current_num_threads(),
+        w => w,
+    }
+    .clamp(1, n.max(1));
+    let chunk = n.div_ceil(workers);
+    let resolver = net.resolver();
+
+    while live > 0 {
+        // --- Step phase: poll every live protocol in parallel. ---
+        let finished = AtomicUsize::new(0);
+        let panicked = AtomicBool::new(false);
+        {
+            let arena: &[WireEnvelope] = if queue_mode { &qarena } else { &buffers.arena };
+            let step_one = |slot: &mut Slot<P>| {
+                if !slot.alive {
+                    return;
+                }
+                let inbox = &arena[slot.inbox_start as usize..][..slot.inbox_len as usize];
+                slot.out.clear();
+                let status = {
+                    let Slot {
+                        id,
+                        succ,
+                        rounds,
+                        rng,
+                        out,
+                        proto,
+                        ..
+                    } = slot;
+                    let mut ctx = RoundCtx {
+                        id: *id,
+                        n,
+                        capacity: cap,
+                        model: config.model,
+                        initial_successor: *succ,
+                        all_ids: all_ids_slice,
+                        round: *rounds,
+                        rng,
+                        inbox,
+                        out,
+                        resolver,
+                    };
+                    let proto = proto.as_mut().expect("live node without protocol");
+                    std::panic::catch_unwind(AssertUnwindSafe(|| proto.step(&mut ctx)))
+                };
+                match status {
+                    Ok(Status::Continue) => slot.rounds += 1,
+                    Ok(Status::Done(out)) => {
+                        debug_assert!(
+                            slot.out.is_empty(),
+                            "node {} staged sends in a Done step (discarded)",
+                            slot.id
+                        );
+                        slot.output = Some(out);
+                        slot.proto = None;
+                        slot.alive = false;
+                        slot.out.clear();
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(payload) => {
+                        slot.panic = Some(panic_message(payload.as_ref()));
+                        slot.proto = None;
+                        slot.alive = false;
+                        slot.out.clear();
+                        panicked.store(true, Ordering::Relaxed);
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            };
+            if workers == 1 {
+                // Inline fast path: no dispatch, no allocation.
+                for slot in slots.iter_mut() {
+                    step_one(slot);
+                }
+            } else {
+                slots.par_chunks_mut(chunk).for_each(|chunk| {
+                    for slot in chunk {
+                        step_one(slot);
+                    }
+                });
+            }
+        }
+        if panicked.load(Ordering::Relaxed) {
+            // Deterministic attribution: blame the lowest dense index.
+            let (node, message) = slots
+                .iter_mut()
+                .find_map(|s| s.panic.take().map(|m| (s.id, m)))
+                .expect("panic flag set without a panic record");
+            return Err(SimError::NodePanic { node, message });
+        }
+        let newly_done = finished.load(Ordering::Relaxed);
+        if newly_done > 0 {
+            live -= newly_done;
+            for (i, slot) in slots.iter().enumerate() {
+                alive_now[i] = slot.alive;
+            }
+        }
+        if live == 0 {
+            break;
+        }
+
+        // --- Routing phase, pass 1: validate and count per bucket. ---
+        let round = metrics.rounds;
+        let mut round_messages: u64 = 0;
+        buffers.begin_round();
+        for (src_idx, slot) in slots.iter_mut().enumerate() {
+            let attempted = slot.out.len();
+            for env in slot.out.iter_mut() {
+                let deliver = match validate(env, src_idx, config, &knowledge, &alive_now, round) {
+                    Ok(()) => true,
+                    Err(v) => {
+                        metrics.record_violation(strict, v)?;
+                        // Lenient policies still deliver when physically
+                        // possible (destination exists and is alive).
+                        env.dst_idx != NO_INDEX && alive_now[env.dst_idx as usize]
+                    }
+                };
+                if deliver {
+                    round_messages += 1;
+                    metrics.words += env.msg.size_words() as u64;
+                    buffers.counts[env.dst_idx as usize] += 1;
+                } else {
+                    env.dst_idx = NO_INDEX;
+                }
+            }
+            if attempted > cap {
+                metrics.record_violation(
+                    strict,
+                    Violation {
+                        round,
+                        node: slot.id,
+                        kind: ViolationKind::SendCapacity {
+                            sent: attempted,
+                            cap,
+                        },
+                    },
+                )?;
+            }
+            metrics.max_sent_per_round = metrics.max_sent_per_round.max(attempted);
+        }
+
+        // --- Pass 2: prefix-sum offsets, then stable scatter. ---
+        buffers.seal_counts();
+        for slot in slots.iter_mut() {
+            for env in slot.out.iter() {
+                if env.dst_idx != NO_INDEX {
+                    buffers.push(*env);
+                }
+            }
+            slot.out.clear();
+        }
+
+        // --- Receive side: capacity policy per bucket. ---
+        if queue_mode {
+            qarena.clear();
+            for i in 0..n {
+                let q = &mut queues[i];
+                q.extend(buffers.bucket(i).iter().copied());
+                let take = q.len().min(cap);
+                let start = qarena.len() as u32;
+                for _ in 0..take {
+                    qarena.push(q.pop_front().expect("queue drained early"));
+                }
+                metrics.max_queue_len = metrics.max_queue_len.max(q.len());
+                slots[i].inbox_start = start;
+                slots[i].inbox_len = take as u32;
+            }
+        } else {
+            for i in 0..n {
+                let received = buffers.counts[i] as usize;
+                if received > cap {
+                    metrics.record_violation(
+                        strict,
+                        Violation {
+                            round,
+                            node: ids[i],
+                            kind: ViolationKind::ReceiveCapacity { received, cap },
+                        },
+                    )?;
+                }
+                let (start, len) = buffers.span(i);
+                slots[i].inbox_start = start;
+                slots[i].inbox_len = len;
+            }
+        }
+
+        // --- Knowledge propagation + delivery metrics. ---
+        let delivery_arena: &[WireEnvelope] = if queue_mode { &qarena } else { &buffers.arena };
+        for (i, slot) in slots.iter().enumerate() {
+            let delivered = slot.inbox_len as usize;
+            metrics.max_received_per_round = metrics.max_received_per_round.max(delivered);
+            if knowledge.enabled() {
+                let inbox = &delivery_arena[slot.inbox_start as usize..][..delivered];
+                for env in inbox {
+                    knowledge.learn(i, env.src);
+                    for &a in env.msg.addrs_slice() {
+                        knowledge.learn(i, a);
+                    }
+                }
+            }
+        }
+
+        metrics.record_round(round_messages);
+        if metrics.rounds > config.max_rounds {
+            return Err(SimError::RoundLimitExceeded {
+                limit: config.max_rounds,
+            });
+        }
+
+        // --- Deliver: messages staged for nodes that died this round are
+        // undeliverable (possible only via queue backlogs). ---
+        for slot in slots.iter_mut() {
+            if !slot.alive && slot.inbox_len > 0 {
+                metrics.undelivered += slot.inbox_len as u64;
+                slot.inbox_len = 0;
+            }
+        }
+    }
+
+    // Undrained queues mean some protocol stopped listening too early.
+    for q in &queues {
+        metrics.undelivered += q.len() as u64;
+    }
+    if knowledge.enabled() {
+        metrics.max_knowledge = (0..n)
+            .map(|i| knowledge.knowledge_size(i))
+            .max()
+            .unwrap_or(0);
+    }
+
+    let outputs: Vec<(NodeId, P::Output)> = slots
+        .into_iter()
+        .filter_map(|s| s.output.map(|out| (s.id, out)))
+        .collect();
+    Ok(RunResult { outputs, metrics })
+}
+
+/// Validates one envelope against the model constraints, in the same order
+/// as the threaded oracle's `Coordinator::validate`.
+fn validate(
+    env: &WireEnvelope,
+    src_idx: usize,
+    config: &Config,
+    knowledge: &KnowledgeTracker,
+    alive: &[bool],
+    round: u64,
+) -> Result<(), Violation> {
+    let fail = |kind| Violation {
+        round,
+        node: env.src,
+        kind,
+    };
+    if env.msg.word_count() > config.max_words || env.msg.addr_count() > config.max_addrs {
+        return Err(fail(ViolationKind::MessageTooLarge {
+            words: env.msg.word_count(),
+            addrs: env.msg.addr_count(),
+        }));
+    }
+    if env.dst_idx == NO_INDEX {
+        return Err(fail(ViolationKind::NoSuchNode { dst: env.dst }));
+    }
+    if !alive[env.dst_idx as usize] {
+        return Err(fail(ViolationKind::DeadRecipient { dst: env.dst }));
+    }
+    if !knowledge.knows(src_idx, env.dst) {
+        return Err(fail(ViolationKind::UnknownAddressee { dst: env.dst }));
+    }
+    for &a in env.msg.addrs_slice() {
+        if !knowledge.knows(src_idx, a) {
+            return Err(fail(ViolationKind::UnknownCarriedAddress { carried: a }));
+        }
+    }
+    Ok(())
+}

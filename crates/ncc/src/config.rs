@@ -67,6 +67,12 @@ pub struct Config {
     pub seed: u64,
     /// Safety valve: abort if the protocol runs longer than this many rounds.
     pub max_rounds: u64,
+    /// Worker threads for the batched executor's step phase: `0` (default)
+    /// sizes the pool to the machine, `1` forces the inline single-thread
+    /// path (useful for allocation probes and debugging). Results are
+    /// identical for every value — the step phase is data-race-free and
+    /// the routing pass is sequential.
+    pub worker_threads: usize,
 }
 
 impl Config {
@@ -84,12 +90,17 @@ impl Config {
             id_assignment: IdAssignment::Random,
             seed,
             max_rounds: 10_000_000,
+            worker_threads: 0,
         }
     }
 
     /// A strict NCC1 configuration.
     pub fn ncc1(seed: u64) -> Self {
-        Config { model: Model::Ncc1, track_knowledge: false, ..Config::ncc0(seed) }
+        Config {
+            model: Model::Ncc1,
+            track_knowledge: false,
+            ..Config::ncc0(seed)
+        }
     }
 
     /// Switches to the queueing capacity policy (used by the staggered
@@ -108,6 +119,12 @@ impl Config {
     /// Uses sequential IDs `1..=n` (handy for figure-exact tests).
     pub fn with_sequential_ids(mut self) -> Self {
         self.id_assignment = IdAssignment::Sequential;
+        self
+    }
+
+    /// Pins the batched executor's step-phase worker count (`0` = auto).
+    pub fn with_worker_threads(mut self, workers: usize) -> Self {
+        self.worker_threads = workers;
         self
     }
 

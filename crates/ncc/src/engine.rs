@@ -1,11 +1,20 @@
-//! The round engine: a coordinator that implements the synchronous barrier,
-//! routes messages, enforces the model constraints, and gathers metrics.
+//! The threaded **oracle** engine: a coordinator that implements the
+//! synchronous barrier, routes messages, enforces the model constraints,
+//! and gathers metrics, with one OS thread per simulated node.
 //!
-//! The coordinator runs on the thread that called [`Network::run`]
-//! (crate::Network::run); node protocols run on their own threads and talk to
-//! the coordinator through crossbeam channels. One *round* is: every live
-//! node submits an outbox, the coordinator validates and routes, every live
-//! node receives its inbox.
+//! This is the original thread-per-node design, kept behind the `threaded`
+//! feature for two jobs: it is the only engine able to run *direct-style*
+//! protocols (blocking closures over [`NodeHandle`](crate::NodeHandle)),
+//! and it serves as the differential-testing oracle for the batched
+//! step-function executor in [`batch`](crate::batch) — the two must
+//! produce identical transcripts and metrics. Do not optimize this engine;
+//! its value is being obviously correct.
+//!
+//! The coordinator runs on the thread that called
+//! [`Network::run`](crate::Network::run); node protocols run on their own
+//! threads and talk to the coordinator through crossbeam channels. One
+//! *round* is: every live node submits an outbox, the coordinator
+//! validates and routes, every live node receives its inbox.
 
 use crate::config::{CapacityPolicy, Config, Model};
 use crate::error::{SimError, Violation, ViolationKind};
@@ -18,7 +27,10 @@ use std::collections::{HashMap, VecDeque};
 /// What a node thread sends to the coordinator.
 pub(crate) enum Submission {
     /// The node's outbox for this round (possibly empty).
-    Step { index: usize, out: Vec<(NodeId, Msg)> },
+    Step {
+        index: usize,
+        out: Vec<(NodeId, Msg)>,
+    },
     /// The node's protocol function returned; it no longer participates.
     Done { index: usize },
     /// The node's protocol panicked (bug); carries the panic message.
@@ -32,9 +44,6 @@ pub(crate) enum Delivery {
     /// Fatal engine error: the node thread must unwind immediately.
     Poison,
 }
-
-/// Maximum number of concrete violation records kept for diagnostics.
-const VIOLATION_SAMPLE_LIMIT: usize = 16;
 
 pub(crate) struct Coordinator {
     config: Config,
@@ -58,33 +67,35 @@ impl Coordinator {
     pub(crate) fn new(
         config: Config,
         ids: Vec<NodeId>,
+        alive: Vec<bool>,
         from_nodes: Receiver<Submission>,
         to_nodes: Vec<Sender<Delivery>>,
     ) -> Self {
         let n = ids.len();
+        assert_eq!(alive.len(), n, "alive mask length must equal n");
         let cap = config.capacity(n);
         let mut id_to_index = HashMap::with_capacity(n);
         for (i, &id) in ids.iter().enumerate() {
-            id_to_index.insert(id, i);
+            if alive[i] {
+                id_to_index.insert(id, i);
+            }
         }
         let track = config.track_knowledge && config.model == Model::Ncc0;
         let mut knowledge = KnowledgeTracker::new(n, track);
-        if track {
-            for i in 0..n {
-                knowledge.learn(i, ids[i]);
-                if i + 1 < n {
-                    // Initial knowledge graph G_k: node i's out-neighbor is
-                    // its successor on the path.
-                    knowledge.learn(i, ids[i + 1]);
-                }
-            }
-        }
+        // Initial knowledge graph G_k: each live node's out-neighbor is the
+        // next *live* node on the path — dead/filtered indices are skipped,
+        // consistent with `alive` (they are not part of the network).
+        crate::knowledge::seed_path(&mut knowledge, &ids, |i| alive[i]);
         let queues = if config.capacity_policy == CapacityPolicy::Queue {
             vec![VecDeque::new(); n]
         } else {
             Vec::new()
         };
-        let metrics = RunMetrics { capacity: cap, ..RunMetrics::default() };
+        let metrics = RunMetrics {
+            capacity: cap,
+            ..RunMetrics::default()
+        };
+        let live_count = alive.iter().filter(|&&a| a).count();
         Coordinator {
             config,
             n,
@@ -94,8 +105,8 @@ impl Coordinator {
             knowledge,
             from_nodes,
             to_nodes,
-            alive: vec![true; n],
-            live_count: n,
+            alive,
+            live_count,
             queues,
             metrics,
             panic: None,
@@ -103,6 +114,10 @@ impl Coordinator {
     }
 
     /// Runs rounds until every node has terminated (or an error occurs).
+    // Index-based loops are kept deliberately: the oracle's routing code
+    // mirrors the batched engine's canonical dense-index order, and this
+    // engine's value is being obviously correct, not idiomatic.
+    #[allow(clippy::needless_range_loop)]
     pub(crate) fn run_rounds(&mut self) -> Result<(), SimError> {
         let mut outboxes: Vec<Option<Vec<(NodeId, Msg)>>> = vec![None; self.n];
         let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); self.n];
@@ -154,7 +169,9 @@ impl Coordinator {
             }
             let mut round_messages: u64 = 0;
             for src_index in 0..self.n {
-                let Some(out) = outboxes[src_index].take() else { continue };
+                let Some(out) = outboxes[src_index].take() else {
+                    continue;
+                };
                 let src_id = self.ids[src_index];
                 let attempted = out.len();
                 for (dst, msg) in out {
@@ -165,7 +182,10 @@ impl Coordinator {
                         Ok(i) => Some(i),
                         Err(v) => {
                             self.record(v)?;
-                            self.id_to_index.get(&dst).copied().filter(|&i| self.alive[i])
+                            self.id_to_index
+                                .get(&dst)
+                                .copied()
+                                .filter(|&i| self.alive[i])
                         }
                     };
                     if let Some(dst_index) = dst_index {
@@ -178,11 +198,13 @@ impl Coordinator {
                     self.record(Violation {
                         round: self.metrics.rounds,
                         node: src_id,
-                        kind: ViolationKind::SendCapacity { sent: attempted, cap: self.cap },
+                        kind: ViolationKind::SendCapacity {
+                            sent: attempted,
+                            cap: self.cap,
+                        },
                     })?;
                 }
-                self.metrics.max_sent_per_round =
-                    self.metrics.max_sent_per_round.max(attempted);
+                self.metrics.max_sent_per_round = self.metrics.max_sent_per_round.max(attempted);
             }
 
             // --- Apply the receive-side capacity policy. ---
@@ -224,12 +246,12 @@ impl Coordinator {
                 }
             }
 
-            self.metrics.messages += round_messages;
-            self.metrics.messages_per_round.push(round_messages);
-            self.metrics.rounds += 1;
+            self.metrics.record_round(round_messages);
             if self.metrics.rounds > self.config.max_rounds {
                 self.poison_all();
-                return Err(SimError::RoundLimitExceeded { limit: self.config.max_rounds });
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.config.max_rounds,
+                });
             }
 
             // --- Deliver. ---
@@ -270,7 +292,11 @@ impl Coordinator {
         msg: &Msg,
     ) -> Result<usize, Violation> {
         let round = self.metrics.rounds;
-        let fail = |kind| Violation { round, node: src_id, kind };
+        let fail = |kind| Violation {
+            round,
+            node: src_id,
+            kind,
+        };
         if msg.words.len() > self.config.max_words || msg.addrs.len() > self.config.max_addrs {
             return Err(fail(ViolationKind::MessageTooLarge {
                 words: msg.words.len(),
@@ -296,25 +322,12 @@ impl Coordinator {
 
     /// Records a violation; fatal under the strict policy.
     fn record(&mut self, v: Violation) -> Result<(), SimError> {
-        let counts = &mut self.metrics.violations;
-        match v.kind {
-            ViolationKind::SendCapacity { .. } => counts.send_capacity += 1,
-            ViolationKind::ReceiveCapacity { .. } => counts.receive_capacity += 1,
-            ViolationKind::MessageTooLarge { .. } => counts.message_too_large += 1,
-            ViolationKind::UnknownAddressee { .. } => counts.unknown_addressee += 1,
-            ViolationKind::UnknownCarriedAddress { .. } => counts.unknown_carried += 1,
-            ViolationKind::NoSuchNode { .. } | ViolationKind::DeadRecipient { .. } => {
-                counts.bad_recipient += 1
-            }
-        }
-        if self.metrics.violation_samples.len() < VIOLATION_SAMPLE_LIMIT {
-            self.metrics.violation_samples.push(v.clone());
-        }
-        if self.config.capacity_policy == CapacityPolicy::Strict {
+        let strict = self.config.capacity_policy == CapacityPolicy::Strict;
+        let outcome = self.metrics.record_violation(strict, v);
+        if outcome.is_err() {
             self.poison_all();
-            return Err(SimError::Violation(v));
         }
-        Ok(())
+        outcome
     }
 
     /// Tells every live node thread to unwind.

@@ -88,6 +88,18 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Extracts a printable message from a panic payload (shared by both
+/// engines' panic-to-[`SimError::NodePanic`] conversion).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,7 +121,10 @@ mod tests {
     fn sim_errors_render() {
         let e = SimError::RoundLimitExceeded { limit: 10 };
         assert!(e.to_string().contains("10"));
-        let e = SimError::NodePanic { node: 1, message: "boom".into() };
+        let e = SimError::NodePanic {
+            node: 1,
+            message: "boom".into(),
+        };
         assert!(e.to_string().contains("boom"));
     }
 }

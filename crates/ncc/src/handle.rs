@@ -130,7 +130,10 @@ impl NodeHandle {
     /// panic is caught by the runner and surfaced as the engine's error.
     pub fn step(&mut self, out: Vec<(NodeId, Msg)>) -> Vec<Envelope> {
         self.to_coord
-            .send(Submission::Step { index: self.index, out })
+            .send(Submission::Step {
+                index: self.index,
+                out,
+            })
             .unwrap_or_else(|_| panic!("{POISON_PANIC}"));
         match self.from_coord.recv() {
             Ok(Delivery::Inbox(inbox)) => {

@@ -10,6 +10,34 @@
 use crate::message::NodeId;
 use std::collections::HashSet;
 
+/// Seeds the initial NCC0 knowledge along the directed path `G_k`, but
+/// only for *participating* nodes: each participating node learns its own
+/// ID and the ID of the **next participating** node on the path (dead or
+/// filtered indices are skipped entirely, consistent with the engines'
+/// `alive` masks — they are not on the path, so nobody's initial knowledge
+/// may point at them).
+pub(crate) fn seed_path(
+    tracker: &mut KnowledgeTracker,
+    ids: &[NodeId],
+    participating: impl Fn(usize) -> bool,
+) {
+    if !tracker.enabled() {
+        return;
+    }
+    let mut prev: Option<usize> = None;
+    for (i, &id) in ids.iter().enumerate() {
+        if !participating(i) {
+            continue;
+        }
+        tracker.learn(i, id);
+        if let Some(p) = prev {
+            // Node p's out-neighbor on the filtered path is node i.
+            tracker.learn(p, id);
+        }
+        prev = Some(i);
+    }
+}
+
 /// Per-node knowledge sets, indexed by the engine's dense node index.
 #[derive(Debug)]
 pub struct KnowledgeTracker {
@@ -22,7 +50,11 @@ impl KnowledgeTracker {
     /// answer "known" and no memory is spent.
     pub fn new(n: usize, enabled: bool) -> Self {
         KnowledgeTracker {
-            sets: if enabled { vec![HashSet::new(); n] } else { Vec::new() },
+            sets: if enabled {
+                vec![HashSet::new(); n]
+            } else {
+                Vec::new()
+            },
             enabled,
         }
     }
@@ -57,6 +89,37 @@ impl KnowledgeTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn seeding_skips_filtered_indices() {
+        let ids: Vec<NodeId> = vec![10, 20, 30, 40, 50];
+        let mut t = KnowledgeTracker::new(5, true);
+        // Nodes 1 and 3 are filtered out of the network.
+        seed_path(&mut t, &ids, |i| i != 1 && i != 3);
+        // Participants know themselves and their next *participating*
+        // successor.
+        assert!(t.knows(0, 10) && t.knows(0, 30));
+        assert!(t.knows(2, 30) && t.knows(2, 50));
+        assert!(t.knows(4, 50));
+        // Nobody is seeded with a filtered node's ID, and filtered nodes
+        // learn nothing.
+        assert!(!t.knows(0, 20));
+        assert!(!t.knows(2, 40));
+        assert_eq!(t.knowledge_size(1), 0);
+        assert_eq!(t.knowledge_size(3), 0);
+        // The tail learns only itself.
+        assert_eq!(t.knowledge_size(4), 1);
+    }
+
+    #[test]
+    fn seeding_all_alive_matches_plain_path() {
+        let ids: Vec<NodeId> = vec![7, 8, 9];
+        let mut t = KnowledgeTracker::new(3, true);
+        seed_path(&mut t, &ids, |_| true);
+        assert!(t.knows(0, 7) && t.knows(0, 8) && !t.knows(0, 9));
+        assert!(t.knows(1, 8) && t.knows(1, 9));
+        assert_eq!(t.knowledge_size(2), 1);
+    }
 
     #[test]
     fn disabled_tracker_knows_everything() {

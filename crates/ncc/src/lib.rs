@@ -21,51 +21,89 @@
 //!   the paper, `G_k` is a directed path over the `n` nodes in an arbitrary
 //!   (here: seeded random) order.
 //!
-//! # The simulator
+//! # Two engines, one semantics
 //!
-//! Each simulated node runs its protocol as ordinary straight-line Rust on a
-//! dedicated OS thread; a coordinator thread implements the synchronous round
-//! barrier, routes messages, enforces the capacity and knowledge constraints,
-//! and gathers metrics. Protocols are written in *direct style*:
+//! The round structure of NCC — all outboxes, then validate/route, then all
+//! inboxes — is embarrassingly parallel and allocation-free by design, and
+//! the simulator exploits that with a **batched step-function executor**
+//! ([`Network::run_protocol`]): node protocols are state machines
+//! implementing [`NodeProtocol`] (`fn step(&mut self, ctx: &mut RoundCtx)
+//! -> Status`), stepped in bulk each round by a rayon worker pool. Routing
+//! is a stable counting sort of fixed-size [`WireMsg`] envelopes into a
+//! reusable flat arena, bucketed by dense destination index — no hashing,
+//! and at steady state no heap allocation anywhere in the round loop. This
+//! engine simulates **millions** of nodes.
+//!
+//! The original **thread-per-node oracle** survives behind the `threaded`
+//! feature (on by default): [`Network::run`] executes direct-style blocking
+//! closures over a [`NodeHandle`], one OS thread per node. It tops out near
+//! ten thousand nodes, but it is obviously correct, it still runs the whole
+//! direct-style algorithm stack, and [`Network::run_protocol_threaded`]
+//! runs *step-function* protocols on it so differential tests can hold the
+//! two engines to identical transcripts and metrics (see
+//! `crates/ncc/tests/differential.rs` and `ARCHITECTURE.md`).
+//!
+//! # A step-function protocol
 //!
 //! ```
-//! use dgr_ncc::{Config, Msg, Network, tags};
+//! use dgr_ncc::{tags, Config, Network, NodeProtocol, RoundCtx, Status, WireMsg};
 //!
 //! // Every node learns its predecessor on the knowledge path (the paper's
 //! // "undirecting" step): each node sends its ID to its successor.
-//! let result = Network::new(8, Config::ncc0(42)).run(|h| {
-//!     let out = h
-//!         .initial_successor()
-//!         .map(|succ| (succ, Msg::addr(tags::GENERIC, h.id())))
-//!         .into_iter()
-//!         .collect();
-//!     let inbox = h.step(out);
-//!     inbox.first().map(|env| env.src) // my predecessor, if any
-//! }).unwrap();
+//! struct Undirect {
+//!     sent: bool,
+//! }
+//!
+//! impl NodeProtocol for Undirect {
+//!     type Output = Option<u64>; // my predecessor, if any
+//!
+//!     fn step(&mut self, ctx: &mut RoundCtx<'_>) -> Status<Self::Output> {
+//!         if !self.sent {
+//!             if let Some(succ) = ctx.initial_successor() {
+//!                 ctx.send(succ, WireMsg::signal(tags::UNDIRECT));
+//!             }
+//!             self.sent = true;
+//!             return Status::Continue;
+//!         }
+//!         Status::Done(ctx.inbox().first().map(|env| env.src))
+//!     }
+//! }
+//!
+//! let net = Network::new(1024, Config::ncc0(42));
+//! let result = net.run_protocol(|_seed| Undirect { sent: false }).unwrap();
 //! assert_eq!(result.metrics.rounds, 1);
 //! // Exactly one node (the head of the path) has no predecessor.
 //! assert_eq!(result.outputs.iter().filter(|(_, p)| p.is_none()).count(), 1);
 //! ```
 //!
-//! All runs are deterministic given [`Config::seed`]: node-local randomness is
-//! derived from the seed and the node ID, and message routing is performed in
-//! a canonical order.
+//! All runs are deterministic given [`Config::seed`] — independent of the
+//! worker-thread count: node-local randomness is derived from the seed and
+//! the node ID, and routing follows a canonical (dense source index) order.
 
+mod batch;
 mod config;
+#[cfg(feature = "threaded")]
 mod engine;
 mod error;
+#[cfg(feature = "threaded")]
 mod handle;
 mod knowledge;
 mod message;
 mod metrics;
 mod network;
+mod protocol;
+mod route;
+mod wire;
 
 pub use config::{CapacityPolicy, Config, IdAssignment, Model};
 pub use error::{SimError, Violation, ViolationKind};
+#[cfg(feature = "threaded")]
 pub use handle::NodeHandle;
 pub use message::{tags, Envelope, Msg, NodeId};
-pub use metrics::{RunMetrics, ViolationCounts};
+pub use metrics::{RunMetrics, ViolationCounts, ROUND_TRACE_LIMIT};
 pub use network::{Network, RunResult};
+pub use protocol::{NodeProtocol, NodeSeed, RoundCtx, Status};
+pub use wire::{WireEnvelope, WireMsg, WIRE_ADDRS, WIRE_WORDS};
 
 /// Computes the per-round send/receive capacity for an `n`-node network:
 /// `max(min_capacity, ceil(factor * log2(n)))` messages per node per round.

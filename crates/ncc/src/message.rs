@@ -79,27 +79,47 @@ pub struct Msg {
 impl Msg {
     /// An empty message carrying only a tag (a pure signal).
     pub fn signal(tag: u16) -> Self {
-        Msg { tag, words: Vec::new(), addrs: Vec::new() }
+        Msg {
+            tag,
+            words: Vec::new(),
+            addrs: Vec::new(),
+        }
     }
 
     /// A message carrying data words only.
     pub fn words(tag: u16, words: impl Into<Vec<u64>>) -> Self {
-        Msg { tag, words: words.into(), addrs: Vec::new() }
+        Msg {
+            tag,
+            words: words.into(),
+            addrs: Vec::new(),
+        }
     }
 
     /// A message carrying a single data word.
     pub fn word(tag: u16, w: u64) -> Self {
-        Msg { tag, words: vec![w], addrs: Vec::new() }
+        Msg {
+            tag,
+            words: vec![w],
+            addrs: Vec::new(),
+        }
     }
 
     /// A message carrying a single address.
     pub fn addr(tag: u16, a: NodeId) -> Self {
-        Msg { tag, words: Vec::new(), addrs: vec![a] }
+        Msg {
+            tag,
+            words: Vec::new(),
+            addrs: vec![a],
+        }
     }
 
     /// A message carrying one address and some data words.
     pub fn addr_words(tag: u16, a: NodeId, words: impl Into<Vec<u64>>) -> Self {
-        Msg { tag, words: words.into(), addrs: vec![a] }
+        Msg {
+            tag,
+            words: words.into(),
+            addrs: vec![a],
+        }
     }
 
     /// Adds a data word (builder style).
@@ -136,12 +156,20 @@ pub struct Envelope {
 impl Envelope {
     /// First data word, panicking with a protocol-bug message if absent.
     pub fn word(&self) -> u64 {
-        *self.msg.words.first().expect("protocol bug: expected a data word")
+        *self
+            .msg
+            .words
+            .first()
+            .expect("protocol bug: expected a data word")
     }
 
     /// First address, panicking with a protocol-bug message if absent.
     pub fn addr(&self) -> NodeId {
-        *self.msg.addrs.first().expect("protocol bug: expected an address")
+        *self
+            .msg
+            .addrs
+            .first()
+            .expect("protocol bug: expected an address")
     }
 }
 
@@ -166,7 +194,10 @@ mod tests {
 
     #[test]
     fn envelope_accessors() {
-        let env = Envelope { src: 5, msg: Msg::addr_words(1, 10, vec![99]) };
+        let env = Envelope {
+            src: 5,
+            msg: Msg::addr_words(1, 10, vec![99]),
+        };
         assert_eq!(env.word(), 99);
         assert_eq!(env.addr(), 10);
     }
@@ -174,7 +205,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "protocol bug")]
     fn envelope_word_panics_when_empty() {
-        let env = Envelope { src: 5, msg: Msg::signal(0) };
+        let env = Envelope {
+            src: 5,
+            msg: Msg::signal(0),
+        };
         let _ = env.word();
     }
 }

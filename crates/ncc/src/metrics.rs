@@ -4,7 +4,16 @@
 //! about message budgets), so the metrics are the primary experimental
 //! output of every run — the simulator is the measurement instrument.
 
-use crate::error::Violation;
+use crate::error::{SimError, Violation, ViolationKind};
+
+/// Maximum number of concrete violation records kept for diagnostics.
+pub(crate) const VIOLATION_SAMPLE_LIMIT: usize = 16;
+
+/// Maximum rounds recorded in [`RunMetrics::messages_per_round`]. The
+/// per-round trace is a diagnostic; capping it keeps the engines' round
+/// loops free of unbounded `Vec` growth (the batched executor pre-reserves
+/// exactly this capacity, so recording a round never allocates).
+pub const ROUND_TRACE_LIMIT: usize = 4096;
 
 /// Counters for the different violation kinds (meaningful under
 /// [`CapacityPolicy::Record`](crate::CapacityPolicy::Record), where runs
@@ -38,7 +47,7 @@ impl ViolationCounts {
 }
 
 /// Aggregate metrics of a completed run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunMetrics {
     /// Number of synchronous rounds executed.
     pub rounds: u64,
@@ -67,11 +76,45 @@ pub struct RunMetrics {
     /// Sample of concrete violations (first few, for diagnostics).
     pub violation_samples: Vec<Violation>,
     /// Messages delivered per round (index = round). Enables congestion
-    /// profiles over time.
+    /// profiles over time; truncated after [`ROUND_TRACE_LIMIT`] rounds.
     pub messages_per_round: Vec<u64>,
 }
 
 impl RunMetrics {
+    /// Closes out one executed round: accumulates the message count and
+    /// appends to the (capped) per-round trace. Shared by both engines so
+    /// their round accounting stays bit-identical.
+    pub(crate) fn record_round(&mut self, messages: u64) {
+        self.messages += messages;
+        if self.messages_per_round.len() < ROUND_TRACE_LIMIT {
+            self.messages_per_round.push(messages);
+        }
+        self.rounds += 1;
+    }
+
+    /// Counts a violation (and samples the first few); fatal when `strict`.
+    /// Shared by both engines so their violation accounting is identical.
+    pub(crate) fn record_violation(&mut self, strict: bool, v: Violation) -> Result<(), SimError> {
+        let counts = &mut self.violations;
+        match v.kind {
+            ViolationKind::SendCapacity { .. } => counts.send_capacity += 1,
+            ViolationKind::ReceiveCapacity { .. } => counts.receive_capacity += 1,
+            ViolationKind::MessageTooLarge { .. } => counts.message_too_large += 1,
+            ViolationKind::UnknownAddressee { .. } => counts.unknown_addressee += 1,
+            ViolationKind::UnknownCarriedAddress { .. } => counts.unknown_carried += 1,
+            ViolationKind::NoSuchNode { .. } | ViolationKind::DeadRecipient { .. } => {
+                counts.bad_recipient += 1
+            }
+        }
+        if self.violation_samples.len() < VIOLATION_SAMPLE_LIMIT {
+            self.violation_samples.push(v.clone());
+        }
+        if strict {
+            return Err(SimError::Violation(v));
+        }
+        Ok(())
+    }
+
     /// True when the run obeyed every model constraint.
     pub fn is_clean(&self) -> bool {
         self.violations.total() == 0 && self.undelivered == 0
@@ -119,7 +162,11 @@ mod tests {
     fn average_is_safe_on_empty() {
         let m = RunMetrics::default();
         assert_eq!(m.avg_messages_per_round(), 0.0);
-        let m = RunMetrics { rounds: 4, messages: 10, ..Default::default() };
+        let m = RunMetrics {
+            rounds: 4,
+            messages: 10,
+            ..Default::default()
+        };
         assert!((m.avg_messages_per_round() - 2.5).abs() < 1e-12);
     }
 }

@@ -1,0 +1,157 @@
+//! The step-function protocol model: node protocols as polled state
+//! machines.
+//!
+//! Under the batched engine a node's protocol is not a blocking closure on
+//! a dedicated thread but a state machine implementing [`NodeProtocol`]:
+//! once per round the executor calls [`NodeProtocol::step`] with a
+//! [`RoundCtx`] that exposes the previous round's inbox and collects this
+//! round's sends. Returning [`Status::Done`] retires the node.
+//!
+//! The correspondence with the direct-style API is exact: one
+//! `NodeHandle::step(out) -> inbox` call equals one `RoundCtx` whose
+//! `inbox()` is the *previous* round's delivery and whose `send`s form
+//! `out`. A protocol that returns `Done` on its `k`-th step behaves like a
+//! closure that called `step` exactly `k - 1` times and then returned —
+//! which is why the same state machine can run on the batched executor or
+//! on the threaded oracle and produce identical transcripts (the
+//! differential tests rely on this).
+
+use crate::config::Model;
+use crate::message::NodeId;
+use crate::route::Resolver;
+use crate::wire::{WireEnvelope, WireMsg, NO_INDEX};
+use rand::rngs::SmallRng;
+use std::sync::Arc;
+
+/// What a protocol reports after one step.
+#[derive(Debug)]
+pub enum Status<R> {
+    /// The node participates in the round it just populated.
+    Continue,
+    /// The node's protocol is finished; `R` is its output. Sends staged in
+    /// the same step are discarded (a finished node does not participate in
+    /// the round).
+    Done(R),
+}
+
+/// A node's protocol as a polled state machine.
+pub trait NodeProtocol: Send {
+    /// The per-node result of a completed run.
+    type Output: Send;
+
+    /// Executes one synchronous round: read `ctx.inbox()` (the previous
+    /// round's delivery; empty on the first call), stage sends with
+    /// `ctx.send`, and return [`Status::Continue`] — or return
+    /// [`Status::Done`] to retire from the network.
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> Status<Self::Output>;
+}
+
+/// The initial knowledge handed to a protocol factory — exactly what the
+/// NCC model grants a node at time zero, nothing more.
+pub struct NodeSeed<'a> {
+    /// This node's ID (its "address").
+    pub id: NodeId,
+    /// Network size (common knowledge in the model).
+    pub n: usize,
+    /// Per-round send/receive capacity (`Θ(log n)`, common knowledge).
+    pub capacity: usize,
+    /// The model variant.
+    pub model: Model,
+    /// NCC0 initial knowledge: successor on the knowledge path `G_k`.
+    pub initial_successor: Option<NodeId>,
+    pub(crate) all_ids: Option<&'a Arc<Vec<NodeId>>>,
+}
+
+impl NodeSeed<'_> {
+    /// NCC1 initial knowledge: every node's ID, sorted. Protocols that
+    /// need it past construction should clone the [`Arc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under NCC0 — a model violation in the protocol's code.
+    pub fn all_ids(&self) -> &Arc<Vec<NodeId>> {
+        self.all_ids.expect("all_ids() requires the NCC1 model")
+    }
+}
+
+/// A node's view of one synchronous round: the API surface a
+/// [`NodeProtocol::step`] call sees.
+pub struct RoundCtx<'a> {
+    pub(crate) id: NodeId,
+    pub(crate) n: usize,
+    pub(crate) capacity: usize,
+    pub(crate) model: Model,
+    pub(crate) initial_successor: Option<NodeId>,
+    pub(crate) all_ids: Option<&'a [NodeId]>,
+    pub(crate) round: u64,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) inbox: &'a [WireEnvelope],
+    pub(crate) out: &'a mut Vec<WireEnvelope>,
+    pub(crate) resolver: &'a Resolver,
+}
+
+impl RoundCtx<'_> {
+    /// This node's ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Per-round send/receive capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The model variant this network runs under.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// Rounds completed so far by this node (0 on the first step).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// NCC0 initial knowledge: successor on the knowledge path, if any.
+    pub fn initial_successor(&self) -> Option<NodeId> {
+        self.initial_successor
+    }
+
+    /// NCC1 initial knowledge: all IDs, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics under NCC0.
+    pub fn all_ids(&self) -> &[NodeId] {
+        self.all_ids.expect("all_ids() requires the NCC1 model")
+    }
+
+    /// This node's local randomness (deterministically seeded from the
+    /// master seed and the node ID — the same stream on either engine).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// The previous round's inbox (empty on the first step).
+    pub fn inbox(&self) -> &[WireEnvelope] {
+        self.inbox
+    }
+
+    /// Stages a message for this round. The destination ID is resolved to
+    /// a dense index here, at send time, so the routing pass itself does no
+    /// ID lookups at all; an unknown ID is carried through and surfaces as
+    /// a [`NoSuchNode`](crate::ViolationKind::NoSuchNode) violation.
+    pub fn send(&mut self, dst: NodeId, msg: WireMsg) {
+        let dst_idx = self.resolver.index_of(dst).unwrap_or(NO_INDEX);
+        self.out.push(WireEnvelope {
+            src: self.id,
+            msg,
+            dst,
+            dst_idx,
+        });
+    }
+}

@@ -1,0 +1,193 @@
+//! Allocation-free routing support: dense ID resolution and the reusable
+//! counting-sort buffers of the batched engine.
+//!
+//! The batched executor routes a round in two passes over the node
+//! outboxes: pass one validates each envelope and counts messages per
+//! destination index, pass two scatters envelopes into a flat arena at
+//! offsets derived from a prefix sum over the counts (a stable counting
+//! sort keyed by destination — stable because sources are visited in dense
+//! index order, which is exactly the threaded engine's canonical routing
+//! order). Every buffer involved — counts, bucket starts, scatter cursors
+//! and the envelope arena — lives in [`RouteBuffers`] and is reused across
+//! rounds: after the arena has grown to the high-water message count, the
+//! routing hot path performs no heap allocation at all.
+
+use crate::config::IdAssignment;
+use crate::message::NodeId;
+use crate::wire::WireEnvelope;
+
+/// Maps node IDs to dense indices without hashing.
+///
+/// Sequential networks (`ids[i] == i + 1`) resolve arithmetically;
+/// random-ID networks resolve by binary search over a sorted copy of the
+/// ID space. Either way resolution happens once per *send* (in
+/// [`RoundCtx::send`](crate::RoundCtx::send)), so the routing passes
+/// themselves work purely on dense `u32` indices.
+#[derive(Debug)]
+pub(crate) enum Resolver {
+    /// IDs are `1..=n` in path order.
+    Sequential { n: usize },
+    /// Sorted ID table with the matching dense index per entry.
+    Sorted { ids: Vec<NodeId>, index: Vec<u32> },
+}
+
+impl Resolver {
+    /// Builds the resolver for `ids` (in path order).
+    pub(crate) fn build(ids: &[NodeId], assignment: IdAssignment) -> Self {
+        match assignment {
+            IdAssignment::Sequential => Resolver::Sequential { n: ids.len() },
+            IdAssignment::Random => {
+                let mut pairs: Vec<(NodeId, u32)> = ids
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &id)| (id, i as u32))
+                    .collect();
+                pairs.sort_unstable();
+                Resolver::Sorted {
+                    ids: pairs.iter().map(|&(id, _)| id).collect(),
+                    index: pairs.iter().map(|&(_, i)| i).collect(),
+                }
+            }
+        }
+    }
+
+    /// The dense index of `id`, or `None` if no such node exists.
+    #[inline]
+    pub(crate) fn index_of(&self, id: NodeId) -> Option<u32> {
+        match self {
+            Resolver::Sequential { n } => (1..=*n as u64).contains(&id).then(|| (id - 1) as u32),
+            Resolver::Sorted { ids, index } => ids.binary_search(&id).ok().map(|pos| index[pos]),
+        }
+    }
+}
+
+/// The reusable buffers of one batched network's routing pass.
+#[derive(Debug)]
+pub(crate) struct RouteBuffers {
+    /// Messages per destination index, this round.
+    pub(crate) counts: Vec<u32>,
+    /// Bucket start offset per destination index (prefix sums of counts).
+    pub(crate) starts: Vec<u32>,
+    /// Scatter cursor per destination index.
+    cursor: Vec<u32>,
+    /// Flat envelope arena; bucket `i` is `arena[starts[i]..][..counts[i]]`.
+    pub(crate) arena: Vec<WireEnvelope>,
+}
+
+impl RouteBuffers {
+    pub(crate) fn new(n: usize) -> Self {
+        RouteBuffers {
+            counts: vec![0; n],
+            starts: vec![0; n],
+            cursor: vec![0; n],
+            arena: Vec::new(),
+        }
+    }
+
+    /// Resets the per-round counters.
+    pub(crate) fn begin_round(&mut self) {
+        self.counts.fill(0);
+    }
+
+    /// Computes bucket offsets from the counts and ensures the arena can
+    /// hold the round's messages. Returns the total message count.
+    /// Allocates only when the round exceeds every previous round's
+    /// message count (the arena never shrinks).
+    pub(crate) fn seal_counts(&mut self) -> usize {
+        let mut acc: u32 = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            self.starts[i] = acc;
+            self.cursor[i] = acc;
+            acc += c;
+        }
+        let total = acc as usize;
+        if self.arena.len() < total {
+            self.arena.resize(total, WireEnvelope::EMPTY);
+        }
+        total
+    }
+
+    /// Scatters one envelope into its destination bucket.
+    #[inline]
+    pub(crate) fn push(&mut self, env: WireEnvelope) {
+        let dst = env.dst_idx as usize;
+        let at = self.cursor[dst] as usize;
+        self.arena[at] = env;
+        self.cursor[dst] += 1;
+    }
+
+    /// The delivery bucket of destination index `i`.
+    pub(crate) fn bucket(&self, i: usize) -> &[WireEnvelope] {
+        &self.arena[self.starts[i] as usize..][..self.counts[i] as usize]
+    }
+
+    /// The `(start, len)` span of destination `i`'s bucket.
+    pub(crate) fn span(&self, i: usize) -> (u32, u32) {
+        (self.starts[i], self.counts[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{WireMsg, NO_INDEX};
+
+    #[test]
+    fn sequential_resolution_is_arithmetic() {
+        let ids: Vec<NodeId> = (1..=5).collect();
+        let r = Resolver::build(&ids, IdAssignment::Sequential);
+        assert_eq!(r.index_of(1), Some(0));
+        assert_eq!(r.index_of(5), Some(4));
+        assert_eq!(r.index_of(0), None);
+        assert_eq!(r.index_of(6), None);
+    }
+
+    #[test]
+    fn random_resolution_by_binary_search() {
+        let ids: Vec<NodeId> = vec![900, 17, 404, 3];
+        let r = Resolver::build(&ids, IdAssignment::Random);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(r.index_of(id), Some(i as u32), "id {id}");
+        }
+        assert_eq!(r.index_of(5), None);
+    }
+
+    #[test]
+    fn counting_sort_is_stable_by_source_order() {
+        let mut b = RouteBuffers::new(3);
+        b.begin_round();
+        // Destinations in arrival order: 2, 0, 2, 1, 0.
+        let dsts = [2u32, 0, 2, 1, 0];
+        for &d in &dsts {
+            b.counts[d as usize] += 1;
+        }
+        assert_eq!(b.seal_counts(), 5);
+        for (k, &d) in dsts.iter().enumerate() {
+            b.push(WireEnvelope {
+                src: k as NodeId,
+                msg: WireMsg::signal(0),
+                dst: d as NodeId,
+                dst_idx: d,
+            });
+        }
+        // Bucket 0 sees sources 1 then 4 (arrival order preserved).
+        let srcs = |i: usize| b.bucket(i).iter().map(|e| e.src).collect::<Vec<_>>();
+        assert_eq!(srcs(0), vec![1, 4]);
+        assert_eq!(srcs(1), vec![3]);
+        assert_eq!(srcs(2), vec![0, 2]);
+        let _ = NO_INDEX;
+    }
+
+    #[test]
+    fn arena_never_shrinks() {
+        let mut b = RouteBuffers::new(2);
+        b.begin_round();
+        b.counts[0] = 4;
+        assert_eq!(b.seal_counts(), 4);
+        let cap = b.arena.len();
+        b.begin_round();
+        b.counts[1] = 1;
+        assert_eq!(b.seal_counts(), 1);
+        assert_eq!(b.arena.len(), cap, "arena must be reused, not shrunk");
+    }
+}

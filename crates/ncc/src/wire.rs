@@ -1,0 +1,263 @@
+//! Fixed-size wire representation of messages for the batched engine.
+//!
+//! The NCC model bounds every message to `O(log n)` bits — concretely, a
+//! tag plus at most [`WIRE_WORDS`] data words and [`WIRE_ADDRS`] addresses
+//! (the defaults in [`Config`](crate::Config)). The batched executor
+//! exploits this: a [`WireMsg`] stores its payload *inline* in a `Copy`
+//! struct, so outboxes, the routing arena and inboxes are flat `Vec`s of
+//! POD values that are reused across rounds — the routing hot path never
+//! touches the allocator. The heap-backed [`Msg`](crate::Msg) remains the
+//! lingua franca of the direct-style (threaded-oracle) API; the two convert
+//! losslessly for payloads within the wire budget.
+
+use crate::message::{Envelope, Msg, NodeId};
+
+/// Maximum data words a [`WireMsg`] can carry inline.
+pub const WIRE_WORDS: usize = 4;
+
+/// Maximum addresses a [`WireMsg`] can carry inline.
+pub const WIRE_ADDRS: usize = 2;
+
+/// Sentinel for an unresolved destination index.
+pub(crate) const NO_INDEX: u32 = u32::MAX;
+
+/// A message with inline payload: tag + up to [`WIRE_WORDS`] words + up to
+/// [`WIRE_ADDRS`] addresses.
+///
+/// Constructors panic when the inline budget is exceeded — that is a
+/// protocol *bug* (the model's message size is a compile-time-style
+/// constant), distinct from a [`MessageTooLarge`]
+/// (crate::ViolationKind::MessageTooLarge) *violation*, which fires when a
+/// message exceeds the (possibly smaller) configured budget at run time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireMsg {
+    /// Protocol tag for inbox demultiplexing.
+    pub tag: u16,
+    nw: u8,
+    na: u8,
+    words: [u64; WIRE_WORDS],
+    addrs: [NodeId; WIRE_ADDRS],
+}
+
+impl WireMsg {
+    /// An empty message carrying only a tag (a pure signal).
+    pub const fn signal(tag: u16) -> Self {
+        WireMsg {
+            tag,
+            nw: 0,
+            na: 0,
+            words: [0; WIRE_WORDS],
+            addrs: [0; WIRE_ADDRS],
+        }
+    }
+
+    /// A message carrying a single data word.
+    pub const fn word(tag: u16, w: u64) -> Self {
+        let mut m = WireMsg::signal(tag);
+        m.words[0] = w;
+        m.nw = 1;
+        m
+    }
+
+    /// A message carrying the given data words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`WIRE_WORDS`] words are given.
+    pub fn words(tag: u16, words: &[u64]) -> Self {
+        let mut m = WireMsg::signal(tag);
+        for &w in words {
+            m = m.with_word(w);
+        }
+        m
+    }
+
+    /// A message carrying a single address.
+    pub const fn addr(tag: u16, a: NodeId) -> Self {
+        let mut m = WireMsg::signal(tag);
+        m.addrs[0] = a;
+        m.na = 1;
+        m
+    }
+
+    /// A message carrying one address and one data word.
+    pub const fn addr_word(tag: u16, a: NodeId, w: u64) -> Self {
+        let mut m = WireMsg::addr(tag, a);
+        m.words[0] = w;
+        m.nw = 1;
+        m
+    }
+
+    /// Adds a data word (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inline word budget is full.
+    pub fn with_word(mut self, w: u64) -> Self {
+        assert!(
+            (self.nw as usize) < WIRE_WORDS,
+            "wire message word budget exceeded"
+        );
+        self.words[self.nw as usize] = w;
+        self.nw += 1;
+        self
+    }
+
+    /// Adds an address (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inline address budget is full.
+    pub fn with_addr(mut self, a: NodeId) -> Self {
+        assert!(
+            (self.na as usize) < WIRE_ADDRS,
+            "wire message address budget exceeded"
+        );
+        self.addrs[self.na as usize] = a;
+        self.na += 1;
+        self
+    }
+
+    /// The data words carried by this message.
+    pub fn words_slice(&self) -> &[u64] {
+        &self.words[..self.nw as usize]
+    }
+
+    /// The addresses carried by this message.
+    pub fn addrs_slice(&self) -> &[NodeId] {
+        &self.addrs[..self.na as usize]
+    }
+
+    /// Number of data words.
+    pub fn word_count(&self) -> usize {
+        self.nw as usize
+    }
+
+    /// Number of addresses.
+    pub fn addr_count(&self) -> usize {
+        self.na as usize
+    }
+
+    /// Size in machine words (tag counts as one), for bandwidth metrics.
+    pub fn size_words(&self) -> usize {
+        1 + self.nw as usize + self.na as usize
+    }
+
+    /// Converts to the heap-backed [`Msg`] (threaded-oracle interop).
+    pub fn to_msg(&self) -> Msg {
+        Msg {
+            tag: self.tag,
+            words: self.words_slice().to_vec(),
+            addrs: self.addrs_slice().to_vec(),
+        }
+    }
+
+    /// Converts from a heap-backed [`Msg`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message exceeds the inline wire budget.
+    pub fn from_msg(msg: &Msg) -> Self {
+        let mut m = WireMsg::signal(msg.tag);
+        for &w in &msg.words {
+            m = m.with_word(w);
+        }
+        for &a in &msg.addrs {
+            m = m.with_addr(a);
+        }
+        m
+    }
+}
+
+/// A routed wire message: what a node finds in its inbox under the batched
+/// engine. The sender's ID is visible (that is how knowledge spreads in
+/// KT0); the destination fields are engine bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireEnvelope {
+    /// ID of the sending node.
+    pub src: NodeId,
+    /// The message itself.
+    pub msg: WireMsg,
+    /// Destination ID as addressed by the sender.
+    pub(crate) dst: NodeId,
+    /// Dense destination index ([`NO_INDEX`] = unresolved / undeliverable).
+    pub(crate) dst_idx: u32,
+}
+
+impl WireEnvelope {
+    /// A zeroed placeholder used to size the routing arena.
+    pub(crate) const EMPTY: WireEnvelope = WireEnvelope {
+        src: 0,
+        msg: WireMsg::signal(0),
+        dst: 0,
+        dst_idx: NO_INDEX,
+    };
+
+    /// First data word, panicking with a protocol-bug message if absent.
+    pub fn word(&self) -> u64 {
+        *self
+            .msg
+            .words_slice()
+            .first()
+            .expect("protocol bug: expected a data word")
+    }
+
+    /// First address, panicking with a protocol-bug message if absent.
+    pub fn addr(&self) -> NodeId {
+        *self
+            .msg
+            .addrs_slice()
+            .first()
+            .expect("protocol bug: expected an address")
+    }
+
+    /// Converts to the heap-backed [`Envelope`] (threaded-oracle interop).
+    pub fn to_envelope(&self) -> Envelope {
+        Envelope {
+            src: self.src,
+            msg: self.msg.to_msg(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let m = WireMsg::signal(3).with_word(7).with_addr(42);
+        assert_eq!(m.words_slice(), &[7]);
+        assert_eq!(m.addrs_slice(), &[42]);
+        assert_eq!(m.size_words(), 3);
+    }
+
+    #[test]
+    fn msg_roundtrip() {
+        let m = Msg::addr_words(5, 9, vec![1, 2, 3]);
+        let w = WireMsg::from_msg(&m);
+        assert_eq!(w.to_msg(), m);
+        assert_eq!(w.size_words(), m.size_words());
+    }
+
+    #[test]
+    #[should_panic(expected = "word budget")]
+    fn word_budget_is_enforced() {
+        let _ = WireMsg::words(0, &[0; 5]);
+    }
+
+    #[test]
+    fn envelope_accessors() {
+        let env = WireEnvelope {
+            src: 5,
+            msg: WireMsg::addr_word(1, 10, 99),
+            dst: 10,
+            dst_idx: 0,
+        };
+        assert_eq!(env.word(), 99);
+        assert_eq!(env.addr(), 10);
+        let e = env.to_envelope();
+        assert_eq!(e.src, 5);
+        assert_eq!(e.word(), 99);
+    }
+}

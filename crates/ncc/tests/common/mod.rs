@@ -1,0 +1,134 @@
+//! Shared protocol fixtures for the engine test suites.
+// Each test binary compiles this module separately and uses a subset.
+#![allow(dead_code)]
+
+use dgr_ncc::{NodeId, NodeProtocol, NodeSeed, RoundCtx, Status, WireMsg};
+use rand::Rng;
+
+/// FNV-1a fold of one `u64` into a transcript hash.
+pub fn fnv(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x100_0000_01b3)
+}
+
+/// A randomized gossip protocol that exercises most of the engine surface:
+/// random fan-out to learned addresses, address-carrying payloads (KT0
+/// knowledge spreading), per-node lifetimes (staggered `Done`), and a
+/// per-node transcript hash over everything received.
+///
+/// The protocol is deterministic given the engine-provided RNG stream, so
+/// two engines (or two worker counts) running it must produce identical
+/// outputs and metrics.
+pub struct Gossip {
+    /// Rounds this node participates in before retiring.
+    lifetime: u64,
+    /// Messages staged per round (possibly exceeding capacity, to
+    /// exercise violation accounting under lenient policies).
+    fan_out: usize,
+    /// Learned addresses (bounded; initial successor first).
+    known: Vec<NodeId>,
+    /// FNV transcript hash over all received envelopes.
+    hash: u64,
+}
+
+/// Bound on the gossip knowledge list (keeps steps allocation-free).
+const KNOWN_LIMIT: usize = 64;
+
+impl Gossip {
+    /// Base lifetime + per-node stagger derived from the ID.
+    pub fn new(seed: &NodeSeed<'_>, base_rounds: u64, stagger: u64, fan_out: usize) -> Self {
+        let lifetime = base_rounds + if stagger == 0 { 0 } else { seed.id % stagger };
+        let mut known = Vec::with_capacity(KNOWN_LIMIT);
+        known.extend(seed.initial_successor);
+        Gossip {
+            lifetime,
+            fan_out,
+            known,
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn learn(&mut self, id: NodeId) {
+        if self.known.len() < KNOWN_LIMIT && !self.known.contains(&id) {
+            self.known.push(id);
+        }
+    }
+}
+
+impl NodeProtocol for Gossip {
+    type Output = u64;
+
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> Status<u64> {
+        // Fold the inbox into the transcript hash, in delivery order, and
+        // learn every visible address.
+        let round = ctx.round();
+        for i in 0..ctx.inbox().len() {
+            let env = ctx.inbox()[i];
+            let mut h = self.hash;
+            h = fnv(h, round);
+            h = fnv(h, env.src);
+            h = fnv(h, env.msg.tag as u64);
+            for &w in env.msg.words_slice() {
+                h = fnv(h, w);
+            }
+            for &a in env.msg.addrs_slice() {
+                h = fnv(h, a);
+            }
+            self.hash = h;
+            self.learn(env.src);
+            for k in 0..env.msg.addrs_slice().len() {
+                self.learn(env.msg.addrs_slice()[k]);
+            }
+        }
+        if round >= self.lifetime {
+            return Status::Done(self.hash);
+        }
+        // Random fan-out to learned addresses, sometimes carrying another
+        // learned address (all KT0-legal by construction).
+        if !self.known.is_empty() {
+            for _ in 0..self.fan_out {
+                let pick = ctx.rng().gen_range(0..self.known.len() as u64) as usize;
+                let dst = self.known[pick];
+                let word: u64 = ctx.rng().gen_range(0..1_000_000);
+                let mut msg = WireMsg::word(7, word);
+                if self.known.len() > 1 && word.is_multiple_of(3) {
+                    let carry = ctx.rng().gen_range(0..self.known.len() as u64) as usize;
+                    msg = msg.with_addr(self.known[carry]);
+                }
+                ctx.send(dst, msg);
+            }
+        }
+        Status::Continue
+    }
+}
+
+/// A minimal fixed-duration protocol: ping the initial successor every
+/// round with a constant word. Its steps perform no allocation at all,
+/// which makes it the fixture for the zero-allocation probe.
+pub struct Ping {
+    rounds: u64,
+    received: u64,
+}
+
+impl Ping {
+    pub fn new(_seed: &NodeSeed<'_>, rounds: u64) -> Self {
+        Ping {
+            rounds,
+            received: 0,
+        }
+    }
+}
+
+impl NodeProtocol for Ping {
+    type Output = u64;
+
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> Status<u64> {
+        self.received += ctx.inbox().len() as u64;
+        if ctx.round() >= self.rounds {
+            return Status::Done(self.received);
+        }
+        if let Some(succ) = ctx.initial_successor() {
+            ctx.send(succ, WireMsg::word(1, 42));
+        }
+        Status::Continue
+    }
+}

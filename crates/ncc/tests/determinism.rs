@@ -1,0 +1,47 @@
+//! Determinism of the batched executor: a run is a pure function of
+//! `(n, Config)` — the worker-thread count must not influence transcripts,
+//! outputs or metrics, and replays must be bit-identical.
+
+mod common;
+
+use common::Gossip;
+use dgr_ncc::{CapacityPolicy, Config, Network};
+
+fn run_with_workers(workers: usize) -> (Vec<(u64, u64)>, dgr_ncc::RunMetrics) {
+    let mut config = Config::ncc0(404).with_worker_threads(workers);
+    config.capacity_policy = CapacityPolicy::Record;
+    let net = Network::new(96, config);
+    let result = net.run_protocol(|s| Gossip::new(s, 10, 6, 2)).unwrap();
+    (result.outputs, result.metrics)
+}
+
+#[test]
+fn worker_count_does_not_change_the_transcript() {
+    let (outputs_1, metrics_1) = run_with_workers(1);
+    for workers in [2, 3, 4, 8] {
+        let (outputs_w, metrics_w) = run_with_workers(workers);
+        assert_eq!(outputs_1, outputs_w, "outputs diverge at {workers} workers");
+        assert_eq!(metrics_1, metrics_w, "metrics diverge at {workers} workers");
+    }
+}
+
+#[test]
+fn replays_are_bit_identical() {
+    let (outputs_a, metrics_a) = run_with_workers(0);
+    let (outputs_b, metrics_b) = run_with_workers(0);
+    assert_eq!(outputs_a, outputs_b);
+    assert_eq!(metrics_a, metrics_b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed| {
+        let mut config = Config::ncc0(seed);
+        config.capacity_policy = CapacityPolicy::Record;
+        let net = Network::new(64, config);
+        net.run_protocol(|s| Gossip::new(s, 10, 0, 2))
+            .unwrap()
+            .outputs
+    };
+    assert_ne!(run(1), run(2), "seeds must drive distinct transcripts");
+}

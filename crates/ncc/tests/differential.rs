@@ -1,0 +1,112 @@
+//! Differential tests: the batched executor and the threaded oracle must
+//! be observationally identical — same per-round deliveries (captured as
+//! per-node transcript hashes over every received envelope), same
+//! outputs, and bit-identical [`RunMetrics`] — across models, capacity
+//! policies, ID assignments and staggered node lifetimes.
+#![cfg(feature = "threaded")]
+
+mod common;
+
+use common::Gossip;
+use dgr_ncc::{CapacityPolicy, Config, Network, RunResult, SimError};
+
+/// Runs the same gossip configuration on both engines and asserts full
+/// observational equality.
+fn assert_engines_agree(n: usize, config: Config, base: u64, stagger: u64, fan: usize) {
+    let net = Network::new(n, config);
+    let batched: RunResult<u64> = net
+        .run_protocol(|s| Gossip::new(s, base, stagger, fan))
+        .unwrap();
+    let threaded: RunResult<u64> = net
+        .run_protocol_threaded(|s| Gossip::new(s, base, stagger, fan))
+        .unwrap();
+    assert_eq!(
+        batched.outputs, threaded.outputs,
+        "per-node transcripts diverge (n={n})"
+    );
+    assert_eq!(batched.metrics, threaded.metrics, "metrics diverge (n={n})");
+}
+
+#[test]
+fn uniform_lifetimes_strict_clean() {
+    // Fan-out 1 to the successor chain only: strict-legal traffic.
+    for seed in 0..4 {
+        let mut config = Config::ncc0(seed);
+        config.capacity_policy = CapacityPolicy::Record; // random targets may collide
+        assert_engines_agree(48, config, 12, 0, 1);
+    }
+}
+
+#[test]
+fn staggered_lifetimes_record_policy() {
+    // Nodes retire at different rounds; late sends to dead nodes must be
+    // counted identically (DeadRecipient under Record).
+    for seed in [7, 8, 9] {
+        let mut config = Config::ncc0(seed);
+        config.capacity_policy = CapacityPolicy::Record;
+        assert_engines_agree(64, config, 6, 9, 2);
+    }
+}
+
+#[test]
+fn overloaded_fan_out_counts_violations_identically() {
+    // Fan-out 6 with capacity 4-ish: send and receive capacity violations
+    // fire; the two engines must count and sample them identically.
+    let mut config = Config::ncc0(21);
+    config.capacity_policy = CapacityPolicy::Record;
+    config.capacity_factor = 0.5;
+    config.min_capacity = 3;
+    assert_engines_agree(40, config, 8, 5, 6);
+}
+
+#[test]
+fn queue_policy_paces_identically() {
+    let mut config = Config::ncc0(33);
+    config.capacity_policy = CapacityPolicy::Queue;
+    config.track_knowledge = false;
+    assert_engines_agree(56, config, 10, 7, 3);
+}
+
+#[test]
+fn ncc1_and_sequential_ids_agree() {
+    let mut config = Config::ncc1(5).with_sequential_ids();
+    config.capacity_policy = CapacityPolicy::Record;
+    assert_engines_agree(32, config, 9, 4, 2);
+}
+
+#[test]
+fn strict_violations_abort_both_engines_identically() {
+    // Heavy fan-in under Strict: both engines must abort with a
+    // Violation (the specific violation record must match).
+    let config = Config::ncc0(11).with_capacity_factor(0.5);
+    let net = Network::new(48, config);
+    let run_b = net.run_protocol(|s| Gossip::new(s, 10, 0, 6));
+    let run_t = net.run_protocol_threaded(|s| Gossip::new(s, 10, 0, 6));
+    match (run_b, run_t) {
+        (Err(SimError::Violation(a)), Err(SimError::Violation(b))) => {
+            assert_eq!(a, b, "engines blame different violations");
+        }
+        (b, t) => panic!(
+            "expected strict violations from both engines, got batched={:?} threaded={:?}",
+            b.map(|r| r.metrics.rounds),
+            t.map(|r| r.metrics.rounds),
+        ),
+    }
+}
+
+#[test]
+fn masked_participants_agree_with_full_run_shape() {
+    // A masked batched run must produce a clean sub-network transcript;
+    // the threaded engine has no masked protocol entry, so check the
+    // batched run against the structural expectations instead.
+    let mut config = Config::ncc0(17);
+    config.capacity_policy = CapacityPolicy::Record;
+    let net = Network::new(30, config);
+    let mask: Vec<bool> = (0..30).map(|i| i % 3 != 1).collect();
+    let result = net
+        .run_protocol_masked(&mask, |s| Gossip::new(s, 8, 0, 1))
+        .unwrap();
+    assert_eq!(result.outputs.len(), 20);
+    // All traffic stayed within the participating sub-network.
+    assert!(result.metrics.violations.bad_recipient == 0);
+}

@@ -1,10 +1,7 @@
 //! Engine edge cases: every violation class fires when it should, and
 //! model misuse fails loudly rather than silently.
 
-use dgr_ncc::{
-    tags, CapacityPolicy, Config, Msg, Network, SimError, Violation,
-    ViolationKind,
-};
+use dgr_ncc::{tags, CapacityPolicy, Config, Msg, Network, SimError, Violation, ViolationKind};
 
 fn strict_violation(err: SimError) -> Violation {
     match err {

@@ -1,0 +1,75 @@
+//! Allocation probe: at steady state, the batched executor's round loop —
+//! protocol steps, validation, counting-sort routing, delivery — must not
+//! touch the heap. A `#[global_allocator]` counter proves it: two runs
+//! that differ only in round count (10 vs 510 rounds) must perform the
+//! *same number* of allocations, i.e. every allocation is setup/teardown,
+//! none is per-round.
+//!
+//! The probe pins `worker_threads = 1` (the dispatch-free inline path;
+//! worker dispatch itself allocates in the thread spawner, which is
+//! outside the routing hot path) and disables KT0 tracking (the knowledge
+//! sets are a verification instrument backed by hash sets, not part of
+//! the production routing path).
+
+mod common;
+
+use common::Ping;
+use dgr_ncc::{Config, Network};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocation count of one n-node Ping run over `rounds` rounds.
+fn allocations_for(rounds: u64) -> u64 {
+    let mut config = Config::ncc0(99).with_worker_threads(1);
+    config.track_knowledge = false;
+    let net = Network::new(512, config);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = net.run_protocol(|s| Ping::new(s, rounds)).unwrap();
+    assert_eq!(result.metrics.rounds, rounds);
+    assert!(result.metrics.is_clean());
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn routing_hot_path_does_not_allocate_per_round() {
+    // Warm the allocator's own internals (arenas, thread caches).
+    let _ = allocations_for(5);
+    let short = allocations_for(10);
+    let long = allocations_for(510);
+    assert_eq!(
+        long, short,
+        "round loop allocates: {short} allocations over 10 rounds vs \
+         {long} over 510 — every per-round allocation is a regression"
+    );
+    // Past the per-round trace cap (ROUND_TRACE_LIMIT = 4096): the capped
+    // trace must not reintroduce growth allocations either.
+    let past_cap = allocations_for(dgr_ncc::ROUND_TRACE_LIMIT as u64 + 500);
+    let far_past_cap = allocations_for(2 * dgr_ncc::ROUND_TRACE_LIMIT as u64);
+    assert_eq!(
+        past_cap, far_past_cap,
+        "round loop allocates beyond the trace cap"
+    );
+}

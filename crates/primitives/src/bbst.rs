@@ -153,9 +153,7 @@ pub fn build(h: &mut NodeHandle, vp: &VPath, contacts: &ContactTable) -> Bbst {
         if !in_tree {
             let mut invites: Vec<_> = inbox
                 .iter()
-                .filter(|e| {
-                    e.msg.tag == tags::INVITE_LEFT || e.msg.tag == tags::INVITE_RIGHT
-                })
+                .filter(|e| e.msg.tag == tags::INVITE_LEFT || e.msg.tag == tags::INVITE_RIGHT)
                 .collect();
             // Deterministic choice among simultaneous invitations: prefer
             // becoming a left child, then the smaller inviter ID. (At most
@@ -214,8 +212,7 @@ mod tests {
 
     /// Recovers the inorder traversal of the tree from the per-node views.
     fn inorder(result: &RunResult<Bbst>) -> Vec<NodeId> {
-        let view: HashMap<NodeId, &Bbst> =
-            result.outputs.iter().map(|(id, b)| (*id, b)).collect();
+        let view: HashMap<NodeId, &Bbst> = result.outputs.iter().map(|(id, b)| (*id, b)).collect();
         let root = result
             .outputs
             .iter()
@@ -223,11 +220,7 @@ mod tests {
             .map(|(id, _)| *id)
             .expect("no root");
         let mut order = Vec::new();
-        fn walk(
-            id: NodeId,
-            view: &HashMap<NodeId, &Bbst>,
-            order: &mut Vec<NodeId>,
-        ) {
+        fn walk(id: NodeId, view: &HashMap<NodeId, &Bbst>, order: &mut Vec<NodeId>) {
             let b = view[&id];
             if let Some(l) = b.left {
                 walk(l, view, order);
@@ -258,8 +251,7 @@ mod tests {
         }
         assert_eq!(roots, 1);
         // Parent/child views agree.
-        let view: HashMap<NodeId, &Bbst> =
-            result.outputs.iter().map(|(id, b)| (*id, b)).collect();
+        let view: HashMap<NodeId, &Bbst> = result.outputs.iter().map(|(id, b)| (*id, b)).collect();
         for (id, b) in &result.outputs {
             if let Some(l) = b.left {
                 assert_eq!(view[&l].parent, Some(*id));
@@ -308,8 +300,7 @@ mod tests {
                 build(h, &vp, &ct)
             })
             .unwrap();
-        let view: HashMap<NodeId, &Bbst> =
-            result.outputs.iter().map(|(id, b)| (*id, b)).collect();
+        let view: HashMap<NodeId, &Bbst> = result.outputs.iter().map(|(id, b)| (*id, b)).collect();
         assert!(view[&1].is_root);
         assert_eq!(view[&1].left, None);
         assert_eq!(view[&1].right, Some(5));

@@ -117,7 +117,11 @@ mod tests {
                 build(h, &vp)
             })
             .unwrap();
-        assert!(result.metrics.is_clean(), "n={n}: {:?}", result.metrics.violations);
+        assert!(
+            result.metrics.is_clean(),
+            "n={n}: {:?}",
+            result.metrics.violations
+        );
         assert_eq!(result.metrics.rounds, 1 + rounds_for(n));
         let order = result.gk_order();
         let levels = crate::levels_for(n);
@@ -154,7 +158,10 @@ mod tests {
 
     #[test]
     fn offsets_api() {
-        let t = ContactTable { fwd: vec![Some(5), None], bwd: vec![None, Some(9)] };
+        let t = ContactTable {
+            fwd: vec![Some(5), None],
+            bwd: vec![None, Some(9)],
+        };
         assert_eq!(t.at_offset(0, true), Some(5));
         assert_eq!(t.at_offset(1, true), None);
         assert_eq!(t.at_offset(1, false), Some(9));

@@ -1,5 +1,13 @@
 //! [`PathCtx`]: the bundle of structures every algorithm establishes on a
 //! path before doing real work — contact table, BBST and positions.
+//!
+//! `PathCtx::establish` is direct-style (it blocks through
+//! `NodeHandle::step`, so it needs the threaded oracle engine). Its first
+//! two stages — undirection and the contact table — also exist as
+//! step-function protocols for the batched executor
+//! ([`crate::proto::PathToClique`], driven through a
+//! [`dgr_ncc::RoundCtx`]); the BBST and traversal stages are still
+//! direct-style-only and are the next porting targets (see ROADMAP.md).
 
 use crate::bbst::{self, Bbst};
 use crate::contacts::{self, ContactTable};

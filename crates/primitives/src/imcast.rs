@@ -95,7 +95,10 @@ pub fn interval_multicast(
         let inbox = h.step(out);
         for env in inbox.iter().filter(|e| e.msg.tag == tags::IMCAST) {
             debug_assert!(received.is_none(), "overlapping multicast intervals");
-            let payload = Payload { addr: env.addr(), word: env.msg.words[0] };
+            let payload = Payload {
+                addr: env.addr(),
+                word: env.msg.words[0],
+            };
             received = Some(payload);
             let delegated = env.msg.words[1] as usize;
             let side = if env.msg.words[2] == 0 {
@@ -127,7 +130,14 @@ mod tests {
                 let r = ctx.position;
                 let task = r.is_multiple_of(w).then(|| {
                     let count = (w - 1).min(n - 1 - r);
-                    (CoverSide::After, count, Payload { addr: h.id(), word: r as u64 })
+                    (
+                        CoverSide::After,
+                        count,
+                        Payload {
+                            addr: h.id(),
+                            word: r as u64,
+                        },
+                    )
                 });
                 let got = interval_multicast(h, &ctx.vp, &ctx.contacts, task);
                 (r, got)
@@ -140,7 +150,10 @@ mod tests {
                 assert_eq!(*got, None, "source must not receive");
             } else {
                 let src_rank = (r / w) * w;
-                let want = Payload { addr: order[src_rank], word: src_rank as u64 };
+                let want = Payload {
+                    addr: order[src_rank],
+                    word: src_rank as u64,
+                };
                 assert_eq!(*got, Some(want), "n={n} w={w} rank={r}");
             }
         }
@@ -164,7 +177,14 @@ mod tests {
             .run(move |h| {
                 let ctx = PathCtx::establish(h);
                 let task = (ctx.position == n - 1).then(|| {
-                    (CoverSide::Before, n - 1, Payload { addr: h.id(), word: 9 })
+                    (
+                        CoverSide::Before,
+                        n - 1,
+                        Payload {
+                            addr: h.id(),
+                            word: 9,
+                        },
+                    )
                 });
                 interval_multicast(h, &ctx.vp, &ctx.contacts, task)
             })
@@ -175,7 +195,13 @@ mod tests {
             if *id == tail {
                 assert_eq!(*got, None);
             } else {
-                assert_eq!(*got, Some(Payload { addr: tail, word: 9 }));
+                assert_eq!(
+                    *got,
+                    Some(Payload {
+                        addr: tail,
+                        word: 9
+                    })
+                );
             }
         }
     }
@@ -186,8 +212,14 @@ mod tests {
         let result = net
             .run(|h| {
                 let ctx = PathCtx::establish(h);
-                let task =
-                    Some((CoverSide::After, 0, Payload { addr: h.id(), word: 0 }));
+                let task = Some((
+                    CoverSide::After,
+                    0,
+                    Payload {
+                        addr: h.id(),
+                        word: 0,
+                    },
+                ));
                 interval_multicast(h, &ctx.vp, &ctx.contacts, task)
             })
             .unwrap();

@@ -36,6 +36,13 @@
 //! with same-complexity-class constructions (bitonic networks and interval
 //! doubling instead of recursive merge and butterflies); see `DESIGN.md` §4
 //! for the substitution rationale.
+//!
+//! The primitives above are written in *direct style* (blocking closures on
+//! the threaded oracle engine). The [`proto`] module holds their
+//! step-function ports — [`dgr_ncc::NodeProtocol`] state machines driven
+//! through a [`dgr_ncc::RoundCtx`] by the batched executor — which run the
+//! same constructions at million-node scale; see `ARCHITECTURE.md` for the
+//! porting recipe.
 
 pub mod bbst;
 pub mod contacts;
@@ -43,6 +50,7 @@ pub mod ctx;
 pub mod imcast;
 pub mod ops;
 pub mod prefix;
+pub mod proto;
 pub mod scatter;
 pub mod sort;
 pub mod stagger;
@@ -53,6 +61,7 @@ pub mod warmup;
 pub use bbst::Bbst;
 pub use contacts::ContactTable;
 pub use ctx::PathCtx;
+pub use proto::{PathToClique, Undirect};
 pub use sort::{Order, SortedPath};
 pub use vpath::VPath;
 

@@ -30,18 +30,17 @@ pub fn rounds_for(len: usize) -> u64 {
 /// member; non-members idle and return 0.
 ///
 /// Rounds: exactly [`broadcast_rounds`]`(vp.len)`.
-pub fn broadcast_down(
-    h: &mut NodeHandle,
-    vp: &VPath,
-    tree: &Bbst,
-    value: Option<u64>,
-) -> u64 {
+pub fn broadcast_down(h: &mut NodeHandle, vp: &VPath, tree: &Bbst, value: Option<u64>) -> u64 {
     let rounds = broadcast_rounds(vp.len);
     if !vp.member {
         h.idle_quiet(rounds);
         return 0;
     }
-    debug_assert_eq!(tree.is_root, value.is_some(), "only the root supplies a value");
+    debug_assert_eq!(
+        tree.is_root,
+        value.is_some(),
+        "only the root supplies a value"
+    );
     let mut got = value;
     let mut sent = tree.is_root && tree.child_count() == 0;
     for _ in 0..rounds {
@@ -123,12 +122,7 @@ pub fn aggregate_broadcast(
 /// anyone needing to know where `ℓ` sits in the tree.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
-pub fn broadcast_word(
-    h: &mut NodeHandle,
-    vp: &VPath,
-    tree: &Bbst,
-    value: Option<u64>,
-) -> u64 {
+pub fn broadcast_word(h: &mut NodeHandle, vp: &VPath, tree: &Bbst, value: Option<u64>) -> u64 {
     // Encode Option<u64> as (present, value): combiner keeps the smaller
     // present value. u64::MAX is the identity.
     let enc = value.unwrap_or(u64::MAX);
@@ -210,12 +204,7 @@ pub fn broadcast_addr(
 /// [`crate::traversal::positions`].
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
-pub fn median(
-    h: &mut NodeHandle,
-    vp: &VPath,
-    tree: &Bbst,
-    position: usize,
-) -> NodeId {
+pub fn median(h: &mut NodeHandle, vp: &VPath, tree: &Bbst, position: usize) -> NodeId {
     let target = (vp.len - 1) / 2;
     let mine = (vp.member && position == target).then(|| h.id());
     broadcast_addr(h, vp, tree, mine)
@@ -297,11 +286,8 @@ mod tests {
         let result = net
             .run(|h| {
                 let ctx = PathCtx::establish(h);
-                let sum = aggregate_broadcast(
-                    h, &ctx.vp, &ctx.tree, h.id() % 100, |a, b| a + b,
-                );
-                let max =
-                    aggregate_broadcast(h, &ctx.vp, &ctx.tree, h.id() % 100, u64::max);
+                let sum = aggregate_broadcast(h, &ctx.vp, &ctx.tree, h.id() % 100, |a, b| a + b);
+                let max = aggregate_broadcast(h, &ctx.vp, &ctx.tree, h.id() % 100, u64::max);
                 (sum, max)
             })
             .unwrap();
@@ -373,7 +359,10 @@ mod tests {
             .run(|h| {
                 let ctx = PathCtx::establish(h);
                 // Every third position holds a token.
-                let token = ctx.position.is_multiple_of(3).then_some(ctx.position as u64);
+                let token = ctx
+                    .position
+                    .is_multiple_of(3)
+                    .then_some(ctx.position as u64);
                 let k_bound = 60usize.div_ceil(3);
                 let got = collect(h, &ctx.vp, &ctx.tree, token, k_bound);
                 (ctx.tree.is_root, got)

@@ -21,12 +21,7 @@ pub fn rounds_for(len: usize) -> u64 {
 /// `i ≤ r`. Non-members idle and return 0.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
-pub fn prefix_sum(
-    h: &mut NodeHandle,
-    vp: &VPath,
-    contacts: &ContactTable,
-    value: u64,
-) -> u64 {
+pub fn prefix_sum(h: &mut NodeHandle, vp: &VPath, contacts: &ContactTable, value: u64) -> u64 {
     let levels = vp.levels();
     if !vp.member {
         h.idle_quiet(rounds_for(vp.len));

@@ -1,0 +1,28 @@
+//! Step-function ports of the primitives: [`NodeProtocol`] state machines
+//! for the batched executor.
+//!
+//! The direct-style primitives in the sibling modules block inside
+//! `NodeHandle::step` and therefore need the threaded oracle engine. The
+//! protocols here are the same algorithms unrolled into explicit state
+//! machines — one [`NodeProtocol::step`] call per round — so they run on
+//! the batched executor at scales the threaded engine cannot touch
+//! (millions of nodes), and on the threaded oracle for differential
+//! testing. Each protocol's step function is allocation-free after
+//! construction: all per-node state is pre-sized, which is what keeps the
+//! executor's round loop off the allocator end to end.
+//!
+//! Ported so far:
+//!
+//! | Protocol | Direct-style twin | Rounds |
+//! |---|---|---|
+//! | [`undirect::Undirect`] | [`vpath::undirect`](crate::vpath::undirect) | 1 |
+//! | [`clique::PathToClique`] | [`vpath::undirect`](crate::vpath::undirect) + [`contacts::build`](crate::contacts::build) | `ceil(log2 n)` |
+//!
+//! [`NodeProtocol`]: dgr_ncc::NodeProtocol
+//! [`NodeProtocol::step`]: dgr_ncc::NodeProtocol::step
+
+pub mod clique;
+pub mod undirect;
+
+pub use clique::PathToClique;
+pub use undirect::Undirect;

@@ -90,15 +90,14 @@ pub fn rounds_for(len: usize) -> u64 {
     let virt = 2 * len;
     crate::sort::stage_count(virt) as u64          // comparator network
         + crate::levels_for(virt) as u64           // doubling scan
-        + 1                                        // origin delivery
+        + 1 // origin delivery
 }
 
 /// Encodes a flight record into a message. Flags word packs the slot and
 /// presence bits; `addrs[0]` = origin, `addrs[1]` = milestone (if any).
 fn encode(tag_word: u64, vpos: u64, f: &Flight) -> Msg {
     let flags = u64::from(f.slot) | (u64::from(f.milestone.is_some()) << 1);
-    let mut m = Msg::words(tags::SORT_XCHG, vec![tag_word, vpos, f.key, flags])
-        .with_addr(f.origin);
+    let mut m = Msg::words(tags::SORT_XCHG, vec![tag_word, vpos, f.key, flags]).with_addr(f.origin);
     if let Some(a) = f.milestone {
         m = m.with_addr(a);
     }
@@ -112,7 +111,16 @@ fn decode(msg: &Msg) -> (u64, u64, Flight) {
     let flags = msg.words[3];
     let origin = msg.addrs[0];
     let milestone = (flags & 2 != 0).then(|| msg.addrs[1]);
-    (tag_word, vpos, Flight { key, origin, slot: (flags & 1) as u8, milestone })
+    (
+        tag_word,
+        vpos,
+        Flight {
+            key,
+            origin,
+            slot: (flags & 1) as u8,
+            milestone,
+        },
+    )
 }
 
 /// The host path position of a virtual slot.
@@ -197,8 +205,8 @@ pub fn milestone_scan(
                     }
                 } else {
                     plan[s] = Some((partner, i_am_low));
-                    let target = host_id(host(partner), my_id)
-                        .expect("comparator partner off the path");
+                    let target =
+                        host_id(host(partner), my_id).expect("comparator partner off the path");
                     out.push((target, encode(W_EXCHANGE, v as u64, &held[s])));
                 }
             }
@@ -209,12 +217,18 @@ pub fn milestone_scan(
             debug_assert_eq!(w, W_EXCHANGE);
             // Which of my slots has this partner?
             let s = (0..2)
-                .find(|&s| plan[s] == Some((partner_vpos as usize, true))
-                    || plan[s] == Some((partner_vpos as usize, false)))
+                .find(|&s| {
+                    plan[s] == Some((partner_vpos as usize, true))
+                        || plan[s] == Some((partner_vpos as usize, false))
+                })
                 .expect("unexpected exchange partner");
             let (_, i_am_low) = plan[s].unwrap();
             held[s] = if i_am_low {
-                if held[s].order() <= theirs.order() { held[s] } else { theirs }
+                if held[s].order() <= theirs.order() {
+                    held[s]
+                } else {
+                    theirs
+                }
             } else if held[s].order() > theirs.order() {
                 held[s]
             } else {
@@ -227,25 +241,19 @@ pub fn milestone_scan(
     // the sorted virtual order. acc[s] starts as the slot's own milestone;
     // at step k, slot v pushes its acc to slot v + 2^k, where an incoming
     // Some overrides (the sender is earlier, so it only fills gaps). ---
-    let mut acc: [Option<NodeId>; 2] =
-        std::array::from_fn(|s| held[s].milestone);
+    let mut acc: [Option<NodeId>; 2] = std::array::from_fn(|s| held[s].milestone);
     // Incoming accumulators override only if I have nothing: wrong — the
     // *latest* milestone wins, and later positions are further right, so
     // my own Some always beats an incoming one. Incoming fills None only.
     for k in 0..crate::levels_for(virt) {
         let mut out = Vec::new();
-        for s in 0..2 {
+        for (s, &slot_acc) in acc.iter().enumerate() {
             let v = 2 * position + s;
             let tv = v + (1 << k);
             if tv < virt {
-                if let Some(a) = acc[s] {
-                    let target = host_id(host(tv), my_id)
-                        .expect("scan target off the path");
-                    let msg = Msg::words(
-                        tags::PREFIX,
-                        vec![W_SCAN, tv as u64],
-                    )
-                    .with_addr(a);
+                if let Some(a) = slot_acc {
+                    let target = host_id(host(tv), my_id).expect("scan target off the path");
+                    let msg = Msg::words(tags::PREFIX, vec![W_SCAN, tv as u64]).with_addr(a);
                     out.push((target, msg));
                 }
             }
@@ -273,7 +281,11 @@ pub fn milestone_scan(
         } else {
             let mut msg = Msg::words(
                 tags::TOKEN,
-                vec![W_DELIVER, u64::from(held[s].slot), u64::from(value.is_some())],
+                vec![
+                    W_DELIVER,
+                    u64::from(held[s].slot),
+                    u64::from(value.is_some()),
+                ],
             );
             if let Some(a) = value {
                 msg = msg.with_addr(a);
@@ -311,14 +323,15 @@ mod tests {
                 let r = ctx.position as u64;
                 let rec0 = if ctx.position.is_multiple_of(w) {
                     // Milestone just before my own filler key: covers me too.
-                    ScanRecord::Milestone { key: 2 * r, addr: h.id() }
+                    ScanRecord::Milestone {
+                        key: 2 * r,
+                        addr: h.id(),
+                    }
                 } else {
                     ScanRecord::Absent
                 };
                 let rec1 = ScanRecord::Filler { key: 2 * r + 1 };
-                let got = milestone_scan(
-                    h, &ctx.vp, &ctx.contacts, ctx.position, [rec0, rec1],
-                );
+                let got = milestone_scan(h, &ctx.vp, &ctx.contacts, ctx.position, [rec0, rec1]);
                 got[1]
             })
             .unwrap();
@@ -340,14 +353,15 @@ mod tests {
                 let r = ctx.position as u64;
                 // One milestone in the middle (rank 4).
                 let rec0 = if ctx.position == 4 {
-                    ScanRecord::Milestone { key: 9, addr: h.id() }
+                    ScanRecord::Milestone {
+                        key: 9,
+                        addr: h.id(),
+                    }
                 } else {
                     ScanRecord::Absent
                 };
                 let rec1 = ScanRecord::Filler { key: 2 * r };
-                milestone_scan(
-                    h, &ctx.vp, &ctx.contacts, ctx.position, [rec0, rec1],
-                )[1]
+                milestone_scan(h, &ctx.vp, &ctx.contacts, ctx.position, [rec0, rec1])[1]
             })
             .unwrap();
         let order = result.gk_order();
@@ -372,7 +386,10 @@ mod tests {
                     &ctx.contacts,
                     ctx.position,
                     [
-                        ScanRecord::Milestone { key: 0, addr: h.id() },
+                        ScanRecord::Milestone {
+                            key: 0,
+                            addr: h.id(),
+                        },
                         ScanRecord::Filler { key: 1 },
                     ],
                 )[1]

@@ -98,22 +98,14 @@ pub fn rounds_for(len: usize) -> u64 {
 /// Derived from the classic triple loop
 /// `for j in (k%p..).step_by(2k) { for i in 0..k { compare(i+j, i+j+k) if
 /// same 2p-block } }` — solved for `x` in O(1).
-pub(crate) fn comparator_at(
-    x: usize,
-    len: usize,
-    p: usize,
-    k: usize,
-) -> Option<(usize, bool)> {
+pub(crate) fn comparator_at(x: usize, len: usize, p: usize, k: usize) -> Option<(usize, bool)> {
     let j0 = k % p;
     let two_k = 2 * k;
     // Is `lo` the low endpoint of a stage comparator? lo = i + j with
     // i ∈ [0, k), j ≡ j0 (mod 2k), j ≥ j0 — equivalently lo ≥ j0 and
     // (lo - j0) mod 2k < k — and lo, lo+k must share a 2p-block.
     let is_low = |lo: usize| -> bool {
-        lo >= j0
-            && (lo - j0) % two_k < k
-            && lo + k < len
-            && lo / (2 * p) == (lo + k) / (2 * p)
+        lo >= j0 && (lo - j0) % two_k < k && lo + k < len && lo / (2 * p) == (lo + k) / (2 * p)
     };
     if is_low(x) {
         return Some((x + k, true));
@@ -142,10 +134,16 @@ pub fn sort_at(
     let len = vp.len;
     if !vp.member {
         h.idle_quiet(rounds_for(len));
-        return SortedPath { rank: 0, vp: VPath::non_member(len) };
+        return SortedPath {
+            rank: 0,
+            vp: VPath::non_member(len),
+        };
     }
 
-    let mut held = Record { key: order.encode(key), origin: h.id() };
+    let mut held = Record {
+        key: order.encode(key),
+        origin: h.id(),
+    };
     let x = position;
 
     // --- Comparator network. ---
@@ -169,7 +167,10 @@ pub fn sort_at(
                 .iter()
                 .find(|e| e.msg.tag == tags::SORT_XCHG)
                 .expect("comparator partner did not exchange");
-            let theirs = Record { key: env.word(), origin: env.addr() };
+            let theirs = Record {
+                key: env.word(),
+                origin: env.addr(),
+            };
             // All comparators keep the minimum at the low position.
             held = if i_am_low {
                 held.min(theirs)
@@ -200,8 +201,7 @@ pub fn sort_at(
 
     // --- Epilogue round 2: tell the held record's origin its rank and
     // sorted neighbors. Flags word: bit0 = has pred, bit1 = has succ. ---
-    let flags =
-        u64::from(pred_origin.is_some()) | (u64::from(succ_origin.is_some()) << 1);
+    let flags = u64::from(pred_origin.is_some()) | (u64::from(succ_origin.is_some()) << 1);
     let mut msg = Msg::words(tags::SORT_LINK, vec![x as u64, flags]);
     if let Some(a) = pred_origin {
         msg = msg.with_addr(a);
@@ -219,7 +219,15 @@ pub fn sort_at(
     let mut addrs = env.msg.addrs.iter().copied();
     let pred = (flags & 1 != 0).then(|| addrs.next().unwrap());
     let succ = (flags & 2 != 0).then(|| addrs.next().unwrap());
-    SortedPath { rank, vp: VPath { member: true, pred, succ, len } }
+    SortedPath {
+        rank,
+        vp: VPath {
+            member: true,
+            pred,
+            succ,
+            len,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +242,10 @@ mod tests {
         let mut a: Vec<Record> = keys
             .iter()
             .enumerate()
-            .map(|(i, &k)| Record { key: k, origin: i as u64 })
+            .map(|(i, &k)| Record {
+                key: k,
+                origin: i as u64,
+            })
             .collect();
         for (p, k) in stages(len) {
             // Apply all comparators of this stage simultaneously.
@@ -262,8 +273,7 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
         for len in 1..=48 {
             for _ in 0..8 {
-                let keys: Vec<u64> =
-                    (0..len).map(|_| rng.gen_range(0..32)).collect();
+                let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..32)).collect();
                 let sorted = network_sorts(len, &keys);
                 let mut want = keys.clone();
                 want.sort_unstable();
@@ -300,8 +310,7 @@ mod tests {
             }
         }
         // The sorted-path links agree with the rank order.
-        let id_at: HashMap<usize, NodeId> =
-            by_rank.iter().map(|(r, _, id, _)| (*r, *id)).collect();
+        let id_at: HashMap<usize, NodeId> = by_rank.iter().map(|(r, _, id, _)| (*r, *id)).collect();
         for (rank, _, _, sp) in &by_rank {
             let want_pred = rank.checked_sub(1).map(|r| id_at[&r]);
             let want_succ = id_at.get(&(rank + 1)).copied();

@@ -135,8 +135,7 @@ mod tests {
             })
             .unwrap();
         assert!(result.metrics.max_sent_per_round <= cap);
-        let delivered: usize =
-            result.outputs.iter().map(|(_, c)| *c).sum();
+        let delivered: usize = result.outputs.iter().map(|(_, c)| *c).sum();
         assert_eq!(delivered, k);
     }
 

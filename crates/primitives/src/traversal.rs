@@ -43,7 +43,10 @@ pub fn positions(h: &mut NodeHandle, vp: &VPath, tree: &Bbst) -> Traversal {
     }
 
     // --- Bottom-up: subtree sizes (convergecast). ---
-    let mut t = Traversal { subtree_size: 1, ..Traversal::default() };
+    let mut t = Traversal {
+        subtree_size: 1,
+        ..Traversal::default()
+    };
     let mut have_left = tree.left.is_none();
     let mut have_right = tree.right.is_none();
     let mut sent_up = false;
@@ -52,10 +55,7 @@ pub fn positions(h: &mut NodeHandle, vp: &VPath, tree: &Bbst) -> Traversal {
         let mut out = Vec::new();
         if ready && !sent_up {
             if let Some(p) = tree.parent {
-                out.push((
-                    p,
-                    Msg::word(tags::SUBTREE_SIZE, t.subtree_size as u64),
-                ));
+                out.push((p, Msg::word(tags::SUBTREE_SIZE, t.subtree_size as u64)));
             }
             sent_up = true;
         }
@@ -85,8 +85,7 @@ pub fn positions(h: &mut NodeHandle, vp: &VPath, tree: &Bbst) -> Traversal {
     // --- Top-down: inorder numbers. The root's interval starts at 0; a
     // node's inorder number is its interval start plus its left subtree
     // size; children inherit the sub-intervals. ---
-    let mut interval_start: Option<usize> =
-        if tree.is_root { Some(0) } else { None };
+    let mut interval_start: Option<usize> = if tree.is_root { Some(0) } else { None };
     let mut sent_down = false;
     for _ in 0..down {
         let mut out = Vec::new();
@@ -106,8 +105,7 @@ pub fn positions(h: &mut NodeHandle, vp: &VPath, tree: &Bbst) -> Traversal {
             interval_start = Some(env.word() as usize);
         }
     }
-    t.position = interval_start.expect("inorder sweep did not reach node")
-        + t.left_size;
+    t.position = interval_start.expect("inorder sweep did not reach node") + t.left_size;
     t
 }
 

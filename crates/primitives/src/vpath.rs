@@ -33,7 +33,12 @@ pub struct VPath {
 impl VPath {
     /// A view for a node that is not on the path but must stay in lockstep.
     pub fn non_member(len: usize) -> Self {
-        VPath { member: false, pred: None, succ: None, len }
+        VPath {
+            member: false,
+            pred: None,
+            succ: None,
+            len,
+        }
     }
 
     /// True if this node is the path's head (member with no predecessor).
@@ -69,7 +74,12 @@ pub fn undirect(h: &mut NodeHandle) -> VPath {
         .iter()
         .find(|e| e.msg.tag == tags::UNDIRECT)
         .map(|e| e.src);
-    VPath { member: true, pred, succ: h.initial_successor(), len: h.n() }
+    VPath {
+        member: true,
+        pred,
+        succ: h.initial_successor(),
+        len: h.n(),
+    }
 }
 
 #[cfg(test)]
@@ -88,19 +98,26 @@ mod tests {
             assert!(vp.member);
             assert_eq!(vp.len, 10);
             assert_eq!(vp.pred, if i == 0 { None } else { Some(order[i - 1]) });
-            assert_eq!(
-                vp.succ,
-                if i == 9 { None } else { Some(order[i + 1]) }
-            );
+            assert_eq!(vp.succ, if i == 9 { None } else { Some(order[i + 1]) });
         }
     }
 
     #[test]
     fn head_and_tail_predicates() {
-        let vp = VPath { member: true, pred: None, succ: Some(3), len: 4 };
+        let vp = VPath {
+            member: true,
+            pred: None,
+            succ: Some(3),
+            len: 4,
+        };
         assert!(vp.is_head());
         assert!(!vp.is_tail());
-        let vp = VPath { member: true, pred: Some(2), succ: None, len: 4 };
+        let vp = VPath {
+            member: true,
+            pred: Some(2),
+            succ: None,
+            len: 4,
+        };
         assert!(vp.is_tail());
         let vp = VPath::non_member(4);
         assert!(!vp.is_head() && !vp.is_tail());

@@ -52,7 +52,10 @@ pub fn build(h: &mut NodeHandle, vp: &VPath) -> WarmupTree {
         h.idle_quiet(rounds_for(vp.len));
         return WarmupTree::default();
     }
-    let mut tree = WarmupTree { is_root: vp.is_head(), ..WarmupTree::default() };
+    let mut tree = WarmupTree {
+        is_root: vp.is_head(),
+        ..WarmupTree::default()
+    };
     let mut pred = vp.pred;
     let mut succ = vp.succ;
     let mut removed = false;
@@ -142,8 +145,7 @@ mod tests {
         let view: HashMap<NodeId, &WarmupTree> =
             result.outputs.iter().map(|(id, t)| (*id, t)).collect();
         // Exactly one root: the head of G_k.
-        let roots: Vec<_> =
-            result.outputs.iter().filter(|(_, t)| t.is_root).collect();
+        let roots: Vec<_> = result.outputs.iter().filter(|(_, t)| t.is_root).collect();
         assert_eq!(roots.len(), 1);
         assert_eq!(roots[0].0, result.gk_order()[0]);
         // Tree is spanning: walking parents reaches the root from everywhere,

@@ -1,0 +1,243 @@
+//! API-compatible subset of `criterion`, implemented locally because the
+//! build environment has no access to a crates registry.
+//!
+//! Provides the benchmark-group surface the workspace benches use, with
+//! plain wall-clock timing (median over samples; no statistics engine).
+//! Recognised CLI flags: `--test` (run every benchmark once, as a smoke
+//! test — what CI uses), and bare arguments as substring name filters.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier (mirrors `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An ID composed of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An ID that is just the parameter (group name supplies the rest).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Per-iteration timer handle (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    iters: u64,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f`, running it `iters` times (once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut samples: Vec<u128> = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed().as_nanos());
+        }
+        samples.sort_unstable();
+        self.elapsed_ns = samples[samples.len() / 2];
+    }
+}
+
+/// The harness entry point (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from the process CLI arguments.
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if s.starts_with('-') => {} // --bench and friends: ignore
+                s => filters.push(s.to_string()),
+            }
+        }
+        Criterion {
+            test_mode,
+            filters,
+            default_sample_size: 10,
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            harness: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let n = self.default_sample_size;
+        self.run_one(&id.0, n, f);
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f))
+    }
+
+    fn run_one<F>(&mut self, full_name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(full_name) {
+            return;
+        }
+        let iters = if self.test_mode {
+            1
+        } else {
+            sample_size.max(1) as u64
+        };
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {full_name} ... ok");
+        } else {
+            println!("{full_name}: {} ns/iter (median of {iters})", b.elapsed_ns);
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    harness: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let n = self.sample_size;
+        self.harness.run_one(&full, n, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        let n = self.sample_size;
+        self.harness.run_one(&full, n, |b| f(b));
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::from_parameter(64).0, "64");
+        assert_eq!(BenchmarkId::new("sort", 64).0, "sort/64");
+    }
+
+    #[test]
+    fn bencher_times_once_in_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: vec![],
+            default_sample_size: 10,
+        };
+        let mut calls = 0;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: vec!["yes".into()],
+            default_sample_size: 10,
+        };
+        let mut ran = Vec::new();
+        c.bench_function("group_yes", |b| b.iter(|| ran.push("a")));
+        c.bench_function("group_no", |b| b.iter(|| ran.push("b")));
+        assert_eq!(ran, vec!["a"]);
+    }
+}

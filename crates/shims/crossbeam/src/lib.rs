@@ -1,0 +1,84 @@
+//! API-compatible subset of `crossbeam`, implemented locally because the
+//! build environment has no access to a crates registry.
+//!
+//! Only [`channel::unbounded`] and the `Sender`/`Receiver` pair are
+//! provided (the surface the threaded oracle engine uses), backed by
+//! `std::sync::mpsc`, which has the exact MPSC shape the engine needs.
+
+/// Multi-producer single-consumer channels (mirrors `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    pub use std::sync::mpsc::RecvError;
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub use std::sync::mpsc::SendError;
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// The sending half (cloneable).
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only when the receiver was dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back inside [`SendError`] on a closed channel.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half (single consumer).
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; fails when all senders dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] on a closed-and-drained channel.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`mpsc::TryRecvError`] when empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        drop((tx, tx2));
+        assert!(rx.recv().is_err());
+    }
+}

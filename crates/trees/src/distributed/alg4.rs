@@ -32,10 +32,7 @@ use dgr_primitives::{contacts, ops, prefix, PathCtx};
 /// # Errors
 ///
 /// [`Unrealizable`] when `Σd ≠ 2(n-1)` or some degree is 0.
-pub fn realize(
-    h: &mut NodeHandle,
-    degree: usize,
-) -> Result<TreeOutcome, Unrealizable> {
+pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<TreeOutcome, Unrealizable> {
     let ctx = PathCtx::establish(h);
     realize_on(h, &ctx, degree)
 }
@@ -48,7 +45,10 @@ pub fn realize_on(
 ) -> Result<TreeOutcome, Unrealizable> {
     tree_input_check(h, ctx, degree)?;
     let n = ctx.vp.len;
-    let mut outcome = TreeOutcome { requested: degree, neighbors: Vec::new() };
+    let mut outcome = TreeOutcome {
+        requested: degree,
+        neighbors: Vec::new(),
+    };
     if n == 1 {
         return Ok(outcome);
     }
@@ -66,13 +66,8 @@ pub fn realize_on(
     let rank = sp.rank;
 
     // k = number of non-leaves (degree > 1); k_eff handles the n = 2 path.
-    let k = ops::aggregate_broadcast(
-        h,
-        &ctx.vp,
-        &ctx.tree,
-        u64::from(degree > 1),
-        |a, b| a + b,
-    ) as usize;
+    let k = ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, u64::from(degree > 1), |a, b| a + b)
+        as usize;
     let k_eff = k.max(1);
 
     // Chain edges (i-1, i) for i in 1..=k_eff, stored at the higher rank.
@@ -88,8 +83,7 @@ pub fn realize_on(
     } else {
         0
     };
-    let excl =
-        prefix::prefix_sum_exclusive(h, &sp.vp, &sct, slots as u64) as usize;
+    let excl = prefix::prefix_sum_exclusive(h, &sp.vp, &sct, slots as u64) as usize;
     let interval_start = k_eff + 1 + excl; // first leaf position of mine
 
     // Re-sort so each source lands immediately before its interval:
@@ -102,8 +96,16 @@ pub fn realize_on(
     };
     let msp = sort::sort_at(h, &sp.vp, &sct, rank, key, Order::Ascending);
     let mct = contacts::build(h, &msp.vp);
-    let task = (is_source && slots > 0)
-        .then(|| (CoverSide::After, slots, Payload { addr: h.id(), word: 0 }));
+    let task = (is_source && slots > 0).then(|| {
+        (
+            CoverSide::After,
+            slots,
+            Payload {
+                addr: h.id(),
+                word: 0,
+            },
+        )
+    });
     let got = imcast::interval_multicast(h, &msp.vp, &mct, task);
 
     if rank > k_eff {
@@ -130,8 +132,7 @@ mod tests {
             vec![3, 3, 1, 1, 1, 1],    // double star
             vec![3, 3, 2, 1, 1, 1, 1], // sum 12 = 2*6 ✓
         ] {
-            let out = realize_tree(&degrees, Config::ncc0(91), TreeAlgo::Chain)
-                .unwrap();
+            let out = realize_tree(&degrees, Config::ncc0(91), TreeAlgo::Chain).unwrap();
             let t = out.expect_realized();
             assert!(t.graph.is_tree(), "{degrees:?} not a tree");
             let mut want = degrees.clone();
@@ -144,8 +145,7 @@ mod tests {
     #[test]
     fn chain_diameter_matches_sequential_chain_tree() {
         let degrees = vec![3, 3, 3, 2, 2, 1, 1, 1, 1, 1];
-        let out =
-            realize_tree(&degrees, Config::ncc0(92), TreeAlgo::Chain).unwrap();
+        let out = realize_tree(&degrees, Config::ncc0(92), TreeAlgo::Chain).unwrap();
         let t = out.expect_realized();
         let seq = dgr_core::DegreeSequence::new(degrees.clone());
         let reference = crate::greedy::chain_tree(&seq).unwrap();
@@ -160,9 +160,7 @@ mod tests {
             vec![1, 1, 1, 1],    // forest sum
             vec![2, 2, 1, 1, 0], // zero degree
         ] {
-            let out =
-                realize_tree(&degrees, Config::ncc0(93), TreeAlgo::Chain)
-                    .unwrap();
+            let out = realize_tree(&degrees, Config::ncc0(93), TreeAlgo::Chain).unwrap();
             assert!(out.is_unrealizable(), "{degrees:?} was accepted");
         }
     }

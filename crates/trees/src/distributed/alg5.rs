@@ -29,10 +29,7 @@ use dgr_primitives::{contacts, prefix, PathCtx};
 /// # Errors
 ///
 /// [`Unrealizable`] when `Σd ≠ 2(n-1)` or some degree is 0.
-pub fn realize(
-    h: &mut NodeHandle,
-    degree: usize,
-) -> Result<TreeOutcome, Unrealizable> {
+pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<TreeOutcome, Unrealizable> {
     let ctx = PathCtx::establish(h);
     realize_on(h, &ctx, degree)
 }
@@ -45,7 +42,10 @@ pub fn realize_on(
 ) -> Result<TreeOutcome, Unrealizable> {
     tree_input_check(h, ctx, degree)?;
     let n = ctx.vp.len;
-    let mut outcome = TreeOutcome { requested: degree, neighbors: Vec::new() };
+    let mut outcome = TreeOutcome {
+        requested: degree,
+        neighbors: Vec::new(),
+    };
     if n == 1 {
         return Ok(outcome);
     }
@@ -71,11 +71,16 @@ pub fn realize_on(
     // milestones odd (2a - 1), fillers even (2r) — totally ordered with
     // every milestone immediately preceding its interval's first filler.
     let rec0 = if slots > 0 {
-        ScanRecord::Milestone { key: 2 * first_child as u64 - 1, addr: h.id() }
+        ScanRecord::Milestone {
+            key: 2 * first_child as u64 - 1,
+            addr: h.id(),
+        }
     } else {
         ScanRecord::Absent
     };
-    let rec1 = ScanRecord::Filler { key: 2 * rank as u64 };
+    let rec1 = ScanRecord::Filler {
+        key: 2 * rank as u64,
+    };
     let got = scatter::milestone_scan(h, &sp.vp, &sct, rank, [rec0, rec1]);
 
     if rank > 0 {
@@ -105,8 +110,7 @@ mod tests {
             vec![3, 3, 2, 1, 1, 1, 1],
             vec![2, 2, 2, 2, 2, 1, 1], // long path profile
         ] {
-            let out = realize_tree(&degrees, Config::ncc0(95), TreeAlgo::Greedy)
-                .unwrap();
+            let out = realize_tree(&degrees, Config::ncc0(95), TreeAlgo::Greedy).unwrap();
             let t = out.expect_realized();
             assert!(t.graph.is_tree(), "{degrees:?} not a tree");
             let mut want = degrees.clone();
@@ -134,8 +138,7 @@ mod tests {
             if !seq.is_tree_realizable() {
                 continue;
             }
-            let out = realize_tree(&degrees, Config::ncc0(96), TreeAlgo::Greedy)
-                .unwrap();
+            let out = realize_tree(&degrees, Config::ncc0(96), TreeAlgo::Greedy).unwrap();
             let t = out.expect_realized();
             let want = greedy::min_diameter_brute(&seq).unwrap();
             assert_eq!(t.diameter, want, "{degrees:?}");
@@ -145,20 +148,14 @@ mod tests {
     #[test]
     fn greedy_never_beaten_by_chain() {
         let degrees = vec![3, 3, 3, 2, 2, 1, 1, 1, 1, 1];
-        let g = realize_tree(&degrees, Config::ncc0(97), TreeAlgo::Greedy)
-            .unwrap();
-        let c = realize_tree(&degrees, Config::ncc0(97), TreeAlgo::Chain)
-            .unwrap();
-        assert!(
-            g.expect_realized().diameter <= c.expect_realized().diameter
-        );
+        let g = realize_tree(&degrees, Config::ncc0(97), TreeAlgo::Greedy).unwrap();
+        let c = realize_tree(&degrees, Config::ncc0(97), TreeAlgo::Chain).unwrap();
+        assert!(g.expect_realized().diameter <= c.expect_realized().diameter);
     }
 
     #[test]
     fn rejects_non_tree_sequences() {
-        let out =
-            realize_tree(&[2, 2, 2], Config::ncc0(98), TreeAlgo::Greedy)
-                .unwrap();
+        let out = realize_tree(&[2, 2, 2], Config::ncc0(98), TreeAlgo::Greedy).unwrap();
         assert!(out.is_unrealizable());
     }
 }

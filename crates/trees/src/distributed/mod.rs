@@ -27,10 +27,8 @@ pub(crate) fn tree_input_check(
     degree: usize,
 ) -> Result<(), Unrealizable> {
     let n = ctx.vp.len as u64;
-    let sum =
-        ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, degree as u64, |a, b| a + b);
-    let min =
-        ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, degree as u64, u64::min);
+    let sum = ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, degree as u64, |a, b| a + b);
+    let min = ops::aggregate_broadcast(h, &ctx.vp, &ctx.tree, degree as u64, u64::min);
     if sum != 2 * (n - 1) || (n >= 2 && min < 1) {
         return Err(Unrealizable);
     }

@@ -1,5 +1,11 @@
 //! Driver: run a distributed tree realization on a simulated network and
 //! assemble + verify the resulting tree.
+//!
+//! Engine note: Algorithms 4 and 5 are direct-style closures and run on
+//! the threaded oracle engine (`dgr-ncc/threaded`). Their path setup is
+//! already available as a batched step-function protocol
+//! ([`dgr_primitives::proto::PathToClique`]); the tree-construction
+//! phases are porting targets tracked in ROADMAP.md.
 
 use crate::distributed::{alg4, alg5};
 use dgr_core::verify;
@@ -83,8 +89,7 @@ pub fn realize_tree(
         TreeAlgo::Greedy => alg5::realize(h, by_id[&h.id()]),
     })?;
     let metrics = result.metrics.clone();
-    let failures =
-        result.outputs.iter().filter(|(_, r)| r.is_err()).count();
+    let failures = result.outputs.iter().filter(|(_, r)| r.is_err()).count();
     if failures > 0 {
         assert_eq!(failures, result.outputs.len(), "inconsistent refusal");
         return Ok(TreeRealization::Unrealizable { metrics });
@@ -125,8 +130,7 @@ mod tests {
 
     #[test]
     fn single_node_tree() {
-        let out =
-            realize_tree(&[0], Config::ncc0(89), TreeAlgo::Greedy).unwrap();
+        let out = realize_tree(&[0], Config::ncc0(89), TreeAlgo::Greedy).unwrap();
         let t = out.expect_realized();
         assert_eq!(t.diameter, 0);
         assert_eq!(t.graph.edge_count(), 0);

@@ -220,8 +220,7 @@ fn prufer_to_tree(prufer: &[usize], n: usize) -> Vec<(usize, usize)> {
         used[leaf] = true;
         degree[p] -= 1;
     }
-    let rest: Vec<usize> =
-        (0..n).filter(|&i| !used[i] && degree[i] == 1).collect();
+    let rest: Vec<usize> = (0..n).filter(|&i| !used[i] && degree[i] == 1).collect();
     debug_assert_eq!(rest.len(), 2);
     edges.push((rest[0], rest[1]));
     edges
@@ -373,11 +372,7 @@ mod tests {
     #[test]
     fn prufer_roundtrip() {
         let edges = prufer_to_tree(&[3, 3, 4], 5);
-        let g = Graph::from_edges(
-            0..5,
-            edges.iter().map(|&(u, v)| (u as u64, v as u64)),
-        )
-        .unwrap();
+        let g = Graph::from_edges(0..5, edges.iter().map(|&(u, v)| (u as u64, v as u64))).unwrap();
         assert!(g.is_tree());
         assert_eq!(g.degree_of(3), 3);
         assert_eq!(g.degree_of(4), 2);

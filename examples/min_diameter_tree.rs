@@ -34,9 +34,8 @@ fn main() {
         chain.diameter, chain.metrics.rounds
     );
 
-    let greedy =
-        trees::realize_tree(&degrees, Config::ncc0(11), TreeAlgo::Greedy)
-            .expect("simulation failed");
+    let greedy = trees::realize_tree(&degrees, Config::ncc0(11), TreeAlgo::Greedy)
+        .expect("simulation failed");
     let greedy = greedy.expect_realized();
     println!(
         "Algorithm 5 (greedy): diameter {} in {} rounds",

@@ -22,19 +22,13 @@ fn main() {
         "Δρ", "NCC1 rounds", "NCC0 rounds", "ratio", "NCC1 e/LB", "NCC0 e/LB"
     );
     for dmax in [2usize, 4, 8, 16, 32, 64] {
-        let rho = distributed_graph_realizations::graphgen::uniform_thresholds(
-            n, 1, dmax, 7,
-        );
+        let rho = distributed_graph_realizations::graphgen::uniform_thresholds(n, 1, dmax, 7);
         let inst = connectivity::ThresholdInstance::new(rho);
         let lb = connectivity::edge_lower_bound(&inst) as f64;
 
-        let fast = connectivity::realize_ncc1(&inst, Config::ncc1(7))
-            .expect("NCC1 run failed");
-        let slow = connectivity::realize_ncc0(
-            &inst,
-            Config::ncc0(7).with_queueing(),
-        )
-        .expect("NCC0 run failed");
+        let fast = connectivity::realize_ncc1(&inst, Config::ncc1(7)).expect("NCC1 run failed");
+        let slow = connectivity::realize_ncc0(&inst, Config::ncc0(7).with_queueing())
+            .expect("NCC0 run failed");
         assert!(fast.report.satisfied && slow.report.satisfied);
 
         println!(

@@ -28,15 +28,11 @@ fn main() {
 
     // Explicit realization wants receive-side queueing for the staggered
     // edge hand-off.
-    let out = realization::realize_explicit(
-        &degrees,
-        Config::ncc0(99).with_queueing(),
-    )
-    .expect("simulation failed");
+    let out = realization::realize_explicit(&degrees, Config::ncc0(99).with_queueing())
+        .expect("simulation failed");
     let r = out.expect_realized();
 
-    realization::verify::degrees_match(&r.graph, &r.requested)
-        .expect("degree mismatch");
+    realization::verify::degrees_match(&r.graph, &r.requested).expect("degree mismatch");
     println!(
         "explicit overlay built: {} edges in {} rounds ({} messages)",
         r.graph.edge_count(),

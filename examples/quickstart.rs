@@ -28,8 +28,8 @@ fn main() {
 
     // Strict NCC0 with KT0 knowledge tracking: the run itself certifies
     // that the algorithm is a legal NCC0 protocol.
-    let out = realization::realize_implicit(&degrees, Config::ncc0(2026))
-        .expect("simulation failed");
+    let out =
+        realization::realize_implicit(&degrees, Config::ncc0(2026)).expect("simulation failed");
 
     match out {
         realization::DriverOutput::Realized(r) => {
@@ -37,8 +37,7 @@ fn main() {
             for (u, v) in r.graph.edge_list() {
                 println!("  {u} -- {v}");
             }
-            realization::verify::degrees_match(&r.graph, &r.requested)
-                .expect("degree mismatch");
+            realization::verify::degrees_match(&r.graph, &r.requested).expect("degree mismatch");
             println!("\nall degrees match their requests ✓");
             println!(
                 "rounds: {} | messages: {} | Algorithm 3 phases: {} | \

@@ -17,7 +17,15 @@ fn main() {
     let n = 64;
     let rho = connectivity::ThresholdInstance::new(
         (0..n)
-            .map(|i| if i < 4 { 6 } else if i < 20 { 3 } else { 1 })
+            .map(|i| {
+                if i < 4 {
+                    6
+                } else if i < 20 {
+                    3
+                } else {
+                    1
+                }
+            })
             .collect(),
     );
     println!(
@@ -57,11 +65,7 @@ fn main() {
         .take(2)
         .collect();
     survivors.retain(|e| !removed.contains(e));
-    let damaged = graph::Graph::from_edges(
-        out.graph.ids().iter().copied(),
-        survivors,
-    )
-    .unwrap();
+    let damaged = graph::Graph::from_edges(out.graph.ids().iter().copied(), survivors).unwrap();
     let conn = graph::edge_connectivity(&damaged, a, b);
     println!(
         "\nafter deleting {} links at core replica {a}: Conn({a}, {b}) = {conn} (needed ≥ {})",

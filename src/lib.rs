@@ -38,9 +38,7 @@ pub use dgr_trees as trees;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use dgr_connectivity::{ThresholdInstance, ThresholdRealization};
-    pub use dgr_core::{
-        DegreeSequence, DistributedRealization, Realization, RealizeError,
-    };
+    pub use dgr_core::{DegreeSequence, DistributedRealization, Realization, RealizeError};
     pub use dgr_graph::Graph;
     pub use dgr_ncc::{CapacityPolicy, Config, Model, Network, NodeId, RunMetrics};
     pub use dgr_trees::TreeRealization;

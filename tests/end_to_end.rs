@@ -10,8 +10,7 @@ use distributed_graph_realizations::{connectivity, graph, graphgen, realization,
 fn implicit_realization_of_random_graphic_sequences() {
     for (n, seed) in [(16, 1u64), (48, 2), (96, 3), (130, 4)] {
         let degrees = graphgen::random_graphic_sequence(n, n / 3, seed);
-        let out = realization::realize_implicit(&degrees, Config::ncc0(seed))
-            .unwrap();
+        let out = realization::realize_implicit(&degrees, Config::ncc0(seed)).unwrap();
         let r = out.expect_realized();
         realization::verify::degrees_match(&r.graph, &r.requested)
             .unwrap_or_else(|e| panic!("n={n}: {e}"));
@@ -31,11 +30,7 @@ fn implicit_realization_of_random_graphic_sequences() {
 #[test]
 fn explicit_realization_is_symmetric_and_exact() {
     let degrees = graphgen::power_law_sequence(80, 20, 2.5, 5);
-    let out = realization::realize_explicit(
-        &degrees,
-        Config::ncc0(5).with_queueing(),
-    )
-    .unwrap();
+    let out = realization::realize_explicit(&degrees, Config::ncc0(5).with_queueing()).unwrap();
     let r = out.expect_realized();
     realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
     // Both endpoints of every edge list each other.
@@ -57,8 +52,7 @@ fn non_graphic_sequences_get_envelopes() {
         if sum.is_multiple_of(2) {
             degrees[1] += 1;
         }
-        let out =
-            realization::realize_approx(&degrees, Config::ncc0(seed)).unwrap();
+        let out = realization::realize_approx(&degrees, Config::ncc0(seed)).unwrap();
         let r = out.expect_realized();
         let mut envelope_sum = 0;
         for (i, &id) in r.path_order.iter().enumerate() {
@@ -75,18 +69,10 @@ fn non_graphic_sequences_get_envelopes() {
 fn trees_realize_and_greedy_minimizes_diameter() {
     for (n, seed) in [(32, 21u64), (64, 22), (100, 23)] {
         let degrees = graphgen::random_tree_sequence(n, seed);
-        let chain = trees::realize_tree(
-            &degrees,
-            Config::ncc0(seed),
-            trees::TreeAlgo::Chain,
-        )
-        .unwrap();
-        let greedy = trees::realize_tree(
-            &degrees,
-            Config::ncc0(seed),
-            trees::TreeAlgo::Greedy,
-        )
-        .unwrap();
+        let chain =
+            trees::realize_tree(&degrees, Config::ncc0(seed), trees::TreeAlgo::Chain).unwrap();
+        let greedy =
+            trees::realize_tree(&degrees, Config::ncc0(seed), trees::TreeAlgo::Greedy).unwrap();
         let (c, g) = (chain.expect_realized(), greedy.expect_realized());
         assert!(c.graph.is_tree() && g.graph.is_tree(), "n={n}");
         assert!(g.diameter <= c.diameter, "n={n}: greedy beaten by chain");
@@ -106,21 +92,14 @@ fn trees_realize_and_greedy_minimizes_diameter() {
 fn connectivity_thresholds_certified_by_max_flow() {
     let rho = graphgen::tiered_thresholds(48, 4, 6);
     let inst = connectivity::ThresholdInstance::new(rho);
-    let out =
-        connectivity::realize_ncc0(&inst, Config::ncc0(31).with_queueing())
-            .unwrap();
+    let out = connectivity::realize_ncc0(&inst, Config::ncc0(31).with_queueing()).unwrap();
     assert!(out.report.satisfied, "{:?}", out.report);
-    assert!(
-        out.graph.edge_count() <= 2 * connectivity::edge_lower_bound(&inst)
-    );
+    assert!(out.graph.edge_count() <= 2 * connectivity::edge_lower_bound(&inst));
 }
 
 #[test]
 fn ncc1_connectivity_in_constant_rounds() {
-    let inst =
-        connectivity::ThresholdInstance::new(graphgen::uniform_thresholds(
-            40, 2, 8, 41,
-        ));
+    let inst = connectivity::ThresholdInstance::new(graphgen::uniform_thresholds(40, 2, 8, 41));
     let out = connectivity::realize_ncc1(&inst, Config::ncc1(41)).unwrap();
     assert!(out.report.satisfied);
     // O~(1): far below any Δ-dependent bill.
@@ -151,8 +130,5 @@ fn runs_are_deterministic_per_seed() {
     assert_eq!(ra.metrics.rounds, rb.metrics.rounds);
     // A different seed gives a different network (IDs differ).
     let c = realization::realize_implicit(&degrees, Config::ncc0(78)).unwrap();
-    assert_ne!(
-        ra.graph.edge_list(),
-        c.expect_realized().graph.edge_list()
-    );
+    assert_ne!(ra.graph.edge_list(), c.expect_realized().graph.edge_list());
 }

@@ -43,11 +43,7 @@ fn star_realization_is_kt0_legal() {
 #[test]
 fn explicit_realization_drains_all_queues() {
     let degrees = graphgen::star_heavy_sequence(56, 1, 2, 4);
-    let out = realization::realize_explicit(
-        &degrees,
-        Config::ncc0(4).with_queueing(),
-    )
-    .unwrap();
+    let out = realization::realize_explicit(&degrees, Config::ncc0(4).with_queueing()).unwrap();
     let r = out.expect_realized();
     assert_eq!(r.metrics.undelivered, 0);
     assert!(r.metrics.max_received_per_round <= r.metrics.capacity);
@@ -68,12 +64,8 @@ fn tree_algorithms_run_strict() {
 /// time (the queue policy paces, but delivery stays within cap).
 #[test]
 fn connectivity_ncc0_delivery_is_paced() {
-    let inst = connectivity::ThresholdInstance::new(
-        graphgen::uniform_thresholds(40, 1, 6, 7),
-    );
-    let out =
-        connectivity::realize_ncc0(&inst, Config::ncc0(7).with_queueing())
-            .unwrap();
+    let inst = connectivity::ThresholdInstance::new(graphgen::uniform_thresholds(40, 1, 6, 7));
+    let out = connectivity::realize_ncc0(&inst, Config::ncc0(7).with_queueing()).unwrap();
     assert!(out.metrics.max_received_per_round <= out.metrics.capacity);
     assert_eq!(out.metrics.undelivered, 0);
     assert_eq!(out.metrics.violations.total(), 0);
@@ -102,8 +94,7 @@ fn message_volume_is_bounded() {
 #[test]
 fn ncc0_algorithms_run_in_ncc1() {
     let degrees = graphgen::random_graphic_sequence(32, 6, 10);
-    let out =
-        realization::realize_implicit(&degrees, Config::ncc1(10)).unwrap();
+    let out = realization::realize_implicit(&degrees, Config::ncc1(10)).unwrap();
     let r = out.expect_realized();
     realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
 }

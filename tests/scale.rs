@@ -1,17 +1,19 @@
-//! Scale tests: the thread-per-node simulator at four-digit network
-//! sizes. These are the largest routine runs in the suite (the experiment
-//! harness goes bigger); they exist to catch regressions in engine
-//! scalability and in the O(polylog)-round claims at scale.
+//! Scale tests. The direct-style algorithms run on the thread-per-node
+//! oracle at four-digit network sizes; the step-function protocols run on
+//! the batched executor at six-digit sizes (and seven digits under
+//! `--ignored` / in the release-mode engine bench). They exist to catch
+//! regressions in engine scalability and in the O(polylog)-round claims
+//! at scale.
 
 use distributed_graph_realizations::prelude::*;
-use distributed_graph_realizations::{graphgen, realization, trees};
+use distributed_graph_realizations::{connectivity, graphgen, realization, trees};
+use distributed_graph_realizations::{ncc, primitives};
 
 #[test]
 fn implicit_realization_at_n_1024() {
     let n = 1024;
     let degrees = graphgen::near_regular_sequence(n, 6, 99);
-    let out =
-        realization::realize_implicit(&degrees, Config::ncc0(99)).unwrap();
+    let out = realization::realize_implicit(&degrees, Config::ncc0(99)).unwrap();
     let r = out.expect_realized();
     realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
     assert!(r.metrics.is_clean());
@@ -25,12 +27,7 @@ fn implicit_realization_at_n_1024() {
 fn greedy_tree_at_n_2048() {
     let n = 2048;
     let degrees = graphgen::random_tree_sequence(n, 98);
-    let out = trees::realize_tree(
-        &degrees,
-        Config::ncc0(98),
-        trees::TreeAlgo::Greedy,
-    )
-    .unwrap();
+    let out = trees::realize_tree(&degrees, Config::ncc0(98), trees::TreeAlgo::Greedy).unwrap();
     let t = out.expect_realized();
     assert!(t.graph.is_tree());
     // Polylog rounds at scale: log2(2048) = 11 → comfortably under
@@ -46,6 +43,88 @@ fn greedy_tree_at_n_2048() {
     assert_eq!(t.diameter, trees::greedy::diameter_of(&reference, n));
 }
 
+/// The NCC₀ path-to-clique warm-up on the batched engine at 200k nodes —
+/// two orders of magnitude past what thread-per-node can spawn.
+#[test]
+fn batched_warmup_at_n_200k() {
+    let n = 200_000;
+    let mut config = Config::ncc0(123);
+    config.track_knowledge = false; // KT0-legality is proven at small n
+    let net = Network::new(n, config);
+    let result = net
+        .run_protocol(primitives::proto::PathToClique::new)
+        .unwrap();
+    assert!(result.metrics.is_clean());
+    assert_eq!(
+        result.metrics.rounds,
+        primitives::proto::clique::rounds_for(n)
+    );
+    assert_eq!(result.outputs.len(), n);
+    // Spot-check power-of-two contacts deep in the path.
+    let order = result.gk_order();
+    let mid = n / 2;
+    let out = result.output_of(order[mid]).unwrap();
+    assert_eq!(out.contacts.ahead(16), Some(order[mid + (1 << 16)]));
+    assert_eq!(out.contacts.behind(16), Some(order[mid - (1 << 16)]));
+}
+
+/// The acceptance-scale run: one million nodes of NCC₀ warm-up. Heavy for
+/// the default debug-mode suite, so it runs under `--ignored` (the
+/// release-mode `engine_bench` binary exercises the same workload and
+/// records its throughput in `BENCH_engine.json`).
+#[test]
+#[ignore = "seven-digit n; run with --ignored or via engine_bench"]
+fn batched_warmup_at_n_1m() {
+    let n = 1_000_000;
+    let mut config = Config::ncc0(7);
+    config.track_knowledge = false;
+    let net = Network::new(n, config);
+    let result = net
+        .run_protocol(primitives::proto::PathToClique::new)
+        .unwrap();
+    assert!(result.metrics.is_clean());
+    assert_eq!(
+        result.metrics.rounds,
+        primitives::proto::clique::rounds_for(n)
+    );
+    assert_eq!(result.outputs.len(), n);
+}
+
+/// The batched NCC1 star construction at 100k nodes, verified
+/// structurally (full max-flow certification is `O(n)` Dinic runs and
+/// lives in the small-`n` driver tests).
+#[test]
+fn batched_ncc1_star_at_n_100k() {
+    use connectivity::distributed::ncc1_step::Ncc1Star;
+    use std::collections::HashMap;
+    let n = 100_000;
+    let net = ncc::Network::new(n, ncc::Config::ncc1(3));
+    let rho: HashMap<u64, usize> = net
+        .ids_in_path_order()
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, 1 + i % 4))
+        .collect();
+    let result = net.run_protocol(|s| Ncc1Star::new(s, rho[&s.id])).unwrap();
+    assert!(result.metrics.is_clean());
+    // The hub is the smallest-ID node with rho = 4; every other node's
+    // first edge goes to it.
+    let w = *rho
+        .iter()
+        .filter(|&(_, &r)| r == 4)
+        .map(|(id, _)| id)
+        .min()
+        .unwrap();
+    for (id, out) in &result.outputs {
+        if *id == w {
+            assert!(out.neighbors.is_empty());
+        } else {
+            assert_eq!(out.neighbors[0], w);
+            assert_eq!(out.neighbors.len(), rho[id]);
+        }
+    }
+}
+
 #[test]
 fn sorting_at_n_2048_is_polylog() {
     use distributed_graph_realizations::primitives::{
@@ -57,14 +136,7 @@ fn sorting_at_n_2048_is_polylog() {
     let result = net
         .run(|h| {
             let c = PathCtx::establish(h);
-            let sp = sort::sort_at(
-                h,
-                &c.vp,
-                &c.contacts,
-                c.position,
-                h.id(),
-                Order::Ascending,
-            );
+            let sp = sort::sort_at(h, &c.vp, &c.contacts, c.position, h.id(), Order::Ascending);
             sp.rank
         })
         .unwrap();
@@ -72,8 +144,7 @@ fn sorting_at_n_2048_is_polylog() {
     // 11·12/2 comparator stages + setup: well under 10·log² n.
     assert!(result.metrics.rounds < 10 * 11 * 11);
     // Ranks form a permutation.
-    let mut ranks: Vec<usize> =
-        result.outputs.iter().map(|(_, r)| *r).collect();
+    let mut ranks: Vec<usize> = result.outputs.iter().map(|(_, r)| *r).collect();
     ranks.sort_unstable();
     assert!(ranks.iter().enumerate().all(|(i, &r)| i == r));
 }
