@@ -3,7 +3,9 @@
 //! distributed sort, across network sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dgr_ncc::{Config, Network};
+use dgr_ncc::{Config, Network, RoundCtx};
+use dgr_primitives::proto::sort::SortStep;
+use dgr_primitives::proto::{EstablishCtx, StepProtocol, WithCtx};
 use dgr_primitives::sort::{self, Order};
 use dgr_primitives::PathCtx;
 
@@ -47,5 +49,52 @@ fn bench_sort(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_establish, bench_sort);
+fn bench_establish_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("establish_path_ctx_batched");
+    g.sample_size(10);
+    for &n in &[1024usize, 4096, 16384] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let net = Network::new(n, Config::ncc0(1));
+                net.run_protocol(|_| StepProtocol::new(EstablishCtx::new()))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed_sort_batched");
+    g.sample_size(10);
+    for &n in &[1024usize, 4096, 16384] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let net = Network::new(n, Config::ncc0(2));
+                net.run_protocol(|_| {
+                    WithCtx::new(|ctx: &PathCtx, rctx: &mut RoundCtx<'_>| {
+                        SortStep::new(
+                            ctx.vp.clone(),
+                            ctx.contacts.clone(),
+                            ctx.position,
+                            rctx.id() % 1000,
+                            Order::Descending,
+                            rctx.id(),
+                        )
+                    })
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_establish,
+    bench_sort,
+    bench_establish_batched,
+    bench_sort_batched
+);
 criterion_main!(benches);

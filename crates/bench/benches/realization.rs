@@ -2,7 +2,10 @@
 //! implicit vs explicit, across workload shapes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dgr_core::{realize_approx, realize_explicit, realize_implicit};
+use dgr_core::{
+    realize_approx, realize_explicit, realize_explicit_batched, realize_implicit,
+    realize_implicit_batched,
+};
 use dgr_graphgen as graphgen;
 use dgr_ncc::Config;
 
@@ -46,5 +49,36 @@ fn bench_envelope(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_implicit, bench_explicit, bench_envelope);
+fn bench_implicit_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("implicit_realization_batched");
+    g.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        let degrees = graphgen::near_regular_sequence(n, 6, 3);
+        g.bench_with_input(BenchmarkId::new("regular6", n), &degrees, |b, d| {
+            b.iter(|| realize_implicit_batched(d, Config::ncc0(3)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_explicit_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explicit_realization_batched");
+    g.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        let degrees = graphgen::near_regular_sequence(n, 6, 5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &degrees, |b, d| {
+            b.iter(|| realize_explicit_batched(d, Config::ncc0(5).with_queueing()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_implicit,
+    bench_explicit,
+    bench_envelope,
+    bench_implicit_batched,
+    bench_explicit_batched
+);
 criterion_main!(benches);

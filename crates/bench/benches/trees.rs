@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dgr_graphgen as graphgen;
 use dgr_ncc::Config;
-use dgr_trees::{realize_tree, TreeAlgo};
+use dgr_trees::{realize_tree, realize_tree_batched, TreeAlgo};
 
 fn bench_tree_algos(c: &mut Criterion) {
     let mut g = c.benchmark_group("tree_realization");
@@ -21,5 +21,20 @@ fn bench_tree_algos(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tree_algos);
+fn bench_tree_algos_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_realization_batched");
+    g.sample_size(10);
+    for &n in &[1024usize, 4096, 16384] {
+        let degrees = graphgen::random_tree_sequence(n, 7);
+        g.bench_with_input(BenchmarkId::new("alg4_chain", n), &degrees, |b, d| {
+            b.iter(|| realize_tree_batched(d, Config::ncc0(7), TreeAlgo::Chain).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("alg5_greedy", n), &degrees, |b, d| {
+            b.iter(|| realize_tree_batched(d, Config::ncc0(7), TreeAlgo::Greedy).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree_algos, bench_tree_algos_batched);
 criterion_main!(benches);

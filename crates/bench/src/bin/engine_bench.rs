@@ -1,21 +1,30 @@
 //! Engine round-throughput benchmark: batched step-function executor vs
-//! the thread-per-node oracle, on the NCC₀ path-to-clique warm-up.
+//! the thread-per-node oracle, across the ported workload stack —
+//! the NCC₀ warm-up, full context establishment, the distributed sort,
+//! and the end-to-end realization drivers (degrees + trees).
 //!
-//! Writes `BENCH_engine.json` (rounds/sec per engine per size, plus the
-//! batched/threaded speedup at n = 10k) so the performance trajectory is
+//! Writes `BENCH_engine.json` (rounds/sec per engine per workload per
+//! size, plus batched/threaded speedups) so the performance trajectory is
 //! recorded in-repo across PRs.
 //!
 //! Usage: `cargo run --release -p bench --bin engine_bench [--quick] [OUT.json]`
-//! `--quick` caps the batched sweep at n = 100k (CI smoke); the default
-//! sweep ends at one million nodes.
+//! `--quick` caps the sweep for CI smoke; the default sweep ends at one
+//! million nodes for the warm-up and 100k for the drivers.
 
-use dgr_ncc::{Config, Network};
-use dgr_primitives::proto::PathToClique;
+use dgr_core::{realize_implicit, realize_implicit_batched};
+use dgr_graphgen as graphgen;
+use dgr_ncc::{Config, Network, RunMetrics};
+use dgr_primitives::proto::sort::SortStep;
+use dgr_primitives::proto::{EstablishCtx, PathToClique, StepProtocol, WithCtx};
+use dgr_primitives::sort::{self, Order};
+use dgr_primitives::PathCtx;
+use dgr_trees::{realize_tree, realize_tree_batched, TreeAlgo};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// One measured configuration.
 struct Entry {
+    workload: &'static str,
     engine: &'static str,
     n: usize,
     rounds: u64,
@@ -38,38 +47,125 @@ fn bench_config(seed: u64) -> Config {
     config
 }
 
-fn run_batched(n: usize, repeats: u32) -> Entry {
-    let net = Network::new(n, bench_config(42));
-    // Warm-up run (fills allocator arenas, page-faults the slabs).
-    let warm = net.run_protocol(PathToClique::new).unwrap();
+/// Times `repeats` runs of `run` (after one warm-up) and records an entry.
+fn measure(
+    workload: &'static str,
+    engine: &'static str,
+    n: usize,
+    repeats: u32,
+    run: impl Fn() -> RunMetrics,
+) -> Entry {
+    let warm = run();
     let start = Instant::now();
     for _ in 0..repeats {
-        let result = net.run_protocol(PathToClique::new).unwrap();
-        assert_eq!(result.metrics.rounds, warm.metrics.rounds);
+        let metrics = run();
+        assert_eq!(metrics.rounds, warm.rounds, "non-deterministic workload");
     }
     Entry {
-        engine: "batched",
+        workload,
+        engine,
         n,
-        rounds: warm.metrics.rounds * repeats as u64,
-        messages: warm.metrics.messages * repeats as u64,
+        rounds: warm.rounds * repeats as u64,
+        messages: warm.messages * repeats as u64,
         seconds: start.elapsed().as_secs_f64(),
     }
 }
 
-fn run_threaded(n: usize, repeats: u32) -> Entry {
+fn warmup(n: usize, repeats: u32, batched: bool) -> Entry {
     let net = Network::new(n, bench_config(42));
-    let warm = net.run_protocol_threaded(PathToClique::new).unwrap();
-    let start = Instant::now();
-    for _ in 0..repeats {
-        let result = net.run_protocol_threaded(PathToClique::new).unwrap();
-        assert_eq!(result.metrics.rounds, warm.metrics.rounds);
-    }
-    Entry {
-        engine: "threaded",
-        n,
-        rounds: warm.metrics.rounds * repeats as u64,
-        messages: warm.metrics.messages * repeats as u64,
-        seconds: start.elapsed().as_secs_f64(),
+    measure("warmup", engine_name(batched), n, repeats, || {
+        if batched {
+            net.run_protocol(PathToClique::new).unwrap().metrics
+        } else {
+            net.run_protocol_threaded(PathToClique::new)
+                .unwrap()
+                .metrics
+        }
+    })
+}
+
+fn establish(n: usize, repeats: u32, batched: bool) -> Entry {
+    let net = Network::new(n, bench_config(43));
+    measure("establish", engine_name(batched), n, repeats, || {
+        if batched {
+            net.run_protocol(|_| StepProtocol::new(EstablishCtx::new()))
+                .unwrap()
+                .metrics
+        } else {
+            net.run(|h| PathCtx::establish(h).position).unwrap().metrics
+        }
+    })
+}
+
+fn dist_sort(n: usize, repeats: u32, batched: bool) -> Entry {
+    let net = Network::new(n, bench_config(44));
+    measure("sort", engine_name(batched), n, repeats, || {
+        if batched {
+            net.run_protocol(|_| {
+                WithCtx::new(|ctx: &PathCtx, rctx: &mut dgr_ncc::RoundCtx<'_>| {
+                    SortStep::new(
+                        ctx.vp.clone(),
+                        ctx.contacts.clone(),
+                        ctx.position,
+                        rctx.id() % 1000,
+                        Order::Descending,
+                        rctx.id(),
+                    )
+                })
+            })
+            .unwrap()
+            .metrics
+        } else {
+            net.run(|h| {
+                let ctx = PathCtx::establish(h);
+                sort::sort_at(
+                    h,
+                    &ctx.vp,
+                    &ctx.contacts,
+                    ctx.position,
+                    h.id() % 1000,
+                    Order::Descending,
+                )
+                .rank
+            })
+            .unwrap()
+            .metrics
+        }
+    })
+}
+
+fn degrees(n: usize, repeats: u32, batched: bool) -> Entry {
+    let degrees = graphgen::near_regular_sequence(n, 4, 9);
+    measure("degrees-implicit", engine_name(batched), n, repeats, || {
+        let out = if batched {
+            realize_implicit_batched(&degrees, bench_config(45)).unwrap()
+        } else {
+            realize_implicit(&degrees, bench_config(45)).unwrap()
+        };
+        out.metrics().clone()
+    })
+}
+
+fn tree(n: usize, repeats: u32, batched: bool) -> Entry {
+    let degrees = graphgen::random_tree_sequence(n, 11);
+    measure("tree-greedy", engine_name(batched), n, repeats, || {
+        let out = if batched {
+            realize_tree_batched(&degrees, bench_config(46), TreeAlgo::Greedy).unwrap()
+        } else {
+            realize_tree(&degrees, bench_config(46), TreeAlgo::Greedy).unwrap()
+        };
+        match out {
+            dgr_trees::TreeRealization::Realized(t) => t.metrics,
+            dgr_trees::TreeRealization::Unrealizable { metrics } => metrics,
+        }
+    })
+}
+
+fn engine_name(batched: bool) -> &'static str {
+    if batched {
+        "batched"
+    } else {
+        "threaded"
     }
 }
 
@@ -83,44 +179,69 @@ fn main() {
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
 
     let mut entries: Vec<Entry> = Vec::new();
-    // The threaded oracle tops out near 10^4 nodes (one OS thread each).
-    for &(n, repeats) in &[(1_000usize, 5u32), (10_000, 2)] {
-        eprintln!("threaded n={n} ...");
-        entries.push(run_threaded(n, repeats));
-    }
-    let batched_sizes: &[(usize, u32)] = if quick {
+
+    // The threaded oracle tops out near 10^4 nodes (one OS thread each);
+    // the driver workloads run it at 10^3 (hundreds of barrier rounds).
+    eprintln!("threaded baselines ...");
+    entries.push(warmup(1_000, 5, false));
+    entries.push(warmup(10_000, 2, false));
+    entries.push(establish(1_000, 3, false));
+    entries.push(dist_sort(1_000, 2, false));
+    entries.push(degrees(1_000, 1, false));
+    entries.push(tree(1_000, 1, false));
+
+    let warmup_sizes: &[(usize, u32)] = if quick {
         &[(1_000, 20), (10_000, 10), (100_000, 3)]
     } else {
         &[(1_000, 20), (10_000, 10), (100_000, 3), (1_000_000, 1)]
     };
-    for &(n, repeats) in batched_sizes {
-        eprintln!("batched n={n} ...");
-        entries.push(run_batched(n, repeats));
+    for &(n, repeats) in warmup_sizes {
+        eprintln!("batched warmup n={n} ...");
+        entries.push(warmup(n, repeats, true));
+    }
+    let driver_sizes: &[(usize, u32)] = if quick {
+        &[(1_000, 5), (10_000, 2)]
+    } else {
+        &[(1_000, 5), (10_000, 2), (100_000, 1)]
+    };
+    for &(n, repeats) in driver_sizes {
+        eprintln!("batched primitives + drivers n={n} ...");
+        entries.push(establish(n, repeats, true));
+        entries.push(dist_sort(n, repeats, true));
+        entries.push(degrees(n, repeats, true));
+        entries.push(tree(n, repeats, true));
     }
 
-    let rps = |engine: &str, n: usize| {
+    let rps = |workload: &str, engine: &str, n: usize| {
         entries
             .iter()
-            .find(|e| e.engine == engine && e.n == n)
+            .find(|e| e.workload == workload && e.engine == engine && e.n == n)
             .map(Entry::rounds_per_sec)
     };
-    let speedup_10k = match (rps("batched", 10_000), rps("threaded", 10_000)) {
+    let speedup = |workload: &str, n: usize| match (
+        rps(workload, "batched", n),
+        rps(workload, "threaded", n),
+    ) {
         (Some(b), Some(t)) => b / t,
         _ => f64::NAN,
     };
+    let speedup_10k = speedup("warmup", 10_000);
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
-        "  \"workload\": \"ncc0 path-to-clique warm-up (undirect + pointer-doubling contacts)\",\n",
+        "  \"workloads\": \"warmup = ncc0 path-to-clique; establish = undirect + contacts + \
+         BBST + positions; sort = establish + Theorem 3; degrees-implicit / tree-greedy = \
+         full realization drivers\",\n",
     );
     json.push_str("  \"note\": \"rounds/sec per engine; track_knowledge off; release build\",\n");
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"engine\": \"{}\", \"n\": {}, \"rounds\": {}, \"messages\": {}, \
-             \"seconds\": {:.4}, \"rounds_per_sec\": {:.1}}}{}",
+            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"n\": {}, \"rounds\": {}, \
+             \"messages\": {}, \"seconds\": {:.4}, \"rounds_per_sec\": {:.1}}}{}",
+            e.workload,
             e.engine,
             e.n,
             e.rounds,
@@ -131,6 +252,23 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"batched_over_threaded_at_1k\": {\n");
+    let per_workload = [
+        "warmup",
+        "establish",
+        "sort",
+        "degrees-implicit",
+        "tree-greedy",
+    ];
+    for (i, w) in per_workload.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{w}\": {:.1}{}",
+            speedup(w, 1_000),
+            if i + 1 < per_workload.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
     let _ = write!(
         json,
         "  \"batched_over_threaded_at_10k\": {speedup_10k:.1}\n}}\n"

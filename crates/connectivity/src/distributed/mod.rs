@@ -1,10 +1,12 @@
 //! Distributed threshold realization (Section 6).
 //!
 //! [`ncc1`] and [`ncc0`] are direct-style (threaded-oracle) algorithms;
-//! [`ncc1_step`] is the Theorem 17 star construction as a step-function
-//! protocol for the batched engine — same overlay, million-node scale.
+//! [`ncc1_step`] and [`ncc0_step`] are the same constructions as
+//! step-function protocols for the batched engine — same overlays,
+//! six-digit-node scale.
 
 pub mod ncc0;
+pub mod ncc0_step;
 pub mod ncc1;
 pub mod ncc1_step;
 

@@ -28,18 +28,21 @@
 //! give `ρ(x_i)` edge-disjoint paths; induction over phase 2 and
 //! Menger's theorem complete it. Edges ≤ `Σρ ≤ 2·OPT` as before.
 
-use super::ThresholdOutcome;
-use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
-use dgr_primitives::sort::{self, Order};
-use dgr_primitives::{ops, stagger, PathCtx};
-use std::collections::VecDeque;
+#[cfg(feature = "threaded")]
+use {
+    super::ThresholdOutcome,
+    dgr_ncc::{tags, Msg, NodeHandle, NodeId},
+    dgr_primitives::sort::{self, Order},
+    dgr_primitives::{ops, stagger, PathCtx},
+    std::collections::VecDeque,
+};
 
 /// Number of rounds of a token pipeline with maximum ttl `ttl_max` at
 /// forwarding batch `b`: travel distance plus drain slack. (Input rate to
 /// any node is at most its predecessor's batch `b`, matching its own
 /// forwarding rate, so queues never build up beyond the local injection —
 /// travel + `ttl_max/b` + slack covers the worst case.)
-fn pipeline_rounds(ttl_max: usize, b: usize) -> u64 {
+pub(crate) fn pipeline_rounds(ttl_max: usize, b: usize) -> u64 {
     ttl_max as u64 + (ttl_max as u64).div_ceil(b as u64) + 10
 }
 
@@ -47,6 +50,7 @@ fn pipeline_rounds(ttl_max: usize, b: usize) -> u64 {
 /// every received token's origin is recorded and the token is forwarded
 /// to `next_hop` with `ttl - 1` while positive. All nodes must use the
 /// same `rounds`.
+#[cfg(feature = "threaded")]
 fn token_pipeline(
     h: &mut NodeHandle,
     next_hop: Option<NodeId>,
@@ -86,6 +90,7 @@ fn token_pipeline(
 /// Runs Algorithm 6 at one node. `rho ≥ 1` is this node's requirement;
 /// every node must call simultaneously. Use a queueing configuration (the
 /// explicitness replies rely on receive-side queueing).
+#[cfg(feature = "threaded")]
 pub fn realize(h: &mut NodeHandle, rho: usize) -> ThresholdOutcome {
     let ctx = PathCtx::establish(h);
     let n = ctx.vp.len;
@@ -155,7 +160,7 @@ pub fn realize(h: &mut NodeHandle, rho: usize) -> ThresholdOutcome {
     outcome
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use crate::driver::realize_ncc0;
     use crate::{sequential, ThresholdInstance};

@@ -11,13 +11,17 @@
 //! and Menger lifts `Conn(v₁, v₂) ≥ min(ρ(v₁), ρ(v₂))` to all pairs.
 //! Edges: `Σ_{v≠w} ρ(v) ≤ Σρ ≤ 2·OPT`.
 
-use super::ThresholdOutcome;
-use dgr_ncc::NodeHandle;
-use dgr_primitives::{ops, PathCtx};
+#[cfg(feature = "threaded")]
+use {
+    super::ThresholdOutcome,
+    dgr_ncc::NodeHandle,
+    dgr_primitives::{ops, PathCtx},
+};
 
 /// Runs the NCC1 star construction at one node. `rho` is this node's
 /// requirement; every node must call simultaneously. Requires the NCC1
 /// model (panics otherwise, via [`NodeHandle::all_ids`]).
+#[cfg(feature = "threaded")]
 pub fn realize(h: &mut NodeHandle, rho: usize) -> ThresholdOutcome {
     // Aggregation infrastructure: the path context (O(log n) rounds; in
     // NCC1 the knowledge path is available too, and this is the cheapest
@@ -52,7 +56,7 @@ pub fn realize(h: &mut NodeHandle, rho: usize) -> ThresholdOutcome {
     outcome
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use crate::driver::realize_ncc1;
     use crate::ThresholdInstance;

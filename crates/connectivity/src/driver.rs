@@ -8,7 +8,9 @@
 //! overlay — `batched_and_threaded_realize_the_same_overlay` below holds
 //! them to that.
 
-use crate::distributed::{ncc0, ncc1, ncc1_step, ThresholdOutcome};
+#[cfg(feature = "threaded")]
+use crate::distributed::{ncc0, ncc1};
+use crate::distributed::{ncc0_step, ncc1_step, ThresholdOutcome};
 use crate::verify::{check_thresholds, ThresholdReport};
 use crate::ThresholdInstance;
 use dgr_core::verify as core_verify;
@@ -39,11 +41,7 @@ pub struct ThresholdRealization {
 }
 
 fn rho_assignment(net: &Network, inst: &ThresholdInstance) -> HashMap<NodeId, usize> {
-    net.ids_in_path_order()
-        .iter()
-        .copied()
-        .zip(inst.rho.iter().copied())
-        .collect()
+    net.assign_in_path_order(&inst.rho)
 }
 
 /// Runs the Theorem 17 NCC1 star construction.
@@ -55,6 +53,7 @@ fn rho_assignment(net: &Network, inst: &ThresholdInstance) -> HashMap<NodeId, us
 /// # Panics
 ///
 /// Panics if `config` is not an NCC1 configuration.
+#[cfg(feature = "threaded")]
 pub fn realize_ncc1(
     inst: &ThresholdInstance,
     config: Config,
@@ -120,6 +119,7 @@ fn certify_implicit(
 ///
 /// Propagates simulator errors; panics if the explicit symmetry is broken
 /// (a protocol bug, not an input condition).
+#[cfg(feature = "threaded")]
 pub fn realize_ncc0(
     inst: &ThresholdInstance,
     config: Config,
@@ -146,7 +146,41 @@ pub fn realize_ncc0(
     })
 }
 
-#[cfg(test)]
+/// Runs the Algorithm 6 NCC0 explicit construction on the **batched
+/// executor** — the production engine, practical at six-digit `n`. Use a
+/// queueing configuration.
+///
+/// # Errors
+///
+/// Propagates simulator errors; panics if the explicit symmetry is broken
+/// (a protocol bug, not an input condition).
+pub fn realize_ncc0_batched(
+    inst: &ThresholdInstance,
+    config: Config,
+) -> Result<ThresholdRealization, SimError> {
+    let net = Network::new(inst.len(), config);
+    let by_id = rho_assignment(&net, inst);
+    let result = net.run_protocol(|s| ncc0_step::Ncc0Threshold::new(by_id[&s.id]))?;
+    let metrics = result.metrics.clone();
+    let lists: HashMap<NodeId, Vec<NodeId>> = result
+        .outputs
+        .into_iter()
+        .map(|(id, o)| (id, o.neighbors))
+        .collect();
+    let assembled = core_verify::assemble_explicit(net.ids_in_path_order(), &lists)
+        .expect("Algorithm 6 lost explicit symmetry");
+    let report = check_thresholds(&assembled.graph, &by_id, inst.len() <= ALL_PAIRS_LIMIT);
+    Ok(ThresholdRealization {
+        graph: assembled.graph,
+        rho: by_id,
+        path_order: net.ids_in_path_order().to_vec(),
+        explicit_neighbors: lists,
+        report,
+        metrics,
+    })
+}
+
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
 

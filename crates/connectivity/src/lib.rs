@@ -24,7 +24,9 @@ pub mod driver;
 pub mod sequential;
 pub mod verify;
 
-pub use driver::{realize_ncc0, realize_ncc1, realize_ncc1_batched, ThresholdRealization};
+#[cfg(feature = "threaded")]
+pub use driver::{realize_ncc0, realize_ncc1};
+pub use driver::{realize_ncc0_batched, realize_ncc1_batched, ThresholdRealization};
 pub use sequential::{edge_lower_bound, sequential_realization};
 pub use verify::{check_thresholds, ThresholdReport};
 

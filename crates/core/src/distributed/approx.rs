@@ -14,9 +14,12 @@
 //! edges; `DESIGN.md` §4 documents this. The driver reports duplicate
 //! counts so callers can quantify it (it is zero on every exact-mode run).
 
-use super::{ImplicitOutcome, Unrealizable};
-use dgr_ncc::NodeHandle;
-use dgr_primitives::PathCtx;
+#[cfg(feature = "threaded")]
+use {
+    super::{ImplicitOutcome, Unrealizable},
+    dgr_ncc::NodeHandle,
+    dgr_primitives::PathCtx,
+};
 
 /// Runs the upper-envelope realization at one node. `degree` is this
 /// node's requested degree; the call must be made by every node
@@ -26,6 +29,7 @@ use dgr_primitives::PathCtx;
 ///
 /// [`Unrealizable`] only when some degree is `≥ n` (no envelope exists in
 /// that case either); every other sequence is realized.
+#[cfg(feature = "threaded")]
 pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<ImplicitOutcome, Unrealizable> {
     let ctx = PathCtx::establish(h);
     realize_on(h, &ctx, &ctx, degree)
@@ -40,6 +44,7 @@ pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<ImplicitOutcome, Unr
 /// # Errors
 ///
 /// [`Unrealizable`] when some member degree is `≥ ctx.vp.len`.
+#[cfg(feature = "threaded")]
 pub fn realize_on(
     h: &mut NodeHandle,
     ctx: &PathCtx,
@@ -49,7 +54,7 @@ pub fn realize_on(
     super::implicit::realize_on(h, ctx, global, degree, super::implicit::Mode::Envelope)
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use crate::driver;
     use dgr_ncc::Config;

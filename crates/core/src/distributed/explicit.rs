@@ -14,15 +14,19 @@
 //! the epoch length covers the worst-case queue drain unconditionally, so
 //! delivery is guaranteed, not just w.h.p.
 
-use super::{ExplicitOutcome, ImplicitOutcome, Unrealizable};
-use dgr_ncc::{tags, Msg, NodeHandle};
-use dgr_primitives::{ops, stagger, PathCtx};
+#[cfg(feature = "threaded")]
+use {
+    super::{ExplicitOutcome, ImplicitOutcome, Unrealizable},
+    dgr_ncc::{tags, Msg, NodeHandle},
+    dgr_primitives::{ops, stagger, PathCtx},
+};
 
 /// Full explicit realization: Algorithm 3, then the staggered hand-off.
 ///
 /// # Errors
 ///
 /// [`Unrealizable`] when the sequence is not graphic.
+#[cfg(feature = "threaded")]
 pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<ExplicitOutcome, Unrealizable> {
     let ctx = PathCtx::establish(h);
     let implicit =
@@ -38,6 +42,7 @@ pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<ExplicitOutcome, Unr
 /// announcements (typically the broadcast maximum degree) — it determines
 /// the epoch length, so every node of the network must pass the same
 /// value, including nodes that did not participate in the realization.
+#[cfg(feature = "threaded")]
 pub fn make_explicit(
     h: &mut NodeHandle,
     implicit: ImplicitOutcome,
@@ -66,7 +71,7 @@ pub fn make_explicit(
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use crate::driver;
     use dgr_ncc::Config;

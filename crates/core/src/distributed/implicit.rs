@@ -19,12 +19,15 @@
 //! maximum degree, and at most `O(√m)` phases involve degrees above `√m`,
 //! so the loop runs `O(min{√m, Δ})` times; each phase is `O~(1)` rounds.
 
-use super::{ImplicitOutcome, Unrealizable};
 use crate::sequence::DegreeSequence;
-use dgr_ncc::NodeHandle;
-use dgr_primitives::imcast::{self, CoverSide, Payload};
-use dgr_primitives::sort::{self, Order};
-use dgr_primitives::{contacts, ops, PathCtx};
+#[cfg(feature = "threaded")]
+use {
+    super::{ImplicitOutcome, Unrealizable},
+    dgr_ncc::NodeHandle,
+    dgr_primitives::imcast::{self, CoverSide, Payload},
+    dgr_primitives::sort::{self, Order},
+    dgr_primitives::{contacts, ops, PathCtx},
+};
 
 /// Degree-handling mode for the shared phase engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +46,7 @@ pub(crate) enum Mode {
 ///
 /// [`Unrealizable`] (at every node consistently) when the global sequence
 /// is not graphic.
+#[cfg(feature = "threaded")]
 pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<ImplicitOutcome, Unrealizable> {
     let ctx = PathCtx::establish(h);
     realize_on(h, &ctx, &ctx, degree, Mode::Exact)
@@ -56,6 +60,7 @@ pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<ImplicitOutcome, Unr
 /// error flag) are aggregated over `global`, a context in which **every**
 /// node of the network is a member (pass `ctx` again at top level);
 /// non-members contribute the identity.
+#[cfg(feature = "threaded")]
 pub(crate) fn realize_on(
     h: &mut NodeHandle,
     ctx: &PathCtx,
@@ -167,7 +172,7 @@ pub fn phase_bound(seq: &DegreeSequence) -> f64 {
     m.sqrt().min(delta)
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
 
     use crate::driver;

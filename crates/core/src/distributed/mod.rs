@@ -5,6 +5,7 @@
 pub mod approx;
 pub mod explicit;
 pub mod implicit;
+pub mod proto;
 
 use dgr_ncc::NodeId;
 

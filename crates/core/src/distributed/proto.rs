@@ -1,0 +1,323 @@
+//! Algorithm 3 (and its explicit and upper-envelope extensions) as a
+//! [`NodeProtocol`] for the batched executor.
+//!
+//! The direct-style implementations in the sibling modules compose
+//! primitives by calling blocking functions in sequence; this port
+//! composes the same primitives as [`Step`] sub-protocols chained through
+//! one state machine, transitioning stages *within* a round exactly where
+//! the direct style crosses a function boundary. The result is
+//! round-for-round and message-for-message identical to the threaded
+//! drivers — `crates/core/tests/batched_drivers.rs` holds the two engines
+//! to the same realized overlay and round counts — while scaling to
+//! hundreds of thousands of nodes (`tests/scale.rs`).
+//!
+//! The data-dependent while-loop of Algorithm 3 stays in lockstep for the
+//! same reason as in direct style: its control values (δ, N, the error
+//! flag) are globally aggregated, so every node transitions identically.
+//!
+//! [`NodeProtocol`]: dgr_ncc::NodeProtocol
+//! [`Step`]: dgr_primitives::proto::Step
+
+use super::implicit::Mode;
+use super::{ImplicitOutcome, Unrealizable};
+use dgr_ncc::{tags, NodeId, NodeProtocol, RoundCtx, Status, WireMsg};
+use dgr_primitives::contacts::ContactTable;
+use dgr_primitives::imcast::{CoverSide, Payload};
+use dgr_primitives::proto::contacts::ContactsStep;
+use dgr_primitives::proto::imcast::ImcastStep;
+use dgr_primitives::proto::ops::AggBcastStep;
+use dgr_primitives::proto::sort::SortStep;
+use dgr_primitives::proto::stagger::StaggerStep;
+use dgr_primitives::proto::step::{AggOp, Poll, Step};
+use dgr_primitives::proto::EstablishCtx;
+use dgr_primitives::sort::{Order, SortedPath};
+use dgr_primitives::{stagger, PathCtx};
+
+/// Which driver behavior the protocol reproduces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flavor {
+    /// Algorithm 3, implicit realization (Theorem 11).
+    Implicit,
+    /// Theorem 13 upper envelope (implicit, multigraph semantics).
+    Envelope,
+    /// Theorem 12 explicit realization (Algorithm 3 + staggered hand-off;
+    /// requires a queueing capacity policy).
+    Explicit,
+}
+
+impl Flavor {
+    fn mode(self) -> Mode {
+        match self {
+            Flavor::Envelope => Mode::Envelope,
+            _ => Mode::Exact,
+        }
+    }
+}
+
+enum Stage {
+    Establish(EstablishCtx),
+    Sort(SortStep),
+    SortedContacts(ContactsStep),
+    Delta(AggBcastStep),
+    NMax(AggBcastStep),
+    Mcast(ImcastStep),
+    ErrFlag(AggBcastStep),
+    DeltaBound(AggBcastStep),
+    Handoff(StaggerStep),
+}
+
+/// The degree-realization state machine at one node. `degree` is this
+/// node's requested degree; every node runs the same protocol.
+pub struct RealizeDegrees {
+    degree: usize,
+    flavor: Flavor,
+    stage: Stage,
+    ctx: Option<PathCtx>,
+    need: u64,
+    outcome: ImplicitOutcome,
+    sp: Option<SortedPath>,
+    sct: Option<ContactTable>,
+    delta: usize,
+    is_leader: bool,
+}
+
+impl RealizeDegrees {
+    /// Builds the protocol for one node.
+    pub fn new(degree: usize, flavor: Flavor) -> Self {
+        RealizeDegrees {
+            degree,
+            flavor,
+            stage: Stage::Establish(EstablishCtx::new()),
+            ctx: None,
+            need: degree as u64,
+            outcome: ImplicitOutcome {
+                requested: degree,
+                neighbors: Vec::new(),
+                phases: 0,
+            },
+            sp: None,
+            sct: None,
+            delta: 0,
+            is_leader: false,
+        }
+    }
+
+    fn ctx(&self) -> &PathCtx {
+        self.ctx.as_ref().expect("stage before establish completed")
+    }
+
+    /// Opens a new Algorithm 3 phase: re-sort by remaining degree.
+    fn begin_phase(&mut self, my_id: NodeId) {
+        self.outcome.phases += 1;
+        let ctx = self.ctx();
+        self.stage = Stage::Sort(SortStep::new(
+            ctx.vp.clone(),
+            ctx.contacts.clone(),
+            ctx.position,
+            self.need,
+            Order::Descending,
+            my_id,
+        ));
+    }
+
+    /// An aggregate + broadcast over the fixed global tree.
+    fn agg(&self, value: u64, op: AggOp) -> AggBcastStep {
+        let ctx = self.ctx();
+        AggBcastStep::new(ctx.vp.clone(), ctx.tree.clone(), value, op)
+    }
+
+    /// Closes the run: implicit flavors finish, the explicit flavor first
+    /// broadcasts Δ and staggers the edge announcements.
+    fn finish(&mut self) -> Option<Status<Result<ImplicitOutcome, Unrealizable>>> {
+        if self.flavor == Flavor::Explicit {
+            self.stage = Stage::DeltaBound(self.agg(self.degree as u64, AggOp::Max));
+            None
+        } else {
+            Some(Status::Done(Ok(std::mem::take(&mut self.outcome))))
+        }
+    }
+}
+
+impl NodeProtocol for RealizeDegrees {
+    type Output = Result<ImplicitOutcome, Unrealizable>;
+
+    fn step(&mut self, rctx: &mut RoundCtx<'_>) -> Status<Self::Output> {
+        loop {
+            match &mut self.stage {
+                Stage::Establish(s) => match s.poll(rctx) {
+                    Poll::Pending => return Status::Continue,
+                    Poll::Ready(ctx) => {
+                        self.ctx = Some(ctx);
+                        self.begin_phase(rctx.id());
+                    }
+                },
+                Stage::Sort(s) => match s.poll(rctx) {
+                    Poll::Pending => return Status::Continue,
+                    Poll::Ready(sp) => {
+                        self.stage = Stage::SortedContacts(ContactsStep::new(sp.vp.clone()));
+                        self.sp = Some(sp);
+                    }
+                },
+                Stage::SortedContacts(s) => match s.poll(rctx) {
+                    Poll::Pending => return Status::Continue,
+                    Poll::Ready(table) => {
+                        self.sct = Some(table);
+                        self.stage = Stage::Delta(self.agg(self.need, AggOp::Max));
+                    }
+                },
+                Stage::Delta(s) => match s.poll(rctx) {
+                    Poll::Pending => return Status::Continue,
+                    Poll::Ready(delta) => {
+                        if delta == 0 {
+                            if let Some(done) = self.finish() {
+                                return done;
+                            }
+                            continue;
+                        }
+                        if delta as usize >= self.ctx().vp.len {
+                            // Some node wants more neighbors than exist.
+                            return Status::Done(Err(Unrealizable));
+                        }
+                        self.delta = delta as usize;
+                        let mine = u64::from(self.ctx().vp.member && self.need == delta);
+                        self.stage = Stage::NMax(self.agg(mine, AggOp::Sum));
+                    }
+                },
+                Stage::NMax(s) => match s.poll(rctx) {
+                    Poll::Pending => return Status::Continue,
+                    Poll::Ready(n_max) => {
+                        let delta = self.delta;
+                        let q = (n_max as usize / (delta + 1)).max(1);
+                        let group_span = q * (delta + 1);
+                        debug_assert!(group_span <= self.ctx().vp.len, "groups exceed the path");
+                        let sp = self.sp.as_ref().expect("phase without a sorted path");
+                        let rank = sp.rank;
+                        self.is_leader = self.ctx().vp.member
+                            && rank < group_span
+                            && rank.is_multiple_of(delta + 1);
+                        let task = self.is_leader.then(|| {
+                            (
+                                CoverSide::After,
+                                delta,
+                                Payload {
+                                    addr: rctx.id(),
+                                    word: 0,
+                                },
+                            )
+                        });
+                        self.stage = Stage::Mcast(ImcastStep::new(
+                            sp.vp.clone(),
+                            self.sct.clone().expect("phase without sorted contacts"),
+                            task,
+                        ));
+                    }
+                },
+                Stage::Mcast(s) => match s.poll(rctx) {
+                    Poll::Pending => return Status::Continue,
+                    Poll::Ready(got) => {
+                        let mut went_negative = false;
+                        if self.is_leader {
+                            debug_assert_eq!(
+                                self.need, self.delta as u64,
+                                "leader without max degree"
+                            );
+                            self.need = 0;
+                        } else if let Some(p) = got {
+                            if self.need == 0 {
+                                match self.flavor.mode() {
+                                    Mode::Exact => went_negative = true,
+                                    Mode::Envelope => self.outcome.neighbors.push(p.addr),
+                                }
+                            } else {
+                                self.outcome.neighbors.push(p.addr);
+                                self.need -= 1;
+                            }
+                        }
+                        self.stage = Stage::ErrFlag(self.agg(u64::from(went_negative), AggOp::Or));
+                    }
+                },
+                Stage::ErrFlag(s) => match s.poll(rctx) {
+                    Poll::Pending => return Status::Continue,
+                    Poll::Ready(err) => {
+                        if err != 0 {
+                            return Status::Done(Err(Unrealizable));
+                        }
+                        self.begin_phase(rctx.id());
+                    }
+                },
+                Stage::DeltaBound(s) => match s.poll(rctx) {
+                    Poll::Pending => return Status::Continue,
+                    Poll::Ready(delta) => {
+                        let (spread, drain) = stagger::plan(delta as usize, rctx.capacity());
+                        let sends = self
+                            .outcome
+                            .neighbors
+                            .iter()
+                            .map(|&nb| (nb, WireMsg::signal(tags::EDGE)))
+                            .collect();
+                        self.stage = Stage::Handoff(StaggerStep::new(sends, spread, drain));
+                    }
+                },
+                Stage::Handoff(s) => match s.poll(rctx) {
+                    Poll::Pending => return Status::Continue,
+                    Poll::Ready(received) => {
+                        self.outcome.neighbors.extend(
+                            received
+                                .iter()
+                                .filter(|(_, msg)| msg.tag == tags::EDGE)
+                                .map(|(src, _)| *src),
+                        );
+                        return Status::Done(Ok(std::mem::take(&mut self.outcome)));
+                    }
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_ncc::{Config, Network};
+    use std::collections::HashMap;
+
+    fn run_batched(
+        degrees: &[usize],
+        config: Config,
+        flavor: Flavor,
+    ) -> dgr_ncc::RunResult<Result<ImplicitOutcome, Unrealizable>> {
+        let net = Network::new(degrees.len(), config);
+        let by_id: HashMap<NodeId, usize> = net
+            .ids_in_path_order()
+            .iter()
+            .copied()
+            .zip(degrees.iter().copied())
+            .collect();
+        net.run_protocol(|s| RealizeDegrees::new(by_id[&s.id], flavor))
+            .unwrap()
+    }
+
+    #[test]
+    fn realizes_a_triangle_batched() {
+        let result = run_batched(&[2, 2, 2], Config::ncc0(1), Flavor::Implicit);
+        assert!(result.metrics.is_clean());
+        let edges: usize = result
+            .outputs
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().neighbors.len())
+            .sum();
+        assert_eq!(edges, 3);
+    }
+
+    #[test]
+    fn rejects_non_graphic_batched() {
+        let result = run_batched(&[3, 3, 1, 1], Config::ncc0(3), Flavor::Implicit);
+        assert!(result.outputs.iter().all(|(_, r)| r.is_err()));
+    }
+
+    #[test]
+    fn envelope_accepts_odd_sums_batched() {
+        let result = run_batched(&[3, 3, 1, 0], Config::ncc0(5), Flavor::Envelope);
+        assert!(result.outputs.iter().all(|(_, r)| r.is_ok()));
+    }
+}

@@ -5,15 +5,17 @@
 //! goes to the `i`-th node of `G_k`. (The algorithms themselves never use
 //! path positions as input — assignment order is just bookkeeping.)
 //!
-//! Engine note: the realization algorithms (`implicit`, `explicit`,
-//! `approx`) are direct-style closures, so these drivers run on the
-//! threaded oracle engine (`dgr-ncc/threaded`, which this crate opts
-//! into). Their `O(log n)`-round setup phase exists as a batched
-//! step-function protocol ([`dgr_primitives::proto::PathToClique`]);
-//! porting the realization phases onto [`dgr_ncc::NodeProtocol`] is
-//! tracked in ROADMAP.md, and `ARCHITECTURE.md` documents the porting
-//! recipe these drivers will adopt.
+//! Engine note: every realization has two drivers. The `*_batched`
+//! functions run the [`RealizeDegrees`](crate::distributed::proto)
+//! state machine on the **batched executor** — the production path,
+//! practical at six-digit `n` (`tests/scale.rs`). The plain functions run
+//! the direct-style closures on the threaded oracle (feature `threaded`,
+//! on by default) and serve as the differential twins: both paths realize
+//! the same overlay in the same number of rounds
+//! (`crates/core/tests/batched_drivers.rs`).
 
+use crate::distributed::proto::{Flavor, RealizeDegrees};
+#[cfg(feature = "threaded")]
 use crate::distributed::{approx, explicit, implicit};
 use crate::verify::{self, Assembled};
 use dgr_graph::Graph;
@@ -81,12 +83,7 @@ impl DriverOutput {
 }
 
 fn degree_assignment(net: &Network, degrees: &[usize]) -> HashMap<NodeId, usize> {
-    assert_eq!(net.n(), degrees.len());
-    net.ids_in_path_order()
-        .iter()
-        .copied()
-        .zip(degrees.iter().copied())
-        .collect()
+    net.assign_in_path_order(degrees)
 }
 
 fn finish(
@@ -139,6 +136,7 @@ fn split_consistent<T>(
 /// # Errors
 ///
 /// Propagates simulator errors (model violations, round-limit).
+#[cfg(feature = "threaded")]
 pub fn realize_implicit(degrees: &[usize], config: Config) -> Result<DriverOutput, SimError> {
     let net = Network::new(degrees.len(), config);
     let by_id = degree_assignment(&net, degrees);
@@ -170,6 +168,7 @@ pub fn realize_implicit(degrees: &[usize], config: Config) -> Result<DriverOutpu
 /// # Errors
 ///
 /// Propagates simulator errors.
+#[cfg(feature = "threaded")]
 pub fn realize_approx(degrees: &[usize], config: Config) -> Result<DriverOutput, SimError> {
     let net = Network::new(degrees.len(), config);
     let by_id = degree_assignment(&net, degrees);
@@ -203,6 +202,7 @@ pub fn realize_approx(degrees: &[usize], config: Config) -> Result<DriverOutput,
 ///
 /// Propagates simulator errors, and reports asymmetric explicit claims as
 /// a node panic (they indicate a protocol bug).
+#[cfg(feature = "threaded")]
 pub fn realize_explicit(degrees: &[usize], config: Config) -> Result<DriverOutput, SimError> {
     let net = Network::new(degrees.len(), config);
     let by_id = degree_assignment(&net, degrees);
@@ -221,7 +221,91 @@ pub fn realize_explicit(degrees: &[usize], config: Config) -> Result<DriverOutpu
     }
 }
 
-#[cfg(test)]
+/// Shared assembly of a batched [`RealizeDegrees`] run.
+fn finish_batched(
+    net: &Network,
+    degrees: &[usize],
+    result: dgr_ncc::RunResult<Result<crate::distributed::ImplicitOutcome, crate::Unrealizable>>,
+    explicit: bool,
+) -> DriverOutput {
+    let metrics = result.metrics;
+    match split_consistent(result.outputs) {
+        None => DriverOutput::Unrealizable { metrics },
+        Some(outs) => {
+            let phases = outs.first().map(|(_, o)| o.phases).unwrap_or(0);
+            if explicit {
+                let lists: HashMap<NodeId, Vec<NodeId>> =
+                    outs.into_iter().map(|(id, o)| (id, o.neighbors)).collect();
+                let assembled = verify::assemble_explicit(net.ids_in_path_order(), &lists)
+                    .expect("explicit realization lost symmetry");
+                finish(net, degrees, assembled, lists, phases, metrics)
+            } else {
+                let assembled = verify::assemble_implicit(
+                    net.ids_in_path_order(),
+                    outs.into_iter().map(|(id, o)| (id, o.neighbors)),
+                );
+                finish(net, degrees, assembled, HashMap::new(), phases, metrics)
+            }
+        }
+    }
+}
+
+/// Runs a [`RealizeDegrees`] flavor on the **batched executor** — the
+/// production engine; unlike the threaded drivers it is practical at
+/// six-digit `n`.
+fn realize_batched(
+    degrees: &[usize],
+    config: Config,
+    flavor: Flavor,
+) -> Result<DriverOutput, SimError> {
+    let net = Network::new(degrees.len(), config);
+    let by_id = degree_assignment(&net, degrees);
+    let result = net.run_protocol(|s| RealizeDegrees::new(by_id[&s.id], flavor))?;
+    Ok(finish_batched(
+        &net,
+        degrees,
+        result,
+        flavor == Flavor::Explicit,
+    ))
+}
+
+/// Runs Algorithm 3 (implicit, exact) on the batched executor.
+///
+/// # Errors
+///
+/// Propagates simulator errors (model violations, round-limit).
+pub fn realize_implicit_batched(
+    degrees: &[usize],
+    config: Config,
+) -> Result<DriverOutput, SimError> {
+    realize_batched(degrees, config, Flavor::Implicit)
+}
+
+/// Runs the Theorem 13 upper-envelope realization on the batched executor.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn realize_approx_batched(degrees: &[usize], config: Config) -> Result<DriverOutput, SimError> {
+    realize_batched(degrees, config, Flavor::Envelope)
+}
+
+/// Runs the Theorem 12 explicit realization on the batched executor. Use a
+/// [`Config::with_queueing`] configuration — the staggered hand-off relies
+/// on receive-side queueing.
+///
+/// # Errors
+///
+/// Propagates simulator errors, and reports asymmetric explicit claims as
+/// a panic (they indicate a protocol bug).
+pub fn realize_explicit_batched(
+    degrees: &[usize],
+    config: Config,
+) -> Result<DriverOutput, SimError> {
+    realize_batched(degrees, config, Flavor::Explicit)
+}
+
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
 

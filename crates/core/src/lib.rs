@@ -40,6 +40,10 @@ pub mod sequence;
 pub mod verify;
 
 pub use distributed::{DistributedRealization, ImplicitOutcome, Unrealizable};
-pub use driver::{realize_approx, realize_explicit, realize_implicit, DriverOutput};
+#[cfg(feature = "threaded")]
+pub use driver::{realize_approx, realize_explicit, realize_implicit};
+pub use driver::{
+    realize_approx_batched, realize_explicit_batched, realize_implicit_batched, DriverOutput,
+};
 pub use havel_hakimi::Realization;
 pub use sequence::{DegreeSequence, RealizeError};

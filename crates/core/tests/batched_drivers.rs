@@ -1,0 +1,132 @@
+//! Driver-level differential tests: the batched realization drivers must
+//! realize exactly the overlay the threaded (direct-style) drivers
+//! realize, in the same number of rounds — plus a property sweep over
+//! random degree sequences.
+
+use dgr_core::driver::{
+    realize_approx, realize_approx_batched, realize_explicit, realize_explicit_batched,
+    realize_implicit, realize_implicit_batched, DriverOutput,
+};
+use dgr_ncc::Config;
+use proptest::prelude::*;
+
+/// Asserts both drivers agree in verdict, overlay, phases and budget.
+fn assert_drivers_agree(threaded: &DriverOutput, batched: &DriverOutput, what: &str) {
+    match (threaded, batched) {
+        (
+            DriverOutput::Unrealizable { metrics: mt },
+            DriverOutput::Unrealizable { metrics: mb },
+        ) => {
+            assert_eq!(mt.rounds, mb.rounds, "{what}: refusal rounds diverge");
+            assert_eq!(mt.messages, mb.messages, "{what}: refusal messages diverge");
+        }
+        (DriverOutput::Realized(t), DriverOutput::Realized(b)) => {
+            assert_eq!(
+                t.graph.edge_list(),
+                b.graph.edge_list(),
+                "{what}: engines realize different overlays"
+            );
+            assert_eq!(t.phases, b.phases, "{what}: phase counts diverge");
+            assert_eq!(t.metrics.rounds, b.metrics.rounds, "{what}: rounds diverge");
+            assert_eq!(
+                t.metrics.messages, b.metrics.messages,
+                "{what}: messages diverge"
+            );
+            assert_eq!(t.metrics.words, b.metrics.words, "{what}: words diverge");
+        }
+        _ => panic!("{what}: drivers disagree about realizability"),
+    }
+}
+
+#[test]
+fn implicit_batched_matches_threaded() {
+    for degrees in [
+        vec![2, 2, 2],
+        vec![4, 4, 4, 4, 4],
+        vec![5, 1, 1, 1, 1, 1],
+        vec![3, 3, 2, 2, 1, 1],
+        vec![0, 0, 0],
+        vec![6; 32],
+        vec![3, 3, 1, 1],       // non-graphic
+        vec![5, 5, 4, 3, 2, 1], // non-graphic
+    ] {
+        let threaded = realize_implicit(&degrees, Config::ncc0(7)).unwrap();
+        let batched = realize_implicit_batched(&degrees, Config::ncc0(7)).unwrap();
+        assert_drivers_agree(&threaded, &batched, &format!("implicit {degrees:?}"));
+    }
+}
+
+#[test]
+fn approx_batched_matches_threaded() {
+    for degrees in [
+        vec![3, 3, 1, 0],
+        vec![4, 4, 4, 1, 1],
+        vec![5, 5, 4, 3, 2, 1],
+        vec![3, 2, 2, 2, 1], // graphic input: exact realization
+    ] {
+        let threaded = realize_approx(&degrees, Config::ncc0(13)).unwrap();
+        let batched = realize_approx_batched(&degrees, Config::ncc0(13)).unwrap();
+        assert_drivers_agree(&threaded, &batched, &format!("approx {degrees:?}"));
+    }
+}
+
+#[test]
+fn explicit_batched_matches_threaded() {
+    for degrees in [
+        vec![4, 3, 3, 2, 2, 2, 1, 1],
+        vec![2, 2, 1, 1],
+        vec![3, 3, 1, 1], // non-graphic
+    ] {
+        let config = Config::ncc0(31).with_queueing();
+        let threaded = realize_explicit(&degrees, config.clone()).unwrap();
+        let batched = realize_explicit_batched(&degrees, config).unwrap();
+        assert_drivers_agree(&threaded, &batched, &format!("explicit {degrees:?}"));
+    }
+}
+
+#[test]
+fn explicit_batched_star_fan_in_is_paced() {
+    // Δ = n-1 at the hub: the staggered hand-off must keep delivery under
+    // capacity on the batched engine too.
+    let n = 48;
+    let mut degrees = vec![1usize; n];
+    degrees[0] = n - 1;
+    let out = realize_explicit_batched(&degrees, Config::ncc0(35).with_queueing()).unwrap();
+    let g = out.expect_realized();
+    assert!(g.metrics.max_received_per_round <= g.metrics.capacity);
+    assert_eq!(g.graph.degree_sequence()[0], n - 1);
+    assert_eq!(g.metrics.undelivered, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random degree sequences (graphic or not): both engines must agree
+    /// on the verdict and, when realized, on the exact overlay.
+    #[test]
+    fn implicit_sweep_engines_agree(degrees in prop::collection::vec(0usize..9, 4..20), seed in 0u64..1000) {
+        let threaded = realize_implicit(&degrees, Config::ncc0(seed)).unwrap();
+        let batched = realize_implicit_batched(&degrees, Config::ncc0(seed)).unwrap();
+        assert_drivers_agree(&threaded, &batched, &format!("sweep {degrees:?} seed {seed}"));
+        // When realized, the overlay's degrees are exactly the request.
+        if let DriverOutput::Realized(b) = &batched {
+            let mut want = degrees.clone();
+            want.sort_unstable_by(|a, b| b.cmp(a));
+            prop_assert_eq!(b.graph.degree_sequence(), want);
+        }
+    }
+
+    /// The envelope realization: always succeeds (absent oversized
+    /// degrees) with the Theorem 13 bounds, identically on both engines.
+    #[test]
+    fn approx_sweep_engines_agree(degrees in prop::collection::vec(0usize..7, 4..16), seed in 0u64..1000) {
+        let threaded = realize_approx(&degrees, Config::ncc0(seed)).unwrap();
+        let batched = realize_approx_batched(&degrees, Config::ncc0(seed)).unwrap();
+        assert_drivers_agree(&threaded, &batched, &format!("approx sweep {degrees:?}"));
+        if let DriverOutput::Realized(b) = &batched {
+            let sum: usize = degrees.iter().sum();
+            let envelope_sum: usize = b.multi_degrees.values().sum();
+            prop_assert!(envelope_sum <= 2 * sum.max(1), "Σd' = {} > 2Σd", envelope_sum);
+        }
+    }
+}

@@ -66,6 +66,26 @@ pub fn eccentricity(g: &Graph, src: usize) -> Option<usize> {
     }
 }
 
+/// Exact diameter of a **tree** via double BFS (`O(n)`): the farthest node
+/// from an arbitrary root is one end of a diameter path. Returns `None`
+/// for empty or disconnected graphs; on a connected non-tree graph the
+/// value is only a lower bound.
+pub fn tree_diameter(g: &Graph) -> Option<usize> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let first = bfs_distances(g, 0);
+    let (far, &d) = first
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| d)
+        .expect("non-empty graph");
+    if d == usize::MAX {
+        return None;
+    }
+    eccentricity(g, far)
+}
+
 /// Exact diameter via all-pairs BFS (`O(nm)` — fine at verification scale).
 /// Returns `None` for disconnected or empty graphs.
 pub fn diameter(g: &Graph) -> Option<usize> {
@@ -122,5 +142,25 @@ mod tests {
         let g = path(7);
         assert_eq!(eccentricity(&g, 3), Some(3)); // center
         assert_eq!(eccentricity(&g, 0), Some(6)); // end
+    }
+
+    #[test]
+    fn tree_diameter_agrees_with_all_pairs_on_trees() {
+        for n in 1..=9 {
+            let g = path(n);
+            assert_eq!(tree_diameter(&g), diameter(&g), "path {n}");
+        }
+        let star = Graph::from_edges(0..=6, (1..=6).map(|i| (0, i))).unwrap();
+        assert_eq!(tree_diameter(&star), Some(2));
+        // Caterpillar: spine 1-2-3-4 with a leaf on each spine node.
+        let cat = Graph::from_edges(
+            1..=8,
+            [(1, 2), (2, 3), (3, 4), (1, 5), (2, 6), (3, 7), (4, 8)],
+        )
+        .unwrap();
+        assert_eq!(tree_diameter(&cat), diameter(&cat));
+        // Disconnected: None.
+        let g = Graph::from_edges([1, 2, 3], [(1, 2)]).unwrap();
+        assert_eq!(tree_diameter(&g), None);
     }
 }

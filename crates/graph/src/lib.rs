@@ -11,6 +11,8 @@ mod bfs;
 mod flow;
 mod graph;
 
-pub use bfs::{bfs_distances, connected_components, diameter, eccentricity, is_connected};
+pub use bfs::{
+    bfs_distances, connected_components, diameter, eccentricity, is_connected, tree_diameter,
+};
 pub use flow::{edge_connectivity, global_edge_connectivity, Dinic};
 pub use graph::{DegreeMap, Graph};

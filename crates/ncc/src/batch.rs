@@ -6,11 +6,17 @@
 //! reusable outbox, and the previous round's inboxes are disjoint spans of
 //! a shared read-only arena, so the phase is data-race-free by
 //! construction and deterministic regardless of worker count. The
-//! **routing phase** runs on the coordinating thread: a stable counting
-//! sort by destination index (validate + count, prefix-sum, scatter) with
-//! capacity checks per bucket. All routing state lives in reusable buffers
-//! ([`RouteBuffers`](crate::route::RouteBuffers)); at steady state a round
-//! allocates nothing.
+//! **routing phase** is a stable counting sort by destination index
+//! (validate + count, prefix-sum, scatter) with capacity checks per
+//! bucket. With one worker it runs inline on the coordinating thread;
+//! with more, the validate-and-count and scatter passes fan out over the
+//! same worker pool using per-worker count arrays — worker `w`'s region
+//! of every destination bucket precedes worker `w+1`'s, so bucket
+//! contents stay in dense source order and transcripts are bit-identical
+//! for every worker count. All routing state lives in reusable buffers
+//! ([`RouteBuffers`](crate::route::RouteBuffers) and its per-worker
+//! scratch rows); at steady state a round allocates nothing on the
+//! single-worker path, and nothing per-message on the parallel path.
 //!
 //! Semantics are bit-for-bit those of the threaded oracle engine
 //! (`crates/ncc/src/engine.rs`): same canonical routing order, same
@@ -25,15 +31,48 @@ use crate::message::NodeId;
 use crate::metrics::RunMetrics;
 use crate::network::{Network, RunResult};
 use crate::protocol::{NodeProtocol, NodeSeed, RoundCtx, Status};
-use crate::route::RouteBuffers;
+use crate::route::{QueueBuffers, RouteBuffers};
 use crate::wire::{WireEnvelope, NO_INDEX, WIRE_ADDRS, WIRE_WORDS};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Raw pointer to the slot array, shared across routing workers. Each
+/// worker touches only its own disjoint slot range, making the aliasing
+/// sound by construction.
+struct RawSlots<P: NodeProtocol>(*mut Slot<P>);
+unsafe impl<P: NodeProtocol> Send for RawSlots<P> {}
+unsafe impl<P: NodeProtocol> Sync for RawSlots<P> {}
+
+impl<P: NodeProtocol> RawSlots<P> {
+    /// # Safety
+    ///
+    /// The caller must hold exclusive access to slot `i` (each routing
+    /// worker owns a disjoint slot range).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot(&self, i: usize) -> &mut Slot<P> {
+        unsafe { &mut *self.0.add(i) }
+    }
+}
+
+/// Raw pointer to the routing arena, shared across scatter workers. Each
+/// `(worker, destination)` region is disjoint by the cursor construction
+/// in [`RouteBuffers::seal_parallel`].
+struct RawArena(*mut WireEnvelope);
+unsafe impl Send for RawArena {}
+unsafe impl Sync for RawArena {}
+
+impl RawArena {
+    /// # Safety
+    ///
+    /// `at` must lie in a region owned exclusively by the calling worker.
+    unsafe fn write(&self, at: usize, env: WireEnvelope) {
+        unsafe { self.0.add(at).write(env) };
+    }
+}
 
 /// One node's state under the batched executor.
 struct Slot<P: NodeProtocol> {
@@ -138,12 +177,7 @@ where
     let mut buffers = RouteBuffers::new(n);
     let queue_mode = config.capacity_policy == CapacityPolicy::Queue;
     let strict = config.capacity_policy == CapacityPolicy::Strict;
-    let mut queues: Vec<VecDeque<WireEnvelope>> = if queue_mode {
-        vec![VecDeque::new(); n]
-    } else {
-        Vec::new()
-    };
-    let mut qarena: Vec<WireEnvelope> = Vec::new();
+    let mut queues = QueueBuffers::new(if queue_mode { n } else { 0 });
 
     let mut metrics = RunMetrics {
         capacity: cap,
@@ -168,7 +202,11 @@ where
         let finished = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
         {
-            let arena: &[WireEnvelope] = if queue_mode { &qarena } else { &buffers.arena };
+            let arena: &[WireEnvelope] = if queue_mode {
+                &queues.inbox
+            } else {
+                &buffers.arena
+            };
             let step_one = |slot: &mut Slot<P>| {
                 if !slot.alive {
                     return;
@@ -257,72 +295,175 @@ where
             break;
         }
 
-        // --- Routing phase, pass 1: validate and count per bucket. ---
+        // --- Routing phase: validate + count, prefix-sum, stable
+        // scatter. One worker runs the allocation-free inline path; more
+        // workers fan both passes out over disjoint slot ranges with
+        // per-worker count arrays (bit-identical transcripts either way —
+        // worker `w`'s region of every bucket precedes worker `w+1`'s, so
+        // bucket contents stay in dense source order).
         let round = metrics.rounds;
         let mut round_messages: u64 = 0;
-        buffers.begin_round();
-        for (src_idx, slot) in slots.iter_mut().enumerate() {
-            let attempted = slot.out.len();
-            for env in slot.out.iter_mut() {
-                let deliver = match validate(env, src_idx, config, &knowledge, &alive_now, round) {
-                    Ok(()) => true,
-                    Err(v) => {
-                        metrics.record_violation(strict, v)?;
-                        // Lenient policies still deliver when physically
-                        // possible (destination exists and is alive).
-                        env.dst_idx != NO_INDEX && alive_now[env.dst_idx as usize]
+        if workers == 1 {
+            // --- Pass 1 (inline): validate and count per bucket. ---
+            buffers.begin_round();
+            for (src_idx, slot) in slots.iter_mut().enumerate() {
+                let attempted = slot.out.len();
+                for env in slot.out.iter_mut() {
+                    let deliver =
+                        match validate(env, src_idx, config, &knowledge, &alive_now, round) {
+                            Ok(()) => true,
+                            Err(v) => {
+                                metrics.record_violation(strict, v)?;
+                                // Lenient policies still deliver when
+                                // physically possible (destination exists
+                                // and is alive).
+                                env.dst_idx != NO_INDEX && alive_now[env.dst_idx as usize]
+                            }
+                        };
+                    if deliver {
+                        round_messages += 1;
+                        metrics.words += env.msg.size_words() as u64;
+                        buffers.counts[env.dst_idx as usize] += 1;
+                    } else {
+                        env.dst_idx = NO_INDEX;
                     }
-                };
-                if deliver {
-                    round_messages += 1;
-                    metrics.words += env.msg.size_words() as u64;
-                    buffers.counts[env.dst_idx as usize] += 1;
-                } else {
-                    env.dst_idx = NO_INDEX;
                 }
-            }
-            if attempted > cap {
-                metrics.record_violation(
-                    strict,
-                    Violation {
-                        round,
-                        node: slot.id,
-                        kind: ViolationKind::SendCapacity {
-                            sent: attempted,
-                            cap,
+                if attempted > cap {
+                    metrics.record_violation(
+                        strict,
+                        Violation {
+                            round,
+                            node: slot.id,
+                            kind: ViolationKind::SendCapacity {
+                                sent: attempted,
+                                cap,
+                            },
                         },
-                    },
-                )?;
+                    )?;
+                }
+                metrics.max_sent_per_round = metrics.max_sent_per_round.max(attempted);
             }
-            metrics.max_sent_per_round = metrics.max_sent_per_round.max(attempted);
-        }
 
-        // --- Pass 2: prefix-sum offsets, then stable scatter. ---
-        buffers.seal_counts();
-        for slot in slots.iter_mut() {
-            for env in slot.out.iter() {
-                if env.dst_idx != NO_INDEX {
-                    buffers.push(*env);
+            // --- Pass 2 (inline): prefix-sum offsets, stable scatter. ---
+            buffers.seal_counts();
+            for slot in slots.iter_mut() {
+                for env in slot.out.iter() {
+                    if env.dst_idx != NO_INDEX {
+                        buffers.push(*env);
+                    }
+                }
+                slot.out.clear();
+            }
+        } else {
+            // --- Pass 1 (parallel): per-worker validate and count. ---
+            buffers.begin_parallel_round(workers);
+            {
+                let slots_ptr = RawSlots(slots.as_mut_ptr());
+                let knowledge = &knowledge;
+                let alive_now = &alive_now;
+                buffers.scratch[..workers]
+                    .par_chunks_mut(1)
+                    .enumerate()
+                    .for_each(|(w, scratch_row)| {
+                        let s = &mut scratch_row[0];
+                        s.begin_round(n);
+                        let lo = (w * chunk).min(n);
+                        let hi = ((w + 1) * chunk).min(n);
+                        for src_idx in lo..hi {
+                            // Sound: this worker owns slot range [lo, hi).
+                            let slot = unsafe { slots_ptr.slot(src_idx) };
+                            let attempted = slot.out.len();
+                            for env in slot.out.iter_mut() {
+                                let deliver = match validate(
+                                    env, src_idx, config, knowledge, alive_now, round,
+                                ) {
+                                    Ok(()) => true,
+                                    Err(v) => {
+                                        s.violations.push(v);
+                                        env.dst_idx != NO_INDEX && alive_now[env.dst_idx as usize]
+                                    }
+                                };
+                                if deliver {
+                                    s.round_messages += 1;
+                                    s.words += env.msg.size_words() as u64;
+                                    s.counts[env.dst_idx as usize] += 1;
+                                } else {
+                                    env.dst_idx = NO_INDEX;
+                                }
+                            }
+                            if attempted > cap {
+                                s.violations.push(Violation {
+                                    round,
+                                    node: slot.id,
+                                    kind: ViolationKind::SendCapacity {
+                                        sent: attempted,
+                                        cap,
+                                    },
+                                });
+                            }
+                            s.max_sent = s.max_sent.max(attempted);
+                        }
+                    });
+            }
+            // Replay violations in canonical (dense source) order: worker
+            // ranges are contiguous and each worker records in slot order,
+            // so concatenation is exactly the sequential order. Strict
+            // policy aborts on the same first violation as the inline path.
+            for w in 0..workers {
+                for v in buffers.scratch[w].violations.drain(..) {
+                    metrics.record_violation(strict, v)?;
                 }
             }
-            slot.out.clear();
+            for s in &buffers.scratch[..workers] {
+                round_messages += s.round_messages;
+                metrics.words += s.words;
+                metrics.max_sent_per_round = metrics.max_sent_per_round.max(s.max_sent);
+            }
+
+            // --- Pass 2 (parallel): fold counts, then scatter through
+            // per-worker cursors into disjoint arena regions. ---
+            buffers.seal_parallel(workers);
+            {
+                let slots_ptr = RawSlots(slots.as_mut_ptr());
+                let arena_ptr = RawArena(buffers.arena.as_mut_ptr());
+                buffers.scratch[..workers]
+                    .par_chunks_mut(1)
+                    .enumerate()
+                    .for_each(|(w, scratch_row)| {
+                        let s = &mut scratch_row[0];
+                        let lo = (w * chunk).min(n);
+                        let hi = ((w + 1) * chunk).min(n);
+                        for src_idx in lo..hi {
+                            let slot = unsafe { slots_ptr.slot(src_idx) };
+                            for env in slot.out.iter() {
+                                if env.dst_idx != NO_INDEX {
+                                    let d = env.dst_idx as usize;
+                                    let at = s.cursors[d] as usize;
+                                    // Sound: (worker, destination) regions
+                                    // are disjoint by cursor construction.
+                                    unsafe { arena_ptr.write(at, *env) };
+                                    s.cursors[d] += 1;
+                                }
+                            }
+                            slot.out.clear();
+                        }
+                    });
+            }
         }
 
         // --- Receive side: capacity policy per bucket. ---
         if queue_mode {
-            qarena.clear();
-            for i in 0..n {
-                let q = &mut queues[i];
-                q.extend(buffers.bucket(i).iter().copied());
-                let take = q.len().min(cap);
-                let start = qarena.len() as u32;
-                for _ in 0..take {
-                    qarena.push(q.pop_front().expect("queue drained early"));
-                }
-                metrics.max_queue_len = metrics.max_queue_len.max(q.len());
-                slots[i].inbox_start = start;
-                slots[i].inbox_len = take as u32;
+            // Flat-arena FIFO backlog: carried spans merge with the round's
+            // buckets, `cap` envelopes deliver, the rest re-queue — no
+            // per-node deques, no steady-state allocation.
+            queues.begin_round();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let (start, take, queued) = queues.deliver(i, buffers.bucket(i), cap);
+                metrics.max_queue_len = metrics.max_queue_len.max(queued);
+                slot.inbox_start = start;
+                slot.inbox_len = take;
             }
+            queues.end_round();
         } else {
             for i in 0..n {
                 let received = buffers.counts[i] as usize;
@@ -343,7 +484,11 @@ where
         }
 
         // --- Knowledge propagation + delivery metrics. ---
-        let delivery_arena: &[WireEnvelope] = if queue_mode { &qarena } else { &buffers.arena };
+        let delivery_arena: &[WireEnvelope] = if queue_mode {
+            &queues.inbox
+        } else {
+            &buffers.arena
+        };
         for (i, slot) in slots.iter().enumerate() {
             let delivered = slot.inbox_len as usize;
             metrics.max_received_per_round = metrics.max_received_per_round.max(delivered);
@@ -376,9 +521,7 @@ where
     }
 
     // Undrained queues mean some protocol stopped listening too early.
-    for q in &queues {
-        metrics.undelivered += q.len() as u64;
-    }
+    metrics.undelivered += queues.backlog_total();
     if knowledge.enabled() {
         metrics.max_knowledge = (0..n)
             .map(|i| knowledge.knowledge_size(i))

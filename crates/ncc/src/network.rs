@@ -94,6 +94,25 @@ impl Network {
         &self.ids
     }
 
+    /// Zips per-node inputs onto the IDs in knowledge-path order:
+    /// `values[i]` is assigned to the `i`-th node of `G_k`. The standard
+    /// driver bookkeeping for wiring a workload onto a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n`.
+    pub fn assign_in_path_order<T: Copy>(
+        &self,
+        values: &[T],
+    ) -> std::collections::HashMap<NodeId, T> {
+        assert_eq!(self.n, values.len(), "one input value per node is required");
+        self.ids
+            .iter()
+            .copied()
+            .zip(values.iter().copied())
+            .collect()
+    }
+
     pub(crate) fn config(&self) -> &Config {
         &self.config
     }

@@ -13,6 +13,7 @@
 //! routing hot path performs no heap allocation at all.
 
 use crate::config::IdAssignment;
+use crate::error::Violation;
 use crate::message::NodeId;
 use crate::wire::WireEnvelope;
 
@@ -61,6 +62,44 @@ impl Resolver {
     }
 }
 
+/// One routing worker's private accumulators for the parallel
+/// validate-and-count and scatter passes. Rows are reused across rounds;
+/// at steady state a clean round touches no allocator through them
+/// (`violations` only grows when violations actually occur).
+#[derive(Debug, Default)]
+pub(crate) struct WorkerScratch {
+    /// Messages per destination index from this worker's slot range.
+    pub(crate) counts: Vec<u32>,
+    /// Scatter cursor per destination index (absolute arena offsets).
+    pub(crate) cursors: Vec<u32>,
+    /// Violations from this worker's slot range, in canonical (dense
+    /// source index) order — replayed sequentially after the pass so
+    /// violation accounting stays bit-identical to a sequential walk.
+    pub(crate) violations: Vec<Violation>,
+    /// Deliverable messages seen by this worker.
+    pub(crate) round_messages: u64,
+    /// Message volume (in words) seen by this worker.
+    pub(crate) words: u64,
+    /// Largest per-node send burst in this worker's range.
+    pub(crate) max_sent: usize,
+}
+
+impl WorkerScratch {
+    /// Resets the per-round accumulators (counts are sized on first use).
+    pub(crate) fn begin_round(&mut self, n: usize) {
+        if self.counts.len() != n {
+            self.counts = vec![0; n];
+            self.cursors = vec![0; n];
+        } else {
+            self.counts.fill(0);
+        }
+        self.violations.clear();
+        self.round_messages = 0;
+        self.words = 0;
+        self.max_sent = 0;
+    }
+}
+
 /// The reusable buffers of one batched network's routing pass.
 #[derive(Debug)]
 pub(crate) struct RouteBuffers {
@@ -72,6 +111,9 @@ pub(crate) struct RouteBuffers {
     cursor: Vec<u32>,
     /// Flat envelope arena; bucket `i` is `arena[starts[i]..][..counts[i]]`.
     pub(crate) arena: Vec<WireEnvelope>,
+    /// Per-worker scratch rows for the parallel routing passes (empty
+    /// until the first multi-worker round).
+    pub(crate) scratch: Vec<WorkerScratch>,
 }
 
 impl RouteBuffers {
@@ -81,7 +123,54 @@ impl RouteBuffers {
             starts: vec![0; n],
             cursor: vec![0; n],
             arena: Vec::new(),
+            scratch: Vec::new(),
         }
+    }
+
+    /// Ensures `workers` scratch rows exist; each worker resets its own
+    /// row inside the parallel pass (`WorkerScratch::begin_round`), so the
+    /// coordinating thread does no per-round `O(workers x n)` zero-fill.
+    pub(crate) fn begin_parallel_round(&mut self, workers: usize) {
+        if self.scratch.len() < workers {
+            self.scratch.resize_with(workers, WorkerScratch::default);
+        }
+    }
+
+    /// Folds the per-worker counts into the global per-destination counts
+    /// and computes every worker's absolute scatter cursors: worker `w`'s
+    /// region of bucket `d` starts after the regions of workers `< w`,
+    /// which keeps bucket contents in dense source order — the exact
+    /// order a sequential walk produces, for any worker count.
+    ///
+    /// Returns the round's total message count (and sizes the arena).
+    pub(crate) fn seal_parallel(&mut self, workers: usize) -> usize {
+        self.counts.fill(0);
+        for w in 0..workers {
+            let row = &self.scratch[w].counts;
+            for (total, &c) in self.counts.iter_mut().zip(row.iter()) {
+                *total += c;
+            }
+        }
+        let total = self.seal_counts();
+        // cursors[0] = starts; cursors[w] = cursors[w-1] + counts[w-1],
+        // elementwise (row-sequential, SIMD-friendly).
+        for w in 0..workers {
+            if w == 0 {
+                self.scratch[0].cursors.copy_from_slice(&self.starts);
+            } else {
+                let (prev, cur) = self.scratch.split_at_mut(w);
+                let prev = &prev[w - 1];
+                for ((cur, &prev_cursor), &prev_count) in cur[0]
+                    .cursors
+                    .iter_mut()
+                    .zip(prev.cursors.iter())
+                    .zip(prev.counts.iter())
+                {
+                    *cur = prev_cursor + prev_count;
+                }
+            }
+        }
+        total
     }
 
     /// Resets the per-round counters.
@@ -124,6 +213,79 @@ impl RouteBuffers {
     /// The `(start, len)` span of destination `i`'s bucket.
     pub(crate) fn span(&self, i: usize) -> (u32, u32) {
         (self.starts[i], self.counts[i])
+    }
+}
+
+/// Flat-arena backlog for the [`Queue`](crate::CapacityPolicy::Queue)
+/// capacity policy: per-node FIFO delivery queues as spans of one
+/// double-buffered envelope arena, instead of `n` separate `VecDeque`s.
+/// Every buffer is reused across rounds, so queued delivery is
+/// allocation-free once the arenas reach the run's high-water backlog.
+#[derive(Debug, Default)]
+pub(crate) struct QueueBuffers {
+    /// Per-node `(start, len)` span of its backlog in `cur`.
+    spans: Vec<(u32, u32)>,
+    /// Backlog carried over from the previous round.
+    cur: Vec<WireEnvelope>,
+    /// Backlog being assembled for the next round.
+    next: Vec<WireEnvelope>,
+    /// The round's delivery arena (what inbox spans point into).
+    pub(crate) inbox: Vec<WireEnvelope>,
+}
+
+impl QueueBuffers {
+    pub(crate) fn new(n: usize) -> Self {
+        QueueBuffers {
+            spans: vec![(0, 0); n],
+            cur: Vec::new(),
+            next: Vec::new(),
+            inbox: Vec::new(),
+        }
+    }
+
+    /// Opens a round's delivery sweep (the previous round's inbox arena
+    /// has been consumed by the step phase by now).
+    pub(crate) fn begin_round(&mut self) {
+        self.inbox.clear();
+        self.next.clear();
+    }
+
+    /// Merges node `i`'s carried backlog with its freshly routed bucket,
+    /// delivers up to `cap` envelopes into the inbox arena (FIFO: backlog
+    /// first, then the new bucket in routed order), and re-queues the
+    /// rest. Returns `(inbox_start, delivered, queued_after)`.
+    ///
+    /// Call [`QueueBuffers::begin_round`] first, then this for
+    /// `i = 0..n` in order, then [`QueueBuffers::end_round`].
+    pub(crate) fn deliver(
+        &mut self,
+        i: usize,
+        fresh: &[WireEnvelope],
+        cap: usize,
+    ) -> (u32, u32, usize) {
+        let (bs, bl) = self.spans[i];
+        let backlog_range = bs as usize..(bs + bl) as usize;
+        let total = bl as usize + fresh.len();
+        let take = total.min(cap);
+        let start = self.inbox.len() as u32;
+        let next_start = self.next.len() as u32;
+        {
+            let mut pending = self.cur[backlog_range].iter().chain(fresh.iter());
+            self.inbox.extend(pending.by_ref().take(take).copied());
+            self.next.extend(pending.copied());
+        }
+        self.spans[i] = (next_start, (total - take) as u32);
+        (start, take as u32, total - take)
+    }
+
+    /// Swaps the backlog buffers after a full delivery sweep.
+    pub(crate) fn end_round(&mut self) {
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+
+    /// Envelopes still queued (undelivered) across all nodes.
+    pub(crate) fn backlog_total(&self) -> u64 {
+        self.spans.iter().map(|&(_, len)| len as u64).sum()
     }
 }
 

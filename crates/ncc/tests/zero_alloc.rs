@@ -10,21 +10,44 @@
 //! outside the routing hot path) and disables KT0 tracking (the knowledge
 //! sets are a verification instrument backed by hash sets, not part of
 //! the production routing path).
+//!
+//! Counting is gated on a thread-local flag so only the *measuring*
+//! thread's allocations register: the libtest harness thread performs a
+//! couple of lazy one-off allocations (parker, thread handle) at a
+//! scheduling-dependent moment, which would otherwise race into the
+//! measured window and flake the exact-equality assertion.
 
 mod common;
 
 use common::Ping;
 use dgr_ncc::{Config, Network};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// True while this thread is inside a measured window (const-init, so
+    /// reading it never allocates — safe inside the allocator).
+    static MEASURING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_if_measuring() {
+    // Thread teardown can query TLS after destruction; treat that as
+    // "not measuring" rather than panicking inside the allocator.
+    let _ = MEASURING.try_with(|m| {
+        if m.get() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_if_measuring();
         unsafe { System.alloc(layout) }
     }
 
@@ -33,7 +56,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_if_measuring();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -41,13 +64,17 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-/// Allocation count of one n-node Ping run over `rounds` rounds.
+/// Allocation count of one n-node Ping run over `rounds` rounds. The
+/// whole run executes inline on this thread (`worker_threads = 1`), so
+/// thread-scoped counting sees every engine allocation.
 fn allocations_for(rounds: u64) -> u64 {
     let mut config = Config::ncc0(99).with_worker_threads(1);
     config.track_knowledge = false;
     let net = Network::new(512, config);
     let before = ALLOCATIONS.load(Ordering::Relaxed);
+    MEASURING.with(|m| m.set(true));
     let result = net.run_protocol(|s| Ping::new(s, rounds)).unwrap();
+    MEASURING.with(|m| m.set(false));
     assert_eq!(result.metrics.rounds, rounds);
     assert!(result.metrics.is_clean());
     ALLOCATIONS.load(Ordering::Relaxed) - before

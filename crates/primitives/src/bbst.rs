@@ -19,9 +19,13 @@
 //! balanced binary *search* tree over path positions, built in `O(log n)`
 //! rounds.
 
+#[cfg(feature = "threaded")]
 use crate::contacts::ContactTable;
+#[cfg(feature = "threaded")]
 use crate::vpath::VPath;
-use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+use dgr_ncc::NodeId;
+#[cfg(feature = "threaded")]
+use dgr_ncc::{tags, Msg, NodeHandle};
 
 /// Which side of its parent a node hangs on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +56,7 @@ pub struct Bbst {
 }
 
 impl Bbst {
+    #[cfg(feature = "threaded")]
     fn non_member() -> Self {
         Bbst {
             is_root: false,
@@ -93,6 +98,7 @@ pub fn sweep_rounds(len: usize) -> u64 {
 /// Requires the contact table for the same path. Non-members idle.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn build(h: &mut NodeHandle, vp: &VPath, contacts: &ContactTable) -> Bbst {
     let levels = vp.levels();
     if !vp.member {
@@ -193,7 +199,7 @@ pub fn build(h: &mut NodeHandle, vp: &VPath, contacts: &ContactTable) -> Bbst {
     tree
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
     use crate::{contacts, vpath};

@@ -13,11 +13,16 @@
 //! the sender — the doubling construction is exactly how knowledge spreads
 //! in the model.
 
+#[cfg(feature = "threaded")]
 use crate::vpath::VPath;
-use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+use dgr_ncc::NodeId;
+#[cfg(feature = "threaded")]
+use dgr_ncc::{tags, Msg, NodeHandle};
 
 /// Direction words used in contact-construction messages.
+#[cfg(feature = "threaded")]
 const SET_FWD: u64 = 0;
+#[cfg(feature = "threaded")]
 const SET_BWD: u64 = 1;
 
 /// A node's power-of-two contacts on a virtual path.
@@ -63,6 +68,7 @@ pub fn rounds_for(len: usize) -> u64 {
 /// doubling. Non-members idle in lockstep.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)` = `ceil(log2 len) - 1`.
+#[cfg(feature = "threaded")]
 pub fn build(h: &mut NodeHandle, vp: &VPath) -> ContactTable {
     let levels = vp.levels();
     if !vp.member {
@@ -103,7 +109,7 @@ pub fn build(h: &mut NodeHandle, vp: &VPath) -> ContactTable {
     ContactTable { fwd, bwd }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
     use crate::vpath;

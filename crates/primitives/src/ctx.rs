@@ -1,18 +1,20 @@
 //! [`PathCtx`]: the bundle of structures every algorithm establishes on a
 //! path before doing real work — contact table, BBST and positions.
 //!
-//! `PathCtx::establish` is direct-style (it blocks through
-//! `NodeHandle::step`, so it needs the threaded oracle engine). Its first
-//! two stages — undirection and the contact table — also exist as
-//! step-function protocols for the batched executor
-//! ([`crate::proto::PathToClique`], driven through a
-//! [`dgr_ncc::RoundCtx`]); the BBST and traversal stages are still
-//! direct-style-only and are the next porting targets (see ROADMAP.md).
+//! Two ways to establish it: `PathCtx::establish` is direct-style (it
+//! blocks through `NodeHandle::step`, so it needs the threaded oracle
+//! engine, feature `threaded`); [`crate::proto::EstablishCtx`] is the
+//! same chain — undirect, contacts, BBST, traversal — as a step-function
+//! sub-protocol for the batched executor, round-for-round identical and
+//! composable with the other [`crate::proto::Step`] ports.
 
 use crate::bbst::{self, Bbst};
 use crate::contacts::{self, ContactTable};
 use crate::traversal::{self, Traversal};
-use crate::vpath::{self, VPath};
+#[cfg(feature = "threaded")]
+use crate::vpath;
+use crate::vpath::VPath;
+#[cfg(feature = "threaded")]
 use dgr_ncc::NodeHandle;
 
 /// Everything a node knows about one virtual path after the standard
@@ -42,6 +44,7 @@ pub fn rounds_for(len: usize) -> u64 {
     1 + rounds_on(len)
 }
 
+#[cfg(feature = "threaded")]
 impl PathCtx {
     /// Establishes the full context on the physical knowledge path `G_k`:
     /// undirection, contact table, BBST, positions.
@@ -70,7 +73,7 @@ impl PathCtx {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
     use dgr_ncc::{Config, Network};

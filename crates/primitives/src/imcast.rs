@@ -19,9 +19,13 @@
 //! at most one send and one receive per node per round as long as different
 //! sources' intervals are disjoint.
 
+#[cfg(feature = "threaded")]
 use crate::contacts::ContactTable;
+#[cfg(feature = "threaded")]
 use crate::vpath::VPath;
-use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+use dgr_ncc::NodeId;
+#[cfg(feature = "threaded")]
+use dgr_ncc::{tags, Msg, NodeHandle};
 
 /// Which side of the source the covered interval lies on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,6 +57,7 @@ pub fn rounds_for(len: usize) -> u64 {
 /// contain any source. Returns the payload this node received, if any.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn interval_multicast(
     h: &mut NodeHandle,
     vp: &VPath,
@@ -114,7 +119,7 @@ pub fn interval_multicast(
     received
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
     use crate::ctx::PathCtx;

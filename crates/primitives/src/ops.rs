@@ -4,9 +4,15 @@
 //! All operations run on a [`VPath`] + [`Bbst`] pair in a fixed,
 //! commonly-computable number of rounds.
 
-use crate::bbst::{sweep_rounds, Bbst};
+use crate::bbst::sweep_rounds;
+#[cfg(feature = "threaded")]
+use crate::bbst::Bbst;
+#[cfg(feature = "threaded")]
 use crate::vpath::VPath;
-use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+#[cfg(feature = "threaded")]
+use dgr_ncc::NodeId;
+#[cfg(feature = "threaded")]
+use dgr_ncc::{tags, Msg, NodeHandle};
 
 /// Number of rounds for one root-to-leaves broadcast on a path of `len`.
 pub fn broadcast_rounds(len: usize) -> u64 {
@@ -30,6 +36,7 @@ pub fn rounds_for(len: usize) -> u64 {
 /// member; non-members idle and return 0.
 ///
 /// Rounds: exactly [`broadcast_rounds`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn broadcast_down(h: &mut NodeHandle, vp: &VPath, tree: &Bbst, value: Option<u64>) -> u64 {
     let rounds = broadcast_rounds(vp.len);
     if !vp.member {
@@ -64,6 +71,7 @@ pub fn broadcast_down(h: &mut NodeHandle, vp: &VPath, tree: &Bbst, value: Option
 /// max, min). Returns `Some(total)` at the root, `None` elsewhere.
 ///
 /// Rounds: exactly [`aggregate_rounds`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn aggregate_up(
     h: &mut NodeHandle,
     vp: &VPath,
@@ -105,6 +113,7 @@ pub fn aggregate_up(
 /// `op` over all members' values — the workhorse of Theorem 4.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn aggregate_broadcast(
     h: &mut NodeHandle,
     vp: &VPath,
@@ -122,6 +131,7 @@ pub fn aggregate_broadcast(
 /// anyone needing to know where `ℓ` sits in the tree.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn broadcast_word(h: &mut NodeHandle, vp: &VPath, tree: &Bbst, value: Option<u64>) -> u64 {
     // Encode Option<u64> as (present, value): combiner keeps the smaller
     // present value. u64::MAX is the identity.
@@ -136,6 +146,7 @@ pub fn broadcast_word(h: &mut NodeHandle, vp: &VPath, tree: &Bbst, value: Option
 /// legitimately learn the broadcast ID.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn broadcast_addr(
     h: &mut NodeHandle,
     vp: &VPath,
@@ -204,6 +215,7 @@ pub fn broadcast_addr(
 /// [`crate::traversal::positions`].
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn median(h: &mut NodeHandle, vp: &VPath, tree: &Bbst, position: usize) -> NodeId {
     let target = (vp.len - 1) / 2;
     let mine = (vp.member && position == target).then(|| h.id());
@@ -228,6 +240,7 @@ pub fn collect_rounds(len: usize, k_bound: usize, cap: usize) -> u64 {
 /// (callers typically obtain it by an [`aggregate_broadcast`] count first).
 ///
 /// Rounds: exactly [`collect_rounds`]`(vp.len, k_bound, h.capacity())`.
+#[cfg(feature = "threaded")]
 pub fn collect(
     h: &mut NodeHandle,
     vp: &VPath,
@@ -274,7 +287,7 @@ pub fn collect(
     collected
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
     use crate::ctx::PathCtx;

@@ -7,8 +7,11 @@
 //! node sends its running sum to the node `2^k` ahead, which adds it.
 //! `⌈log n⌉` steps, one message per node per round.
 
+#[cfg(feature = "threaded")]
 use crate::contacts::ContactTable;
+#[cfg(feature = "threaded")]
 use crate::vpath::VPath;
+#[cfg(feature = "threaded")]
 use dgr_ncc::{tags, Msg, NodeHandle};
 
 /// Number of rounds [`prefix_sum`] takes on a path of `len` nodes.
@@ -21,6 +24,7 @@ pub fn rounds_for(len: usize) -> u64 {
 /// `i ≤ r`. Non-members idle and return 0.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn prefix_sum(h: &mut NodeHandle, vp: &VPath, contacts: &ContactTable, value: u64) -> u64 {
     let levels = vp.levels();
     if !vp.member {
@@ -44,6 +48,7 @@ pub fn prefix_sum(h: &mut NodeHandle, vp: &VPath, contacts: &ContactTable, value
 
 /// Exclusive prefix sum: sum of `value` over positions strictly before this
 /// node. Convenience wrapper over [`prefix_sum`].
+#[cfg(feature = "threaded")]
 pub fn prefix_sum_exclusive(
     h: &mut NodeHandle,
     vp: &VPath,
@@ -53,7 +58,7 @@ pub fn prefix_sum_exclusive(
     prefix_sum(h, vp, contacts, value) - if vp.member { value } else { 0 }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
     use crate::ctx::PathCtx;

@@ -1,0 +1,253 @@
+//! Batched-engine [`PathCtx`] establishment: the undirect → contacts →
+//! BBST → traversal chain as a single [`Step`], so composite protocols
+//! (the realization drivers) get the full path context without ever
+//! touching the threaded engine.
+//!
+//! Round-for-round identical to the direct-style
+//! [`PathCtx::establish`](crate::ctx::PathCtx) /
+//! [`establish_on`](crate::ctx::PathCtx): exactly
+//! [`ctx::rounds_for`](crate::ctx::rounds_for)`(n)` (or
+//! [`rounds_on`](crate::ctx::rounds_on) when starting from an existing
+//! path view).
+
+use crate::contacts::ContactTable;
+use crate::ctx::PathCtx;
+use crate::proto::bbst::BbstStep;
+use crate::proto::contacts::ContactsStep;
+use crate::proto::step::{Poll, Step};
+use crate::proto::traversal::TraversalStep;
+use crate::vpath::VPath;
+use dgr_ncc::{tags, RoundCtx, WireMsg};
+
+/// Step-function port of [`vpath::undirect`](crate::vpath::undirect): the
+/// 1-round undirection of `G_k`, chainable ahead of the other primitives.
+#[derive(Debug)]
+pub struct UndirectStep {
+    sent: bool,
+}
+
+impl UndirectStep {
+    /// Builds the step.
+    pub fn new() -> Self {
+        UndirectStep { sent: false }
+    }
+}
+
+impl Default for UndirectStep {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Step for UndirectStep {
+    type Out = VPath;
+
+    fn poll(&mut self, ctx: &mut RoundCtx<'_>) -> Poll<VPath> {
+        if !self.sent {
+            if let Some(succ) = ctx.initial_successor() {
+                ctx.send(succ, WireMsg::signal(tags::UNDIRECT));
+            }
+            self.sent = true;
+            return Poll::Pending;
+        }
+        let pred = ctx
+            .inbox()
+            .iter()
+            .find(|env| env.msg.tag == tags::UNDIRECT)
+            .map(|env| env.src);
+        Poll::Ready(VPath {
+            member: true,
+            pred,
+            succ: ctx.initial_successor(),
+            len: ctx.n(),
+        })
+    }
+}
+
+enum Stage {
+    Undirect(UndirectStep),
+    Contacts(ContactsStep),
+    Bbst(BbstStep),
+    Traversal(TraversalStep),
+}
+
+/// The full `O(log n)`-round context establishment as one chainable
+/// [`Step`] producing a [`PathCtx`].
+pub struct EstablishCtx {
+    stage: Stage,
+    vp: VPath,
+    contacts: ContactTable,
+    tree: Option<crate::bbst::Bbst>,
+}
+
+impl EstablishCtx {
+    /// Establishes the context on the physical knowledge path `G_k`
+    /// (undirection first) — the batched image of [`PathCtx::establish`].
+    pub fn new() -> Self {
+        EstablishCtx {
+            stage: Stage::Undirect(UndirectStep::new()),
+            // Placeholder until undirection completes.
+            vp: VPath::non_member(0),
+            contacts: ContactTable::default(),
+            tree: None,
+        }
+    }
+
+    /// Establishes the context on an already-linked virtual path (e.g. a
+    /// sorted path) — the batched image of [`PathCtx::establish_on`].
+    /// Non-members idle in lockstep.
+    pub fn on(vp: VPath) -> Self {
+        EstablishCtx {
+            stage: Stage::Contacts(ContactsStep::new(vp.clone())),
+            vp,
+            contacts: ContactTable::default(),
+            tree: None,
+        }
+    }
+}
+
+impl Default for EstablishCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Step for EstablishCtx {
+    type Out = PathCtx;
+
+    fn poll(&mut self, ctx: &mut RoundCtx<'_>) -> Poll<PathCtx> {
+        loop {
+            match &mut self.stage {
+                Stage::Undirect(s) => match s.poll(ctx) {
+                    Poll::Pending => return Poll::Pending,
+                    Poll::Ready(vp) => {
+                        self.vp = vp.clone();
+                        self.stage = Stage::Contacts(ContactsStep::new(vp));
+                    }
+                },
+                Stage::Contacts(s) => match s.poll(ctx) {
+                    Poll::Pending => return Poll::Pending,
+                    Poll::Ready(table) => {
+                        self.contacts = table.clone();
+                        self.stage = Stage::Bbst(BbstStep::new(self.vp.clone(), table));
+                    }
+                },
+                Stage::Bbst(s) => match s.poll(ctx) {
+                    Poll::Pending => return Poll::Pending,
+                    Poll::Ready(tree) => {
+                        self.tree = Some(tree.clone());
+                        self.stage = Stage::Traversal(TraversalStep::new(self.vp.clone(), tree));
+                    }
+                },
+                Stage::Traversal(s) => match s.poll(ctx) {
+                    Poll::Pending => return Poll::Pending,
+                    Poll::Ready(traversal) => {
+                        return Poll::Ready(PathCtx {
+                            position: traversal.position,
+                            vp: std::mem::replace(&mut self.vp, VPath::non_member(0)),
+                            contacts: std::mem::take(&mut self.contacts),
+                            tree: self.tree.take().expect("tree stage skipped"),
+                            traversal,
+                        });
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// A whole-run protocol that establishes the [`PathCtx`] and then runs one
+/// more [`Step`] built from it: `make(&ctx, round_ctx)` is called in the
+/// very round the establishment completes, exactly like a direct-style
+/// closure calling the next primitive — so the total round count is the
+/// sum of the two budgets. The work-horse for running a single primitive
+/// standalone on the batched engine (tests, benches).
+pub struct WithCtx<S: Step, F> {
+    establish: EstablishCtx,
+    make: Option<F>,
+    stage: Option<S>,
+}
+
+impl<S: Step, F> WithCtx<S, F> {
+    /// Builds the protocol; `make` constructs the second stage from the
+    /// established context.
+    pub fn new(make: F) -> Self {
+        WithCtx {
+            establish: EstablishCtx::new(),
+            make: Some(make),
+            stage: None,
+        }
+    }
+}
+
+impl<S, F> dgr_ncc::NodeProtocol for WithCtx<S, F>
+where
+    S: Step,
+    S::Out: Send,
+    F: FnOnce(&PathCtx, &mut RoundCtx<'_>) -> S + Send,
+{
+    type Output = S::Out;
+
+    fn step(&mut self, rctx: &mut RoundCtx<'_>) -> dgr_ncc::Status<S::Out> {
+        loop {
+            if let Some(stage) = &mut self.stage {
+                return match stage.poll(rctx) {
+                    Poll::Pending => dgr_ncc::Status::Continue,
+                    Poll::Ready(out) => dgr_ncc::Status::Done(out),
+                };
+            }
+            match self.establish.poll(rctx) {
+                Poll::Pending => return dgr_ncc::Status::Continue,
+                Poll::Ready(ctx) => {
+                    let make = self.make.take().expect("stage built twice");
+                    // The context is dropped here: the stage keeps what it
+                    // needs, so the per-node tables do not outlive setup.
+                    self.stage = Some(make(&ctx, rctx));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::step::StepProtocol;
+    use dgr_ncc::{Config, Network};
+
+    #[test]
+    fn batched_establish_matches_the_round_budget() {
+        let n = 48;
+        let net = Network::new(n, Config::ncc0(21));
+        let result = net
+            .run_protocol(|_| StepProtocol::new(EstablishCtx::new()))
+            .unwrap();
+        assert!(result.metrics.is_clean());
+        assert_eq!(result.metrics.rounds, crate::ctx::rounds_for(n));
+        for (i, (_, ctx)) in result.outputs.iter().enumerate() {
+            assert_eq!(ctx.position, i);
+            assert!(ctx.traversal.subtree_size > 0);
+        }
+    }
+
+    #[cfg(feature = "threaded")]
+    #[test]
+    fn batched_establish_equals_direct_style() {
+        let n = 53;
+        let net = Network::new(n, Config::ncc0(8));
+        let batched = net
+            .run_protocol(|_| StepProtocol::new(EstablishCtx::new()))
+            .unwrap();
+        let direct = net.run(PathCtx::establish).unwrap();
+        assert_eq!(batched.metrics.rounds, direct.metrics.rounds);
+        assert_eq!(batched.metrics.messages, direct.metrics.messages);
+        assert_eq!(batched.metrics.words, direct.metrics.words);
+        for ((ida, a), (idb, b)) in batched.outputs.iter().zip(direct.outputs.iter()) {
+            assert_eq!(ida, idb);
+            assert_eq!(a.vp, b.vp);
+            assert_eq!(a.contacts, b.contacts);
+            assert_eq!(a.tree, b.tree);
+            assert_eq!(a.traversal, b.traversal);
+        }
+    }
+}

@@ -1,28 +1,62 @@
 //! Step-function ports of the primitives: [`NodeProtocol`] state machines
-//! for the batched executor.
+//! and composable [`Step`] sub-protocols for the batched executor.
 //!
 //! The direct-style primitives in the sibling modules block inside
 //! `NodeHandle::step` and therefore need the threaded oracle engine. The
-//! protocols here are the same algorithms unrolled into explicit state
-//! machines — one [`NodeProtocol::step`] call per round — so they run on
-//! the batched executor at scales the threaded engine cannot touch
-//! (millions of nodes), and on the threaded oracle for differential
-//! testing. Each protocol's step function is allocation-free after
-//! construction: all per-node state is pre-sized, which is what keeps the
-//! executor's round loop off the allocator end to end.
+//! ports here are the same algorithms unrolled into explicit state
+//! machines — one poll per round — so they run on the batched executor at
+//! scales the threaded engine cannot touch (hundreds of thousands to
+//! millions of nodes), and on the threaded oracle for differential
+//! testing.
 //!
-//! Ported so far:
+//! Two layers:
 //!
-//! | Protocol | Direct-style twin | Rounds |
+//! * [`step::Step`] — a primitive as a pollable sub-protocol that can be
+//!   *chained* with others inside one run (the [`step`] module documents
+//!   the polling discipline). This is what the realization drivers in
+//!   `dgr-core`, `dgr-trees` and `dgr-connectivity` compose.
+//! * [`NodeProtocol`] — a whole-run protocol. Single primitives run
+//!   standalone through [`step::StepProtocol`]; bespoke whole-run
+//!   protocols ([`Undirect`], [`PathToClique`]) remain for the warm-up
+//!   benchmarks.
+//!
+//! Every port is round-for-round and message-for-message identical to its
+//! direct-style twin (same budgets, same tags, same payloads, same RNG
+//! draws), which `crates/primitives/tests/proto_differential.rs` asserts.
+//!
+//! | Step | Direct-style twin | Rounds |
 //! |---|---|---|
-//! | [`undirect::Undirect`] | [`vpath::undirect`](crate::vpath::undirect) | 1 |
-//! | [`clique::PathToClique`] | [`vpath::undirect`](crate::vpath::undirect) + [`contacts::build`](crate::contacts::build) | `ceil(log2 n)` |
+//! | [`ctx::UndirectStep`] | [`vpath::undirect`](crate::vpath::undirect) | 1 |
+//! | [`contacts::ContactsStep`] | [`contacts::build`](crate::contacts::build) | `ceil(log2 n) - 1` |
+//! | [`bbst::BbstStep`] | [`bbst::build`](crate::bbst::build) | `2 ceil(log2 n)` |
+//! | [`traversal::TraversalStep`] | [`traversal::positions`](crate::traversal::positions) | `O(log n)` |
+//! | [`ops::AggBcastStep`] | [`ops::aggregate_broadcast`](crate::ops::aggregate_broadcast) | `O(log n)` |
+//! | [`ops::BroadcastAddrStep`] | [`ops::broadcast_addr`](crate::ops::broadcast_addr) | `O(log n)` |
+//! | [`ops::CollectStep`] | [`ops::collect`](crate::ops::collect) | `O(k + log n)` |
+//! | [`sort::SortStep`] | [`sort::sort_at`](crate::sort::sort_at) | `O(log² n)` |
+//! | [`prefix::PrefixStep`] | [`prefix::prefix_sum`](crate::prefix::prefix_sum) | `O(log n)` |
+//! | [`imcast::ImcastStep`] | [`imcast::interval_multicast`](crate::imcast::interval_multicast) | `O(log n)` |
+//! | [`scatter::ScanStep`] | [`scatter::milestone_scan`](crate::scatter::milestone_scan) | `O(log² n)` |
+//! | [`stagger::StaggerStep`] | [`stagger::staggered_send`](crate::stagger::staggered_send) | `spread + drain` |
+//! | [`ctx::EstablishCtx`] | [`PathCtx::establish`](crate::ctx::PathCtx::establish) | `O(log n)` |
 //!
 //! [`NodeProtocol`]: dgr_ncc::NodeProtocol
-//! [`NodeProtocol::step`]: dgr_ncc::NodeProtocol::step
 
+pub mod bbst;
 pub mod clique;
+pub mod contacts;
+pub mod ctx;
+pub mod imcast;
+pub mod ops;
+pub mod prefix;
+pub mod scatter;
+pub mod sort;
+pub mod stagger;
+pub mod step;
+pub mod traversal;
 pub mod undirect;
 
 pub use clique::PathToClique;
+pub use ctx::{EstablishCtx, WithCtx};
+pub use step::{AggOp, Poll, Step, StepProtocol};
 pub use undirect::Undirect;

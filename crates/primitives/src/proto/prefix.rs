@@ -1,0 +1,72 @@
+//! Step-function port of [`prefix`](crate::prefix): inclusive/exclusive
+//! prefix sums by pointer doubling.
+
+use crate::contacts::ContactTable;
+use crate::proto::step::{Poll, Step};
+use crate::vpath::VPath;
+use dgr_ncc::{tags, RoundCtx, WireMsg};
+
+/// The parallel-prefix doubling scan as a [`Step`].
+///
+/// Rounds: exactly [`prefix::rounds_for`](crate::prefix::rounds_for)`
+/// (vp.len)`.
+#[derive(Debug)]
+pub struct PrefixStep {
+    vp: VPath,
+    contacts: ContactTable,
+    t: u64,
+    acc: u64,
+    value: u64,
+    exclusive: bool,
+}
+
+impl PrefixStep {
+    /// Inclusive prefix sum of `value` along the path.
+    pub fn new(vp: VPath, contacts: ContactTable, value: u64) -> Self {
+        PrefixStep {
+            vp,
+            contacts,
+            t: 0,
+            acc: value,
+            value,
+            exclusive: false,
+        }
+    }
+
+    /// Exclusive prefix sum (sum over strictly earlier positions).
+    pub fn exclusive(vp: VPath, contacts: ContactTable, value: u64) -> Self {
+        PrefixStep {
+            exclusive: true,
+            ..Self::new(vp, contacts, value)
+        }
+    }
+}
+
+impl Step for PrefixStep {
+    type Out = u64;
+
+    fn poll(&mut self, ctx: &mut RoundCtx<'_>) -> Poll<u64> {
+        let levels = self.vp.levels() as u64;
+        if !self.vp.member {
+            if self.t == levels {
+                return Poll::Ready(0);
+            }
+            self.t += 1;
+            return Poll::Pending;
+        }
+        if self.t > 0 {
+            for env in ctx.inbox().iter().filter(|e| e.msg.tag == tags::PREFIX) {
+                self.acc += env.word();
+            }
+        }
+        if self.t == levels {
+            let own = if self.exclusive { self.value } else { 0 };
+            return Poll::Ready(self.acc - own);
+        }
+        if let Some(target) = self.contacts.ahead(self.t as usize) {
+            ctx.send(target, WireMsg::word(tags::PREFIX, self.acc));
+        }
+        self.t += 1;
+        Poll::Pending
+    }
+}

@@ -30,10 +30,15 @@
 //!    propagates "latest milestone so far".
 //! 3. Each slot returns the scanned value to its record's origin.
 
+#[cfg(feature = "threaded")]
 use crate::contacts::ContactTable;
+#[cfg(feature = "threaded")]
 use crate::sort::comparator_at;
+#[cfg(feature = "threaded")]
 use crate::vpath::VPath;
-use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+use dgr_ncc::NodeId;
+#[cfg(feature = "threaded")]
+use dgr_ncc::{tags, Msg, NodeHandle};
 
 /// A record emitted into the scan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +60,7 @@ pub enum ScanRecord {
     Absent,
 }
 
+#[cfg(feature = "threaded")]
 impl ScanRecord {
     fn key(&self) -> u64 {
         match self {
@@ -66,6 +72,7 @@ impl ScanRecord {
 
 /// A record in flight: sort key, origin + emission slot (for total order
 /// and final delivery), and the milestone payload if any.
+#[cfg(feature = "threaded")]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Flight {
     key: u64,
@@ -74,6 +81,7 @@ struct Flight {
     milestone: Option<NodeId>,
 }
 
+#[cfg(feature = "threaded")]
 impl Flight {
     fn order(&self) -> (u64, NodeId, u8) {
         (self.key, self.origin, self.slot)
@@ -81,8 +89,11 @@ impl Flight {
 }
 
 /// Tag words distinguishing the sub-protocols in flight.
+#[cfg(feature = "threaded")]
 const W_EXCHANGE: u64 = 0;
+#[cfg(feature = "threaded")]
 const W_SCAN: u64 = 1;
+#[cfg(feature = "threaded")]
 const W_DELIVER: u64 = 2;
 
 /// Number of rounds [`milestone_scan`] takes on a path of `len` nodes.
@@ -95,6 +106,7 @@ pub fn rounds_for(len: usize) -> u64 {
 
 /// Encodes a flight record into a message. Flags word packs the slot and
 /// presence bits; `addrs[0]` = origin, `addrs[1]` = milestone (if any).
+#[cfg(feature = "threaded")]
 fn encode(tag_word: u64, vpos: u64, f: &Flight) -> Msg {
     let flags = u64::from(f.slot) | (u64::from(f.milestone.is_some()) << 1);
     let mut m = Msg::words(tags::SORT_XCHG, vec![tag_word, vpos, f.key, flags]).with_addr(f.origin);
@@ -104,6 +116,7 @@ fn encode(tag_word: u64, vpos: u64, f: &Flight) -> Msg {
     m
 }
 
+#[cfg(feature = "threaded")]
 fn decode(msg: &Msg) -> (u64, u64, Flight) {
     let tag_word = msg.words[0];
     let vpos = msg.words[1];
@@ -124,6 +137,7 @@ fn decode(msg: &Msg) -> (u64, u64, Flight) {
 }
 
 /// The host path position of a virtual slot.
+#[cfg(feature = "threaded")]
 fn host(vpos: usize) -> usize {
     vpos / 2
 }
@@ -140,6 +154,7 @@ fn host(vpos: usize) -> usize {
 /// `(origin, slot)`. Non-members idle.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn milestone_scan(
     h: &mut NodeHandle,
     vp: &VPath,
@@ -303,7 +318,7 @@ pub fn milestone_scan(
     result
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
     use crate::ctx::PathCtx;

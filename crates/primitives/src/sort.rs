@@ -18,9 +18,13 @@
 //! prefix sums) can be established. This "sorted path handle" is exactly
 //! what the realization algorithms consume.
 
+#[cfg(feature = "threaded")]
 use crate::contacts::ContactTable;
 use crate::vpath::VPath;
-use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+#[cfg(feature = "threaded")]
+use dgr_ncc::NodeId;
+#[cfg(feature = "threaded")]
+use dgr_ncc::{tags, Msg, NodeHandle};
 
 /// Sort direction. The paper's algorithms sort by *non-increasing* degree,
 /// i.e. [`Order::Descending`].
@@ -35,7 +39,7 @@ pub enum Order {
 impl Order {
     /// Transforms a key so that ascending order on the transformed key
     /// realizes this order on the original key.
-    fn encode(self, key: u64) -> u64 {
+    pub(crate) fn encode_key(self, key: u64) -> u64 {
         match self {
             Order::Ascending => key,
             Order::Descending => !key,
@@ -54,6 +58,7 @@ pub struct SortedPath {
 }
 
 /// A record traveling through the comparator network.
+#[cfg(any(test, feature = "threaded"))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct Record {
     key: u64,
@@ -63,6 +68,7 @@ struct Record {
 /// The comparator schedule of Batcher's odd-even mergesort: a list of
 /// `(p, k)` stages; within a stage, position `x` compares with `x ± k`.
 /// Shared with the double-width network of [`crate::scatter`].
+#[cfg(feature = "threaded")]
 pub(crate) fn stages_of(len: usize) -> Vec<(usize, usize)> {
     stages(len)
 }
@@ -123,6 +129,7 @@ pub(crate) fn comparator_at(x: usize, len: usize, p: usize, k: usize) -> Option<
 ///
 /// Returns the node's [`SortedPath`] handle. Rounds: exactly
 /// [`rounds_for`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn sort_at(
     h: &mut NodeHandle,
     vp: &VPath,
@@ -141,7 +148,7 @@ pub fn sort_at(
     }
 
     let mut held = Record {
-        key: order.encode(key),
+        key: order.encode_key(key),
         origin: h.id(),
     };
     let x = position;

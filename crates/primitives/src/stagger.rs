@@ -18,7 +18,9 @@
 //! because a target receiving `k` messages drains them in `⌈k/cap⌉`
 //! rounds).
 
+#[cfg(feature = "threaded")]
 use dgr_ncc::{Envelope, Msg, NodeHandle, NodeId};
+#[cfg(feature = "threaded")]
 use rand::Rng;
 
 /// Rounds for a staggered epoch with the given parameters.
@@ -41,6 +43,7 @@ pub fn plan(k_max: usize, cap: usize) -> (u64, u64) {
 ///
 /// Rounds: exactly [`rounds_for`]`(spread, drain)`. All participants of the
 /// epoch must use the same `spread` and `drain`.
+#[cfg(feature = "threaded")]
 pub fn staggered_send(
     h: &mut NodeHandle,
     sends: Vec<(NodeId, Msg)>,
@@ -78,7 +81,7 @@ pub fn staggered_send(
     received
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
     use dgr_ncc::{tags, Config, Network};

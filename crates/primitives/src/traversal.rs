@@ -6,8 +6,11 @@
 //! Theorem-1 height bound, so the whole computation takes `O(log n)` rounds
 //! and at most two messages per node per round.
 
+#[cfg(feature = "threaded")]
 use crate::bbst::Bbst;
+#[cfg(feature = "threaded")]
 use crate::vpath::VPath;
+#[cfg(feature = "threaded")]
 use dgr_ncc::{tags, Msg, NodeHandle};
 
 /// A node's traversal-derived data.
@@ -34,6 +37,7 @@ pub fn rounds_for(len: usize) -> u64 {
 /// Non-members idle in lockstep.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn positions(h: &mut NodeHandle, vp: &VPath, tree: &Bbst) -> Traversal {
     let up = sweep_rounds(vp.len);
     let down = sweep_rounds(vp.len);
@@ -109,7 +113,7 @@ pub fn positions(h: &mut NodeHandle, vp: &VPath, tree: &Bbst) -> Traversal {
     t
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
     use crate::{bbst, contacts, vpath};

@@ -12,7 +12,9 @@
 //! the whole network synchronized through sub-network computations, which is
 //! how Algorithm 6 runs a degree realization on only its first `d₀+1` nodes.
 
-use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+use dgr_ncc::NodeId;
+#[cfg(feature = "threaded")]
+use dgr_ncc::{tags, Msg, NodeHandle};
 
 /// One node's view of a virtual path.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,6 +65,7 @@ impl VPath {
 /// its predecessor; a node that receives nothing learns it is the head.
 ///
 /// Rounds: exactly 1.
+#[cfg(feature = "threaded")]
 pub fn undirect(h: &mut NodeHandle) -> VPath {
     let out = h
         .initial_successor()
@@ -82,7 +85,7 @@ pub fn undirect(h: &mut NodeHandle) -> VPath {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
     use dgr_ncc::{Config, Network};

@@ -9,11 +9,16 @@
 //! recursion terminates after `O(log n)` levels and the resulting tree has
 //! height `O(log n)`.
 
+#[cfg(feature = "threaded")]
 use crate::vpath::VPath;
-use dgr_ncc::{tags, Msg, NodeHandle, NodeId};
+use dgr_ncc::NodeId;
+#[cfg(feature = "threaded")]
+use dgr_ncc::{tags, Msg, NodeHandle};
 
 /// Child-assignment messages (distinct from the controlled-BFS invites).
+#[cfg(feature = "threaded")]
 const CHILD_LEFT: u64 = 0;
+#[cfg(feature = "threaded")]
 const CHILD_RIGHT: u64 = 1;
 
 /// One node's view of the warm-up tree.
@@ -46,6 +51,7 @@ pub fn rounds_for(len: usize) -> u64 {
 /// Builds the warm-up balanced binary tree (Figure 1). Non-members idle.
 ///
 /// Rounds: exactly [`rounds_for`]`(vp.len)`.
+#[cfg(feature = "threaded")]
 pub fn build(h: &mut NodeHandle, vp: &VPath) -> WarmupTree {
     let total_levels = levels(vp.len);
     if !vp.member {
@@ -123,7 +129,7 @@ pub fn build(h: &mut NodeHandle, vp: &VPath) -> WarmupTree {
     tree
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
     use crate::vpath;

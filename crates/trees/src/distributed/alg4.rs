@@ -19,12 +19,18 @@
 //! the plain interval multicast applies — same `O~(1)` cost, no butterfly
 //! (see `DESIGN.md` §4).
 
-use super::{tree_input_check, TreeOutcome};
+#[cfg(feature = "threaded")]
+use super::TreeOutcome;
+#[cfg(feature = "threaded")]
 use dgr_core::Unrealizable;
-use dgr_ncc::NodeHandle;
-use dgr_primitives::imcast::{self, CoverSide, Payload};
-use dgr_primitives::sort::{self, Order};
-use dgr_primitives::{contacts, ops, prefix, PathCtx};
+#[cfg(feature = "threaded")]
+use {
+    super::tree_input_check,
+    dgr_ncc::NodeHandle,
+    dgr_primitives::imcast::{self, CoverSide, Payload},
+    dgr_primitives::sort::{self, Order},
+    dgr_primitives::{contacts, ops, prefix, PathCtx},
+};
 
 /// Runs Algorithm 4 at one node. `degree` is this node's requested tree
 /// degree; every node must call simultaneously.
@@ -32,12 +38,14 @@ use dgr_primitives::{contacts, ops, prefix, PathCtx};
 /// # Errors
 ///
 /// [`Unrealizable`] when `Σd ≠ 2(n-1)` or some degree is 0.
+#[cfg(feature = "threaded")]
 pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<TreeOutcome, Unrealizable> {
     let ctx = PathCtx::establish(h);
     realize_on(h, &ctx, degree)
 }
 
 /// Algorithm 4 on an established path context.
+#[cfg(feature = "threaded")]
 pub fn realize_on(
     h: &mut NodeHandle,
     ctx: &PathCtx,
@@ -117,7 +125,7 @@ pub fn realize_on(
     Ok(outcome)
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use crate::driver::{realize_tree, TreeAlgo};
     use dgr_ncc::Config;

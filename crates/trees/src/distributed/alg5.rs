@@ -16,12 +16,18 @@
 //! keyed at its position, and the sorted-order scan hands every rank the
 //! ID of the parent covering it.
 
-use super::{tree_input_check, TreeOutcome};
+#[cfg(feature = "threaded")]
+use super::TreeOutcome;
+#[cfg(feature = "threaded")]
 use dgr_core::Unrealizable;
-use dgr_ncc::NodeHandle;
-use dgr_primitives::scatter::{self, ScanRecord};
-use dgr_primitives::sort::{self, Order};
-use dgr_primitives::{contacts, prefix, PathCtx};
+#[cfg(feature = "threaded")]
+use {
+    super::tree_input_check,
+    dgr_ncc::NodeHandle,
+    dgr_primitives::scatter::{self, ScanRecord},
+    dgr_primitives::sort::{self, Order},
+    dgr_primitives::{contacts, prefix, PathCtx},
+};
 
 /// Runs Algorithm 5 at one node. `degree` is this node's requested tree
 /// degree; every node must call simultaneously.
@@ -29,12 +35,14 @@ use dgr_primitives::{contacts, prefix, PathCtx};
 /// # Errors
 ///
 /// [`Unrealizable`] when `Σd ≠ 2(n-1)` or some degree is 0.
+#[cfg(feature = "threaded")]
 pub fn realize(h: &mut NodeHandle, degree: usize) -> Result<TreeOutcome, Unrealizable> {
     let ctx = PathCtx::establish(h);
     realize_on(h, &ctx, degree)
 }
 
 /// Algorithm 5 on an established path context.
+#[cfg(feature = "threaded")]
 pub fn realize_on(
     h: &mut NodeHandle,
     ctx: &PathCtx,
@@ -92,7 +100,7 @@ pub fn realize_on(
     Ok(outcome)
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use crate::driver::{realize_tree, TreeAlgo};
     use crate::greedy;

@@ -2,10 +2,16 @@
 
 pub mod alg4;
 pub mod alg5;
+pub mod proto;
 
+#[cfg(feature = "threaded")]
 use dgr_core::Unrealizable;
-use dgr_ncc::{NodeHandle, NodeId};
-use dgr_primitives::{ops, PathCtx};
+use dgr_ncc::NodeId;
+#[cfg(feature = "threaded")]
+use {
+    dgr_ncc::NodeHandle,
+    dgr_primitives::{ops, PathCtx},
+};
 
 /// One node's result of a tree realization: the tree edges stored here
 /// (implicit realization — each edge lives at exactly one endpoint).
@@ -21,6 +27,7 @@ pub struct TreeOutcome {
 /// establish the path context, verify `Σd = 2(n-1)` and `min d ≥ 1` by
 /// aggregation. Every node sees the same aggregates, so the error is
 /// globally consistent.
+#[cfg(feature = "threaded")]
 pub(crate) fn tree_input_check(
     h: &mut NodeHandle,
     ctx: &PathCtx,

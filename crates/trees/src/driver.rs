@@ -1,14 +1,19 @@
 //! Driver: run a distributed tree realization on a simulated network and
 //! assemble + verify the resulting tree.
 //!
-//! Engine note: Algorithms 4 and 5 are direct-style closures and run on
-//! the threaded oracle engine (`dgr-ncc/threaded`). Their path setup is
-//! already available as a batched step-function protocol
-//! ([`dgr_primitives::proto::PathToClique`]); the tree-construction
-//! phases are porting targets tracked in ROADMAP.md.
+//! Engine note: [`realize_tree_batched`] runs the
+//! [`RealizeTree`](crate::distributed::proto::RealizeTree) state machine
+//! on the **batched executor** — the production path, practical at
+//! six-digit `n` (`tests/scale.rs`). [`realize_tree`] runs the
+//! direct-style Algorithms 4/5 on the threaded oracle (feature
+//! `threaded`, default on) as the differential twin: both engines realize
+//! the same tree in the same number of rounds
+//! (`crates/trees/tests/batched_trees.rs`).
 
+#[cfg(feature = "threaded")]
 use crate::distributed::{alg4, alg5};
-use dgr_core::verify;
+use crate::distributed::{proto::RealizeTree, TreeOutcome};
+use dgr_core::{verify, Unrealizable};
 use dgr_graph::Graph;
 use dgr_ncc::{Config, Network, NodeId, RunMetrics, SimError};
 use std::collections::HashMap;
@@ -66,33 +71,18 @@ impl TreeRealization {
     }
 }
 
-/// Runs the chosen tree realization on a fresh network, with `degrees[i]`
-/// assigned to the `i`-th node of the knowledge path.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn realize_tree(
-    degrees: &[usize],
-    config: Config,
-    algo: TreeAlgo,
-) -> Result<TreeRealization, SimError> {
-    let net = Network::new(degrees.len(), config);
-    let by_id: HashMap<NodeId, usize> = net
-        .ids_in_path_order()
-        .iter()
-        .copied()
-        .zip(degrees.iter().copied())
-        .collect();
-    let result = net.run(|h| match algo {
-        TreeAlgo::Chain => alg4::realize(h, by_id[&h.id()]),
-        TreeAlgo::Greedy => alg5::realize(h, by_id[&h.id()]),
-    })?;
-    let metrics = result.metrics.clone();
+/// Shared assembly + verification of a tree-realization run (both engines
+/// funnel through here).
+fn finish_tree(
+    net: &Network,
+    by_id: HashMap<NodeId, usize>,
+    result: dgr_ncc::RunResult<Result<TreeOutcome, Unrealizable>>,
+) -> TreeRealization {
+    let metrics = result.metrics;
     let failures = result.outputs.iter().filter(|(_, r)| r.is_err()).count();
     if failures > 0 {
         assert_eq!(failures, result.outputs.len(), "inconsistent refusal");
-        return Ok(TreeRealization::Unrealizable { metrics });
+        return TreeRealization::Unrealizable { metrics };
     }
     let assembled = verify::assemble_implicit(
         net.ids_in_path_order(),
@@ -104,17 +94,61 @@ pub fn realize_tree(
     assert_eq!(assembled.duplicate_edges, 0, "tree with duplicate edges");
     let graph = assembled.graph;
     assert!(graph.is_tree(), "realization is not a tree");
-    let diameter = dgr_graph::diameter(&graph).expect("tree is connected");
-    Ok(TreeRealization::Realized(Box::new(RealizedTree {
+    // Double BFS is exact on trees and O(n) — all-pairs BFS would make
+    // six-digit realizations driver-bound.
+    let diameter = dgr_graph::tree_diameter(&graph).expect("tree is connected");
+    TreeRealization::Realized(Box::new(RealizedTree {
         diameter,
         requested: by_id,
         path_order: net.ids_in_path_order().to_vec(),
         metrics,
         graph,
-    })))
+    }))
 }
 
-#[cfg(test)]
+fn degree_assignment(net: &Network, degrees: &[usize]) -> HashMap<NodeId, usize> {
+    net.assign_in_path_order(degrees)
+}
+
+/// Runs the chosen tree realization on a fresh network, with `degrees[i]`
+/// assigned to the `i`-th node of the knowledge path (threaded oracle).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+#[cfg(feature = "threaded")]
+pub fn realize_tree(
+    degrees: &[usize],
+    config: Config,
+    algo: TreeAlgo,
+) -> Result<TreeRealization, SimError> {
+    let net = Network::new(degrees.len(), config);
+    let by_id = degree_assignment(&net, degrees);
+    let result = net.run(|h| match algo {
+        TreeAlgo::Chain => alg4::realize(h, by_id[&h.id()]),
+        TreeAlgo::Greedy => alg5::realize(h, by_id[&h.id()]),
+    })?;
+    Ok(finish_tree(&net, by_id, result))
+}
+
+/// Runs the chosen tree realization on the **batched executor** — the
+/// production engine, practical at six-digit `n`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn realize_tree_batched(
+    degrees: &[usize],
+    config: Config,
+    algo: TreeAlgo,
+) -> Result<TreeRealization, SimError> {
+    let net = Network::new(degrees.len(), config);
+    let by_id = degree_assignment(&net, degrees);
+    let result = net.run_protocol(|s| RealizeTree::new(by_id[&s.id], algo))?;
+    Ok(finish_tree(&net, by_id, result))
+}
+
+#[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;
 

@@ -18,4 +18,6 @@ pub mod distributed;
 pub mod driver;
 pub mod greedy;
 
-pub use driver::{realize_tree, TreeAlgo, TreeRealization};
+#[cfg(feature = "threaded")]
+pub use driver::realize_tree;
+pub use driver::{realize_tree_batched, TreeAlgo, TreeRealization};

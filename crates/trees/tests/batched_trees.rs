@@ -1,0 +1,105 @@
+//! Driver-level differential tests for the batched tree realizations:
+//! Algorithms 4 and 5 on the batched executor must realize exactly the
+//! tree the threaded drivers realize, in the same number of rounds.
+
+use dgr_ncc::Config;
+use dgr_trees::{realize_tree, realize_tree_batched, TreeAlgo, TreeRealization};
+use proptest::prelude::*;
+
+fn assert_trees_agree(threaded: &TreeRealization, batched: &TreeRealization, what: &str) {
+    match (threaded, batched) {
+        (
+            TreeRealization::Unrealizable { metrics: mt },
+            TreeRealization::Unrealizable { metrics: mb },
+        ) => {
+            assert_eq!(mt.rounds, mb.rounds, "{what}: refusal rounds diverge");
+        }
+        (TreeRealization::Realized(t), TreeRealization::Realized(b)) => {
+            assert_eq!(
+                t.graph.edge_list(),
+                b.graph.edge_list(),
+                "{what}: engines realize different trees"
+            );
+            assert_eq!(t.diameter, b.diameter, "{what}: diameters diverge");
+            assert_eq!(t.metrics.rounds, b.metrics.rounds, "{what}: rounds diverge");
+            assert_eq!(
+                t.metrics.messages, b.metrics.messages,
+                "{what}: messages diverge"
+            );
+        }
+        _ => panic!("{what}: drivers disagree about realizability"),
+    }
+}
+
+#[test]
+fn batched_tree_drivers_match_threaded() {
+    for degrees in [
+        vec![1, 1],
+        vec![2, 1, 1],
+        vec![2, 2, 2, 1, 1],
+        vec![4, 1, 1, 1, 1],
+        vec![3, 3, 1, 1, 1, 1],
+        vec![3, 3, 2, 1, 1, 1, 1],
+        vec![2, 2, 2, 2, 2, 1, 1],
+        vec![0],             // single node
+        vec![2, 2, 2],       // cycle sum: unrealizable
+        vec![1, 1, 1, 1],    // forest sum: unrealizable
+        vec![2, 2, 1, 1, 0], // zero degree: unrealizable
+    ] {
+        for algo in [TreeAlgo::Chain, TreeAlgo::Greedy] {
+            let threaded = realize_tree(&degrees, Config::ncc0(91), algo).unwrap();
+            let batched = realize_tree_batched(&degrees, Config::ncc0(91), algo).unwrap();
+            assert_trees_agree(&threaded, &batched, &format!("{algo:?} {degrees:?}"));
+        }
+    }
+}
+
+#[test]
+fn batched_greedy_is_min_diameter() {
+    // Theorem 16 holds on the batched engine: the realized diameter equals
+    // the sequential greedy tree's (Lemma 15: minimal).
+    let degrees = vec![3, 3, 3, 2, 2, 1, 1, 1, 1, 1];
+    let out = realize_tree_batched(&degrees, Config::ncc0(92), TreeAlgo::Greedy).unwrap();
+    let t = out.expect_realized();
+    let seq = dgr_core::DegreeSequence::new(degrees.clone());
+    let reference = dgr_trees::greedy::greedy_tree(&seq).unwrap();
+    assert_eq!(
+        t.diameter,
+        dgr_trees::greedy::diameter_of(&reference, degrees.len())
+    );
+    assert!(t.metrics.is_clean());
+}
+
+/// Derives a valid tree degree sequence from random attachment choices:
+/// node `i + 1` attaches to `picks[i] % (i + 1)`.
+fn tree_degrees(picks: &[usize]) -> Vec<usize> {
+    let n = picks.len() + 1;
+    let mut degrees = vec![0usize; n];
+    for (i, &p) in picks.iter().enumerate() {
+        let parent = p % (i + 1);
+        degrees[parent] += 1;
+        degrees[i + 1] += 1;
+    }
+    degrees
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random attachment trees: both engines realize the same tree with
+    /// the requested degrees, for both algorithms.
+    #[test]
+    fn tree_sweep_engines_agree(picks in prop::collection::vec(0usize..1000, 2..24), seed in 0u64..1000) {
+        let degrees = tree_degrees(&picks);
+        for algo in [TreeAlgo::Chain, TreeAlgo::Greedy] {
+            let threaded = realize_tree(&degrees, Config::ncc0(seed), algo).unwrap();
+            let batched = realize_tree_batched(&degrees, Config::ncc0(seed), algo).unwrap();
+            assert_trees_agree(&threaded, &batched, &format!("{algo:?} {degrees:?}"));
+            let t = batched.expect_realized();
+            prop_assert!(t.graph.is_tree());
+            let mut want = degrees.clone();
+            want.sort_unstable_by(|a, b| b.cmp(a));
+            prop_assert_eq!(t.graph.degree_sequence(), want);
+        }
+    }
+}

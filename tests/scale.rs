@@ -125,6 +125,59 @@ fn batched_ncc1_star_at_n_100k() {
     }
 }
 
+/// A full degree-sequence realization — Algorithm 3 end to end, explicit
+/// hand-off included — on the batched engine at 200k nodes, two orders of
+/// magnitude past the threaded drivers. A perfect matching keeps the
+/// phase count minimal so the default (debug-mode) suite stays fast; the
+/// driver still exercises every stage: establish, per-phase sort +
+/// contacts + aggregations + interval multicast, and the staggered
+/// explicitness hand-off under queueing.
+#[test]
+fn batched_explicit_realization_at_n_200k() {
+    let n = 200_000;
+    let degrees = vec![1usize; n];
+    // Sequential IDs keep send-time resolution arithmetic (the honest
+    // random-ID setting is covered by the 200k warm-up above); KT0
+    // legality is proven at small n, so tracking is off.
+    let mut config = Config::ncc0(77).with_queueing().with_sequential_ids();
+    config.track_knowledge = false;
+    let out = realization::realize_explicit_batched(&degrees, config).unwrap();
+    let r = out.expect_realized();
+    assert_eq!(r.graph.edge_count(), n / 2);
+    realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
+    assert_eq!(r.metrics.undelivered, 0);
+    assert!(r.metrics.max_received_per_round <= r.metrics.capacity);
+    // O(polylog) rounds: comfortably under 10·log² n (log2 n ≈ 17.6).
+    assert!(
+        r.metrics.rounds < 10 * 18 * 18,
+        "rounds = {}",
+        r.metrics.rounds
+    );
+}
+
+/// Algorithm 5 (minimum-diameter tree) end to end on the batched engine
+/// at 200k nodes: establish, degree sort, prefix sums, and the milestone
+/// scan over 400k virtual slots.
+#[test]
+fn batched_greedy_tree_at_n_200k() {
+    let n = 200_000;
+    // A path profile: two leaves, the rest internal of degree 2.
+    let mut degrees = vec![2usize; n];
+    degrees[0] = 1;
+    degrees[n - 1] = 1;
+    let mut config = Config::ncc0(78).with_sequential_ids();
+    config.track_knowledge = false;
+    let out = trees::realize_tree_batched(&degrees, config, trees::TreeAlgo::Greedy).unwrap();
+    let t = out.expect_realized();
+    assert!(t.graph.is_tree());
+    assert_eq!(t.diameter, n - 1, "all-degree-2 greedy tree is a path");
+    assert!(
+        t.metrics.rounds < 10 * 18 * 18,
+        "rounds = {}",
+        t.metrics.rounds
+    );
+}
+
 #[test]
 fn sorting_at_n_2048_is_polylog() {
     use distributed_graph_realizations::primitives::{
