@@ -74,7 +74,7 @@ fn bench_sort_batched(c: &mut Criterion) {
                 net.run_protocol(|_| {
                     WithCtx::new(|ctx: &PathCtx, rctx: &mut RoundCtx<'_>| {
                         SortStep::new(
-                            ctx.vp.clone(),
+                            ctx.vp,
                             ctx.contacts.clone(),
                             ctx.position,
                             rctx.id() % 1000,

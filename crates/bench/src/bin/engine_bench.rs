@@ -7,9 +7,18 @@
 //! size, plus batched/threaded speedups) so the performance trajectory is
 //! recorded in-repo across PRs.
 //!
-//! Usage: `cargo run --release -p bench --bin engine_bench [--quick] [OUT.json]`
+//! Usage: `cargo run --release -p bench --bin engine_bench [--quick]
+//! [--history HISTORY.jsonl] [OUT.json]`
+//!
 //! `--quick` caps the sweep for CI smoke; the default sweep ends at one
 //! million nodes for the warm-up and 100k for the drivers.
+//!
+//! `--history` maintains an **append-only** per-PR trend file: each run
+//! appends one JSONL record of batched rounds/sec per `workload@n`, and —
+//! before appending — compares against the most recent record, failing
+//! (exit 1) if any shared workload regressed by more than 2x. This is the
+//! per-workload regression gate CI runs, a much tighter net than the
+//! single 10k warm-up speedup ratio.
 
 use dgr_core::{realize_implicit, realize_implicit_batched};
 use dgr_graphgen as graphgen;
@@ -104,7 +113,7 @@ fn dist_sort(n: usize, repeats: u32, batched: bool) -> Entry {
             net.run_protocol(|_| {
                 WithCtx::new(|ctx: &PathCtx, rctx: &mut dgr_ncc::RoundCtx<'_>| {
                     SortStep::new(
-                        ctx.vp.clone(),
+                        ctx.vp,
                         ctx.contacts.clone(),
                         ctx.position,
                         rctx.id() % 1000,
@@ -169,13 +178,118 @@ fn engine_name(batched: bool) -> &'static str {
     }
 }
 
+/// Parses a history JSONL record written by [`history_record`]: a flat
+/// `"entries"` object of `"workload@n": rounds_per_sec` pairs. Hand-rolled
+/// because the workspace is offline (no serde); the format is our own, so
+/// the parser only has to read what the writer writes.
+fn parse_history_entries(line: &str) -> Vec<(String, f64)> {
+    let Some(start) = line.find("\"entries\":{") else {
+        return Vec::new();
+    };
+    let body = &line[start + "\"entries\":{".len()..];
+    let Some(end) = body.find('}') else {
+        return Vec::new();
+    };
+    body[..end]
+        .split(',')
+        .filter_map(|pair| {
+            let (k, v) = pair.split_once(':')?;
+            let key = k.trim().trim_matches('"').to_string();
+            let value: f64 = v.trim().parse().ok()?;
+            Some((key, value))
+        })
+        .collect()
+}
+
+/// Formats one append-only history record: batched throughput per
+/// `workload@n`, stamped with the wall clock and the sweep mode.
+fn history_record(entries: &[Entry], quick: bool) -> String {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut pairs: Vec<String> = entries
+        .iter()
+        .filter(|e| e.engine == "batched")
+        .map(|e| format!("\"{}@{}\": {:.1}", e.workload, e.n, e.rounds_per_sec()))
+        .collect();
+    pairs.sort();
+    format!(
+        "{{\"unix_secs\": {unix_secs}, \"mode\": \"{}\", \"entries\":{{{}}}}}",
+        if quick { "quick" } else { "full" },
+        pairs.join(", ")
+    )
+}
+
+/// Appends this run to the history file (a true append — the existing
+/// records are never rewritten, so an interrupted run cannot truncate the
+/// trend), first failing on any >2x per-workload regression against the
+/// most recent record **of the same sweep mode** (quick and full sweeps
+/// measure different repeat counts and must not gate each other). The
+/// throughput figures are machine-dependent; the 2x threshold is the
+/// headroom for same-class hardware, and `BENCH_HISTORY_NO_GATE=1`
+/// downgrades the gate to a report for runs on known-different hardware
+/// (see ROADMAP: per-entry hardware fingerprints). Returns the
+/// regressions found (empty = gate passed or disarmed).
+fn check_and_append_history(path: &str, entries: &[Entry], quick: bool) -> Vec<String> {
+    use std::io::Write as _;
+    let record = history_record(entries, quick);
+    let mode_tag = format!("\"mode\": \"{}\"", if quick { "quick" } else { "full" });
+    let previous = std::fs::read_to_string(path).unwrap_or_default();
+    let last = previous
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty() && l.contains(&mode_tag));
+    let mut regressions = Vec::new();
+    if let Some(last) = last {
+        let old = parse_history_entries(last);
+        let new = parse_history_entries(&record);
+        for (key, old_rps) in &old {
+            if let Some((_, new_rps)) = new.iter().find(|(k, _)| k == key) {
+                if *new_rps * 2.0 < *old_rps {
+                    regressions.push(format!(
+                        "{key}: {old_rps:.1} -> {new_rps:.1} rounds/sec \
+                         ({:.2}x slowdown, gate is 2x)",
+                        old_rps / new_rps
+                    ));
+                }
+            }
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open benchmark history");
+    writeln!(file, "{record}").expect("append benchmark history");
+    eprintln!("appended run to {path}");
+    if std::env::var_os("BENCH_HISTORY_NO_GATE").is_some() && !regressions.is_empty() {
+        eprintln!(
+            "BENCH_HISTORY_NO_GATE set — reporting without failing:\n  {}",
+            regressions.join("\n  ")
+        );
+        return Vec::new();
+    }
+    regressions
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let history_path = args
+        .iter()
+        .position(|a| a == "--history")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let out_path = args
         .iter()
-        .find(|a| !a.starts_with('-'))
-        .cloned()
+        .enumerate()
+        .filter(|&(i, a)| {
+            !a.starts_with('-')
+                && !matches!(args.get(i.wrapping_sub(1)), Some(p) if p == "--history")
+        })
+        .map(|(_, a)| a.clone())
+        .next()
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
 
     let mut entries: Vec<Entry> = Vec::new();
@@ -277,9 +391,88 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark json");
     println!("{json}");
     eprintln!("wrote {out_path}");
+
+    // Per-workload trend gate: append this run to the (append-only)
+    // history and fail on any >2x regression against the previous record.
+    let regressions = history_path
+        .map(|p| check_and_append_history(&p, &entries, quick))
+        .unwrap_or_default();
+
     assert!(
         speedup_10k.is_nan() || speedup_10k >= 10.0,
         "regression: batched engine is only {speedup_10k:.1}x the threaded \
          oracle at n=10k (target: >=10x)"
     );
+    assert!(
+        regressions.is_empty(),
+        "per-workload regressions against the previous history record:\n  {}",
+        regressions.join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(workload: &'static str, n: usize, rounds: u64, seconds: f64) -> Entry {
+        Entry {
+            workload,
+            engine: "batched",
+            n,
+            rounds,
+            messages: 0,
+            seconds,
+        }
+    }
+
+    #[test]
+    fn history_record_round_trips_through_the_parser() {
+        let entries = vec![
+            entry("warmup", 1000, 500, 0.5),
+            entry("sort", 1000, 300, 3.0),
+        ];
+        let record = history_record(&entries, true);
+        let parsed = parse_history_entries(&record);
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed
+            .iter()
+            .any(|(k, v)| k == "warmup@1000" && (*v - 1000.0).abs() < 0.1));
+        assert!(parsed
+            .iter()
+            .any(|(k, v)| k == "sort@1000" && (*v - 100.0).abs() < 0.1));
+    }
+
+    #[test]
+    fn history_gate_flags_two_x_regressions_only() {
+        // Per-process path: concurrent test runs on one host must not
+        // race on a shared history file.
+        let dir =
+            std::env::temp_dir().join(format!("engine_bench_history_test_{}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        let path = dir.to_str().unwrap();
+        // First run: no previous record, nothing to flag.
+        let fast = vec![entry("warmup", 1000, 1000, 1.0)];
+        assert!(check_and_append_history(path, &fast, true).is_empty());
+        // 1.5x slower: within the gate.
+        let slower = vec![entry("warmup", 1000, 1000, 1.5)];
+        assert!(check_and_append_history(path, &slower, true).is_empty());
+        // A *full*-mode record must not gate against quick-mode history.
+        let full_mode = vec![entry("warmup", 1000, 1000, 9.0)];
+        assert!(check_and_append_history(path, &full_mode, false).is_empty());
+        // >2x slower than the previous *same-mode* (quick) record: flagged.
+        let regressed = vec![entry("warmup", 1000, 1000, 4.0)];
+        let flags = check_and_append_history(path, &regressed, true);
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert!(flags[0].contains("warmup@1000"));
+        // The file is append-only: all four records are retained.
+        let contents = std::fs::read_to_string(path).unwrap();
+        assert_eq!(contents.lines().count(), 4);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn unknown_lines_parse_to_nothing() {
+        assert!(parse_history_entries("not json at all").is_empty());
+        assert!(parse_history_entries("{\"entries\":{}}").is_empty());
+    }
 }

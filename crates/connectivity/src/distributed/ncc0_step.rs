@@ -156,7 +156,7 @@ impl NodeProtocol for Ncc0Threshold {
                             return Status::Done(std::mem::take(&mut self.outcome));
                         }
                         self.stage = Stage::Sort(SortStep::new(
-                            ctx.vp.clone(),
+                            ctx.vp,
                             ctx.contacts.clone(),
                             ctx.position,
                             self.rho as u64,
@@ -172,7 +172,7 @@ impl NodeProtocol for Ncc0Threshold {
                         self.sp = Some(sp);
                         let ctx = self.ctx();
                         self.stage = Stage::D0(AggBcastStep::new(
-                            ctx.vp.clone(),
+                            ctx.vp,
                             ctx.tree.clone(),
                             self.rho as u64,
                             AggOp::Max,
@@ -185,11 +185,8 @@ impl NodeProtocol for Ncc0Threshold {
                         self.d0 = d0 as usize;
                         let ctx = self.ctx();
                         let mine = (self.rank() == 0).then(|| rctx.id());
-                        self.stage = Stage::X1(BroadcastAddrStep::new(
-                            ctx.vp.clone(),
-                            ctx.tree.clone(),
-                            mine,
-                        ));
+                        self.stage =
+                            Stage::X1(BroadcastAddrStep::new(ctx.vp, ctx.tree.clone(), mine));
                     }
                 },
                 Stage::X1(s) => match s.poll(rctx) {

@@ -180,6 +180,40 @@ pub fn realize_ncc0_batched(
     })
 }
 
+/// The **paper-exact** Algorithm 6 phase 1 at scale: realize the prefix
+/// degrees `ρ(x₁) … ρ(x_{d₀+1})` by a Theorem 13 upper-envelope
+/// realization run *on the prefix sub-network* — a masked batched run
+/// ([`dgr_core::realize_prefix_batched`]), exactly the recursion the
+/// paper prescribes — instead of the cyclic-pipeline substitute the full
+/// [`realize_ncc0_batched`] driver uses (`DESIGN.md` §4 documents why the
+/// substitute is the default: the envelope's multigraph semantics can
+/// leave a prefix node short of *distinct* neighbors). Returns the
+/// realized prefix overlay; callers can compose it with a phase 2 of
+/// their choosing or study the paper variant's guarantees directly.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn realize_prefix_envelope_batched(
+    inst: &ThresholdInstance,
+    config: Config,
+) -> Result<dgr_core::DriverOutput, SimError> {
+    let n = inst.len();
+    // Sorted-by-ρ assignment: the prefix of the ρ-sorted order maps onto
+    // the first path positions (assignment order is driver bookkeeping —
+    // the nodes themselves never see it).
+    let mut rho_sorted = inst.rho.clone();
+    rho_sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let d0 = rho_sorted.first().copied().unwrap_or(0);
+    let prefix = (d0 + 1).min(n);
+    dgr_core::realize_prefix_batched(
+        &rho_sorted,
+        prefix,
+        config,
+        dgr_core::distributed::proto::Flavor::Envelope,
+    )
+}
+
 #[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;

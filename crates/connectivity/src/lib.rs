@@ -26,7 +26,10 @@ pub mod verify;
 
 #[cfg(feature = "threaded")]
 pub use driver::{realize_ncc0, realize_ncc1};
-pub use driver::{realize_ncc0_batched, realize_ncc1_batched, ThresholdRealization};
+pub use driver::{
+    realize_ncc0_batched, realize_ncc1_batched, realize_prefix_envelope_batched,
+    ThresholdRealization,
+};
 pub use sequential::{edge_lower_bound, sequential_realization};
 pub use verify::{check_thresholds, ThresholdReport};
 

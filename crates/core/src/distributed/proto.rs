@@ -32,6 +32,7 @@ use dgr_primitives::proto::step::{AggOp, Poll, Step};
 use dgr_primitives::proto::EstablishCtx;
 use dgr_primitives::sort::{Order, SortedPath};
 use dgr_primitives::{stagger, PathCtx};
+use std::sync::Arc;
 
 /// Which driver behavior the protocol reproduces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,7 +77,7 @@ pub struct RealizeDegrees {
     need: u64,
     outcome: ImplicitOutcome,
     sp: Option<SortedPath>,
-    sct: Option<ContactTable>,
+    sct: Option<Arc<ContactTable>>,
     delta: usize,
     is_leader: bool,
 }
@@ -111,7 +112,7 @@ impl RealizeDegrees {
         self.outcome.phases += 1;
         let ctx = self.ctx();
         self.stage = Stage::Sort(SortStep::new(
-            ctx.vp.clone(),
+            ctx.vp,
             ctx.contacts.clone(),
             ctx.position,
             self.need,
@@ -123,7 +124,7 @@ impl RealizeDegrees {
     /// An aggregate + broadcast over the fixed global tree.
     fn agg(&self, value: u64, op: AggOp) -> AggBcastStep {
         let ctx = self.ctx();
-        AggBcastStep::new(ctx.vp.clone(), ctx.tree.clone(), value, op)
+        AggBcastStep::new(ctx.vp, ctx.tree.clone(), value, op)
     }
 
     /// Closes the run: implicit flavors finish, the explicit flavor first
@@ -154,7 +155,7 @@ impl NodeProtocol for RealizeDegrees {
                 Stage::Sort(s) => match s.poll(rctx) {
                     Poll::Pending => return Status::Continue,
                     Poll::Ready(sp) => {
-                        self.stage = Stage::SortedContacts(ContactsStep::new(sp.vp.clone()));
+                        self.stage = Stage::SortedContacts(ContactsStep::new(sp.vp));
                         self.sp = Some(sp);
                     }
                 },
@@ -206,7 +207,7 @@ impl NodeProtocol for RealizeDegrees {
                             )
                         });
                         self.stage = Stage::Mcast(ImcastStep::new(
-                            sp.vp.clone(),
+                            sp.vp,
                             self.sct.clone().expect("phase without sorted contacts"),
                             task,
                         ));

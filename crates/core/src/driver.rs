@@ -305,6 +305,134 @@ pub fn realize_explicit_batched(
     realize_batched(degrees, config, Flavor::Explicit)
 }
 
+/// Assembles a masked run's outputs against the *participating* nodes
+/// only (masked-out positions have no outputs and request nothing).
+fn finish_masked(
+    net: &Network,
+    degrees: &[usize],
+    participants: &[bool],
+    result: dgr_ncc::RunResult<Result<crate::distributed::ImplicitOutcome, crate::Unrealizable>>,
+) -> DriverOutput {
+    let metrics = result.metrics;
+    match split_consistent(result.outputs) {
+        None => DriverOutput::Unrealizable { metrics },
+        Some(outs) => {
+            let phases = outs.first().map(|(_, o)| o.phases).unwrap_or(0);
+            let members: Vec<NodeId> = net
+                .ids_in_path_order()
+                .iter()
+                .zip(participants.iter())
+                .filter(|&(_, &p)| p)
+                .map(|(&id, _)| id)
+                .collect();
+            let requested: HashMap<NodeId, usize> = net
+                .ids_in_path_order()
+                .iter()
+                .zip(degrees.iter())
+                .zip(participants.iter())
+                .filter(|&(_, &p)| p)
+                .map(|((&id, &d), _)| (id, d))
+                .collect();
+            let assembled = verify::assemble_implicit(
+                &members,
+                outs.into_iter().map(|(id, o)| (id, o.neighbors)),
+            );
+            DriverOutput::Realized(Box::new(RealizedOutput {
+                graph: assembled.graph,
+                multi_degrees: assembled.multi_degrees,
+                requested,
+                path_order: members,
+                explicit_neighbors: HashMap::new(),
+                duplicate_edges: assembled.duplicate_edges,
+                phases,
+                metrics,
+            }))
+        }
+    }
+}
+
+/// `realize_on`-over-a-sub-network on the **batched executor**: only the
+/// masked-in path positions participate (the knowledge path `G_k` links
+/// across the rest — [`Network::run_protocol_masked`]), and the node at
+/// participating position `i` requests `degrees[i]`. This is the
+/// engine-level capability behind Algorithm 6's paper-exact prefix
+/// recursion: realizing the prefix degrees by a sub-network Algorithm 3 /
+/// Theorem 13 run instead of the cyclic-pipeline substitute — at scales
+/// the threaded `realize_on` cannot touch.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `degrees.len() != participants.len()`.
+pub fn realize_masked_batched(
+    degrees: &[usize],
+    participants: &[bool],
+    config: Config,
+    flavor: Flavor,
+) -> Result<DriverOutput, SimError> {
+    assert_eq!(
+        degrees.len(),
+        participants.len(),
+        "one degree per path position is required"
+    );
+    let net = Network::new(degrees.len(), config);
+    let by_id = degree_assignment(&net, degrees);
+    let result =
+        net.run_protocol_masked(participants, |s| RealizeDegrees::new(by_id[&s.id], flavor))?;
+    Ok(finish_masked(&net, degrees, participants, result))
+}
+
+/// The threaded differential twin of [`realize_masked_batched`]: the same
+/// state machines on the thread-per-node oracle over the same mask, for
+/// transcript-identical comparison.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+///
+/// # Panics
+///
+/// Panics if `degrees.len() != participants.len()`.
+#[cfg(feature = "threaded")]
+pub fn realize_masked_threaded(
+    degrees: &[usize],
+    participants: &[bool],
+    config: Config,
+    flavor: Flavor,
+) -> Result<DriverOutput, SimError> {
+    assert_eq!(
+        degrees.len(),
+        participants.len(),
+        "one degree per path position is required"
+    );
+    let net = Network::new(degrees.len(), config);
+    let by_id = degree_assignment(&net, degrees);
+    let result = net.run_protocol_threaded_masked(participants, |s| {
+        RealizeDegrees::new(by_id[&s.id], flavor)
+    })?;
+    Ok(finish_masked(&net, degrees, participants, result))
+}
+
+/// [`realize_masked_batched`] over the first `prefix` path positions —
+/// the exact sub-network shape of the paper's Algorithm 6 phase 1
+/// (`degrees[i]` for `i < prefix` is realized; later entries idle out).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn realize_prefix_batched(
+    degrees: &[usize],
+    prefix: usize,
+    config: Config,
+    flavor: Flavor,
+) -> Result<DriverOutput, SimError> {
+    let mask: Vec<bool> = (0..degrees.len()).map(|i| i < prefix).collect();
+    realize_masked_batched(degrees, &mask, config, flavor)
+}
+
 #[cfg(all(test, feature = "threaded"))]
 mod tests {
     use super::*;

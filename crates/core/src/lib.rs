@@ -41,9 +41,10 @@ pub mod verify;
 
 pub use distributed::{DistributedRealization, ImplicitOutcome, Unrealizable};
 #[cfg(feature = "threaded")]
-pub use driver::{realize_approx, realize_explicit, realize_implicit};
+pub use driver::{realize_approx, realize_explicit, realize_implicit, realize_masked_threaded};
 pub use driver::{
-    realize_approx_batched, realize_explicit_batched, realize_implicit_batched, DriverOutput,
+    realize_approx_batched, realize_explicit_batched, realize_implicit_batched,
+    realize_masked_batched, realize_prefix_batched, DriverOutput,
 };
 pub use havel_hakimi::Realization;
 pub use sequence::{DegreeSequence, RealizeError};

@@ -3,9 +3,11 @@
 //! realize, in the same number of rounds — plus a property sweep over
 //! random degree sequences.
 
+use dgr_core::distributed::proto::Flavor;
 use dgr_core::driver::{
     realize_approx, realize_approx_batched, realize_explicit, realize_explicit_batched,
-    realize_implicit, realize_implicit_batched, DriverOutput,
+    realize_implicit, realize_implicit_batched, realize_masked_batched, realize_masked_threaded,
+    DriverOutput,
 };
 use dgr_ncc::Config;
 use proptest::prelude::*;
@@ -96,6 +98,79 @@ fn explicit_batched_star_fan_in_is_paced() {
     assert!(g.metrics.max_received_per_round <= g.metrics.capacity);
     assert_eq!(g.graph.degree_sequence()[0], n - 1);
     assert_eq!(g.metrics.undelivered, 0);
+}
+
+/// `realize_on`-over-a-prefix, both engines: a masked sub-network run
+/// (only the first `k` path positions participate; `G_k` links across the
+/// rest) must produce identical overlays, rounds and messages on the
+/// batched executor and the thread-per-node oracle — the differential
+/// guarantee behind Algorithm 6's paper-exact prefix recursion.
+#[test]
+fn masked_prefix_realization_matches_threaded() {
+    for (n, prefix, seed) in [(12usize, 5usize, 61u64), (20, 8, 62), (16, 16, 63)] {
+        // A clique profile over the prefix (the extreme Algorithm 6
+        // shape: ρ(x₁) = d₀ = prefix - 1), graphic by construction so
+        // both flavors realize it exactly.
+        let degrees: Vec<usize> = (0..n)
+            .map(|i| if i < prefix { prefix - 1 } else { 0 })
+            .collect();
+        let mask: Vec<bool> = (0..n).map(|i| i < prefix).collect();
+        for flavor in [Flavor::Implicit, Flavor::Envelope] {
+            let config = Config::ncc0(seed);
+            let threaded =
+                realize_masked_threaded(&degrees, &mask, config.clone(), flavor).unwrap();
+            let batched = realize_masked_batched(&degrees, &mask, config, flavor).unwrap();
+            assert_drivers_agree(
+                &threaded,
+                &batched,
+                &format!("masked n={n} prefix={prefix} {flavor:?}"),
+            );
+            // The realization stays inside the prefix sub-network.
+            if let DriverOutput::Realized(b) = &batched {
+                assert_eq!(b.path_order.len(), prefix);
+                assert!(b.metrics.is_clean(), "masked run must be strict-clean");
+                for (i, &id) in b.path_order.iter().enumerate() {
+                    assert!(
+                        b.multi_degrees[&id] >= degrees[i],
+                        "prefix rank {i} got {} < requested {}",
+                        b.multi_degrees[&id],
+                        degrees[i]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A masked run's sub-network is a real sub-network: round budgets derive
+/// from the participant count (every primitive runs on a 6-node virtual
+/// path, log₂ 6 ≈ 3 doubling levels), so a 6-of-64 masked realization
+/// must cost strictly fewer rounds than the full-network one — per phase
+/// the gap is the `O(log² k)` vs `O(log² n)` sort alone.
+#[test]
+fn masked_runs_pay_subnetwork_round_budgets() {
+    let n = 64;
+    let prefix = 6;
+    let degrees: Vec<usize> = (0..n).map(|i| usize::from(i < prefix)).collect();
+    let mask: Vec<bool> = (0..n).map(|i| i < prefix).collect();
+    let masked =
+        realize_masked_batched(&degrees, &mask, Config::ncc0(77), Flavor::Implicit).unwrap();
+    let full = realize_implicit_batched(&vec![1usize; n], Config::ncc0(77)).unwrap();
+    // (Not a 2x bound: both runs pay the same *number* of phases for an
+    // all-ones sequence, so the constant parts of a phase dilute the
+    // per-primitive log-factor savings.)
+    assert!(
+        masked.metrics().rounds + 20 < full.metrics().rounds,
+        "masked {} rounds vs full {}",
+        masked.metrics().rounds,
+        full.metrics().rounds
+    );
+    assert!(
+        masked.metrics().messages < full.metrics().messages,
+        "masked {} messages vs full {}",
+        masked.metrics().messages,
+        full.metrics().messages
+    );
 }
 
 proptest! {

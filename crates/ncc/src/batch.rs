@@ -8,15 +8,30 @@
 //! construction and deterministic regardless of worker count. The
 //! **routing phase** is a stable counting sort by destination index
 //! (validate + count, prefix-sum, scatter) with capacity checks per
-//! bucket. With one worker it runs inline on the coordinating thread;
-//! with more, the validate-and-count and scatter passes fan out over the
-//! same worker pool using per-worker count arrays — worker `w`'s region
-//! of every destination bucket precedes worker `w+1`'s, so bucket
-//! contents stay in dense source order and transcripts are bit-identical
-//! for every worker count. All routing state lives in reusable buffers
+//! bucket. The routing path is chosen **adaptively** per round from the
+//! previous round's delivered message volume: sparse rounds run the
+//! allocation-free inline path on the coordinating thread; dense rounds
+//! fan the validate-and-count and scatter passes out over the worker pool
+//! with per-worker count arrays — worker `w`'s region of every destination
+//! bucket precedes worker `w+1`'s, so bucket contents stay in dense source
+//! order and transcripts are bit-identical for every worker count and
+//! either path. All routing state lives in reusable buffers
 //! ([`RouteBuffers`](crate::route::RouteBuffers) and its per-worker
 //! scratch rows); at steady state a round allocates nothing on the
 //! single-worker path, and nothing per-message on the parallel path.
+//!
+//! **Live-slot compaction.** A node that returns [`Status::Done`] retires;
+//! its output moves to a side list and its slot stays behind as a dead
+//! entry. Once the live count has halved relative to the slot window, the
+//! window is compacted: dead slots are dropped by a stable in-place
+//! `retain`, so the surviving slots keep their dense-index order and every
+//! per-round loop (step, validate, scatter, delivery) walks only live
+//! nodes. Each slot carries its dense index — the index *remap* — so all
+//! index-keyed engine state (destination counts, inbox spans, the
+//! knowledge tracker, queue backlogs) is untouched by the reorder and
+//! transcripts are unchanged. The halving rule bounds total compaction
+//! work by `O(n)` per run, and a long-tailed run's steady cost is
+//! proportional to its *live* population, not its initial one.
 //!
 //! Semantics are bit-for-bit those of the threaded oracle engine
 //! (`crates/ncc/src/engine.rs`): same canonical routing order, same
@@ -28,7 +43,7 @@ use crate::config::{CapacityPolicy, Config, Model};
 use crate::error::{panic_message, SimError, Violation, ViolationKind};
 use crate::knowledge::KnowledgeTracker;
 use crate::message::NodeId;
-use crate::metrics::RunMetrics;
+use crate::metrics::{EngineStats, RunMetrics};
 use crate::network::{Network, RunResult};
 use crate::protocol::{NodeProtocol, NodeSeed, RoundCtx, Status};
 use crate::route::{QueueBuffers, RouteBuffers};
@@ -74,8 +89,15 @@ impl RawArena {
     }
 }
 
-/// One node's state under the batched executor.
+/// One node's state under the batched executor. Slots are created only for
+/// participating nodes and live in dense-index order; compaction drops
+/// retired slots but never reorders the survivors, so iterating the slot
+/// array *is* iterating the live nodes in canonical dense order.
 struct Slot<P: NodeProtocol> {
+    /// This node's dense index (position on the full `G_k` path) — the
+    /// stable key into every index-addressed engine structure, surviving
+    /// any compaction reorder of the slot array itself.
+    idx: u32,
     id: NodeId,
     succ: Option<NodeId>,
     alive: bool,
@@ -88,6 +110,14 @@ struct Slot<P: NodeProtocol> {
     output: Option<P::Output>,
     panic: Option<String>,
 }
+
+/// A round is routed on the parallel path only when the previous round
+/// delivered at least this many messages *and* at least a quarter of a
+/// message per node: below that, the per-worker count-array resets and the
+/// `O(workers + n)` fold cost more wall-clock than the inline walk saves.
+/// The choice is purely a scheduling decision — both paths produce
+/// bit-identical transcripts — so the heuristic can never affect results.
+const PARALLEL_ROUTE_MIN_MSGS: u64 = 2048;
 
 /// Runs `factory`-built protocols on every participating node until all
 /// have returned [`Status::Done`]. `participants` masks nodes out of the
@@ -117,6 +147,7 @@ where
         assert_eq!(mask.len(), n, "participant mask length must equal n");
     }
     let participating = |i: usize| participants.is_none_or(|m| m[i]);
+    let participant_count = (0..n).filter(|&i| participating(i)).count();
 
     // NCC1 common knowledge: all participating IDs, sorted.
     let all_ids: Option<Arc<Vec<NodeId>>> = match config.model {
@@ -137,52 +168,69 @@ where
     let mut knowledge = KnowledgeTracker::new(n, track);
     crate::knowledge::seed_path(&mut knowledge, ids, participating);
 
-    // Build the node slots. The per-node RNG stream derivation matches
-    // `NodeHandle::new`, so a protocol draws identical randomness on
-    // either engine.
-    let mut slots: Vec<Slot<P>> = Vec::with_capacity(n);
-    let mut live = 0usize;
+    // Build the node slots — participating nodes only; masked-out indices
+    // never even get a slot (they are dead from round zero). The per-node
+    // RNG stream derivation matches `NodeHandle::new`, so a protocol draws
+    // identical randomness on either engine. Outboxes start empty and grow
+    // to each node's actual burst size (pre-reserving `cap + 1` per slot
+    // would cost ~3 KB x n at the 10^6 scale for protocols that never
+    // fan out that far).
+    let mut slots: Vec<Slot<P>> = Vec::with_capacity(participant_count);
     for i in 0..n {
-        let alive = participating(i);
+        if !participating(i) {
+            continue;
+        }
         let succ = (i + 1..n).find(|&j| participating(j)).map(|j| ids[j]);
         let seed = NodeSeed {
             id: ids[i],
             n,
+            participants: participant_count,
             capacity: cap,
             model: config.model,
-            initial_successor: if alive { succ } else { None },
+            initial_successor: succ,
             all_ids: all_ids.as_ref(),
         };
         let mix = config
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(ids[i].wrapping_mul(0xBF58_476D_1CE4_E5B9));
-        live += alive as usize;
         slots.push(Slot {
+            idx: i as u32,
             id: ids[i],
-            succ: seed.initial_successor,
-            alive,
+            succ,
+            alive: true,
             rounds: 0,
             inbox_start: 0,
             inbox_len: 0,
             rng: SmallRng::seed_from_u64(mix),
-            out: Vec::with_capacity(cap + 1),
-            proto: alive.then(|| factory(&seed)),
+            out: Vec::new(),
+            proto: Some(factory(&seed)),
             output: None,
             panic: None,
         });
     }
+    let mut live = slots.len();
+    // Retired nodes' outputs, keyed by dense index so the final collection
+    // can restore path order after any number of compactions.
+    let mut done: Vec<(u32, NodeId, P::Output)> = Vec::with_capacity(live);
 
     let mut alive_now: Vec<bool> = (0..n).map(&participating).collect();
     let mut buffers = RouteBuffers::new(n);
     let queue_mode = config.capacity_policy == CapacityPolicy::Queue;
     let strict = config.capacity_policy == CapacityPolicy::Strict;
     let mut queues = QueueBuffers::new(if queue_mode { n } else { 0 });
+    // Retired nodes whose receive queues still hold backlog: their queues
+    // keep draining at `cap` per round into the undelivered counter,
+    // exactly as when their slots still existed (the threaded oracle walks
+    // every queue every round; this list is the compaction-safe image of
+    // that walk).
+    let mut dead_backlog: Vec<u32> = Vec::new();
 
     let mut metrics = RunMetrics {
         capacity: cap,
         ..RunMetrics::default()
     };
+    let mut stats = EngineStats::default();
     // Pre-reserve the full (capped) trace so recording a round can never
     // allocate inside the round loop.
     metrics
@@ -194,10 +242,15 @@ where
         w => w,
     }
     .clamp(1, n.max(1));
-    let chunk = n.div_ceil(workers);
     let resolver = net.resolver();
+    // Previous round's delivered message count — drives the adaptive
+    // inline-vs-parallel routing choice.
+    let mut prev_round_messages: u64 = 0;
 
     while live > 0 {
+        let window = slots.len();
+        let chunk = window.div_ceil(workers).max(1);
+
         // --- Step phase: poll every live protocol in parallel. ---
         let finished = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
@@ -226,6 +279,7 @@ where
                     let mut ctx = RoundCtx {
                         id: *id,
                         n,
+                        participants: participant_count,
                         capacity: cap,
                         model: config.model,
                         initial_successor: *succ,
@@ -251,6 +305,7 @@ where
                         slot.proto = None;
                         slot.alive = false;
                         slot.out.clear();
+                        slot.inbox_len = 0;
                         finished.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(payload) => {
@@ -258,6 +313,7 @@ where
                         slot.proto = None;
                         slot.alive = false;
                         slot.out.clear();
+                        slot.inbox_len = 0;
                         panicked.store(true, Ordering::Relaxed);
                         finished.fetch_add(1, Ordering::Relaxed);
                     }
@@ -287,26 +343,65 @@ where
         let newly_done = finished.load(Ordering::Relaxed);
         if newly_done > 0 {
             live -= newly_done;
-            for (i, slot) in slots.iter().enumerate() {
-                alive_now[i] = slot.alive;
+            for slot in slots.iter() {
+                let i = slot.idx as usize;
+                if alive_now[i] && !slot.alive {
+                    alive_now[i] = false;
+                    // A retiring node may leave backlog in its receive
+                    // queue; keep draining it (see `dead_backlog`).
+                    if queue_mode && queues.backlog_len(i) > 0 {
+                        dead_backlog.push(slot.idx);
+                    }
+                }
             }
         }
         if live == 0 {
             break;
         }
+        // --- Compaction: once the live population has halved relative to
+        // the slot window, drop retired slots (stable, in-place) so every
+        // subsequent per-round walk pays only for live nodes. Outputs move
+        // to the `done` side list keyed by dense index.
+        if newly_done > 0 && live * 2 <= window {
+            slots.retain_mut(|s| {
+                if s.alive {
+                    return true;
+                }
+                if let Some(out) = s.output.take() {
+                    done.push((s.idx, s.id, out));
+                }
+                false
+            });
+            debug_assert_eq!(slots.len(), live);
+            stats.compactions += 1;
+            stats.compaction_live.push(live);
+        }
+        let window = slots.len();
+        let chunk = window.div_ceil(workers).max(1);
 
         // --- Routing phase: validate + count, prefix-sum, stable
-        // scatter. One worker runs the allocation-free inline path; more
-        // workers fan both passes out over disjoint slot ranges with
+        // scatter. Sparse rounds (previous round's volume below the
+        // parallel threshold) run the allocation-free inline path; dense
+        // rounds fan both passes out over disjoint slot ranges with
         // per-worker count arrays (bit-identical transcripts either way —
         // worker `w`'s region of every bucket precedes worker `w+1`'s, so
         // bucket contents stay in dense source order).
         let round = metrics.rounds;
         let mut round_messages: u64 = 0;
-        if workers == 1 {
-            // --- Pass 1 (inline): validate and count per bucket. ---
-            buffers.begin_round();
-            for (src_idx, slot) in slots.iter_mut().enumerate() {
+        let parallel_route = workers > 1
+            && prev_round_messages >= PARALLEL_ROUTE_MIN_MSGS
+            && prev_round_messages >= (window as u64) / 4;
+        if !parallel_route {
+            stats.inline_route_rounds += 1;
+            // --- Pass 1 (inline): validate and count per bucket. Only
+            // live destinations can receive (validation rejects the rest),
+            // so resetting the live counts is enough — stale counts of
+            // retired indices are never read again. ---
+            for slot in slots.iter() {
+                buffers.counts[slot.idx as usize] = 0;
+            }
+            for slot in slots.iter_mut() {
+                let src_idx = slot.idx as usize;
                 let attempted = slot.out.len();
                 for env in slot.out.iter_mut() {
                     let deliver =
@@ -344,8 +439,10 @@ where
                 metrics.max_sent_per_round = metrics.max_sent_per_round.max(attempted);
             }
 
-            // --- Pass 2 (inline): prefix-sum offsets, stable scatter. ---
-            buffers.seal_counts();
+            // --- Pass 2 (inline): prefix-sum offsets over the live
+            // destinations (ascending dense order — the slot array's
+            // order), stable scatter. ---
+            buffers.seal_counts_live(slots.iter().map(|s| s.idx as usize));
             for slot in slots.iter_mut() {
                 for env in slot.out.iter() {
                     if env.dst_idx != NO_INDEX {
@@ -355,6 +452,7 @@ where
                 slot.out.clear();
             }
         } else {
+            stats.parallel_route_rounds += 1;
             // --- Pass 1 (parallel): per-worker validate and count. ---
             buffers.begin_parallel_round(workers);
             {
@@ -367,11 +465,12 @@ where
                     .for_each(|(w, scratch_row)| {
                         let s = &mut scratch_row[0];
                         s.begin_round(n);
-                        let lo = (w * chunk).min(n);
-                        let hi = ((w + 1) * chunk).min(n);
-                        for src_idx in lo..hi {
+                        let lo = (w * chunk).min(window);
+                        let hi = ((w + 1) * chunk).min(window);
+                        for pos in lo..hi {
                             // Sound: this worker owns slot range [lo, hi).
-                            let slot = unsafe { slots_ptr.slot(src_idx) };
+                            let slot = unsafe { slots_ptr.slot(pos) };
+                            let src_idx = slot.idx as usize;
                             let attempted = slot.out.len();
                             for env in slot.out.iter_mut() {
                                 let deliver = match validate(
@@ -420,8 +519,10 @@ where
                 metrics.max_sent_per_round = metrics.max_sent_per_round.max(s.max_sent);
             }
 
-            // --- Pass 2 (parallel): fold counts, then scatter through
-            // per-worker cursors into disjoint arena regions. ---
+            // --- Pass 2 (parallel): fold counts and derive the per-worker
+            // scatter cursors — itself parallelized over destination
+            // ranges — then scatter through the cursors into disjoint
+            // arena regions. ---
             buffers.seal_parallel(workers);
             {
                 let slots_ptr = RawSlots(slots.as_mut_ptr());
@@ -431,10 +532,10 @@ where
                     .enumerate()
                     .for_each(|(w, scratch_row)| {
                         let s = &mut scratch_row[0];
-                        let lo = (w * chunk).min(n);
-                        let hi = ((w + 1) * chunk).min(n);
-                        for src_idx in lo..hi {
-                            let slot = unsafe { slots_ptr.slot(src_idx) };
+                        let lo = (w * chunk).min(window);
+                        let hi = ((w + 1) * chunk).min(window);
+                        for pos in lo..hi {
+                            let slot = unsafe { slots_ptr.slot(pos) };
                             for env in slot.out.iter() {
                                 if env.dst_idx != NO_INDEX {
                                     let d = env.dst_idx as usize;
@@ -455,31 +556,70 @@ where
         if queue_mode {
             // Flat-arena FIFO backlog: carried spans merge with the round's
             // buckets, `cap` envelopes deliver, the rest re-queue — no
-            // per-node deques, no steady-state allocation.
+            // per-node deques, no steady-state allocation. Live nodes walk
+            // in dense order through the slot array; retired nodes with
+            // backlog drain separately (their freshly routed bucket is
+            // empty by validation, so `&[]` stands in for it). Per-node
+            // FIFO contents and all max-fold metrics are identical to one
+            // full dense sweep — only the inbox arena layout can differ,
+            // and nothing observes it across nodes.
             queues.begin_round();
-            for (i, slot) in slots.iter_mut().enumerate() {
+            for slot in slots.iter_mut() {
+                if !slot.alive {
+                    continue;
+                }
+                let i = slot.idx as usize;
                 let (start, take, queued) = queues.deliver(i, buffers.bucket(i), cap);
                 metrics.max_queue_len = metrics.max_queue_len.max(queued);
                 slot.inbox_start = start;
                 slot.inbox_len = take;
             }
+            let mut drained_any = false;
+            for &idx in dead_backlog.iter() {
+                let i = idx as usize;
+                let (start, take, queued) = queues.deliver(i, &[], cap);
+                metrics.max_queue_len = metrics.max_queue_len.max(queued);
+                // A dead node's "delivery" is immediately undeliverable —
+                // the same accounting the per-slot sweep used to apply.
+                let delivered = take as usize;
+                metrics.max_received_per_round = metrics.max_received_per_round.max(delivered);
+                if knowledge.enabled() {
+                    let inbox = &queues.inbox[start as usize..][..delivered];
+                    for env in inbox {
+                        knowledge.learn(i, env.src);
+                        for &a in env.msg.addrs_slice() {
+                            knowledge.learn(i, a);
+                        }
+                    }
+                }
+                metrics.undelivered += take as u64;
+                drained_any |= queued == 0;
+            }
+            if drained_any {
+                let queues = &queues;
+                dead_backlog.retain(|&idx| queues.backlog_len(idx as usize) > 0);
+            }
             queues.end_round();
         } else {
-            for i in 0..n {
+            for slot in slots.iter_mut() {
+                if !slot.alive {
+                    continue;
+                }
+                let i = slot.idx as usize;
                 let received = buffers.counts[i] as usize;
                 if received > cap {
                     metrics.record_violation(
                         strict,
                         Violation {
                             round,
-                            node: ids[i],
+                            node: slot.id,
                             kind: ViolationKind::ReceiveCapacity { received, cap },
                         },
                     )?;
                 }
                 let (start, len) = buffers.span(i);
-                slots[i].inbox_start = start;
-                slots[i].inbox_len = len;
+                slot.inbox_start = start;
+                slot.inbox_len = len;
             }
         }
 
@@ -489,10 +629,14 @@ where
         } else {
             &buffers.arena
         };
-        for (i, slot) in slots.iter().enumerate() {
+        for slot in slots.iter() {
+            if !slot.alive {
+                continue;
+            }
             let delivered = slot.inbox_len as usize;
             metrics.max_received_per_round = metrics.max_received_per_round.max(delivered);
             if knowledge.enabled() {
+                let i = slot.idx as usize;
                 let inbox = &delivery_arena[slot.inbox_start as usize..][..delivered];
                 for env in inbox {
                     knowledge.learn(i, env.src);
@@ -504,19 +648,11 @@ where
         }
 
         metrics.record_round(round_messages);
+        prev_round_messages = round_messages;
         if metrics.rounds > config.max_rounds {
             return Err(SimError::RoundLimitExceeded {
                 limit: config.max_rounds,
             });
-        }
-
-        // --- Deliver: messages staged for nodes that died this round are
-        // undeliverable (possible only via queue backlogs). ---
-        for slot in slots.iter_mut() {
-            if !slot.alive && slot.inbox_len > 0 {
-                metrics.undelivered += slot.inbox_len as u64;
-                slot.inbox_len = 0;
-            }
         }
     }
 
@@ -529,11 +665,21 @@ where
             .unwrap_or(0);
     }
 
-    let outputs: Vec<(NodeId, P::Output)> = slots
-        .into_iter()
-        .filter_map(|s| s.output.map(|out| (s.id, out)))
-        .collect();
-    Ok(RunResult { outputs, metrics })
+    // Merge compacted-away outputs with the final window's, restoring
+    // knowledge-path order by dense index.
+    for s in slots.into_iter() {
+        if let Some(out) = s.output {
+            done.push((s.idx, s.id, out));
+        }
+    }
+    done.sort_unstable_by_key(|&(idx, _, _)| idx);
+    let outputs: Vec<(NodeId, P::Output)> =
+        done.into_iter().map(|(_, id, out)| (id, out)).collect();
+    Ok(RunResult {
+        outputs,
+        metrics,
+        engine: stats,
+    })
 }
 
 /// Validates one envelope against the model constraints, in the same order

@@ -20,6 +20,7 @@ pub struct NodeHandle {
     pub(crate) id: NodeId,
     pub(crate) index: usize,
     pub(crate) n: usize,
+    pub(crate) participants: usize,
     pub(crate) capacity: usize,
     pub(crate) model: Model,
     pub(crate) initial_successor: Option<NodeId>,
@@ -39,6 +40,7 @@ impl NodeHandle {
         id: NodeId,
         index: usize,
         n: usize,
+        participants: usize,
         capacity: usize,
         model: Model,
         initial_successor: Option<NodeId>,
@@ -55,6 +57,7 @@ impl NodeHandle {
             id,
             index,
             n,
+            participants,
             capacity,
             model,
             initial_successor,
@@ -75,6 +78,13 @@ impl NodeHandle {
     /// knowledge.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Number of participating nodes — the knowledge-path length. Equals
+    /// [`NodeHandle::n`] except on masked sub-network runs, where it is the
+    /// sub-network size (common knowledge, like `n`).
+    pub fn participants(&self) -> usize {
+        self.participants
     }
 
     /// The per-round send/receive capacity enforced by the engine

@@ -6,9 +6,27 @@
 //! node's knowledge set and checks every outgoing message against it, so a
 //! clean strict run is a machine-checked proof that the protocol is a legal
 //! NCC0 algorithm.
+//!
+//! ## Storage: per-node sorted arenas
+//!
+//! The tracker is engine-native rather than collection-backed: all learned
+//! IDs live in **one** flat arena, and node `i` owns a contiguous region of
+//! it, kept sorted. `knows` is a binary search over the node's region (no
+//! hashing, cache-linear); `learn` of an already-known ID is the same
+//! search and touches no memory. A new ID is inserted in place (one
+//! `copy_within` inside the region) while the region has spare capacity;
+//! when it is full, the region is re-homed to the arena tail with twice
+//! the capacity. Region capacities are powers of two, so the total arena —
+//! live regions plus abandoned predecessors — is bounded by ~3x the live
+//! knowledge, and once every node's knowledge has stopped growing (the
+//! steady state of every bounded-knowledge protocol) the tracker performs
+//! **zero allocations**: the strict-KT0 probe in
+//! `crates/ncc/tests/zero_alloc.rs` locks that in.
 
 use crate::message::NodeId;
-use std::collections::HashSet;
+
+/// Smallest region capacity handed to a node on its first learned ID.
+const MIN_REGION: usize = 4;
 
 /// Seeds the initial NCC0 knowledge along the directed path `G_k`, but
 /// only for *participating* nodes: each participating node learns its own
@@ -38,10 +56,23 @@ pub(crate) fn seed_path(
     }
 }
 
-/// Per-node knowledge sets, indexed by the engine's dense node index.
+/// One node's region of the knowledge arena.
+#[derive(Clone, Copy, Debug, Default)]
+struct Region {
+    /// Arena offset of the region.
+    start: usize,
+    /// IDs currently stored (sorted ascending).
+    len: usize,
+    /// Region capacity (power of two; 0 before the first learn).
+    cap: usize,
+}
+
+/// Per-node knowledge sets, indexed by the engine's dense node index,
+/// stored as sorted regions of a single shared arena (see module docs).
 #[derive(Debug)]
 pub struct KnowledgeTracker {
-    sets: Vec<HashSet<NodeId>>,
+    regions: Vec<Region>,
+    arena: Vec<NodeId>,
     enabled: bool,
 }
 
@@ -50,11 +81,15 @@ impl KnowledgeTracker {
     /// answer "known" and no memory is spent.
     pub fn new(n: usize, enabled: bool) -> Self {
         KnowledgeTracker {
-            sets: if enabled {
-                vec![HashSet::new(); n]
+            regions: if enabled {
+                vec![Region::default(); n]
             } else {
                 Vec::new()
             },
+            // Path seeding gives most nodes 2-3 IDs; pre-sizing for one
+            // MIN_REGION block per node makes the seeding phase a single
+            // allocation.
+            arena: Vec::with_capacity(if enabled { MIN_REGION * n } else { 0 }),
             enabled,
         }
     }
@@ -64,22 +99,57 @@ impl KnowledgeTracker {
         self.enabled
     }
 
+    /// Node `node`'s sorted learned IDs.
+    #[inline]
+    fn region_slice(&self, node: usize) -> &[NodeId] {
+        let r = self.regions[node];
+        &self.arena[r.start..r.start + r.len]
+    }
+
     /// Grants `node` knowledge of `id` (initial knowledge or learning).
     pub fn learn(&mut self, node: usize, id: NodeId) {
-        if self.enabled {
-            self.sets[node].insert(id);
+        if !self.enabled {
+            return;
         }
+        let r = self.regions[node];
+        let pos = match self.arena[r.start..r.start + r.len].binary_search(&id) {
+            Ok(_) => return, // already known: no writes, no allocation
+            Err(pos) => pos,
+        };
+        let r = if r.len == r.cap {
+            // Region full: re-home to the arena tail with double capacity
+            // (the abandoned predecessor is never reclaimed — the geometric
+            // growth bounds total waste by the live size).
+            let cap = (r.cap * 2).max(MIN_REGION);
+            let start = self.arena.len();
+            self.arena.resize(start + cap, 0);
+            self.arena.copy_within(r.start..r.start + r.len, start);
+            let moved = Region {
+                start,
+                len: r.len,
+                cap,
+            };
+            self.regions[node] = moved;
+            moved
+        } else {
+            r
+        };
+        // Sorted insert: shift the tail of the region right by one.
+        let at = r.start + pos;
+        self.arena.copy_within(at..r.start + r.len, at + 1);
+        self.arena[at] = id;
+        self.regions[node].len += 1;
     }
 
     /// Does `node` know `id`?
     pub fn knows(&self, node: usize, id: NodeId) -> bool {
-        !self.enabled || self.sets[node].contains(&id)
+        !self.enabled || self.region_slice(node).binary_search(&id).is_ok()
     }
 
     /// Number of IDs `node` has learned (0 when tracking is off).
     pub fn knowledge_size(&self, node: usize) -> usize {
         if self.enabled {
-            self.sets[node].len()
+            self.regions[node].len
         } else {
             0
         }
@@ -144,5 +214,36 @@ mod tests {
         t.learn(0, 7);
         t.learn(0, 7);
         assert_eq!(t.knowledge_size(0), 1);
+    }
+
+    #[test]
+    fn regions_grow_and_stay_sorted_under_interleaved_learning() {
+        // Interleave learning across nodes so regions are re-homed while
+        // other regions sit between them in the arena.
+        let mut t = KnowledgeTracker::new(3, true);
+        for k in 0..64u64 {
+            // Descending and alternating inserts exercise every insert
+            // position.
+            t.learn((k % 3) as usize, 1_000 - k);
+            t.learn(((k + 1) % 3) as usize, 500 + (k % 7) * 13);
+        }
+        for node in 0..3 {
+            let mut seen = Vec::new();
+            for k in 0..64u64 {
+                if (k % 3) as usize == node {
+                    seen.push(1_000 - k);
+                }
+                if ((k + 1) % 3) as usize == node {
+                    seen.push(500 + (k % 7) * 13);
+                }
+            }
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(t.knowledge_size(node), seen.len(), "node {node}");
+            for &id in &seen {
+                assert!(t.knows(node, id), "node {node} lost id {id}");
+            }
+            assert!(!t.knows(node, 2), "node {node} knows an unlearned id");
+        }
     }
 }

@@ -100,7 +100,7 @@ pub use error::{SimError, Violation, ViolationKind};
 #[cfg(feature = "threaded")]
 pub use handle::NodeHandle;
 pub use message::{tags, Envelope, Msg, NodeId};
-pub use metrics::{RunMetrics, ViolationCounts, ROUND_TRACE_LIMIT};
+pub use metrics::{EngineStats, RunMetrics, ViolationCounts, ROUND_TRACE_LIMIT};
 pub use network::{Network, RunResult};
 pub use protocol::{NodeProtocol, NodeSeed, RoundCtx, Status};
 pub use wire::{WireEnvelope, WireMsg, WIRE_ADDRS, WIRE_WORDS};

@@ -80,6 +80,26 @@ pub struct RunMetrics {
     pub messages_per_round: Vec<u64>,
 }
 
+/// Executor-internal statistics of a completed run. Unlike [`RunMetrics`]
+/// these are **not** part of the model semantics — the threaded oracle
+/// reports all-zero stats — so they live outside the metrics the
+/// differential tests compare. They exist to make the batched executor's
+/// adaptive machinery (live-slot compaction, inline-vs-parallel routing)
+/// observable and testable.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Number of live-slot compactions the step phase performed.
+    pub compactions: u64,
+    /// Live-slot count recorded at each compaction, in order. Strictly
+    /// decreasing by construction (a compaction fires only once the live
+    /// count has at least halved since the previous one).
+    pub compaction_live: Vec<usize>,
+    /// Rounds routed on the inline (sequential) path.
+    pub inline_route_rounds: u64,
+    /// Rounds routed on the parallel (per-worker count/scatter) path.
+    pub parallel_route_rounds: u64,
+}
+
 impl RunMetrics {
     /// Closes out one executed round: accumulates the message count and
     /// appends to the (capped) per-round trace. Shared by both engines so

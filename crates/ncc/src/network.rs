@@ -18,7 +18,7 @@
 use crate::config::{Config, IdAssignment};
 use crate::error::SimError;
 use crate::message::NodeId;
-use crate::metrics::RunMetrics;
+use crate::metrics::{EngineStats, RunMetrics};
 use crate::protocol::{NodeProtocol, NodeSeed};
 use crate::route::Resolver;
 use rand::rngs::StdRng;
@@ -35,6 +35,10 @@ pub struct RunResult<R> {
     pub outputs: Vec<(NodeId, R)>,
     /// Round/message/violation metrics for the run.
     pub metrics: RunMetrics,
+    /// Executor-internal statistics (compactions, routing-path choices).
+    /// Not part of the model semantics: the threaded oracle reports
+    /// all-zero stats, and differential tests must not compare them.
+    pub engine: EngineStats,
 }
 
 impl<R> RunResult<R> {
@@ -218,11 +222,38 @@ mod threaded_runner {
             P: NodeProtocol,
             F: Fn(&NodeSeed<'_>) -> P + Send + Sync,
         {
+            let alive = vec![true; self.n];
+            self.run_protocol_threaded_masked(&alive, factory)
+        }
+
+        /// The threaded twin of [`Network::run_protocol_masked`]: runs the
+        /// state machines over the masked-in nodes only, with the
+        /// knowledge path linking across masked-out indices. Exists so
+        /// masked batched runs (the paper-exact sub-network recursions)
+        /// have a transcript-identical differential oracle.
+        ///
+        /// # Errors
+        ///
+        /// As for [`Network::run`].
+        ///
+        /// # Panics
+        ///
+        /// Panics if `participants.len() != n`.
+        pub fn run_protocol_threaded_masked<P, F>(
+            &self,
+            participants: &[bool],
+            factory: F,
+        ) -> Result<RunResult<P::Output>, SimError>
+        where
+            P: NodeProtocol,
+            F: Fn(&NodeSeed<'_>) -> P + Send + Sync,
+        {
             let resolver = self.resolver();
-            self.run(move |h| {
+            self.run_threaded_masked(participants, move |h| {
                 let seed = NodeSeed {
                     id: h.id,
                     n: h.n,
+                    participants: h.participants,
                     capacity: h.capacity,
                     model: h.model,
                     initial_successor: h.initial_successor,
@@ -236,6 +267,7 @@ mod threaded_runner {
                         let mut ctx = RoundCtx {
                             id: h.id,
                             n: h.n,
+                            participants: h.participants,
                             capacity: h.capacity,
                             model: h.model,
                             initial_successor: h.initial_successor,
@@ -314,6 +346,7 @@ mod threaded_runner {
             let outputs: Arc<Mutex<Vec<Option<R>>>> =
                 Arc::new(Mutex::new((0..n).map(|_| None).collect()));
             let node_fn = &node_fn;
+            let participant_count = alive.iter().filter(|&&a| a).count();
 
             let mut coordinator = Coordinator::new(
                 self.config.clone(),
@@ -341,6 +374,7 @@ mod threaded_runner {
                                 id,
                                 index,
                                 n,
+                                participant_count,
                                 capacity,
                                 model,
                                 succ,
@@ -389,6 +423,7 @@ mod threaded_runner {
             Ok(RunResult {
                 outputs: outs,
                 metrics,
+                engine: EngineStats::default(),
             })
         }
     }

@@ -53,6 +53,13 @@ pub struct NodeSeed<'a> {
     pub id: NodeId,
     /// Network size (common knowledge in the model).
     pub n: usize,
+    /// Number of *participating* nodes — the length of the knowledge path
+    /// `G_k` this run actually links. Equals `n` on unmasked runs; on a
+    /// masked run ([`Network::run_protocol_masked`](crate::Network)) it is
+    /// the sub-network size, which the model grants as common knowledge
+    /// exactly like `n` (the paper's prefix recursion broadcasts it before
+    /// recursing).
+    pub participants: usize,
     /// Per-round send/receive capacity (`Θ(log n)`, common knowledge).
     pub capacity: usize,
     /// The model variant.
@@ -79,6 +86,7 @@ impl NodeSeed<'_> {
 pub struct RoundCtx<'a> {
     pub(crate) id: NodeId,
     pub(crate) n: usize,
+    pub(crate) participants: usize,
     pub(crate) capacity: usize,
     pub(crate) model: Model,
     pub(crate) initial_successor: Option<NodeId>,
@@ -99,6 +107,13 @@ impl RoundCtx<'_> {
     /// Network size.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Number of participating nodes — the knowledge-path length. Equals
+    /// [`RoundCtx::n`] except on masked sub-network runs (common knowledge,
+    /// like `n`; see [`NodeSeed::participants`]).
+    pub fn participants(&self) -> usize {
+        self.participants
     }
 
     /// Per-round send/receive capacity.

@@ -16,6 +16,39 @@ use crate::config::IdAssignment;
 use crate::error::Violation;
 use crate::message::NodeId;
 use crate::wire::WireEnvelope;
+use rayon::prelude::*;
+
+/// Raw pointer to a `u32` buffer written by parallel tasks at disjoint
+/// indices (chunk sums / per-worker cursor rows partitioned by
+/// destination range).
+struct RawU32(*mut u32);
+unsafe impl Send for RawU32 {}
+unsafe impl Sync for RawU32 {}
+
+impl RawU32 {
+    /// # Safety
+    ///
+    /// `at` must be owned exclusively by the calling task.
+    unsafe fn write(&self, at: usize, v: u32) {
+        unsafe { self.0.add(at).write(v) };
+    }
+}
+
+/// Per-worker `(counts, cursors)` row base pointers for the
+/// destination-range-parallel cursor derivation: every parallel task
+/// touches a disjoint destination range of *every* row, so the aliasing
+/// is sound by construction.
+struct RowTable(Vec<(*const u32, *mut u32)>);
+unsafe impl Send for RowTable {}
+unsafe impl Sync for RowTable {}
+
+impl RowTable {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `Sync` wrapper, not the raw-pointer `Vec` inside it.
+    fn rows(&self) -> &[(*const u32, *mut u32)] {
+        &self.0
+    }
+}
 
 /// Maps node IDs to dense indices without hashing.
 ///
@@ -114,6 +147,9 @@ pub(crate) struct RouteBuffers {
     /// Per-worker scratch rows for the parallel routing passes (empty
     /// until the first multi-worker round).
     pub(crate) scratch: Vec<WorkerScratch>,
+    /// Per-destination-chunk message totals of the parallel fold (phase A
+    /// writes them, phase B prefix-sums them into chunk base offsets).
+    chunk_sums: Vec<u32>,
 }
 
 impl RouteBuffers {
@@ -124,6 +160,7 @@ impl RouteBuffers {
             cursor: vec![0; n],
             arena: Vec::new(),
             scratch: Vec::new(),
+            chunk_sums: Vec::new(),
         }
     }
 
@@ -142,52 +179,114 @@ impl RouteBuffers {
     /// which keeps bucket contents in dense source order — the exact
     /// order a sequential walk produces, for any worker count.
     ///
+    /// Both the fold and the cursor derivation are parallelized over
+    /// **destination ranges** (the former `O(workers x n)` coordinator
+    /// pass was the routing bottleneck on dense rounds): phase A sums the
+    /// worker rows per destination chunk, phase B is an `O(workers)`
+    /// prefix over the chunk totals, and phase C derives `starts` and
+    /// every worker's cursors within each chunk independently. Only a
+    /// pointer-table allocation of `O(workers)` happens per call — and the
+    /// adaptive router invokes this on dense rounds only, where it is
+    /// noise against the message volume.
+    ///
     /// Returns the round's total message count (and sizes the arena).
     pub(crate) fn seal_parallel(&mut self, workers: usize) -> usize {
-        self.counts.fill(0);
-        for w in 0..workers {
-            let row = &self.scratch[w].counts;
-            for (total, &c) in self.counts.iter_mut().zip(row.iter()) {
-                *total += c;
-            }
+        let n = self.counts.len();
+        let chunk = n.div_ceil(workers).max(1);
+        let nchunks = n.div_ceil(chunk).max(1);
+        if self.chunk_sums.len() < nchunks {
+            self.chunk_sums.resize(nchunks, 0);
         }
-        let total = self.seal_counts();
-        // cursors[0] = starts; cursors[w] = cursors[w-1] + counts[w-1],
-        // elementwise (row-sequential, SIMD-friendly).
-        for w in 0..workers {
-            if w == 0 {
-                self.scratch[0].cursors.copy_from_slice(&self.starts);
-            } else {
-                let (prev, cur) = self.scratch.split_at_mut(w);
-                let prev = &prev[w - 1];
-                for ((cur, &prev_cursor), &prev_count) in cur[0]
-                    .cursors
+
+        // Phase A: counts[d] = Σ_w row_w[d], one destination chunk per
+        // task, recording each chunk's message total.
+        {
+            let scratch = &self.scratch;
+            let chunk_sums = RawU32(self.chunk_sums.as_mut_ptr());
+            self.counts
+                .par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(c, counts_chunk)| {
+                    let lo = c * chunk;
+                    let mut sum: u32 = 0;
+                    for (j, total) in counts_chunk.iter_mut().enumerate() {
+                        let d = lo + j;
+                        let mut t: u32 = 0;
+                        for row in &scratch[..workers] {
+                            t += row.counts[d];
+                        }
+                        *total = t;
+                        sum += t;
+                    }
+                    // Sound: task `c` exclusively owns chunk_sums[c].
+                    unsafe { chunk_sums.write(c, sum) };
+                });
+        }
+
+        // Phase B: exclusive prefix over the chunk totals -> chunk bases.
+        let mut acc: u32 = 0;
+        for c in 0..nchunks {
+            let s = self.chunk_sums[c];
+            self.chunk_sums[c] = acc;
+            acc += s;
+        }
+        let total = acc as usize;
+
+        // Phase C: per chunk, derive bucket starts and the per-worker
+        // scatter cursors (worker w's region of bucket d follows the
+        // regions of workers < w).
+        {
+            let rows = RowTable(
+                self.scratch[..workers]
                     .iter_mut()
-                    .zip(prev.cursors.iter())
-                    .zip(prev.counts.iter())
-                {
-                    *cur = prev_cursor + prev_count;
-                }
-            }
+                    .map(|s| (s.counts.as_ptr(), s.cursors.as_mut_ptr()))
+                    .collect(),
+            );
+            let chunk_sums = &self.chunk_sums;
+            self.starts
+                .par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(c, starts_chunk)| {
+                    let lo = c * chunk;
+                    let mut acc = chunk_sums[c];
+                    for (j, start) in starts_chunk.iter_mut().enumerate() {
+                        let d = lo + j;
+                        *start = acc;
+                        let mut cur = acc;
+                        for &(counts_row, cursors_row) in rows.rows() {
+                            // Sound: each task owns destination range
+                            // [lo, lo + len) of every row.
+                            unsafe {
+                                cursors_row.add(d).write(cur);
+                                cur += counts_row.add(d).read();
+                            }
+                        }
+                        acc = cur;
+                    }
+                });
+        }
+
+        if self.arena.len() < total {
+            self.arena.resize(total, WireEnvelope::EMPTY);
         }
         total
     }
 
-    /// Resets the per-round counters.
-    pub(crate) fn begin_round(&mut self) {
-        self.counts.fill(0);
-    }
-
-    /// Computes bucket offsets from the counts and ensures the arena can
-    /// hold the round's messages. Returns the total message count.
-    /// Allocates only when the round exceeds every previous round's
-    /// message count (the arena never shrinks).
-    pub(crate) fn seal_counts(&mut self) -> usize {
+    /// Computes bucket offsets from the counts over the given destination
+    /// indices (ascending) and ensures the arena can hold the round's
+    /// messages. The inline routing path passes the **live** indices only
+    /// — exactly the compacted slot array's iteration order; messages can
+    /// only be routed to live destinations, so skipping retired indices
+    /// changes nothing and makes the seal `O(live)` instead of `O(n)` on
+    /// long-tailed runs. Returns the total message count. Allocates only
+    /// when the round exceeds every previous round's message count (the
+    /// arena never shrinks).
+    pub(crate) fn seal_counts_live(&mut self, live: impl Iterator<Item = usize>) -> usize {
         let mut acc: u32 = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
+        for i in live {
             self.starts[i] = acc;
             self.cursor[i] = acc;
-            acc += c;
+            acc += self.counts[i];
         }
         let total = acc as usize;
         if self.arena.len() < total {
@@ -287,6 +386,11 @@ impl QueueBuffers {
     pub(crate) fn backlog_total(&self) -> u64 {
         self.spans.iter().map(|&(_, len)| len as u64).sum()
     }
+
+    /// Envelopes currently queued for node `i`.
+    pub(crate) fn backlog_len(&self, i: usize) -> usize {
+        self.spans[i].1 as usize
+    }
 }
 
 #[cfg(test)]
@@ -317,13 +421,12 @@ mod tests {
     #[test]
     fn counting_sort_is_stable_by_source_order() {
         let mut b = RouteBuffers::new(3);
-        b.begin_round();
         // Destinations in arrival order: 2, 0, 2, 1, 0.
         let dsts = [2u32, 0, 2, 1, 0];
         for &d in &dsts {
             b.counts[d as usize] += 1;
         }
-        assert_eq!(b.seal_counts(), 5);
+        assert_eq!(b.seal_counts_live(0..3), 5);
         for (k, &d) in dsts.iter().enumerate() {
             b.push(WireEnvelope {
                 src: k as NodeId,
@@ -343,13 +446,61 @@ mod tests {
     #[test]
     fn arena_never_shrinks() {
         let mut b = RouteBuffers::new(2);
-        b.begin_round();
         b.counts[0] = 4;
-        assert_eq!(b.seal_counts(), 4);
+        assert_eq!(b.seal_counts_live(0..2), 4);
         let cap = b.arena.len();
-        b.begin_round();
+        b.counts.fill(0);
         b.counts[1] = 1;
-        assert_eq!(b.seal_counts(), 1);
+        assert_eq!(b.seal_counts_live(0..2), 1);
         assert_eq!(b.arena.len(), cap, "arena must be reused, not shrunk");
+    }
+
+    #[test]
+    fn live_only_seal_skips_retired_indices() {
+        let mut b = RouteBuffers::new(4);
+        // Index 1 is retired with a stale count left behind; the live
+        // seal must lay out buckets as if it did not exist.
+        b.counts[0] = 2;
+        b.counts[1] = 99;
+        b.counts[2] = 1;
+        b.counts[3] = 3;
+        assert_eq!(b.seal_counts_live([0usize, 2, 3].into_iter()), 6);
+        assert_eq!(b.span(0), (0, 2));
+        assert_eq!(b.span(2), (2, 1));
+        assert_eq!(b.span(3), (3, 3));
+    }
+
+    #[test]
+    fn parallel_seal_matches_sequential_layout() {
+        // 3 workers, 7 destinations: fold + cursors via seal_parallel
+        // must equal a sequential walk of worker rows in worker order.
+        let n = 7;
+        let workers = 3;
+        let mut b = RouteBuffers::new(n);
+        b.begin_parallel_round(workers);
+        let rows: [[u32; 7]; 3] = [
+            [1, 0, 2, 0, 0, 1, 4],
+            [0, 3, 1, 0, 2, 0, 0],
+            [2, 1, 0, 0, 1, 1, 2],
+        ];
+        for (w, row) in rows.iter().enumerate() {
+            b.scratch[w].begin_round(n);
+            b.scratch[w].counts.copy_from_slice(row);
+        }
+        let total = b.seal_parallel(workers);
+        assert_eq!(total, rows.iter().flatten().sum::<u32>() as usize);
+        // Expected: bucket d starts at Σ_{d'<d} counts[d']; worker w's
+        // cursor in bucket d follows workers < w.
+        let mut acc = 0u32;
+        for d in 0..n {
+            assert_eq!(b.starts[d], acc, "start of bucket {d}");
+            let mut cur = acc;
+            for (w, row) in rows.iter().enumerate() {
+                assert_eq!(b.scratch[w].cursors[d], cur, "cursor w={w} d={d}");
+                cur += row[d];
+            }
+            assert_eq!(b.counts[d], rows.iter().map(|r| r[d]).sum::<u32>());
+            acc = cur;
+        }
     }
 }

@@ -1,0 +1,112 @@
+//! Live-slot compaction: a staggered-death long-tail run must (a) keep
+//! transcripts and metrics bit-identical to the uncompacted oracles —
+//! compaction is a memory-layout decision, not a semantic one — and (b)
+//! actually compact, with a monotonically shrinking live-slot count
+//! across compactions (the halving rule guarantees strict decrease).
+
+mod common;
+
+use common::Gossip;
+use dgr_ncc::{CapacityPolicy, Config, Network, RunResult};
+
+/// A long-tailed population: lifetimes staggered over [3, 3 + n) rounds,
+/// so the live count decays roughly linearly while a few nodes survive
+/// far past the median — the workload slot compaction exists for.
+fn long_tail_run(workers: usize, queue: bool) -> RunResult<u64> {
+    let mut config = Config::ncc0(2026).with_worker_threads(workers);
+    config.capacity_policy = if queue {
+        CapacityPolicy::Queue
+    } else {
+        CapacityPolicy::Record
+    };
+    let net = Network::new(192, config);
+    net.run_protocol(|s| Gossip::new(s, 3, 192, 2)).unwrap()
+}
+
+#[test]
+fn long_tail_compacts_with_monotonically_shrinking_live_count() {
+    let result = long_tail_run(1, false);
+    let stats = &result.engine;
+    assert!(
+        stats.compactions >= 2,
+        "staggered-death run should compact repeatedly, got {}",
+        stats.compactions
+    );
+    assert_eq!(stats.compaction_live.len(), stats.compactions as usize);
+    // The halving rule: each compaction fires only once the live
+    // population has at least halved since the previous one (which also
+    // implies the counts are strictly decreasing).
+    for pair in stats.compaction_live.windows(2) {
+        assert!(
+            pair[1] * 2 <= pair[0],
+            "halving rule violated: {:?}",
+            stats.compaction_live
+        );
+    }
+    assert!(*stats.compaction_live.first().unwrap() <= 192 / 2);
+}
+
+#[test]
+fn compaction_is_transcript_invariant_across_worker_counts() {
+    let (outputs_1, metrics_1) = {
+        let r = long_tail_run(1, false);
+        (r.outputs, r.metrics)
+    };
+    for workers in [2, 3, 5, 8] {
+        let r = long_tail_run(workers, false);
+        assert_eq!(outputs_1, r.outputs, "outputs diverge at {workers} workers");
+        assert_eq!(metrics_1, r.metrics, "metrics diverge at {workers} workers");
+        assert!(r.engine.compactions >= 2);
+    }
+}
+
+/// Queue policy: retiring nodes leave backlog behind; the compacted
+/// engine must keep draining those queues (undelivered accounting,
+/// max-queue/max-received metrics) exactly as if the slots still existed.
+#[cfg(feature = "threaded")]
+#[test]
+fn queued_long_tail_compacts_and_matches_the_threaded_oracle() {
+    let batched = long_tail_run(1, true);
+    assert!(
+        batched.engine.compactions >= 2,
+        "queued long tail should compact, got {}",
+        batched.engine.compactions
+    );
+    let mut config = Config::ncc0(2026).with_worker_threads(1);
+    config.capacity_policy = CapacityPolicy::Queue;
+    let net = Network::new(192, config);
+    let threaded = net
+        .run_protocol_threaded(|s| Gossip::new(s, 3, 192, 2))
+        .unwrap();
+    assert_eq!(batched.outputs, threaded.outputs, "transcripts diverge");
+    assert_eq!(batched.metrics, threaded.metrics, "metrics diverge");
+    // The oracle never compacts; the field must stay engine-specific.
+    assert_eq!(threaded.engine.compactions, 0);
+}
+
+#[cfg(feature = "threaded")]
+#[test]
+fn record_long_tail_matches_the_threaded_oracle() {
+    let batched = long_tail_run(1, false);
+    let mut config = Config::ncc0(2026).with_worker_threads(1);
+    config.capacity_policy = CapacityPolicy::Record;
+    let net = Network::new(192, config);
+    let threaded = net
+        .run_protocol_threaded(|s| Gossip::new(s, 3, 192, 2))
+        .unwrap();
+    assert_eq!(batched.outputs, threaded.outputs, "transcripts diverge");
+    assert_eq!(batched.metrics, threaded.metrics, "metrics diverge");
+}
+
+/// The adaptive router must pick the inline path on sparse rounds even
+/// with a multi-worker pool: a gossip round at n=192 never clears the
+/// parallel-route threshold, so every round of this run is inline.
+#[test]
+fn sparse_rounds_route_inline_even_with_workers() {
+    let result = long_tail_run(4, false);
+    assert_eq!(
+        result.engine.parallel_route_rounds, 0,
+        "sparse rounds must not pay the parallel routing setup"
+    );
+    assert!(result.engine.inline_route_rounds > 0);
+}

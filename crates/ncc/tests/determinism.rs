@@ -33,6 +33,35 @@ fn replays_are_bit_identical() {
     assert_eq!(metrics_a, metrics_b);
 }
 
+/// Dense traffic past the adaptive threshold: multi-worker runs must take
+/// the parallel routing path (per-worker counts, destination-range fold,
+/// disjoint-region scatter) and still produce the single-worker
+/// transcript bit-for-bit.
+#[test]
+fn dense_rounds_route_parallel_and_stay_deterministic() {
+    let run = |workers: usize| {
+        let mut config = Config::ncc0(808).with_worker_threads(workers);
+        config.capacity_policy = CapacityPolicy::Record;
+        let net = Network::new(768, config);
+        let result = net.run_protocol(|s| Gossip::new(s, 12, 5, 6)).unwrap();
+        (result.outputs, result.metrics, result.engine)
+    };
+    let (outputs_1, metrics_1, engine_1) = run(1);
+    // One worker always routes inline.
+    assert_eq!(engine_1.parallel_route_rounds, 0);
+    for workers in [2, 4, 7] {
+        let (outputs_w, metrics_w, engine_w) = run(workers);
+        assert_eq!(outputs_1, outputs_w, "outputs diverge at {workers} workers");
+        assert_eq!(metrics_1, metrics_w, "metrics diverge at {workers} workers");
+        assert!(
+            engine_w.parallel_route_rounds > 0,
+            "768 nodes x fan-out 6 must clear the parallel-route threshold"
+        );
+        // Round 0 has no previous-volume signal and stays inline.
+        assert!(engine_w.inline_route_rounds > 0);
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let run = |seed| {

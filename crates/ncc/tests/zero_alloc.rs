@@ -66,10 +66,12 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 
 /// Allocation count of one n-node Ping run over `rounds` rounds. The
 /// whole run executes inline on this thread (`worker_threads = 1`), so
-/// thread-scoped counting sees every engine allocation.
-fn allocations_for(rounds: u64) -> u64 {
+/// thread-scoped counting sees every engine allocation. `tracked` turns
+/// strict KT0 knowledge tracking on — the sorted-arena tracker's learns
+/// and lookups must also be allocation-free at steady state.
+fn allocations_for_config(rounds: u64, tracked: bool) -> u64 {
     let mut config = Config::ncc0(99).with_worker_threads(1);
-    config.track_knowledge = false;
+    config.track_knowledge = tracked;
     let net = Network::new(512, config);
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     MEASURING.with(|m| m.set(true));
@@ -77,7 +79,17 @@ fn allocations_for(rounds: u64) -> u64 {
     MEASURING.with(|m| m.set(false));
     assert_eq!(result.metrics.rounds, rounds);
     assert!(result.metrics.is_clean());
+    if tracked {
+        // Ping talks only along the seeded path; each node's knowledge is
+        // its own ID, its successor, and (after one delivery) its
+        // predecessor.
+        assert!(result.metrics.max_knowledge <= 3);
+    }
     ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn allocations_for(rounds: u64) -> u64 {
+    allocations_for_config(rounds, false)
 }
 
 #[test]
@@ -98,5 +110,23 @@ fn routing_hot_path_does_not_allocate_per_round() {
     assert_eq!(
         past_cap, far_past_cap,
         "round loop allocates beyond the trace cap"
+    );
+}
+
+/// Strict-KT0 tracked runs: the per-node sorted-arena knowledge tracker
+/// must be zero-alloc at steady state — every validation lookup is a
+/// binary search, and learning an already-known ID touches nothing. All
+/// arena growth happens while knowledge is still spreading (here: the
+/// first delivery round), which both run lengths share.
+#[test]
+fn strict_kt0_tracking_does_not_allocate_per_round() {
+    let _ = allocations_for_config(5, true);
+    let short = allocations_for_config(10, true);
+    let long = allocations_for_config(510, true);
+    assert_eq!(
+        long, short,
+        "tracked round loop allocates: {short} allocations over 10 rounds \
+         vs {long} over 510 — the knowledge tracker must be quiescent once \
+         knowledge stops spreading"
     );
 }

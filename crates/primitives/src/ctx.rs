@@ -16,18 +16,29 @@ use crate::vpath;
 use crate::vpath::VPath;
 #[cfg(feature = "threaded")]
 use dgr_ncc::NodeHandle;
+use std::sync::Arc;
 
 /// Everything a node knows about one virtual path after the standard
 /// `O(log n)`-round setup: the path view itself, its power-of-two contacts,
 /// the balanced binary search tree, and its exact position.
+///
+/// The heap-backed structures — the contact table and the tree — are
+/// **interned** behind `Arc`s: they are built exactly once per
+/// establishment and every consumer (the sort network, the interval
+/// multicast, the global aggregations, each phase of a realization
+/// driver) holds a reference-counted handle instead of a deep copy. A
+/// composite stage machine's transition therefore moves two pointers, not
+/// kilobytes of table — the memory discipline that carries the batched
+/// drivers from 2·10⁵ to 10⁶ nodes. The scalar members ([`VPath`],
+/// [`Traversal`], the position) stay plain `Copy` data.
 #[derive(Clone, Debug)]
 pub struct PathCtx {
     /// The path view this context was built on.
     pub vp: VPath,
-    /// Power-of-two contacts along the path.
-    pub contacts: ContactTable,
-    /// The balanced binary search tree (Algorithm 1).
-    pub tree: Bbst,
+    /// Power-of-two contacts along the path (interned; clone = handle).
+    pub contacts: Arc<ContactTable>,
+    /// The balanced binary search tree (Algorithm 1; interned).
+    pub tree: Arc<Bbst>,
     /// This node's position on the path (inorder number, Corollary 2).
     pub position: usize,
     /// Full traversal data (subtree sizes).
@@ -60,8 +71,8 @@ impl PathCtx {
     ///
     /// Rounds: exactly [`rounds_on`]`(vp.len)`.
     pub fn establish_on(h: &mut NodeHandle, vp: VPath) -> PathCtx {
-        let contacts = contacts::build(h, &vp);
-        let tree = bbst::build(h, &vp, &contacts);
+        let contacts = Arc::new(contacts::build(h, &vp));
+        let tree = Arc::new(bbst::build(h, &vp, &contacts));
         let traversal = traversal::positions(h, &vp, &tree);
         PathCtx {
             position: traversal.position,

@@ -7,6 +7,7 @@ use crate::contacts::ContactTable;
 use crate::proto::step::{Poll, Step};
 use crate::vpath::VPath;
 use dgr_ncc::{tags, NodeId, RoundCtx, WireMsg};
+use std::sync::Arc;
 
 /// Algorithm 1 as a [`Step`].
 ///
@@ -14,7 +15,7 @@ use dgr_ncc::{tags, NodeId, RoundCtx, WireMsg};
 #[derive(Debug)]
 pub struct BbstStep {
     vp: VPath,
-    contacts: ContactTable,
+    contacts: Arc<ContactTable>,
     levels: usize,
     /// Polls completed so far; even = invite round, odd = accept round.
     t: u64,
@@ -27,7 +28,7 @@ pub struct BbstStep {
 impl BbstStep {
     /// Builds the step. `contacts` must be the contact table of the same
     /// path (the structure `L` of the paper).
-    pub fn new(vp: VPath, contacts: ContactTable) -> Self {
+    pub fn new(vp: VPath, contacts: Arc<ContactTable>) -> Self {
         let levels = vp.levels();
         let is_root = vp.is_head();
         BbstStep {
@@ -131,13 +132,13 @@ impl BbstStep {
 }
 
 impl Step for BbstStep {
-    type Out = Bbst;
+    type Out = Arc<Bbst>;
 
-    fn poll(&mut self, ctx: &mut RoundCtx<'_>) -> Poll<Bbst> {
+    fn poll(&mut self, ctx: &mut RoundCtx<'_>) -> Poll<Arc<Bbst>> {
         let rounds = crate::bbst::rounds_for(self.vp.len);
         if !self.vp.member {
             if self.t == rounds {
-                return Poll::Ready(Bbst {
+                return Poll::Ready(Arc::new(Bbst {
                     is_root: false,
                     parent: None,
                     side: None,
@@ -145,7 +146,7 @@ impl Step for BbstStep {
                     right: None,
                     depth: 0,
                     member: false,
-                });
+                }));
             }
             self.t += 1;
             return Poll::Pending;
@@ -156,7 +157,7 @@ impl Step for BbstStep {
                 self.absorb_accepts(ctx);
             }
             debug_assert!(self.in_tree, "node {} never joined the BFS tree", ctx.id());
-            return Poll::Ready(self.tree.clone());
+            return Poll::Ready(Arc::new(self.tree.clone()));
         }
         if self.t.is_multiple_of(2) {
             // Invite round for level i = levels - 1 - t/2; first consume the

@@ -48,7 +48,8 @@ pub struct PathToClique {
 impl PathToClique {
     /// Builds the protocol for one node.
     pub fn new(seed: &NodeSeed<'_>) -> Self {
-        let levels = crate::levels_for(seed.n);
+        // The G_k path spans the participating nodes (== n unmasked).
+        let levels = crate::levels_for(seed.participants);
         PathToClique {
             levels,
             fwd: Vec::with_capacity(levels),
@@ -112,7 +113,7 @@ impl NodeProtocol for PathToClique {
             member: true,
             pred: self.pred,
             succ: ctx.initial_successor(),
-            len: ctx.n(),
+            len: ctx.participants(),
         };
         Status::Done(CliqueWarmup {
             vp,

@@ -8,12 +8,15 @@ use crate::contacts::ContactTable;
 use crate::proto::step::{Poll, Step};
 use crate::vpath::VPath;
 use dgr_ncc::{tags, NodeId, RoundCtx, WireMsg};
+use std::sync::Arc;
 
 /// Direction words (identical to the direct-style module).
 const SET_FWD: u64 = 0;
 const SET_BWD: u64 = 1;
 
-/// Pointer-doubling contact construction as a [`Step`].
+/// Pointer-doubling contact construction as a [`Step`]. The finished
+/// table is handed out interned (`Arc`) so downstream steps share one
+/// copy per node instead of cloning it at every stage transition.
 ///
 /// Rounds: exactly [`contacts::rounds_for`](crate::contacts::rounds_for)`
 /// (vp.len)` — the same budget as the direct-style twin.
@@ -65,29 +68,29 @@ impl ContactsStep {
 }
 
 impl Step for ContactsStep {
-    type Out = ContactTable;
+    type Out = Arc<ContactTable>;
 
-    fn poll(&mut self, ctx: &mut RoundCtx<'_>) -> Poll<ContactTable> {
+    fn poll(&mut self, ctx: &mut RoundCtx<'_>) -> Poll<Arc<ContactTable>> {
         let rounds = crate::contacts::rounds_for(self.vp.len);
         if !self.vp.member {
             // Idle in lockstep like the direct twin's `idle_quiet`.
             if self.t == rounds {
-                return Poll::Ready(ContactTable::default());
+                return Poll::Ready(Arc::new(ContactTable::default()));
             }
             self.t += 1;
             return Poll::Pending;
         }
         if self.t == 0 {
             if self.levels == 0 {
-                return Poll::Ready(ContactTable::default());
+                return Poll::Ready(Arc::new(ContactTable::default()));
             }
             self.fwd.push(self.vp.succ);
             self.bwd.push(self.vp.pred);
             if self.levels == 1 {
-                return Poll::Ready(ContactTable {
+                return Poll::Ready(Arc::new(ContactTable {
                     fwd: std::mem::take(&mut self.fwd),
                     bwd: std::mem::take(&mut self.bwd),
-                });
+                }));
             }
             self.send_level(1, ctx);
             self.t = 1;
@@ -102,9 +105,9 @@ impl Step for ContactsStep {
             self.t += 1;
             return Poll::Pending;
         }
-        Poll::Ready(ContactTable {
+        Poll::Ready(Arc::new(ContactTable {
             fwd: std::mem::take(&mut self.fwd),
             bwd: std::mem::take(&mut self.bwd),
-        })
+        }))
     }
 }

@@ -10,6 +10,7 @@
 //! [`rounds_on`](crate::ctx::rounds_on) when starting from an existing
 //! path view).
 
+use crate::bbst::Bbst;
 use crate::contacts::ContactTable;
 use crate::ctx::PathCtx;
 use crate::proto::bbst::BbstStep;
@@ -18,6 +19,7 @@ use crate::proto::step::{Poll, Step};
 use crate::proto::traversal::TraversalStep;
 use crate::vpath::VPath;
 use dgr_ncc::{tags, RoundCtx, WireMsg};
+use std::sync::Arc;
 
 /// Step-function port of [`vpath::undirect`](crate::vpath::undirect): the
 /// 1-round undirection of `G_k`, chainable ahead of the other primitives.
@@ -59,7 +61,10 @@ impl Step for UndirectStep {
             member: true,
             pred,
             succ: ctx.initial_successor(),
-            len: ctx.n(),
+            // The G_k path spans the *participating* nodes — on a masked
+            // sub-network run that is fewer than n, and every round budget
+            // downstream keys off this length.
+            len: ctx.participants(),
         })
     }
 }
@@ -72,12 +77,15 @@ enum Stage {
 }
 
 /// The full `O(log n)`-round context establishment as one chainable
-/// [`Step`] producing a [`PathCtx`].
+/// [`Step`] producing a [`PathCtx`]. The contact table and the tree are
+/// built once and passed on as interned `Arc` handles — every stage
+/// transition here (and in the composite drivers downstream) moves
+/// pointers, never tables.
 pub struct EstablishCtx {
     stage: Stage,
     vp: VPath,
-    contacts: ContactTable,
-    tree: Option<crate::bbst::Bbst>,
+    contacts: Option<Arc<ContactTable>>,
+    tree: Option<Arc<Bbst>>,
 }
 
 impl EstablishCtx {
@@ -88,7 +96,7 @@ impl EstablishCtx {
             stage: Stage::Undirect(UndirectStep::new()),
             // Placeholder until undirection completes.
             vp: VPath::non_member(0),
-            contacts: ContactTable::default(),
+            contacts: None,
             tree: None,
         }
     }
@@ -98,9 +106,9 @@ impl EstablishCtx {
     /// Non-members idle in lockstep.
     pub fn on(vp: VPath) -> Self {
         EstablishCtx {
-            stage: Stage::Contacts(ContactsStep::new(vp.clone())),
+            stage: Stage::Contacts(ContactsStep::new(vp)),
             vp,
-            contacts: ContactTable::default(),
+            contacts: None,
             tree: None,
         }
     }
@@ -121,22 +129,22 @@ impl Step for EstablishCtx {
                 Stage::Undirect(s) => match s.poll(ctx) {
                     Poll::Pending => return Poll::Pending,
                     Poll::Ready(vp) => {
-                        self.vp = vp.clone();
+                        self.vp = vp;
                         self.stage = Stage::Contacts(ContactsStep::new(vp));
                     }
                 },
                 Stage::Contacts(s) => match s.poll(ctx) {
                     Poll::Pending => return Poll::Pending,
                     Poll::Ready(table) => {
-                        self.contacts = table.clone();
-                        self.stage = Stage::Bbst(BbstStep::new(self.vp.clone(), table));
+                        self.contacts = Some(table.clone());
+                        self.stage = Stage::Bbst(BbstStep::new(self.vp, table));
                     }
                 },
                 Stage::Bbst(s) => match s.poll(ctx) {
                     Poll::Pending => return Poll::Pending,
                     Poll::Ready(tree) => {
                         self.tree = Some(tree.clone());
-                        self.stage = Stage::Traversal(TraversalStep::new(self.vp.clone(), tree));
+                        self.stage = Stage::Traversal(TraversalStep::new(self.vp, tree));
                     }
                 },
                 Stage::Traversal(s) => match s.poll(ctx) {
@@ -145,7 +153,7 @@ impl Step for EstablishCtx {
                         return Poll::Ready(PathCtx {
                             position: traversal.position,
                             vp: std::mem::replace(&mut self.vp, VPath::non_member(0)),
-                            contacts: std::mem::take(&mut self.contacts),
+                            contacts: self.contacts.take().expect("contacts stage skipped"),
                             tree: self.tree.take().expect("tree stage skipped"),
                             traversal,
                         });

@@ -8,6 +8,7 @@ use crate::imcast::{CoverSide, Payload};
 use crate::proto::step::{Poll, Step};
 use crate::vpath::VPath;
 use dgr_ncc::{tags, RoundCtx, WireMsg};
+use std::sync::Arc;
 
 /// One interval-multicast epoch as a [`Step`].
 ///
@@ -16,7 +17,7 @@ use dgr_ncc::{tags, RoundCtx, WireMsg};
 #[derive(Debug)]
 pub struct ImcastStep {
     vp: VPath,
-    contacts: ContactTable,
+    contacts: Arc<ContactTable>,
     t: u64,
     duty: Option<(CoverSide, usize, Payload)>,
     received: Option<Payload>,
@@ -27,7 +28,7 @@ impl ImcastStep {
     /// multicast sources (intervals of distinct sources must be disjoint).
     pub fn new(
         vp: VPath,
-        contacts: ContactTable,
+        contacts: Arc<ContactTable>,
         task: Option<(CoverSide, usize, Payload)>,
     ) -> Self {
         ImcastStep {

@@ -6,6 +6,7 @@ use crate::bbst::{sweep_rounds, Bbst};
 use crate::proto::step::{AggOp, Poll, Step};
 use crate::vpath::VPath;
 use dgr_ncc::{tags, NodeId, RoundCtx, WireMsg};
+use std::sync::Arc;
 
 /// [`ops::aggregate_broadcast`](crate::ops::aggregate_broadcast) as a
 /// [`Step`]: one up sweep folding `value` with `op`, one down sweep pushing
@@ -15,7 +16,7 @@ use dgr_ncc::{tags, NodeId, RoundCtx, WireMsg};
 #[derive(Debug)]
 pub struct AggBcastStep {
     vp: VPath,
-    tree: Bbst,
+    tree: Arc<Bbst>,
     op: AggOp,
     t: u64,
     acc: u64,
@@ -27,7 +28,7 @@ pub struct AggBcastStep {
 
 impl AggBcastStep {
     /// Builds the step; `value` is this node's contribution.
-    pub fn new(vp: VPath, tree: Bbst, value: u64, op: AggOp) -> Self {
+    pub fn new(vp: VPath, tree: Arc<Bbst>, value: u64, op: AggOp) -> Self {
         let pending = if vp.member { tree.child_count() } else { 0 };
         AggBcastStep {
             vp,
@@ -106,7 +107,7 @@ impl Step for AggBcastStep {
 #[derive(Debug)]
 pub struct BroadcastAddrStep {
     vp: VPath,
-    tree: Bbst,
+    tree: Arc<Bbst>,
     t: u64,
     acc: Option<NodeId>,
     pending: usize,
@@ -117,7 +118,7 @@ pub struct BroadcastAddrStep {
 
 impl BroadcastAddrStep {
     /// Builds the step; `value` is `Some` at (at most) one member.
-    pub fn new(vp: VPath, tree: Bbst, value: Option<NodeId>) -> Self {
+    pub fn new(vp: VPath, tree: Arc<Bbst>, value: Option<NodeId>) -> Self {
         let pending = if vp.member { tree.child_count() } else { 0 };
         BroadcastAddrStep {
             vp,
@@ -133,7 +134,7 @@ impl BroadcastAddrStep {
 
     /// The Corollary 2 median broadcast: the node whose `position` is the
     /// median rank announces its own ID.
-    pub fn median(vp: VPath, tree: Bbst, position: usize, my_id: NodeId) -> Self {
+    pub fn median(vp: VPath, tree: Arc<Bbst>, position: usize, my_id: NodeId) -> Self {
         let target = (vp.len - 1) / 2;
         let mine = (vp.member && position == target).then_some(my_id);
         Self::new(vp, tree, mine)
@@ -210,7 +211,7 @@ impl Step for BroadcastAddrStep {
 #[derive(Debug)]
 pub struct CollectStep {
     vp: VPath,
-    tree: Bbst,
+    tree: Arc<Bbst>,
     k_bound: usize,
     t: u64,
     buffer: Vec<(NodeId, u64)>,
@@ -221,7 +222,13 @@ impl CollectStep {
     /// Builds the step; `token` is this node's contribution, `k_bound` a
     /// commonly known upper bound on the total token count, `my_id` the
     /// node's own ID.
-    pub fn new(vp: VPath, tree: Bbst, token: Option<u64>, k_bound: usize, my_id: NodeId) -> Self {
+    pub fn new(
+        vp: VPath,
+        tree: Arc<Bbst>,
+        token: Option<u64>,
+        k_bound: usize,
+        my_id: NodeId,
+    ) -> Self {
         let mut buffer = Vec::new();
         if vp.member {
             if let Some(t) = token {

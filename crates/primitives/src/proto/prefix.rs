@@ -5,6 +5,7 @@ use crate::contacts::ContactTable;
 use crate::proto::step::{Poll, Step};
 use crate::vpath::VPath;
 use dgr_ncc::{tags, RoundCtx, WireMsg};
+use std::sync::Arc;
 
 /// The parallel-prefix doubling scan as a [`Step`].
 ///
@@ -13,7 +14,7 @@ use dgr_ncc::{tags, RoundCtx, WireMsg};
 #[derive(Debug)]
 pub struct PrefixStep {
     vp: VPath,
-    contacts: ContactTable,
+    contacts: Arc<ContactTable>,
     t: u64,
     acc: u64,
     value: u64,
@@ -22,7 +23,7 @@ pub struct PrefixStep {
 
 impl PrefixStep {
     /// Inclusive prefix sum of `value` along the path.
-    pub fn new(vp: VPath, contacts: ContactTable, value: u64) -> Self {
+    pub fn new(vp: VPath, contacts: Arc<ContactTable>, value: u64) -> Self {
         PrefixStep {
             vp,
             contacts,
@@ -34,7 +35,7 @@ impl PrefixStep {
     }
 
     /// Exclusive prefix sum (sum over strictly earlier positions).
-    pub fn exclusive(vp: VPath, contacts: ContactTable, value: u64) -> Self {
+    pub fn exclusive(vp: VPath, contacts: Arc<ContactTable>, value: u64) -> Self {
         PrefixStep {
             exclusive: true,
             ..Self::new(vp, contacts, value)

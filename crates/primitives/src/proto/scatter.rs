@@ -9,6 +9,7 @@ use crate::proto::step::{Poll, Step};
 use crate::scatter::ScanRecord;
 use crate::vpath::VPath;
 use dgr_ncc::{tags, NodeId, RoundCtx, WireMsg};
+use std::sync::Arc;
 
 /// Sub-protocol words (identical to the direct-style module).
 const W_EXCHANGE: u64 = 0;
@@ -68,7 +69,7 @@ fn host(vpos: usize) -> usize {
 #[derive(Debug)]
 pub struct ScanStep {
     vp: VPath,
-    contacts: ContactTable,
+    contacts: Arc<ContactTable>,
     position: usize,
     t: u64,
     it: StageIter,
@@ -84,7 +85,7 @@ impl ScanStep {
     /// Builds the step; every member emits exactly two records.
     pub fn new(
         vp: VPath,
-        contacts: ContactTable,
+        contacts: Arc<ContactTable>,
         position: usize,
         records: [ScanRecord; 2],
         my_id: NodeId,

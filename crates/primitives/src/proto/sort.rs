@@ -7,6 +7,7 @@ use crate::proto::step::{Poll, Step};
 use crate::sort::{comparator_at, Order, SortedPath};
 use crate::vpath::VPath;
 use dgr_ncc::{tags, NodeId, RoundCtx, WireMsg};
+use std::sync::Arc;
 
 /// A record traveling through the comparator network (mirrors the private
 /// `Record` of the direct-style module).
@@ -53,7 +54,7 @@ impl StageIter {
 #[derive(Debug)]
 pub struct SortStep {
     vp: VPath,
-    contacts: ContactTable,
+    contacts: Arc<ContactTable>,
     x: usize,
     stage_count: u64,
     t: u64,
@@ -70,7 +71,7 @@ impl SortStep {
     /// `position` comes from the traversal primitive).
     pub fn new(
         vp: VPath,
-        contacts: ContactTable,
+        contacts: Arc<ContactTable>,
         position: usize,
         key: u64,
         order: Order,

@@ -6,6 +6,7 @@ use crate::proto::step::{Poll, Step};
 use crate::traversal::Traversal;
 use crate::vpath::VPath;
 use dgr_ncc::{tags, RoundCtx, WireMsg};
+use std::sync::Arc;
 
 /// Corollary 2 as a [`Step`].
 ///
@@ -14,7 +15,7 @@ use dgr_ncc::{tags, RoundCtx, WireMsg};
 #[derive(Debug)]
 pub struct TraversalStep {
     vp: VPath,
-    tree: Bbst,
+    tree: Arc<Bbst>,
     t: u64,
     out: Traversal,
     have_left: bool,
@@ -26,7 +27,7 @@ pub struct TraversalStep {
 
 impl TraversalStep {
     /// Builds the step over an established tree.
-    pub fn new(vp: VPath, tree: Bbst) -> Self {
+    pub fn new(vp: VPath, tree: Arc<Bbst>) -> Self {
         let have_left = tree.left.is_none();
         let have_right = tree.right.is_none();
         let interval_start = tree.is_root.then_some(0);

@@ -41,7 +41,7 @@ impl NodeProtocol for Undirect {
             member: true,
             pred,
             succ: ctx.initial_successor(),
-            len: ctx.n(),
+            len: ctx.participants(),
         })
     }
 }

@@ -48,7 +48,7 @@ impl Order {
 }
 
 /// The sorted-path handle a node receives for its own key.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SortedPath {
     /// This node's rank in sorted order (0-based; rank 0 = head).
     pub rank: usize,

@@ -17,7 +17,13 @@ use dgr_ncc::NodeId;
 use dgr_ncc::{tags, Msg, NodeHandle};
 
 /// One node's view of a virtual path.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Deliberately `Copy`: a path view is four machine words, and the
+/// composite stage machines pass it between sub-protocol stages every
+/// phase — it is a *handle*, not a table (the heap-backed per-path state
+/// — contact tables, trees — is interned behind `Arc`s instead; see
+/// [`crate::ctx::PathCtx`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VPath {
     /// Is this node on the path? Non-members only idle through primitives.
     pub member: bool,
@@ -81,7 +87,7 @@ pub fn undirect(h: &mut NodeHandle) -> VPath {
         member: true,
         pred,
         succ: h.initial_successor(),
-        len: h.n(),
+        len: h.participants(),
     }
 }
 

@@ -57,7 +57,7 @@ fn sort_port_matches_twin_and_engines() {
         let batched = engines_agree(&net, |_| {
             CtxThen::new(|ctx: &PathCtx, rctx: &mut RoundCtx<'_>| {
                 SortStep::new(
-                    ctx.vp.clone(),
+                    ctx.vp,
                     ctx.contacts.clone(),
                     ctx.position,
                     rctx.id() % 17,
@@ -91,11 +91,7 @@ fn prefix_port_matches_twin_and_engines() {
     let net = Network::new(n, Config::ncc0(7));
     let batched = engines_agree(&net, |_| {
         CtxThen::new(|ctx: &PathCtx, _: &mut RoundCtx<'_>| {
-            PrefixStep::new(
-                ctx.vp.clone(),
-                ctx.contacts.clone(),
-                ctx.position as u64 + 1,
-            )
+            PrefixStep::new(ctx.vp, ctx.contacts.clone(), ctx.position as u64 + 1)
         })
     });
     let direct = net
@@ -120,7 +116,7 @@ fn exclusive_prefix_port_matches_twin() {
     let batched = net
         .run_protocol(|_| {
             CtxThen::new(|ctx: &PathCtx, _: &mut RoundCtx<'_>| {
-                PrefixStep::exclusive(ctx.vp.clone(), ctx.contacts.clone(), ctx.position as u64)
+                PrefixStep::exclusive(ctx.vp, ctx.contacts.clone(), ctx.position as u64)
             })
         })
         .unwrap();
@@ -145,7 +141,7 @@ fn aggregate_broadcast_port_matches_twin_and_engines() {
         let net = Network::new(n, Config::ncc0(11));
         let batched = engines_agree(&net, move |_| {
             CtxThen::new(move |ctx: &PathCtx, rctx: &mut RoundCtx<'_>| {
-                AggBcastStep::new(ctx.vp.clone(), ctx.tree.clone(), rctx.id() % 100, op)
+                AggBcastStep::new(ctx.vp, ctx.tree.clone(), rctx.id() % 100, op)
             })
         });
         let direct = net
@@ -165,7 +161,7 @@ fn broadcast_addr_and_median_port_match_twin() {
     let net = Network::new(n, Config::ncc0(13));
     let batched = engines_agree(&net, |_| {
         CtxThen::new(|ctx: &PathCtx, rctx: &mut RoundCtx<'_>| {
-            BroadcastAddrStep::median(ctx.vp.clone(), ctx.tree.clone(), ctx.position, rctx.id())
+            BroadcastAddrStep::median(ctx.vp, ctx.tree.clone(), ctx.position, rctx.id())
         })
     });
     let direct = net
@@ -190,7 +186,7 @@ fn collect_port_matches_twin() {
                 .position
                 .is_multiple_of(3)
                 .then_some(ctx.position as u64);
-            CollectStep::new(ctx.vp.clone(), ctx.tree.clone(), token, k_bound, rctx.id())
+            CollectStep::new(ctx.vp, ctx.tree.clone(), token, k_bound, rctx.id())
         })
     });
     let direct = net
@@ -225,7 +221,7 @@ fn imcast_port_matches_twin_and_engines() {
                         },
                     )
                 });
-                ImcastStep::new(ctx.vp.clone(), ctx.contacts.clone(), task)
+                ImcastStep::new(ctx.vp, ctx.contacts.clone(), task)
             })
         });
         let direct = net
@@ -271,7 +267,7 @@ fn milestone_scan_port_matches_twin_and_engines() {
     let batched = engines_agree(&net, move |_| {
         CtxThen::new(move |ctx: &PathCtx, rctx: &mut RoundCtx<'_>| {
             ScanStep::new(
-                ctx.vp.clone(),
+                ctx.vp,
                 ctx.contacts.clone(),
                 ctx.position,
                 records(ctx.position, rctx.id()),

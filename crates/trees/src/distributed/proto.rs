@@ -29,6 +29,7 @@ use dgr_primitives::proto::EstablishCtx;
 use dgr_primitives::scatter::ScanRecord;
 use dgr_primitives::sort::{Order, SortedPath};
 use dgr_primitives::PathCtx;
+use std::sync::Arc;
 
 enum Stage {
     Establish(EstablishCtx),
@@ -56,7 +57,7 @@ pub struct RealizeTree {
     outcome: TreeOutcome,
     sum: u64,
     sp: Option<SortedPath>,
-    sct: Option<ContactTable>,
+    sct: Option<Arc<ContactTable>>,
     /// Algorithm 4: `k_eff`, remaining child slots, interval start.
     k_eff: usize,
     slots: usize,
@@ -92,7 +93,7 @@ impl RealizeTree {
 
     fn agg(&self, value: u64, op: AggOp) -> AggBcastStep {
         let ctx = self.ctx();
-        AggBcastStep::new(ctx.vp.clone(), ctx.tree.clone(), value, op)
+        AggBcastStep::new(ctx.vp, ctx.tree.clone(), value, op)
     }
 
     fn done(&mut self) -> Status<Result<TreeOutcome, Unrealizable>> {
@@ -132,7 +133,7 @@ impl NodeProtocol for RealizeTree {
                         }
                         let ctx = self.ctx();
                         self.stage = Stage::Sort(SortStep::new(
-                            ctx.vp.clone(),
+                            ctx.vp,
                             ctx.contacts.clone(),
                             ctx.position,
                             self.degree as u64,
@@ -144,7 +145,7 @@ impl NodeProtocol for RealizeTree {
                 Stage::Sort(s) => match s.poll(rctx) {
                     Poll::Pending => return Status::Continue,
                     Poll::Ready(sp) => {
-                        self.stage = Stage::SortedContacts(ContactsStep::new(sp.vp.clone()));
+                        self.stage = Stage::SortedContacts(ContactsStep::new(sp.vp));
                         self.sp = Some(sp);
                     }
                 },
@@ -163,7 +164,7 @@ impl NodeProtocol for RealizeTree {
                                 let sp = self.sp.as_ref().unwrap();
                                 self.slots = self.degree - usize::from(sp.rank > 0);
                                 self.stage = Stage::Prefix(PrefixStep::exclusive(
-                                    sp.vp.clone(),
+                                    sp.vp,
                                     self.sct.clone().unwrap(),
                                     self.slots as u64,
                                 ));
@@ -190,7 +191,7 @@ impl NodeProtocol for RealizeTree {
                             0
                         };
                         self.stage = Stage::Prefix(PrefixStep::exclusive(
-                            sp.vp.clone(),
+                            sp.vp,
                             self.sct.clone().unwrap(),
                             self.slots as u64,
                         ));
@@ -213,7 +214,7 @@ impl NodeProtocol for RealizeTree {
                                     2 * rank as u64 + 1
                                 };
                                 self.stage = Stage::Resort(SortStep::new(
-                                    sp.vp.clone(),
+                                    sp.vp,
                                     self.sct.clone().unwrap(),
                                     rank,
                                     key,
@@ -237,7 +238,7 @@ impl NodeProtocol for RealizeTree {
                                     key: 2 * rank as u64,
                                 };
                                 self.stage = Stage::Scan(ScanStep::new(
-                                    sp.vp.clone(),
+                                    sp.vp,
                                     self.sct.clone().unwrap(),
                                     rank,
                                     [rec0, rec1],
@@ -250,7 +251,7 @@ impl NodeProtocol for RealizeTree {
                 Stage::Resort(s) => match s.poll(rctx) {
                     Poll::Pending => return Status::Continue,
                     Poll::Ready(msp) => {
-                        self.stage = Stage::ResortContacts(ContactsStep::new(msp.vp.clone()));
+                        self.stage = Stage::ResortContacts(ContactsStep::new(msp.vp));
                         self.msp = Some(msp);
                     }
                 },
@@ -270,7 +271,7 @@ impl NodeProtocol for RealizeTree {
                             )
                         });
                         let msp = self.msp.as_ref().unwrap();
-                        self.stage = Stage::Mcast(ImcastStep::new(msp.vp.clone(), mct, task));
+                        self.stage = Stage::Mcast(ImcastStep::new(msp.vp, mct, task));
                     }
                 },
                 Stage::Mcast(s) => match s.poll(rctx) {

@@ -155,6 +155,55 @@ fn batched_explicit_realization_at_n_200k() {
     );
 }
 
+/// The acceptance-scale realization: Algorithm 3 end to end — explicit
+/// hand-off included — at one million nodes, an order of magnitude past
+/// the pre-interning drivers' memory ceiling. Arc-interned per-node
+/// tables, lazy outboxes and live-slot compaction are what keep the
+/// footprint bounded; run under `--ignored` (release mode recommended).
+#[test]
+#[ignore = "seven-digit n; run with --ignored (release mode recommended)"]
+fn batched_explicit_realization_at_n_1m() {
+    let n = 1_000_000;
+    let degrees = vec![1usize; n];
+    let mut config = Config::ncc0(81).with_queueing().with_sequential_ids();
+    config.track_knowledge = false;
+    let out = realization::realize_explicit_batched(&degrees, config).unwrap();
+    let r = out.expect_realized();
+    assert_eq!(r.graph.edge_count(), n / 2);
+    realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
+    assert_eq!(r.metrics.undelivered, 0);
+    assert!(r.metrics.max_received_per_round <= r.metrics.capacity);
+    // O(polylog) rounds: log2(1e6) ≈ 20.
+    assert!(
+        r.metrics.rounds < 10 * 20 * 20,
+        "rounds = {}",
+        r.metrics.rounds
+    );
+}
+
+/// Algorithm 5 at one million nodes (the paper's overlay-network regime):
+/// establish, degree sort, prefix sums, and the milestone scan over two
+/// million virtual slots. Run under `--ignored`.
+#[test]
+#[ignore = "seven-digit n; run with --ignored (release mode recommended)"]
+fn batched_greedy_tree_at_n_1m() {
+    let n = 1_000_000;
+    let mut degrees = vec![2usize; n];
+    degrees[0] = 1;
+    degrees[n - 1] = 1;
+    let mut config = Config::ncc0(82).with_sequential_ids();
+    config.track_knowledge = false;
+    let out = trees::realize_tree_batched(&degrees, config, trees::TreeAlgo::Greedy).unwrap();
+    let t = out.expect_realized();
+    assert!(t.graph.is_tree());
+    assert_eq!(t.diameter, n - 1, "all-degree-2 greedy tree is a path");
+    assert!(
+        t.metrics.rounds < 10 * 20 * 20,
+        "rounds = {}",
+        t.metrics.rounds
+    );
+}
+
 /// Algorithm 5 (minimum-diameter tree) end to end on the batched engine
 /// at 200k nodes: establish, degree sort, prefix sums, and the milestone
 /// scan over 400k virtual slots.
