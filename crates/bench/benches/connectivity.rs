@@ -1,9 +1,9 @@
 //! Wall-clock benches of the threshold realizations (Theorems 17/18).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dgr_connectivity::{realize_ncc0, realize_ncc1, ThresholdInstance};
+use dgr_bench::drive::{self, Engine};
+use dgr_connectivity::ThresholdInstance;
 use dgr_graphgen as graphgen;
-use dgr_ncc::Config;
 
 fn bench_ncc1(c: &mut Criterion) {
     let mut g = c.benchmark_group("threshold_ncc1");
@@ -11,7 +11,7 @@ fn bench_ncc1(c: &mut Criterion) {
     for &n in &[64usize, 128, 256] {
         let inst = ThresholdInstance::new(graphgen::uniform_thresholds(n, 1, 8, 8));
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
-            b.iter(|| realize_ncc1(i, Config::ncc1(8)).unwrap())
+            b.iter(|| drive::ncc1(&i.rho, 8, Engine::Threaded))
         });
     }
     g.finish();
@@ -23,7 +23,7 @@ fn bench_ncc0(c: &mut Criterion) {
     for &n in &[64usize, 128] {
         let inst = ThresholdInstance::new(graphgen::uniform_thresholds(n, 1, 8, 9));
         g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, i| {
-            b.iter(|| realize_ncc0(i, Config::ncc0(9).with_queueing()).unwrap())
+            b.iter(|| drive::ncc0(&i.rho, 9, Engine::Threaded))
         });
     }
     g.finish();

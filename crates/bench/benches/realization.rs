@@ -2,12 +2,8 @@
 //! implicit vs explicit, across workload shapes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dgr_core::{
-    realize_approx, realize_explicit, realize_explicit_batched, realize_implicit,
-    realize_implicit_batched,
-};
+use dgr_bench::drive::{self, Engine};
 use dgr_graphgen as graphgen;
-use dgr_ncc::Config;
 
 fn bench_implicit(c: &mut Criterion) {
     let mut g = c.benchmark_group("implicit_realization");
@@ -15,11 +11,11 @@ fn bench_implicit(c: &mut Criterion) {
     for &n in &[64usize, 128, 256] {
         let degrees = graphgen::near_regular_sequence(n, 6, 3);
         g.bench_with_input(BenchmarkId::new("regular6", n), &degrees, |b, d| {
-            b.iter(|| realize_implicit(d, Config::ncc0(3)).unwrap())
+            b.iter(|| drive::implicit(d, 3, Engine::Threaded))
         });
         let degrees = graphgen::power_law_sequence(n, n / 5, 2.5, 4);
         g.bench_with_input(BenchmarkId::new("powerlaw", n), &degrees, |b, d| {
-            b.iter(|| realize_implicit(d, Config::ncc0(4)).unwrap())
+            b.iter(|| drive::implicit(d, 4, Engine::Threaded))
         });
     }
     g.finish();
@@ -31,7 +27,7 @@ fn bench_explicit(c: &mut Criterion) {
     for &n in &[64usize, 128, 256] {
         let degrees = graphgen::near_regular_sequence(n, 6, 5);
         g.bench_with_input(BenchmarkId::from_parameter(n), &degrees, |b, d| {
-            b.iter(|| realize_explicit(d, Config::ncc0(5).with_queueing()).unwrap())
+            b.iter(|| drive::explicit(d, 5, Engine::Threaded))
         });
     }
     g.finish();
@@ -44,7 +40,7 @@ fn bench_envelope(c: &mut Criterion) {
     let mut degrees = graphgen::random_graphic_sequence(n, 16, 6);
     degrees[0] += 1; // break graphicness
     g.bench_with_input(BenchmarkId::from_parameter(n), &degrees, |b, d| {
-        b.iter(|| realize_approx(d, Config::ncc0(6)).unwrap())
+        b.iter(|| drive::envelope(d, 6, Engine::Threaded))
     });
     g.finish();
 }
@@ -55,7 +51,7 @@ fn bench_implicit_batched(c: &mut Criterion) {
     for &n in &[256usize, 1024, 4096] {
         let degrees = graphgen::near_regular_sequence(n, 6, 3);
         g.bench_with_input(BenchmarkId::new("regular6", n), &degrees, |b, d| {
-            b.iter(|| realize_implicit_batched(d, Config::ncc0(3)).unwrap())
+            b.iter(|| drive::implicit(d, 3, Engine::Batched))
         });
     }
     g.finish();
@@ -67,7 +63,7 @@ fn bench_explicit_batched(c: &mut Criterion) {
     for &n in &[256usize, 1024, 4096] {
         let degrees = graphgen::near_regular_sequence(n, 6, 5);
         g.bench_with_input(BenchmarkId::from_parameter(n), &degrees, |b, d| {
-            b.iter(|| realize_explicit_batched(d, Config::ncc0(5).with_queueing()).unwrap())
+            b.iter(|| drive::explicit(d, 5, Engine::Batched))
         });
     }
     g.finish();

@@ -2,9 +2,9 @@
 //! Algorithm 4 vs Algorithm 5 head-to-head.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgr_bench::drive::{self, Engine};
 use dgr_graphgen as graphgen;
-use dgr_ncc::Config;
-use dgr_trees::{realize_tree, realize_tree_batched, TreeAlgo};
+use dgr_trees::TreeAlgo;
 
 fn bench_tree_algos(c: &mut Criterion) {
     let mut g = c.benchmark_group("tree_realization");
@@ -12,10 +12,10 @@ fn bench_tree_algos(c: &mut Criterion) {
     for &n in &[64usize, 256, 1024] {
         let degrees = graphgen::random_tree_sequence(n, 7);
         g.bench_with_input(BenchmarkId::new("alg4_chain", n), &degrees, |b, d| {
-            b.iter(|| realize_tree(d, Config::ncc0(7), TreeAlgo::Chain).unwrap())
+            b.iter(|| drive::tree(d, TreeAlgo::Chain, 7, Engine::Threaded))
         });
         g.bench_with_input(BenchmarkId::new("alg5_greedy", n), &degrees, |b, d| {
-            b.iter(|| realize_tree(d, Config::ncc0(7), TreeAlgo::Greedy).unwrap())
+            b.iter(|| drive::tree(d, TreeAlgo::Greedy, 7, Engine::Threaded))
         });
     }
     g.finish();
@@ -27,10 +27,10 @@ fn bench_tree_algos_batched(c: &mut Criterion) {
     for &n in &[1024usize, 4096, 16384] {
         let degrees = graphgen::random_tree_sequence(n, 7);
         g.bench_with_input(BenchmarkId::new("alg4_chain", n), &degrees, |b, d| {
-            b.iter(|| realize_tree_batched(d, Config::ncc0(7), TreeAlgo::Chain).unwrap())
+            b.iter(|| drive::tree(d, TreeAlgo::Chain, 7, Engine::Batched))
         });
         g.bench_with_input(BenchmarkId::new("alg5_greedy", n), &degrees, |b, d| {
-            b.iter(|| realize_tree_batched(d, Config::ncc0(7), TreeAlgo::Greedy).unwrap())
+            b.iter(|| drive::tree(d, TreeAlgo::Greedy, 7, Engine::Batched))
         });
     }
     g.finish();

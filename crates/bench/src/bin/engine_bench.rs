@@ -20,14 +20,14 @@
 //! per-workload regression gate CI runs, a much tighter net than the
 //! single 10k warm-up speedup ratio.
 
-use dgr_core::{realize_implicit, realize_implicit_batched};
+use dgr_bench::drive::{CapacityPolicy, Engine, Kt0, Realization, SortBackend, Workload};
 use dgr_graphgen as graphgen;
 use dgr_ncc::{Config, Network, RunMetrics};
 use dgr_primitives::proto::sort::SortStep;
 use dgr_primitives::proto::{EstablishCtx, PathToClique, StepProtocol, WithCtx};
 use dgr_primitives::sort::{self, Order};
 use dgr_primitives::PathCtx;
-use dgr_trees::{realize_tree, realize_tree_batched, TreeAlgo};
+use dgr_trees::TreeAlgo;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -54,6 +54,61 @@ fn bench_config(seed: u64) -> Config {
     let mut config = Config::ncc0(seed);
     config.track_knowledge = false;
     config
+}
+
+/// FNV-1a over a byte string — a *stable* hash (std's `DefaultHasher`
+/// may change across Rust releases, which would silently re-key every
+/// fingerprint and disarm the history gate on each toolchain upgrade).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A coarse hardware fingerprint — architecture, logical core count, and
+/// a hash of the CPU model string — so the history gate only compares
+/// runs from matching machines (throughput is meaningless across
+/// hardware classes; see ROADMAP).
+fn hardware_fingerprint() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(0);
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|info| {
+            info.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown-cpu".to_string());
+    format!(
+        "{}-{}c-{:08x}",
+        std::env::consts::ARCH,
+        cores,
+        fnv1a(model.as_bytes()) as u32
+    )
+}
+
+/// The builder request shared by every driver row.
+fn request(workload: Workload, seed: u64, batched: bool, sort: SortBackend) -> Realization {
+    let policy = match sort {
+        SortBackend::RandomizedLogN { .. } => CapacityPolicy::Queue,
+        SortBackend::Bitonic => CapacityPolicy::Strict,
+    };
+    Realization::new(workload)
+        .engine(if batched {
+            Engine::Batched
+        } else {
+            Engine::Threaded
+        })
+        .policy(policy)
+        .tracking(Kt0::Untracked)
+        .sort(sort)
+        .seed(seed)
 }
 
 /// Times `repeats` runs of `run` (after one warm-up) and records an entry.
@@ -106,20 +161,26 @@ fn establish(n: usize, repeats: u32, batched: bool) -> Entry {
     })
 }
 
-fn dist_sort(n: usize, repeats: u32, batched: bool) -> Entry {
-    let net = Network::new(n, bench_config(44));
-    measure("sort", engine_name(batched), n, repeats, || {
+/// The sort workload (establish + Theorem 3) with a selectable backend.
+/// The randomized backend's scatter fan-in needs queueing; the bitonic
+/// rows stay strict so their history keys remain comparable.
+fn dist_sort_with(
+    workload: &'static str,
+    n: usize,
+    repeats: u32,
+    batched: bool,
+    backend: SortBackend,
+) -> Entry {
+    let mut config = bench_config(44);
+    if matches!(backend, SortBackend::RandomizedLogN { .. }) {
+        config = config.with_queueing();
+    }
+    let net = Network::new(n, config);
+    measure(workload, engine_name(batched), n, repeats, || {
         if batched {
             net.run_protocol(|_| {
-                WithCtx::new(|ctx: &PathCtx, rctx: &mut dgr_ncc::RoundCtx<'_>| {
-                    SortStep::new(
-                        ctx.vp,
-                        ctx.contacts.clone(),
-                        ctx.position,
-                        rctx.id() % 1000,
-                        Order::Descending,
-                        rctx.id(),
-                    )
+                WithCtx::new(move |ctx: &PathCtx, rctx: &mut dgr_ncc::RoundCtx<'_>| {
+                    SortStep::on_ctx(ctx, rctx.id() % 1000, Order::Descending, rctx.id(), backend)
                 })
             })
             .unwrap()
@@ -143,31 +204,92 @@ fn dist_sort(n: usize, repeats: u32, batched: bool) -> Entry {
     })
 }
 
-fn degrees(n: usize, repeats: u32, batched: bool) -> Entry {
+fn dist_sort(n: usize, repeats: u32, batched: bool) -> Entry {
+    dist_sort_with("sort", n, repeats, batched, SortBackend::Bitonic)
+}
+
+fn dist_sort_rand(n: usize, repeats: u32) -> Entry {
+    dist_sort_with(
+        "sort+rand",
+        n,
+        repeats,
+        true,
+        SortBackend::RandomizedLogN { seed: 9 },
+    )
+}
+
+fn degrees_with(
+    workload: &'static str,
+    n: usize,
+    repeats: u32,
+    batched: bool,
+    sort: SortBackend,
+) -> Entry {
     let degrees = graphgen::near_regular_sequence(n, 4, 9);
-    measure("degrees-implicit", engine_name(batched), n, repeats, || {
-        let out = if batched {
-            realize_implicit_batched(&degrees, bench_config(45)).unwrap()
-        } else {
-            realize_implicit(&degrees, bench_config(45)).unwrap()
-        };
+    measure(workload, engine_name(batched), n, repeats, || {
+        let out = request(Workload::Implicit(degrees.clone()), 45, batched, sort)
+            .run()
+            .unwrap();
+        out.metrics().clone()
+    })
+}
+
+fn degrees(n: usize, repeats: u32, batched: bool) -> Entry {
+    degrees_with(
+        "degrees-implicit",
+        n,
+        repeats,
+        batched,
+        SortBackend::Bitonic,
+    )
+}
+
+fn degrees_rand(n: usize, repeats: u32) -> Entry {
+    degrees_with(
+        "degrees-implicit+rand",
+        n,
+        repeats,
+        true,
+        SortBackend::RandomizedLogN { seed: 9 },
+    )
+}
+
+fn tree_with(
+    workload: &'static str,
+    n: usize,
+    repeats: u32,
+    batched: bool,
+    sort: SortBackend,
+) -> Entry {
+    let degrees = graphgen::random_tree_sequence(n, 11);
+    measure(workload, engine_name(batched), n, repeats, || {
+        let out = request(
+            Workload::Tree {
+                degrees: degrees.clone(),
+                algo: TreeAlgo::Greedy,
+            },
+            46,
+            batched,
+            sort,
+        )
+        .run()
+        .unwrap();
         out.metrics().clone()
     })
 }
 
 fn tree(n: usize, repeats: u32, batched: bool) -> Entry {
-    let degrees = graphgen::random_tree_sequence(n, 11);
-    measure("tree-greedy", engine_name(batched), n, repeats, || {
-        let out = if batched {
-            realize_tree_batched(&degrees, bench_config(46), TreeAlgo::Greedy).unwrap()
-        } else {
-            realize_tree(&degrees, bench_config(46), TreeAlgo::Greedy).unwrap()
-        };
-        match out {
-            dgr_trees::TreeRealization::Realized(t) => t.metrics,
-            dgr_trees::TreeRealization::Unrealizable { metrics } => metrics,
-        }
-    })
+    tree_with("tree-greedy", n, repeats, batched, SortBackend::Bitonic)
+}
+
+fn tree_rand(n: usize, repeats: u32) -> Entry {
+    tree_with(
+        "tree-greedy+rand",
+        n,
+        repeats,
+        true,
+        SortBackend::RandomizedLogN { seed: 9 },
+    )
 }
 
 fn engine_name(batched: bool) -> &'static str {
@@ -202,8 +324,9 @@ fn parse_history_entries(line: &str) -> Vec<(String, f64)> {
 }
 
 /// Formats one append-only history record: batched throughput per
-/// `workload@n`, stamped with the wall clock and the sweep mode.
-fn history_record(entries: &[Entry], quick: bool) -> String {
+/// `workload@n`, stamped with the wall clock, the sweep mode, and the
+/// hardware fingerprint the regression gate scopes to.
+fn history_record(entries: &[Entry], quick: bool, fingerprint: &str) -> String {
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -215,7 +338,7 @@ fn history_record(entries: &[Entry], quick: bool) -> String {
         .collect();
     pairs.sort();
     format!(
-        "{{\"unix_secs\": {unix_secs}, \"mode\": \"{}\", \"entries\":{{{}}}}}",
+        "{{\"unix_secs\": {unix_secs}, \"mode\": \"{}\", \"fingerprint\": \"{fingerprint}\", \"entries\":{{{}}}}}",
         if quick { "quick" } else { "full" },
         pairs.join(", ")
     )
@@ -224,22 +347,27 @@ fn history_record(entries: &[Entry], quick: bool) -> String {
 /// Appends this run to the history file (a true append — the existing
 /// records are never rewritten, so an interrupted run cannot truncate the
 /// trend), first failing on any >2x per-workload regression against the
-/// most recent record **of the same sweep mode** (quick and full sweeps
-/// measure different repeat counts and must not gate each other). The
-/// throughput figures are machine-dependent; the 2x threshold is the
-/// headroom for same-class hardware, and `BENCH_HISTORY_NO_GATE=1`
-/// downgrades the gate to a report for runs on known-different hardware
-/// (see ROADMAP: per-entry hardware fingerprints). Returns the
-/// regressions found (empty = gate passed or disarmed).
-fn check_and_append_history(path: &str, entries: &[Entry], quick: bool) -> Vec<String> {
+/// most recent record of the same sweep mode **and the same hardware
+/// fingerprint** (quick and full sweeps measure different repeat counts,
+/// and throughput across hardware classes is incomparable; records
+/// predating the fingerprint field never gate). `BENCH_HISTORY_NO_GATE=1`
+/// downgrades the gate to a report for one-off runs on odd hardware.
+/// Returns the regressions found (empty = gate passed or disarmed).
+fn check_and_append_history(
+    path: &str,
+    entries: &[Entry],
+    quick: bool,
+    fingerprint: &str,
+) -> Vec<String> {
     use std::io::Write as _;
-    let record = history_record(entries, quick);
+    let record = history_record(entries, quick, fingerprint);
     let mode_tag = format!("\"mode\": \"{}\"", if quick { "quick" } else { "full" });
+    let fp_tag = format!("\"fingerprint\": \"{fingerprint}\"");
     let previous = std::fs::read_to_string(path).unwrap_or_default();
     let last = previous
         .lines()
         .rev()
-        .find(|l| !l.trim().is_empty() && l.contains(&mode_tag));
+        .find(|l| !l.trim().is_empty() && l.contains(&mode_tag) && l.contains(&fp_tag));
     let mut regressions = Vec::new();
     if let Some(last) = last {
         let old = parse_history_entries(last);
@@ -313,10 +441,13 @@ fn main() {
         eprintln!("batched warmup n={n} ...");
         entries.push(warmup(n, repeats, true));
     }
+    // 16384 = 2^14 sits in both sweeps: it is the crossover point where
+    // the Theorem 3 randomized backend must undercut the bitonic round
+    // count, so the history gate tracks it from day one.
     let driver_sizes: &[(usize, u32)] = if quick {
-        &[(1_000, 5), (10_000, 2)]
+        &[(1_000, 5), (10_000, 2), (16_384, 2)]
     } else {
-        &[(1_000, 5), (10_000, 2), (100_000, 1)]
+        &[(1_000, 5), (10_000, 2), (16_384, 2), (100_000, 1)]
     };
     for &(n, repeats) in driver_sizes {
         eprintln!("batched primitives + drivers n={n} ...");
@@ -324,6 +455,31 @@ fn main() {
         entries.push(dist_sort(n, repeats, true));
         entries.push(degrees(n, repeats, true));
         entries.push(tree(n, repeats, true));
+        // The Theorem 3 randomized backend, one row per sorting workload
+        // (warmup/establish never sort).
+        entries.push(dist_sort_rand(n, repeats));
+        entries.push(degrees_rand(n, repeats));
+        entries.push(tree_rand(n, repeats));
+    }
+    // The acceptance line for the randomized backend: strictly fewer
+    // rounds than the bitonic network from n = 2^14 up.
+    for &(n, _) in driver_sizes.iter().filter(|&&(n, _)| n >= 1 << 14) {
+        let rounds_of = |workload: &str| {
+            entries
+                .iter()
+                .find(|e| e.workload == workload && e.engine == "batched" && e.n == n)
+                .map(|e| e.rounds)
+                .unwrap()
+        };
+        let (bitonic, rand) = (rounds_of("sort"), rounds_of("sort+rand"));
+        assert!(
+            rand < bitonic,
+            "randomized sort did not beat bitonic at n={n}: {rand} >= {bitonic} rounds"
+        );
+        eprintln!(
+            "sort rounds at n={n}: bitonic {bitonic}, randomized {rand}              ({}% of bitonic)",
+            rand * 100 / bitonic
+        );
     }
 
     let rps = |workload: &str, engine: &str, n: usize| {
@@ -393,9 +549,12 @@ fn main() {
     eprintln!("wrote {out_path}");
 
     // Per-workload trend gate: append this run to the (append-only)
-    // history and fail on any >2x regression against the previous record.
+    // history and fail on any >2x regression against the previous record
+    // from matching hardware.
+    let fingerprint = hardware_fingerprint();
+    eprintln!("hardware fingerprint: {fingerprint}");
     let regressions = history_path
-        .map(|p| check_and_append_history(&p, &entries, quick))
+        .map(|p| check_and_append_history(&p, &entries, quick, &fingerprint))
         .unwrap_or_default();
 
     assert!(
@@ -431,7 +590,7 @@ mod tests {
             entry("warmup", 1000, 500, 0.5),
             entry("sort", 1000, 300, 3.0),
         ];
-        let record = history_record(&entries, true);
+        let record = history_record(&entries, true, "fp-test");
         let parsed = parse_history_entries(&record);
         assert_eq!(parsed.len(), 2);
         assert!(parsed
@@ -452,21 +611,26 @@ mod tests {
         let path = dir.to_str().unwrap();
         // First run: no previous record, nothing to flag.
         let fast = vec![entry("warmup", 1000, 1000, 1.0)];
-        assert!(check_and_append_history(path, &fast, true).is_empty());
+        assert!(check_and_append_history(path, &fast, true, "fp-a").is_empty());
         // 1.5x slower: within the gate.
         let slower = vec![entry("warmup", 1000, 1000, 1.5)];
-        assert!(check_and_append_history(path, &slower, true).is_empty());
+        assert!(check_and_append_history(path, &slower, true, "fp-a").is_empty());
         // A *full*-mode record must not gate against quick-mode history.
         let full_mode = vec![entry("warmup", 1000, 1000, 9.0)];
-        assert!(check_and_append_history(path, &full_mode, false).is_empty());
-        // >2x slower than the previous *same-mode* (quick) record: flagged.
+        assert!(check_and_append_history(path, &full_mode, false, "fp-a").is_empty());
+        // Different hardware: 10x slower but a different fingerprint —
+        // never gated against fp-a's records.
+        let other_hw = vec![entry("warmup", 1000, 1000, 15.0)];
+        assert!(check_and_append_history(path, &other_hw, true, "fp-b").is_empty());
+        // >2x slower than the previous same-mode, same-fingerprint
+        // (quick, fp-a) record: flagged.
         let regressed = vec![entry("warmup", 1000, 1000, 4.0)];
-        let flags = check_and_append_history(path, &regressed, true);
+        let flags = check_and_append_history(path, &regressed, true, "fp-a");
         assert_eq!(flags.len(), 1, "{flags:?}");
         assert!(flags[0].contains("warmup@1000"));
-        // The file is append-only: all four records are retained.
+        // The file is append-only: all five records are retained.
         let contents = std::fs::read_to_string(path).unwrap();
-        assert_eq!(contents.lines().count(), 4);
+        assert_eq!(contents.lines().count(), 5);
         let _ = std::fs::remove_file(&dir);
     }
 

@@ -3,8 +3,8 @@
 //! (These are *our* knobs — the paper's `O(log n)` hides them — so the
 //! ablation quantifies what the asymptotics abstract away.)
 
+use crate::drive::{self, Engine, Workload};
 use crate::table::{f2, Table};
-use dgr_core::{realize_explicit, realize_implicit};
 use dgr_graphgen as graphgen;
 use dgr_ncc::{tags, CapacityPolicy, Config, Msg, Network};
 
@@ -29,9 +29,18 @@ pub fn a1_capacity() -> Vec<Table> {
     let mut handoffs = Vec::new();
     let mut implicit_rounds = Vec::new();
     for &factor in &[0.5f64, 1.0, 2.0, 4.0, 8.0] {
-        let cfg = Config::ncc0(61).with_capacity_factor(factor);
-        let imp = realize_implicit(&degrees, cfg.clone()).unwrap();
-        let exp = realize_explicit(&degrees, cfg.with_queueing()).unwrap();
+        let imp = drive::degrees(
+            Workload::Implicit(degrees.clone()),
+            61,
+            Engine::Batched,
+            Some(factor),
+        );
+        let exp = drive::degrees(
+            Workload::Explicit(degrees.clone()),
+            61,
+            Engine::Batched,
+            Some(factor),
+        );
         let (ri, re) = (imp.expect_realized(), exp.expect_realized());
         let cap = re.metrics.capacity;
         let handoff = re.metrics.rounds.saturating_sub(ri.metrics.rounds);

@@ -1,10 +1,10 @@
 //! Connectivity-threshold experiments (Theorems 17 and 18).
 
+use crate::drive::{self, Engine};
 use crate::experiments::ratios_flat;
 use crate::table::{f2, Table};
-use dgr_connectivity::{edge_lower_bound, realize_ncc0, realize_ncc1, ThresholdInstance};
+use dgr_connectivity::{edge_lower_bound, ThresholdInstance};
 use dgr_graphgen as graphgen;
-use dgr_ncc::Config;
 
 fn lg(n: usize) -> f64 {
     (n as f64).log2()
@@ -22,7 +22,7 @@ pub fn t17_ncc1() -> Vec<Table> {
     for &dmax in &[2usize, 8, 32, 127] {
         let rho = graphgen::uniform_thresholds(n, 1, dmax, 41);
         let inst = ThresholdInstance::new(rho);
-        let out = realize_ncc1(&inst, Config::ncc1(41)).unwrap();
+        let out = drive::ncc1(&inst.rho, 41, Engine::Batched);
         let lb = edge_lower_bound(&inst);
         let approx = out.graph.edge_count() as f64 / lb as f64;
         ok_all &= out.report.satisfied && approx <= 2.0;
@@ -68,7 +68,7 @@ pub fn t18_ncc0() -> Vec<Table> {
     for &dmax in &[4usize, 8, 16, 32, 64] {
         let rho = graphgen::uniform_thresholds(n, 1, dmax, 42);
         let inst = ThresholdInstance::new(rho);
-        let out = realize_ncc0(&inst, Config::ncc0(42).with_queueing()).unwrap();
+        let out = drive::ncc0(&inst.rho, 42, Engine::Batched);
         let lb = edge_lower_bound(&inst);
         let approx = out.graph.edge_count() as f64 / lb as f64;
         ok_all &= out.report.satisfied && approx <= 2.0 && out.metrics.undelivered == 0;
@@ -103,7 +103,7 @@ pub fn t18_ncc0() -> Vec<Table> {
     let mut ok2 = true;
     for (name, rho) in shapes {
         let inst = ThresholdInstance::new(rho);
-        let out = realize_ncc0(&inst, Config::ncc0(43).with_queueing()).unwrap();
+        let out = drive::ncc0(&inst.rho, 43, Engine::Batched);
         let lb = edge_lower_bound(&inst);
         let approx = out.graph.edge_count() as f64 / lb as f64;
         ok2 &= out.report.satisfied && approx <= 2.0;

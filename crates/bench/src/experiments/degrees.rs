@@ -1,11 +1,11 @@
 //! Degree-realization experiments (Theorems 11, 12, 13): the paper's
 //! headline results.
 
+use crate::drive::{self, Engine};
 use crate::experiments::ratios_flat;
 use crate::table::{f2, Table};
-use dgr_core::{realize_approx, realize_explicit, realize_implicit, DegreeSequence};
+use dgr_core::DegreeSequence;
 use dgr_graphgen as graphgen;
-use dgr_ncc::Config;
 
 fn lg(n: usize) -> f64 {
     (n as f64).log2()
@@ -34,7 +34,7 @@ pub fn t11_implicit() -> Vec<Table> {
     for &k in &[2usize, 4, 8, 16, 32] {
         let degrees = graphgen::near_regular_sequence(n, k, 7);
         let seq = DegreeSequence::new(degrees.clone());
-        let out = realize_implicit(&degrees, Config::ncc0(7)).unwrap();
+        let out = drive::implicit(&degrees, 7, Engine::Batched);
         let r = out.expect_realized();
         let ok = dgr_core::verify::degrees_match(&r.graph, &r.requested).is_ok();
         exact &= ok && r.metrics.is_clean();
@@ -78,7 +78,7 @@ pub fn t11_implicit() -> Vec<Table> {
         let n = 300;
         let degrees = graphgen::sqrt_m_family(n, m);
         let seq = DegreeSequence::new(degrees.clone());
-        let out = realize_implicit(&degrees, Config::ncc0(8)).unwrap();
+        let out = drive::implicit(&degrees, 8, Engine::Batched);
         let r = out.expect_realized();
         let ok = dgr_core::verify::degrees_match(&r.graph, &r.requested).is_ok();
         exact &= ok && r.metrics.is_clean();
@@ -129,8 +129,8 @@ pub fn t12_explicit() -> Vec<Table> {
         degrees[0] = delta;
         graphgen::repair_to_graphic(&mut degrees);
         let seq = DegreeSequence::new(degrees.clone());
-        let imp = realize_implicit(&degrees, Config::ncc0(9)).unwrap();
-        let exp = realize_explicit(&degrees, Config::ncc0(9).with_queueing()).unwrap();
+        let imp = drive::implicit(&degrees, 9, Engine::Batched);
+        let exp = drive::explicit(&degrees, 9, Engine::Batched);
         let (ri, re) = (imp.expect_realized(), exp.expect_realized());
         ok_all &= dgr_core::verify::degrees_match(&re.graph, &re.requested).is_ok()
             && re.metrics.undelivered == 0;
@@ -201,7 +201,7 @@ pub fn t13_envelope() -> Vec<Table> {
     for (name, degrees) in families {
         let n = degrees.len();
         let sum: usize = degrees.iter().sum();
-        let out = realize_approx(&degrees, Config::ncc0(24)).unwrap();
+        let out = drive::envelope(&degrees, 24, Engine::Batched);
         let r = out.expect_realized();
         let mut env_sum = 0usize;
         let mut dominates = true;

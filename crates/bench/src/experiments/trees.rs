@@ -1,11 +1,11 @@
 //! Tree-realization experiments (Theorems 14 and 16).
 
+use crate::drive::{self, Engine};
 use crate::experiments::ratios_flat;
 use crate::table::{f2, Table};
 use dgr_core::DegreeSequence;
 use dgr_graphgen as graphgen;
-use dgr_ncc::Config;
-use dgr_trees::{greedy, realize_tree, TreeAlgo};
+use dgr_trees::{greedy, TreeAlgo};
 
 fn lg(n: usize) -> f64 {
     (n as f64).log2()
@@ -28,7 +28,7 @@ pub fn t14_chain() -> Vec<Table> {
     let mut ok_all = true;
     for &n in &[32usize, 64, 128, 256, 512, 1024] {
         let degrees = graphgen::random_tree_sequence(n, n as u64);
-        let out = realize_tree(&degrees, Config::ncc0(31), TreeAlgo::Chain).unwrap();
+        let out = drive::tree(&degrees, TreeAlgo::Chain, 31, Engine::Batched);
         let r = out.expect_realized();
         let deg_ok = dgr_core::verify::degrees_match(&r.graph, &r.requested).is_ok();
         ok_all &= r.graph.is_tree() && deg_ok && r.metrics.is_clean();
@@ -95,8 +95,8 @@ pub fn t16_greedy() -> Vec<Table> {
         if !seq.is_tree_realizable() {
             panic!("profile {name} is not tree-realizable");
         }
-        let chain = realize_tree(&degrees, Config::ncc0(32), TreeAlgo::Chain).unwrap();
-        let greedy_t = realize_tree(&degrees, Config::ncc0(32), TreeAlgo::Greedy).unwrap();
+        let chain = drive::tree(&degrees, TreeAlgo::Chain, 32, Engine::Batched);
+        let greedy_t = drive::tree(&degrees, TreeAlgo::Greedy, 32, Engine::Batched);
         let (c, g) = (chain.expect_realized(), greedy_t.expect_realized());
         let reference = greedy::greedy_tree(&seq).unwrap();
         let ref_dia = greedy::diameter_of(&reference, n);

@@ -3,6 +3,7 @@
 //! library holds the runners so Criterion benches and tests can reuse
 //! them.
 
+pub mod drive;
 pub mod experiments;
 pub mod table;
 

@@ -6,6 +6,7 @@
 //! six-digit-node scale.
 
 pub mod ncc0;
+pub mod ncc0_exact;
 pub mod ncc0_step;
 pub mod ncc1;
 pub mod ncc1_step;

@@ -109,6 +109,7 @@ enum Stage {
 /// requirement; every node runs the same protocol.
 pub struct Ncc0Threshold {
     rho: usize,
+    sort: dgr_primitives::sort::SortBackend,
     stage: Stage,
     ctx: Option<PathCtx>,
     sp: Option<SortedPath>,
@@ -118,10 +119,16 @@ pub struct Ncc0Threshold {
 }
 
 impl Ncc0Threshold {
-    /// Builds the protocol for one node.
+    /// Builds the protocol for one node (bitonic Theorem 3 backend).
     pub fn new(rho: usize) -> Self {
+        Self::with_sort(rho, dgr_primitives::sort::SortBackend::Bitonic)
+    }
+
+    /// Builds the protocol with an explicit backend for the ρ sort.
+    pub fn with_sort(rho: usize, sort: dgr_primitives::sort::SortBackend) -> Self {
         Ncc0Threshold {
             rho,
+            sort,
             stage: Stage::Establish(EstablishCtx::new()),
             ctx: None,
             sp: None,
@@ -155,13 +162,12 @@ impl NodeProtocol for Ncc0Threshold {
                         if ctx.vp.len == 1 {
                             return Status::Done(std::mem::take(&mut self.outcome));
                         }
-                        self.stage = Stage::Sort(SortStep::new(
-                            ctx.vp,
-                            ctx.contacts.clone(),
-                            ctx.position,
+                        self.stage = Stage::Sort(SortStep::on_ctx(
+                            &ctx,
                             self.rho as u64,
                             Order::Descending,
                             rctx.id(),
+                            self.sort,
                         ));
                         self.ctx = Some(ctx);
                     }

@@ -57,6 +57,8 @@ pub fn realize(h: &mut NodeHandle, rho: usize) -> ThresholdOutcome {
 }
 
 #[cfg(all(test, feature = "threaded"))]
+// The unit tests double as coverage of the deprecated delegating shims.
+#[allow(deprecated)]
 mod tests {
     use crate::driver::realize_ncc1;
     use crate::ThresholdInstance;

@@ -10,12 +10,13 @@
 
 #[cfg(feature = "threaded")]
 use crate::distributed::{ncc0, ncc1};
-use crate::distributed::{ncc0_step, ncc1_step, ThresholdOutcome};
+use crate::distributed::{ncc0_exact, ncc0_step, ncc1_step, ThresholdOutcome};
 use crate::verify::{check_thresholds, ThresholdReport};
 use crate::ThresholdInstance;
 use dgr_core::verify as core_verify;
 use dgr_graph::Graph;
-use dgr_ncc::{Config, Model, Network, NodeId, RunMetrics, SimError};
+use dgr_ncc::{Config, EngineKind, EngineStats, Model, Network, NodeId, RunMetrics, SimError};
+use dgr_primitives::sort::SortBackend;
 use std::collections::HashMap;
 
 /// How many nodes at most get the full `O(n²)`-flow all-pairs check;
@@ -44,6 +45,156 @@ fn rho_assignment(net: &Network, inst: &ThresholdInstance) -> HashMap<NodeId, us
     net.assign_in_path_order(&inst.rho)
 }
 
+/// Which threshold construction the engine room runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThresholdAlgo {
+    /// Theorem 17: the NCC1 star construction (`O~(1)` rounds; requires
+    /// an NCC1 configuration; implicit overlay).
+    Ncc1Star,
+    /// Algorithm 6 / Theorem 18 with the default cyclic-pipeline phase 1
+    /// (`O~(Δ)` rounds; explicit overlay; queueing policy).
+    Ncc0Pipeline,
+    /// Algorithm 6 **paper-exact**: phase 1 via the masked prefix
+    /// envelope recursion, plus the distinctness patch, phase-2 pipeline
+    /// and explicitness acks — see
+    /// [`crate::distributed::ncc0_exact`].
+    Ncc0Exact,
+}
+
+/// A completed threshold-realization run: the certified realization plus
+/// the executor's internal statistics.
+#[derive(Clone, Debug)]
+pub struct ThresholdRun {
+    /// The realized overlay with its certification report.
+    pub output: ThresholdRealization,
+    /// Executor-internal statistics (all-zero on the threaded oracle).
+    pub engine: EngineStats,
+}
+
+/// The **engine room** of the threshold realizations — one typed entry
+/// point over construction × engine × sorting backend, driven by the
+/// `dgr::Realization` facade builder.
+///
+/// `certify = false` skips the max-flow certification (an `O(n)`-flows
+/// cost that dominates at six-digit `n`); the returned report then has
+/// `pairs_checked == 0`. The NCC1 star ignores the sorting backend (it
+/// never sorts).
+///
+/// # Errors
+///
+/// Propagates simulator errors, and [`SimError::EngineUnavailable`] when
+/// the threaded oracle is requested without the `threaded` feature.
+///
+/// # Panics
+///
+/// Panics if `algo` is [`ThresholdAlgo::Ncc1Star`] and `config` is not an
+/// NCC1 configuration, or if an explicit construction loses edge symmetry
+/// (a protocol bug, not an input condition).
+pub fn realize_threshold_run(
+    inst: &ThresholdInstance,
+    config: Config,
+    algo: ThresholdAlgo,
+    engine: EngineKind,
+    sort: SortBackend,
+    certify: bool,
+) -> Result<ThresholdRun, SimError> {
+    let net = Network::new(inst.len(), config);
+    let by_id = rho_assignment(&net, inst);
+    match algo {
+        ThresholdAlgo::Ncc1Star => {
+            assert_eq!(net.model(), Model::Ncc1, "Theorem 17 requires NCC1");
+            #[cfg(feature = "threaded")]
+            if engine == EngineKind::Threaded {
+                let result = net.run(|h| ncc1::realize(h, by_id[&h.id()]))?;
+                let engine_stats = result.engine.clone();
+                return Ok(ThresholdRun {
+                    output: certify_implicit_run(&net, by_id, result, certify),
+                    engine: engine_stats,
+                });
+            }
+            let result =
+                net.run_protocol_on(engine, None, |s| ncc1_step::Ncc1Star::new(s, by_id[&s.id]))?;
+            let engine_stats = result.engine.clone();
+            Ok(ThresholdRun {
+                output: certify_implicit_run(&net, by_id, result, certify),
+                engine: engine_stats,
+            })
+        }
+        ThresholdAlgo::Ncc0Pipeline => {
+            #[cfg(feature = "threaded")]
+            if engine == EngineKind::Threaded && sort == SortBackend::Bitonic {
+                let result = net.run(|h| ncc0::realize(h, by_id[&h.id()]))?;
+                let engine_stats = result.engine.clone();
+                return Ok(ThresholdRun {
+                    output: certify_explicit_run(&net, by_id, result, certify),
+                    engine: engine_stats,
+                });
+            }
+            let result = net.run_protocol_on(engine, None, |s| {
+                ncc0_step::Ncc0Threshold::with_sort(by_id[&s.id], sort)
+            })?;
+            let engine_stats = result.engine.clone();
+            Ok(ThresholdRun {
+                output: certify_explicit_run(&net, by_id, result, certify),
+                engine: engine_stats,
+            })
+        }
+        ThresholdAlgo::Ncc0Exact => {
+            let result = net.run_protocol_on(engine, None, |s| {
+                ncc0_exact::Ncc0Exact::with_sort(by_id[&s.id], sort)
+            })?;
+            let engine_stats = result.engine.clone();
+            Ok(ThresholdRun {
+                output: certify_explicit_run(&net, by_id, result, certify),
+                engine: engine_stats,
+            })
+        }
+    }
+}
+
+/// Shared explicit-realization assembly + optional certification.
+fn certify_explicit_run(
+    net: &Network,
+    by_id: HashMap<NodeId, usize>,
+    result: dgr_ncc::RunResult<ThresholdOutcome>,
+    certify: bool,
+) -> ThresholdRealization {
+    let metrics = result.metrics.clone();
+    let lists: HashMap<NodeId, Vec<NodeId>> = result
+        .outputs
+        .into_iter()
+        .map(|(id, o)| (id, o.neighbors))
+        .collect();
+    let assembled = core_verify::assemble_explicit(net.ids_in_path_order(), &lists)
+        .expect("Algorithm 6 lost explicit symmetry");
+    let report = if certify {
+        check_thresholds(&assembled.graph, &by_id, by_id.len() <= ALL_PAIRS_LIMIT)
+    } else {
+        skipped_report(&assembled.graph)
+    };
+    ThresholdRealization {
+        graph: assembled.graph,
+        rho: by_id,
+        path_order: net.ids_in_path_order().to_vec(),
+        explicit_neighbors: lists,
+        report,
+        metrics,
+    }
+}
+
+/// A report marking the certification as skipped: `skipped` is set, so
+/// the vacuous `satisfied` cannot be mistaken for a real verdict
+/// ([`ThresholdReport::certified`] returns false).
+fn skipped_report(graph: &Graph) -> ThresholdReport {
+    ThresholdReport {
+        satisfied: true,
+        skipped: true,
+        pairs_checked: 0,
+        first_violation: None,
+        edges: graph.edge_count(),
+    }
+}
+
 /// Runs the Theorem 17 NCC1 star construction.
 ///
 /// # Errors
@@ -54,15 +205,20 @@ fn rho_assignment(net: &Network, inst: &ThresholdInstance) -> HashMap<NodeId, us
 ///
 /// Panics if `config` is not an NCC1 configuration.
 #[cfg(feature = "threaded")]
+#[deprecated(note = "use `dgr::Realization` (or the `realize_threshold_run` engine room)")]
 pub fn realize_ncc1(
     inst: &ThresholdInstance,
     config: Config,
 ) -> Result<ThresholdRealization, SimError> {
-    assert_eq!(config.model, Model::Ncc1, "Theorem 17 requires NCC1");
-    let net = Network::new(inst.len(), config);
-    let by_id = rho_assignment(&net, inst);
-    let result = net.run(|h| ncc1::realize(h, by_id[&h.id()]))?;
-    Ok(certify_implicit(&net, inst, by_id, result))
+    realize_threshold_run(
+        inst,
+        config,
+        ThresholdAlgo::Ncc1Star,
+        EngineKind::Threaded,
+        SortBackend::Bitonic,
+        true,
+    )
+    .map(|run| run.output)
 }
 
 /// Runs the Theorem 17 star construction as a step-function protocol on
@@ -76,24 +232,29 @@ pub fn realize_ncc1(
 /// # Panics
 ///
 /// Panics if `config` is not an NCC1 configuration.
+#[deprecated(note = "use `dgr::Realization` (or the `realize_threshold_run` engine room)")]
 pub fn realize_ncc1_batched(
     inst: &ThresholdInstance,
     config: Config,
 ) -> Result<ThresholdRealization, SimError> {
-    assert_eq!(config.model, Model::Ncc1, "Theorem 17 requires NCC1");
-    let net = Network::new(inst.len(), config);
-    let by_id = rho_assignment(&net, inst);
-    let result = net.run_protocol(|s| ncc1_step::Ncc1Star::new(s, by_id[&s.id]))?;
-    Ok(certify_implicit(&net, inst, by_id, result))
+    realize_threshold_run(
+        inst,
+        config,
+        ThresholdAlgo::Ncc1Star,
+        EngineKind::Batched,
+        SortBackend::Bitonic,
+        true,
+    )
+    .map(|run| run.output)
 }
 
-/// Shared implicit-realization assembly + max-flow certification (both
-/// engines' NCC1 runs funnel through here).
-fn certify_implicit(
+/// Shared implicit-realization assembly + optional max-flow
+/// certification (both engines' NCC1 runs funnel through here).
+fn certify_implicit_run(
     net: &Network,
-    inst: &ThresholdInstance,
     by_id: HashMap<NodeId, usize>,
     result: dgr_ncc::RunResult<ThresholdOutcome>,
+    certify: bool,
 ) -> ThresholdRealization {
     let metrics = result.metrics.clone();
     // Implicit: each edge is stored at its adding endpoint.
@@ -101,7 +262,11 @@ fn certify_implicit(
         net.ids_in_path_order(),
         result.outputs.into_iter().map(|(id, o)| (id, o.neighbors)),
     );
-    let report = check_thresholds(&assembled.graph, &by_id, inst.len() <= ALL_PAIRS_LIMIT);
+    let report = if certify {
+        check_thresholds(&assembled.graph, &by_id, by_id.len() <= ALL_PAIRS_LIMIT)
+    } else {
+        skipped_report(&assembled.graph)
+    };
     ThresholdRealization {
         graph: assembled.graph,
         rho: by_id,
@@ -120,30 +285,20 @@ fn certify_implicit(
 /// Propagates simulator errors; panics if the explicit symmetry is broken
 /// (a protocol bug, not an input condition).
 #[cfg(feature = "threaded")]
+#[deprecated(note = "use `dgr::Realization` (or the `realize_threshold_run` engine room)")]
 pub fn realize_ncc0(
     inst: &ThresholdInstance,
     config: Config,
 ) -> Result<ThresholdRealization, SimError> {
-    let net = Network::new(inst.len(), config);
-    let by_id = rho_assignment(&net, inst);
-    let result = net.run(|h| ncc0::realize(h, by_id[&h.id()]))?;
-    let metrics = result.metrics.clone();
-    let lists: HashMap<NodeId, Vec<NodeId>> = result
-        .outputs
-        .into_iter()
-        .map(|(id, o)| (id, o.neighbors))
-        .collect();
-    let assembled = core_verify::assemble_explicit(net.ids_in_path_order(), &lists)
-        .expect("Algorithm 6 lost explicit symmetry");
-    let report = check_thresholds(&assembled.graph, &by_id, inst.len() <= ALL_PAIRS_LIMIT);
-    Ok(ThresholdRealization {
-        graph: assembled.graph,
-        rho: by_id,
-        path_order: net.ids_in_path_order().to_vec(),
-        explicit_neighbors: lists,
-        report,
-        metrics,
-    })
+    realize_threshold_run(
+        inst,
+        config,
+        ThresholdAlgo::Ncc0Pipeline,
+        EngineKind::Threaded,
+        SortBackend::Bitonic,
+        true,
+    )
+    .map(|run| run.output)
 }
 
 /// Runs the Algorithm 6 NCC0 explicit construction on the **batched
@@ -154,50 +309,39 @@ pub fn realize_ncc0(
 ///
 /// Propagates simulator errors; panics if the explicit symmetry is broken
 /// (a protocol bug, not an input condition).
+#[deprecated(note = "use `dgr::Realization` (or the `realize_threshold_run` engine room)")]
 pub fn realize_ncc0_batched(
     inst: &ThresholdInstance,
     config: Config,
 ) -> Result<ThresholdRealization, SimError> {
-    let net = Network::new(inst.len(), config);
-    let by_id = rho_assignment(&net, inst);
-    let result = net.run_protocol(|s| ncc0_step::Ncc0Threshold::new(by_id[&s.id]))?;
-    let metrics = result.metrics.clone();
-    let lists: HashMap<NodeId, Vec<NodeId>> = result
-        .outputs
-        .into_iter()
-        .map(|(id, o)| (id, o.neighbors))
-        .collect();
-    let assembled = core_verify::assemble_explicit(net.ids_in_path_order(), &lists)
-        .expect("Algorithm 6 lost explicit symmetry");
-    let report = check_thresholds(&assembled.graph, &by_id, inst.len() <= ALL_PAIRS_LIMIT);
-    Ok(ThresholdRealization {
-        graph: assembled.graph,
-        rho: by_id,
-        path_order: net.ids_in_path_order().to_vec(),
-        explicit_neighbors: lists,
-        report,
-        metrics,
-    })
+    realize_threshold_run(
+        inst,
+        config,
+        ThresholdAlgo::Ncc0Pipeline,
+        EngineKind::Batched,
+        SortBackend::Bitonic,
+        true,
+    )
+    .map(|run| run.output)
 }
 
-/// The **paper-exact** Algorithm 6 phase 1 at scale: realize the prefix
-/// degrees `ρ(x₁) … ρ(x_{d₀+1})` by a Theorem 13 upper-envelope
-/// realization run *on the prefix sub-network* — a masked batched run
-/// ([`dgr_core::realize_prefix_batched`]), exactly the recursion the
-/// paper prescribes — instead of the cyclic-pipeline substitute the full
-/// [`realize_ncc0_batched`] driver uses (`DESIGN.md` §4 documents why the
-/// substitute is the default: the envelope's multigraph semantics can
-/// leave a prefix node short of *distinct* neighbors). Returns the
-/// realized prefix overlay; callers can compose it with a phase 2 of
-/// their choosing or study the paper variant's guarantees directly.
+/// The paper-exact Algorithm 6 **phase 1 in isolation**: realize the
+/// prefix degrees `ρ(x₁) … ρ(x_{d₀+1})` by a Theorem 13 upper-envelope
+/// realization run *on the prefix sub-network* (a masked run — exactly
+/// the recursion the paper prescribes), with the ρ-sorted order baked
+/// into the driver's assignment bookkeeping. Returns the realized prefix
+/// overlay for studying the phase-1 guarantees directly; the fully
+/// composed protocol — distributed sort included — is
+/// [`ThresholdAlgo::Ncc0Exact`].
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn realize_prefix_envelope_batched(
+pub fn realize_prefix_envelope_run(
     inst: &ThresholdInstance,
     config: Config,
-) -> Result<dgr_core::DriverOutput, SimError> {
+    engine: EngineKind,
+) -> Result<dgr_core::DegreesRun, SimError> {
     let n = inst.len();
     // Sorted-by-ρ assignment: the prefix of the ρ-sorted order maps onto
     // the first path positions (assignment order is driver bookkeeping —
@@ -206,15 +350,33 @@ pub fn realize_prefix_envelope_batched(
     rho_sorted.sort_unstable_by(|a, b| b.cmp(a));
     let d0 = rho_sorted.first().copied().unwrap_or(0);
     let prefix = (d0 + 1).min(n);
-    dgr_core::realize_prefix_batched(
+    let mask: Vec<bool> = (0..n).map(|i| i < prefix).collect();
+    dgr_core::realize_degrees(
         &rho_sorted,
-        prefix,
+        Some(&mask),
         config,
         dgr_core::distributed::proto::Flavor::Envelope,
+        engine,
+        SortBackend::Bitonic,
     )
 }
 
+/// The paper-exact Algorithm 6 phase 1 on the batched executor.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+#[deprecated(note = "use `dgr::Realization` (or the `realize_prefix_envelope_run` engine room)")]
+pub fn realize_prefix_envelope_batched(
+    inst: &ThresholdInstance,
+    config: Config,
+) -> Result<dgr_core::DriverOutput, SimError> {
+    realize_prefix_envelope_run(inst, config, EngineKind::Batched).map(|run| run.output)
+}
+
 #[cfg(all(test, feature = "threaded"))]
+// The unit tests double as coverage of the deprecated delegating shims.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

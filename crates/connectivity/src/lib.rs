@@ -15,20 +15,34 @@
 //!   ([`driver::realize_ncc1_batched`]), practical at 10⁵–10⁶ nodes.
 //! * [`distributed::ncc0`] — Theorem 18 / Algorithm 6: `O~(Δ)`-round
 //!   explicit realization in NCC0 (and NCC1).
+//! * [`distributed::ncc0_exact`] — the **paper-exact** Algorithm 6 as one
+//!   composed batched protocol: masked prefix envelope recursion,
+//!   distinctness patch, phase-2 pipeline, explicitness acks.
 //! * [`sequential`] — the centralized Frank–Chou-style baseline and the
 //!   `⌈Σρ/2⌉` lower bound.
 //! * [`verify`] — max-flow certification of the pairwise thresholds.
+//!
+//! The non-deprecated driver entry points —
+//! [`driver::realize_threshold_run`] and
+//! [`driver::realize_prefix_envelope_run`] — are the engine room of the
+//! `dgr::Realization` facade builder.
+
+// The first-party crates must not call the deprecated shims themselves.
+#![cfg_attr(not(test), deny(deprecated))]
 
 pub mod distributed;
 pub mod driver;
 pub mod sequential;
 pub mod verify;
 
+#[allow(deprecated)]
 #[cfg(feature = "threaded")]
 pub use driver::{realize_ncc0, realize_ncc1};
+#[allow(deprecated)]
+pub use driver::{realize_ncc0_batched, realize_ncc1_batched, realize_prefix_envelope_batched};
 pub use driver::{
-    realize_ncc0_batched, realize_ncc1_batched, realize_prefix_envelope_batched,
-    ThresholdRealization,
+    realize_prefix_envelope_run, realize_threshold_run, ThresholdAlgo, ThresholdRealization,
+    ThresholdRun,
 };
 pub use sequential::{edge_lower_bound, sequential_realization};
 pub use verify::{check_thresholds, ThresholdReport};

@@ -11,14 +11,28 @@ type NodeId = u64;
 /// The result of checking a realization against its thresholds.
 #[derive(Clone, Debug)]
 pub struct ThresholdReport {
-    /// Were all checked pairs satisfied?
+    /// Were all checked pairs satisfied? **Vacuously true when the
+    /// certification was skipped** — check [`ThresholdReport::certified`]
+    /// (or `skipped`) before trusting it.
     pub satisfied: bool,
+    /// True when the max-flow certification was skipped entirely
+    /// (`certify(false)`): no pair was checked and `satisfied` carries no
+    /// information.
+    pub skipped: bool,
     /// Number of pairs checked.
     pub pairs_checked: usize,
     /// The first violated pair, if any: `(u, v, required, actual)`.
     pub first_violation: Option<(NodeId, NodeId, usize, usize)>,
     /// Edge count of the realization.
     pub edges: usize,
+}
+
+impl ThresholdReport {
+    /// True when the certification actually ran and every checked pair
+    /// held — the assertion-safe reading of `satisfied`.
+    pub fn certified(&self) -> bool {
+        !self.skipped && self.satisfied
+    }
 }
 
 /// Verifies `Conn_G(u, v) ≥ min(ρ(u), ρ(v))`.
@@ -35,6 +49,7 @@ pub fn check_thresholds(
 ) -> ThresholdReport {
     let mut report = ThresholdReport {
         satisfied: true,
+        skipped: false,
         pairs_checked: 0,
         first_violation: None,
         edges: g.edge_count(),

@@ -2,7 +2,41 @@
 //! explicit threshold realization): both engines must realize the same
 //! certified overlay in the same number of rounds.
 
-use dgr_connectivity::{realize_ncc0, realize_ncc0_batched, ThresholdInstance};
+use dgr_connectivity::{
+    realize_threshold_run, ThresholdAlgo, ThresholdInstance, ThresholdRealization,
+};
+use dgr_ncc::{EngineKind, SimError};
+use dgr_primitives::sort::SortBackend;
+
+// White-box shorthands over the `realize_threshold_run` engine room.
+fn realize_ncc0(
+    inst: &ThresholdInstance,
+    c: dgr_ncc::Config,
+) -> Result<ThresholdRealization, SimError> {
+    realize_threshold_run(
+        inst,
+        c,
+        ThresholdAlgo::Ncc0Pipeline,
+        EngineKind::Threaded,
+        SortBackend::Bitonic,
+        true,
+    )
+    .map(|run| run.output)
+}
+fn realize_ncc0_batched(
+    inst: &ThresholdInstance,
+    c: dgr_ncc::Config,
+) -> Result<ThresholdRealization, SimError> {
+    realize_threshold_run(
+        inst,
+        c,
+        ThresholdAlgo::Ncc0Pipeline,
+        EngineKind::Batched,
+        SortBackend::Bitonic,
+        true,
+    )
+    .map(|run| run.output)
+}
 use dgr_ncc::Config;
 
 #[test]
@@ -60,7 +94,7 @@ fn batched_ncc0_all_max_rho_is_complete() {
 
 #[test]
 fn paper_exact_prefix_envelope_realizes_the_prefix_degrees() {
-    use dgr_connectivity::realize_prefix_envelope_batched;
+    use dgr_connectivity::realize_prefix_envelope_run;
     // The tiered profile from the paper's multigraph corner: d₀ = 6, so
     // the prefix is the 7 highest-ρ nodes realized as a sub-network.
     let mut rho = vec![1usize; 48];
@@ -71,7 +105,9 @@ fn paper_exact_prefix_envelope_realizes_the_prefix_degrees() {
         *r = 3;
     }
     let inst = ThresholdInstance::new(rho.clone());
-    let out = realize_prefix_envelope_batched(&inst, Config::ncc0(41)).unwrap();
+    let out = realize_prefix_envelope_run(&inst, Config::ncc0(41), EngineKind::Batched)
+        .unwrap()
+        .output;
     let g = out.expect_realized();
     // Exactly the d₀ + 1 prefix nodes participated.
     assert_eq!(g.path_order.len(), 7);

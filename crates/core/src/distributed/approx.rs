@@ -55,6 +55,8 @@ pub fn realize_on(
 }
 
 #[cfg(all(test, feature = "threaded"))]
+// The unit tests double as coverage of the deprecated delegating shims.
+#[allow(deprecated)]
 mod tests {
     use crate::driver;
     use dgr_ncc::Config;

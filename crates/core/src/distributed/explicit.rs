@@ -72,6 +72,8 @@ pub fn make_explicit(
 }
 
 #[cfg(all(test, feature = "threaded"))]
+// The unit tests double as coverage of the deprecated delegating shims.
+#[allow(deprecated)]
 mod tests {
     use crate::driver;
     use dgr_ncc::Config;

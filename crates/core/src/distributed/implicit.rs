@@ -173,6 +173,8 @@ pub fn phase_bound(seq: &DegreeSequence) -> f64 {
 }
 
 #[cfg(all(test, feature = "threaded"))]
+// The unit tests double as coverage of the deprecated delegating shims.
+#[allow(deprecated)]
 mod tests {
 
     use crate::driver;

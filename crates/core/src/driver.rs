@@ -19,7 +19,8 @@ use crate::distributed::proto::{Flavor, RealizeDegrees};
 use crate::distributed::{approx, explicit, implicit};
 use crate::verify::{self, Assembled};
 use dgr_graph::Graph;
-use dgr_ncc::{Config, Network, NodeId, RunMetrics, SimError};
+use dgr_ncc::{Config, EngineKind, EngineStats, Network, NodeId, RunMetrics, SimError};
+use dgr_primitives::sort::SortBackend;
 use std::collections::HashMap;
 
 /// A realized overlay together with everything needed to verify it.
@@ -131,35 +132,150 @@ fn split_consistent<T>(
     }
 }
 
+/// A completed degree-realization run: the driver output plus the
+/// executor's internal statistics (all-zero on the threaded oracle).
+#[derive(Clone, Debug)]
+pub struct DegreesRun {
+    /// Realized overlay or consistent refusal.
+    pub output: DriverOutput,
+    /// Executor-internal statistics (compactions, routing paths).
+    pub engine: EngineStats,
+}
+
+/// The **engine room** of every degree-sequence realization — one typed
+/// entry point over workload flavor × engine × mask × sorting backend.
+/// This is what the `dgr::Realization` facade builder drives; the legacy
+/// `realize_*` free functions are deprecated delegating shims around it.
+///
+/// * `participants: None` realizes over the whole network; `Some(mask)`
+///   runs the masked sub-network capability (the knowledge path links
+///   across masked-out positions, which produce no output) — the
+///   engine-level form of Algorithm 6's paper-exact prefix recursion.
+/// * [`EngineKind::Threaded`] runs the direct-style oracle twins where
+///   they exist (unmasked, bitonic), and the same state machines as the
+///   batched executor otherwise — transcripts are identical either way
+///   (`crates/core/tests/batched_drivers.rs`).
+/// * [`SortBackend::RandomizedLogN`] requires a queueing (or recording)
+///   capacity policy; see
+///   [`rand_sort`](dgr_primitives::proto::rand_sort).
+///
+/// # Errors
+///
+/// Propagates simulator errors (model violations, round-limit), and
+/// [`SimError::EngineUnavailable`] when the threaded oracle is requested
+/// without the `threaded` feature.
+///
+/// # Panics
+///
+/// Panics if a mask's length differs from `degrees.len()`.
+pub fn realize_degrees(
+    degrees: &[usize],
+    participants: Option<&[bool]>,
+    config: Config,
+    flavor: Flavor,
+    engine: EngineKind,
+    sort: SortBackend,
+) -> Result<DegreesRun, SimError> {
+    let net = Network::new(degrees.len(), config);
+    let by_id = degree_assignment(&net, degrees);
+    // The direct-style oracle twins cover the unmasked bitonic plane;
+    // everything else runs the state machines on the requested engine.
+    #[cfg(feature = "threaded")]
+    if engine == EngineKind::Threaded && participants.is_none() && sort == SortBackend::Bitonic {
+        return realize_direct_threaded(&net, degrees, &by_id, flavor);
+    }
+    if let Some(mask) = participants {
+        assert_eq!(
+            degrees.len(),
+            mask.len(),
+            "one degree per path position is required"
+        );
+        let result = net.run_protocol_on(engine, Some(mask), |s| {
+            RealizeDegrees::with_sort(by_id[&s.id], flavor, sort)
+        })?;
+        let engine_stats = result.engine.clone();
+        return Ok(DegreesRun {
+            output: finish_masked(&net, degrees, mask, result),
+            engine: engine_stats,
+        });
+    }
+    let result = net.run_protocol_on(engine, None, |s| {
+        RealizeDegrees::with_sort(by_id[&s.id], flavor, sort)
+    })?;
+    let engine_stats = result.engine.clone();
+    Ok(DegreesRun {
+        output: finish_batched(&net, degrees, result, flavor == Flavor::Explicit),
+        engine: engine_stats,
+    })
+}
+
+/// The direct-style (blocking closure) drivers on the threaded oracle —
+/// the obviously-correct twins the differential suites compare against.
+#[cfg(feature = "threaded")]
+fn realize_direct_threaded(
+    net: &Network,
+    degrees: &[usize],
+    by_id: &HashMap<NodeId, usize>,
+    flavor: Flavor,
+) -> Result<DegreesRun, SimError> {
+    type DirectOut = Result<(u64, Vec<NodeId>), crate::distributed::Unrealizable>;
+    let result: dgr_ncc::RunResult<DirectOut> = match flavor {
+        Flavor::Implicit => {
+            net.run(|h| implicit::realize(h, by_id[&h.id()]).map(|o| (o.phases, o.neighbors)))?
+        }
+        Flavor::Envelope => {
+            net.run(|h| approx::realize(h, by_id[&h.id()]).map(|o| (o.phases, o.neighbors)))?
+        }
+        Flavor::Explicit => {
+            net.run(|h| explicit::realize(h, by_id[&h.id()]).map(|o| (o.phases, o.neighbors)))?
+        }
+    };
+    let metrics = result.metrics.clone();
+    let engine_stats = result.engine.clone();
+    let output = match split_consistent(result.outputs) {
+        None => DriverOutput::Unrealizable { metrics },
+        Some(outs) => {
+            let phases = outs.first().map(|(_, (p, _))| *p).unwrap_or(0);
+            if flavor == Flavor::Explicit {
+                let lists: HashMap<NodeId, Vec<NodeId>> = outs
+                    .into_iter()
+                    .map(|(id, (_, neighbors))| (id, neighbors))
+                    .collect();
+                let assembled = verify::assemble_explicit(net.ids_in_path_order(), &lists)
+                    .expect("explicit realization lost symmetry");
+                finish(net, degrees, assembled, lists, phases, metrics)
+            } else {
+                let assembled = verify::assemble_implicit(
+                    net.ids_in_path_order(),
+                    outs.into_iter().map(|(id, (_, neighbors))| (id, neighbors)),
+                );
+                finish(net, degrees, assembled, HashMap::new(), phases, metrics)
+            }
+        }
+    };
+    Ok(DegreesRun {
+        output,
+        engine: engine_stats,
+    })
+}
+
 /// Runs Algorithm 3 (implicit, exact) on a fresh network.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors (model violations, round-limit).
 #[cfg(feature = "threaded")]
+#[deprecated(note = "use `dgr::Realization` (or the `realize_degrees` engine room)")]
 pub fn realize_implicit(degrees: &[usize], config: Config) -> Result<DriverOutput, SimError> {
-    let net = Network::new(degrees.len(), config);
-    let by_id = degree_assignment(&net, degrees);
-    let result = net.run(|h| implicit::realize(h, by_id[&h.id()]))?;
-    let metrics = result.metrics.clone();
-    match split_consistent(result.outputs) {
-        None => Ok(DriverOutput::Unrealizable { metrics }),
-        Some(outs) => {
-            let phases = outs.first().map(|(_, o)| o.phases).unwrap_or(0);
-            let assembled = verify::assemble_implicit(
-                net.ids_in_path_order(),
-                outs.into_iter().map(|(id, o)| (id, o.neighbors)),
-            );
-            Ok(finish(
-                &net,
-                degrees,
-                assembled,
-                HashMap::new(),
-                phases,
-                metrics,
-            ))
-        }
-    }
+    realize_degrees(
+        degrees,
+        None,
+        config,
+        Flavor::Implicit,
+        EngineKind::Threaded,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
 }
 
 /// Runs the Theorem 13 upper-envelope realization (implicit, multigraph
@@ -169,29 +285,17 @@ pub fn realize_implicit(degrees: &[usize], config: Config) -> Result<DriverOutpu
 ///
 /// Propagates simulator errors.
 #[cfg(feature = "threaded")]
+#[deprecated(note = "use `dgr::Realization` (or the `realize_degrees` engine room)")]
 pub fn realize_approx(degrees: &[usize], config: Config) -> Result<DriverOutput, SimError> {
-    let net = Network::new(degrees.len(), config);
-    let by_id = degree_assignment(&net, degrees);
-    let result = net.run(|h| approx::realize(h, by_id[&h.id()]))?;
-    let metrics = result.metrics.clone();
-    match split_consistent(result.outputs) {
-        None => Ok(DriverOutput::Unrealizable { metrics }),
-        Some(outs) => {
-            let phases = outs.first().map(|(_, o)| o.phases).unwrap_or(0);
-            let assembled = verify::assemble_implicit(
-                net.ids_in_path_order(),
-                outs.into_iter().map(|(id, o)| (id, o.neighbors)),
-            );
-            Ok(finish(
-                &net,
-                degrees,
-                assembled,
-                HashMap::new(),
-                phases,
-                metrics,
-            ))
-        }
-    }
+    realize_degrees(
+        degrees,
+        None,
+        config,
+        Flavor::Envelope,
+        EngineKind::Threaded,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
 }
 
 /// Runs the Theorem 12 explicit realization on a fresh network. Use a
@@ -203,22 +307,17 @@ pub fn realize_approx(degrees: &[usize], config: Config) -> Result<DriverOutput,
 /// Propagates simulator errors, and reports asymmetric explicit claims as
 /// a node panic (they indicate a protocol bug).
 #[cfg(feature = "threaded")]
+#[deprecated(note = "use `dgr::Realization` (or the `realize_degrees` engine room)")]
 pub fn realize_explicit(degrees: &[usize], config: Config) -> Result<DriverOutput, SimError> {
-    let net = Network::new(degrees.len(), config);
-    let by_id = degree_assignment(&net, degrees);
-    let result = net.run(|h| explicit::realize(h, by_id[&h.id()]))?;
-    let metrics = result.metrics.clone();
-    match split_consistent(result.outputs) {
-        None => Ok(DriverOutput::Unrealizable { metrics }),
-        Some(outs) => {
-            let phases = outs.first().map(|(_, o)| o.phases).unwrap_or(0);
-            let lists: HashMap<NodeId, Vec<NodeId>> =
-                outs.into_iter().map(|(id, o)| (id, o.neighbors)).collect();
-            let assembled = verify::assemble_explicit(net.ids_in_path_order(), &lists)
-                .expect("explicit realization lost symmetry");
-            Ok(finish(&net, degrees, assembled, lists, phases, metrics))
-        }
-    }
+    realize_degrees(
+        degrees,
+        None,
+        config,
+        Flavor::Explicit,
+        EngineKind::Threaded,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
 }
 
 /// Shared assembly of a batched [`RealizeDegrees`] run.
@@ -250,35 +349,25 @@ fn finish_batched(
     }
 }
 
-/// Runs a [`RealizeDegrees`] flavor on the **batched executor** — the
-/// production engine; unlike the threaded drivers it is practical at
-/// six-digit `n`.
-fn realize_batched(
-    degrees: &[usize],
-    config: Config,
-    flavor: Flavor,
-) -> Result<DriverOutput, SimError> {
-    let net = Network::new(degrees.len(), config);
-    let by_id = degree_assignment(&net, degrees);
-    let result = net.run_protocol(|s| RealizeDegrees::new(by_id[&s.id], flavor))?;
-    Ok(finish_batched(
-        &net,
-        degrees,
-        result,
-        flavor == Flavor::Explicit,
-    ))
-}
-
 /// Runs Algorithm 3 (implicit, exact) on the batched executor.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors (model violations, round-limit).
+#[deprecated(note = "use `dgr::Realization` (or the `realize_degrees` engine room)")]
 pub fn realize_implicit_batched(
     degrees: &[usize],
     config: Config,
 ) -> Result<DriverOutput, SimError> {
-    realize_batched(degrees, config, Flavor::Implicit)
+    realize_degrees(
+        degrees,
+        None,
+        config,
+        Flavor::Implicit,
+        EngineKind::Batched,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
 }
 
 /// Runs the Theorem 13 upper-envelope realization on the batched executor.
@@ -286,8 +375,17 @@ pub fn realize_implicit_batched(
 /// # Errors
 ///
 /// Propagates simulator errors.
+#[deprecated(note = "use `dgr::Realization` (or the `realize_degrees` engine room)")]
 pub fn realize_approx_batched(degrees: &[usize], config: Config) -> Result<DriverOutput, SimError> {
-    realize_batched(degrees, config, Flavor::Envelope)
+    realize_degrees(
+        degrees,
+        None,
+        config,
+        Flavor::Envelope,
+        EngineKind::Batched,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
 }
 
 /// Runs the Theorem 12 explicit realization on the batched executor. Use a
@@ -298,11 +396,20 @@ pub fn realize_approx_batched(degrees: &[usize], config: Config) -> Result<Drive
 ///
 /// Propagates simulator errors, and reports asymmetric explicit claims as
 /// a panic (they indicate a protocol bug).
+#[deprecated(note = "use `dgr::Realization` (or the `realize_degrees` engine room)")]
 pub fn realize_explicit_batched(
     degrees: &[usize],
     config: Config,
 ) -> Result<DriverOutput, SimError> {
-    realize_batched(degrees, config, Flavor::Explicit)
+    realize_degrees(
+        degrees,
+        None,
+        config,
+        Flavor::Explicit,
+        EngineKind::Batched,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
 }
 
 /// Assembles a masked run's outputs against the *participating* nodes
@@ -367,22 +474,22 @@ fn finish_masked(
 /// # Panics
 ///
 /// Panics if `degrees.len() != participants.len()`.
+#[deprecated(note = "use `dgr::Realization` (or the `realize_degrees` engine room)")]
 pub fn realize_masked_batched(
     degrees: &[usize],
     participants: &[bool],
     config: Config,
     flavor: Flavor,
 ) -> Result<DriverOutput, SimError> {
-    assert_eq!(
-        degrees.len(),
-        participants.len(),
-        "one degree per path position is required"
-    );
-    let net = Network::new(degrees.len(), config);
-    let by_id = degree_assignment(&net, degrees);
-    let result =
-        net.run_protocol_masked(participants, |s| RealizeDegrees::new(by_id[&s.id], flavor))?;
-    Ok(finish_masked(&net, degrees, participants, result))
+    realize_degrees(
+        degrees,
+        Some(participants),
+        config,
+        flavor,
+        EngineKind::Batched,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
 }
 
 /// The threaded differential twin of [`realize_masked_batched`]: the same
@@ -397,23 +504,22 @@ pub fn realize_masked_batched(
 ///
 /// Panics if `degrees.len() != participants.len()`.
 #[cfg(feature = "threaded")]
+#[deprecated(note = "use `dgr::Realization` (or the `realize_degrees` engine room)")]
 pub fn realize_masked_threaded(
     degrees: &[usize],
     participants: &[bool],
     config: Config,
     flavor: Flavor,
 ) -> Result<DriverOutput, SimError> {
-    assert_eq!(
-        degrees.len(),
-        participants.len(),
-        "one degree per path position is required"
-    );
-    let net = Network::new(degrees.len(), config);
-    let by_id = degree_assignment(&net, degrees);
-    let result = net.run_protocol_threaded_masked(participants, |s| {
-        RealizeDegrees::new(by_id[&s.id], flavor)
-    })?;
-    Ok(finish_masked(&net, degrees, participants, result))
+    realize_degrees(
+        degrees,
+        Some(participants),
+        config,
+        flavor,
+        EngineKind::Threaded,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
 }
 
 /// [`realize_masked_batched`] over the first `prefix` path positions —
@@ -423,6 +529,7 @@ pub fn realize_masked_threaded(
 /// # Errors
 ///
 /// Propagates simulator errors.
+#[deprecated(note = "use `dgr::Realization` (or the `realize_degrees` engine room)")]
 pub fn realize_prefix_batched(
     degrees: &[usize],
     prefix: usize,
@@ -430,10 +537,20 @@ pub fn realize_prefix_batched(
     flavor: Flavor,
 ) -> Result<DriverOutput, SimError> {
     let mask: Vec<bool> = (0..degrees.len()).map(|i| i < prefix).collect();
-    realize_masked_batched(degrees, &mask, config, flavor)
+    realize_degrees(
+        degrees,
+        Some(&mask),
+        config,
+        flavor,
+        EngineKind::Batched,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
 }
 
 #[cfg(all(test, feature = "threaded"))]
+// The unit tests double as coverage of the deprecated delegating shims.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

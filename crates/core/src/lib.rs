@@ -30,7 +30,15 @@
 //!
 //! The [`driver`] module wires degree assignments onto simulated networks
 //! and re-assembles/verifies the distributed outputs; [`verify`] holds the
-//! checks shared by tests, examples and benches.
+//! checks shared by tests, examples and benches. Its one non-deprecated
+//! entry point, [`realize_degrees`], is the **engine room** of the
+//! `dgr::Realization` facade builder — use the builder from applications,
+//! and the engine room from white-box internals (the differential suites
+//! in `crates/core/tests`).
+
+// The first-party crates must not call the deprecated shims themselves
+// (tests exercising back-compat excepted).
+#![cfg_attr(not(test), deny(deprecated))]
 
 pub mod distributed;
 pub mod driver;
@@ -40,11 +48,14 @@ pub mod sequence;
 pub mod verify;
 
 pub use distributed::{DistributedRealization, ImplicitOutcome, Unrealizable};
+#[allow(deprecated)]
 #[cfg(feature = "threaded")]
 pub use driver::{realize_approx, realize_explicit, realize_implicit, realize_masked_threaded};
+#[allow(deprecated)]
 pub use driver::{
     realize_approx_batched, realize_explicit_batched, realize_implicit_batched,
-    realize_masked_batched, realize_prefix_batched, DriverOutput,
+    realize_masked_batched, realize_prefix_batched,
 };
+pub use driver::{realize_degrees, DegreesRun, DriverOutput};
 pub use havel_hakimi::Realization;
 pub use sequence::{DegreeSequence, RealizeError};

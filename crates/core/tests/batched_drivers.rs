@@ -4,13 +4,73 @@
 //! random degree sequences.
 
 use dgr_core::distributed::proto::Flavor;
-use dgr_core::driver::{
-    realize_approx, realize_approx_batched, realize_explicit, realize_explicit_batched,
-    realize_implicit, realize_implicit_batched, realize_masked_batched, realize_masked_threaded,
-    DriverOutput,
-};
-use dgr_ncc::Config;
+use dgr_core::driver::{realize_degrees, DriverOutput};
+use dgr_ncc::{Config, EngineKind, SimError};
+use dgr_primitives::sort::SortBackend;
 use proptest::prelude::*;
+
+// White-box shorthands over the `realize_degrees` engine room, pinned to
+// the (engine, flavor) plane each differential compares.
+fn realize(
+    degrees: &[usize],
+    config: Config,
+    flavor: Flavor,
+    engine: EngineKind,
+) -> Result<DriverOutput, SimError> {
+    realize_degrees(degrees, None, config, flavor, engine, SortBackend::Bitonic)
+        .map(|run| run.output)
+}
+
+fn realize_implicit(d: &[usize], c: Config) -> Result<DriverOutput, SimError> {
+    realize(d, c, Flavor::Implicit, EngineKind::Threaded)
+}
+fn realize_implicit_batched(d: &[usize], c: Config) -> Result<DriverOutput, SimError> {
+    realize(d, c, Flavor::Implicit, EngineKind::Batched)
+}
+fn realize_approx(d: &[usize], c: Config) -> Result<DriverOutput, SimError> {
+    realize(d, c, Flavor::Envelope, EngineKind::Threaded)
+}
+fn realize_approx_batched(d: &[usize], c: Config) -> Result<DriverOutput, SimError> {
+    realize(d, c, Flavor::Envelope, EngineKind::Batched)
+}
+fn realize_explicit(d: &[usize], c: Config) -> Result<DriverOutput, SimError> {
+    realize(d, c, Flavor::Explicit, EngineKind::Threaded)
+}
+fn realize_explicit_batched(d: &[usize], c: Config) -> Result<DriverOutput, SimError> {
+    realize(d, c, Flavor::Explicit, EngineKind::Batched)
+}
+fn realize_masked_threaded(
+    d: &[usize],
+    mask: &[bool],
+    c: Config,
+    flavor: Flavor,
+) -> Result<DriverOutput, SimError> {
+    realize_degrees(
+        d,
+        Some(mask),
+        c,
+        flavor,
+        EngineKind::Threaded,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
+}
+fn realize_masked_batched(
+    d: &[usize],
+    mask: &[bool],
+    c: Config,
+    flavor: Flavor,
+) -> Result<DriverOutput, SimError> {
+    realize_degrees(
+        d,
+        Some(mask),
+        c,
+        flavor,
+        EngineKind::Batched,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
+}
 
 /// Asserts both drivers agree in verdict, overlay, phases and budget.
 fn assert_drivers_agree(threaded: &DriverOutput, batched: &DriverOutput, what: &str) {

@@ -1,5 +1,21 @@
 //! Simulation configuration: model variant, capacities, policies, seeding.
 
+/// Which executor drives a protocol run.
+///
+/// Both engines implement the same round semantics and produce
+/// bit-identical transcripts for the same protocol (the differential
+/// suites hold them to it); they differ only in scale and purpose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The batched step-function executor — the production engine,
+    /// practical at six- and seven-digit `n`.
+    Batched,
+    /// The thread-per-node oracle (feature `threaded`): obviously-correct
+    /// reference engine, used as the differential twin. Tops out near
+    /// `n ≈ 10⁴`.
+    Threaded,
+}
+
 /// Which NCC variant the network starts in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Model {

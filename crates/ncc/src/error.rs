@@ -70,6 +70,9 @@ pub enum SimError {
     /// A node thread panicked; the payload is the panic message when it was a
     /// string.
     NodePanic { node: NodeId, message: String },
+    /// The requested engine is not compiled in (the `threaded` feature is
+    /// off and [`EngineKind::Threaded`](crate::EngineKind) was asked for).
+    EngineUnavailable,
 }
 
 impl fmt::Display for SimError {
@@ -81,6 +84,12 @@ impl fmt::Display for SimError {
             }
             SimError::NodePanic { node, message } => {
                 write!(f, "node {node} panicked: {message}")
+            }
+            SimError::EngineUnavailable => {
+                write!(
+                    f,
+                    "threaded oracle engine not compiled in (feature `threaded`)"
+                )
             }
         }
     }

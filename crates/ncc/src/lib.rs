@@ -95,7 +95,7 @@ mod protocol;
 mod route;
 mod wire;
 
-pub use config::{CapacityPolicy, Config, IdAssignment, Model};
+pub use config::{CapacityPolicy, Config, EngineKind, IdAssignment, Model};
 pub use error::{SimError, Violation, ViolationKind};
 #[cfg(feature = "threaded")]
 pub use handle::NodeHandle;

@@ -92,6 +92,11 @@ impl Network {
         self.config.capacity(self.n)
     }
 
+    /// The model variant this network runs under.
+    pub fn model(&self) -> crate::Model {
+        self.config.model
+    }
+
     /// IDs in knowledge-path order (omniscient information, for tests and
     /// workload setup).
     pub fn ids_in_path_order(&self) -> &[NodeId] {
@@ -141,6 +146,43 @@ impl Network {
         F: Fn(&NodeSeed<'_>) -> P + Sync,
     {
         crate::batch::run(self, None, factory)
+    }
+
+    /// Unified engine dispatch: runs a [`NodeProtocol`] on the chosen
+    /// [`EngineKind`](crate::EngineKind), optionally masked to a
+    /// participant subset. This is the single entry point the
+    /// `Realization` facade drives; the per-engine methods remain for
+    /// direct use.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Network::run_protocol`]. Requesting
+    /// [`EngineKind::Threaded`](crate::EngineKind) in a build without the
+    /// `threaded` feature returns [`SimError::EngineUnavailable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask is given and `participants.len() != n`.
+    pub fn run_protocol_on<P, F>(
+        &self,
+        engine: crate::EngineKind,
+        participants: Option<&[bool]>,
+        factory: F,
+    ) -> Result<RunResult<P::Output>, SimError>
+    where
+        P: NodeProtocol,
+        F: Fn(&NodeSeed<'_>) -> P + Send + Sync,
+    {
+        match engine {
+            crate::EngineKind::Batched => crate::batch::run(self, participants, factory),
+            #[cfg(feature = "threaded")]
+            crate::EngineKind::Threaded => match participants {
+                Some(mask) => self.run_protocol_threaded_masked(mask, factory),
+                None => self.run_protocol_threaded(factory),
+            },
+            #[cfg(not(feature = "threaded"))]
+            crate::EngineKind::Threaded => Err(SimError::EngineUnavailable),
+        }
     }
 
     /// Like [`Network::run_protocol`], but only the masked-in nodes

@@ -26,8 +26,9 @@ pub(crate) const NO_INDEX: u32 = u32::MAX;
 ///
 /// Constructors panic when the inline budget is exceeded — that is a
 /// protocol *bug* (the model's message size is a compile-time-style
-/// constant), distinct from a [`MessageTooLarge`]
-/// (crate::ViolationKind::MessageTooLarge) *violation*, which fires when a
+/// constant), distinct from a
+/// [`MessageTooLarge`](crate::ViolationKind::MessageTooLarge) *violation*,
+/// which fires when a
 /// message exceeds the (possibly smaller) configured budget at run time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WireMsg {

@@ -62,7 +62,7 @@ pub use bbst::Bbst;
 pub use contacts::ContactTable;
 pub use ctx::PathCtx;
 pub use proto::{PathToClique, Undirect};
-pub use sort::{Order, SortedPath};
+pub use sort::{Order, SortBackend, SortedPath};
 pub use vpath::VPath;
 
 /// `ceil(log2(len))`, the number of doubling levels for a path of `len`

@@ -49,6 +49,7 @@ pub mod ctx;
 pub mod imcast;
 pub mod ops;
 pub mod prefix;
+pub mod rand_sort;
 pub mod scatter;
 pub mod sort;
 pub mod stagger;

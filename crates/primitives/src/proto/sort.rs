@@ -47,12 +47,100 @@ impl StageIter {
     }
 }
 
-/// Theorem 3 as a [`Step`]. Ties break by node ID, making the result
-/// deterministic and identical to the direct-style twin.
+/// Theorem 3 as a [`Step`], dispatching between the two
+/// [`SortBackend`](crate::sort::SortBackend)s. Ties break by node ID,
+/// making the result deterministic (and, on the bitonic backend,
+/// identical to the direct-style twin).
 ///
-/// Rounds: exactly [`sort::rounds_for`](crate::sort::rounds_for)`(vp.len)`.
+/// [`SortStep::new`] always builds the bitonic network (rounds: exactly
+/// [`sort::rounds_for`](crate::sort::rounds_for)`(vp.len)`);
+/// [`SortStep::on_ctx`] selects the backend.
 #[derive(Debug)]
 pub struct SortStep {
+    inner: SortImpl,
+}
+
+#[derive(Debug)]
+enum SortImpl {
+    Bitonic(BitonicSortStep),
+    // Boxed: the randomized backend's state dwarfs the bitonic's, and
+    // every driver stage machine embeds a SortStep by value.
+    Rand(Box<crate::proto::rand_sort::RandSortStep>),
+}
+
+impl SortStep {
+    /// Builds the Batcher odd-even mergesort network (the default
+    /// backend; legal for non-member views and under the strict policy).
+    pub fn new(
+        vp: VPath,
+        contacts: Arc<ContactTable>,
+        position: usize,
+        key: u64,
+        order: Order,
+        my_id: NodeId,
+    ) -> Self {
+        SortStep {
+            inner: SortImpl::Bitonic(BitonicSortStep::new(
+                vp, contacts, position, key, order, my_id,
+            )),
+        }
+    }
+
+    /// Builds the sort over an established [`PathCtx`](crate::ctx::PathCtx)
+    /// with an explicit [`SortBackend`](crate::sort::SortBackend). The
+    /// randomized backend needs the context's tree and traversal data;
+    /// below [`RAND_MIN`](crate::proto::rand_sort::RAND_MIN) nodes (or
+    /// with [`SortBackend::Bitonic`](crate::sort::SortBackend)) this is
+    /// the bitonic network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the randomized backend is selected at or above the
+    /// threshold on a non-member context (see
+    /// [`rand_sort`](crate::proto::rand_sort)).
+    pub fn on_ctx(
+        ctx: &crate::ctx::PathCtx,
+        key: u64,
+        order: Order,
+        my_id: NodeId,
+        backend: crate::sort::SortBackend,
+    ) -> Self {
+        match backend {
+            crate::sort::SortBackend::RandomizedLogN { seed }
+                if ctx.vp.len >= crate::proto::rand_sort::RAND_MIN =>
+            {
+                SortStep {
+                    inner: SortImpl::Rand(Box::new(crate::proto::rand_sort::RandSortStep::new(
+                        ctx, key, order, my_id, seed,
+                    ))),
+                }
+            }
+            _ => Self::new(
+                ctx.vp,
+                ctx.contacts.clone(),
+                ctx.position,
+                key,
+                order,
+                my_id,
+            ),
+        }
+    }
+}
+
+impl Step for SortStep {
+    type Out = SortedPath;
+
+    fn poll(&mut self, ctx: &mut RoundCtx<'_>) -> Poll<SortedPath> {
+        match &mut self.inner {
+            SortImpl::Bitonic(s) => s.poll(ctx),
+            SortImpl::Rand(s) => s.poll(ctx),
+        }
+    }
+}
+
+/// The Batcher odd-even mergesort backend (see [`SortStep`]).
+#[derive(Debug)]
+pub struct BitonicSortStep {
     vp: VPath,
     contacts: Arc<ContactTable>,
     x: usize,
@@ -66,7 +154,7 @@ pub struct SortStep {
     succ_origin: Option<NodeId>,
 }
 
-impl SortStep {
+impl BitonicSortStep {
     /// Builds the step: sort the members of `vp` by `key` (this node's
     /// `position` comes from the traversal primitive).
     pub fn new(
@@ -78,7 +166,7 @@ impl SortStep {
         my_id: NodeId,
     ) -> Self {
         let len = vp.len;
-        SortStep {
+        BitonicSortStep {
             x: position,
             stage_count: crate::sort::stage_count(len) as u64,
             t: 0,
@@ -138,7 +226,7 @@ impl SortStep {
     }
 }
 
-impl Step for SortStep {
+impl Step for BitonicSortStep {
     type Out = SortedPath;
 
     fn poll(&mut self, ctx: &mut RoundCtx<'_>) -> Poll<SortedPath> {

@@ -1,6 +1,6 @@
 //! The composable sub-protocol layer of the batched primitive stack.
 //!
-//! A [`NodeProtocol`](dgr_ncc::NodeProtocol) is one state machine per node
+//! A [`dgr_ncc::NodeProtocol`] is one state machine per node
 //! for a *whole run*. The realization algorithms, however, are sequences of
 //! primitives (sort, then broadcast, then multicast, …), so porting them
 //! wholesale would mean re-writing every primitive inline, per algorithm.

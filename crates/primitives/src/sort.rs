@@ -26,6 +26,41 @@ use dgr_ncc::NodeId;
 #[cfg(feature = "threaded")]
 use dgr_ncc::{tags, Msg, NodeHandle};
 
+/// Which distributed sorting algorithm realizes the Theorem 3 primitive.
+///
+/// Both backends fulfil the same contract — every member ends up knowing
+/// its rank and its sorted predecessor/successor IDs ([`SortedPath`]) —
+/// and both are transcript-deterministic for a fixed configuration seed.
+/// They differ in round complexity and in the capacity policy they need:
+///
+/// * [`SortBackend::Bitonic`] — the Batcher odd-even mergesort network,
+///   `O(log² n)` rounds, legal under the strict capacity policy, supports
+///   non-member (idling) path views. The default.
+/// * [`SortBackend::RandomizedLogN`] — the paper's Theorem 3 randomized
+///   sort, realized as a seeded sample-splitter sort (see
+///   [`rand_sort`](crate::proto::rand_sort)): positional sampling →
+///   splitter/leader broadcast → staggered scatter → leader hypercube
+///   scans → rank notification. `O(√n/κ + log n)` rounds at per-round
+///   capacity `κ = Θ(log n)` — asymptotically `o(log² n)` and measurably
+///   below the bitonic round count from `n ≈ 2¹⁴` (`engine_bench`).
+///   Requires a queueing (or recording) capacity policy for the scatter
+///   fan-in and a full-member path; below
+///   [`RAND_MIN`](crate::proto::rand_sort::RAND_MIN) nodes it silently
+///   delegates to the bitonic network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SortBackend {
+    /// Batcher odd-even mergesort (`O(log² n)` rounds, strict-legal).
+    #[default]
+    Bitonic,
+    /// Theorem 3 randomized sort (sample-splitter; queueing policy).
+    /// `seed` drives the sampling rotation; transcripts are deterministic
+    /// for a fixed seed.
+    RandomizedLogN {
+        /// Schedule seed (common knowledge, like the network seed).
+        seed: u64,
+    },
+}
+
 /// Sort direction. The paper's algorithms sort by *non-increasing* degree,
 /// i.e. [`Order::Descending`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

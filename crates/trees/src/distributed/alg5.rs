@@ -101,6 +101,8 @@ pub fn realize_on(
 }
 
 #[cfg(all(test, feature = "threaded"))]
+// The unit tests double as coverage of the deprecated delegating shims.
+#[allow(deprecated)]
 mod tests {
     use crate::driver::{realize_tree, TreeAlgo};
     use crate::greedy;

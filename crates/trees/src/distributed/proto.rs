@@ -27,7 +27,7 @@ use dgr_primitives::proto::sort::SortStep;
 use dgr_primitives::proto::step::{AggOp, Poll, Step};
 use dgr_primitives::proto::EstablishCtx;
 use dgr_primitives::scatter::ScanRecord;
-use dgr_primitives::sort::{Order, SortedPath};
+use dgr_primitives::sort::{Order, SortBackend, SortedPath};
 use dgr_primitives::PathCtx;
 use std::sync::Arc;
 
@@ -52,6 +52,7 @@ enum Stage {
 pub struct RealizeTree {
     degree: usize,
     algo: TreeAlgo,
+    sort: SortBackend,
     stage: Stage,
     ctx: Option<PathCtx>,
     outcome: TreeOutcome,
@@ -67,11 +68,20 @@ pub struct RealizeTree {
 
 impl RealizeTree {
     /// Builds the protocol for one node; `degree` is its requested tree
-    /// degree.
+    /// degree (bitonic Theorem 3 backend).
     pub fn new(degree: usize, algo: TreeAlgo) -> Self {
+        Self::with_sort(degree, algo, SortBackend::Bitonic)
+    }
+
+    /// Builds the protocol with an explicit backend for the *degree* sort
+    /// (Algorithm 4's interval re-sort always runs the bitonic network —
+    /// it sorts an already-established path view without a fresh
+    /// context).
+    pub fn with_sort(degree: usize, algo: TreeAlgo, sort: SortBackend) -> Self {
         RealizeTree {
             degree,
             algo,
+            sort,
             stage: Stage::Establish(EstablishCtx::new()),
             ctx: None,
             outcome: TreeOutcome {
@@ -132,13 +142,12 @@ impl NodeProtocol for RealizeTree {
                             return self.done();
                         }
                         let ctx = self.ctx();
-                        self.stage = Stage::Sort(SortStep::new(
-                            ctx.vp,
-                            ctx.contacts.clone(),
-                            ctx.position,
+                        self.stage = Stage::Sort(SortStep::on_ctx(
+                            ctx,
                             self.degree as u64,
                             Order::Descending,
                             rctx.id(),
+                            self.sort,
                         ));
                     }
                 },

@@ -2,7 +2,7 @@
 //! assemble + verify the resulting tree.
 //!
 //! Engine note: [`realize_tree_batched`] runs the
-//! [`RealizeTree`](crate::distributed::proto::RealizeTree) state machine
+//! [`crate::distributed::proto::RealizeTree`] state machine
 //! on the **batched executor** — the production path, practical at
 //! six-digit `n` (`tests/scale.rs`). [`realize_tree`] runs the
 //! direct-style Algorithms 4/5 on the threaded oracle (feature
@@ -15,7 +15,8 @@ use crate::distributed::{alg4, alg5};
 use crate::distributed::{proto::RealizeTree, TreeOutcome};
 use dgr_core::{verify, Unrealizable};
 use dgr_graph::Graph;
-use dgr_ncc::{Config, Network, NodeId, RunMetrics, SimError};
+use dgr_ncc::{Config, EngineKind, EngineStats, Network, NodeId, RunMetrics, SimError};
+use dgr_primitives::sort::SortBackend;
 use std::collections::HashMap;
 
 /// Which tree construction to run.
@@ -110,6 +111,62 @@ fn degree_assignment(net: &Network, degrees: &[usize]) -> HashMap<NodeId, usize>
     net.assign_in_path_order(degrees)
 }
 
+/// A completed tree-realization run: the realization plus the executor's
+/// internal statistics (all-zero on the threaded oracle).
+#[derive(Clone, Debug)]
+pub struct TreeRun {
+    /// Realized tree or consistent refusal.
+    pub output: TreeRealization,
+    /// Executor-internal statistics.
+    pub engine: EngineStats,
+}
+
+/// The **engine room** of the tree realizations (Algorithms 4 and 5) —
+/// one typed entry point over algorithm × engine × sorting backend,
+/// driven by the `dgr::Realization` facade builder. `degrees[i]` is
+/// assigned to the `i`-th node of the knowledge path.
+///
+/// [`EngineKind::Threaded`] runs the direct-style oracle twins for the
+/// bitonic backend, and the same state machine as the batched executor
+/// otherwise; transcripts are identical either way
+/// (`crates/trees/tests/batched_trees.rs`).
+///
+/// # Errors
+///
+/// Propagates simulator errors, and
+/// [`SimError::EngineUnavailable`] when the threaded oracle is requested
+/// without the `threaded` feature.
+pub fn realize_tree_run(
+    degrees: &[usize],
+    config: Config,
+    algo: TreeAlgo,
+    engine: EngineKind,
+    sort: SortBackend,
+) -> Result<TreeRun, SimError> {
+    let net = Network::new(degrees.len(), config);
+    let by_id = degree_assignment(&net, degrees);
+    #[cfg(feature = "threaded")]
+    if engine == EngineKind::Threaded && sort == SortBackend::Bitonic {
+        let result = net.run(|h| match algo {
+            TreeAlgo::Chain => alg4::realize(h, by_id[&h.id()]),
+            TreeAlgo::Greedy => alg5::realize(h, by_id[&h.id()]),
+        })?;
+        let engine_stats = result.engine.clone();
+        return Ok(TreeRun {
+            output: finish_tree(&net, by_id, result),
+            engine: engine_stats,
+        });
+    }
+    let result = net.run_protocol_on(engine, None, |s| {
+        RealizeTree::with_sort(by_id[&s.id], algo, sort)
+    })?;
+    let engine_stats = result.engine.clone();
+    Ok(TreeRun {
+        output: finish_tree(&net, by_id, result),
+        engine: engine_stats,
+    })
+}
+
 /// Runs the chosen tree realization on a fresh network, with `degrees[i]`
 /// assigned to the `i`-th node of the knowledge path (threaded oracle).
 ///
@@ -117,18 +174,20 @@ fn degree_assignment(net: &Network, degrees: &[usize]) -> HashMap<NodeId, usize>
 ///
 /// Propagates simulator errors.
 #[cfg(feature = "threaded")]
+#[deprecated(note = "use `dgr::Realization` (or the `realize_tree_run` engine room)")]
 pub fn realize_tree(
     degrees: &[usize],
     config: Config,
     algo: TreeAlgo,
 ) -> Result<TreeRealization, SimError> {
-    let net = Network::new(degrees.len(), config);
-    let by_id = degree_assignment(&net, degrees);
-    let result = net.run(|h| match algo {
-        TreeAlgo::Chain => alg4::realize(h, by_id[&h.id()]),
-        TreeAlgo::Greedy => alg5::realize(h, by_id[&h.id()]),
-    })?;
-    Ok(finish_tree(&net, by_id, result))
+    realize_tree_run(
+        degrees,
+        config,
+        algo,
+        EngineKind::Threaded,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
 }
 
 /// Runs the chosen tree realization on the **batched executor** — the
@@ -137,18 +196,25 @@ pub fn realize_tree(
 /// # Errors
 ///
 /// Propagates simulator errors.
+#[deprecated(note = "use `dgr::Realization` (or the `realize_tree_run` engine room)")]
 pub fn realize_tree_batched(
     degrees: &[usize],
     config: Config,
     algo: TreeAlgo,
 ) -> Result<TreeRealization, SimError> {
-    let net = Network::new(degrees.len(), config);
-    let by_id = degree_assignment(&net, degrees);
-    let result = net.run_protocol(|s| RealizeTree::new(by_id[&s.id], algo))?;
-    Ok(finish_tree(&net, by_id, result))
+    realize_tree_run(
+        degrees,
+        config,
+        algo,
+        EngineKind::Batched,
+        SortBackend::Bitonic,
+    )
+    .map(|run| run.output)
 }
 
 #[cfg(all(test, feature = "threaded"))]
+// The unit tests double as coverage of the deprecated delegating shims.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -12,12 +12,20 @@
 //! * [`distributed::alg5`] — Distributed-Tree-Realization-2: every node
 //!   adopts the next unparented nodes in sorted order; minimum diameter
 //!   (Theorem 16), `O(polylog n)` rounds.
-//! * [`driver`] — network wiring, assembly and verification.
+//! * [`driver`] — network wiring, assembly and verification; its
+//!   non-deprecated entry point [`realize_tree_run`] is the engine room
+//!   of the `dgr::Realization` facade builder.
+
+// The first-party crates must not call the deprecated shims themselves.
+#![cfg_attr(not(test), deny(deprecated))]
 
 pub mod distributed;
 pub mod driver;
 pub mod greedy;
 
+#[allow(deprecated)]
 #[cfg(feature = "threaded")]
 pub use driver::realize_tree;
-pub use driver::{realize_tree_batched, TreeAlgo, TreeRealization};
+#[allow(deprecated)]
+pub use driver::realize_tree_batched;
+pub use driver::{realize_tree_run, TreeAlgo, TreeRealization, TreeRun};

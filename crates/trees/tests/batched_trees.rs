@@ -3,7 +3,25 @@
 //! tree the threaded drivers realize, in the same number of rounds.
 
 use dgr_ncc::Config;
-use dgr_trees::{realize_tree, realize_tree_batched, TreeAlgo, TreeRealization};
+use dgr_ncc::{EngineKind, SimError};
+use dgr_primitives::sort::SortBackend;
+use dgr_trees::{realize_tree_run, TreeAlgo, TreeRealization};
+
+// White-box shorthands over the `realize_tree_run` engine room.
+fn realize_tree(
+    d: &[usize],
+    c: dgr_ncc::Config,
+    algo: TreeAlgo,
+) -> Result<TreeRealization, SimError> {
+    realize_tree_run(d, c, algo, EngineKind::Threaded, SortBackend::Bitonic).map(|run| run.output)
+}
+fn realize_tree_batched(
+    d: &[usize],
+    c: dgr_ncc::Config,
+    algo: TreeAlgo,
+) -> Result<TreeRealization, SimError> {
+    realize_tree_run(d, c, algo, EngineKind::Batched, SortBackend::Bitonic).map(|run| run.output)
+}
 use proptest::prelude::*;
 
 fn assert_trees_agree(threaded: &TreeRealization, batched: &TreeRealization, what: &str) {

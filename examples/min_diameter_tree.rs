@@ -26,17 +26,27 @@ fn main() {
         seq.is_tree_realizable()
     );
 
-    let chain = trees::realize_tree(&degrees, Config::ncc0(11), TreeAlgo::Chain)
-        .expect("simulation failed");
-    let chain = chain.expect_realized();
+    let chain = Realization::new(Workload::Tree {
+        degrees: degrees.clone(),
+        algo: TreeAlgo::Chain,
+    })
+    .seed(11)
+    .run()
+    .expect("simulation failed");
+    let chain = chain.tree().expect_realized().clone();
     println!(
         "Algorithm 4 (chain):  diameter {} in {} rounds",
         chain.diameter, chain.metrics.rounds
     );
 
-    let greedy = trees::realize_tree(&degrees, Config::ncc0(11), TreeAlgo::Greedy)
-        .expect("simulation failed");
-    let greedy = greedy.expect_realized();
+    let greedy = Realization::new(Workload::Tree {
+        degrees: degrees.clone(),
+        algo: TreeAlgo::Greedy,
+    })
+    .seed(11)
+    .run()
+    .expect("simulation failed");
+    let greedy = greedy.tree().expect_realized().clone();
     println!(
         "Algorithm 5 (greedy): diameter {} in {} rounds",
         greedy.diameter, greedy.metrics.rounds

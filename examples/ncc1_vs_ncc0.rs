@@ -26,9 +26,15 @@ fn main() {
         let inst = connectivity::ThresholdInstance::new(rho);
         let lb = connectivity::edge_lower_bound(&inst) as f64;
 
-        let fast = connectivity::realize_ncc1(&inst, Config::ncc1(7)).expect("NCC1 run failed");
-        let slow = connectivity::realize_ncc0(&inst, Config::ncc0(7).with_queueing())
+        let fast = Realization::new(Workload::Ncc1(inst.rho.clone()))
+            .seed(7)
+            .run()
+            .expect("NCC1 run failed");
+        let slow = Realization::new(Workload::Ncc0Threshold(inst.rho.clone()))
+            .seed(7)
+            .run()
             .expect("NCC0 run failed");
+        let (fast, slow) = (fast.threshold(), slow.threshold());
         assert!(fast.report.satisfied && slow.report.satisfied);
 
         println!(

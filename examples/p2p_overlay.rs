@@ -11,7 +11,8 @@
 //! degree compliance, connectivity, diameter.
 
 use distributed_graph_realizations::prelude::*;
-use distributed_graph_realizations::{graph, graphgen, realization};
+use distributed_graph_realizations::realization::verify;
+use distributed_graph_realizations::{graph, graphgen};
 
 fn main() {
     let n = 256;
@@ -26,13 +27,15 @@ fn main() {
         seq.is_graphic()
     );
 
-    // Explicit realization wants receive-side queueing for the staggered
-    // edge hand-off.
-    let out = realization::realize_explicit(&degrees, Config::ncc0(99).with_queueing())
+    // The explicit workload defaults to the queueing policy its
+    // staggered edge hand-off needs.
+    let out = Realization::new(Workload::Explicit(degrees.clone()))
+        .seed(99)
+        .run()
         .expect("simulation failed");
-    let r = out.expect_realized();
+    let r = out.degrees().expect_realized();
 
-    realization::verify::degrees_match(&r.graph, &r.requested).expect("degree mismatch");
+    verify::degrees_match(&r.graph, &r.requested).expect("degree mismatch");
     println!(
         "explicit overlay built: {} edges in {} rounds ({} messages)",
         r.graph.edge_count(),

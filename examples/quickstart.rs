@@ -7,10 +7,11 @@
 //! Eight peers boot knowing only their successor on a line (the NCC0
 //! initial knowledge graph); each wants a specific number of overlay
 //! links. Algorithm 3 builds the overlay in `O~(min{√m, Δ})` rounds, and
-//! we verify the result exactly.
+//! we verify the result exactly. Everything runs through the one
+//! `Realization` builder.
 
 use distributed_graph_realizations::prelude::*;
-use distributed_graph_realizations::realization;
+use distributed_graph_realizations::realization::verify;
 
 fn main() {
     // One degree per node; node i of the knowledge path wants degrees[i]
@@ -26,18 +27,21 @@ fn main() {
         seq.edge_count()
     );
 
-    // Strict NCC0 with KT0 knowledge tracking: the run itself certifies
-    // that the algorithm is a legal NCC0 protocol.
-    let out =
-        realization::realize_implicit(&degrees, Config::ncc0(2026)).expect("simulation failed");
+    // Defaults are the strict NCC0 policy with KT0 knowledge tracking:
+    // the run itself certifies that the algorithm is a legal NCC0
+    // protocol.
+    let out = Realization::new(Workload::Implicit(degrees))
+        .seed(2026)
+        .run()
+        .expect("simulation failed");
 
-    match out {
-        realization::DriverOutput::Realized(r) => {
+    match out.degrees() {
+        DriverOutput::Realized(r) => {
             println!("\nrealized {} edges:", r.graph.edge_count());
             for (u, v) in r.graph.edge_list() {
                 println!("  {u} -- {v}");
             }
-            realization::verify::degrees_match(&r.graph, &r.requested).expect("degree mismatch");
+            verify::degrees_match(&r.graph, &r.requested).expect("degree mismatch");
             println!("\nall degrees match their requests ✓");
             println!(
                 "rounds: {} | messages: {} | Algorithm 3 phases: {} | \
@@ -49,16 +53,19 @@ fn main() {
                 r.metrics.violations.total()
             );
         }
-        realization::DriverOutput::Unrealizable { .. } => {
+        DriverOutput::Unrealizable { .. } => {
             println!("the sequence is not graphic — no overlay exists");
         }
     }
 
     // The same pipeline refuses a non-graphic sequence.
     let bad = vec![3, 3, 1, 1];
-    let out = realization::realize_implicit(&bad, Config::ncc0(2026)).unwrap();
+    let out = Realization::new(Workload::Implicit(bad.clone()))
+        .seed(2026)
+        .run()
+        .unwrap();
     println!(
         "\ncontrol: {bad:?} correctly refused: {}",
-        out.is_unrealizable()
+        out.degrees().is_unrealizable()
     );
 }

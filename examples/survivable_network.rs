@@ -6,9 +6,11 @@
 //!
 //! A tiered service: 4 core replicas need 6-edge-connectivity to each
 //! other, 16 cache nodes need 3, and the remaining edge nodes need 1.
-//! Algorithm 6 builds an *explicit* overlay with at most twice the
-//! optimal number of links; Dinic max-flow certifies every requirement,
-//! and we demonstrate the survivability by deleting edges.
+//! The **paper-exact** Algorithm 6 — phase 1 via the prefix envelope
+//! recursion, composed with the phase-2 pipeline and explicitness acks —
+//! builds an *explicit* overlay with at most twice the optimal number of
+//! links; Dinic max-flow certifies every requirement, and we demonstrate
+//! the survivability by deleting edges.
 
 use distributed_graph_realizations::prelude::*;
 use distributed_graph_realizations::{connectivity, graph};
@@ -34,8 +36,11 @@ fn main() {
         connectivity::edge_lower_bound(&rho)
     );
 
-    let out = connectivity::realize_ncc0(&rho, Config::ncc0(31).with_queueing())
+    let run = Realization::new(Workload::Ncc0Exact(rho.rho.clone()))
+        .seed(31)
+        .run()
         .expect("simulation failed");
+    let out = run.threshold();
     println!(
         "built {} edges in {} rounds — within 2x of optimal: {}",
         out.graph.edge_count(),

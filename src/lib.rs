@@ -6,7 +6,76 @@
 //! that realize degree sequences, trees, and connectivity thresholds in the
 //! node-capacitated clique (NCC) model of distributed computing.
 //!
-//! This crate is an umbrella façade re-exporting the workspace crates:
+//! # The `Realization` builder
+//!
+//! Every realization — degree sequences (implicit, explicit, upper
+//! envelope), trees (Algorithms 4 and 5), and connectivity thresholds
+//! (NCC1 star, Algorithm 6, and the composed paper-exact Algorithm 6) —
+//! runs through one typed entry point:
+//!
+//! ```
+//! use distributed_graph_realizations as dgr;
+//! use dgr::{Realization, Workload};
+//!
+//! let out = Realization::new(Workload::Implicit(vec![2, 2, 1, 1]))
+//!     .seed(7)
+//!     .run()
+//!     .unwrap();
+//! let overlay = out.degrees().expect_realized();
+//! assert_eq!(overlay.graph.edge_count(), 3);
+//! assert!(out.metrics().is_clean());
+//! ```
+//!
+//! Every capability is a builder knob instead of a separate entry point:
+//! the executor ([`Engine::Batched`] production engine vs the
+//! [`Engine::Threaded`] oracle), the capacity policy, masked sub-network
+//! runs, the Theorem 3 sorting backend ([`SortBackend::Bitonic`] vs the
+//! randomized [`SortBackend::RandomizedLogN`]), KT0 knowledge tracking,
+//! and the certification depth:
+//!
+//! ```
+//! use distributed_graph_realizations as dgr;
+//! use dgr::{CapacityPolicy, Engine, Kt0, Realization, SortBackend, Workload};
+//!
+//! // An explicit realization on the batched executor, queueing policy
+//! // (required by the staggered hand-off), KT0 tracking on.
+//! let out = Realization::new(Workload::Explicit(vec![3, 2, 2, 2, 2, 2, 2, 1]))
+//!     .engine(Engine::Batched)
+//!     .policy(CapacityPolicy::Queue)
+//!     .sort(SortBackend::Bitonic)
+//!     .tracking(Kt0::Tracked)
+//!     .seed(2026)
+//!     .run()
+//!     .unwrap();
+//! let overlay = out.degrees().expect_realized();
+//! assert_eq!(overlay.graph.edge_count(), 8);
+//!
+//! // A masked sub-network run: only the first three path positions
+//! // participate (the engine-level form of Algorithm 6's recursion).
+//! let masked = Realization::new(Workload::Envelope(vec![2, 1, 1, 0, 0]))
+//!     .mask(vec![true, true, true, false, false])
+//!     .seed(5)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(masked.degrees().expect_realized().path_order.len(), 3);
+//! ```
+//!
+//! The composed paper-exact Algorithm 6 ([`Workload::Ncc0Exact`]) and the
+//! other threshold constructions return a certified
+//! [`ThresholdRealization`]:
+//!
+//! ```
+//! use distributed_graph_realizations as dgr;
+//! use dgr::{Realization, Workload};
+//!
+//! let out = Realization::new(Workload::Ncc0Exact(vec![2, 2, 1, 1, 1]))
+//!     .seed(55)
+//!     .run()
+//!     .unwrap();
+//! assert!(out.threshold().report.satisfied);
+//! ```
+//!
+//! The workspace crates remain available underneath for white-box use:
 //!
 //! * [`ncc`] — the NCC0/NCC1 model simulator (rounds, capacities, KT0
 //!   knowledge tracking).
@@ -22,10 +91,14 @@
 //!   approximate).
 //! * [`trees`] — tree realization (Algorithms 4 and 5, minimum diameter).
 //! * [`connectivity`] — connectivity-threshold realization (NCC1 `O~(1)`
-//!   and NCC0 `O~(Δ)` 2-approximations).
+//!   and NCC0 `O~(Δ)` 2-approximations, plus the composed paper-exact
+//!   Algorithm 6).
 //!
-//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory,
-//! and `EXPERIMENTS.md` for the reproduction of every paper claim.
+//! See `README.md` for a guided tour and `ARCHITECTURE.md` for the system
+//! design (including the builder's full knob matrix and the migration
+//! table from the deprecated `realize_*` entry points).
+
+#![cfg_attr(not(test), deny(deprecated))]
 
 pub use dgr_connectivity as connectivity;
 pub use dgr_core as realization;
@@ -35,11 +108,595 @@ pub use dgr_ncc as ncc;
 pub use dgr_primitives as primitives;
 pub use dgr_trees as trees;
 
+use dgr_connectivity::{ThresholdAlgo, ThresholdInstance, ThresholdRealization};
+use dgr_core::distributed::proto::Flavor;
+use dgr_core::DriverOutput;
+use dgr_ncc::{Config, EngineStats, Model, RunMetrics, SimError};
+use dgr_primitives::sort::SortBackend as PrimitivesSortBackend;
+use dgr_trees::{TreeAlgo, TreeRealization};
+
+pub use dgr_ncc::EngineKind as Engine;
+pub use dgr_ncc::{CapacityPolicy, NodeId};
+pub use dgr_primitives::sort::SortBackend;
+
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
+    pub use crate::{Engine, Kt0, Realization, Realized, RunOutput, SortBackend, Workload};
     pub use dgr_connectivity::{ThresholdInstance, ThresholdRealization};
-    pub use dgr_core::{DegreeSequence, DistributedRealization, Realization, RealizeError};
+    pub use dgr_core::{DegreeSequence, DistributedRealization, DriverOutput, RealizeError};
     pub use dgr_graph::Graph;
     pub use dgr_ncc::{CapacityPolicy, Config, Model, Network, NodeId, RunMetrics};
-    pub use dgr_trees::TreeRealization;
+    pub use dgr_trees::{TreeAlgo, TreeRealization};
+}
+
+/// What to realize. Degree workloads take one requested degree per
+/// knowledge-path position; threshold workloads take one requirement
+/// `ρ ≥ 1` per position.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// Algorithm 3: implicit degree realization, exact (Theorem 11).
+    Implicit(Vec<usize>),
+    /// Theorem 13: the upper-envelope realization (implicit, multigraph
+    /// semantics; accepts non-graphic sequences).
+    Envelope(Vec<usize>),
+    /// Theorem 12: explicit degree realization (both endpoints know every
+    /// edge; runs under the queueing policy by default).
+    Explicit(Vec<usize>),
+    /// Algorithms 4/5: tree realization with the chosen construction.
+    Tree {
+        /// Requested tree degrees (`Σd = 2(n-1)`, all positive).
+        degrees: Vec<usize>,
+        /// Chain (Algorithm 4) or minimum-diameter greedy (Algorithm 5).
+        algo: TreeAlgo,
+    },
+    /// Theorem 17: the NCC1 star threshold construction (`O~(1)` rounds;
+    /// automatically runs under an NCC1 configuration).
+    Ncc1(Vec<usize>),
+    /// Algorithm 6 / Theorem 18 with the default cyclic-pipeline phase 1.
+    Ncc0Threshold(Vec<usize>),
+    /// Algorithm 6 **paper-exact**, composed end to end: phase 1 via the
+    /// prefix envelope recursion, the distinctness patch, the phase-2
+    /// pipeline, and the explicitness acknowledgements
+    /// ([`connectivity::distributed::ncc0_exact`]).
+    Ncc0Exact(Vec<usize>),
+    /// Algorithm 6 phase 1 in isolation: the Theorem 13 envelope run on
+    /// the ρ-sorted prefix sub-network (driver-assigned order).
+    PrefixEnvelope(Vec<usize>),
+}
+
+/// KT0 knowledge-tracking switch: when tracked, the engine verifies that
+/// every send addresses an ID the sender has legitimately learned — a
+/// machine-checked proof of NCC0 legality. Ignored under NCC1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kt0 {
+    /// Track knowledge and flag violations (the NCC0 default).
+    Tracked,
+    /// Skip tracking (cheaper; use for throughput measurements).
+    Untracked,
+}
+
+/// A rejected [`Realization`] request (before any simulation ran), or a
+/// simulator error from the run itself.
+#[derive(Debug)]
+pub enum RealizationError {
+    /// The knob combination is invalid; the message says why.
+    InvalidRequest(String),
+    /// The simulation failed (model violation, round limit, panic).
+    Sim(SimError),
+}
+
+impl std::fmt::Display for RealizationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RealizationError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            RealizationError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RealizationError {}
+
+impl From<SimError> for RealizationError {
+    fn from(e: SimError) -> Self {
+        RealizationError::Sim(e)
+    }
+}
+
+/// The realized output, by workload family.
+///
+/// The accessors on [`Realized`] panic with the *family name* on a
+/// mismatch (never the full realization — at six-digit `n` that debug
+/// dump would be enormous).
+#[derive(Clone, Debug)]
+pub enum RunOutput {
+    /// Degree workloads (implicit/envelope/explicit/masked/prefix).
+    Degrees(DriverOutput),
+    /// Tree workloads.
+    Tree(TreeRealization),
+    /// Threshold workloads (boxed: the certification report and neighbor
+    /// maps dominate the enum's footprint).
+    Threshold(Box<ThresholdRealization>),
+}
+
+impl RunOutput {
+    /// The family name (for error messages).
+    fn family(&self) -> &'static str {
+        match self {
+            RunOutput::Degrees(_) => "a degree realization",
+            RunOutput::Tree(_) => "a tree realization",
+            RunOutput::Threshold(_) => "a threshold realization",
+        }
+    }
+}
+
+/// A completed [`Realization`] run: the workload-family output plus the
+/// executor's internal statistics.
+#[derive(Clone, Debug)]
+pub struct Realized {
+    /// The realized output.
+    pub output: RunOutput,
+    /// Executor-internal statistics (compactions, routing-path choices;
+    /// all-zero on the threaded oracle).
+    pub engine_stats: EngineStats,
+}
+
+impl Realized {
+    /// The degree-workload output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was not a degree realization.
+    pub fn degrees(&self) -> &DriverOutput {
+        match &self.output {
+            RunOutput::Degrees(d) => d,
+            other => panic!("expected a degree realization, got {}", other.family()),
+        }
+    }
+
+    /// The tree-workload output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was not a tree realization.
+    pub fn tree(&self) -> &TreeRealization {
+        match &self.output {
+            RunOutput::Tree(t) => t,
+            other => panic!("expected a tree realization, got {}", other.family()),
+        }
+    }
+
+    /// The threshold-workload output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was not a threshold realization.
+    pub fn threshold(&self) -> &ThresholdRealization {
+        match &self.output {
+            RunOutput::Threshold(t) => t,
+            other => panic!("expected a threshold realization, got {}", other.family()),
+        }
+    }
+
+    /// The run metrics, whichever family the workload belongs to.
+    pub fn metrics(&self) -> &RunMetrics {
+        match &self.output {
+            RunOutput::Degrees(d) => d.metrics(),
+            RunOutput::Tree(TreeRealization::Realized(t)) => &t.metrics,
+            RunOutput::Tree(TreeRealization::Unrealizable { metrics }) => metrics,
+            RunOutput::Threshold(t) => &t.metrics,
+        }
+    }
+}
+
+/// The builder facade over the whole driver stack: workload × engine ×
+/// capacity policy × mask × sorting backend × tracking × certification,
+/// one knob each. See the crate docs for examples and `ARCHITECTURE.md`
+/// for the full knob matrix.
+#[derive(Clone, Debug)]
+pub struct Realization {
+    workload: Workload,
+    engine: Engine,
+    policy: Option<CapacityPolicy>,
+    mask: Option<Vec<bool>>,
+    sort: SortBackend,
+    tracking: Option<Kt0>,
+    seed: u64,
+    model: Option<Model>,
+    capacity_factor: Option<f64>,
+    sequential_ids: bool,
+    workers: Option<usize>,
+    max_rounds: Option<u64>,
+    certify: bool,
+}
+
+impl Realization {
+    /// Starts a request for the given workload. Defaults: batched
+    /// engine, seed 0, bitonic sort, tracking on under NCC0, the
+    /// workload's natural capacity policy (queueing for the explicit and
+    /// NCC0-threshold constructions, strict otherwise), certification on.
+    pub fn new(workload: Workload) -> Self {
+        Realization {
+            workload,
+            engine: Engine::Batched,
+            policy: None,
+            mask: None,
+            sort: SortBackend::Bitonic,
+            tracking: None,
+            seed: 0,
+            model: None,
+            capacity_factor: None,
+            sequential_ids: false,
+            workers: None,
+            max_rounds: None,
+            certify: true,
+        }
+    }
+
+    /// Selects the executor (default: [`Engine::Batched`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the capacity policy (default: the workload's natural
+    /// policy — queueing where staggered hand-offs need receive-side
+    /// queueing, strict otherwise).
+    pub fn policy(mut self, policy: CapacityPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Restricts the run to a sub-network: only masked-in path positions
+    /// participate (degree workloads only; the knowledge path links
+    /// across the rest).
+    pub fn mask(mut self, participants: Vec<bool>) -> Self {
+        self.mask = Some(participants);
+        self
+    }
+
+    /// Selects the Theorem 3 sorting backend (default: bitonic). The
+    /// randomized backend requires a queueing or recording policy.
+    pub fn sort(mut self, sort: SortBackend) -> Self {
+        self.sort = sort;
+        self
+    }
+
+    /// Switches KT0 knowledge tracking (default: tracked under NCC0).
+    pub fn tracking(mut self, tracking: Kt0) -> Self {
+        self.tracking = Some(tracking);
+        self
+    }
+
+    /// Sets the master seed (IDs, path order, node RNGs, stagger
+    /// schedules). Identical requests with identical seeds replay
+    /// identically, on either engine and any worker count.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the model variant (default: NCC1 for the
+    /// [`Workload::Ncc1`] star, NCC0 otherwise). Per the paper's remark,
+    /// every NCC0 algorithm runs unchanged under NCC1.
+    pub fn model(mut self, model: Model) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Overrides the capacity multiplier `c` in `cap = c·log₂ n`.
+    pub fn capacity_factor(mut self, factor: f64) -> Self {
+        self.capacity_factor = Some(factor);
+        self
+    }
+
+    /// Uses sequential IDs `1..=n` (figure-exact runs; the honest
+    /// random-ID setting is the default).
+    pub fn sequential_ids(mut self) -> Self {
+        self.sequential_ids = true;
+        self
+    }
+
+    /// Pins the batched executor's worker count (`0`/default = auto).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Overrides the round-limit safety valve.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Switches the threshold workloads' max-flow certification (an
+    /// `O(n)`-flows cost; switch off at six-digit `n` and verify
+    /// structurally — the returned report is then marked `skipped` and
+    /// `report.certified()` stays false). Ignored by non-threshold
+    /// workloads.
+    pub fn certify(mut self, certify: bool) -> Self {
+        self.certify = certify;
+        self
+    }
+
+    /// The workload's input length.
+    fn input_len(&self) -> usize {
+        match &self.workload {
+            Workload::Implicit(d) | Workload::Envelope(d) | Workload::Explicit(d) => d.len(),
+            Workload::Tree { degrees, .. } => degrees.len(),
+            Workload::Ncc1(r)
+            | Workload::Ncc0Threshold(r)
+            | Workload::Ncc0Exact(r)
+            | Workload::PrefixEnvelope(r) => r.len(),
+        }
+    }
+
+    /// The workload's natural capacity policy.
+    fn default_policy(&self) -> CapacityPolicy {
+        match &self.workload {
+            Workload::Explicit(_) | Workload::Ncc0Threshold(_) | Workload::Ncc0Exact(_) => {
+                CapacityPolicy::Queue
+            }
+            _ => CapacityPolicy::Strict,
+        }
+    }
+
+    /// Builds the simulator configuration from the knobs.
+    fn config(&self) -> Result<Config, RealizationError> {
+        let default_model = match &self.workload {
+            Workload::Ncc1(_) => Model::Ncc1,
+            _ => Model::Ncc0,
+        };
+        let model = self.model.unwrap_or(default_model);
+        if matches!(self.workload, Workload::Ncc1(_)) && model == Model::Ncc0 {
+            return Err(RealizationError::InvalidRequest(
+                "the Theorem 17 star construction needs the NCC1 model \
+                 (all IDs common knowledge)"
+                    .into(),
+            ));
+        }
+        let mut config = match model {
+            Model::Ncc1 => Config::ncc1(self.seed),
+            Model::Ncc0 => Config::ncc0(self.seed),
+        };
+        config.capacity_policy = self.policy.unwrap_or_else(|| self.default_policy());
+        if let Some(tracking) = self.tracking {
+            config.track_knowledge = tracking == Kt0::Tracked && config.model == Model::Ncc0;
+        }
+        if let Some(factor) = self.capacity_factor {
+            config.capacity_factor = factor;
+        }
+        if self.sequential_ids {
+            config = config.with_sequential_ids();
+        }
+        if let Some(workers) = self.workers {
+            config.worker_threads = workers;
+        }
+        if let Some(max_rounds) = self.max_rounds {
+            config.max_rounds = max_rounds;
+        }
+        if matches!(self.sort, SortBackend::RandomizedLogN { .. })
+            && config.capacity_policy == CapacityPolicy::Strict
+        {
+            return Err(RealizationError::InvalidRequest(
+                "the randomized sort backend needs a queueing (or recording) capacity \
+                 policy for its scatter fan-in — add .policy(CapacityPolicy::Queue)"
+                    .into(),
+            ));
+        }
+        Ok(config)
+    }
+
+    /// Validates the knob combination and runs the realization.
+    ///
+    /// # Errors
+    ///
+    /// [`RealizationError::InvalidRequest`] for contradictory knobs
+    /// (mask on a non-degree workload, mask length mismatch, randomized
+    /// sort under the strict policy), [`RealizationError::Sim`] for
+    /// simulator failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a threshold workload's requirements are invalid
+    /// (`ρ = 0` or `ρ ≥ n` — no simple graph can satisfy them).
+    pub fn run(self) -> Result<Realized, RealizationError> {
+        if self.input_len() == 0 {
+            return Err(RealizationError::InvalidRequest(
+                "the workload needs at least one node".into(),
+            ));
+        }
+        if let Some(mask) = &self.mask {
+            let degree_workload = matches!(
+                self.workload,
+                Workload::Implicit(_) | Workload::Envelope(_) | Workload::Explicit(_)
+            );
+            if !degree_workload {
+                return Err(RealizationError::InvalidRequest(
+                    "masks apply to degree workloads only (trees and thresholds \
+                     realize over the whole network)"
+                        .into(),
+                ));
+            }
+            if mask.len() != self.input_len() {
+                return Err(RealizationError::InvalidRequest(format!(
+                    "mask length {} does not match the {}-node workload",
+                    mask.len(),
+                    self.input_len()
+                )));
+            }
+        }
+        let config = self.config()?;
+        let sort: PrimitivesSortBackend = self.sort;
+        let mask = self.mask.as_deref();
+        let (output, engine_stats) = match &self.workload {
+            Workload::Implicit(d) | Workload::Envelope(d) | Workload::Explicit(d) => {
+                let flavor = match &self.workload {
+                    Workload::Implicit(_) => Flavor::Implicit,
+                    Workload::Envelope(_) => Flavor::Envelope,
+                    _ => Flavor::Explicit,
+                };
+                let run = dgr_core::realize_degrees(d, mask, config, flavor, self.engine, sort)?;
+                (RunOutput::Degrees(run.output), run.engine)
+            }
+            Workload::Tree { degrees, algo } => {
+                let run = dgr_trees::realize_tree_run(degrees, config, *algo, self.engine, sort)?;
+                (RunOutput::Tree(run.output), run.engine)
+            }
+            Workload::Ncc1(r) | Workload::Ncc0Threshold(r) | Workload::Ncc0Exact(r) => {
+                let algo = match &self.workload {
+                    Workload::Ncc1(_) => ThresholdAlgo::Ncc1Star,
+                    Workload::Ncc0Threshold(_) => ThresholdAlgo::Ncc0Pipeline,
+                    _ => ThresholdAlgo::Ncc0Exact,
+                };
+                let inst = ThresholdInstance::new(r.clone());
+                let run = dgr_connectivity::realize_threshold_run(
+                    &inst,
+                    config,
+                    algo,
+                    self.engine,
+                    sort,
+                    self.certify,
+                )?;
+                (RunOutput::Threshold(Box::new(run.output)), run.engine)
+            }
+            Workload::PrefixEnvelope(r) => {
+                let inst = ThresholdInstance::new(r.clone());
+                let run =
+                    dgr_connectivity::realize_prefix_envelope_run(&inst, config, self.engine)?;
+                (RunOutput::Degrees(run.output), run.engine)
+            }
+        };
+        Ok(Realized {
+            output,
+            engine_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_contradictory_knobs() {
+        // Mask on a tree workload.
+        let err = Realization::new(Workload::Tree {
+            degrees: vec![1, 2, 1],
+            algo: TreeAlgo::Greedy,
+        })
+        .mask(vec![true, true, false])
+        .run()
+        .unwrap_err();
+        assert!(matches!(err, RealizationError::InvalidRequest(_)), "{err}");
+
+        // Mask length mismatch.
+        let err = Realization::new(Workload::Implicit(vec![1, 1]))
+            .mask(vec![true])
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("mask length"), "{err}");
+
+        // Randomized sort under the strict policy.
+        let err = Realization::new(Workload::Implicit(vec![1, 1]))
+            .sort(SortBackend::RandomizedLogN { seed: 1 })
+            .policy(CapacityPolicy::Strict)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("randomized sort"), "{err}");
+
+        // Empty workload.
+        let err = Realization::new(Workload::Implicit(vec![]))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, RealizationError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn builder_covers_every_workload() {
+        let out = Realization::new(Workload::Implicit(vec![2, 2, 1, 1]))
+            .seed(41)
+            .run()
+            .unwrap();
+        assert_eq!(out.degrees().expect_realized().graph.edge_count(), 3);
+
+        let out = Realization::new(Workload::Envelope(vec![3, 3, 1, 0]))
+            .seed(5)
+            .run()
+            .unwrap();
+        assert!(!out.degrees().is_unrealizable());
+
+        let out = Realization::new(Workload::Explicit(vec![1, 1, 2, 2]))
+            .seed(9)
+            .run()
+            .unwrap();
+        assert!(!out
+            .degrees()
+            .expect_realized()
+            .explicit_neighbors
+            .is_empty());
+
+        let out = Realization::new(Workload::Tree {
+            degrees: vec![2, 2, 1, 1],
+            algo: TreeAlgo::Greedy,
+        })
+        .seed(90)
+        .run()
+        .unwrap();
+        assert!(out.tree().expect_realized().graph.is_tree());
+
+        let out = Realization::new(Workload::Ncc1(vec![2, 2, 1, 1, 1]))
+            .seed(55)
+            .run()
+            .unwrap();
+        assert!(out.threshold().report.satisfied);
+
+        let out = Realization::new(Workload::Ncc0Threshold(vec![2, 2, 1, 1, 1]))
+            .seed(55)
+            .run()
+            .unwrap();
+        assert!(out.threshold().report.satisfied);
+
+        let out = Realization::new(Workload::Ncc0Exact(vec![2, 2, 1, 1, 1]))
+            .seed(55)
+            .run()
+            .unwrap();
+        assert!(out.threshold().report.satisfied);
+
+        let out = Realization::new(Workload::PrefixEnvelope(vec![2, 2, 1, 1, 1]))
+            .seed(55)
+            .run()
+            .unwrap();
+        assert!(!out.degrees().is_unrealizable());
+    }
+
+    #[test]
+    fn certification_can_be_skipped() {
+        let out = Realization::new(Workload::Ncc1(vec![2, 1, 1, 1]))
+            .certify(false)
+            .seed(3)
+            .run()
+            .unwrap();
+        assert_eq!(out.threshold().report.pairs_checked, 0);
+        assert!(out.threshold().report.skipped);
+        assert!(!out.threshold().report.certified());
+    }
+
+    #[test]
+    fn engines_agree_through_the_builder() {
+        let run = |engine: Engine| {
+            Realization::new(Workload::Implicit(vec![3, 2, 2, 2, 1, 1, 1]))
+                .engine(engine)
+                .seed(17)
+                .run()
+                .unwrap()
+        };
+        let batched = run(Engine::Batched);
+        let threaded = run(Engine::Threaded);
+        assert_eq!(batched.metrics().rounds, threaded.metrics().rounds);
+        assert_eq!(batched.metrics().messages, threaded.metrics().messages);
+        assert_eq!(
+            batched.degrees().expect_realized().graph.edge_list(),
+            threaded.degrees().expect_realized().graph.edge_list()
+        );
+    }
 }

@@ -1,0 +1,237 @@
+//! Back-compat: every deprecated `realize_*` wrapper must produce
+//! **bit-identical** transcripts and metrics to its `Realization` builder
+//! equivalent — one parameterized differential over the whole legacy
+//! surface. (The wrappers are thin shims over the same engine rooms the
+//! builder drives, so any divergence here means a shim rotted.)
+
+#![allow(deprecated)]
+
+use distributed_graph_realizations::prelude::*;
+use distributed_graph_realizations::{connectivity, realization, trees, Engine};
+
+/// The metrics both paths must agree on, bit for bit.
+fn fingerprint(m: &RunMetrics) -> (u64, u64, u64, usize, usize) {
+    (
+        m.rounds,
+        m.messages,
+        m.words,
+        m.max_sent_per_round,
+        m.max_received_per_round,
+    )
+}
+
+/// An overlay edge list plus the metrics both paths must agree on.
+type Transcript = (Vec<(NodeId, NodeId)>, RunMetrics);
+
+struct Case {
+    name: &'static str,
+    legacy: fn(&[usize], u64) -> Transcript,
+    builder: fn(&[usize], u64) -> Transcript,
+}
+
+fn degrees_out(out: &DriverOutput) -> Transcript {
+    let r = out.expect_realized();
+    (r.graph.edge_list(), r.metrics.clone())
+}
+
+fn build(w: Workload, seed: u64, engine: Engine) -> Realized {
+    Realization::new(w).seed(seed).engine(engine).run().unwrap()
+}
+
+#[test]
+fn deprecated_wrappers_match_builder_equivalents() {
+    let cases = [
+        Case {
+            name: "realize_implicit",
+            legacy: |d, s| degrees_out(&realization::realize_implicit(d, Config::ncc0(s)).unwrap()),
+            builder: |d, s| {
+                degrees_out(build(Workload::Implicit(d.to_vec()), s, Engine::Threaded).degrees())
+            },
+        },
+        Case {
+            name: "realize_implicit_batched",
+            legacy: |d, s| {
+                degrees_out(&realization::realize_implicit_batched(d, Config::ncc0(s)).unwrap())
+            },
+            builder: |d, s| {
+                degrees_out(build(Workload::Implicit(d.to_vec()), s, Engine::Batched).degrees())
+            },
+        },
+        Case {
+            name: "realize_approx",
+            legacy: |d, s| degrees_out(&realization::realize_approx(d, Config::ncc0(s)).unwrap()),
+            builder: |d, s| {
+                degrees_out(build(Workload::Envelope(d.to_vec()), s, Engine::Threaded).degrees())
+            },
+        },
+        Case {
+            name: "realize_approx_batched",
+            legacy: |d, s| {
+                degrees_out(&realization::realize_approx_batched(d, Config::ncc0(s)).unwrap())
+            },
+            builder: |d, s| {
+                degrees_out(build(Workload::Envelope(d.to_vec()), s, Engine::Batched).degrees())
+            },
+        },
+        Case {
+            name: "realize_explicit",
+            legacy: |d, s| {
+                degrees_out(
+                    &realization::realize_explicit(d, Config::ncc0(s).with_queueing()).unwrap(),
+                )
+            },
+            builder: |d, s| {
+                degrees_out(build(Workload::Explicit(d.to_vec()), s, Engine::Threaded).degrees())
+            },
+        },
+        Case {
+            name: "realize_explicit_batched",
+            legacy: |d, s| {
+                degrees_out(
+                    &realization::realize_explicit_batched(d, Config::ncc0(s).with_queueing())
+                        .unwrap(),
+                )
+            },
+            builder: |d, s| {
+                degrees_out(build(Workload::Explicit(d.to_vec()), s, Engine::Batched).degrees())
+            },
+        },
+    ];
+    let degrees = vec![3usize, 2, 2, 2, 2, 2, 1, 1, 1, 1, 1];
+    for case in &cases {
+        for seed in [3u64, 19] {
+            let (le, lm) = (case.legacy)(&degrees, seed);
+            let (be, bm) = (case.builder)(&degrees, seed);
+            assert_eq!(le, be, "{}: overlays diverge (seed {seed})", case.name);
+            assert_eq!(
+                fingerprint(&lm),
+                fingerprint(&bm),
+                "{}: transcripts diverge (seed {seed})",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn deprecated_masked_and_prefix_wrappers_match() {
+    let degrees = vec![2usize, 1, 1, 0, 0, 0];
+    let mask = vec![true, true, true, false, false, false];
+    for seed in [5u64, 23] {
+        let legacy = realization::realize_masked_batched(
+            &degrees,
+            &mask,
+            Config::ncc0(seed),
+            realization::distributed::proto::Flavor::Envelope,
+        )
+        .unwrap();
+        let built = Realization::new(Workload::Envelope(degrees.clone()))
+            .mask(mask.clone())
+            .seed(seed)
+            .run()
+            .unwrap();
+        assert_eq!(
+            degrees_out(&legacy),
+            degrees_out(built.degrees()),
+            "realize_masked_batched diverges (seed {seed})"
+        );
+
+        let legacy_prefix = realization::realize_prefix_batched(
+            &degrees,
+            3,
+            Config::ncc0(seed),
+            realization::distributed::proto::Flavor::Envelope,
+        )
+        .unwrap();
+        assert_eq!(
+            degrees_out(&legacy_prefix),
+            degrees_out(built.degrees()),
+            "realize_prefix_batched diverges (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn deprecated_tree_wrappers_match() {
+    let degrees = vec![3usize, 3, 2, 2, 1, 1, 1, 1];
+    for (engine, legacy) in [
+        (
+            Engine::Threaded,
+            trees::realize_tree(&degrees, Config::ncc0(9), TreeAlgo::Greedy).unwrap(),
+        ),
+        (
+            Engine::Batched,
+            trees::realize_tree_batched(&degrees, Config::ncc0(9), TreeAlgo::Greedy).unwrap(),
+        ),
+    ] {
+        let built = build(
+            Workload::Tree {
+                degrees: degrees.clone(),
+                algo: TreeAlgo::Greedy,
+            },
+            9,
+            engine,
+        );
+        let (l, b) = (legacy.expect_realized(), built.tree().expect_realized());
+        assert_eq!(l.graph.edge_list(), b.graph.edge_list(), "{engine:?}");
+        assert_eq!(
+            fingerprint(&l.metrics),
+            fingerprint(&b.metrics),
+            "{engine:?}"
+        );
+    }
+}
+
+#[test]
+fn deprecated_threshold_wrappers_match() {
+    let rho = vec![3usize, 2, 2, 2, 1, 1, 1];
+    let inst = ThresholdInstance::new(rho.clone());
+    // NCC1 star, both engines.
+    for (engine, legacy) in [
+        (
+            Engine::Threaded,
+            connectivity::realize_ncc1(&inst, Config::ncc1(12)).unwrap(),
+        ),
+        (
+            Engine::Batched,
+            connectivity::realize_ncc1_batched(&inst, Config::ncc1(12)).unwrap(),
+        ),
+    ] {
+        let built = build(Workload::Ncc1(rho.clone()), 12, engine);
+        let b = built.threshold();
+        assert_eq!(legacy.graph.edge_list(), b.graph.edge_list(), "{engine:?}");
+        assert_eq!(
+            fingerprint(&legacy.metrics),
+            fingerprint(&b.metrics),
+            "{engine:?}"
+        );
+    }
+    // Algorithm 6 (pipeline phase 1), both engines.
+    for (engine, legacy) in [
+        (
+            Engine::Threaded,
+            connectivity::realize_ncc0(&inst, Config::ncc0(12).with_queueing()).unwrap(),
+        ),
+        (
+            Engine::Batched,
+            connectivity::realize_ncc0_batched(&inst, Config::ncc0(12).with_queueing()).unwrap(),
+        ),
+    ] {
+        let built = build(Workload::Ncc0Threshold(rho.clone()), 12, engine);
+        let b = built.threshold();
+        assert_eq!(legacy.graph.edge_list(), b.graph.edge_list(), "{engine:?}");
+        assert_eq!(
+            fingerprint(&legacy.metrics),
+            fingerprint(&b.metrics),
+            "{engine:?}"
+        );
+    }
+    // Paper-exact phase 1 in isolation.
+    let legacy = connectivity::realize_prefix_envelope_batched(&inst, Config::ncc0(12)).unwrap();
+    let built = build(Workload::PrefixEnvelope(rho), 12, Engine::Batched);
+    assert_eq!(
+        degrees_out(&legacy),
+        degrees_out(built.degrees()),
+        "realize_prefix_envelope_batched diverges"
+    );
+}

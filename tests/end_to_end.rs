@@ -1,19 +1,23 @@
 //! Cross-crate integration tests: full realization pipelines on simulated
 //! NCC networks, with strict capacity enforcement and KT0 knowledge
 //! tracking — every green run here is a machine-checked proof that the
-//! algorithms are legal NCC0 protocols on that instance.
+//! algorithms are legal NCC0 protocols on that instance. Every driver is
+//! constructed through the `Realization` builder.
 
 use distributed_graph_realizations::prelude::*;
+use distributed_graph_realizations::realization::verify;
 use distributed_graph_realizations::{connectivity, graph, graphgen, realization, trees};
 
 #[test]
 fn implicit_realization_of_random_graphic_sequences() {
     for (n, seed) in [(16, 1u64), (48, 2), (96, 3), (130, 4)] {
         let degrees = graphgen::random_graphic_sequence(n, n / 3, seed);
-        let out = realization::realize_implicit(&degrees, Config::ncc0(seed)).unwrap();
-        let r = out.expect_realized();
-        realization::verify::degrees_match(&r.graph, &r.requested)
-            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        let out = Realization::new(Workload::Implicit(degrees.clone()))
+            .seed(seed)
+            .run()
+            .unwrap();
+        let r = out.degrees().expect_realized();
+        verify::degrees_match(&r.graph, &r.requested).unwrap_or_else(|e| panic!("n={n}: {e}"));
         assert!(r.metrics.is_clean(), "n={n}: model violations");
         assert_eq!(r.duplicate_edges, 0, "n={n}");
         // Lemma 10 phase bound (generous constant).
@@ -30,9 +34,12 @@ fn implicit_realization_of_random_graphic_sequences() {
 #[test]
 fn explicit_realization_is_symmetric_and_exact() {
     let degrees = graphgen::power_law_sequence(80, 20, 2.5, 5);
-    let out = realization::realize_explicit(&degrees, Config::ncc0(5).with_queueing()).unwrap();
-    let r = out.expect_realized();
-    realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
+    let out = Realization::new(Workload::Explicit(degrees))
+        .seed(5)
+        .run()
+        .unwrap();
+    let r = out.degrees().expect_realized();
+    verify::degrees_match(&r.graph, &r.requested).unwrap();
     // Both endpoints of every edge list each other.
     for (u, v) in r.graph.edge_list() {
         assert!(r.explicit_neighbors[&u].contains(&v));
@@ -52,8 +59,11 @@ fn non_graphic_sequences_get_envelopes() {
         if sum.is_multiple_of(2) {
             degrees[1] += 1;
         }
-        let out = realization::realize_approx(&degrees, Config::ncc0(seed)).unwrap();
-        let r = out.expect_realized();
+        let out = Realization::new(Workload::Envelope(degrees.clone()))
+            .seed(seed)
+            .run()
+            .unwrap();
+        let r = out.degrees().expect_realized();
         let mut envelope_sum = 0;
         for (i, &id) in r.path_order.iter().enumerate() {
             let d_prime = r.multi_degrees[&id];
@@ -69,15 +79,24 @@ fn non_graphic_sequences_get_envelopes() {
 fn trees_realize_and_greedy_minimizes_diameter() {
     for (n, seed) in [(32, 21u64), (64, 22), (100, 23)] {
         let degrees = graphgen::random_tree_sequence(n, seed);
-        let chain =
-            trees::realize_tree(&degrees, Config::ncc0(seed), trees::TreeAlgo::Chain).unwrap();
-        let greedy =
-            trees::realize_tree(&degrees, Config::ncc0(seed), trees::TreeAlgo::Greedy).unwrap();
-        let (c, g) = (chain.expect_realized(), greedy.expect_realized());
+        let tree = |algo| {
+            Realization::new(Workload::Tree {
+                degrees: degrees.clone(),
+                algo,
+            })
+            .seed(seed)
+            .run()
+            .unwrap()
+        };
+        let (chain, greedy) = (tree(TreeAlgo::Chain), tree(TreeAlgo::Greedy));
+        let (c, g) = (
+            chain.tree().expect_realized(),
+            greedy.tree().expect_realized(),
+        );
         assert!(c.graph.is_tree() && g.graph.is_tree(), "n={n}");
         assert!(g.diameter <= c.diameter, "n={n}: greedy beaten by chain");
         // Theorem 16: matches the sequential minimum-diameter tree.
-        let seq = DegreeSequence::new(degrees);
+        let seq = DegreeSequence::new(degrees.clone());
         let reference = trees::greedy::greedy_tree(&seq).unwrap();
         assert_eq!(
             g.diameter,
@@ -91,16 +110,43 @@ fn trees_realize_and_greedy_minimizes_diameter() {
 #[test]
 fn connectivity_thresholds_certified_by_max_flow() {
     let rho = graphgen::tiered_thresholds(48, 4, 6);
-    let inst = connectivity::ThresholdInstance::new(rho);
-    let out = connectivity::realize_ncc0(&inst, Config::ncc0(31).with_queueing()).unwrap();
-    assert!(out.report.satisfied, "{:?}", out.report);
-    assert!(out.graph.edge_count() <= 2 * connectivity::edge_lower_bound(&inst));
+    let inst = connectivity::ThresholdInstance::new(rho.clone());
+    let out = Realization::new(Workload::Ncc0Threshold(rho))
+        .seed(31)
+        .run()
+        .unwrap();
+    assert!(
+        out.threshold().report.satisfied,
+        "{:?}",
+        out.threshold().report
+    );
+    assert!(out.threshold().graph.edge_count() <= 2 * connectivity::edge_lower_bound(&inst));
+}
+
+#[test]
+fn composed_paper_exact_alg6_certifies_too() {
+    let rho = graphgen::tiered_thresholds(48, 4, 6);
+    let inst = connectivity::ThresholdInstance::new(rho.clone());
+    let out = Realization::new(Workload::Ncc0Exact(rho))
+        .seed(31)
+        .run()
+        .unwrap();
+    assert!(
+        out.threshold().report.satisfied,
+        "{:?}",
+        out.threshold().report
+    );
+    assert!(out.threshold().graph.edge_count() <= 2 * connectivity::edge_lower_bound(&inst));
 }
 
 #[test]
 fn ncc1_connectivity_in_constant_rounds() {
-    let inst = connectivity::ThresholdInstance::new(graphgen::uniform_thresholds(40, 2, 8, 41));
-    let out = connectivity::realize_ncc1(&inst, Config::ncc1(41)).unwrap();
+    let rho = graphgen::uniform_thresholds(40, 2, 8, 41);
+    let out = Realization::new(Workload::Ncc1(rho))
+        .seed(41)
+        .run()
+        .unwrap();
+    let out = out.threshold();
     assert!(out.report.satisfied);
     // O~(1): far below any Δ-dependent bill.
     assert!(out.metrics.rounds < 120, "rounds = {}", out.metrics.rounds);
@@ -112,8 +158,11 @@ fn degree_realization_connects_what_it_should() {
     // big component covers most nodes (not guaranteed connected, but the
     // handshake totals must always match).
     let degrees = vec![4usize; 32];
-    let out = realization::realize_implicit(&degrees, Config::ncc0(51)).unwrap();
-    let r = out.expect_realized();
+    let out = Realization::new(Workload::Implicit(degrees))
+        .seed(51)
+        .run()
+        .unwrap();
+    let r = out.degrees().expect_realized();
     assert_eq!(r.graph.edge_count(), 64);
     let comps = graph::connected_components(&r.graph);
     let biggest = comps.iter().map(Vec::len).max().unwrap();
@@ -123,12 +172,37 @@ fn degree_realization_connects_what_it_should() {
 #[test]
 fn runs_are_deterministic_per_seed() {
     let degrees = graphgen::random_graphic_sequence(40, 8, 9);
-    let a = realization::realize_implicit(&degrees, Config::ncc0(77)).unwrap();
-    let b = realization::realize_implicit(&degrees, Config::ncc0(77)).unwrap();
-    let (ra, rb) = (a.expect_realized(), b.expect_realized());
+    let run = |seed| {
+        Realization::new(Workload::Implicit(degrees.clone()))
+            .seed(seed)
+            .run()
+            .unwrap()
+    };
+    let (a, b) = (run(77), run(77));
+    let (ra, rb) = (a.degrees().expect_realized(), b.degrees().expect_realized());
     assert_eq!(ra.graph.edge_list(), rb.graph.edge_list());
     assert_eq!(ra.metrics.rounds, rb.metrics.rounds);
     // A different seed gives a different network (IDs differ).
-    let c = realization::realize_implicit(&degrees, Config::ncc0(78)).unwrap();
-    assert_ne!(ra.graph.edge_list(), c.expect_realized().graph.edge_list());
+    let c = run(78);
+    assert_ne!(
+        ra.graph.edge_list(),
+        c.degrees().expect_realized().graph.edge_list()
+    );
+}
+
+#[test]
+fn randomized_sort_backend_realizes_degrees_at_scale() {
+    // The Theorem 3 randomized backend drives a full realization: same
+    // overlay guarantees, queueing policy, KT0 tracking on.
+    let n = 2048;
+    let degrees = graphgen::near_regular_sequence(n, 4, 7);
+    let out = Realization::new(Workload::Implicit(degrees))
+        .sort(SortBackend::RandomizedLogN { seed: 3 })
+        .policy(CapacityPolicy::Queue)
+        .seed(7)
+        .run()
+        .unwrap();
+    let r = out.degrees().expect_realized();
+    verify::degrees_match(&r.graph, &r.requested).unwrap();
+    assert!(r.metrics.is_clean());
 }

@@ -2,24 +2,29 @@
 //! addressing, message sizes) hold across every algorithm in the
 //! workspace. These run under `CapacityPolicy::Strict` wherever the
 //! algorithm allows, and otherwise assert clean metrics after the fact.
+//! Every driver is constructed through the `Realization` builder.
 
 use distributed_graph_realizations::prelude::*;
-use distributed_graph_realizations::{connectivity, graphgen, realization, trees};
+use distributed_graph_realizations::realization::verify;
+use distributed_graph_realizations::{graphgen, trees};
 
 /// Capacity usage must stay within the enforced Θ(log n) budget — not
 /// just "no violations" (Strict guarantees that) but visibly bounded.
 #[test]
 fn implicit_realization_respects_capacity_headroom() {
     let degrees = graphgen::near_regular_sequence(64, 6, 3);
-    let out = realization::realize_implicit(&degrees, Config::ncc0(3)).unwrap();
-    let r = out.expect_realized();
+    let out = Realization::new(Workload::Implicit(degrees))
+        .seed(3)
+        .run()
+        .unwrap();
+    let r = out.degrees().expect_realized();
     assert!(r.metrics.max_sent_per_round <= r.metrics.capacity);
     assert!(r.metrics.max_received_per_round <= r.metrics.capacity);
     assert_eq!(r.metrics.violations.total(), 0);
 }
 
-/// The KT0 knowledge tracker is on in `Config::ncc0`; a star sequence
-/// forces maximal knowledge spread and must still be legal.
+/// The KT0 knowledge tracker is on by default; a star sequence forces
+/// maximal knowledge spread and must still be legal.
 #[test]
 fn star_realization_is_kt0_legal() {
     let n = 48;
@@ -30,8 +35,12 @@ fn star_realization_is_kt0_legal() {
         degrees[2] = 2;
     }
     graphgen::repair_to_graphic(&mut degrees);
-    let out = realization::realize_implicit(&degrees, Config::ncc0(8)).unwrap();
-    let r = out.expect_realized();
+    let out = Realization::new(Workload::Implicit(degrees))
+        .tracking(Kt0::Tracked)
+        .seed(8)
+        .run()
+        .unwrap();
+    let r = out.degrees().expect_realized();
     assert!(r.metrics.is_clean());
     // Lower-bound intuition (Theorem 20): realizing a heavy node forces
     // substantial knowledge to accumulate somewhere.
@@ -43,8 +52,11 @@ fn star_realization_is_kt0_legal() {
 #[test]
 fn explicit_realization_drains_all_queues() {
     let degrees = graphgen::star_heavy_sequence(56, 1, 2, 4);
-    let out = realization::realize_explicit(&degrees, Config::ncc0(4).with_queueing()).unwrap();
-    let r = out.expect_realized();
+    let out = Realization::new(Workload::Explicit(degrees))
+        .seed(4)
+        .run()
+        .unwrap();
+    let r = out.degrees().expect_realized();
     assert_eq!(r.metrics.undelivered, 0);
     assert!(r.metrics.max_received_per_round <= r.metrics.capacity);
 }
@@ -54,21 +66,35 @@ fn explicit_realization_drains_all_queues() {
 fn tree_algorithms_run_strict() {
     let degrees = graphgen::random_tree_sequence(72, 6);
     for algo in [trees::TreeAlgo::Chain, trees::TreeAlgo::Greedy] {
-        let out = trees::realize_tree(&degrees, Config::ncc0(6), algo).unwrap();
-        let t = out.expect_realized();
+        let out = Realization::new(Workload::Tree {
+            degrees: degrees.clone(),
+            algo,
+        })
+        .policy(CapacityPolicy::Strict)
+        .seed(6)
+        .run()
+        .unwrap();
+        let t = out.tree().expect_realized();
         assert!(t.metrics.is_clean(), "{algo:?}");
     }
 }
 
 /// Algorithm 6's phases must never overflow receive capacity at delivery
-/// time (the queue policy paces, but delivery stays within cap).
+/// time (the queue policy paces, but delivery stays within cap) — both
+/// the default pipeline variant and the composed paper-exact variant.
 #[test]
 fn connectivity_ncc0_delivery_is_paced() {
-    let inst = connectivity::ThresholdInstance::new(graphgen::uniform_thresholds(40, 1, 6, 7));
-    let out = connectivity::realize_ncc0(&inst, Config::ncc0(7).with_queueing()).unwrap();
-    assert!(out.metrics.max_received_per_round <= out.metrics.capacity);
-    assert_eq!(out.metrics.undelivered, 0);
-    assert_eq!(out.metrics.violations.total(), 0);
+    let rho = graphgen::uniform_thresholds(40, 1, 6, 7);
+    for workload in [
+        Workload::Ncc0Threshold(rho.clone()),
+        Workload::Ncc0Exact(rho.clone()),
+    ] {
+        let out = Realization::new(workload).seed(7).run().unwrap();
+        let out = out.threshold();
+        assert!(out.metrics.max_received_per_round <= out.metrics.capacity);
+        assert_eq!(out.metrics.undelivered, 0);
+        assert_eq!(out.metrics.violations.total(), 0);
+    }
 }
 
 /// Message volume sanity: the implicit realization is message-frugal —
@@ -77,8 +103,11 @@ fn connectivity_ncc0_delivery_is_paced() {
 fn message_volume_is_bounded() {
     let n = 64;
     let degrees = graphgen::near_regular_sequence(n, 4, 9);
-    let out = realization::realize_implicit(&degrees, Config::ncc0(9)).unwrap();
-    let r = out.expect_realized();
+    let out = Realization::new(Workload::Implicit(degrees))
+        .seed(9)
+        .run()
+        .unwrap();
+    let r = out.degrees().expect_realized();
     let phases = r.phases.max(1);
     let per_phase = r.metrics.messages / phases;
     // Each phase sorts (O(n log² n) messages) plus broadcasts; allow a
@@ -90,11 +119,34 @@ fn message_volume_is_bounded() {
     );
 }
 
-/// The paper's remark: every NCC0 algorithm runs unchanged in NCC1.
+/// The paper's remark: every NCC0 algorithm runs unchanged in NCC1 (the
+/// builder's model override).
 #[test]
 fn ncc0_algorithms_run_in_ncc1() {
     let degrees = graphgen::random_graphic_sequence(32, 6, 10);
-    let out = realization::realize_implicit(&degrees, Config::ncc1(10)).unwrap();
-    let r = out.expect_realized();
-    realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
+    let out = Realization::new(Workload::Implicit(degrees))
+        .model(Model::Ncc1)
+        .seed(10)
+        .run()
+        .unwrap();
+    let r = out.degrees().expect_realized();
+    verify::degrees_match(&r.graph, &r.requested).unwrap();
+}
+
+/// The randomized sorting backend is KT0-legal: a tracked run stays
+/// clean (every address it uses was legitimately learned).
+#[test]
+fn randomized_sort_is_kt0_legal() {
+    let degrees = graphgen::near_regular_sequence(1200, 4, 11);
+    let out = Realization::new(Workload::Implicit(degrees))
+        .sort(SortBackend::RandomizedLogN { seed: 2 })
+        .policy(CapacityPolicy::Queue)
+        .tracking(Kt0::Tracked)
+        .seed(11)
+        .run()
+        .unwrap();
+    let r = out.degrees().expect_realized();
+    assert!(r.metrics.is_clean());
+    assert_eq!(r.metrics.violations.unknown_addressee, 0);
+    assert_eq!(r.metrics.violations.unknown_carried, 0);
 }

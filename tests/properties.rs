@@ -74,9 +74,11 @@ proptest! {
     #[test]
     fn distributed_realization_is_exact(seed in 0u64..500, n in 8usize..40) {
         let degrees = graphgen::random_graphic_sequence(n, n / 2, seed);
-        let out = realization::realize_implicit(&degrees, Config::ncc0(seed))
+        let out = Realization::new(Workload::Implicit(degrees))
+            .seed(seed)
+            .run()
             .unwrap();
-        let r = out.expect_realized();
+        let r = out.degrees().expect_realized();
         realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
         prop_assert!(r.metrics.is_clean());
         prop_assert_eq!(r.duplicate_edges, 0);
@@ -91,9 +93,11 @@ proptest! {
     ) {
         let n = degrees.len();
         prop_assume!(degrees.iter().all(|&d| d < n));
-        let out = realization::realize_approx(&degrees, Config::ncc0(seed))
+        let out = Realization::new(Workload::Envelope(degrees.clone()))
+            .seed(seed)
+            .run()
             .unwrap();
-        let r = out.expect_realized();
+        let r = out.degrees().expect_realized();
         let mut envelope_sum = 0;
         for (i, &id) in r.path_order.iter().enumerate() {
             let d_prime = r.multi_degrees[&id];
@@ -109,13 +113,14 @@ proptest! {
     #[test]
     fn distributed_greedy_tree_minimal(seed in 0u64..200, n in 3usize..8) {
         let degrees = graphgen::random_tree_sequence(n, seed);
-        let out = trees::realize_tree(
-            &degrees,
-            Config::ncc0(seed),
-            trees::TreeAlgo::Greedy,
-        )
+        let out = Realization::new(Workload::Tree {
+            degrees: degrees.clone(),
+            algo: TreeAlgo::Greedy,
+        })
+        .seed(seed)
+        .run()
         .unwrap();
-        let t = out.expect_realized();
+        let t = out.tree().expect_realized();
         let seq = DegreeSequence::new(degrees);
         let want = trees::greedy::min_diameter_brute(&seq).unwrap();
         prop_assert_eq!(t.diameter, want);
