@@ -255,6 +255,15 @@ impl NodeProtocol for Ncc0Exact {
     type Output = ThresholdOutcome;
 
     fn step(&mut self, rctx: &mut RoundCtx<'_>) -> Status<ThresholdOutcome> {
+        // Narrate the composition for the event stream: macro phases
+        // (`setup`/`phase1`/`patch`/`phase2`/`acks` — the paper's
+        // structure, `patch` only when the distinctness gap is positive)
+        // plus the fine-grained stage labels. Marks are observational
+        // only; every node marks and the engines deduplicate.
+        if rctx.round() == 0 {
+            rctx.mark_phase("setup");
+            rctx.mark_stage("establish");
+        }
         loop {
             match &mut self.stage {
                 Stage::Establish(s) => match s.poll(rctx) {
@@ -263,6 +272,7 @@ impl NodeProtocol for Ncc0Exact {
                         if ctx.vp.len == 1 {
                             return Status::Done(std::mem::take(&mut self.outcome));
                         }
+                        rctx.mark_stage("sort");
                         self.stage = Stage::Sort(SortStep::on_ctx(
                             &ctx,
                             self.rho as u64,
@@ -278,6 +288,7 @@ impl NodeProtocol for Ncc0Exact {
                     Poll::Ready(sp) => {
                         self.sp = Some(sp);
                         let ctx = self.ctx();
+                        rctx.mark_stage("d0");
                         self.stage = Stage::D0(AggBcastStep::new(
                             ctx.vp,
                             ctx.tree.clone(),
@@ -292,6 +303,7 @@ impl NodeProtocol for Ncc0Exact {
                         self.d0 = d0 as usize;
                         let ctx = self.ctx();
                         let mine = (self.sp().rank == 0).then(|| rctx.id());
+                        rctx.mark_stage("x1");
                         self.stage =
                             Stage::X1(BroadcastAddrStep::new(ctx.vp, ctx.tree.clone(), mine));
                     }
@@ -302,12 +314,15 @@ impl NodeProtocol for Ncc0Exact {
                         self.x1 = x1;
                         // Phase 1, paper-exact: re-establish the full
                         // context on the prefix sub-path.
+                        rctx.mark_phase("phase1");
+                        rctx.mark_stage("sub-establish");
                         self.stage = Stage::SubEstablish(EstablishCtx::on(self.prefix_vp()));
                     }
                 },
                 Stage::SubEstablish(s) => match s.poll(rctx) {
                     Poll::Pending => return Status::Continue,
                     Poll::Ready(sub) => {
+                        rctx.mark_stage("envelope-core");
                         let degree = if self.in_prefix() { self.rho } else { 0 };
                         let ctx = self.ctx();
                         self.stage = Stage::Core(Box::new(DegreesCore::new(
@@ -337,6 +352,7 @@ impl NodeProtocol for Ncc0Exact {
                             .iter()
                             .map(|&origin| (origin, WireMsg::signal(tags::EDGE_ACK)))
                             .collect();
+                        rctx.mark_stage("acks-phase1");
                         self.stage = Stage::AcksPhase1(StaggerStep::new(replies, spread, drain));
                     }
                 },
@@ -356,6 +372,7 @@ impl NodeProtocol for Ncc0Exact {
                             0
                         };
                         let ctx = self.ctx();
+                        rctx.mark_stage("shortfall");
                         self.stage = Stage::ShortfallMax(AggBcastStep::new(
                             ctx.vp,
                             ctx.tree.clone(),
@@ -371,6 +388,8 @@ impl NodeProtocol for Ncc0Exact {
                         if max_shortfall == 0 {
                             // No distinctness gap this run (the common
                             // case): skip straight to phase 2.
+                            rctx.mark_phase("phase2");
+                            rctx.mark_stage("phase2");
                             self.stage = Stage::Phase2(self.phase2_stage(rctx, b));
                             continue;
                         }
@@ -388,6 +407,8 @@ impl NodeProtocol for Ncc0Exact {
                         };
                         let rounds = patch_rounds(self.d0, max_shortfall, b);
                         let hops = self.prefix_len() as u64;
+                        rctx.mark_phase("patch");
+                        rctx.mark_stage("patch");
                         self.stage = Stage::Patch(RingPatchStep::new(
                             self.next_cyclic(),
                             my_shortfall,
@@ -405,6 +426,8 @@ impl NodeProtocol for Ncc0Exact {
                         self.one_sided.extend(accepted.iter().copied());
                         self.outcome.neighbors.extend(accepted.iter().copied());
                         let b = (rctx.capacity() / 2).max(1);
+                        rctx.mark_phase("phase2");
+                        rctx.mark_stage("phase2");
                         self.stage = Stage::Phase2(self.phase2_stage(rctx, b));
                     }
                 },
@@ -423,6 +446,8 @@ impl NodeProtocol for Ncc0Exact {
                             .iter()
                             .map(|&origin| (origin, WireMsg::signal(tags::EDGE_ACK)))
                             .collect();
+                        rctx.mark_phase("acks");
+                        rctx.mark_stage("acks");
                         self.stage = Stage::Acks(StaggerStep::new(replies, spread, drain));
                     }
                 },

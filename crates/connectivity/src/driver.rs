@@ -15,7 +15,10 @@ use crate::verify::{check_thresholds, ThresholdReport};
 use crate::ThresholdInstance;
 use dgr_core::verify as core_verify;
 use dgr_graph::Graph;
-use dgr_ncc::{Config, EngineKind, EngineStats, Model, Network, NodeId, RunMetrics, SimError};
+use dgr_ncc::event::reborrow;
+use dgr_ncc::{
+    Config, EngineKind, EngineStats, Model, Network, NodeId, RunEvent, RunMetrics, SimError, Sink,
+};
 use dgr_primitives::sort::SortBackend;
 use std::collections::HashMap;
 
@@ -97,6 +100,7 @@ pub fn realize_threshold_run(
     engine: EngineKind,
     sort: SortBackend,
     certify: bool,
+    mut sink: Option<&mut dyn Sink>,
 ) -> Result<ThresholdRun, SimError> {
     let net = Network::new(inst.len(), config);
     let by_id = rho_assignment(&net, inst);
@@ -105,59 +109,65 @@ pub fn realize_threshold_run(
             assert_eq!(net.model(), Model::Ncc1, "Theorem 17 requires NCC1");
             #[cfg(feature = "threaded")]
             if engine == EngineKind::Threaded {
-                let result = net.run(|h| ncc1::realize(h, by_id[&h.id()]))?;
+                let result =
+                    net.run_observed(reborrow(&mut sink), |h| ncc1::realize(h, by_id[&h.id()]))?;
                 let engine_stats = result.engine.clone();
                 return Ok(ThresholdRun {
-                    output: certify_implicit_run(&net, by_id, result, certify),
+                    output: certify_implicit_run(&net, by_id, result, certify, sink),
                     engine: engine_stats,
                 });
             }
-            let result =
-                net.run_protocol_on(engine, None, |s| ncc1_step::Ncc1Star::new(s, by_id[&s.id]))?;
+            let result = net.run_protocol_on(engine, None, reborrow(&mut sink), |s| {
+                ncc1_step::Ncc1Star::new(s, by_id[&s.id])
+            })?;
             let engine_stats = result.engine.clone();
             Ok(ThresholdRun {
-                output: certify_implicit_run(&net, by_id, result, certify),
+                output: certify_implicit_run(&net, by_id, result, certify, sink),
                 engine: engine_stats,
             })
         }
         ThresholdAlgo::Ncc0Pipeline => {
             #[cfg(feature = "threaded")]
             if engine == EngineKind::Threaded && sort == SortBackend::Bitonic {
-                let result = net.run(|h| ncc0::realize(h, by_id[&h.id()]))?;
+                let result =
+                    net.run_observed(reborrow(&mut sink), |h| ncc0::realize(h, by_id[&h.id()]))?;
                 let engine_stats = result.engine.clone();
                 return Ok(ThresholdRun {
-                    output: certify_explicit_run(&net, by_id, result, certify),
+                    output: certify_explicit_run(&net, by_id, result, certify, sink),
                     engine: engine_stats,
                 });
             }
-            let result = net.run_protocol_on(engine, None, |s| {
+            let result = net.run_protocol_on(engine, None, reborrow(&mut sink), |s| {
                 ncc0_step::Ncc0Threshold::with_sort(by_id[&s.id], sort)
             })?;
             let engine_stats = result.engine.clone();
             Ok(ThresholdRun {
-                output: certify_explicit_run(&net, by_id, result, certify),
+                output: certify_explicit_run(&net, by_id, result, certify, sink),
                 engine: engine_stats,
             })
         }
         ThresholdAlgo::Ncc0Exact => {
-            let result = net.run_protocol_on(engine, None, |s| {
+            let result = net.run_protocol_on(engine, None, reborrow(&mut sink), |s| {
                 ncc0_exact::Ncc0Exact::with_sort(by_id[&s.id], sort)
             })?;
             let engine_stats = result.engine.clone();
             Ok(ThresholdRun {
-                output: certify_explicit_run(&net, by_id, result, certify),
+                output: certify_explicit_run(&net, by_id, result, certify, sink),
                 engine: engine_stats,
             })
         }
     }
 }
 
-/// Shared explicit-realization assembly + optional certification.
+/// Shared explicit-realization assembly + optional certification. The
+/// certification narrates itself into the sink (driver-level events,
+/// after the engine's `Done`).
 fn certify_explicit_run(
     net: &Network,
     by_id: HashMap<NodeId, usize>,
     result: dgr_ncc::RunResult<ThresholdOutcome>,
     certify: bool,
+    sink: Option<&mut dyn Sink>,
 ) -> ThresholdRealization {
     let metrics = result.metrics.clone();
     let lists: HashMap<NodeId, Vec<NodeId>> = result
@@ -167,11 +177,7 @@ fn certify_explicit_run(
         .collect();
     let assembled = core_verify::assemble_explicit(net.ids_in_path_order(), &lists)
         .expect("Algorithm 6 lost explicit symmetry");
-    let report = if certify {
-        check_thresholds(&assembled.graph, &by_id, by_id.len() <= ALL_PAIRS_LIMIT)
-    } else {
-        skipped_report(&assembled.graph)
-    };
+    let report = run_certification(&assembled.graph, &by_id, certify, sink);
     ThresholdRealization {
         graph: assembled.graph,
         rho: by_id,
@@ -180,6 +186,32 @@ fn certify_explicit_run(
         report,
         metrics,
     }
+}
+
+/// Runs (or skips) the max-flow certification, narrating it into the
+/// sink: `CertificationStarted` before the flows, `CertificationResult`
+/// after. A skipped certification emits nothing — there is no event to
+/// mistake for a verdict.
+fn run_certification(
+    graph: &Graph,
+    by_id: &HashMap<NodeId, usize>,
+    certify: bool,
+    mut sink: Option<&mut dyn Sink>,
+) -> ThresholdReport {
+    if !certify {
+        return skipped_report(graph);
+    }
+    if let Some(sink) = sink.as_mut() {
+        sink.emit(&RunEvent::CertificationStarted { nodes: by_id.len() });
+    }
+    let report = check_thresholds(graph, by_id, by_id.len() <= ALL_PAIRS_LIMIT);
+    if let Some(sink) = sink.as_mut() {
+        sink.emit(&RunEvent::CertificationResult {
+            satisfied: report.satisfied,
+            pairs_checked: report.pairs_checked,
+        });
+    }
+    report
 }
 
 /// A report marking the certification as skipped: `skipped` is set, so
@@ -217,6 +249,7 @@ pub fn realize_ncc1(
         EngineKind::Threaded,
         SortBackend::Bitonic,
         true,
+        None,
     )
     .map(|run| run.output)
 }
@@ -244,6 +277,7 @@ pub fn realize_ncc1_batched(
         EngineKind::Batched,
         SortBackend::Bitonic,
         true,
+        None,
     )
     .map(|run| run.output)
 }
@@ -255,6 +289,7 @@ fn certify_implicit_run(
     by_id: HashMap<NodeId, usize>,
     result: dgr_ncc::RunResult<ThresholdOutcome>,
     certify: bool,
+    sink: Option<&mut dyn Sink>,
 ) -> ThresholdRealization {
     let metrics = result.metrics.clone();
     // Implicit: each edge is stored at its adding endpoint.
@@ -262,11 +297,7 @@ fn certify_implicit_run(
         net.ids_in_path_order(),
         result.outputs.into_iter().map(|(id, o)| (id, o.neighbors)),
     );
-    let report = if certify {
-        check_thresholds(&assembled.graph, &by_id, by_id.len() <= ALL_PAIRS_LIMIT)
-    } else {
-        skipped_report(&assembled.graph)
-    };
+    let report = run_certification(&assembled.graph, &by_id, certify, sink);
     ThresholdRealization {
         graph: assembled.graph,
         rho: by_id,
@@ -297,6 +328,7 @@ pub fn realize_ncc0(
         EngineKind::Threaded,
         SortBackend::Bitonic,
         true,
+        None,
     )
     .map(|run| run.output)
 }
@@ -321,6 +353,7 @@ pub fn realize_ncc0_batched(
         EngineKind::Batched,
         SortBackend::Bitonic,
         true,
+        None,
     )
     .map(|run| run.output)
 }
@@ -341,6 +374,7 @@ pub fn realize_prefix_envelope_run(
     inst: &ThresholdInstance,
     config: Config,
     engine: EngineKind,
+    sink: Option<&mut dyn Sink>,
 ) -> Result<dgr_core::DegreesRun, SimError> {
     let n = inst.len();
     // Sorted-by-ρ assignment: the prefix of the ρ-sorted order maps onto
@@ -358,6 +392,7 @@ pub fn realize_prefix_envelope_run(
         dgr_core::distributed::proto::Flavor::Envelope,
         engine,
         SortBackend::Bitonic,
+        sink,
     )
 }
 
@@ -371,7 +406,7 @@ pub fn realize_prefix_envelope_batched(
     inst: &ThresholdInstance,
     config: Config,
 ) -> Result<dgr_core::DriverOutput, SimError> {
-    realize_prefix_envelope_run(inst, config, EngineKind::Batched).map(|run| run.output)
+    realize_prefix_envelope_run(inst, config, EngineKind::Batched, None).map(|run| run.output)
 }
 
 #[cfg(all(test, feature = "threaded"))]

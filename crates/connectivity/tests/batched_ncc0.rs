@@ -20,6 +20,7 @@ fn realize_ncc0(
         EngineKind::Threaded,
         SortBackend::Bitonic,
         true,
+        None,
     )
     .map(|run| run.output)
 }
@@ -34,6 +35,7 @@ fn realize_ncc0_batched(
         EngineKind::Batched,
         SortBackend::Bitonic,
         true,
+        None,
     )
     .map(|run| run.output)
 }
@@ -105,7 +107,7 @@ fn paper_exact_prefix_envelope_realizes_the_prefix_degrees() {
         *r = 3;
     }
     let inst = ThresholdInstance::new(rho.clone());
-    let out = realize_prefix_envelope_run(&inst, Config::ncc0(41), EngineKind::Batched)
+    let out = realize_prefix_envelope_run(&inst, Config::ncc0(41), EngineKind::Batched, None)
         .unwrap()
         .output;
     let g = out.expect_realized();

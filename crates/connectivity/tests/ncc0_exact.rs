@@ -22,6 +22,7 @@ fn run(inst: &ThresholdInstance, seed: u64, engine: EngineKind) -> ThresholdReal
         engine,
         SortBackend::Bitonic,
         true,
+        None,
     )
     .unwrap()
     .output
@@ -107,6 +108,7 @@ fn composed_alg6_matches_pipeline_guarantees() {
             EngineKind::Batched,
             SortBackend::Bitonic,
             true,
+            None,
         )
         .unwrap()
         .output;

@@ -19,7 +19,7 @@ use crate::distributed::proto::{Flavor, RealizeDegrees};
 use crate::distributed::{approx, explicit, implicit};
 use crate::verify::{self, Assembled};
 use dgr_graph::Graph;
-use dgr_ncc::{Config, EngineKind, EngineStats, Network, NodeId, RunMetrics, SimError};
+use dgr_ncc::{Config, EngineKind, EngineStats, Network, NodeId, RunMetrics, SimError, Sink};
 use dgr_primitives::sort::SortBackend;
 use std::collections::HashMap;
 
@@ -165,6 +165,10 @@ pub struct DegreesRun {
 /// [`SimError::EngineUnavailable`] when the threaded oracle is requested
 /// without the `threaded` feature.
 ///
+/// `sink` receives the run's typed [`RunEvent`](dgr_ncc::RunEvent)
+/// stream (`None` runs unobserved); both engines emit semantically
+/// identical streams.
+///
 /// # Panics
 ///
 /// Panics if a mask's length differs from `degrees.len()`.
@@ -175,6 +179,7 @@ pub fn realize_degrees(
     flavor: Flavor,
     engine: EngineKind,
     sort: SortBackend,
+    sink: Option<&mut dyn Sink>,
 ) -> Result<DegreesRun, SimError> {
     let net = Network::new(degrees.len(), config);
     let by_id = degree_assignment(&net, degrees);
@@ -182,7 +187,7 @@ pub fn realize_degrees(
     // everything else runs the state machines on the requested engine.
     #[cfg(feature = "threaded")]
     if engine == EngineKind::Threaded && participants.is_none() && sort == SortBackend::Bitonic {
-        return realize_direct_threaded(&net, degrees, &by_id, flavor);
+        return realize_direct_threaded(&net, degrees, &by_id, flavor, sink);
     }
     if let Some(mask) = participants {
         assert_eq!(
@@ -190,7 +195,7 @@ pub fn realize_degrees(
             mask.len(),
             "one degree per path position is required"
         );
-        let result = net.run_protocol_on(engine, Some(mask), |s| {
+        let result = net.run_protocol_on(engine, Some(mask), sink, |s| {
             RealizeDegrees::with_sort(by_id[&s.id], flavor, sort)
         })?;
         let engine_stats = result.engine.clone();
@@ -199,7 +204,7 @@ pub fn realize_degrees(
             engine: engine_stats,
         });
     }
-    let result = net.run_protocol_on(engine, None, |s| {
+    let result = net.run_protocol_on(engine, None, sink, |s| {
         RealizeDegrees::with_sort(by_id[&s.id], flavor, sort)
     })?;
     let engine_stats = result.engine.clone();
@@ -217,18 +222,19 @@ fn realize_direct_threaded(
     degrees: &[usize],
     by_id: &HashMap<NodeId, usize>,
     flavor: Flavor,
+    sink: Option<&mut dyn Sink>,
 ) -> Result<DegreesRun, SimError> {
     type DirectOut = Result<(u64, Vec<NodeId>), crate::distributed::Unrealizable>;
     let result: dgr_ncc::RunResult<DirectOut> = match flavor {
-        Flavor::Implicit => {
-            net.run(|h| implicit::realize(h, by_id[&h.id()]).map(|o| (o.phases, o.neighbors)))?
-        }
-        Flavor::Envelope => {
-            net.run(|h| approx::realize(h, by_id[&h.id()]).map(|o| (o.phases, o.neighbors)))?
-        }
-        Flavor::Explicit => {
-            net.run(|h| explicit::realize(h, by_id[&h.id()]).map(|o| (o.phases, o.neighbors)))?
-        }
+        Flavor::Implicit => net.run_observed(sink, |h| {
+            implicit::realize(h, by_id[&h.id()]).map(|o| (o.phases, o.neighbors))
+        })?,
+        Flavor::Envelope => net.run_observed(sink, |h| {
+            approx::realize(h, by_id[&h.id()]).map(|o| (o.phases, o.neighbors))
+        })?,
+        Flavor::Explicit => net.run_observed(sink, |h| {
+            explicit::realize(h, by_id[&h.id()]).map(|o| (o.phases, o.neighbors))
+        })?,
     };
     let metrics = result.metrics.clone();
     let engine_stats = result.engine.clone();
@@ -274,6 +280,7 @@ pub fn realize_implicit(degrees: &[usize], config: Config) -> Result<DriverOutpu
         Flavor::Implicit,
         EngineKind::Threaded,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }
@@ -294,6 +301,7 @@ pub fn realize_approx(degrees: &[usize], config: Config) -> Result<DriverOutput,
         Flavor::Envelope,
         EngineKind::Threaded,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }
@@ -316,6 +324,7 @@ pub fn realize_explicit(degrees: &[usize], config: Config) -> Result<DriverOutpu
         Flavor::Explicit,
         EngineKind::Threaded,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }
@@ -366,6 +375,7 @@ pub fn realize_implicit_batched(
         Flavor::Implicit,
         EngineKind::Batched,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }
@@ -384,6 +394,7 @@ pub fn realize_approx_batched(degrees: &[usize], config: Config) -> Result<Drive
         Flavor::Envelope,
         EngineKind::Batched,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }
@@ -408,6 +419,7 @@ pub fn realize_explicit_batched(
         Flavor::Explicit,
         EngineKind::Batched,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }
@@ -488,6 +500,7 @@ pub fn realize_masked_batched(
         flavor,
         EngineKind::Batched,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }
@@ -518,6 +531,7 @@ pub fn realize_masked_threaded(
         flavor,
         EngineKind::Threaded,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }
@@ -544,6 +558,7 @@ pub fn realize_prefix_batched(
         flavor,
         EngineKind::Batched,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }

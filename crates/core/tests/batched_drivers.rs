@@ -17,8 +17,16 @@ fn realize(
     flavor: Flavor,
     engine: EngineKind,
 ) -> Result<DriverOutput, SimError> {
-    realize_degrees(degrees, None, config, flavor, engine, SortBackend::Bitonic)
-        .map(|run| run.output)
+    realize_degrees(
+        degrees,
+        None,
+        config,
+        flavor,
+        engine,
+        SortBackend::Bitonic,
+        None,
+    )
+    .map(|run| run.output)
 }
 
 fn realize_implicit(d: &[usize], c: Config) -> Result<DriverOutput, SimError> {
@@ -52,6 +60,7 @@ fn realize_masked_threaded(
         flavor,
         EngineKind::Threaded,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }
@@ -68,6 +77,7 @@ fn realize_masked_batched(
         flavor,
         EngineKind::Batched,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }

@@ -38,12 +38,23 @@
 //! validation order, same violation accounting, same metrics. The
 //! differential tests in `crates/ncc/tests/differential.rs` hold the two
 //! engines to that.
+//!
+//! **Events.** Every run narrates itself as a typed
+//! [`RunEvent`](crate::event) stream — round completions (with the
+//! adaptive route choice), protocol phase/stage marks, compactions, the
+//! final `Done` — through a shared [`Emitter`]. The executor keeps no
+//! separate statistics: [`EngineStats`](crate::EngineStats) and the
+//! per-phase round breakdown are derived by folding this stream through
+//! the emitter's always-on recorder, so the stats are a pure function of
+//! the narrated events (and the oracle's stream is held semantically
+//! identical).
 
 use crate::config::{CapacityPolicy, Config, Model};
 use crate::error::{panic_message, SimError, Violation, ViolationKind};
+use crate::event::{Emitter, RouteMode, RunEvent, Sink};
 use crate::knowledge::KnowledgeTracker;
 use crate::message::NodeId;
-use crate::metrics::{EngineStats, RunMetrics};
+use crate::metrics::RunMetrics;
 use crate::network::{Network, RunResult};
 use crate::protocol::{NodeProtocol, NodeSeed, RoundCtx, Status};
 use crate::route::{QueueBuffers, RouteBuffers};
@@ -109,6 +120,10 @@ struct Slot<P: NodeProtocol> {
     proto: Option<P>,
     output: Option<P::Output>,
     panic: Option<String>,
+    /// Phase/stage marks staged by this round's step (cleared per round;
+    /// discarded when the step retires the node).
+    phase_mark: Option<&'static str>,
+    stage_mark: Option<&'static str>,
 }
 
 /// A round is routed on the parallel path only when the previous round
@@ -126,6 +141,7 @@ const PARALLEL_ROUTE_MIN_MSGS: u64 = 2048;
 pub(crate) fn run<P, F>(
     net: &Network,
     participants: Option<&[bool]>,
+    sink: Option<&mut dyn Sink>,
     factory: F,
 ) -> Result<RunResult<P::Output>, SimError>
 where
@@ -207,6 +223,8 @@ where
             proto: Some(factory(&seed)),
             output: None,
             panic: None,
+            phase_mark: None,
+            stage_mark: None,
         });
     }
     let mut live = slots.len();
@@ -230,7 +248,11 @@ where
         capacity: cap,
         ..RunMetrics::default()
     };
-    let mut stats = EngineStats::default();
+    // Every run narrates itself as a typed event stream: the always-on
+    // recorder inside the emitter is the *sole* source of `EngineStats`
+    // and the phase breakdown; the caller's sink (if any) sees the same
+    // stream.
+    let mut emitter = Emitter::new(sink);
     // Pre-reserve the full (capped) trace so recording a round can never
     // allocate inside the round loop.
     metrics
@@ -254,6 +276,7 @@ where
         // --- Step phase: poll every live protocol in parallel. ---
         let finished = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
+        let marked = AtomicBool::new(false);
         {
             let arena: &[WireEnvelope] = if queue_mode {
                 &queues.inbox
@@ -266,6 +289,8 @@ where
                 }
                 let inbox = &arena[slot.inbox_start as usize..][..slot.inbox_len as usize];
                 slot.out.clear();
+                slot.phase_mark = None;
+                slot.stage_mark = None;
                 let status = {
                     let Slot {
                         id,
@@ -274,6 +299,8 @@ where
                         rng,
                         out,
                         proto,
+                        phase_mark,
+                        stage_mark,
                         ..
                     } = slot;
                     let mut ctx = RoundCtx {
@@ -289,12 +316,19 @@ where
                         inbox,
                         out,
                         resolver,
+                        phase_mark,
+                        stage_mark,
                     };
                     let proto = proto.as_mut().expect("live node without protocol");
                     std::panic::catch_unwind(AssertUnwindSafe(|| proto.step(&mut ctx)))
                 };
                 match status {
-                    Ok(Status::Continue) => slot.rounds += 1,
+                    Ok(Status::Continue) => {
+                        slot.rounds += 1;
+                        if slot.phase_mark.is_some() || slot.stage_mark.is_some() {
+                            marked.store(true, Ordering::Relaxed);
+                        }
+                    }
                     Ok(Status::Done(out)) => {
                         debug_assert!(
                             slot.out.is_empty(),
@@ -306,6 +340,8 @@ where
                         slot.alive = false;
                         slot.out.clear();
                         slot.inbox_len = 0;
+                        slot.phase_mark = None;
+                        slot.stage_mark = None;
                         finished.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(payload) => {
@@ -314,6 +350,8 @@ where
                         slot.alive = false;
                         slot.out.clear();
                         slot.inbox_len = 0;
+                        slot.phase_mark = None;
+                        slot.stage_mark = None;
                         panicked.store(true, Ordering::Relaxed);
                         finished.fetch_add(1, Ordering::Relaxed);
                     }
@@ -358,6 +396,17 @@ where
         if live == 0 {
             break;
         }
+        // --- Protocol marks: collect in dense (slot) order and emit the
+        // deduplicated phase/stage events. The scan only runs when some
+        // step actually marked — mark-free protocols pay one atomic load.
+        if marked.load(Ordering::Relaxed) {
+            for slot in slots.iter_mut() {
+                let (phase, stage) = (slot.phase_mark.take(), slot.stage_mark.take());
+                if phase.is_some() || stage.is_some() {
+                    emitter.emit_marks(metrics.rounds, phase, stage);
+                }
+            }
+        }
         // --- Compaction: once the live population has halved relative to
         // the slot window, drop retired slots (stable, in-place) so every
         // subsequent per-round walk pays only for live nodes. Outputs move
@@ -373,8 +422,10 @@ where
                 false
             });
             debug_assert_eq!(slots.len(), live);
-            stats.compactions += 1;
-            stats.compaction_live.push(live);
+            emitter.emit(RunEvent::Compaction {
+                round: metrics.rounds,
+                live,
+            });
         }
         let window = slots.len();
         let chunk = window.div_ceil(workers).max(1);
@@ -391,8 +442,12 @@ where
         let parallel_route = workers > 1
             && prev_round_messages >= PARALLEL_ROUTE_MIN_MSGS
             && prev_round_messages >= (window as u64) / 4;
+        let route_mode = if parallel_route {
+            RouteMode::Parallel
+        } else {
+            RouteMode::Inline
+        };
         if !parallel_route {
-            stats.inline_route_rounds += 1;
             // --- Pass 1 (inline): validate and count per bucket. Only
             // live destinations can receive (validation rejects the rest),
             // so resetting the live counts is enough — stale counts of
@@ -452,7 +507,6 @@ where
                 slot.out.clear();
             }
         } else {
-            stats.parallel_route_rounds += 1;
             // --- Pass 1 (parallel): per-worker validate and count. ---
             buffers.begin_parallel_round(workers);
             {
@@ -648,6 +702,12 @@ where
         }
 
         metrics.record_round(round_messages);
+        emitter.emit(RunEvent::RoundCompleted {
+            round,
+            delivered: round_messages,
+            live,
+            route_mode,
+        });
         prev_round_messages = round_messages;
         if metrics.rounds > config.max_rounds {
             return Err(SimError::RoundLimitExceeded {
@@ -664,6 +724,12 @@ where
             .max()
             .unwrap_or(0);
     }
+    emitter.emit(RunEvent::Done {
+        rounds: metrics.rounds,
+        messages: metrics.messages,
+    });
+    metrics.phase_rounds = emitter.recorder.phase_rounds();
+    let stats = emitter.recorder.engine_stats();
 
     // Merge compacted-away outputs with the final window's, restoring
     // knowledge-path order by dense index.

@@ -18,18 +18,21 @@
 
 use crate::config::{CapacityPolicy, Config, Model};
 use crate::error::{SimError, Violation, ViolationKind};
+use crate::event::{Emitter, RouteMode, RunEvent, Sink};
 use crate::knowledge::KnowledgeTracker;
 use crate::message::{Envelope, Msg, NodeId};
-use crate::metrics::RunMetrics;
+use crate::metrics::{EngineStats, RunMetrics};
 use crossbeam::channel::{Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
 
 /// What a node thread sends to the coordinator.
 pub(crate) enum Submission {
-    /// The node's outbox for this round (possibly empty).
+    /// The node's outbox for this round (possibly empty), plus any
+    /// phase/stage marks the step staged.
     Step {
         index: usize,
         out: Vec<(NodeId, Msg)>,
+        marks: (Option<&'static str>, Option<&'static str>),
     },
     /// The node's protocol function returned; it no longer participates.
     Done { index: usize },
@@ -45,7 +48,7 @@ pub(crate) enum Delivery {
     Poison,
 }
 
-pub(crate) struct Coordinator {
+pub(crate) struct Coordinator<'s> {
     config: Config,
     n: usize,
     cap: usize,
@@ -61,15 +64,21 @@ pub(crate) struct Coordinator {
     pub(crate) metrics: RunMetrics,
     /// First node panic observed, if any.
     pub(crate) panic: Option<(NodeId, String)>,
+    /// Event emission (the always-on recorder plus the caller's sink).
+    emitter: Emitter<'s>,
+    /// Per-index phase/stage marks collected this round.
+    marks: Vec<(Option<&'static str>, Option<&'static str>)>,
+    any_marked: bool,
 }
 
-impl Coordinator {
+impl<'s> Coordinator<'s> {
     pub(crate) fn new(
         config: Config,
         ids: Vec<NodeId>,
         alive: Vec<bool>,
         from_nodes: Receiver<Submission>,
         to_nodes: Vec<Sender<Delivery>>,
+        sink: Option<&'s mut dyn Sink>,
     ) -> Self {
         let n = ids.len();
         assert_eq!(alive.len(), n, "alive mask length must equal n");
@@ -110,7 +119,17 @@ impl Coordinator {
             queues,
             metrics,
             panic: None,
+            emitter: Emitter::new(sink),
+            marks: vec![(None, None); n],
+            any_marked: false,
         }
+    }
+
+    /// The stream-derived executor statistics (all-zero for this engine:
+    /// it never compacts and has no adaptive router — but derived through
+    /// the same fold as the batched executor's, not hard-coded).
+    pub(crate) fn engine_stats(&self) -> EngineStats {
+        self.emitter.recorder.engine_stats()
     }
 
     /// Runs rounds until every node has terminated (or an error occurs).
@@ -128,11 +147,17 @@ impl Coordinator {
             for slot in outboxes.iter_mut() {
                 *slot = None;
             }
+            // (`marks` needs no clearing here: the emission pass below
+            // `take`s every entry before the next collection round.)
             while expected > 0 {
                 match self.from_nodes.recv() {
-                    Ok(Submission::Step { index, out }) => {
+                    Ok(Submission::Step { index, out, marks }) => {
                         debug_assert!(self.alive[index], "step from dead node");
                         outboxes[index] = Some(out);
+                        if marks.0.is_some() || marks.1.is_some() {
+                            self.marks[index] = marks;
+                            self.any_marked = true;
+                        }
                         expected -= 1;
                     }
                     Ok(Submission::Done { index }) => {
@@ -161,6 +186,18 @@ impl Coordinator {
             }
             if self.live_count == 0 {
                 break;
+            }
+            // --- Protocol marks: emit in dense index order (the same
+            // canonical order — and the same deduplication — as the
+            // batched executor's slot walk, so streams stay identical).
+            if self.any_marked {
+                for index in 0..self.n {
+                    let (phase, stage) = std::mem::take(&mut self.marks[index]);
+                    if phase.is_some() || stage.is_some() {
+                        self.emitter.emit_marks(self.metrics.rounds, phase, stage);
+                    }
+                }
+                self.any_marked = false;
             }
 
             // --- Route: validate every message and append to inboxes. ---
@@ -246,7 +283,14 @@ impl Coordinator {
                 }
             }
 
+            let round = self.metrics.rounds;
             self.metrics.record_round(round_messages);
+            self.emitter.emit(RunEvent::RoundCompleted {
+                round,
+                delivered: round_messages,
+                live: self.live_count,
+                route_mode: RouteMode::Unspecified,
+            });
             if self.metrics.rounds > self.config.max_rounds {
                 self.poison_all();
                 return Err(SimError::RoundLimitExceeded {
@@ -280,6 +324,11 @@ impl Coordinator {
                 .max()
                 .unwrap_or(0);
         }
+        self.emitter.emit(RunEvent::Done {
+            rounds: self.metrics.rounds,
+            messages: self.metrics.messages,
+        });
+        self.metrics.phase_rounds = self.emitter.recorder.phase_rounds();
         Ok(())
     }
 

@@ -29,6 +29,10 @@ pub struct NodeHandle {
     pub(crate) to_coord: Sender<Submission>,
     pub(crate) from_coord: Receiver<Delivery>,
     pub(crate) rng: SmallRng,
+    /// Phase/stage marks to ride along with the next step submission
+    /// (set by the step-function wrapper; always empty for direct-style
+    /// protocols, which have no marking API).
+    pub(crate) marks: (Option<&'static str>, Option<&'static str>),
 }
 
 /// Panic payload used to unwind a node thread when the engine poisons it.
@@ -66,6 +70,7 @@ impl NodeHandle {
             to_coord,
             from_coord,
             rng: SmallRng::seed_from_u64(mix),
+            marks: (None, None),
         }
     }
 
@@ -139,10 +144,12 @@ impl NodeHandle {
     /// Panics (with an internal payload) if the engine aborted the run; the
     /// panic is caught by the runner and surfaced as the engine's error.
     pub fn step(&mut self, out: Vec<(NodeId, Msg)>) -> Vec<Envelope> {
+        let marks = std::mem::take(&mut self.marks);
         self.to_coord
             .send(Submission::Step {
                 index: self.index,
                 out,
+                marks,
             })
             .unwrap_or_else(|_| panic!("{POISON_PANIC}"));
         match self.from_coord.recv() {

@@ -85,6 +85,7 @@ mod config;
 #[cfg(feature = "threaded")]
 mod engine;
 mod error;
+pub mod event;
 #[cfg(feature = "threaded")]
 mod handle;
 mod knowledge;
@@ -97,10 +98,13 @@ mod wire;
 
 pub use config::{CapacityPolicy, Config, EngineKind, IdAssignment, Model};
 pub use error::{SimError, Violation, ViolationKind};
+pub use event::{
+    JsonlSink, MetricsRecorder, NullSink, ProgressSink, Recording, RouteMode, RunEvent, Sink,
+};
 #[cfg(feature = "threaded")]
 pub use handle::NodeHandle;
 pub use message::{tags, Envelope, Msg, NodeId};
-pub use metrics::{EngineStats, RunMetrics, ViolationCounts, ROUND_TRACE_LIMIT};
+pub use metrics::{EngineStats, PhaseRounds, RunMetrics, ViolationCounts, ROUND_TRACE_LIMIT};
 pub use network::{Network, RunResult};
 pub use protocol::{NodeProtocol, NodeSeed, RoundCtx, Status};
 pub use wire::{WireEnvelope, WireMsg, WIRE_ADDRS, WIRE_WORDS};

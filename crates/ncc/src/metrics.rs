@@ -46,6 +46,20 @@ impl ViolationCounts {
     }
 }
 
+/// One entry of the per-phase round breakdown: a protocol-declared macro
+/// phase and the rounds spent in it. Derived from the event stream's
+/// [`PhaseChange`](crate::RunEvent::PhaseChange) events by the
+/// [`MetricsRecorder`](crate::MetricsRecorder) fold; when the protocol
+/// marks its first phase at round 0 the entries sum to the total round
+/// count (asserted at scale for `Ncc0Exact` in `tests/scale.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseRounds {
+    /// The phase label the protocol declared.
+    pub phase: &'static str,
+    /// Rounds spent in this phase.
+    pub rounds: u64,
+}
+
 /// Aggregate metrics of a completed run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunMetrics {
@@ -78,6 +92,11 @@ pub struct RunMetrics {
     /// Messages delivered per round (index = round). Enables congestion
     /// profiles over time; truncated after [`ROUND_TRACE_LIMIT`] rounds.
     pub messages_per_round: Vec<u64>,
+    /// Per-phase round breakdown for protocols that mark their phases
+    /// (the composed Algorithm 6). Empty when the protocol never marks.
+    /// Engine-invariant: both engines derive it from the same event
+    /// stream, so differential comparisons include it.
+    pub phase_rounds: Vec<PhaseRounds>,
 }
 
 /// Executor-internal statistics of a completed run. Unlike [`RunMetrics`]

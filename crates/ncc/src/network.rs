@@ -17,6 +17,7 @@
 
 use crate::config::{Config, IdAssignment};
 use crate::error::SimError;
+use crate::event::Sink;
 use crate::message::NodeId;
 use crate::metrics::{EngineStats, RunMetrics};
 use crate::protocol::{NodeProtocol, NodeSeed};
@@ -145,14 +146,15 @@ impl Network {
         P: NodeProtocol,
         F: Fn(&NodeSeed<'_>) -> P + Sync,
     {
-        crate::batch::run(self, None, factory)
+        crate::batch::run(self, None, None, factory)
     }
 
     /// Unified engine dispatch: runs a [`NodeProtocol`] on the chosen
     /// [`EngineKind`](crate::EngineKind), optionally masked to a
-    /// participant subset. This is the single entry point the
-    /// `Realization` facade drives; the per-engine methods remain for
-    /// direct use.
+    /// participant subset, with the run's [`RunEvent`](crate::RunEvent)
+    /// stream delivered into `sink` (pass `None` to run unobserved).
+    /// This is the single entry point the `Realization` facade drives;
+    /// the per-engine methods remain for direct use.
     ///
     /// # Errors
     ///
@@ -167,6 +169,7 @@ impl Network {
         &self,
         engine: crate::EngineKind,
         participants: Option<&[bool]>,
+        sink: Option<&mut dyn Sink>,
         factory: F,
     ) -> Result<RunResult<P::Output>, SimError>
     where
@@ -174,14 +177,24 @@ impl Network {
         F: Fn(&NodeSeed<'_>) -> P + Send + Sync,
     {
         match engine {
-            crate::EngineKind::Batched => crate::batch::run(self, participants, factory),
+            crate::EngineKind::Batched => crate::batch::run(self, participants, sink, factory),
             #[cfg(feature = "threaded")]
-            crate::EngineKind::Threaded => match participants {
-                Some(mask) => self.run_protocol_threaded_masked(mask, factory),
-                None => self.run_protocol_threaded(factory),
-            },
+            crate::EngineKind::Threaded => {
+                let alive;
+                let mask = match participants {
+                    Some(mask) => mask,
+                    None => {
+                        alive = vec![true; self.n];
+                        &alive
+                    }
+                };
+                self.protocol_threaded(mask, sink, factory)
+            }
             #[cfg(not(feature = "threaded"))]
-            crate::EngineKind::Threaded => Err(SimError::EngineUnavailable),
+            crate::EngineKind::Threaded => {
+                let _ = sink;
+                Err(SimError::EngineUnavailable)
+            }
         }
     }
 
@@ -206,7 +219,7 @@ impl Network {
         P: NodeProtocol,
         F: Fn(&NodeSeed<'_>) -> P + Sync,
     {
-        crate::batch::run(self, Some(participants), factory)
+        crate::batch::run(self, Some(participants), None, factory)
     }
 }
 
@@ -246,7 +259,26 @@ mod threaded_runner {
             R: Send,
         {
             let alive = vec![true; self.n];
-            self.run_threaded_masked(&alive, node_fn)
+            self.run_threaded_masked(&alive, None, node_fn)
+        }
+
+        /// Like [`Network::run`], with the run's
+        /// [`RunEvent`](crate::RunEvent) stream delivered into `sink`.
+        ///
+        /// # Errors
+        ///
+        /// As for [`Network::run`].
+        pub fn run_observed<F, R>(
+            &self,
+            sink: Option<&mut dyn Sink>,
+            node_fn: F,
+        ) -> Result<RunResult<R>, SimError>
+        where
+            F: Fn(&mut NodeHandle) -> R + Send + Sync,
+            R: Send,
+        {
+            let alive = vec![true; self.n];
+            self.run_threaded_masked(&alive, sink, node_fn)
         }
 
         /// Runs the same [`NodeProtocol`] state machines the batched
@@ -265,7 +297,7 @@ mod threaded_runner {
             F: Fn(&NodeSeed<'_>) -> P + Send + Sync,
         {
             let alive = vec![true; self.n];
-            self.run_protocol_threaded_masked(&alive, factory)
+            self.protocol_threaded(&alive, None, factory)
         }
 
         /// The threaded twin of [`Network::run_protocol_masked`]: runs the
@@ -290,8 +322,23 @@ mod threaded_runner {
             P: NodeProtocol,
             F: Fn(&NodeSeed<'_>) -> P + Send + Sync,
         {
+            self.protocol_threaded(participants, None, factory)
+        }
+
+        /// The state-machine wrapper over the thread-per-node engine: the
+        /// sink-threading target of [`Network::run_protocol_on`].
+        pub(crate) fn protocol_threaded<P, F>(
+            &self,
+            participants: &[bool],
+            sink: Option<&mut dyn Sink>,
+            factory: F,
+        ) -> Result<RunResult<P::Output>, SimError>
+        where
+            P: NodeProtocol,
+            F: Fn(&NodeSeed<'_>) -> P + Send + Sync,
+        {
             let resolver = self.resolver();
-            self.run_threaded_masked(participants, move |h| {
+            self.run_threaded_masked(participants, sink, move |h| {
                 let seed = NodeSeed {
                     id: h.id,
                     n: h.n,
@@ -305,6 +352,8 @@ mod threaded_runner {
                 let mut inbox: Vec<WireEnvelope> = Vec::new();
                 let mut out: Vec<WireEnvelope> = Vec::new();
                 loop {
+                    let mut phase_mark = None;
+                    let mut stage_mark = None;
                     let status = {
                         let mut ctx = RoundCtx {
                             id: h.id,
@@ -319,11 +368,15 @@ mod threaded_runner {
                             inbox: &inbox,
                             out: &mut out,
                             resolver,
+                            phase_mark: &mut phase_mark,
+                            stage_mark: &mut stage_mark,
                         };
                         proto.step(&mut ctx)
                     };
                     match status {
                         Status::Done(output) => {
+                            // Marks staged in a Done step are discarded,
+                            // exactly like the batched executor.
                             debug_assert!(
                                 out.is_empty(),
                                 "node {} staged sends in a Done step (discarded)",
@@ -336,6 +389,7 @@ mod threaded_runner {
                                 .drain(..)
                                 .map(|env| (env.dst, env.msg.to_msg()))
                                 .collect();
+                            h.marks = (phase_mark, stage_mark);
                             inbox = h
                                 .step(sends)
                                 .iter()
@@ -357,6 +411,7 @@ mod threaded_runner {
         fn run_threaded_masked<F, R>(
             &self,
             alive: &[bool],
+            sink: Option<&mut dyn Sink>,
             node_fn: F,
         ) -> Result<RunResult<R>, SimError>
         where
@@ -396,6 +451,7 @@ mod threaded_runner {
                 alive.to_vec(),
                 from_nodes,
                 to_nodes,
+                sink,
             );
 
             let result: Result<(), SimError> = std::thread::scope(|scope| {
@@ -452,6 +508,7 @@ mod threaded_runner {
             });
 
             result?;
+            let engine = coordinator.engine_stats();
             let metrics = coordinator.metrics;
             let mut outs = Vec::with_capacity(n);
             let mut guard = outputs.lock();
@@ -465,7 +522,7 @@ mod threaded_runner {
             Ok(RunResult {
                 outputs: outs,
                 metrics,
-                engine: EngineStats::default(),
+                engine,
             })
         }
     }

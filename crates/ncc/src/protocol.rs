@@ -96,6 +96,8 @@ pub struct RoundCtx<'a> {
     pub(crate) inbox: &'a [WireEnvelope],
     pub(crate) out: &'a mut Vec<WireEnvelope>,
     pub(crate) resolver: &'a Resolver,
+    pub(crate) phase_mark: &'a mut Option<&'static str>,
+    pub(crate) stage_mark: &'a mut Option<&'static str>,
 }
 
 impl RoundCtx<'_> {
@@ -154,6 +156,27 @@ impl RoundCtx<'_> {
     /// The previous round's inbox (empty on the first step).
     pub fn inbox(&self) -> &[WireEnvelope] {
         self.inbox
+    }
+
+    /// Declares that this node entered the given macro phase (Algorithm
+    /// 6's data-dependent phases). The engine collects marks after the
+    /// step phase in dense node-index order and emits a
+    /// [`PhaseChange`](crate::RunEvent::PhaseChange) event on every
+    /// *change* (repeats — every node of a lockstep protocol marking the
+    /// same phase in the same round — are deduplicated). Marks staged in
+    /// a step that returns [`Status::Done`] are discarded, and at most
+    /// one mark per node per round is kept (the last wins). Purely
+    /// observational: marking can never affect the transcript.
+    pub fn mark_phase(&mut self, phase: &'static str) {
+        *self.phase_mark = Some(phase);
+    }
+
+    /// Declares a finer-grained internal stage transition; emitted as a
+    /// [`StageTransition`](crate::RunEvent::StageTransition) event under
+    /// the same collection and deduplication rules as
+    /// [`RoundCtx::mark_phase`].
+    pub fn mark_stage(&mut self, stage: &'static str) {
+        *self.stage_mark = Some(stage);
     }
 
     /// Stages a message for this round. The destination ID is resolved to

@@ -7,12 +7,23 @@
 mod common;
 
 use common::Gossip;
-use dgr_ncc::{CapacityPolicy, Config, Network, RunResult};
+use dgr_ncc::event::semantic_stream;
+use dgr_ncc::{CapacityPolicy, Config, EngineKind, Network, Recording, RunEvent, RunResult};
 
 /// A long-tailed population: lifetimes staggered over [3, 3 + n) rounds,
 /// so the live count decays roughly linearly while a few nodes survive
 /// far past the median — the workload slot compaction exists for.
 fn long_tail_run(workers: usize, queue: bool) -> RunResult<u64> {
+    let (result, _) = long_tail_run_observed(EngineKind::Batched, workers, queue);
+    result
+}
+
+/// The same run with its event stream recorded, on either engine.
+fn long_tail_run_observed(
+    engine: EngineKind,
+    workers: usize,
+    queue: bool,
+) -> (RunResult<u64>, Recording) {
     let mut config = Config::ncc0(2026).with_worker_threads(workers);
     config.capacity_policy = if queue {
         CapacityPolicy::Queue
@@ -20,7 +31,13 @@ fn long_tail_run(workers: usize, queue: bool) -> RunResult<u64> {
         CapacityPolicy::Record
     };
     let net = Network::new(192, config);
-    net.run_protocol(|s| Gossip::new(s, 3, 192, 2)).unwrap()
+    let mut events = Recording::new();
+    let result = net
+        .run_protocol_on(engine, None, Some(&mut events), |s| {
+            Gossip::new(s, 3, 192, 2)
+        })
+        .unwrap();
+    (result, events)
 }
 
 #[test]
@@ -109,4 +126,85 @@ fn sparse_rounds_route_inline_even_with_workers() {
         "sparse rounds must not pay the parallel routing setup"
     );
     assert!(result.engine.inline_route_rounds > 0);
+}
+
+/// The event stream of a compacting run is bit-identical across worker
+/// counts, and its `Compaction` events are exactly what `EngineStats`
+/// reports — the stats are a pure stream derivation, so they cannot
+/// drift from the narrated compactions.
+#[test]
+fn event_stream_is_identical_across_worker_counts_and_narrates_compactions() {
+    let (result_1, events_1) = long_tail_run_observed(EngineKind::Batched, 1, false);
+    let events_1 = events_1.events();
+    let compactions: Vec<(u64, usize)> = events_1
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::Compaction { round, live } => Some((*round, *live)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        compactions.len() >= 2,
+        "long tail should compact repeatedly"
+    );
+    assert_eq!(compactions.len() as u64, result_1.engine.compactions);
+    assert_eq!(
+        compactions
+            .iter()
+            .map(|&(_, live)| live)
+            .collect::<Vec<_>>(),
+        result_1.engine.compaction_live
+    );
+    // Every round is narrated, in order, ending with Done.
+    let rounds: Vec<u64> = events_1
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::RoundCompleted { round, .. } => Some(*round),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(rounds, (0..result_1.metrics.rounds).collect::<Vec<_>>());
+    assert!(matches!(events_1.last(), Some(RunEvent::Done { .. })));
+    for workers in [2, 3, 5, 8] {
+        let (_, events_w) = long_tail_run_observed(EngineKind::Batched, workers, false);
+        assert_eq!(
+            events_1,
+            events_w.events(),
+            "event stream diverges at {workers} workers"
+        );
+    }
+}
+
+/// Batched (compacting) vs threaded (never compacting): the semantic
+/// projections of the streams must agree exactly — compaction is a
+/// memory-layout narration, not a semantic event — under both the
+/// record and queue policies.
+#[cfg(feature = "threaded")]
+#[test]
+fn event_streams_semantically_identical_across_engines_with_and_without_compaction() {
+    for queue in [false, true] {
+        let (batched, batched_events) = long_tail_run_observed(EngineKind::Batched, 1, queue);
+        let (threaded, threaded_events) = long_tail_run_observed(EngineKind::Threaded, 1, queue);
+        assert!(batched.engine.compactions >= 2, "run must compact");
+        assert_eq!(threaded.engine.compactions, 0, "oracle never compacts");
+        let batched_events = batched_events.events();
+        assert!(
+            batched_events
+                .iter()
+                .any(|e| matches!(e, RunEvent::Compaction { .. })),
+            "batched stream must narrate its compactions"
+        );
+        assert!(
+            !threaded_events
+                .events()
+                .iter()
+                .any(|e| matches!(e, RunEvent::Compaction { .. })),
+            "threaded stream must not invent compactions"
+        );
+        assert_eq!(
+            semantic_stream(&batched_events),
+            semantic_stream(&threaded_events.events()),
+            "semantic streams diverge (queue={queue})"
+        );
+    }
 }

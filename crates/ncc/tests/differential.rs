@@ -8,23 +8,39 @@
 mod common;
 
 use common::Gossip;
-use dgr_ncc::{CapacityPolicy, Config, Network, RunResult, SimError};
+use dgr_ncc::event::semantic_stream;
+use dgr_ncc::{CapacityPolicy, Config, EngineKind, Network, Recording, RunResult, SimError};
 
 /// Runs the same gossip configuration on both engines and asserts full
-/// observational equality.
+/// observational equality — transcripts, metrics, and the semantic
+/// projection of the event streams.
 fn assert_engines_agree(n: usize, config: Config, base: u64, stagger: u64, fan: usize) {
     let net = Network::new(n, config);
+    let mut batched_events = Recording::new();
     let batched: RunResult<u64> = net
-        .run_protocol(|s| Gossip::new(s, base, stagger, fan))
+        .run_protocol_on(EngineKind::Batched, None, Some(&mut batched_events), |s| {
+            Gossip::new(s, base, stagger, fan)
+        })
         .unwrap();
+    let mut threaded_events = Recording::new();
     let threaded: RunResult<u64> = net
-        .run_protocol_threaded(|s| Gossip::new(s, base, stagger, fan))
+        .run_protocol_on(
+            EngineKind::Threaded,
+            None,
+            Some(&mut threaded_events),
+            |s| Gossip::new(s, base, stagger, fan),
+        )
         .unwrap();
     assert_eq!(
         batched.outputs, threaded.outputs,
         "per-node transcripts diverge (n={n})"
     );
     assert_eq!(batched.metrics, threaded.metrics, "metrics diverge (n={n})");
+    assert_eq!(
+        semantic_stream(&batched_events.events()),
+        semantic_stream(&threaded_events.events()),
+        "event streams diverge (n={n})"
+    );
 }
 
 #[test]

@@ -15,7 +15,7 @@ use crate::distributed::{alg4, alg5};
 use crate::distributed::{proto::RealizeTree, TreeOutcome};
 use dgr_core::{verify, Unrealizable};
 use dgr_graph::Graph;
-use dgr_ncc::{Config, EngineKind, EngineStats, Network, NodeId, RunMetrics, SimError};
+use dgr_ncc::{Config, EngineKind, EngineStats, Network, NodeId, RunMetrics, SimError, Sink};
 use dgr_primitives::sort::SortBackend;
 use std::collections::HashMap;
 
@@ -129,7 +129,8 @@ pub struct TreeRun {
 /// [`EngineKind::Threaded`] runs the direct-style oracle twins for the
 /// bitonic backend, and the same state machine as the batched executor
 /// otherwise; transcripts are identical either way
-/// (`crates/trees/tests/batched_trees.rs`).
+/// (`crates/trees/tests/batched_trees.rs`). `sink` receives the run's
+/// typed [`RunEvent`](dgr_ncc::RunEvent) stream (`None` = unobserved).
 ///
 /// # Errors
 ///
@@ -142,12 +143,13 @@ pub fn realize_tree_run(
     algo: TreeAlgo,
     engine: EngineKind,
     sort: SortBackend,
+    sink: Option<&mut dyn Sink>,
 ) -> Result<TreeRun, SimError> {
     let net = Network::new(degrees.len(), config);
     let by_id = degree_assignment(&net, degrees);
     #[cfg(feature = "threaded")]
     if engine == EngineKind::Threaded && sort == SortBackend::Bitonic {
-        let result = net.run(|h| match algo {
+        let result = net.run_observed(sink, |h| match algo {
             TreeAlgo::Chain => alg4::realize(h, by_id[&h.id()]),
             TreeAlgo::Greedy => alg5::realize(h, by_id[&h.id()]),
         })?;
@@ -157,7 +159,7 @@ pub fn realize_tree_run(
             engine: engine_stats,
         });
     }
-    let result = net.run_protocol_on(engine, None, |s| {
+    let result = net.run_protocol_on(engine, None, sink, |s| {
         RealizeTree::with_sort(by_id[&s.id], algo, sort)
     })?;
     let engine_stats = result.engine.clone();
@@ -186,6 +188,7 @@ pub fn realize_tree(
         algo,
         EngineKind::Threaded,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }
@@ -208,6 +211,7 @@ pub fn realize_tree_batched(
         algo,
         EngineKind::Batched,
         SortBackend::Bitonic,
+        None,
     )
     .map(|run| run.output)
 }

@@ -13,14 +13,16 @@ fn realize_tree(
     c: dgr_ncc::Config,
     algo: TreeAlgo,
 ) -> Result<TreeRealization, SimError> {
-    realize_tree_run(d, c, algo, EngineKind::Threaded, SortBackend::Bitonic).map(|run| run.output)
+    realize_tree_run(d, c, algo, EngineKind::Threaded, SortBackend::Bitonic, None)
+        .map(|run| run.output)
 }
 fn realize_tree_batched(
     d: &[usize],
     c: dgr_ncc::Config,
     algo: TreeAlgo,
 ) -> Result<TreeRealization, SimError> {
-    realize_tree_run(d, c, algo, EngineKind::Batched, SortBackend::Bitonic).map(|run| run.output)
+    realize_tree_run(d, c, algo, EngineKind::Batched, SortBackend::Bitonic, None)
+        .map(|run| run.output)
 }
 use proptest::prelude::*;
 

@@ -75,6 +75,31 @@
 //! assert!(out.threshold().report.satisfied);
 //! ```
 //!
+//! # Watching runs live
+//!
+//! Every run narrates itself as a typed [`RunEvent`] stream.
+//! [`Realization::observe`] attaches a [`Sink`] to the one-shot path;
+//! [`Realization::run_streaming`] turns the run into a pull-based
+//! [`RunSession`] whose `next_round()` steps the engine one round at a
+//! time — six-digit runs become inspectable mid-flight:
+//!
+//! ```
+//! use distributed_graph_realizations as dgr;
+//! use dgr::{Realization, Workload};
+//!
+//! let mut session = Realization::new(Workload::Implicit(vec![2, 2, 1, 1]))
+//!     .seed(7)
+//!     .run_streaming()
+//!     .unwrap();
+//! let mut rounds = 0;
+//! while let Some(snapshot) = session.next_round() {
+//!     assert_eq!(snapshot.round, rounds);
+//!     rounds += 1;
+//! }
+//! let out = session.finish().unwrap();
+//! assert_eq!(rounds, out.metrics().rounds);
+//! ```
+//!
 //! The workspace crates remain available underneath for white-box use:
 //!
 //! * [`ncc`] — the NCC0/NCC1 model simulator (rounds, capacities, KT0
@@ -114,18 +139,28 @@ use dgr_core::DriverOutput;
 use dgr_ncc::{Config, EngineStats, Model, RunMetrics, SimError};
 use dgr_primitives::sort::SortBackend as PrimitivesSortBackend;
 use dgr_trees::{TreeAlgo, TreeRealization};
+use std::sync::mpsc;
 
 pub use dgr_ncc::EngineKind as Engine;
-pub use dgr_ncc::{CapacityPolicy, NodeId};
+pub use dgr_ncc::{
+    CapacityPolicy, JsonlSink, MetricsRecorder, NodeId, NullSink, PhaseRounds, ProgressSink,
+    Recording, RouteMode, RunEvent, Sink,
+};
 pub use dgr_primitives::sort::SortBackend;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
-    pub use crate::{Engine, Kt0, Realization, Realized, RunOutput, SortBackend, Workload};
+    pub use crate::{
+        Engine, Kt0, Realization, Realized, RoundSnapshot, RunOutput, RunSession, SortBackend,
+        Workload,
+    };
     pub use dgr_connectivity::{ThresholdInstance, ThresholdRealization};
     pub use dgr_core::{DegreeSequence, DistributedRealization, DriverOutput, RealizeError};
     pub use dgr_graph::Graph;
-    pub use dgr_ncc::{CapacityPolicy, Config, Model, Network, NodeId, RunMetrics};
+    pub use dgr_ncc::{
+        CapacityPolicy, Config, Model, Network, NodeId, NullSink, ProgressSink, Recording,
+        RunEvent, RunMetrics, Sink,
+    };
     pub use dgr_trees::{TreeAlgo, TreeRealization};
 }
 
@@ -289,10 +324,10 @@ impl Realized {
 }
 
 /// The builder facade over the whole driver stack: workload × engine ×
-/// capacity policy × mask × sorting backend × tracking × certification,
-/// one knob each. See the crate docs for examples and `ARCHITECTURE.md`
-/// for the full knob matrix.
-#[derive(Clone, Debug)]
+/// capacity policy × mask × sorting backend × tracking × certification ×
+/// observation, one knob each. See the crate docs for examples and
+/// `ARCHITECTURE.md` for the full knob matrix (including the
+/// "Observability" section on sinks and streaming sessions).
 pub struct Realization {
     workload: Workload,
     engine: Engine,
@@ -307,6 +342,54 @@ pub struct Realization {
     workers: Option<usize>,
     max_rounds: Option<u64>,
     certify: bool,
+    sink: Option<Box<dyn Sink>>,
+}
+
+impl Clone for Realization {
+    /// Clones every knob. The observation sink is **not** cloned — sinks
+    /// are stateful stream consumers with no general copy semantics — so
+    /// the clone starts unobserved; attach its own with
+    /// [`Realization::observe`] (a shared [`Recording`] clone works for
+    /// fan-out capture).
+    fn clone(&self) -> Self {
+        Realization {
+            workload: self.workload.clone(),
+            engine: self.engine,
+            policy: self.policy,
+            mask: self.mask.clone(),
+            sort: self.sort,
+            tracking: self.tracking,
+            seed: self.seed,
+            model: self.model,
+            capacity_factor: self.capacity_factor,
+            sequential_ids: self.sequential_ids,
+            workers: self.workers,
+            max_rounds: self.max_rounds,
+            certify: self.certify,
+            sink: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Realization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Realization")
+            .field("workload", &self.workload)
+            .field("engine", &self.engine)
+            .field("policy", &self.policy)
+            .field("mask", &self.mask.as_ref().map(Vec::len))
+            .field("sort", &self.sort)
+            .field("tracking", &self.tracking)
+            .field("seed", &self.seed)
+            .field("model", &self.model)
+            .field("capacity_factor", &self.capacity_factor)
+            .field("sequential_ids", &self.sequential_ids)
+            .field("workers", &self.workers)
+            .field("max_rounds", &self.max_rounds)
+            .field("certify", &self.certify)
+            .field("observed", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl Realization {
@@ -329,6 +412,7 @@ impl Realization {
             workers: None,
             max_rounds: None,
             certify: true,
+            sink: None,
         }
     }
 
@@ -418,6 +502,18 @@ impl Realization {
         self
     }
 
+    /// Attaches an observer: every [`RunEvent`] of the run — rounds,
+    /// phase changes, compactions, certification — streams into `sink`
+    /// while the run executes. Use [`Recording`] to capture (clones
+    /// share the buffer), [`ProgressSink`] for live stderr progress,
+    /// [`JsonlSink`] for a machine-readable feed. A second call replaces
+    /// the first sink. Works with both [`Realization::run`] and
+    /// [`Realization::run_streaming`] (the session sees the same events).
+    pub fn observe<S: Sink + 'static>(mut self, sink: S) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
     /// The workload's input length.
     fn input_len(&self) -> usize {
         match &self.workload {
@@ -440,7 +536,23 @@ impl Realization {
         }
     }
 
-    /// Builds the simulator configuration from the knobs.
+    /// The workload knob's constructor name, for error messages that
+    /// point at the offending builder call.
+    fn workload_name(&self) -> &'static str {
+        match &self.workload {
+            Workload::Implicit(_) => "Workload::Implicit",
+            Workload::Envelope(_) => "Workload::Envelope",
+            Workload::Explicit(_) => "Workload::Explicit",
+            Workload::Tree { .. } => "Workload::Tree",
+            Workload::Ncc1(_) => "Workload::Ncc1",
+            Workload::Ncc0Threshold(_) => "Workload::Ncc0Threshold",
+            Workload::Ncc0Exact(_) => "Workload::Ncc0Exact",
+            Workload::PrefixEnvelope(_) => "Workload::PrefixEnvelope",
+        }
+    }
+
+    /// Builds the simulator configuration from the knobs. Every rejection
+    /// names the offending builder call and the value it was given.
     fn config(&self) -> Result<Config, RealizationError> {
         let default_model = match &self.workload {
             Workload::Ncc1(_) => Model::Ncc1,
@@ -449,8 +561,8 @@ impl Realization {
         let model = self.model.unwrap_or(default_model);
         if matches!(self.workload, Workload::Ncc1(_)) && model == Model::Ncc0 {
             return Err(RealizationError::InvalidRequest(
-                "the Theorem 17 star construction needs the NCC1 model \
-                 (all IDs common knowledge)"
+                ".model(Model::Ncc0) contradicts Workload::Ncc1: the Theorem 17 star \
+                 construction needs the NCC1 model (all IDs common knowledge)"
                     .into(),
             ));
         }
@@ -463,6 +575,12 @@ impl Realization {
             config.track_knowledge = tracking == Kt0::Tracked && config.model == Model::Ncc0;
         }
         if let Some(factor) = self.capacity_factor {
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(RealizationError::InvalidRequest(format!(
+                    ".capacity_factor({factor}) is not a usable multiplier — the per-round \
+                     capacity c·log₂ n needs a finite, positive c"
+                )));
+            }
             config.capacity_factor = factor;
         }
         if self.sequential_ids {
@@ -477,33 +595,28 @@ impl Realization {
         if matches!(self.sort, SortBackend::RandomizedLogN { .. })
             && config.capacity_policy == CapacityPolicy::Strict
         {
-            return Err(RealizationError::InvalidRequest(
-                "the randomized sort backend needs a queueing (or recording) capacity \
-                 policy for its scatter fan-in — add .policy(CapacityPolicy::Queue)"
-                    .into(),
-            ));
+            let policy_source = if self.policy.is_some() {
+                ".policy(CapacityPolicy::Strict) was requested".to_string()
+            } else {
+                format!("{}'s natural policy is Strict", self.workload_name())
+            };
+            return Err(RealizationError::InvalidRequest(format!(
+                ".sort(SortBackend::RandomizedLogN {{ .. }}) needs a queueing (or \
+                 recording) capacity policy for its scatter fan-in, but {policy_source} — \
+                 add .policy(CapacityPolicy::Queue)"
+            )));
         }
         Ok(config)
     }
 
-    /// Validates the knob combination and runs the realization.
-    ///
-    /// # Errors
-    ///
-    /// [`RealizationError::InvalidRequest`] for contradictory knobs
-    /// (mask on a non-degree workload, mask length mismatch, randomized
-    /// sort under the strict policy), [`RealizationError::Sim`] for
-    /// simulator failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a threshold workload's requirements are invalid
-    /// (`ρ = 0` or `ρ ≥ n` — no simple graph can satisfy them).
-    pub fn run(self) -> Result<Realized, RealizationError> {
+    /// Validates the whole knob combination, returning the simulator
+    /// configuration a run would use.
+    fn validate(&self) -> Result<Config, RealizationError> {
         if self.input_len() == 0 {
-            return Err(RealizationError::InvalidRequest(
-                "the workload needs at least one node".into(),
-            ));
+            return Err(RealizationError::InvalidRequest(format!(
+                "{} was given an empty input — the workload needs at least one node",
+                self.workload_name()
+            )));
         }
         if let Some(mask) = &self.mask {
             let degree_workload = matches!(
@@ -511,21 +624,98 @@ impl Realization {
                 Workload::Implicit(_) | Workload::Envelope(_) | Workload::Explicit(_)
             );
             if !degree_workload {
-                return Err(RealizationError::InvalidRequest(
-                    "masks apply to degree workloads only (trees and thresholds \
-                     realize over the whole network)"
-                        .into(),
-                ));
+                return Err(RealizationError::InvalidRequest(format!(
+                    ".mask({} entries) applies to degree workloads only — {} realizes \
+                     over the whole network",
+                    mask.len(),
+                    self.workload_name()
+                )));
             }
             if mask.len() != self.input_len() {
                 return Err(RealizationError::InvalidRequest(format!(
-                    "mask length {} does not match the {}-node workload",
+                    ".mask({} entries) does not match the {}-node {} input \
+                     (one mask entry per path position is required)",
                     mask.len(),
-                    self.input_len()
+                    self.input_len(),
+                    self.workload_name()
                 )));
             }
         }
-        let config = self.config()?;
+        self.config()
+    }
+
+    /// Validates the knob combination and runs the realization to
+    /// completion, returning the whole-run output. For a live view of the
+    /// run attach a sink ([`Realization::observe`]) or switch to
+    /// [`Realization::run_streaming`].
+    ///
+    /// # Errors
+    ///
+    /// [`RealizationError::InvalidRequest`] for contradictory knobs
+    /// (mask on a non-degree workload, mask length mismatch, randomized
+    /// sort under the strict policy — the message names the offending
+    /// builder call and value), [`RealizationError::Sim`] for simulator
+    /// failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a threshold workload's requirements are invalid
+    /// (`ρ = 0` or `ρ ≥ n` — no simple graph can satisfy them).
+    pub fn run(self) -> Result<Realized, RealizationError> {
+        self.run_inner(None)
+    }
+
+    /// Validates the knob combination and starts the realization as a
+    /// pull-based **streaming session**: the engine runs on a worker
+    /// thread but blocks at every event until the session consumes it, so
+    /// [`RunSession::next_round`] literally steps the run one round at a
+    /// time — six-digit runs become inspectable mid-flight instead of
+    /// post-hoc. Call [`RunSession::finish`] for the final output (it
+    /// drains any remaining events). An [`Realization::observe`] sink
+    /// sees the same stream, in the same order, from the worker thread.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Realization::run`]; knob validation happens eagerly, so
+    /// invalid requests fail here and never spawn the worker.
+    pub fn run_streaming(self) -> Result<RunSession, RealizationError> {
+        self.validate()?;
+        // A rendezvous channel: the engine's emit blocks until the
+        // session pulls, which is what makes the session a *stepper*
+        // rather than a tail on a buffer.
+        let (tx, rx) = mpsc::sync_channel(0);
+        let handle = std::thread::Builder::new()
+            .name("dgr-run-session".into())
+            .spawn(move || {
+                self.run_inner(Some(ChannelSink {
+                    tx,
+                    connected: true,
+                }))
+            })
+            .expect("failed to spawn the run-session worker thread");
+        Ok(RunSession {
+            rx: Some(rx),
+            handle: Some(handle),
+            rounds_done: false,
+        })
+    }
+
+    /// The shared execution path: validate, compose the observation
+    /// sinks, dispatch to the workload's engine room.
+    fn run_inner(mut self, streaming: Option<ChannelSink>) -> Result<Realized, RealizationError> {
+        let config = self.validate()?;
+        let mut user = self.sink.take();
+        let mut chan = streaming;
+        let mut tee;
+        let sink: Option<&mut dyn Sink> = match (user.as_deref_mut(), chan.as_mut()) {
+            (Some(user), Some(chan)) => {
+                tee = Tee(user, chan);
+                Some(&mut tee)
+            }
+            (Some(user), None) => Some(user),
+            (None, Some(chan)) => Some(chan),
+            (None, None) => None,
+        };
         let sort: PrimitivesSortBackend = self.sort;
         let mask = self.mask.as_deref();
         let (output, engine_stats) = match &self.workload {
@@ -535,11 +725,13 @@ impl Realization {
                     Workload::Envelope(_) => Flavor::Envelope,
                     _ => Flavor::Explicit,
                 };
-                let run = dgr_core::realize_degrees(d, mask, config, flavor, self.engine, sort)?;
+                let run =
+                    dgr_core::realize_degrees(d, mask, config, flavor, self.engine, sort, sink)?;
                 (RunOutput::Degrees(run.output), run.engine)
             }
             Workload::Tree { degrees, algo } => {
-                let run = dgr_trees::realize_tree_run(degrees, config, *algo, self.engine, sort)?;
+                let run =
+                    dgr_trees::realize_tree_run(degrees, config, *algo, self.engine, sort, sink)?;
                 (RunOutput::Tree(run.output), run.engine)
             }
             Workload::Ncc1(r) | Workload::Ncc0Threshold(r) | Workload::Ncc0Exact(r) => {
@@ -556,13 +748,18 @@ impl Realization {
                     self.engine,
                     sort,
                     self.certify,
+                    sink,
                 )?;
                 (RunOutput::Threshold(Box::new(run.output)), run.engine)
             }
             Workload::PrefixEnvelope(r) => {
                 let inst = ThresholdInstance::new(r.clone());
-                let run =
-                    dgr_connectivity::realize_prefix_envelope_run(&inst, config, self.engine)?;
+                let run = dgr_connectivity::realize_prefix_envelope_run(
+                    &inst,
+                    config,
+                    self.engine,
+                    sink,
+                )?;
                 (RunOutput::Degrees(run.output), run.engine)
             }
         };
@@ -573,13 +770,160 @@ impl Realization {
     }
 }
 
+/// Feeds the user's sink and the streaming session from one stream.
+struct Tee<'a>(&'a mut dyn Sink, &'a mut ChannelSink);
+
+impl Sink for Tee<'_> {
+    fn emit(&mut self, event: &RunEvent) {
+        self.0.emit(event);
+        self.1.emit(event);
+    }
+}
+
+/// The worker-thread end of a streaming session: a rendezvous sender, so
+/// the engine cannot advance past an unconsumed event. Once the session
+/// hangs up (dropped receiver) the run continues unobserved to
+/// completion — the result is still collected by `RunSession::finish`
+/// (or discarded by `Drop`).
+struct ChannelSink {
+    tx: mpsc::SyncSender<RunEvent>,
+    connected: bool,
+}
+
+impl Sink for ChannelSink {
+    fn emit(&mut self, event: &RunEvent) {
+        if self.connected && self.tx.send(event.clone()).is_err() {
+            self.connected = false;
+        }
+    }
+}
+
+/// One completed round pulled from a [`RunSession`]: the round's headline
+/// numbers plus every event that preceded it since the last pull (phase
+/// changes, stage transitions, compactions).
+#[derive(Clone, Debug)]
+pub struct RoundSnapshot {
+    /// 0-based round index.
+    pub round: u64,
+    /// Messages delivered this round.
+    pub delivered: u64,
+    /// Nodes still live after the round's step phase.
+    pub live: usize,
+    /// Routing path the batched executor chose (scheduling detail;
+    /// [`RouteMode::Unspecified`] on the threaded oracle).
+    pub route_mode: RouteMode,
+    /// Events emitted since the previous snapshot, excluding the
+    /// [`RunEvent::RoundCompleted`] this snapshot summarizes.
+    pub events: Vec<RunEvent>,
+}
+
+/// A live, pull-based realization run (from
+/// [`Realization::run_streaming`]). The engine executes on a worker
+/// thread but rendezvouses with this session on every event: until
+/// [`RunSession::next_round`] (or [`RunSession::next_event`]) is called,
+/// the run does not advance — the session is a stepper, not a spectator.
+///
+/// Dropping the session mid-run detaches it: the run finishes unobserved
+/// on the worker thread (the drop joins it) and the output is discarded.
+pub struct RunSession {
+    rx: Option<mpsc::Receiver<RunEvent>>,
+    handle: Option<std::thread::JoinHandle<Result<Realized, RealizationError>>>,
+    rounds_done: bool,
+}
+
+impl RunSession {
+    /// Advances the run to the next completed round and returns its
+    /// snapshot, or `None` once the engine's round loop has finished (or
+    /// failed — [`RunSession::finish`] reports which).
+    pub fn next_round(&mut self) -> Option<RoundSnapshot> {
+        if self.rounds_done {
+            return None;
+        }
+        let rx = self.rx.as_ref()?;
+        let mut events = Vec::new();
+        loop {
+            match rx.recv() {
+                Ok(RunEvent::RoundCompleted {
+                    round,
+                    delivered,
+                    live,
+                    route_mode,
+                }) => {
+                    return Some(RoundSnapshot {
+                        round,
+                        delivered,
+                        live,
+                        route_mode,
+                        events,
+                    })
+                }
+                Ok(RunEvent::Done { .. }) => {
+                    self.rounds_done = true;
+                    return None;
+                }
+                Ok(event) => events.push(event),
+                Err(mpsc::RecvError) => {
+                    // Worker hung up without `Done`: the run errored.
+                    self.rounds_done = true;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Advances the run to the next single event (finer-grained than
+    /// [`RunSession::next_round`]; also yields the post-`Done`
+    /// driver-level events such as certification). `None` once the worker
+    /// has hung up.
+    pub fn next_event(&mut self) -> Option<RunEvent> {
+        let event = self.rx.as_ref()?.recv().ok()?;
+        if matches!(event, RunEvent::Done { .. }) {
+            self.rounds_done = true;
+        }
+        Some(event)
+    }
+
+    /// Lets the run finish (draining any unconsumed events) and returns
+    /// its final output — exactly what [`Realization::run`] would have
+    /// returned.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker-thread panic (a protocol bug surfaces on the
+    /// engine as [`SimError::NodePanic`] instead, so this is unreachable
+    /// in practice).
+    pub fn finish(mut self) -> Result<Realized, RealizationError> {
+        if let Some(rx) = self.rx.take() {
+            // Unblock the rendezvous until the worker is done emitting.
+            while rx.recv().is_ok() {}
+        }
+        let handle = self.handle.take().expect("run session already finished");
+        match handle.join() {
+            Ok(result) => result,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for RunSession {
+    fn drop(&mut self) {
+        // Hanging up first lets the worker free-run to completion; the
+        // join then only waits for the unobserved remainder.
+        self.rx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn builder_rejects_contradictory_knobs() {
-        // Mask on a tree workload.
+    fn builder_rejects_contradictory_knobs_naming_the_offender() {
+        // Mask on a tree workload: the message names the knob and the
+        // workload that rejected it.
         let err = Realization::new(Workload::Tree {
             degrees: vec![1, 2, 1],
             algo: TreeAlgo::Greedy,
@@ -588,27 +932,167 @@ mod tests {
         .run()
         .unwrap_err();
         assert!(matches!(err, RealizationError::InvalidRequest(_)), "{err}");
+        assert!(err.to_string().contains(".mask(3 entries)"), "{err}");
+        assert!(err.to_string().contains("Workload::Tree"), "{err}");
 
-        // Mask length mismatch.
+        // Mask length mismatch: both lengths named.
         let err = Realization::new(Workload::Implicit(vec![1, 1]))
             .mask(vec![true])
             .run()
             .unwrap_err();
-        assert!(err.to_string().contains("mask length"), "{err}");
+        assert!(err.to_string().contains(".mask(1 entries)"), "{err}");
+        assert!(err.to_string().contains("2-node"), "{err}");
 
-        // Randomized sort under the strict policy.
+        // Randomized sort under the strict policy: the sort knob and the
+        // policy source are both named.
         let err = Realization::new(Workload::Implicit(vec![1, 1]))
             .sort(SortBackend::RandomizedLogN { seed: 1 })
             .policy(CapacityPolicy::Strict)
             .run()
             .unwrap_err();
-        assert!(err.to_string().contains("randomized sort"), "{err}");
+        assert!(
+            err.to_string()
+                .contains(".sort(SortBackend::RandomizedLogN"),
+            "{err}"
+        );
+        assert!(
+            err.to_string()
+                .contains(".policy(CapacityPolicy::Strict) was requested"),
+            "{err}"
+        );
+        // ... and when the strictness came from the workload default, the
+        // message says so instead of blaming an absent .policy() call.
+        let err = Realization::new(Workload::Implicit(vec![1, 1]))
+            .sort(SortBackend::RandomizedLogN { seed: 1 })
+            .run()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("natural policy is Strict"),
+            "{err}"
+        );
 
-        // Empty workload.
+        // Empty workload: names the workload variant.
         let err = Realization::new(Workload::Implicit(vec![]))
             .run()
             .unwrap_err();
         assert!(matches!(err, RealizationError::InvalidRequest(_)));
+        assert!(err.to_string().contains("Workload::Implicit"), "{err}");
+
+        // A broken capacity factor names the knob and its value.
+        let err = Realization::new(Workload::Implicit(vec![1, 1]))
+            .capacity_factor(-1.0)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains(".capacity_factor(-1)"), "{err}");
+
+        // NCC0 model forced onto the NCC1 star: the model knob is named.
+        let err = Realization::new(Workload::Ncc1(vec![1, 1]))
+            .model(Model::Ncc0)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains(".model(Model::Ncc0)"), "{err}");
+
+        // Streaming validates eagerly: no worker is spawned for a
+        // contradictory request.
+        let err = Realization::new(Workload::Implicit(vec![]))
+            .run_streaming()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, RealizationError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn streaming_session_steps_rounds_and_matches_one_shot() {
+        let build = || Realization::new(Workload::Implicit(vec![3, 2, 2, 2, 1, 1, 1])).seed(17);
+        let one_shot = build().run().unwrap();
+
+        let recording = Recording::new();
+        let mut session = build().observe(recording.clone()).run_streaming().unwrap();
+        let mut rounds = 0u64;
+        while let Some(snapshot) = session.next_round() {
+            assert_eq!(snapshot.round, rounds, "rounds must arrive in order");
+            rounds += 1;
+        }
+        let streamed = session.finish().unwrap();
+        assert_eq!(rounds, streamed.metrics().rounds, "a snapshot per round");
+        assert_eq!(one_shot.metrics(), streamed.metrics());
+        assert_eq!(
+            one_shot.degrees().expect_realized().graph.edge_list(),
+            streamed.degrees().expect_realized().graph.edge_list()
+        );
+        // The observe() sink saw the same stream the session consumed,
+        // and replaying it through a MetricsRecorder reproduces the
+        // executor statistics — the stats are a pure stream derivation.
+        let events = recording.events();
+        assert!(matches!(events.last(), Some(RunEvent::Done { .. })));
+        let mut recorder = MetricsRecorder::new();
+        for event in &events {
+            recorder.emit(event);
+        }
+        assert_eq!(recorder.rounds(), streamed.metrics().rounds);
+        assert_eq!(recorder.messages(), streamed.metrics().messages);
+        let replayed = recorder.engine_stats();
+        assert_eq!(replayed.compactions, streamed.engine_stats.compactions);
+        assert_eq!(
+            replayed.inline_route_rounds,
+            streamed.engine_stats.inline_route_rounds
+        );
+        assert_eq!(
+            replayed.parallel_route_rounds,
+            streamed.engine_stats.parallel_route_rounds
+        );
+    }
+
+    #[test]
+    fn dropping_a_session_mid_run_detaches_cleanly() {
+        let mut session = Realization::new(Workload::Implicit(vec![2, 2, 1, 1]))
+            .seed(7)
+            .run_streaming()
+            .unwrap();
+        // Pull one round, then walk away; Drop joins the free-running
+        // remainder without deadlocking.
+        assert!(session.next_round().is_some());
+        drop(session);
+    }
+
+    #[test]
+    fn certification_events_follow_done() {
+        let recording = Recording::new();
+        let out = Realization::new(Workload::Ncc1(vec![2, 2, 1, 1, 1]))
+            .seed(55)
+            .observe(recording.clone())
+            .run()
+            .unwrap();
+        assert!(out.threshold().report.certified());
+        let events = recording.events();
+        let done_at = events
+            .iter()
+            .position(|e| matches!(e, RunEvent::Done { .. }))
+            .expect("engine Done");
+        let started_at = events
+            .iter()
+            .position(|e| matches!(e, RunEvent::CertificationStarted { .. }))
+            .expect("certification started");
+        assert!(started_at > done_at);
+        assert!(matches!(
+            events.last(),
+            Some(RunEvent::CertificationResult {
+                satisfied: true,
+                ..
+            })
+        ));
+        // Skipped certification stays silent.
+        let silent = Recording::new();
+        Realization::new(Workload::Ncc1(vec![2, 2, 1, 1, 1]))
+            .seed(55)
+            .certify(false)
+            .observe(silent.clone())
+            .run()
+            .unwrap();
+        assert!(!silent
+            .events()
+            .iter()
+            .any(|e| matches!(e, RunEvent::CertificationStarted { .. })));
     }
 
     #[test]

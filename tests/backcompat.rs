@@ -6,8 +6,9 @@
 
 #![allow(deprecated)]
 
+use distributed_graph_realizations::ncc::event::semantic_stream;
 use distributed_graph_realizations::prelude::*;
-use distributed_graph_realizations::{connectivity, realization, trees, Engine};
+use distributed_graph_realizations::{connectivity, realization, trees, Engine, Kt0};
 
 /// The metrics both paths must agree on, bit for bit.
 fn fingerprint(m: &RunMetrics) -> (u64, u64, u64, usize, usize) {
@@ -234,4 +235,129 @@ fn deprecated_threshold_wrappers_match() {
         degrees_out(built.degrees()),
         "realize_prefix_envelope_batched diverges"
     );
+}
+
+/// Records the event stream of one builder run.
+fn record(workload: Workload, seed: u64, engine: Engine, workers: usize) -> Vec<RunEvent> {
+    let recording = Recording::new();
+    Realization::new(workload)
+        .seed(seed)
+        .engine(engine)
+        .workers(workers)
+        .observe(recording.clone())
+        .run()
+        .unwrap();
+    recording.events()
+}
+
+/// The event-stream differential: wherever the two engines are held to
+/// bit-identical transcripts, their event streams must be semantically
+/// identical too — the transcript guarantee extended to events — and the
+/// batched stream must be bit-identical across worker counts for every
+/// workload family.
+///
+/// The NCC1 star and NCC0 pipeline run *direct-style* oracle twins on
+/// the threaded engine, which are overlay-identical but not
+/// transcript-identical to the batched step machines, so those two
+/// families are held to the worker-count invariance only.
+#[test]
+fn event_streams_bit_identical_across_engines_and_worker_counts() {
+    let transcript_identical: Vec<(&str, Workload)> = vec![
+        ("implicit", Workload::Implicit(vec![3, 2, 2, 2, 1, 1, 1])),
+        ("explicit", Workload::Explicit(vec![1, 1, 2, 2])),
+        (
+            "tree",
+            Workload::Tree {
+                degrees: vec![3, 3, 2, 2, 1, 1, 1, 1],
+                algo: TreeAlgo::Greedy,
+            },
+        ),
+        ("ncc0-exact", Workload::Ncc0Exact(vec![3, 2, 2, 2, 1, 1, 1])),
+        ("prefix", Workload::PrefixEnvelope(vec![2, 2, 1, 1, 1])),
+    ];
+    let overlay_identical: Vec<(&str, Workload)> = vec![
+        ("ncc1", Workload::Ncc1(vec![2, 2, 1, 1, 1])),
+        ("ncc0", Workload::Ncc0Threshold(vec![2, 2, 1, 1, 1])),
+    ];
+    for (name, workload) in transcript_identical.iter().chain(&overlay_identical) {
+        let batched = record(workload.clone(), 12, Engine::Batched, 1);
+        assert!(
+            batched
+                .iter()
+                .any(|e| matches!(e, RunEvent::RoundCompleted { .. })),
+            "{name}: stream must narrate rounds"
+        );
+        for workers in [2, 4] {
+            assert_eq!(
+                batched,
+                record(workload.clone(), 12, Engine::Batched, workers),
+                "{name}: batched stream diverges at {workers} workers"
+            );
+        }
+    }
+    for (name, workload) in &transcript_identical {
+        let batched = record(workload.clone(), 12, Engine::Batched, 1);
+        let threaded = record(workload.clone(), 12, Engine::Threaded, 1);
+        assert_eq!(
+            semantic_stream(&batched),
+            semantic_stream(&threaded),
+            "{name}: semantic event streams diverge across engines"
+        );
+    }
+}
+
+/// The composed Algorithm 6 narrates its data-dependent phases: both
+/// engines emit the same `PhaseChange` sequence starting at round 0, and
+/// the resulting `RunMetrics::phase_rounds` breakdown is identical and
+/// sums to the total round count.
+#[test]
+fn ncc0_exact_phase_events_agree_across_engines() {
+    let rho = vec![3usize, 2, 2, 2, 1, 1, 1];
+    let run = |engine: Engine| {
+        let recording = Recording::new();
+        let out = Realization::new(Workload::Ncc0Exact(rho.clone()))
+            .seed(12)
+            .engine(engine)
+            .tracking(Kt0::Untracked)
+            .observe(recording.clone())
+            .run()
+            .unwrap();
+        (out, recording.events())
+    };
+    let (batched_out, batched_events) = run(Engine::Batched);
+    let (threaded_out, threaded_events) = run(Engine::Threaded);
+    let phases = |events: &[RunEvent]| -> Vec<(u64, &'static str)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                RunEvent::PhaseChange { round, phase } => Some((*round, *phase)),
+                _ => None,
+            })
+            .collect()
+    };
+    let batched_phases = phases(&batched_events);
+    assert_eq!(batched_phases, phases(&threaded_events));
+    assert_eq!(
+        batched_phases.first(),
+        Some(&(0, "setup")),
+        "{batched_phases:?}"
+    );
+    assert!(
+        batched_phases.iter().any(|&(_, p)| p == "phase1")
+            && batched_phases.iter().any(|&(_, p)| p == "phase2"),
+        "{batched_phases:?}"
+    );
+    let breakdown = &batched_out.metrics().phase_rounds;
+    assert_eq!(breakdown, &threaded_out.metrics().phase_rounds);
+    assert_eq!(
+        breakdown.iter().map(|p| p.rounds).sum::<u64>(),
+        batched_out.metrics().rounds,
+        "phase breakdown must sum to the total round count: {breakdown:?}"
+    );
+    // Workloads that never mark phases have an empty breakdown.
+    let plain = Realization::new(Workload::Implicit(vec![2, 2, 1, 1]))
+        .seed(7)
+        .run()
+        .unwrap();
+    assert!(plain.metrics().phase_rounds.is_empty());
 }

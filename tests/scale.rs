@@ -282,22 +282,58 @@ fn sorting_at_n_2048_is_polylog() {
 }
 
 /// The **composed paper-exact Algorithm 6** at 10⁵ nodes on the batched
-/// engine: outer ρ sort, prefix envelope recursion (masked sub-path with
-/// full-tree control aggregations), distinctness patch, phase-2
-/// pipeline, explicitness acks — verified structurally (max-flow
-/// certification is `O(n)` Dinic runs and lives in the small-`n` driver
-/// tests).
+/// engine, driven as a **streaming session**: outer ρ sort, prefix
+/// envelope recursion (masked sub-path with full-tree control
+/// aggregations), distinctness patch, phase-2 pipeline, explicitness
+/// acks. The session observes every round as the run executes (the
+/// pull-based stepper, not a post-hoc dump), the `PhaseChange` events
+/// reconstruct Algorithm 6's data-dependent phases, and the resulting
+/// per-phase round breakdown must sum to the total round count. Verified
+/// structurally (max-flow certification is `O(n)` Dinic runs and lives
+/// in the small-`n` driver tests).
 #[test]
-fn composed_alg6_exact_at_n_100k() {
+fn composed_alg6_exact_at_n_100k_streams_every_round() {
+    use distributed_graph_realizations::RunEvent;
     let n = 100_000;
     let rho: Vec<usize> = (0..n).map(|i| 1 + i % 5).collect();
-    let out = Realization::new(Workload::Ncc0Exact(rho.clone()))
+    let mut session = Realization::new(Workload::Ncc0Exact(rho.clone()))
         .certify(false)
         .tracking(Kt0::Untracked)
         .seed(64)
-        .run()
+        .run_streaming()
         .unwrap();
+    let mut observed_rounds = 0u64;
+    let mut phases: Vec<(u64, &'static str)> = Vec::new();
+    while let Some(snapshot) = session.next_round() {
+        assert_eq!(
+            snapshot.round, observed_rounds,
+            "round skipped or reordered"
+        );
+        observed_rounds += 1;
+        for event in &snapshot.events {
+            if let RunEvent::PhaseChange { round, phase } = event {
+                phases.push((*round, *phase));
+            }
+        }
+    }
+    let out = session.finish().unwrap();
     let t = out.threshold();
+    assert_eq!(
+        observed_rounds, t.metrics.rounds,
+        "the sink must observe every round"
+    );
+    // The phase narration starts at round 0 and covers the paper's
+    // structure; the breakdown derived from it sums to the total.
+    assert_eq!(phases.first(), Some(&(0, "setup")), "{phases:?}");
+    assert!(phases.iter().any(|&(_, p)| p == "phase1"), "{phases:?}");
+    assert!(phases.iter().any(|&(_, p)| p == "phase2"), "{phases:?}");
+    assert_eq!(t.metrics.phase_rounds.len(), phases.len());
+    assert_eq!(
+        t.metrics.phase_rounds.iter().map(|p| p.rounds).sum::<u64>(),
+        t.metrics.rounds,
+        "per-phase rounds must sum to the total: {:?}",
+        t.metrics.phase_rounds
+    );
     assert_eq!(t.metrics.undelivered, 0);
     assert!(t.metrics.max_received_per_round <= t.metrics.capacity);
     // Structural threshold check: every node has at least ρ distinct
