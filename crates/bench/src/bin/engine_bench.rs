@@ -22,7 +22,7 @@
 
 use dgr_bench::drive::{CapacityPolicy, Engine, Kt0, Realization, SortBackend, Workload};
 use dgr_graphgen as graphgen;
-use dgr_ncc::{Config, EngineKind, Network, NullSink, RunMetrics};
+use dgr_ncc::{Config, EngineKind, EngineStats, Network, NullSink, RunMetrics};
 use dgr_primitives::proto::sort::SortStep;
 use dgr_primitives::proto::{EstablishCtx, PathToClique, StepProtocol, WithCtx};
 use dgr_primitives::sort::{self, Order};
@@ -31,9 +31,12 @@ use dgr_trees::TreeAlgo;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One measured configuration.
+/// One measured configuration. Besides the whole-run rows, `measure`
+/// derives `{workload}/{phase}` rows (step / route / deliver / learn)
+/// from the batched executor's phase timers, so the history gate tracks
+/// where inside the round loop a regression landed.
 struct Entry {
-    workload: &'static str,
+    workload: String,
     engine: &'static str,
     n: usize,
     rounds: u64,
@@ -111,40 +114,71 @@ fn request(workload: Workload, seed: u64, batched: bool, sort: SortBackend) -> R
         .seed(seed)
 }
 
-/// Times `repeats` runs of `run` (after one warm-up) and records an entry.
+/// Phase rows below this accumulated wall time are dropped: their
+/// rounds/sec is timer noise, and a noisy denominator would flap the 2x
+/// history gate (the gate only compares keys present in both records, so
+/// a dropped row simply never gates).
+const PHASE_FLOOR_NANOS: u64 = 10_000_000;
+
+/// Times `repeats` runs of `run` (after one warm-up) and records the
+/// whole-run entry plus, for the batched executor, one `{workload}/phase`
+/// entry per round-loop phase (step / route / deliver / learn) summed
+/// over the timed repeats. The threaded oracle reports all-zero phase
+/// timers and contributes no phase rows.
 fn measure(
-    workload: &'static str,
+    workload: &str,
     engine: &'static str,
     n: usize,
     repeats: u32,
-    run: impl Fn() -> RunMetrics,
-) -> Entry {
-    let warm = run();
+    run: impl Fn() -> (RunMetrics, EngineStats),
+) -> Vec<Entry> {
+    let (warm, _) = run();
+    let mut phase_nanos = [0u64; 4];
     let start = Instant::now();
     for _ in 0..repeats {
-        let metrics = run();
+        let (metrics, stats) = run();
         assert_eq!(metrics.rounds, warm.rounds, "non-deterministic workload");
+        phase_nanos[0] += stats.step_nanos;
+        phase_nanos[1] += stats.route_nanos;
+        phase_nanos[2] += stats.deliver_nanos;
+        phase_nanos[3] += stats.learn_nanos;
     }
-    Entry {
-        workload,
+    let rounds = warm.rounds * repeats as u64;
+    let mut entries = vec![Entry {
+        workload: workload.to_string(),
         engine,
         n,
-        rounds: warm.rounds * repeats as u64,
+        rounds,
         messages: warm.messages * repeats as u64,
         seconds: start.elapsed().as_secs_f64(),
+    }];
+    for (phase, nanos) in ["step", "route", "deliver", "learn"]
+        .into_iter()
+        .zip(phase_nanos)
+    {
+        if nanos >= PHASE_FLOOR_NANOS {
+            entries.push(Entry {
+                workload: format!("{workload}/{phase}"),
+                engine,
+                n,
+                rounds,
+                messages: 0,
+                seconds: nanos as f64 / 1e9,
+            });
+        }
     }
+    entries
 }
 
-fn warmup(n: usize, repeats: u32, batched: bool) -> Entry {
+fn warmup(n: usize, repeats: u32, batched: bool) -> Vec<Entry> {
     let net = Network::new(n, bench_config(42));
     measure("warmup", engine_name(batched), n, repeats, || {
-        if batched {
-            net.run_protocol(PathToClique::new).unwrap().metrics
+        let r = if batched {
+            net.run_protocol(PathToClique::new).unwrap()
         } else {
-            net.run_protocol_threaded(PathToClique::new)
-                .unwrap()
-                .metrics
-        }
+            net.run_protocol_threaded(PathToClique::new).unwrap()
+        };
+        (r.metrics, r.engine)
     })
 }
 
@@ -153,18 +187,19 @@ fn warmup(n: usize, repeats: u32, batched: bool) -> Entry {
 /// against the unobserved `warmup` row is the round-loop cost of the
 /// observability layer, which `main` gates at ≤ 2%; as a batched entry
 /// it also lands in the fingerprint-scoped `BENCH_history` trend.
-fn warmup_streaming(n: usize, repeats: u32) -> Entry {
+fn warmup_streaming(n: usize, repeats: u32) -> Vec<Entry> {
     let net = Network::new(n, bench_config(42));
     measure("warmup+nullsink", "batched", n, repeats, || {
         let mut sink = NullSink;
-        net.run_protocol_on(
-            EngineKind::Batched,
-            None,
-            Some(&mut sink),
-            PathToClique::new,
-        )
-        .unwrap()
-        .metrics
+        let r = net
+            .run_protocol_on(
+                EngineKind::Batched,
+                None,
+                Some(&mut sink),
+                PathToClique::new,
+            )
+            .unwrap();
+        (r.metrics, r.engine)
     })
 }
 
@@ -201,15 +236,17 @@ fn nullsink_overhead_pct(n: usize, pairs: u32) -> f64 {
     (ratios[ratios.len() / 2] - 1.0) * 100.0
 }
 
-fn establish(n: usize, repeats: u32, batched: bool) -> Entry {
+fn establish(n: usize, repeats: u32, batched: bool) -> Vec<Entry> {
     let net = Network::new(n, bench_config(43));
     measure("establish", engine_name(batched), n, repeats, || {
         if batched {
-            net.run_protocol(|_| StepProtocol::new(EstablishCtx::new()))
-                .unwrap()
-                .metrics
+            let r = net
+                .run_protocol(|_| StepProtocol::new(EstablishCtx::new()))
+                .unwrap();
+            (r.metrics, r.engine)
         } else {
-            net.run(|h| PathCtx::establish(h).position).unwrap().metrics
+            let r = net.run(|h| PathCtx::establish(h).position).unwrap();
+            (r.metrics, r.engine)
         }
     })
 }
@@ -223,7 +260,7 @@ fn dist_sort_with(
     repeats: u32,
     batched: bool,
     backend: SortBackend,
-) -> Entry {
+) -> Vec<Entry> {
     let mut config = bench_config(44);
     if matches!(backend, SortBackend::RandomizedLogN { .. }) {
         config = config.with_queueing();
@@ -231,37 +268,45 @@ fn dist_sort_with(
     let net = Network::new(n, config);
     measure(workload, engine_name(batched), n, repeats, || {
         if batched {
-            net.run_protocol(|_| {
-                WithCtx::new(move |ctx: &PathCtx, rctx: &mut dgr_ncc::RoundCtx<'_>| {
-                    SortStep::on_ctx(ctx, rctx.id() % 1000, Order::Descending, rctx.id(), backend)
+            let r = net
+                .run_protocol(|_| {
+                    WithCtx::new(move |ctx: &PathCtx, rctx: &mut dgr_ncc::RoundCtx<'_>| {
+                        SortStep::on_ctx(
+                            ctx,
+                            rctx.id() % 1000,
+                            Order::Descending,
+                            rctx.id(),
+                            backend,
+                        )
+                    })
                 })
-            })
-            .unwrap()
-            .metrics
+                .unwrap();
+            (r.metrics, r.engine)
         } else {
-            net.run(|h| {
-                let ctx = PathCtx::establish(h);
-                sort::sort_at(
-                    h,
-                    &ctx.vp,
-                    &ctx.contacts,
-                    ctx.position,
-                    h.id() % 1000,
-                    Order::Descending,
-                )
-                .rank
-            })
-            .unwrap()
-            .metrics
+            let r = net
+                .run(|h| {
+                    let ctx = PathCtx::establish(h);
+                    sort::sort_at(
+                        h,
+                        &ctx.vp,
+                        &ctx.contacts,
+                        ctx.position,
+                        h.id() % 1000,
+                        Order::Descending,
+                    )
+                    .rank
+                })
+                .unwrap();
+            (r.metrics, r.engine)
         }
     })
 }
 
-fn dist_sort(n: usize, repeats: u32, batched: bool) -> Entry {
+fn dist_sort(n: usize, repeats: u32, batched: bool) -> Vec<Entry> {
     dist_sort_with("sort", n, repeats, batched, SortBackend::Bitonic)
 }
 
-fn dist_sort_rand(n: usize, repeats: u32) -> Entry {
+fn dist_sort_rand(n: usize, repeats: u32) -> Vec<Entry> {
     dist_sort_with(
         "sort+rand",
         n,
@@ -277,17 +322,17 @@ fn degrees_with(
     repeats: u32,
     batched: bool,
     sort: SortBackend,
-) -> Entry {
+) -> Vec<Entry> {
     let degrees = graphgen::near_regular_sequence(n, 4, 9);
     measure(workload, engine_name(batched), n, repeats, || {
         let out = request(Workload::Implicit(degrees.clone()), 45, batched, sort)
             .run()
             .unwrap();
-        out.metrics().clone()
+        (out.metrics().clone(), out.engine_stats.clone())
     })
 }
 
-fn degrees(n: usize, repeats: u32, batched: bool) -> Entry {
+fn degrees(n: usize, repeats: u32, batched: bool) -> Vec<Entry> {
     degrees_with(
         "degrees-implicit",
         n,
@@ -297,7 +342,7 @@ fn degrees(n: usize, repeats: u32, batched: bool) -> Entry {
     )
 }
 
-fn degrees_rand(n: usize, repeats: u32) -> Entry {
+fn degrees_rand(n: usize, repeats: u32) -> Vec<Entry> {
     degrees_with(
         "degrees-implicit+rand",
         n,
@@ -313,7 +358,7 @@ fn tree_with(
     repeats: u32,
     batched: bool,
     sort: SortBackend,
-) -> Entry {
+) -> Vec<Entry> {
     let degrees = graphgen::random_tree_sequence(n, 11);
     measure(workload, engine_name(batched), n, repeats, || {
         let out = request(
@@ -327,15 +372,15 @@ fn tree_with(
         )
         .run()
         .unwrap();
-        out.metrics().clone()
+        (out.metrics().clone(), out.engine_stats.clone())
     })
 }
 
-fn tree(n: usize, repeats: u32, batched: bool) -> Entry {
+fn tree(n: usize, repeats: u32, batched: bool) -> Vec<Entry> {
     tree_with("tree-greedy", n, repeats, batched, SortBackend::Bitonic)
 }
 
-fn tree_rand(n: usize, repeats: u32) -> Entry {
+fn tree_rand(n: usize, repeats: u32) -> Vec<Entry> {
     tree_with(
         "tree-greedy+rand",
         n,
@@ -478,12 +523,12 @@ fn main() {
     // The threaded oracle tops out near 10^4 nodes (one OS thread each);
     // the driver workloads run it at 10^3 (hundreds of barrier rounds).
     eprintln!("threaded baselines ...");
-    entries.push(warmup(1_000, 5, false));
-    entries.push(warmup(10_000, 2, false));
-    entries.push(establish(1_000, 3, false));
-    entries.push(dist_sort(1_000, 2, false));
-    entries.push(degrees(1_000, 1, false));
-    entries.push(tree(1_000, 1, false));
+    entries.extend(warmup(1_000, 5, false));
+    entries.extend(warmup(10_000, 2, false));
+    entries.extend(establish(1_000, 3, false));
+    entries.extend(dist_sort(1_000, 2, false));
+    entries.extend(degrees(1_000, 1, false));
+    entries.extend(tree(1_000, 1, false));
 
     let warmup_sizes: &[(usize, u32)] = if quick {
         &[(1_000, 20), (10_000, 10), (100_000, 3)]
@@ -492,8 +537,8 @@ fn main() {
     };
     for &(n, repeats) in warmup_sizes {
         eprintln!("batched warmup n={n} ...");
-        entries.push(warmup(n, repeats, true));
-        entries.push(warmup_streaming(n, repeats));
+        entries.extend(warmup(n, repeats, true));
+        entries.extend(warmup_streaming(n, repeats));
     }
     // 16384 = 2^14 sits in both sweeps: it is the crossover point where
     // the Theorem 3 randomized backend must undercut the bitonic round
@@ -505,15 +550,15 @@ fn main() {
     };
     for &(n, repeats) in driver_sizes {
         eprintln!("batched primitives + drivers n={n} ...");
-        entries.push(establish(n, repeats, true));
-        entries.push(dist_sort(n, repeats, true));
-        entries.push(degrees(n, repeats, true));
-        entries.push(tree(n, repeats, true));
+        entries.extend(establish(n, repeats, true));
+        entries.extend(dist_sort(n, repeats, true));
+        entries.extend(degrees(n, repeats, true));
+        entries.extend(tree(n, repeats, true));
         // The Theorem 3 randomized backend, one row per sorting workload
         // (warmup/establish never sort).
-        entries.push(dist_sort_rand(n, repeats));
-        entries.push(degrees_rand(n, repeats));
-        entries.push(tree_rand(n, repeats));
+        entries.extend(dist_sort_rand(n, repeats));
+        entries.extend(degrees_rand(n, repeats));
+        entries.extend(tree_rand(n, repeats));
     }
     // The acceptance line for the randomized backend: strictly fewer
     // rounds than the bitonic network from n = 2^14 up.
@@ -647,9 +692,9 @@ fn main() {
 mod tests {
     use super::*;
 
-    fn entry(workload: &'static str, n: usize, rounds: u64, seconds: f64) -> Entry {
+    fn entry(workload: &str, n: usize, rounds: u64, seconds: f64) -> Entry {
         Entry {
-            workload,
+            workload: workload.to_string(),
             engine: "batched",
             n,
             rounds,

@@ -8,17 +8,42 @@
 //! construction and deterministic regardless of worker count. The
 //! **routing phase** is a stable counting sort by destination index
 //! (validate + count, prefix-sum, scatter) with capacity checks per
-//! bucket. The routing path is chosen **adaptively** per round from the
-//! previous round's delivered message volume: sparse rounds run the
+//! bucket. Rounds are classified **dense** or **sparse** from the
+//! previous round's delivered message volume — a pure function of the
+//! transcript, identical for every worker count: sparse rounds run the
 //! allocation-free inline path on the coordinating thread; dense rounds
-//! fan the validate-and-count and scatter passes out over the worker pool
-//! with per-worker count arrays — worker `w`'s region of every destination
-//! bucket precedes worker `w+1`'s, so bucket contents stay in dense source
-//! order and transcripts are bit-identical for every worker count and
-//! either path. All routing state lives in reusable buffers
+//! (when a worker pool exists) fan the validate-and-count and scatter
+//! passes out with per-worker count arrays — worker `w`'s region of every
+//! destination bucket precedes worker `w+1`'s, so bucket contents stay in
+//! dense source order and transcripts are bit-identical for every worker
+//! count and either path. All routing state lives in reusable buffers
 //! ([`RouteBuffers`](crate::route::RouteBuffers) and its per-worker
 //! scratch rows); at steady state a round allocates nothing on the
 //! single-worker path, and nothing per-message on the parallel path.
+//!
+//! **Parallel receive/learn sweeps.** The post-routing half of the round
+//! — queue delivery (or capacity checks) and the KT0 learn walk — fans
+//! out over the same worker pool on dense or wide rounds, using the same
+//! per-worker/deterministic-fold discipline as the routing passes: queue
+//! delivery is a two-phase measure-then-copy whose inbox/backlog arenas
+//! reproduce the sequential slot-order prefix layout exactly; capacity
+//! violations journal per worker and replay in worker order (= dense slot
+//! order), so a strict abort picks the same canonical first violation;
+//! learns apply in place inside each node's disjoint knowledge region,
+//! journaling only region re-homes for a sequential replay; and
+//! `max_received`/`max_queue_len`/`undelivered` are max/sum reductions.
+//! Transcripts, metrics and event streams are bit-identical to the
+//! sequential sweeps for every worker count.
+//!
+//! **Dense masked remap.** Masked runs remap the k participants to a
+//! dense `0..k` index space at run start: every index-addressed engine
+//! structure (routing counts, queue spans, knowledge regions, aliveness,
+//! worker scratch) is sized to k, not n, so deep masked prefix recursions
+//! pay for the sub-network they run. The resolver still answers in
+//! full-network indices; [`RoundCtx::send`](crate::RoundCtx) projects
+//! through the remap table at send time, marking masked-out recipients
+//! with a dedicated sentinel so the violation taxonomy (`NoSuchNode` vs
+//! `DeadRecipient`) is unchanged.
 //!
 //! **Live-slot compaction.** A node that returns [`Status::Done`] retires;
 //! its output moves to a side list and its slot stays behind as a dead
@@ -41,7 +66,7 @@
 //!
 //! **Events.** Every run narrates itself as a typed
 //! [`RunEvent`](crate::event) stream — round completions (with the
-//! adaptive route choice), protocol phase/stage marks, compactions, the
+//! dense/sparse route classification), protocol phase/stage marks, compactions, the
 //! final `Done` — through a shared [`Emitter`]. The executor keeps no
 //! separate statistics: [`EngineStats`](crate::EngineStats) and the
 //! per-phase round breakdown are derived by folding this stream through
@@ -57,14 +82,15 @@ use crate::message::NodeId;
 use crate::metrics::RunMetrics;
 use crate::network::{Network, RunResult};
 use crate::protocol::{NodeProtocol, NodeSeed, RoundCtx, Status};
-use crate::route::{QueueBuffers, RouteBuffers};
-use crate::wire::{WireEnvelope, NO_INDEX, WIRE_ADDRS, WIRE_WORDS};
+use crate::route::{QueueBuffers, RawSpans, RawU32, RouteBuffers};
+use crate::wire::{WireEnvelope, DEAD_INDEX, NO_INDEX, WIRE_ADDRS, WIRE_WORDS};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Raw pointer to the slot array, shared across routing workers. Each
 /// worker touches only its own disjoint slot range, making the aliasing
@@ -126,13 +152,22 @@ struct Slot<P: NodeProtocol> {
     stage_mark: Option<&'static str>,
 }
 
-/// A round is routed on the parallel path only when the previous round
-/// delivered at least this many messages *and* at least a quarter of a
-/// message per node: below that, the per-worker count-array resets and the
+/// A round is classified **dense** when the previous round delivered at
+/// least this many messages *and* at least a quarter of a message per
+/// node: below that, the per-worker count-array resets and the
 /// `O(workers + n)` fold cost more wall-clock than the inline walk saves.
-/// The choice is purely a scheduling decision — both paths produce
-/// bit-identical transcripts — so the heuristic can never affect results.
+/// The classification depends only on the transcript (never on the worker
+/// count), so the narrated [`RouteMode`] is bit-identical across worker
+/// counts; whether a dense round actually fans out over the pool is a
+/// separate, purely scheduling decision that cannot affect results.
 const PARALLEL_ROUTE_MIN_MSGS: u64 = 2048;
+
+/// The receive/learn sweeps additionally go parallel on *wide* rounds —
+/// ones whose slot window alone makes the `O(live)` walks worth
+/// fanning out even when little traffic flows (the long quiet phases of
+/// 10^6+-node runs). Like the routing heuristic this is pure scheduling:
+/// both sweep paths produce bit-identical transcripts and metrics.
+const PARALLEL_SWEEP_MIN_LIVE: usize = 1 << 15;
 
 /// Runs `factory`-built protocols on every participating node until all
 /// have returned [`Status::Done`]. `participants` masks nodes out of the
@@ -179,10 +214,34 @@ where
     };
     let all_ids_slice: Option<&[NodeId]> = all_ids.as_deref().map(Vec::as_slice);
 
-    // KT0 knowledge, seeded along the path of *participating* nodes.
+    // Dense masked remap: the k participants own indices 0..k in path
+    // order, and *every* index-addressed engine structure (routing counts
+    // and bucket starts, queue spans, knowledge regions, aliveness, the
+    // per-worker scratch rows) is sized to k — so a deep masked prefix
+    // recursion pays memory for the sub-network it actually runs, not for
+    // the full network it was carved from. `dense_of` projects the
+    // resolver's full-network index into this space once, at send time;
+    // DEAD_INDEX marks a real node outside the run (kept distinct from
+    // NO_INDEX so the violation taxonomy still matches the oracle's).
+    let k = participant_count;
+    let dense_of: Option<Vec<u32>> = participants.map(|mask| {
+        let mut map = vec![DEAD_INDEX; n];
+        let mut next = 0u32;
+        for (i, &p) in mask.iter().enumerate() {
+            if p {
+                map[i] = next;
+                next += 1;
+            }
+        }
+        map
+    });
+    let dense_of_slice: Option<&[u32]> = dense_of.as_deref();
+
+    // KT0 knowledge, seeded along the path of *participating* nodes
+    // (tracker rows are dense).
     let track = config.track_knowledge && config.model == Model::Ncc0;
-    let mut knowledge = KnowledgeTracker::new(n, track);
-    crate::knowledge::seed_path(&mut knowledge, ids, participating);
+    let mut knowledge = KnowledgeTracker::new(k, track);
+    crate::knowledge::seed_path_dense(&mut knowledge, ids, participating);
 
     // Build the node slots — participating nodes only; masked-out indices
     // never even get a slot (they are dead from round zero). The per-node
@@ -211,7 +270,7 @@ where
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(ids[i].wrapping_mul(0xBF58_476D_1CE4_E5B9));
         slots.push(Slot {
-            idx: i as u32,
+            idx: slots.len() as u32,
             id: ids[i],
             succ,
             alive: true,
@@ -232,11 +291,13 @@ where
     // can restore path order after any number of compactions.
     let mut done: Vec<(u32, NodeId, P::Output)> = Vec::with_capacity(live);
 
-    let mut alive_now: Vec<bool> = (0..n).map(&participating).collect();
-    let mut buffers = RouteBuffers::new(n);
+    // Dense space: every participant starts alive; masked-out nodes have
+    // no index at all (sends to them surface as DEAD_INDEX).
+    let mut alive_now: Vec<bool> = vec![true; k];
+    let mut buffers = RouteBuffers::new(k);
     let queue_mode = config.capacity_policy == CapacityPolicy::Queue;
     let strict = config.capacity_policy == CapacityPolicy::Strict;
-    let mut queues = QueueBuffers::new(if queue_mode { n } else { 0 });
+    let mut queues = QueueBuffers::new(if queue_mode { k } else { 0 });
     // Retired nodes whose receive queues still hold backlog: their queues
     // keep draining at `cap` per round into the undelivered counter,
     // exactly as when their slots still existed (the threaded oracle walks
@@ -263,17 +324,24 @@ where
         0 => rayon::current_num_threads(),
         w => w,
     }
-    .clamp(1, n.max(1));
+    .clamp(1, k.max(1));
     let resolver = net.resolver();
     // Previous round's delivered message count — drives the adaptive
     // inline-vs-parallel routing choice.
     let mut prev_round_messages: u64 = 0;
+    // Per-phase wall-clock accumulators (surfaced through `EngineStats`
+    // for `engine_bench`'s serial-fraction breakdown; an `Instant` pair
+    // per phase per round, no allocation).
+    let (mut step_nanos, mut route_nanos) = (0u64, 0u64);
+    let (mut deliver_nanos, mut learn_nanos) = (0u64, 0u64);
+    let (mut parallel_sweep_rounds, mut inline_sweep_rounds) = (0u64, 0u64);
 
     while live > 0 {
         let window = slots.len();
         let chunk = window.div_ceil(workers).max(1);
 
         // --- Step phase: poll every live protocol in parallel. ---
+        let t_phase = Instant::now();
         let finished = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
         let marked = AtomicBool::new(false);
@@ -316,6 +384,7 @@ where
                         inbox,
                         out,
                         resolver,
+                        dense_of: dense_of_slice,
                         phase_mark,
                         stage_mark,
                     };
@@ -370,6 +439,7 @@ where
                 });
             }
         }
+        step_nanos += t_phase.elapsed().as_nanos() as u64;
         if panicked.load(Ordering::Relaxed) {
             // Deterministic attribution: blame the lowest dense index.
             let (node, message) = slots
@@ -439,10 +509,16 @@ where
         // bucket contents stay in dense source order).
         let round = metrics.rounds;
         let mut round_messages: u64 = 0;
-        let parallel_route = workers > 1
-            && prev_round_messages >= PARALLEL_ROUTE_MIN_MSGS
+        let t_phase = Instant::now();
+        // The dense/sparse classification is a pure function of the
+        // previous round's volume — worker-count-invariant, so the
+        // narrated `route_mode` (and with it the raw event stream) is
+        // bit-identical across worker counts. Whether a dense round
+        // actually fans out is gated separately on the pool size.
+        let dense_round = prev_round_messages >= PARALLEL_ROUTE_MIN_MSGS
             && prev_round_messages >= (window as u64) / 4;
-        let route_mode = if parallel_route {
+        let parallel_route = workers > 1 && dense_round;
+        let route_mode = if dense_round {
             RouteMode::Parallel
         } else {
             RouteMode::Inline
@@ -465,9 +541,11 @@ where
                             Err(v) => {
                                 metrics.record_violation(strict, v)?;
                                 // Lenient policies still deliver when
-                                // physically possible (destination exists
-                                // and is alive).
-                                env.dst_idx != NO_INDEX && alive_now[env.dst_idx as usize]
+                                // physically possible (destination exists,
+                                // participates in this run, and is alive).
+                                env.dst_idx != NO_INDEX
+                                    && env.dst_idx != DEAD_INDEX
+                                    && alive_now[env.dst_idx as usize]
                             }
                         };
                     if deliver {
@@ -518,7 +596,7 @@ where
                     .enumerate()
                     .for_each(|(w, scratch_row)| {
                         let s = &mut scratch_row[0];
-                        s.begin_round(n);
+                        s.begin_round(k);
                         let lo = (w * chunk).min(window);
                         let hi = ((w + 1) * chunk).min(window);
                         for pos in lo..hi {
@@ -533,7 +611,9 @@ where
                                     Ok(()) => true,
                                     Err(v) => {
                                         s.violations.push(v);
-                                        env.dst_idx != NO_INDEX && alive_now[env.dst_idx as usize]
+                                        env.dst_idx != NO_INDEX
+                                            && env.dst_idx != DEAD_INDEX
+                                            && alive_now[env.dst_idx as usize]
                                     }
                                 };
                                 if deliver {
@@ -606,7 +686,23 @@ where
             }
         }
 
-        // --- Receive side: capacity policy per bucket. ---
+        route_nanos += t_phase.elapsed().as_nanos() as u64;
+
+        // --- Receive side: capacity policy per bucket. The post-routing
+        // sweeps over the slot window (queue delivery / capacity checks
+        // here, the learn sweep below) fan out over the worker pool on
+        // dense or wide rounds. Like the routing choice this is pure
+        // scheduling: both paths produce bit-identical inbox layouts,
+        // metrics, violations and knowledge (see the per-path notes), so
+        // the heuristic can never affect results.
+        let t_phase = Instant::now();
+        let parallel_sweep = workers > 1
+            && (round_messages >= PARALLEL_ROUTE_MIN_MSGS || window >= PARALLEL_SWEEP_MIN_LIVE);
+        if parallel_sweep {
+            parallel_sweep_rounds += 1;
+        } else {
+            inline_sweep_rounds += 1;
+        }
         if queue_mode {
             // Flat-arena FIFO backlog: carried spans merge with the round's
             // buckets, `cap` envelopes deliver, the rest re-queue — no
@@ -618,15 +714,148 @@ where
             // full dense sweep — only the inbox arena layout can differ,
             // and nothing observes it across nodes.
             queues.begin_round();
-            for slot in slots.iter_mut() {
-                if !slot.alive {
-                    continue;
+            if !parallel_sweep {
+                for slot in slots.iter_mut() {
+                    if !slot.alive {
+                        continue;
+                    }
+                    let i = slot.idx as usize;
+                    let (start, take, queued) = queues.deliver(i, buffers.bucket(i), cap);
+                    metrics.max_queue_len = metrics.max_queue_len.max(queued);
+                    slot.inbox_start = start;
+                    slot.inbox_len = take;
                 }
-                let i = slot.idx as usize;
-                let (start, take, queued) = queues.deliver(i, buffers.bucket(i), cap);
-                metrics.max_queue_len = metrics.max_queue_len.max(queued);
-                slot.inbox_start = start;
-                slot.inbox_len = take;
+            } else {
+                // Two-phase parallel delivery. Phase A measures each slot
+                // chunk — per-chunk delivered/queued totals plus max
+                // backlog — into the reusable chunk arrays; a sequential
+                // exclusive prefix turns the totals into chunk base
+                // offsets; phase B recomputes each slot's take from the
+                // same inputs and copies backlog-then-bucket at running
+                // cursors into disjoint arena regions. The resulting
+                // inbox and backlog arenas are the slot-order prefix
+                // layout the sequential walk produces — bit-identical,
+                // not merely equivalent — so inbox spans, FIFO contents
+                // and the carried spans match for every worker count.
+                let nchunks = window.div_ceil(chunk);
+                queues.ensure_chunks(nchunks);
+                {
+                    let QueueBuffers {
+                        spans,
+                        chunk_take,
+                        chunk_queue,
+                        chunk_qmax,
+                        ..
+                    } = &mut queues;
+                    let spans: &[(u32, u32)] = spans;
+                    let counts: &[u32] = &buffers.counts;
+                    let slots_ptr = RawSlots(slots.as_mut_ptr());
+                    let ct = RawU32(chunk_take.as_mut_ptr());
+                    let cq = RawU32(chunk_queue.as_mut_ptr());
+                    let cm = RawU32(chunk_qmax.as_mut_ptr());
+                    (0..nchunks).into_par_iter().for_each(|c| {
+                        let lo = c * chunk;
+                        let hi = ((c + 1) * chunk).min(window);
+                        let (mut take_sum, mut queue_sum, mut qmax) = (0u32, 0u32, 0u32);
+                        for pos in lo..hi {
+                            // Sound: this task owns slot range [lo, hi).
+                            let slot = unsafe { slots_ptr.slot(pos) };
+                            if !slot.alive {
+                                continue;
+                            }
+                            let i = slot.idx as usize;
+                            let total = spans[i].1 as usize + counts[i] as usize;
+                            let take = total.min(cap);
+                            let queued = (total - take) as u32;
+                            take_sum += take as u32;
+                            queue_sum += queued;
+                            qmax = qmax.max(queued);
+                        }
+                        // Sound: task `c` exclusively owns entry `c`.
+                        unsafe {
+                            ct.write(c, take_sum);
+                            cq.write(c, queue_sum);
+                            cm.write(c, qmax);
+                        }
+                    });
+                }
+                let (mut take_acc, mut queue_acc) = (0u32, 0u32);
+                for c in 0..nchunks {
+                    let (t, q) = (queues.chunk_take[c], queues.chunk_queue[c]);
+                    queues.chunk_take[c] = take_acc;
+                    queues.chunk_queue[c] = queue_acc;
+                    take_acc += t;
+                    queue_acc += q;
+                    metrics.max_queue_len =
+                        metrics.max_queue_len.max(queues.chunk_qmax[c] as usize);
+                }
+                queues.inbox.resize(take_acc as usize, WireEnvelope::EMPTY);
+                queues.next.resize(queue_acc as usize, WireEnvelope::EMPTY);
+                {
+                    let QueueBuffers {
+                        spans,
+                        cur,
+                        next,
+                        inbox,
+                        chunk_take,
+                        chunk_queue,
+                        ..
+                    } = &mut queues;
+                    let cur: &[WireEnvelope] = cur;
+                    let chunk_take: &[u32] = chunk_take;
+                    let chunk_queue: &[u32] = chunk_queue;
+                    let counts: &[u32] = &buffers.counts;
+                    let starts: &[u32] = &buffers.starts;
+                    let route_arena: &[WireEnvelope] = &buffers.arena;
+                    let slots_ptr = RawSlots(slots.as_mut_ptr());
+                    let spans_ptr = RawSpans(spans.as_mut_ptr());
+                    let inbox_ptr = RawArena(inbox.as_mut_ptr());
+                    let next_ptr = RawArena(next.as_mut_ptr());
+                    (0..nchunks).into_par_iter().for_each(|c| {
+                        let lo = c * chunk;
+                        let hi = ((c + 1) * chunk).min(window);
+                        let mut ic = chunk_take[c] as usize;
+                        let mut qc = chunk_queue[c] as usize;
+                        for pos in lo..hi {
+                            // Sound: this task owns slot range [lo, hi),
+                            // and dense index `i` belongs to exactly one
+                            // slot — so the slot, its span entry and its
+                            // cursor regions are all exclusively owned.
+                            let slot = unsafe { slots_ptr.slot(pos) };
+                            if !slot.alive {
+                                continue;
+                            }
+                            let i = slot.idx as usize;
+                            let (bs, bl) = unsafe { spans_ptr.read(i) };
+                            let backlog = &cur[bs as usize..(bs + bl) as usize];
+                            let fresh = &route_arena[starts[i] as usize..][..counts[i] as usize];
+                            let total = backlog.len() + fresh.len();
+                            let take = total.min(cap);
+                            let tb = take.min(backlog.len());
+                            slot.inbox_start = ic as u32;
+                            slot.inbox_len = take as u32;
+                            let next_start = qc as u32;
+                            // FIFO: backlog first, then the routed bucket.
+                            for &env in &backlog[..tb] {
+                                unsafe { inbox_ptr.write(ic, env) };
+                                ic += 1;
+                            }
+                            for &env in &fresh[..take - tb] {
+                                unsafe { inbox_ptr.write(ic, env) };
+                                ic += 1;
+                            }
+                            for &env in &backlog[tb..] {
+                                unsafe { next_ptr.write(qc, env) };
+                                qc += 1;
+                            }
+                            for &env in &fresh[take - tb..] {
+                                unsafe { next_ptr.write(qc, env) };
+                                qc += 1;
+                            }
+                            unsafe { spans_ptr.write(i, (next_start, (total - take) as u32)) };
+                        }
+                    });
+                }
             }
             let mut drained_any = false;
             for &idx in dead_backlog.iter() {
@@ -654,7 +883,7 @@ where
                 dead_backlog.retain(|&idx| queues.backlog_len(idx as usize) > 0);
             }
             queues.end_round();
-        } else {
+        } else if !parallel_sweep {
             for slot in slots.iter_mut() {
                 if !slot.alive {
                     continue;
@@ -675,31 +904,157 @@ where
                 slot.inbox_start = start;
                 slot.inbox_len = len;
             }
-        }
-
-        // --- Knowledge propagation + delivery metrics. ---
-        let delivery_arena: &[WireEnvelope] = if queue_mode {
-            &queues.inbox
         } else {
-            &buffers.arena
-        };
-        for slot in slots.iter() {
-            if !slot.alive {
-                continue;
+            // Parallel capacity check: per-worker violation journals,
+            // replayed in worker order below — worker ranges are
+            // contiguous and each worker records in slot order, so the
+            // concatenation is exactly the sequential sweep's order and a
+            // strict abort picks the same canonical first violation.
+            buffers.begin_parallel_round(workers);
+            {
+                let RouteBuffers {
+                    counts,
+                    starts,
+                    scratch,
+                    ..
+                } = &mut buffers;
+                let counts: &[u32] = counts;
+                let starts: &[u32] = starts;
+                let slots_ptr = RawSlots(slots.as_mut_ptr());
+                scratch[..workers]
+                    .par_chunks_mut(1)
+                    .enumerate()
+                    .for_each(|(w, scratch_row)| {
+                        let s = &mut scratch_row[0];
+                        s.violations.clear();
+                        let lo = (w * chunk).min(window);
+                        let hi = ((w + 1) * chunk).min(window);
+                        for pos in lo..hi {
+                            // Sound: this worker owns slot range [lo, hi).
+                            let slot = unsafe { slots_ptr.slot(pos) };
+                            if !slot.alive {
+                                continue;
+                            }
+                            let i = slot.idx as usize;
+                            let received = counts[i] as usize;
+                            if received > cap {
+                                s.violations.push(Violation {
+                                    round,
+                                    node: slot.id,
+                                    kind: ViolationKind::ReceiveCapacity { received, cap },
+                                });
+                            }
+                            slot.inbox_start = starts[i];
+                            slot.inbox_len = counts[i];
+                        }
+                    });
             }
-            let delivered = slot.inbox_len as usize;
-            metrics.max_received_per_round = metrics.max_received_per_round.max(delivered);
-            if knowledge.enabled() {
-                let i = slot.idx as usize;
-                let inbox = &delivery_arena[slot.inbox_start as usize..][..delivered];
-                for env in inbox {
-                    knowledge.learn(i, env.src);
-                    for &a in env.msg.addrs_slice() {
-                        knowledge.learn(i, a);
-                    }
+            for w in 0..workers {
+                for v in buffers.scratch[w].violations.drain(..) {
+                    metrics.record_violation(strict, v)?;
                 }
             }
         }
+        deliver_nanos += t_phase.elapsed().as_nanos() as u64;
+
+        // --- Knowledge propagation + delivery metrics. ---
+        let t_phase = Instant::now();
+        if !parallel_sweep {
+            let delivery_arena: &[WireEnvelope] = if queue_mode {
+                &queues.inbox
+            } else {
+                &buffers.arena
+            };
+            for slot in slots.iter() {
+                if !slot.alive {
+                    continue;
+                }
+                let delivered = slot.inbox_len as usize;
+                metrics.max_received_per_round = metrics.max_received_per_round.max(delivered);
+                if knowledge.enabled() {
+                    let i = slot.idx as usize;
+                    let inbox = &delivery_arena[slot.inbox_start as usize..][..delivered];
+                    for env in inbox {
+                        knowledge.learn(i, env.src);
+                        for &a in env.msg.addrs_slice() {
+                            knowledge.learn(i, a);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Parallel learn sweep: workers own disjoint slot chunks, and
+            // per-node knowledge regions are disjoint arena spans, so
+            // in-place learns never alias. The one mutation that moves
+            // memory *between* regions — re-homing a full region to the
+            // arena tail — is journaled per worker and replayed
+            // sequentially below. Region contents are sorted *sets*, so
+            // replay order cannot change what any node knows:
+            // `knows`/`knowledge_size`/`max_knowledge` are bit-identical
+            // to the sequential walk, only the unobservable arena layout
+            // may differ. The journals empty out once knowledge stops
+            // spreading, so a settled run allocates nothing here.
+            buffers.begin_parallel_round(workers);
+            let enabled = knowledge.enabled();
+            {
+                let RouteBuffers { arena, scratch, .. } = &mut buffers;
+                let delivery_arena: &[WireEnvelope] =
+                    if queue_mode { &queues.inbox } else { arena };
+                let slots_ptr = RawSlots(slots.as_mut_ptr());
+                let shard = knowledge.shard();
+                let shard = &shard;
+                scratch[..workers]
+                    .par_chunks_mut(1)
+                    .enumerate()
+                    .for_each(|(w, scratch_row)| {
+                        let s = &mut scratch_row[0];
+                        s.learns.clear();
+                        s.max_received = 0;
+                        let lo = (w * chunk).min(window);
+                        let hi = ((w + 1) * chunk).min(window);
+                        for pos in lo..hi {
+                            // Sound: this worker owns slot range [lo, hi).
+                            let slot = unsafe { slots_ptr.slot(pos) };
+                            if !slot.alive {
+                                continue;
+                            }
+                            let delivered = slot.inbox_len as usize;
+                            s.max_received = s.max_received.max(delivered);
+                            if !enabled {
+                                continue;
+                            }
+                            let i = slot.idx as usize;
+                            let inbox = &delivery_arena[slot.inbox_start as usize..][..delivered];
+                            for env in inbox {
+                                // Sound: slot chunks are disjoint and each
+                                // dense index belongs to exactly one slot,
+                                // so this worker exclusively owns region i.
+                                if !unsafe { shard.try_learn(i, env.src) } {
+                                    s.learns.push((slot.idx, env.src));
+                                }
+                                for &a in env.msg.addrs_slice() {
+                                    if !unsafe { shard.try_learn(i, a) } {
+                                        s.learns.push((slot.idx, a));
+                                    }
+                                }
+                            }
+                        }
+                    });
+            }
+            // Replay the deferred learns (full regions needing a re-home)
+            // and fold the per-worker delivery max. A learned set is
+            // order-independent and max is commutative, so both folds are
+            // deterministic for any worker count.
+            for w in 0..workers {
+                metrics.max_received_per_round = metrics
+                    .max_received_per_round
+                    .max(buffers.scratch[w].max_received);
+                for (node, id) in buffers.scratch[w].learns.drain(..) {
+                    knowledge.learn(node as usize, id);
+                }
+            }
+        }
+        learn_nanos += t_phase.elapsed().as_nanos() as u64;
 
         metrics.record_round(round_messages);
         emitter.emit(RunEvent::RoundCompleted {
@@ -719,17 +1074,30 @@ where
     // Undrained queues mean some protocol stopped listening too early.
     metrics.undelivered += queues.backlog_total();
     if knowledge.enabled() {
-        metrics.max_knowledge = (0..n)
-            .map(|i| knowledge.knowledge_size(i))
-            .max()
-            .unwrap_or(0);
+        // Fold over the dense participant space only (masked-out indices
+        // never had tracker rows), in parallel when the run is wide
+        // enough to make the fan-out pay.
+        let fold = |i: usize| knowledge.knowledge_size(i);
+        metrics.max_knowledge = if workers > 1 && k >= PARALLEL_SWEEP_MIN_LIVE {
+            (0..k).into_par_iter().map(fold).max().unwrap_or(0)
+        } else {
+            (0..k).map(fold).max().unwrap_or(0)
+        };
     }
     emitter.emit(RunEvent::Done {
         rounds: metrics.rounds,
         messages: metrics.messages,
     });
     metrics.phase_rounds = emitter.recorder.phase_rounds();
-    let stats = emitter.recorder.engine_stats();
+    let mut stats = emitter.recorder.engine_stats();
+    stats.dense_index_space = k;
+    stats.knowledge_arena = knowledge.arena_len();
+    stats.parallel_sweep_rounds = parallel_sweep_rounds;
+    stats.inline_sweep_rounds = inline_sweep_rounds;
+    stats.step_nanos = step_nanos;
+    stats.route_nanos = route_nanos;
+    stats.deliver_nanos = deliver_nanos;
+    stats.learn_nanos = learn_nanos;
 
     // Merge compacted-away outputs with the final window's, restoring
     // knowledge-path order by dense index.
@@ -772,7 +1140,10 @@ fn validate(
     if env.dst_idx == NO_INDEX {
         return Err(fail(ViolationKind::NoSuchNode { dst: env.dst }));
     }
-    if !alive[env.dst_idx as usize] {
+    // DEAD_INDEX: the ID exists in the full network but its node is not
+    // part of this (masked) run — dead from round zero, same taxonomy as
+    // the oracle. Otherwise the dense index is in bounds of `alive`.
+    if env.dst_idx == DEAD_INDEX || !alive[env.dst_idx as usize] {
         return Err(fail(ViolationKind::DeadRecipient { dst: env.dst }));
     }
     if !knowledge.knows(src_idx, env.dst) {

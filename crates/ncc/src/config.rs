@@ -83,11 +83,14 @@ pub struct Config {
     pub seed: u64,
     /// Safety valve: abort if the protocol runs longer than this many rounds.
     pub max_rounds: u64,
-    /// Worker threads for the batched executor's step phase: `0` (default)
-    /// sizes the pool to the machine, `1` forces the inline single-thread
-    /// path (useful for allocation probes and debugging). Results are
-    /// identical for every value — the step phase is data-race-free and
-    /// the routing pass is sequential.
+    /// Worker threads for the batched executor: `0` (default) sizes the
+    /// pool to the machine, `1` forces the inline single-thread paths
+    /// (useful for allocation probes and debugging). Covers the step
+    /// phase, dense-round routing, and the receive/learn sweeps. Results
+    /// are identical for every value — parallel passes write disjoint
+    /// regions and fold their reductions in a fixed order, and the
+    /// dense/sparse round classification is a pure function of the
+    /// transcript, so event streams are bit-identical too.
     pub worker_threads: usize,
 }
 

@@ -31,14 +31,18 @@
 
 use crate::metrics::{EngineStats, PhaseRounds};
 
-/// How the batched executor routed a round's messages. A pure scheduling
-/// decision — both paths produce bit-identical transcripts — surfaced so
-/// the adaptive router stays observable and testable.
+/// The batched executor's dense/sparse classification of a round. A pure
+/// function of the previous round's delivered volume — worker-count-
+/// invariant, so event streams stay bit-identical across pool sizes —
+/// surfaced so the adaptive router stays observable and testable. Whether
+/// a dense round *actually* fans out over the pool is gated separately on
+/// the worker count; both execution paths produce identical transcripts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RouteMode {
-    /// The allocation-free sequential routing path (sparse rounds).
+    /// Sparse round: routed on the allocation-free sequential path.
     Inline,
-    /// The per-worker count/scatter routing path (dense rounds).
+    /// Dense round: eligible for the per-worker count/scatter routing path
+    /// (executed inline anyway when the pool has a single worker).
     Parallel,
     /// The engine has no adaptive router (the threaded oracle).
     Unspecified,

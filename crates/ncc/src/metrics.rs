@@ -103,8 +103,15 @@ pub struct RunMetrics {
 /// these are **not** part of the model semantics — the threaded oracle
 /// reports all-zero stats — so they live outside the metrics the
 /// differential tests compare. They exist to make the batched executor's
-/// adaptive machinery (live-slot compaction, inline-vs-parallel routing)
-/// observable and testable.
+/// adaptive machinery (live-slot compaction, dense-vs-sparse round
+/// classification, the parallel receive/learn sweeps, the dense masked
+/// remap) observable and testable.
+///
+/// The route/sweep *round counters* and `dense_index_space` are
+/// deterministic given the configuration; the `*_nanos` phase timings and
+/// the sweep-path counters depend on wall clock and worker count and must
+/// never be compared across runs — they exist for `engine_bench`'s
+/// serial-fraction breakdown.
 #[derive(Clone, Debug, Default)]
 pub struct EngineStats {
     /// Number of live-slot compactions the step phase performed.
@@ -113,10 +120,35 @@ pub struct EngineStats {
     /// decreasing by construction (a compaction fires only once the live
     /// count has at least halved since the previous one).
     pub compaction_live: Vec<usize>,
-    /// Rounds routed on the inline (sequential) path.
+    /// Rounds classified sparse (routed inline regardless of worker
+    /// count). The classification depends only on the previous round's
+    /// delivered volume, so it is identical for every worker count.
     pub inline_route_rounds: u64,
-    /// Rounds routed on the parallel (per-worker count/scatter) path.
+    /// Rounds classified dense (fanned out over the worker pool when one
+    /// exists; still executed inline under a single worker).
     pub parallel_route_rounds: u64,
+    /// Size of the dense per-node index space the run allocated its
+    /// engine arrays (routing counts, queue spans, knowledge regions,
+    /// aliveness) for: the participant count `k` — equal to `n` on
+    /// unmasked runs, the sub-network size on masked runs. The dense
+    /// masked remap's memory claim is asserted through this.
+    pub dense_index_space: usize,
+    /// Final knowledge-arena length in IDs (0 when tracking is off).
+    /// Scales with `dense_index_space`, not network size.
+    pub knowledge_arena: usize,
+    /// Rounds whose receive/learn sweeps ran on the parallel path (a
+    /// scheduling decision — transcripts are identical either way).
+    pub parallel_sweep_rounds: u64,
+    /// Rounds whose receive/learn sweeps ran inline.
+    pub inline_sweep_rounds: u64,
+    /// Wall-clock nanoseconds spent in the step phase across the run.
+    pub step_nanos: u64,
+    /// Wall-clock nanoseconds spent validating + routing.
+    pub route_nanos: u64,
+    /// Wall-clock nanoseconds spent in queue delivery / capacity checks.
+    pub deliver_nanos: u64,
+    /// Wall-clock nanoseconds spent in the learn sweep + delivery fold.
+    pub learn_nanos: u64,
 }
 
 impl RunMetrics {

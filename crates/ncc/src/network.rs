@@ -368,6 +368,9 @@ mod threaded_runner {
                             inbox: &inbox,
                             out: &mut out,
                             resolver,
+                            // The threaded oracle keeps full-width per-node
+                            // state even on masked runs; no dense remap.
+                            dense_of: None,
                             phase_mark: &mut phase_mark,
                             stage_mark: &mut stage_mark,
                         };

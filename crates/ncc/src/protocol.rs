@@ -19,7 +19,7 @@
 use crate::config::Model;
 use crate::message::NodeId;
 use crate::route::Resolver;
-use crate::wire::{WireEnvelope, WireMsg, NO_INDEX};
+use crate::wire::{WireEnvelope, WireMsg, DEAD_INDEX, NO_INDEX};
 use rand::rngs::SmallRng;
 use std::sync::Arc;
 
@@ -96,6 +96,12 @@ pub struct RoundCtx<'a> {
     pub(crate) inbox: &'a [WireEnvelope],
     pub(crate) out: &'a mut Vec<WireEnvelope>,
     pub(crate) resolver: &'a Resolver,
+    /// Dense remap for masked batched runs: `dense_of[full]` is the 0..k
+    /// slot index of a participant, [`DEAD_INDEX`] for a masked-out node.
+    /// `None` means the resolver's index *is* the dense index (unmasked
+    /// batched runs, and the threaded oracle which keeps full-width
+    /// per-node arrays).
+    pub(crate) dense_of: Option<&'a [u32]>,
     pub(crate) phase_mark: &'a mut Option<&'static str>,
     pub(crate) stage_mark: &'a mut Option<&'static str>,
 }
@@ -184,7 +190,15 @@ impl RoundCtx<'_> {
     /// ID lookups at all; an unknown ID is carried through and surfaces as
     /// a [`NoSuchNode`](crate::ViolationKind::NoSuchNode) violation.
     pub fn send(&mut self, dst: NodeId, msg: WireMsg) {
-        let dst_idx = self.resolver.index_of(dst).unwrap_or(NO_INDEX);
+        let full_idx = self.resolver.index_of(dst).unwrap_or(NO_INDEX);
+        let dst_idx = match self.dense_of {
+            // Masked run: project the resolver's full-network index into
+            // the dense 0..k participant space (DEAD_INDEX marks a real
+            // node that is not in this run).
+            Some(map) if full_idx != NO_INDEX => map[full_idx as usize],
+            _ => full_idx,
+        };
+        debug_assert!(dst_idx != DEAD_INDEX || self.dense_of.is_some());
         self.out.push(WireEnvelope {
             src: self.id,
             msg,

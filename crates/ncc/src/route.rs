@@ -20,8 +20,8 @@ use rayon::prelude::*;
 
 /// Raw pointer to a `u32` buffer written by parallel tasks at disjoint
 /// indices (chunk sums / per-worker cursor rows partitioned by
-/// destination range).
-struct RawU32(*mut u32);
+/// destination range, and the delivery sweep's per-chunk totals).
+pub(crate) struct RawU32(pub(crate) *mut u32);
 unsafe impl Send for RawU32 {}
 unsafe impl Sync for RawU32 {}
 
@@ -29,7 +29,30 @@ impl RawU32 {
     /// # Safety
     ///
     /// `at` must be owned exclusively by the calling task.
-    unsafe fn write(&self, at: usize, v: u32) {
+    pub(crate) unsafe fn write(&self, at: usize, v: u32) {
+        unsafe { self.0.add(at).write(v) };
+    }
+}
+
+/// Raw pointer to the queue span table, read and written by the parallel
+/// delivery sweep at disjoint node indices (each dense index belongs to
+/// exactly one slot, and slots are partitioned into disjoint chunks).
+pub(crate) struct RawSpans(pub(crate) *mut (u32, u32));
+unsafe impl Send for RawSpans {}
+unsafe impl Sync for RawSpans {}
+
+impl RawSpans {
+    /// # Safety
+    ///
+    /// `at` must be owned exclusively by the calling task.
+    pub(crate) unsafe fn read(&self, at: usize) -> (u32, u32) {
+        unsafe { self.0.add(at).read() }
+    }
+
+    /// # Safety
+    ///
+    /// `at` must be owned exclusively by the calling task.
+    pub(crate) unsafe fn write(&self, at: usize, v: (u32, u32)) {
         unsafe { self.0.add(at).write(v) };
     }
 }
@@ -115,6 +138,15 @@ pub(crate) struct WorkerScratch {
     pub(crate) words: u64,
     /// Largest per-node send burst in this worker's range.
     pub(crate) max_sent: usize,
+    /// Largest per-node delivery in this worker's range (the receive
+    /// sweeps' half of the max fold; managed by the sweep, not
+    /// [`WorkerScratch::begin_round`]).
+    pub(crate) max_received: usize,
+    /// Learns the parallel learn sweep could not apply in place (the
+    /// node's region was full and needs re-homing, the one operation that
+    /// grows the arena) — replayed sequentially after the pass. Empty at
+    /// steady state, so a settled run never allocates through it.
+    pub(crate) learns: Vec<(u32, NodeId)>,
 }
 
 impl WorkerScratch {
@@ -323,13 +355,22 @@ impl RouteBuffers {
 #[derive(Debug, Default)]
 pub(crate) struct QueueBuffers {
     /// Per-node `(start, len)` span of its backlog in `cur`.
-    spans: Vec<(u32, u32)>,
+    pub(crate) spans: Vec<(u32, u32)>,
     /// Backlog carried over from the previous round.
-    cur: Vec<WireEnvelope>,
+    pub(crate) cur: Vec<WireEnvelope>,
     /// Backlog being assembled for the next round.
-    next: Vec<WireEnvelope>,
+    pub(crate) next: Vec<WireEnvelope>,
     /// The round's delivery arena (what inbox spans point into).
     pub(crate) inbox: Vec<WireEnvelope>,
+    /// Per-slot-chunk delivered totals of the parallel delivery sweep's
+    /// measuring pass (phase A writes totals, the sequential prefix turns
+    /// them into chunk base offsets for phase B). Reused across rounds.
+    pub(crate) chunk_take: Vec<u32>,
+    /// Per-slot-chunk re-queued totals (same protocol as `chunk_take`).
+    pub(crate) chunk_queue: Vec<u32>,
+    /// Per-slot-chunk max backlog length after delivery, folded into
+    /// `max_queue_len` on the coordinating thread (max is commutative).
+    pub(crate) chunk_qmax: Vec<u32>,
 }
 
 impl QueueBuffers {
@@ -339,6 +380,20 @@ impl QueueBuffers {
             cur: Vec::new(),
             next: Vec::new(),
             inbox: Vec::new(),
+            chunk_take: Vec::new(),
+            chunk_queue: Vec::new(),
+            chunk_qmax: Vec::new(),
+        }
+    }
+
+    /// Ensures the per-chunk arrays of the parallel delivery sweep can
+    /// hold `nchunks` entries (they never shrink — round-reused like
+    /// every other engine buffer).
+    pub(crate) fn ensure_chunks(&mut self, nchunks: usize) {
+        if self.chunk_take.len() < nchunks {
+            self.chunk_take.resize(nchunks, 0);
+            self.chunk_queue.resize(nchunks, 0);
+            self.chunk_qmax.resize(nchunks, 0);
         }
     }
 

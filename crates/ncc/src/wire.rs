@@ -21,6 +21,13 @@ pub const WIRE_ADDRS: usize = 2;
 /// Sentinel for an unresolved destination index.
 pub(crate) const NO_INDEX: u32 = u32::MAX;
 
+/// Sentinel for a destination that resolved to a real node which is not
+/// part of the current (masked) run. Distinct from [`NO_INDEX`] so the
+/// batched engine can keep the oracle's violation taxonomy — an unknown ID
+/// is `NoSuchNode`, a known-but-masked-out one is `DeadRecipient` — after
+/// remapping participants to a dense 0..k index space.
+pub(crate) const DEAD_INDEX: u32 = u32::MAX - 1;
+
 /// A message with inline payload: tag + up to [`WIRE_WORDS`] words + up to
 /// [`WIRE_ADDRS`] addresses.
 ///
@@ -181,7 +188,10 @@ pub struct WireEnvelope {
     pub msg: WireMsg,
     /// Destination ID as addressed by the sender.
     pub(crate) dst: NodeId,
-    /// Dense destination index ([`NO_INDEX`] = unresolved / undeliverable).
+    /// Dense destination index, resolved at send time: a `0..k` slot
+    /// index in the run's (possibly masked) participant space.
+    /// [`NO_INDEX`] = unresolved, [`DEAD_INDEX`] = a real node outside
+    /// the masked participant set.
     pub(crate) dst_idx: u32,
 }
 

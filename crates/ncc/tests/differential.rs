@@ -110,6 +110,122 @@ fn strict_violations_abort_both_engines_identically() {
     }
 }
 
+/// Runs the batched engine once per worker count and asserts outputs,
+/// metrics, and the RAW event stream — `route_mode` narration included,
+/// no semantic projection — are bit-identical. This is the worker-count
+/// half of the differential story: the parallel routing/receive/learn
+/// sweeps must be unobservable except through wall clock.
+fn assert_worker_matrix(n: usize, config: &Config, base: u64, stagger: u64, fan: usize) {
+    let run = |workers: usize| {
+        let net = Network::new(n, config.clone().with_worker_threads(workers));
+        let mut events = Recording::new();
+        let result: RunResult<u64> = net
+            .run_protocol_on(EngineKind::Batched, None, Some(&mut events), |s| {
+                Gossip::new(s, base, stagger, fan)
+            })
+            .unwrap();
+        (result, events.events().to_vec())
+    };
+    let (result_1, events_1) = run(1);
+    for workers in [2, 8] {
+        let (result_w, events_w) = run(workers);
+        assert_eq!(
+            result_1.outputs, result_w.outputs,
+            "transcripts diverge at {workers} workers (n={n})"
+        );
+        assert_eq!(
+            result_1.metrics, result_w.metrics,
+            "metrics diverge at {workers} workers (n={n})"
+        );
+        assert_eq!(
+            events_1, events_w,
+            "raw event streams diverge at {workers} workers (n={n})"
+        );
+        assert_eq!(
+            result_1.engine.parallel_route_rounds, result_w.engine.parallel_route_rounds,
+            "dense/sparse classification must be worker-count-invariant"
+        );
+        assert!(
+            result_w.engine.parallel_sweep_rounds > 0,
+            "matrix sizes are chosen to engage the parallel sweeps (n={n})"
+        );
+    }
+}
+
+#[test]
+fn worker_matrix_queue_mode_tracked() {
+    // Queue pacing + knowledge tracking: the two-phase parallel deliver
+    // pass must reproduce the sequential FIFO layout bit-for-bit.
+    let mut config = Config::ncc0(71);
+    config.capacity_policy = CapacityPolicy::Queue;
+    assert_worker_matrix(6_000, &config, 10, 0, 3);
+}
+
+#[test]
+fn worker_matrix_compacting_record_tracked() {
+    // Staggered lifetimes drive live-slot compactions mid-run; the sweeps
+    // must stay sound across slot re-homing, and the compaction narration
+    // itself is part of the raw stream being compared.
+    let mut config = Config::ncc0(72);
+    config.capacity_policy = CapacityPolicy::Record;
+    assert_worker_matrix(6_000, &config, 8, 6, 3);
+}
+
+#[test]
+fn worker_matrix_strict_kt0_clean() {
+    // Strict KT0 over the successor chain: clean traffic, tracked, and the
+    // parallel capacity-check pass must find nothing at every pool size.
+    let config = Config::ncc0(73);
+    assert_worker_matrix(6_000, &config, 10, 0, 1);
+}
+
+#[test]
+fn strict_abort_blames_the_same_violation_at_every_worker_count() {
+    // Overloaded fan-in under Strict: the parallel capacity check journals
+    // violations per worker and replays them in dense slot order, so the
+    // aborting violation must be the canonical first one regardless of
+    // how the pass was partitioned.
+    let run = |workers: usize| {
+        let config = Config::ncc0(74)
+            .with_capacity_factor(0.5)
+            .with_worker_threads(workers);
+        let net = Network::new(6_000, config);
+        match net.run_protocol(|s| Gossip::new(s, 10, 0, 6)) {
+            Err(SimError::Violation(v)) => v,
+            other => panic!(
+                "expected a strict violation, got {:?}",
+                other.map(|r| r.metrics.rounds)
+            ),
+        }
+    };
+    let first = run(1);
+    for workers in [2, 8] {
+        assert_eq!(
+            first,
+            run(workers),
+            "canonical first violation diverges at {workers} workers"
+        );
+    }
+}
+
+/// The ISSUE-scale matrix: 10^5 nodes through the same three configs.
+/// Release-mode only (`--ignored`); the in-tree 6k matrix above covers
+/// the same paths on every `cargo test`.
+#[test]
+#[ignore = "release-scale worker matrix; run with --ignored"]
+fn worker_matrix_at_n_100k() {
+    let mut queue = Config::ncc0(81);
+    queue.capacity_policy = CapacityPolicy::Queue;
+    assert_worker_matrix(100_000, &queue, 8, 0, 3);
+
+    let mut compacting = Config::ncc0(82);
+    compacting.capacity_policy = CapacityPolicy::Record;
+    assert_worker_matrix(100_000, &compacting, 6, 5, 3);
+
+    let strict = Config::ncc0(83);
+    assert_worker_matrix(100_000, &strict, 8, 0, 1);
+}
+
 #[test]
 fn masked_participants_agree_with_full_run_shape() {
     // A masked batched run must produce a clean sub-network transcript;
@@ -125,4 +241,36 @@ fn masked_participants_agree_with_full_run_shape() {
     assert_eq!(result.outputs.len(), 20);
     // All traffic stayed within the participating sub-network.
     assert!(result.metrics.violations.bad_recipient == 0);
+    // The dense masked remap sizes every engine array for the k=20
+    // participants, not the 30-node network.
+    assert_eq!(result.engine.dense_index_space, 20);
+}
+
+#[test]
+fn masked_runs_size_state_with_participants_not_network() {
+    // The dense-remap memory claim, differentially: the same 256-node
+    // sub-network embedded in networks of growing size must report the
+    // same dense index space and the same knowledge-arena footprint —
+    // masked state scales with k, not n.
+    let run = |n: usize| {
+        let mut config = Config::ncc0(55).with_sequential_ids();
+        config.capacity_policy = CapacityPolicy::Record;
+        let net = Network::new(n, config);
+        let mask: Vec<bool> = (0..n).map(|i| i < 256).collect();
+        net.run_protocol_masked(&mask, |s| Gossip::new(s, 8, 0, 2))
+            .unwrap()
+    };
+    let small = run(512);
+    let large = run(8_192);
+    assert_eq!(small.engine.dense_index_space, 256);
+    assert_eq!(large.engine.dense_index_space, 256);
+    assert_eq!(
+        small.engine.knowledge_arena, large.engine.knowledge_arena,
+        "knowledge arena must not grow with the masked-out remainder"
+    );
+    assert!(small.engine.knowledge_arena > 0, "tracking was on");
+    assert_eq!(
+        small.outputs, large.outputs,
+        "sequential IDs: the embedded sub-network's transcript is n-invariant"
+    );
 }

@@ -809,7 +809,8 @@ pub struct RoundSnapshot {
     pub delivered: u64,
     /// Nodes still live after the round's step phase.
     pub live: usize,
-    /// Routing path the batched executor chose (scheduling detail;
+    /// The batched executor's dense/sparse classification of this round
+    /// (worker-count-invariant scheduling detail;
     /// [`RouteMode::Unspecified`] on the threaded oracle).
     pub route_mode: RouteMode,
     /// Events emitted since the previous snapshot, excluding the

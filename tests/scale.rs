@@ -102,6 +102,57 @@ fn batched_warmup_at_n_1m() {
     assert_eq!(result.outputs.len(), n);
 }
 
+/// The release-mode tracked smoke CI runs on every push: the 200k NCC₀
+/// warm-up with the full knowledge tracker **and** the queue capacity
+/// policy — the configuration that exercises the two-phase parallel
+/// deliver pass, the parallel learn sweep, and the arena tracker's
+/// in-place/re-home split all at once.
+#[test]
+fn tracked_queue_warmup_at_n_200k() {
+    let n = 200_000;
+    let mut config = Config::ncc0(29);
+    config.capacity_policy = CapacityPolicy::Queue;
+    let net = Network::new(n, config);
+    let result = net
+        .run_protocol(primitives::proto::PathToClique::new)
+        .unwrap();
+    assert!(result.metrics.is_clean());
+    assert_eq!(
+        result.metrics.rounds,
+        primitives::proto::clique::rounds_for(n)
+    );
+    assert!(
+        result.metrics.max_knowledge > 0,
+        "tracking was on; knowledge must accumulate"
+    );
+    // Unmasked run: the dense index space is the whole network, and the
+    // knowledge arena grew to hold every node's contact set.
+    assert_eq!(result.engine.dense_index_space, n);
+    assert!(result.engine.knowledge_arena >= n);
+}
+
+/// The road-to-10⁷ milestone: the NCC₀ path-to-clique warm-up at ten
+/// million nodes. Flat slot/arena state, the compact live-slot walk and
+/// the parallel sweeps keep the round loop linear in live traffic; run
+/// under `--ignored` (release mode required in practice).
+#[test]
+#[ignore = "eight-digit n; run with --ignored in release mode"]
+fn batched_warmup_at_n_10m() {
+    let n = 10_000_000;
+    let mut config = Config::ncc0(31);
+    config.track_knowledge = false;
+    let net = Network::new(n, config);
+    let result = net
+        .run_protocol(primitives::proto::PathToClique::new)
+        .unwrap();
+    assert!(result.metrics.is_clean());
+    assert_eq!(
+        result.metrics.rounds,
+        primitives::proto::clique::rounds_for(n)
+    );
+    assert_eq!(result.outputs.len(), n);
+}
+
 /// The batched NCC1 star construction at 100k nodes, verified
 /// structurally (full max-flow certification is `O(n)` Dinic runs and
 /// lives in the small-`n` driver tests).
@@ -173,8 +224,11 @@ fn batched_explicit_realization_at_n_200k() {
 /// The acceptance-scale realization: Algorithm 3 end to end — explicit
 /// hand-off included — at one million nodes, an order of magnitude past
 /// the pre-interning drivers' memory ceiling. Arc-interned per-node
-/// tables, lazy outboxes and live-slot compaction are what keep the
-/// footprint bounded; run under `--ignored` (release mode recommended).
+/// tables, lazy outboxes and live-slot compaction keep the footprint
+/// bounded, and since the arena knowledge tracker + parallel learn sweep
+/// the run carries **full KT0 tracking** too — a million-node run is now
+/// also a million-node legality certificate. Run under `--ignored`
+/// (release mode recommended).
 #[test]
 #[ignore = "seven-digit n; run with --ignored (release mode recommended)"]
 fn batched_explicit_realization_at_n_1m() {
@@ -183,10 +237,14 @@ fn batched_explicit_realization_at_n_1m() {
     let out = Realization::new(Workload::Explicit(degrees))
         .seed(81)
         .sequential_ids()
-        .tracking(Kt0::Untracked)
+        .tracking(Kt0::Tracked)
         .run()
         .unwrap();
     let r = out.degrees().expect_realized();
+    assert!(
+        r.metrics.max_knowledge > 0,
+        "tracking was on; the learn sweep must have recorded knowledge"
+    );
     assert_eq!(r.graph.edge_count(), n / 2);
     realization::verify::degrees_match(&r.graph, &r.requested).unwrap();
     assert_eq!(r.metrics.undelivered, 0);
