@@ -122,9 +122,10 @@ const PHASE_FLOOR_NANOS: u64 = 10_000_000;
 
 /// Times `repeats` runs of `run` (after one warm-up) and records the
 /// whole-run entry plus, for the batched executor, one `{workload}/phase`
-/// entry per round-loop phase (step / route / deliver / learn) summed
-/// over the timed repeats. The threaded oracle reports all-zero phase
-/// timers and contributes no phase rows.
+/// entry per round-loop phase (step / route / exchange / deliver / learn
+/// — exchange is only non-zero on ownership-sharded rows) summed over
+/// the timed repeats. The threaded oracle reports all-zero phase timers
+/// and contributes no phase rows.
 fn measure(
     workload: &str,
     engine: &'static str,
@@ -133,15 +134,16 @@ fn measure(
     run: impl Fn() -> (RunMetrics, EngineStats),
 ) -> Vec<Entry> {
     let (warm, _) = run();
-    let mut phase_nanos = [0u64; 4];
+    let mut phase_nanos = [0u64; 5];
     let start = Instant::now();
     for _ in 0..repeats {
         let (metrics, stats) = run();
         assert_eq!(metrics.rounds, warm.rounds, "non-deterministic workload");
         phase_nanos[0] += stats.step_nanos;
         phase_nanos[1] += stats.route_nanos;
-        phase_nanos[2] += stats.deliver_nanos;
-        phase_nanos[3] += stats.learn_nanos;
+        phase_nanos[2] += stats.exchange_nanos;
+        phase_nanos[3] += stats.deliver_nanos;
+        phase_nanos[4] += stats.learn_nanos;
     }
     let rounds = warm.rounds * repeats as u64;
     let mut entries = vec![Entry {
@@ -152,7 +154,7 @@ fn measure(
         messages: warm.messages * repeats as u64,
         seconds: start.elapsed().as_secs_f64(),
     }];
-    for (phase, nanos) in ["step", "route", "deliver", "learn"]
+    for (phase, nanos) in ["step", "route", "exchange", "deliver", "learn"]
         .into_iter()
         .zip(phase_nanos)
     {
@@ -178,6 +180,22 @@ fn warmup(n: usize, repeats: u32, batched: bool) -> Vec<Entry> {
         } else {
             net.run_protocol_threaded(PathToClique::new).unwrap()
         };
+        (r.metrics, r.engine)
+    })
+}
+
+/// The ownership-sharded sweep rows: the batched warm-up split across
+/// `shards` per-shard arenas joined by the boundary-exchange phase.
+/// Transcripts are bit-identical to the unsharded `warmup` row (the
+/// shard-matrix differential suite proves it), so the `warmup+shardsS`
+/// history keys track the pure layout cost/benefit per shard count —
+/// and the `/exchange` phase row under them isolates the all-to-all
+/// splice itself.
+fn warmup_sharded(n: usize, repeats: u32, shards: usize) -> Vec<Entry> {
+    let net = Network::new(n, bench_config(42).with_shards(shards));
+    let workload = format!("warmup+shards{shards}");
+    measure(&workload, "batched", n, repeats, || {
+        let r = net.run_protocol(PathToClique::new).unwrap();
         (r.metrics, r.engine)
     })
 }
@@ -539,6 +557,10 @@ fn main() {
         eprintln!("batched warmup n={n} ...");
         entries.extend(warmup(n, repeats, true));
         entries.extend(warmup_streaming(n, repeats));
+        for shards in [2, 4, 8] {
+            eprintln!("batched warmup n={n} shards={shards} ...");
+            entries.extend(warmup_sharded(n, repeats, shards));
+        }
     }
     // 16384 = 2^14 sits in both sweeps: it is the crossover point where
     // the Theorem 3 randomized backend must undercut the bitonic round

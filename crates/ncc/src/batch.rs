@@ -129,27 +129,172 @@ impl RawArena {
 /// One node's state under the batched executor. Slots are created only for
 /// participating nodes and live in dense-index order; compaction drops
 /// retired slots but never reorders the survivors, so iterating the slot
-/// array *is* iterating the live nodes in canonical dense order.
-struct Slot<P: NodeProtocol> {
+/// array *is* iterating the live nodes in canonical dense order. Shared
+/// with the ownership-sharded engine (`shard.rs`), where each shard owns
+/// the slots of one contiguous dense-index range.
+pub(crate) struct Slot<P: NodeProtocol> {
     /// This node's dense index (position on the full `G_k` path) — the
     /// stable key into every index-addressed engine structure, surviving
-    /// any compaction reorder of the slot array itself.
-    idx: u32,
-    id: NodeId,
-    succ: Option<NodeId>,
-    alive: bool,
-    rounds: u64,
-    inbox_start: u32,
-    inbox_len: u32,
-    rng: SmallRng,
-    out: Vec<WireEnvelope>,
-    proto: Option<P>,
-    output: Option<P::Output>,
-    panic: Option<String>,
+    /// any compaction reorder of the slot array itself. Global even under
+    /// the sharded layout (shards rebase to local indices at use sites).
+    pub(crate) idx: u32,
+    pub(crate) id: NodeId,
+    pub(crate) succ: Option<NodeId>,
+    pub(crate) alive: bool,
+    pub(crate) rounds: u64,
+    pub(crate) inbox_start: u32,
+    pub(crate) inbox_len: u32,
+    pub(crate) rng: SmallRng,
+    pub(crate) out: Vec<WireEnvelope>,
+    pub(crate) proto: Option<P>,
+    pub(crate) output: Option<P::Output>,
+    pub(crate) panic: Option<String>,
     /// Phase/stage marks staged by this round's step (cleared per round;
     /// discarded when the step retires the node).
-    phase_mark: Option<&'static str>,
-    stage_mark: Option<&'static str>,
+    pub(crate) phase_mark: Option<&'static str>,
+    pub(crate) stage_mark: Option<&'static str>,
+}
+
+impl<P: NodeProtocol> Slot<P> {
+    /// A fresh slot at dense index `idx`. The per-node RNG stream
+    /// derivation matches `NodeHandle::new`, so a protocol draws
+    /// identical randomness on either engine and under either layout.
+    pub(crate) fn new(
+        idx: u32,
+        id: NodeId,
+        succ: Option<NodeId>,
+        config_seed: u64,
+        proto: P,
+    ) -> Self {
+        let mix = config_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        Slot {
+            idx,
+            id,
+            succ,
+            alive: true,
+            rounds: 0,
+            inbox_start: 0,
+            inbox_len: 0,
+            rng: SmallRng::seed_from_u64(mix),
+            out: Vec::new(),
+            proto: Some(proto),
+            output: None,
+            panic: None,
+            phase_mark: None,
+            stage_mark: None,
+        }
+    }
+}
+
+/// The per-run constants a [`step_slot`] call needs to build a
+/// [`RoundCtx`] — bundled so the monolithic and sharded engines drive the
+/// exact same step-phase code.
+pub(crate) struct StepShared<'a> {
+    pub(crate) n: usize,
+    pub(crate) participants: usize,
+    pub(crate) cap: usize,
+    pub(crate) model: Model,
+    pub(crate) all_ids: Option<&'a [NodeId]>,
+    pub(crate) resolver: &'a crate::route::Resolver,
+    pub(crate) dense_of: Option<&'a [u32]>,
+}
+
+/// What stepping one slot did (the caller folds these into its own
+/// finished/panicked/marked accounting).
+pub(crate) enum StepOutcome {
+    /// The slot was already retired; nothing ran.
+    Skipped,
+    /// The protocol continues; `marked` = it staged a phase/stage mark.
+    Running { marked: bool },
+    /// The protocol retired this step — by returning
+    /// [`Status::Done`] or by panicking (`slot.panic` holds the message).
+    Finished { panicked: bool },
+}
+
+/// Steps one live slot: builds the [`RoundCtx`] over the slot's inbox
+/// span of `arena`, polls the protocol (catching panics), and applies the
+/// status to the slot. Identical logic for the monolithic and sharded
+/// engines — the transcript cannot depend on the arena layout because a
+/// node only ever sees its own span.
+pub(crate) fn step_slot<P: NodeProtocol>(
+    slot: &mut Slot<P>,
+    arena: &[WireEnvelope],
+    sh: &StepShared<'_>,
+) -> StepOutcome {
+    if !slot.alive {
+        return StepOutcome::Skipped;
+    }
+    let inbox = &arena[slot.inbox_start as usize..][..slot.inbox_len as usize];
+    slot.out.clear();
+    slot.phase_mark = None;
+    slot.stage_mark = None;
+    let status = {
+        let Slot {
+            id,
+            succ,
+            rounds,
+            rng,
+            out,
+            proto,
+            phase_mark,
+            stage_mark,
+            ..
+        } = slot;
+        let mut ctx = RoundCtx {
+            id: *id,
+            n: sh.n,
+            participants: sh.participants,
+            capacity: sh.cap,
+            model: sh.model,
+            initial_successor: *succ,
+            all_ids: sh.all_ids,
+            round: *rounds,
+            rng,
+            inbox,
+            out,
+            resolver: sh.resolver,
+            dense_of: sh.dense_of,
+            phase_mark,
+            stage_mark,
+        };
+        let proto = proto.as_mut().expect("live node without protocol");
+        std::panic::catch_unwind(AssertUnwindSafe(|| proto.step(&mut ctx)))
+    };
+    match status {
+        Ok(Status::Continue) => {
+            slot.rounds += 1;
+            StepOutcome::Running {
+                marked: slot.phase_mark.is_some() || slot.stage_mark.is_some(),
+            }
+        }
+        Ok(Status::Done(out)) => {
+            debug_assert!(
+                slot.out.is_empty(),
+                "node {} staged sends in a Done step (discarded)",
+                slot.id
+            );
+            slot.output = Some(out);
+            slot.proto = None;
+            slot.alive = false;
+            slot.out.clear();
+            slot.inbox_len = 0;
+            slot.phase_mark = None;
+            slot.stage_mark = None;
+            StepOutcome::Finished { panicked: false }
+        }
+        Err(payload) => {
+            slot.panic = Some(panic_message(payload.as_ref()));
+            slot.proto = None;
+            slot.alive = false;
+            slot.out.clear();
+            slot.inbox_len = 0;
+            slot.phase_mark = None;
+            slot.stage_mark = None;
+            StepOutcome::Finished { panicked: true }
+        }
+    }
 }
 
 /// A round is classified **dense** when the previous round delivered at
@@ -160,14 +305,14 @@ struct Slot<P: NodeProtocol> {
 /// count), so the narrated [`RouteMode`] is bit-identical across worker
 /// counts; whether a dense round actually fans out over the pool is a
 /// separate, purely scheduling decision that cannot affect results.
-const PARALLEL_ROUTE_MIN_MSGS: u64 = 2048;
+pub(crate) const PARALLEL_ROUTE_MIN_MSGS: u64 = 2048;
 
 /// The receive/learn sweeps additionally go parallel on *wide* rounds —
 /// ones whose slot window alone makes the `O(live)` walks worth
 /// fanning out even when little traffic flows (the long quiet phases of
 /// 10^6+-node runs). Like the routing heuristic this is pure scheduling:
 /// both sweep paths produce bit-identical transcripts and metrics.
-const PARALLEL_SWEEP_MIN_LIVE: usize = 1 << 15;
+pub(crate) const PARALLEL_SWEEP_MIN_LIVE: usize = 1 << 15;
 
 /// Runs `factory`-built protocols on every participating node until all
 /// have returned [`Status::Done`]. `participants` masks nodes out of the
@@ -184,6 +329,13 @@ where
     F: Fn(&NodeSeed<'_>) -> P + Sync,
 {
     let config: &Config = net.config();
+    if config.shards > 1 {
+        // Ownership-sharded layout: per-shard slot arenas joined by a
+        // deterministic boundary-exchange phase. Bit-identical transcripts,
+        // metrics and raw event streams — `shard::run` clamps the shard
+        // count to the participant space.
+        return crate::shard::run(net, participants, sink, factory);
+    }
     let ids = net.ids_in_path_order();
     let n = ids.len();
     let cap = config.capacity(n);
@@ -244,12 +396,10 @@ where
     crate::knowledge::seed_path_dense(&mut knowledge, ids, participating);
 
     // Build the node slots — participating nodes only; masked-out indices
-    // never even get a slot (they are dead from round zero). The per-node
-    // RNG stream derivation matches `NodeHandle::new`, so a protocol draws
-    // identical randomness on either engine. Outboxes start empty and grow
-    // to each node's actual burst size (pre-reserving `cap + 1` per slot
-    // would cost ~3 KB x n at the 10^6 scale for protocols that never
-    // fan out that far).
+    // never even get a slot (they are dead from round zero). Outboxes
+    // start empty and grow to each node's actual burst size (pre-reserving
+    // `cap + 1` per slot would cost ~3 KB x n at the 10^6 scale for
+    // protocols that never fan out that far).
     let mut slots: Vec<Slot<P>> = Vec::with_capacity(participant_count);
     for i in 0..n {
         if !participating(i) {
@@ -265,26 +415,13 @@ where
             initial_successor: succ,
             all_ids: all_ids.as_ref(),
         };
-        let mix = config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(ids[i].wrapping_mul(0xBF58_476D_1CE4_E5B9));
-        slots.push(Slot {
-            idx: slots.len() as u32,
-            id: ids[i],
+        slots.push(Slot::new(
+            slots.len() as u32,
+            ids[i],
             succ,
-            alive: true,
-            rounds: 0,
-            inbox_start: 0,
-            inbox_len: 0,
-            rng: SmallRng::seed_from_u64(mix),
-            out: Vec::new(),
-            proto: Some(factory(&seed)),
-            output: None,
-            panic: None,
-            phase_mark: None,
-            stage_mark: None,
-        });
+            config.seed,
+            factory(&seed),
+        ));
     }
     let mut live = slots.len();
     // Retired nodes' outputs, keyed by dense index so the final collection
@@ -326,6 +463,15 @@ where
     }
     .clamp(1, k.max(1));
     let resolver = net.resolver();
+    let step_shared = StepShared {
+        n,
+        participants: participant_count,
+        cap,
+        model: config.model,
+        all_ids: all_ids_slice,
+        resolver,
+        dense_of: dense_of_slice,
+    };
     // Previous round's delivered message count — drives the adaptive
     // inline-vs-parallel routing choice.
     let mut prev_round_messages: u64 = 0;
@@ -351,79 +497,16 @@ where
             } else {
                 &buffers.arena
             };
-            let step_one = |slot: &mut Slot<P>| {
-                if !slot.alive {
-                    return;
+            let step_one = |slot: &mut Slot<P>| match step_slot(slot, arena, &step_shared) {
+                StepOutcome::Skipped | StepOutcome::Running { marked: false } => {}
+                StepOutcome::Running { marked: true } => {
+                    marked.store(true, Ordering::Relaxed);
                 }
-                let inbox = &arena[slot.inbox_start as usize..][..slot.inbox_len as usize];
-                slot.out.clear();
-                slot.phase_mark = None;
-                slot.stage_mark = None;
-                let status = {
-                    let Slot {
-                        id,
-                        succ,
-                        rounds,
-                        rng,
-                        out,
-                        proto,
-                        phase_mark,
-                        stage_mark,
-                        ..
-                    } = slot;
-                    let mut ctx = RoundCtx {
-                        id: *id,
-                        n,
-                        participants: participant_count,
-                        capacity: cap,
-                        model: config.model,
-                        initial_successor: *succ,
-                        all_ids: all_ids_slice,
-                        round: *rounds,
-                        rng,
-                        inbox,
-                        out,
-                        resolver,
-                        dense_of: dense_of_slice,
-                        phase_mark,
-                        stage_mark,
-                    };
-                    let proto = proto.as_mut().expect("live node without protocol");
-                    std::panic::catch_unwind(AssertUnwindSafe(|| proto.step(&mut ctx)))
-                };
-                match status {
-                    Ok(Status::Continue) => {
-                        slot.rounds += 1;
-                        if slot.phase_mark.is_some() || slot.stage_mark.is_some() {
-                            marked.store(true, Ordering::Relaxed);
-                        }
-                    }
-                    Ok(Status::Done(out)) => {
-                        debug_assert!(
-                            slot.out.is_empty(),
-                            "node {} staged sends in a Done step (discarded)",
-                            slot.id
-                        );
-                        slot.output = Some(out);
-                        slot.proto = None;
-                        slot.alive = false;
-                        slot.out.clear();
-                        slot.inbox_len = 0;
-                        slot.phase_mark = None;
-                        slot.stage_mark = None;
-                        finished.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(payload) => {
-                        slot.panic = Some(panic_message(payload.as_ref()));
-                        slot.proto = None;
-                        slot.alive = false;
-                        slot.out.clear();
-                        slot.inbox_len = 0;
-                        slot.phase_mark = None;
-                        slot.stage_mark = None;
+                StepOutcome::Finished { panicked: p } => {
+                    if p {
                         panicked.store(true, Ordering::Relaxed);
-                        finished.fetch_add(1, Ordering::Relaxed);
                     }
+                    finished.fetch_add(1, Ordering::Relaxed);
                 }
             };
             if workers == 1 {
@@ -1090,6 +1173,7 @@ where
     });
     metrics.phase_rounds = emitter.recorder.phase_rounds();
     let mut stats = emitter.recorder.engine_stats();
+    stats.shards = 1;
     stats.dense_index_space = k;
     stats.knowledge_arena = knowledge.arena_len();
     stats.parallel_sweep_rounds = parallel_sweep_rounds;
@@ -1117,8 +1201,12 @@ where
 }
 
 /// Validates one envelope against the model constraints, in the same order
-/// as the threaded oracle's `Coordinator::validate`.
-fn validate(
+/// as the threaded oracle's `Coordinator::validate`. `src_idx` is the
+/// index of the sender's row in `knowledge` (global dense index on the
+/// monolithic path, shard-local under the sharded layout); `alive` is
+/// always the full dense participant space, since destinations may live
+/// anywhere.
+pub(crate) fn validate(
     env: &WireEnvelope,
     src_idx: usize,
     config: &Config,

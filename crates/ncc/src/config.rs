@@ -92,6 +92,16 @@ pub struct Config {
     /// dense/sparse round classification is a pure function of the
     /// transcript, so event streams are bit-identical too.
     pub worker_threads: usize,
+    /// Ownership shards for the batched executor: the dense participant
+    /// space is split into this many contiguous ranges, each owning a
+    /// private slot arena, wire/queue buffers and knowledge-tracker arena.
+    /// Cross-shard sends move in a deterministic all-to-all exchange
+    /// phase, so transcripts, metrics and raw event streams are
+    /// bit-identical to the unsharded layout for every shard count. `1`
+    /// (the default) keeps today's single-arena layout; values are
+    /// clamped to the participant count. Like `worker_threads` this is a
+    /// layout knob, ignored by the threaded oracle.
+    pub shards: usize,
 }
 
 impl Config {
@@ -110,6 +120,7 @@ impl Config {
             seed,
             max_rounds: 10_000_000,
             worker_threads: 0,
+            shards: 1,
         }
     }
 
@@ -144,6 +155,13 @@ impl Config {
     /// Pins the batched executor's step-phase worker count (`0` = auto).
     pub fn with_worker_threads(mut self, workers: usize) -> Self {
         self.worker_threads = workers;
+        self
+    }
+
+    /// Splits the batched executor's state into `shards` ownership shards
+    /// (`1` = the single-arena layout; clamped to the participant count).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 

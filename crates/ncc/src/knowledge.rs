@@ -84,6 +84,44 @@ pub(crate) fn seed_path_dense(
     }
 }
 
+/// [`seed_path_dense`] for the ownership-sharded engine, where the dense
+/// 0..k participant space is split across per-shard trackers: shard `s`
+/// owns dense indices `bases[s]..bases[s + 1]` (with an implicit final
+/// bound of k) and its tracker rows are indexed shard-locally. The one
+/// boundary case the per-shard view crosses is the path link itself: the
+/// last participant of shard `s` learns the ID of the first participant
+/// of shard `s + 1`, written into shard `s`'s tracker.
+pub(crate) fn seed_path_sharded(
+    trackers: &mut [KnowledgeTracker],
+    bases: &[usize],
+    ids: &[NodeId],
+    participating: impl Fn(usize) -> bool,
+) {
+    if trackers.first().is_none_or(|t| !t.enabled()) {
+        return;
+    }
+    debug_assert_eq!(trackers.len(), bases.len());
+    let owner = |d: usize| {
+        let s = bases.partition_point(|&b| b <= d) - 1;
+        (s, d - bases[s])
+    };
+    let mut dense = 0usize;
+    for (i, &id) in ids.iter().enumerate() {
+        if !participating(i) {
+            continue;
+        }
+        let (s, local) = owner(dense);
+        trackers[s].learn(local, id);
+        if dense > 0 {
+            // The previous participant's out-neighbor on the path is this
+            // node — it may be owned by the previous shard.
+            let (ps, plocal) = owner(dense - 1);
+            trackers[ps].learn(plocal, id);
+        }
+        dense += 1;
+    }
+}
+
 /// One node's region of the knowledge arena.
 #[derive(Clone, Copy, Debug, Default)]
 struct Region {
@@ -290,6 +328,36 @@ mod tests {
         assert_eq!(t.knowledge_size(2), 1);
         assert!(t.knows(2, 50));
         assert!(!t.knows(0, 20) && !t.knows(1, 40));
+    }
+
+    #[test]
+    fn sharded_seeding_matches_dense_across_the_boundary() {
+        let ids: Vec<NodeId> = vec![10, 20, 30, 40, 50, 60];
+        // Participants 0, 2, 3, 5 own dense rows 0..4, split 2/2 across
+        // two shards — the path link 1 -> 2 crosses the shard boundary.
+        let participating = |i: usize| i != 1 && i != 4;
+        let mut dense = KnowledgeTracker::new(4, true);
+        seed_path_dense(&mut dense, &ids, participating);
+        let mut shards = vec![
+            KnowledgeTracker::new(2, true),
+            KnowledgeTracker::new(2, true),
+        ];
+        seed_path_sharded(&mut shards, &[0, 2], &ids, participating);
+        for d in 0..4usize {
+            let (s, local) = (d / 2, d % 2);
+            assert_eq!(
+                dense.knowledge_size(d),
+                shards[s].knowledge_size(local),
+                "row {d}"
+            );
+            for &id in &ids {
+                assert_eq!(
+                    dense.knows(d, id),
+                    shards[s].knows(local, id),
+                    "row {d} id {id}"
+                );
+            }
+        }
     }
 
     #[test]

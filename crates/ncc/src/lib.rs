@@ -94,6 +94,7 @@ mod metrics;
 mod network;
 mod protocol;
 mod route;
+mod shard;
 mod wire;
 
 pub use config::{CapacityPolicy, Config, EngineKind, IdAssignment, Model};

@@ -149,6 +149,21 @@ pub struct EngineStats {
     pub deliver_nanos: u64,
     /// Wall-clock nanoseconds spent in the learn sweep + delivery fold.
     pub learn_nanos: u64,
+    /// Ownership shards the run executed with (`1` = the single-arena
+    /// layout). Deterministic given the configuration.
+    pub shards: usize,
+    /// Dense-index span width each shard owned at run start — the
+    /// ownership map of the sharded layout (empty on unsharded runs).
+    /// Deterministic given the configuration.
+    pub shard_windows: Vec<usize>,
+    /// Envelopes that crossed a shard boundary through the exchange
+    /// phase over the whole run. A pure function of the transcript and
+    /// the shard count (0 on unsharded runs).
+    pub cross_shard_messages: u64,
+    /// Wall-clock nanoseconds spent in the boundary-exchange phase
+    /// (incoming-cell counting, the per-shard seal, and the canonical
+    /// splice). 0 on unsharded runs.
+    pub exchange_nanos: u64,
 }
 
 impl RunMetrics {

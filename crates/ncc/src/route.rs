@@ -34,6 +34,24 @@ impl RawU32 {
     }
 }
 
+/// Raw pointer to a table of envelope rows (the sharded engine's
+/// `(src-shard, dst-shard)` exchange cells), written by parallel tasks at
+/// disjoint row ranges: source shard `s` touches only rows
+/// `s * shards..(s + 1) * shards` during its seal.
+pub(crate) struct RawRows(pub(crate) *mut Vec<WireEnvelope>);
+unsafe impl Send for RawRows {}
+unsafe impl Sync for RawRows {}
+
+impl RawRows {
+    /// # Safety
+    ///
+    /// Row `at` must be owned exclusively by the calling task.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn row(&self, at: usize) -> &mut Vec<WireEnvelope> {
+        unsafe { &mut *self.0.add(at) }
+    }
+}
+
 /// Raw pointer to the queue span table, read and written by the parallel
 /// delivery sweep at disjoint node indices (each dense index belongs to
 /// exactly one slot, and slots are partitioned into disjoint chunks).

@@ -1,0 +1,765 @@
+//! The ownership-sharded batched executor.
+//!
+//! [`Config::shards`] > 1 splits the dense participant space `0..k` into
+//! contiguous ranges, one **shard** per range. Each shard owns a private
+//! copy of every piece of per-node engine state — slot arena, routing
+//! buffers, queue arenas, knowledge-tracker arena — sized to its own
+//! span, so the step phase, seal, capacity checks, queue delivery and the
+//! learn sweep are purely shard-local: no cross-shard `&mut` aliasing, no
+//! whole-pool prefix sums, and a shard is a self-contained unit that
+//! could later become a NUMA domain or a TCP-backend process.
+//!
+//! **The exchange phase.** A node may of course address any participant,
+//! so sends whose destination lives in another shard are diverted during
+//! the (per-source-shard) seal into per-`(src-shard, dst-shard)` cells.
+//! A second, explicitly separate **exchange** pass then runs per
+//! *destination* shard: it counts the incoming cells into the shard's
+//! local destination counts, prefix-sums the shard's buckets, and splices
+//! sources in **canonical shard order** — cells from shards `0..s` first,
+//! then the shard's own retained outbox envelopes, then cells from shards
+//! `s+1..S`. Because shard ranges partition the dense index space in
+//! ascending order and every per-shard walk visits slots in slot order,
+//! the spliced bucket contents are in exactly the global dense source
+//! order the unsharded engine produces — so FIFO queue contents,
+//! violation blame and raw [`RunEvent`] streams are bit-identical to the
+//! single-arena layout at any shard×worker combination (the shard-matrix
+//! differential suite holds it to that).
+//!
+//! **Determinism discipline.** The shard is the unit of parallelism: each
+//! phase fans the shards out over the worker pool (or walks them inline
+//! under a single worker — results are identical), every shard journals
+//! its violations in slot order, and the coordinator replays the journals
+//! in shard order — which *is* canonical dense order — so a strict abort
+//! blames the same first violation as the unsharded path. Round-level
+//! folds (message counts, max sends/receives/queues) are sums and maxes,
+//! commutative by construction. Compaction keeps the unsharded trigger
+//! (global `newly_done > 0 && live * 2 <= window`): when it fires, every
+//! shard compacts its own slot window by the same stable `retain` and a
+//! single [`RunEvent::Compaction`] is emitted, so the event stream keeps
+//! the unsharded shape while each shard's dense-index remap stays
+//! entirely local to its own arena.
+
+use crate::config::{CapacityPolicy, Config, Model};
+use crate::error::{SimError, Violation, ViolationKind};
+use crate::event::{Emitter, RouteMode, RunEvent, Sink};
+use crate::knowledge::KnowledgeTracker;
+use crate::message::NodeId;
+use crate::metrics::RunMetrics;
+use crate::network::{Network, RunResult};
+use crate::protocol::{NodeProtocol, NodeSeed};
+use crate::route::{QueueBuffers, RawRows, RouteBuffers};
+use crate::wire::{WireEnvelope, DEAD_INDEX, NO_INDEX, WIRE_ADDRS, WIRE_WORDS};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::batch::{
+    step_slot, validate, Slot, StepOutcome, StepShared, PARALLEL_ROUTE_MIN_MSGS,
+    PARALLEL_SWEEP_MIN_LIVE,
+};
+
+/// One ownership shard: every piece of per-node engine state for one
+/// contiguous dense-index range, plus the shard's per-round journals and
+/// fold accumulators (replayed/folded by the coordinator in shard order).
+struct ShardState<P: NodeProtocol> {
+    /// First dense index this shard owns.
+    base: u32,
+    /// Width of the owned dense-index span (fixed for the whole run —
+    /// compaction shrinks the slot *window*, never the ownership range).
+    width: usize,
+    /// The shard's slots, in dense-index order within the shard.
+    slots: Vec<Slot<P>>,
+    /// Outputs of retired-and-compacted slots (global dense index key).
+    done: Vec<(u32, NodeId, P::Output)>,
+    /// Routing buffers over **local** indices `0..width`.
+    buffers: RouteBuffers,
+    /// Queue arenas over local indices (zero-sized off the Queue policy).
+    queues: QueueBuffers,
+    /// This shard's rows of the KT0 tracker, indexed locally.
+    knowledge: KnowledgeTracker,
+    /// Retired local indices whose receive queues still hold backlog.
+    dead_backlog: Vec<u32>,
+    /// Violation journal for the current phase, in slot order; drained by
+    /// the coordinator's shard-order replay.
+    violations: Vec<Violation>,
+    // Per-round outputs of the step phase.
+    finished: usize,
+    panicked: bool,
+    marked: bool,
+    /// Deliverable messages this round (reset each round).
+    round_messages: u64,
+    // Cumulative folds, harvested once at the end of the run.
+    words: u64,
+    max_sent: usize,
+    max_received: usize,
+    max_queue: usize,
+    undelivered: u64,
+    cross_shard: u64,
+}
+
+/// Applies `f` to every shard — fanned out over the worker pool, or
+/// walked inline under a single worker (the zero-alloc path). Each call
+/// sees exactly one shard mutably, so results cannot depend on the
+/// dispatch choice.
+fn for_each_shard<P, F>(shards: &mut [ShardState<P>], parallel: bool, f: F)
+where
+    P: NodeProtocol,
+    F: Fn(usize, &mut ShardState<P>) + Sync,
+{
+    if parallel {
+        shards
+            .par_chunks_mut(1)
+            .enumerate()
+            .for_each(|(s, chunk)| f(s, &mut chunk[0]));
+    } else {
+        for (s, sh) in shards.iter_mut().enumerate() {
+            f(s, sh);
+        }
+    }
+}
+
+/// Runs `factory`-built protocols under the ownership-sharded layout.
+/// Semantics (transcripts, metrics, raw event streams, abort errors) are
+/// bit-identical to [`crate::batch::run`]; only memory layout and
+/// scheduling differ. Called by `batch::run` when `config.shards > 1`;
+/// the shard count is clamped to the participant space.
+pub(crate) fn run<P, F>(
+    net: &Network,
+    participants: Option<&[bool]>,
+    sink: Option<&mut dyn Sink>,
+    factory: F,
+) -> Result<RunResult<P::Output>, SimError>
+where
+    P: NodeProtocol,
+    F: Fn(&NodeSeed<'_>) -> P + Sync,
+{
+    let config: &Config = net.config();
+    let ids = net.ids_in_path_order();
+    let n = ids.len();
+    let cap = config.capacity(n);
+    assert!(
+        config.max_words <= WIRE_WORDS && config.max_addrs <= WIRE_ADDRS,
+        "batched engine: configured message budget ({} words, {} addrs) \
+         exceeds the inline wire budget ({WIRE_WORDS} words, {WIRE_ADDRS} addrs)",
+        config.max_words,
+        config.max_addrs,
+    );
+    if let Some(mask) = participants {
+        assert_eq!(mask.len(), n, "participant mask length must equal n");
+    }
+    let participating = |i: usize| participants.is_none_or(|m| m[i]);
+    let participant_count = (0..n).filter(|&i| participating(i)).count();
+    let k = participant_count;
+
+    // Ownership map: shard `s` owns dense indices `s*k/S .. (s+1)*k/S` —
+    // contiguous, ascending, balanced to within one node.
+    let shard_count = config.shards.clamp(1, k.max(1));
+    let bases: Vec<usize> = (0..shard_count).map(|s| s * k / shard_count).collect();
+    let width_of = |s: usize| {
+        let end = if s + 1 < shard_count { bases[s + 1] } else { k };
+        end - bases[s]
+    };
+    // Owner of a dense index (bases are ascending; sends carry global
+    // dense indices, rebased to shard-local only at the owning shard).
+    let shard_of = |d: usize| bases.partition_point(|&b| b <= d) - 1;
+
+    let all_ids: Option<Arc<Vec<NodeId>>> = match config.model {
+        Model::Ncc1 => {
+            let mut sorted: Vec<NodeId> = (0..n)
+                .filter(|&i| participating(i))
+                .map(|i| ids[i])
+                .collect();
+            sorted.sort_unstable();
+            Some(Arc::new(sorted))
+        }
+        Model::Ncc0 => None,
+    };
+    let all_ids_slice: Option<&[NodeId]> = all_ids.as_deref().map(Vec::as_slice);
+
+    let dense_of: Option<Vec<u32>> = participants.map(|mask| {
+        let mut map = vec![DEAD_INDEX; n];
+        let mut next = 0u32;
+        for (i, &p) in mask.iter().enumerate() {
+            if p {
+                map[i] = next;
+                next += 1;
+            }
+        }
+        map
+    });
+    let dense_of_slice: Option<&[u32]> = dense_of.as_deref();
+
+    // Per-shard KT0 trackers, seeded along the participant path (the
+    // path link crossing a shard boundary lands in the predecessor's
+    // shard — see `seed_path_sharded`).
+    let track = config.track_knowledge && config.model == Model::Ncc0;
+    let mut trackers: Vec<KnowledgeTracker> = (0..shard_count)
+        .map(|s| KnowledgeTracker::new(width_of(s), track))
+        .collect();
+    crate::knowledge::seed_path_sharded(&mut trackers, &bases, ids, participating);
+
+    // Build the slots directly into their owning shards, walking the
+    // participant path once in dense order.
+    let mut shard_slots: Vec<Vec<Slot<P>>> = (0..shard_count)
+        .map(|s| Vec::with_capacity(width_of(s)))
+        .collect();
+    let mut dense = 0usize;
+    let mut cur = 0usize;
+    for i in 0..n {
+        if !participating(i) {
+            continue;
+        }
+        while cur + 1 < shard_count && dense >= bases[cur + 1] {
+            cur += 1;
+        }
+        let succ = (i + 1..n).find(|&j| participating(j)).map(|j| ids[j]);
+        let seed = NodeSeed {
+            id: ids[i],
+            n,
+            participants: participant_count,
+            capacity: cap,
+            model: config.model,
+            initial_successor: succ,
+            all_ids: all_ids.as_ref(),
+        };
+        shard_slots[cur].push(Slot::new(
+            dense as u32,
+            ids[i],
+            succ,
+            config.seed,
+            factory(&seed),
+        ));
+        dense += 1;
+    }
+
+    let queue_mode = config.capacity_policy == CapacityPolicy::Queue;
+    let strict = config.capacity_policy == CapacityPolicy::Strict;
+    let mut shards: Vec<ShardState<P>> = shard_slots
+        .into_iter()
+        .zip(trackers)
+        .enumerate()
+        .map(|(s, (slots, knowledge))| {
+            let width = width_of(s);
+            debug_assert_eq!(slots.len(), width);
+            ShardState {
+                base: bases[s] as u32,
+                width,
+                slots,
+                done: Vec::with_capacity(width),
+                buffers: RouteBuffers::new(width),
+                queues: QueueBuffers::new(if queue_mode { width } else { 0 }),
+                knowledge,
+                dead_backlog: Vec::new(),
+                violations: Vec::new(),
+                finished: 0,
+                panicked: false,
+                marked: false,
+                round_messages: 0,
+                words: 0,
+                max_sent: 0,
+                max_received: 0,
+                max_queue: 0,
+                undelivered: 0,
+                cross_shard: 0,
+            }
+        })
+        .collect();
+    let mut live = k;
+
+    // Global aliveness over the full dense space: validation must see
+    // destinations in *other* shards, and it is read-only during the
+    // parallel phases (the coordinator updates it between them).
+    let mut alive_now: Vec<bool> = vec![true; k];
+
+    // The exchange cells: row `src * S + dst` holds the envelopes shard
+    // `src` diverted toward shard `dst` this round, in shard-`src` slot
+    // order. Cleared (capacity retained) by the source at the start of
+    // its seal, so steady-state rounds never allocate through them.
+    let mut cells: Vec<Vec<WireEnvelope>> =
+        (0..shard_count * shard_count).map(|_| Vec::new()).collect();
+
+    let mut metrics = RunMetrics {
+        capacity: cap,
+        ..RunMetrics::default()
+    };
+    let mut emitter = Emitter::new(sink);
+    metrics
+        .messages_per_round
+        .reserve(crate::metrics::ROUND_TRACE_LIMIT);
+
+    let workers = match config.worker_threads {
+        0 => rayon::current_num_threads(),
+        w => w,
+    }
+    .clamp(1, k.max(1));
+    let parallel = workers > 1;
+    let resolver = net.resolver();
+    let step_shared = StepShared {
+        n,
+        participants: participant_count,
+        cap,
+        model: config.model,
+        all_ids: all_ids_slice,
+        resolver,
+        dense_of: dense_of_slice,
+    };
+    let mut prev_round_messages: u64 = 0;
+    let (mut step_nanos, mut route_nanos) = (0u64, 0u64);
+    let (mut exchange_nanos, mut deliver_nanos, mut learn_nanos) = (0u64, 0u64, 0u64);
+    let (mut parallel_sweep_rounds, mut inline_sweep_rounds) = (0u64, 0u64);
+
+    while live > 0 {
+        let window: usize = shards.iter().map(|sh| sh.slots.len()).sum();
+
+        // --- Step phase: each shard polls its own slots over its own
+        // inbox arena. ---
+        let t_phase = Instant::now();
+        for_each_shard(&mut shards, parallel, |_, sh| {
+            let ShardState {
+                slots,
+                buffers,
+                queues,
+                finished,
+                panicked,
+                marked,
+                ..
+            } = sh;
+            *finished = 0;
+            *panicked = false;
+            *marked = false;
+            let arena: &[WireEnvelope] = if queue_mode {
+                &queues.inbox
+            } else {
+                &buffers.arena
+            };
+            for slot in slots.iter_mut() {
+                match step_slot(slot, arena, &step_shared) {
+                    StepOutcome::Skipped | StepOutcome::Running { marked: false } => {}
+                    StepOutcome::Running { marked: true } => *marked = true,
+                    StepOutcome::Finished { panicked: p } => {
+                        *panicked |= p;
+                        *finished += 1;
+                    }
+                }
+            }
+        });
+        step_nanos += t_phase.elapsed().as_nanos() as u64;
+        if shards.iter().any(|sh| sh.panicked) {
+            // Deterministic attribution: blame the lowest dense index —
+            // shards ascend by base, slots ascend within a shard.
+            let (node, message) = shards
+                .iter_mut()
+                .flat_map(|sh| sh.slots.iter_mut())
+                .find_map(|s| s.panic.take().map(|m| (s.id, m)))
+                .expect("panic flag set without a panic record");
+            return Err(SimError::NodePanic { node, message });
+        }
+        let newly_done: usize = shards.iter().map(|sh| sh.finished).sum();
+        if newly_done > 0 {
+            live -= newly_done;
+            for sh in shards.iter_mut() {
+                let base = sh.base;
+                for slot in sh.slots.iter() {
+                    let g = slot.idx as usize;
+                    if alive_now[g] && !slot.alive {
+                        alive_now[g] = false;
+                        let local = slot.idx - base;
+                        if queue_mode && sh.queues.backlog_len(local as usize) > 0 {
+                            sh.dead_backlog.push(local);
+                        }
+                    }
+                }
+            }
+        }
+        if live == 0 {
+            break;
+        }
+        // --- Protocol marks: dense order = shard order × slot order. ---
+        if shards.iter().any(|sh| sh.marked) {
+            for sh in shards.iter_mut() {
+                for slot in sh.slots.iter_mut() {
+                    let (phase, stage) = (slot.phase_mark.take(), slot.stage_mark.take());
+                    if phase.is_some() || stage.is_some() {
+                        emitter.emit_marks(metrics.rounds, phase, stage);
+                    }
+                }
+            }
+        }
+        // --- Compaction: the unsharded (global) trigger; each shard
+        // compacts its own window, one event narrates the round. ---
+        if newly_done > 0 && live * 2 <= window {
+            for sh in shards.iter_mut() {
+                let done = &mut sh.done;
+                sh.slots.retain_mut(|s| {
+                    if s.alive {
+                        return true;
+                    }
+                    if let Some(out) = s.output.take() {
+                        done.push((s.idx, s.id, out));
+                    }
+                    false
+                });
+            }
+            debug_assert_eq!(shards.iter().map(|sh| sh.slots.len()).sum::<usize>(), live);
+            emitter.emit(RunEvent::Compaction {
+                round: metrics.rounds,
+                live,
+            });
+        }
+        let window: usize = shards.iter().map(|sh| sh.slots.len()).sum();
+
+        // --- Seal (per source shard): validate in slot order, count
+        // local destinations, divert cross-shard sends into the exchange
+        // cells. The dense/sparse narration keeps the unsharded formula —
+        // a pure function of the transcript, so the event stream matches
+        // the single-arena layout bit for bit. ---
+        let round = metrics.rounds;
+        let t_phase = Instant::now();
+        let dense_round = prev_round_messages >= PARALLEL_ROUTE_MIN_MSGS
+            && prev_round_messages >= (window as u64) / 4;
+        let route_mode = if dense_round {
+            RouteMode::Parallel
+        } else {
+            RouteMode::Inline
+        };
+        {
+            let cells_ptr = RawRows(cells.as_mut_ptr());
+            let alive_now = &alive_now;
+            for_each_shard(&mut shards, parallel, |s, sh| {
+                let ShardState {
+                    base,
+                    width,
+                    slots,
+                    buffers,
+                    knowledge,
+                    violations,
+                    round_messages,
+                    words,
+                    max_sent,
+                    cross_shard,
+                    ..
+                } = sh;
+                let lo = *base as usize;
+                let hi = lo + *width;
+                *round_messages = 0;
+                debug_assert!(violations.is_empty());
+                for d in 0..shard_count {
+                    if d != s {
+                        // Sound: source shard `s` exclusively owns cell
+                        // rows `s * S..(s + 1) * S`.
+                        unsafe { cells_ptr.row(s * shard_count + d) }.clear();
+                    }
+                }
+                for slot in slots.iter() {
+                    buffers.counts[(slot.idx as usize) - lo] = 0;
+                }
+                for slot in slots.iter_mut() {
+                    let src_local = (slot.idx as usize) - lo;
+                    let attempted = slot.out.len();
+                    for env in slot.out.iter_mut() {
+                        let deliver =
+                            match validate(env, src_local, config, knowledge, alive_now, round) {
+                                Ok(()) => true,
+                                Err(v) => {
+                                    violations.push(v);
+                                    env.dst_idx != NO_INDEX
+                                        && env.dst_idx != DEAD_INDEX
+                                        && alive_now[env.dst_idx as usize]
+                                }
+                            };
+                        if deliver {
+                            *round_messages += 1;
+                            *words += env.msg.size_words() as u64;
+                            let dst = env.dst_idx as usize;
+                            if (lo..hi).contains(&dst) {
+                                buffers.counts[dst - lo] += 1;
+                            } else {
+                                let owner = shard_of(dst);
+                                // Sound: still within rows `s * S..`.
+                                unsafe { cells_ptr.row(s * shard_count + owner) }.push(*env);
+                                *cross_shard += 1;
+                                // Moved into the cell: the local splice
+                                // must skip it.
+                                env.dst_idx = NO_INDEX;
+                            }
+                        } else {
+                            env.dst_idx = NO_INDEX;
+                        }
+                    }
+                    if attempted > cap {
+                        violations.push(Violation {
+                            round,
+                            node: slot.id,
+                            kind: ViolationKind::SendCapacity {
+                                sent: attempted,
+                                cap,
+                            },
+                        });
+                    }
+                    *max_sent = (*max_sent).max(attempted);
+                }
+            });
+        }
+        // Replay the seal journals in shard order (= canonical dense
+        // source order): identical counts, samples and strict abort.
+        let mut round_messages: u64 = 0;
+        for sh in shards.iter_mut() {
+            for v in sh.violations.drain(..) {
+                metrics.record_violation(strict, v)?;
+            }
+            round_messages += sh.round_messages;
+        }
+        route_nanos += t_phase.elapsed().as_nanos() as u64;
+
+        // --- Exchange (per destination shard): count the incoming cells
+        // into the local buckets, seal the shard's prefix sums, and
+        // splice sources in canonical shard order — cells from shards
+        // `< s`, then the shard's own outboxes, then cells from shards
+        // `> s`; ascending shard ranges make that exactly the global
+        // dense source order, so bucket contents (and with them FIFO
+        // queues) are bit-identical to the unsharded scatter. ---
+        let t_phase = Instant::now();
+        {
+            let cells_ref: &[Vec<WireEnvelope>] = &cells;
+            for_each_shard(&mut shards, parallel, |d, sh| {
+                let ShardState {
+                    base,
+                    slots,
+                    buffers,
+                    ..
+                } = sh;
+                let b = *base;
+                for src in 0..shard_count {
+                    if src == d {
+                        continue;
+                    }
+                    for env in &cells_ref[src * shard_count + d] {
+                        buffers.counts[(env.dst_idx - b) as usize] += 1;
+                    }
+                }
+                buffers.seal_counts_live(slots.iter().map(|sl| (sl.idx - b) as usize));
+                for src in 0..shard_count {
+                    if src == d {
+                        for slot in slots.iter_mut() {
+                            for env in slot.out.iter() {
+                                if env.dst_idx != NO_INDEX {
+                                    buffers.push(env.localize(b));
+                                }
+                            }
+                            slot.out.clear();
+                        }
+                    } else {
+                        for env in &cells_ref[src * shard_count + d] {
+                            buffers.push(env.localize(b));
+                        }
+                    }
+                }
+            });
+        }
+        exchange_nanos += t_phase.elapsed().as_nanos() as u64;
+
+        // --- Receive side: shard-local queue delivery or capacity
+        // checks (journaled, replayed in shard order below). ---
+        let t_phase = Instant::now();
+        let parallel_sweep = workers > 1
+            && (round_messages >= PARALLEL_ROUTE_MIN_MSGS || window >= PARALLEL_SWEEP_MIN_LIVE);
+        if parallel_sweep {
+            parallel_sweep_rounds += 1;
+        } else {
+            inline_sweep_rounds += 1;
+        }
+        for_each_shard(&mut shards, parallel, |_, sh| {
+            let ShardState {
+                base,
+                slots,
+                buffers,
+                queues,
+                knowledge,
+                dead_backlog,
+                violations,
+                max_received,
+                max_queue,
+                undelivered,
+                ..
+            } = sh;
+            let lo = *base as usize;
+            if queue_mode {
+                queues.begin_round();
+                for slot in slots.iter_mut() {
+                    if !slot.alive {
+                        continue;
+                    }
+                    let i = (slot.idx as usize) - lo;
+                    let (start, take, queued) = queues.deliver(i, buffers.bucket(i), cap);
+                    *max_queue = (*max_queue).max(queued);
+                    slot.inbox_start = start;
+                    slot.inbox_len = take;
+                }
+                let mut drained_any = false;
+                for &li in dead_backlog.iter() {
+                    let i = li as usize;
+                    let (start, take, queued) = queues.deliver(i, &[], cap);
+                    *max_queue = (*max_queue).max(queued);
+                    let delivered = take as usize;
+                    *max_received = (*max_received).max(delivered);
+                    if knowledge.enabled() {
+                        let inbox = &queues.inbox[start as usize..][..delivered];
+                        for env in inbox {
+                            knowledge.learn(i, env.src);
+                            for &a in env.msg.addrs_slice() {
+                                knowledge.learn(i, a);
+                            }
+                        }
+                    }
+                    *undelivered += take as u64;
+                    drained_any |= queued == 0;
+                }
+                if drained_any {
+                    let queues = &*queues;
+                    dead_backlog.retain(|&li| queues.backlog_len(li as usize) > 0);
+                }
+                queues.end_round();
+            } else {
+                for slot in slots.iter_mut() {
+                    if !slot.alive {
+                        continue;
+                    }
+                    let i = (slot.idx as usize) - lo;
+                    let received = buffers.counts[i] as usize;
+                    if received > cap {
+                        violations.push(Violation {
+                            round,
+                            node: slot.id,
+                            kind: ViolationKind::ReceiveCapacity { received, cap },
+                        });
+                    }
+                    let (start, len) = buffers.span(i);
+                    slot.inbox_start = start;
+                    slot.inbox_len = len;
+                }
+            }
+        });
+        if !queue_mode {
+            for sh in shards.iter_mut() {
+                for v in sh.violations.drain(..) {
+                    metrics.record_violation(strict, v)?;
+                }
+            }
+        }
+        deliver_nanos += t_phase.elapsed().as_nanos() as u64;
+
+        // --- Learn sweep: each shard's tracker is private, so learns
+        // apply in place — no journals, no re-home replay. ---
+        let t_phase = Instant::now();
+        for_each_shard(&mut shards, parallel, |_, sh| {
+            let ShardState {
+                base,
+                slots,
+                buffers,
+                queues,
+                knowledge,
+                max_received,
+                ..
+            } = sh;
+            let lo = *base as usize;
+            let delivery_arena: &[WireEnvelope] = if queue_mode {
+                &queues.inbox
+            } else {
+                &buffers.arena
+            };
+            for slot in slots.iter() {
+                if !slot.alive {
+                    continue;
+                }
+                let delivered = slot.inbox_len as usize;
+                *max_received = (*max_received).max(delivered);
+                if knowledge.enabled() {
+                    let i = (slot.idx as usize) - lo;
+                    let inbox = &delivery_arena[slot.inbox_start as usize..][..delivered];
+                    for env in inbox {
+                        knowledge.learn(i, env.src);
+                        for &a in env.msg.addrs_slice() {
+                            knowledge.learn(i, a);
+                        }
+                    }
+                }
+            }
+        });
+        learn_nanos += t_phase.elapsed().as_nanos() as u64;
+
+        metrics.record_round(round_messages);
+        emitter.emit(RunEvent::RoundCompleted {
+            round,
+            delivered: round_messages,
+            live,
+            route_mode,
+        });
+        prev_round_messages = round_messages;
+        if metrics.rounds > config.max_rounds {
+            return Err(SimError::RoundLimitExceeded {
+                limit: config.max_rounds,
+            });
+        }
+    }
+
+    // Harvest the cumulative per-shard folds. Sums and maxes over the
+    // per-round values the unsharded path folds incrementally — the same
+    // final numbers, fold order notwithstanding.
+    for sh in shards.iter() {
+        metrics.words += sh.words;
+        metrics.max_sent_per_round = metrics.max_sent_per_round.max(sh.max_sent);
+        metrics.max_received_per_round = metrics.max_received_per_round.max(sh.max_received);
+        metrics.max_queue_len = metrics.max_queue_len.max(sh.max_queue);
+        metrics.undelivered += sh.undelivered + sh.queues.backlog_total();
+    }
+    if track {
+        metrics.max_knowledge = shards
+            .iter()
+            .map(|sh| {
+                (0..sh.width)
+                    .map(|i| sh.knowledge.knowledge_size(i))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0);
+    }
+    emitter.emit(RunEvent::Done {
+        rounds: metrics.rounds,
+        messages: metrics.messages,
+    });
+    metrics.phase_rounds = emitter.recorder.phase_rounds();
+    let mut stats = emitter.recorder.engine_stats();
+    stats.shards = shard_count;
+    stats.shard_windows = (0..shard_count).map(width_of).collect();
+    stats.cross_shard_messages = shards.iter().map(|sh| sh.cross_shard).sum();
+    stats.dense_index_space = k;
+    stats.knowledge_arena = shards.iter().map(|sh| sh.knowledge.arena_len()).sum();
+    stats.parallel_sweep_rounds = parallel_sweep_rounds;
+    stats.inline_sweep_rounds = inline_sweep_rounds;
+    stats.step_nanos = step_nanos;
+    stats.route_nanos = route_nanos;
+    stats.exchange_nanos = exchange_nanos;
+    stats.deliver_nanos = deliver_nanos;
+    stats.learn_nanos = learn_nanos;
+
+    // Merge every shard's compacted-away outputs with its final window,
+    // restoring knowledge-path order by global dense index.
+    let mut done: Vec<(u32, NodeId, P::Output)> = Vec::with_capacity(k);
+    for sh in shards.into_iter() {
+        done.extend(sh.done);
+        for s in sh.slots.into_iter() {
+            if let Some(out) = s.output {
+                done.push((s.idx, s.id, out));
+            }
+        }
+    }
+    done.sort_unstable_by_key(|&(idx, _, _)| idx);
+    let outputs: Vec<(NodeId, P::Output)> =
+        done.into_iter().map(|(_, id, out)| (id, out)).collect();
+    Ok(RunResult {
+        outputs,
+        metrics,
+        engine: stats,
+    })
+}

@@ -204,6 +204,16 @@ impl WireEnvelope {
         dst_idx: NO_INDEX,
     };
 
+    /// Rebases the dense destination index into a shard-local index
+    /// space (the ownership-sharded engine stores each shard's routing
+    /// buckets and queue spans under local indices). Copy-semantics: the
+    /// caller's envelope is unchanged.
+    pub(crate) fn localize(mut self, base: u32) -> Self {
+        debug_assert!(self.dst_idx >= base, "localize below the shard base");
+        self.dst_idx -= base;
+        self
+    }
+
     /// First data word, panicking with a protocol-bug message if absent.
     pub fn word(&self) -> u64 {
         *self

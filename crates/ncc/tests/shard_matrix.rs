@@ -1,0 +1,189 @@
+//! Shard-matrix differential tests: the ownership-sharded layout must be
+//! unobservable except through [`EngineStats`]. Every configuration runs
+//! at shard counts 1/2/4 × worker counts 1/2/8 and the RAW event streams
+//! (route-mode narration included), outputs, and bit-identical
+//! [`RunMetrics`] are held equal to the 1-shard/1-worker baseline — which
+//! exercises the monolithic single-arena engine, so this suite pins the
+//! sharded path to the unsharded one, not merely to itself.
+
+mod common;
+
+use common::Gossip;
+use dgr_ncc::{CapacityPolicy, Config, EngineKind, Network, Recording, RunResult, SimError};
+
+const SHARDS: [usize; 2] = [2, 4];
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+/// Runs the batched engine once per (shards × workers) cell and asserts
+/// outputs, metrics, and the raw event stream are bit-identical to the
+/// unsharded single-worker baseline.
+fn assert_shard_matrix(n: usize, config: &Config, base: u64, stagger: u64, fan: usize) {
+    let run = |shards: usize, workers: usize| {
+        let net = Network::new(
+            n,
+            config
+                .clone()
+                .with_shards(shards)
+                .with_worker_threads(workers),
+        );
+        let mut events = Recording::new();
+        let result: RunResult<u64> = net
+            .run_protocol_on(EngineKind::Batched, None, Some(&mut events), |s| {
+                Gossip::new(s, base, stagger, fan)
+            })
+            .unwrap();
+        (result, events.events().to_vec())
+    };
+    let (result_1, events_1) = run(1, 1);
+    assert_eq!(
+        result_1.engine.shards, 1,
+        "baseline is the unsharded engine"
+    );
+    assert!(result_1.engine.shard_windows.is_empty());
+    assert_eq!(result_1.engine.cross_shard_messages, 0);
+    for shards in SHARDS {
+        for workers in WORKERS {
+            let (result_s, events_s) = run(shards, workers);
+            assert_eq!(
+                result_1.outputs, result_s.outputs,
+                "transcripts diverge at {shards} shards × {workers} workers (n={n})"
+            );
+            assert_eq!(
+                result_1.metrics, result_s.metrics,
+                "metrics diverge at {shards} shards × {workers} workers (n={n})"
+            );
+            assert_eq!(
+                events_1, events_s,
+                "raw event streams diverge at {shards} shards × {workers} workers (n={n})"
+            );
+            // The layout itself must be reported faithfully: the full
+            // ownership map partitions the dense index space.
+            assert_eq!(result_s.engine.shards, shards);
+            assert_eq!(result_s.engine.shard_windows.len(), shards);
+            assert_eq!(
+                result_s.engine.shard_windows.iter().sum::<usize>(),
+                result_s.engine.dense_index_space,
+                "shard windows must partition the dense index space"
+            );
+            assert!(
+                result_s.engine.cross_shard_messages > 0,
+                "gossip traffic crosses ownership boundaries (n={n}, {shards} shards)"
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_matrix_queue_mode_tracked() {
+    // Queue pacing + knowledge tracking: FIFO backlog contents depend on
+    // exact bucket order, so the exchange splice is what's under test.
+    let mut config = Config::ncc0(71);
+    config.capacity_policy = CapacityPolicy::Queue;
+    assert_shard_matrix(6_000, &config, 10, 0, 3);
+}
+
+#[test]
+fn shard_matrix_compacting_record_tracked() {
+    // Staggered lifetimes drive per-shard compactions mid-run; the
+    // Compaction narration (global trigger, one event) is part of the raw
+    // stream being compared.
+    let mut config = Config::ncc0(72);
+    config.capacity_policy = CapacityPolicy::Record;
+    assert_shard_matrix(6_000, &config, 8, 6, 3);
+}
+
+#[test]
+fn shard_matrix_strict_kt0_clean() {
+    // Strict KT0 over the successor chain: clean tracked traffic, and the
+    // per-shard capacity checks must find nothing at every cell.
+    let config = Config::ncc0(73);
+    assert_shard_matrix(6_000, &config, 10, 0, 1);
+}
+
+#[test]
+fn strict_abort_blames_the_same_violation_at_every_shard_count() {
+    // Overloaded fan-in under Strict: each shard journals violations in
+    // slot order and the coordinator replays the journals in shard order,
+    // so the aborting violation must be the canonical first one no matter
+    // how ownership was partitioned.
+    let run = |shards: usize, workers: usize| {
+        let config = Config::ncc0(74)
+            .with_capacity_factor(0.5)
+            .with_shards(shards)
+            .with_worker_threads(workers);
+        let net = Network::new(6_000, config);
+        match net.run_protocol(|s| Gossip::new(s, 10, 0, 6)) {
+            Err(SimError::Violation(v)) => v,
+            other => panic!(
+                "expected a strict violation, got {:?}",
+                other.map(|r| r.metrics.rounds)
+            ),
+        }
+    };
+    let first = run(1, 1);
+    for shards in SHARDS {
+        for workers in WORKERS {
+            assert_eq!(
+                first,
+                run(shards, workers),
+                "canonical first violation diverges at {shards} shards × {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn masked_sharded_runs_agree_with_masked_unsharded() {
+    // Ownership shards split the *dense* participant space, so the masked
+    // remap composes with sharding: same sub-network transcript, same
+    // dense-index accounting, windows partition k (not n).
+    let mut config = Config::ncc0(17);
+    config.capacity_policy = CapacityPolicy::Record;
+    let run = |shards: usize| {
+        let net = Network::new(96, config.clone().with_shards(shards));
+        let mask: Vec<bool> = (0..96).map(|i| i % 3 != 1).collect();
+        net.run_protocol_masked(&mask, |s| Gossip::new(s, 8, 0, 2))
+            .unwrap()
+    };
+    let flat = run(1);
+    let sharded = run(4);
+    assert_eq!(flat.outputs, sharded.outputs);
+    assert_eq!(flat.metrics, sharded.metrics);
+    assert_eq!(sharded.engine.dense_index_space, 64);
+    assert_eq!(sharded.engine.shard_windows, vec![16; 4]);
+}
+
+#[test]
+fn shard_count_clamps_to_the_participant_space() {
+    // More shards than participants degrades gracefully to one node per
+    // shard (and stays bit-identical, like every other cell).
+    let config = Config::ncc0(19);
+    let run = |shards: usize| {
+        let net = Network::new(8, config.clone().with_shards(shards));
+        net.run_protocol(|s| Gossip::new(s, 6, 0, 1)).unwrap()
+    };
+    let flat = run(1);
+    let clamped = run(64);
+    assert_eq!(flat.outputs, clamped.outputs);
+    assert_eq!(flat.metrics, clamped.metrics);
+    assert_eq!(clamped.engine.shards, 8);
+    assert_eq!(clamped.engine.shard_windows, vec![1; 8]);
+}
+
+/// The ISSUE-scale matrix: 10^5 nodes through the same three configs.
+/// Release-mode only (`--ignored`); the in-tree 6k matrix above covers
+/// the same paths on every `cargo test`.
+#[test]
+#[ignore = "release-scale shard matrix; run with --ignored"]
+fn shard_matrix_at_n_100k() {
+    let mut queue = Config::ncc0(81);
+    queue.capacity_policy = CapacityPolicy::Queue;
+    assert_shard_matrix(100_000, &queue, 8, 0, 3);
+
+    let mut compacting = Config::ncc0(82);
+    compacting.capacity_policy = CapacityPolicy::Record;
+    assert_shard_matrix(100_000, &compacting, 6, 5, 3);
+
+    let strict = Config::ncc0(83);
+    assert_shard_matrix(100_000, &strict, 8, 0, 1);
+}

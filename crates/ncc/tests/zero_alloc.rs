@@ -70,7 +70,15 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 /// strict KT0 knowledge tracking on — the sorted-arena tracker's learns
 /// and lookups must also be allocation-free at steady state.
 fn allocations_for_config(rounds: u64, tracked: bool) -> u64 {
-    let mut config = Config::ncc0(99).with_worker_threads(1);
+    allocations_for_layout(rounds, tracked, 1)
+}
+
+/// Like [`allocations_for_config`] with an ownership-shard count: the
+/// sharded engine's per-`(src, dst)` exchange cells are cleared with
+/// capacity retained, so steady-state rounds must be just as silent as
+/// the single-arena layout's.
+fn allocations_for_layout(rounds: u64, tracked: bool, shards: usize) -> u64 {
+    let mut config = Config::ncc0(99).with_worker_threads(1).with_shards(shards);
     config.track_knowledge = tracked;
     let net = Network::new(512, config);
     let before = ALLOCATIONS.load(Ordering::Relaxed);
@@ -129,4 +137,24 @@ fn strict_kt0_tracking_does_not_allocate_per_round() {
          vs {long} over 510 — the knowledge tracker must be quiescent once \
          knowledge stops spreading"
     );
+}
+
+/// The sharded round loop — per-shard step/seal/deliver/learn plus the
+/// boundary-exchange phase — must also be allocation-free at steady
+/// state. Ping's successor sends cross each of the three ownership
+/// boundaries every round, so the exchange cells are exercised (filled,
+/// drained, and reused) on every measured round, tracked KT0 included.
+#[test]
+fn sharded_exchange_does_not_allocate_per_round() {
+    for tracked in [false, true] {
+        let _ = allocations_for_layout(5, tracked, 4);
+        let short = allocations_for_layout(10, tracked, 4);
+        let long = allocations_for_layout(510, tracked, 4);
+        assert_eq!(
+            long, short,
+            "sharded round loop allocates (tracked={tracked}): {short} \
+             allocations over 10 rounds vs {long} over 510 — exchange \
+             cells must be round-reused, not reallocated"
+        );
+    }
 }

@@ -340,6 +340,7 @@ pub struct Realization {
     capacity_factor: Option<f64>,
     sequential_ids: bool,
     workers: Option<usize>,
+    shards: Option<usize>,
     max_rounds: Option<u64>,
     certify: bool,
     sink: Option<Box<dyn Sink>>,
@@ -364,6 +365,7 @@ impl Clone for Realization {
             capacity_factor: self.capacity_factor,
             sequential_ids: self.sequential_ids,
             workers: self.workers,
+            shards: self.shards,
             max_rounds: self.max_rounds,
             certify: self.certify,
             sink: None,
@@ -385,6 +387,7 @@ impl std::fmt::Debug for Realization {
             .field("capacity_factor", &self.capacity_factor)
             .field("sequential_ids", &self.sequential_ids)
             .field("workers", &self.workers)
+            .field("shards", &self.shards)
             .field("max_rounds", &self.max_rounds)
             .field("certify", &self.certify)
             .field("observed", &self.sink.is_some())
@@ -410,6 +413,7 @@ impl Realization {
             capacity_factor: None,
             sequential_ids: false,
             workers: None,
+            shards: None,
             max_rounds: None,
             certify: true,
             sink: None,
@@ -483,6 +487,18 @@ impl Realization {
     /// Pins the batched executor's worker count (`0`/default = auto).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Splits the batched executor into ownership shards (default: `1`,
+    /// the single-arena layout): each shard owns a private slot arena,
+    /// wire/queue buffers and knowledge-tracker arena for a contiguous
+    /// dense-index range, joined per round by a deterministic
+    /// boundary-exchange phase. A layout knob like [`Realization::workers`]
+    /// — transcripts, metrics and event streams are bit-identical at every
+    /// shard count, and the threaded oracle ignores it.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
         self
     }
 
@@ -588,6 +604,26 @@ impl Realization {
         }
         if let Some(workers) = self.workers {
             config.worker_threads = workers;
+        }
+        if let Some(shards) = self.shards {
+            if shards == 0 {
+                return Err(RealizationError::InvalidRequest(
+                    ".shards(0) leaves the engine without a layout — the ownership-sharded \
+                     executor needs at least one shard (1 = the single-arena layout)"
+                        .into(),
+                ));
+            }
+            let participants = match &self.mask {
+                Some(mask) => mask.iter().filter(|&&p| p).count(),
+                None => self.input_len(),
+            };
+            if shards > participants {
+                return Err(RealizationError::InvalidRequest(format!(
+                    ".shards({shards}) exceeds the {participants} participating nodes — \
+                     every ownership shard needs a non-empty dense-index range"
+                )));
+            }
+            config.shards = shards;
         }
         if let Some(max_rounds) = self.max_rounds {
             config.max_rounds = max_rounds;
@@ -1000,6 +1036,48 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, RealizationError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn shards_knob_validates_and_threads_through() {
+        // Zero shards: no layout at all — named knob and value.
+        let err = Realization::new(Workload::Implicit(vec![1, 1]))
+            .shards(0)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, RealizationError::InvalidRequest(_)), "{err}");
+        assert!(err.to_string().contains(".shards(0)"), "{err}");
+
+        // More shards than nodes: both numbers named.
+        let err = Realization::new(Workload::Implicit(vec![2, 2, 1, 1]))
+            .shards(5)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains(".shards(5)"), "{err}");
+        assert!(err.to_string().contains("4 participating"), "{err}");
+
+        // The participant count is mask-aware: ownership shards split the
+        // dense (masked-in) space, not the raw input length.
+        let err = Realization::new(Workload::Implicit(vec![2, 2, 1, 1]))
+            .mask(vec![true, true, true, false])
+            .shards(4)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains(".shards(4)"), "{err}");
+        assert!(err.to_string().contains("3 participating"), "{err}");
+
+        // A legal shard count reaches the engine, and the realization is
+        // bit-identical to the single-arena layout.
+        let build = || Realization::new(Workload::Implicit(vec![3, 2, 2, 2, 1, 1, 1])).seed(17);
+        let flat = build().run().unwrap();
+        let sharded = build().shards(3).run().unwrap();
+        assert_eq!(sharded.engine_stats.shards, 3);
+        assert_eq!(sharded.engine_stats.shard_windows.iter().sum::<usize>(), 7);
+        assert_eq!(flat.metrics(), sharded.metrics());
+        assert_eq!(
+            flat.degrees().expect_realized().graph.edge_list(),
+            sharded.degrees().expect_realized().graph.edge_list()
+        );
     }
 
     #[test]

@@ -131,16 +131,18 @@ fn tracked_queue_warmup_at_n_200k() {
     assert!(result.engine.knowledge_arena >= n);
 }
 
-/// The road-to-10⁷ milestone: the NCC₀ path-to-clique warm-up at ten
-/// million nodes. Flat slot/arena state, the compact live-slot walk and
-/// the parallel sweeps keep the round loop linear in live traffic; run
-/// under `--ignored` (release mode required in practice).
+/// The road-to-10⁷ milestone, now the ownership-sharded exit bar: the
+/// NCC₀ path-to-clique warm-up at ten million nodes across eight shards
+/// with full KT0 knowledge tracking **on** — every contact learned
+/// through the boundary-exchange phase lands in some shard's private
+/// tracker arena, and per-shard compaction must survive the run's
+/// retirement wave without breaking the dense-index remap. Run under
+/// `--ignored` (release mode required in practice).
 #[test]
 #[ignore = "eight-digit n; run with --ignored in release mode"]
 fn batched_warmup_at_n_10m() {
     let n = 10_000_000;
-    let mut config = Config::ncc0(31);
-    config.track_knowledge = false;
+    let config = Config::ncc0(31).with_shards(8);
     let net = Network::new(n, config);
     let result = net
         .run_protocol(primitives::proto::PathToClique::new)
@@ -151,6 +153,48 @@ fn batched_warmup_at_n_10m() {
         primitives::proto::clique::rounds_for(n)
     );
     assert_eq!(result.outputs.len(), n);
+    assert!(
+        result.metrics.max_knowledge > 0,
+        "tracking was on; knowledge must accumulate through the exchange"
+    );
+    assert_eq!(result.engine.shards, 8);
+    assert_eq!(result.engine.shard_windows.iter().sum::<usize>(), n);
+    assert!(result.engine.cross_shard_messages > 0);
+    assert!(result.engine.knowledge_arena >= n);
+}
+
+/// The release-mode **sharded** tracked smoke CI runs alongside the
+/// unsharded one: the same 200k queue-paced tracked warm-up split across
+/// four ownership shards. Every power-of-two contact crosses shard
+/// boundaries through the exchange phase, and the per-shard tracker
+/// arenas must add up to the same knowledge footprint the single arena
+/// reports.
+#[test]
+fn sharded_tracked_queue_warmup_at_n_200k() {
+    let n = 200_000;
+    let mut config = Config::ncc0(29).with_shards(4);
+    config.capacity_policy = CapacityPolicy::Queue;
+    let net = Network::new(n, config);
+    let result = net
+        .run_protocol(primitives::proto::PathToClique::new)
+        .unwrap();
+    assert!(result.metrics.is_clean());
+    assert_eq!(
+        result.metrics.rounds,
+        primitives::proto::clique::rounds_for(n)
+    );
+    assert!(
+        result.metrics.max_knowledge > 0,
+        "tracking was on; knowledge must accumulate through the exchange"
+    );
+    assert_eq!(result.engine.shards, 4);
+    assert_eq!(result.engine.shard_windows.iter().sum::<usize>(), n);
+    assert!(
+        result.engine.cross_shard_messages > 0,
+        "long-range contacts must cross ownership boundaries"
+    );
+    assert_eq!(result.engine.dense_index_space, n);
+    assert!(result.engine.knowledge_arena >= n);
 }
 
 /// The batched NCC1 star construction at 100k nodes, verified
