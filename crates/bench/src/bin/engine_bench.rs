@@ -22,7 +22,7 @@
 
 use dgr_bench::drive::{CapacityPolicy, Engine, Kt0, Realization, SortBackend, Workload};
 use dgr_graphgen as graphgen;
-use dgr_ncc::{Config, EngineKind, EngineStats, Network, NullSink, RunMetrics};
+use dgr_ncc::{Config, EngineKind, EngineStats, Network, NullSink, RunMetrics, Scenario};
 use dgr_primitives::proto::sort::SortStep;
 use dgr_primitives::proto::{EstablishCtx, PathToClique, StepProtocol, WithCtx};
 use dgr_primitives::sort::{self, Order};
@@ -197,6 +197,54 @@ fn warmup_sharded(n: usize, repeats: u32, shards: usize) -> Vec<Entry> {
     measure(&workload, "batched", n, repeats, || {
         let r = net.run_protocol(PathToClique::new).unwrap();
         (r.metrics, r.engine)
+    })
+}
+
+/// The adversarial row: the batched warm-up under a seeded full-window
+/// 1% message drop. Every round the scenario engine rebuilds the sealed
+/// arena through its swap buffer (drawing per-message drop decisions in
+/// dense source order), so this history key prices the live fault pass
+/// itself against the unperturbed `warmup` row. The warm-up floods
+/// knowledge, so lost envelopes thin traffic without stalling anyone —
+/// the round count stays fixed and the run completes.
+fn warmup_drop(n: usize, repeats: u32) -> Vec<Entry> {
+    let scenario = Scenario::new(7).drop_messages(0..=u64::MAX, 0.01);
+    let net = Network::new(n, bench_config(42).with_scenario(scenario));
+    measure("warmup+drop1%", "batched", n, repeats, || {
+        let r = net.run_protocol(PathToClique::new).unwrap();
+        assert!(r.engine.faults_dropped > 0, "drop schedule never fired");
+        (r.metrics, r.engine)
+    })
+}
+
+/// The churn-carrying driver row. The realization protocols are
+/// retransmission-free — any fired fault or churn op is fatal by design
+/// (the facade surfaces a clean error; the scenario suite pins that
+/// contract) — so this row arms the full churn machinery instead: a
+/// compiled crash / crash-recovery timeline consulted at the top and
+/// bottom of **every round of every internal protocol run** the degrees
+/// driver performs, scheduled beyond any run's horizon. Its throughput
+/// against the plain `degrees-implicit` row is the quiescent cost of
+/// carrying an armed scenario through the deepest workload, which the
+/// history gate holds near zero.
+fn degrees_churn(n: usize, repeats: u32) -> Vec<Entry> {
+    let horizon = 1 << 30;
+    let degrees = graphgen::near_regular_sequence(n, 4, 9);
+    let scenario = Scenario::new(11)
+        .crash(0, horizon)
+        .crash_recover(1, horizon, horizon + 4)
+        .crash_recover(2, horizon + 1, horizon + 3);
+    measure("degrees+churn", "batched", n, repeats, || {
+        let out = request(
+            Workload::Implicit(degrees.clone()),
+            45,
+            true,
+            SortBackend::Bitonic,
+        )
+        .scenario(scenario.clone())
+        .run()
+        .unwrap();
+        (out.metrics().clone(), out.engine_stats.clone())
     })
 }
 
@@ -556,6 +604,7 @@ fn main() {
     for &(n, repeats) in warmup_sizes {
         eprintln!("batched warmup n={n} ...");
         entries.extend(warmup(n, repeats, true));
+        entries.extend(warmup_drop(n, repeats));
         entries.extend(warmup_streaming(n, repeats));
         for shards in [2, 4, 8] {
             eprintln!("batched warmup n={n} shards={shards} ...");
@@ -580,6 +629,7 @@ fn main() {
         // (warmup/establish never sort).
         entries.extend(dist_sort_rand(n, repeats));
         entries.extend(degrees_rand(n, repeats));
+        entries.extend(degrees_churn(n, repeats));
         entries.extend(tree_rand(n, repeats));
     }
     // The acceptance line for the randomized backend: strictly fewer

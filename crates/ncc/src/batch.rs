@@ -83,6 +83,7 @@ use crate::metrics::RunMetrics;
 use crate::network::{Network, RunResult};
 use crate::protocol::{NodeProtocol, NodeSeed, RoundCtx, Status};
 use crate::route::{QueueBuffers, RawSpans, RawU32, RouteBuffers};
+use crate::scenario::ChurnKind;
 use crate::wire::{WireEnvelope, DEAD_INDEX, NO_INDEX, WIRE_ADDRS, WIRE_WORDS};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -141,6 +142,12 @@ pub(crate) struct Slot<P: NodeProtocol> {
     pub(crate) id: NodeId,
     pub(crate) succ: Option<NodeId>,
     pub(crate) alive: bool,
+    /// Parked by the scenario schedule: a crash-paused node awaiting its
+    /// recovery round, or a churn joiner awaiting its join round. Paused
+    /// slots stay `alive` (they survive compaction and count toward the
+    /// live population — the run must outlast them) but are skipped by
+    /// every sweep and unreachable to senders (`alive_now` false).
+    pub(crate) paused: bool,
     pub(crate) rounds: u64,
     pub(crate) inbox_start: u32,
     pub(crate) inbox_len: u32,
@@ -174,6 +181,7 @@ impl<P: NodeProtocol> Slot<P> {
             id,
             succ,
             alive: true,
+            paused: false,
             rounds: 0,
             inbox_start: 0,
             inbox_len: 0,
@@ -223,7 +231,7 @@ pub(crate) fn step_slot<P: NodeProtocol>(
     arena: &[WireEnvelope],
     sh: &StepShared<'_>,
 ) -> StepOutcome {
-    if !slot.alive {
+    if !slot.alive || slot.paused {
         return StepOutcome::Skipped;
     }
     let inbox = &arena[slot.inbox_start as usize..][..slot.inbox_len as usize];
@@ -389,6 +397,20 @@ where
     });
     let dense_of_slice: Option<&[u32]> = dense_of.as_deref();
 
+    // Scenario engine: validate the fault schedule against this run and
+    // compile it to dense indices + sorted churn timelines. The runtime
+    // (timeline cursors, per-round fault RNG, swap arena) is engine state
+    // like any other reusable buffer.
+    let mut scenario_rt = match &config.scenario {
+        Some(s) => {
+            s.validate(n, participants, config.capacity_policy)
+                .map_err(SimError::InvalidScenario)?;
+            let compiled = s.compile(|node| dense_of_slice.map_or(node as u32, |map| map[node]));
+            Some(crate::scenario::ScenarioRt::new(compiled))
+        }
+        None => None,
+    };
+
     // KT0 knowledge, seeded along the path of *participating* nodes
     // (tracker rows are dense).
     let track = config.track_knowledge && config.model == Model::Ncc0;
@@ -431,6 +453,17 @@ where
     // Dense space: every participant starts alive; masked-out nodes have
     // no index at all (sends to them surface as DEAD_INDEX).
     let mut alive_now: Vec<bool> = vec![true; k];
+    // Churn joiners sit out every round before their scheduled join:
+    // parked (skipped by every sweep) and unreachable, like dead nodes —
+    // but still counted live, so the run waits for them.
+    if let Some(rt) = &scenario_rt {
+        for slot in slots.iter_mut() {
+            if rt.starts_parked(slot.idx) {
+                slot.paused = true;
+                alive_now[slot.idx as usize] = false;
+            }
+        }
+    }
     let mut buffers = RouteBuffers::new(k);
     let queue_mode = config.capacity_policy == CapacityPolicy::Queue;
     let strict = config.capacity_policy == CapacityPolicy::Strict;
@@ -486,6 +519,37 @@ where
         let window = slots.len();
         let chunk = window.div_ceil(workers).max(1);
 
+        // --- Scenario churn (pre-step): recoveries and joins scheduled
+        // for this round un-park their slots before anyone steps, and
+        // the round's fault rates (plus, when any could fire, the
+        // per-round coordinator RNG) are resolved. ---
+        if let Some(rt) = scenario_rt.as_mut() {
+            let round = metrics.rounds;
+            rt.begin_round(round);
+            for &op in rt.pre_step_ops(round) {
+                let Ok(pos) = slots.binary_search_by_key(&op.dense, |s| s.idx) else {
+                    continue;
+                };
+                let slot = &mut slots[pos];
+                if !slot.alive || !slot.paused {
+                    continue;
+                }
+                slot.paused = false;
+                alive_now[op.dense as usize] = true;
+                emitter.emit(match op.kind {
+                    ChurnKind::Recover => RunEvent::NodeRecovered {
+                        round,
+                        node: op.node,
+                    },
+                    ChurnKind::Join => RunEvent::NodeJoined {
+                        round,
+                        node: op.node,
+                    },
+                    ChurnKind::CrashStop | ChurnKind::CrashPause => continue,
+                });
+            }
+        }
+
         // --- Step phase: poll every live protocol in parallel. ---
         let t_phase = Instant::now();
         let finished = AtomicUsize::new(0);
@@ -531,7 +595,7 @@ where
                 .expect("panic flag set without a panic record");
             return Err(SimError::NodePanic { node, message });
         }
-        let newly_done = finished.load(Ordering::Relaxed);
+        let mut newly_done = finished.load(Ordering::Relaxed);
         if newly_done > 0 {
             live -= newly_done;
             for slot in slots.iter() {
@@ -558,6 +622,53 @@ where
                 if phase.is_some() || stage.is_some() {
                     emitter.emit_marks(metrics.rounds, phase, stage);
                 }
+            }
+        }
+        // --- Scenario churn (post-step): scheduled crash-stops and
+        // crash-pauses take effect *after* the node's step this round —
+        // the exact observable footprint of a protocol that voluntarily
+        // halts here (sends discarded like a `Done` step's, backlog to
+        // the dead-drain, compaction trigger fed), minus the output. A
+        // pause parks the slot instead of retiring it.
+        if let Some(rt) = scenario_rt.as_mut() {
+            let round = metrics.rounds;
+            for &op in rt.post_step_ops(round) {
+                let Ok(pos) = slots.binary_search_by_key(&op.dense, |s| s.idx) else {
+                    continue;
+                };
+                let slot = &mut slots[pos];
+                if !slot.alive || slot.paused {
+                    continue;
+                }
+                let i = op.dense as usize;
+                match op.kind {
+                    ChurnKind::CrashStop => {
+                        slot.alive = false;
+                        slot.proto = None;
+                        live -= 1;
+                        newly_done += 1;
+                        if queue_mode && queues.backlog_len(i) > 0 {
+                            dead_backlog.push(op.dense);
+                        }
+                    }
+                    ChurnKind::CrashPause => slot.paused = true,
+                    ChurnKind::Recover | ChurnKind::Join => continue,
+                }
+                slot.out.clear();
+                slot.inbox_len = 0;
+                slot.phase_mark = None;
+                slot.stage_mark = None;
+                alive_now[i] = false;
+                emitter.emit(RunEvent::NodeCrashed {
+                    round,
+                    node: op.node,
+                });
+            }
+            // A schedule that kills the last live node ends the run
+            // exactly as the last voluntary retirement would (no
+            // further round narration).
+            if live == 0 {
+                break;
             }
         }
         // --- Compaction: once the live population has halved relative to
@@ -769,6 +880,29 @@ where
             }
         }
 
+        // --- Scenario fault pass: perturb the sealed buckets (drop /
+        // duplicate / reorder) along the canonical walk — every slot in
+        // dense order; retired and parked slots have empty buckets and
+        // consume no randomness — then fold the tally into the round's
+        // delivered/word accounting and narrate it. Quiet rounds skip
+        // the pass entirely, staying bit-identical to a scenario-free
+        // engine.
+        if let Some(rt) = scenario_rt.as_mut() {
+            if rt.faults_active() {
+                rt.perturb(&mut buffers, slots.iter().map(|s| s.idx as usize));
+                let tally = rt.tally();
+                if tally.any() {
+                    round_messages = round_messages - tally.dropped + tally.duplicated;
+                    metrics.words = metrics.words - tally.words_removed + tally.words_added;
+                    emitter.emit(RunEvent::FaultInjected {
+                        round,
+                        dropped: tally.dropped,
+                        duplicated: tally.duplicated,
+                        reordered: tally.reordered,
+                    });
+                }
+            }
+        }
         route_nanos += t_phase.elapsed().as_nanos() as u64;
 
         // --- Receive side: capacity policy per bucket. The post-routing
@@ -803,7 +937,11 @@ where
                         continue;
                     }
                     let i = slot.idx as usize;
-                    let (start, take, queued) = queues.deliver(i, buffers.bucket(i), cap);
+                    // A parked slot receives nothing, but its backlog
+                    // must still ride the double-buffer swap (cap 0 =
+                    // re-queue everything, FIFO intact for recovery).
+                    let cap_i = if slot.paused { 0 } else { cap };
+                    let (start, take, queued) = queues.deliver(i, buffers.bucket(i), cap_i);
                     metrics.max_queue_len = metrics.max_queue_len.max(queued);
                     slot.inbox_start = start;
                     slot.inbox_len = take;
@@ -848,7 +986,9 @@ where
                             }
                             let i = slot.idx as usize;
                             let total = spans[i].1 as usize + counts[i] as usize;
-                            let take = total.min(cap);
+                            // Parked slots deliver nothing (their backlog
+                            // re-queues in full, same as the inline walk).
+                            let take = if slot.paused { 0 } else { total.min(cap) };
                             let queued = (total - take) as u32;
                             take_sum += take as u32;
                             queue_sum += queued;
@@ -913,7 +1053,7 @@ where
                             let backlog = &cur[bs as usize..(bs + bl) as usize];
                             let fresh = &route_arena[starts[i] as usize..][..counts[i] as usize];
                             let total = backlog.len() + fresh.len();
-                            let take = total.min(cap);
+                            let take = if slot.paused { 0 } else { total.min(cap) };
                             let tb = take.min(backlog.len());
                             slot.inbox_start = ic as u32;
                             slot.inbox_len = take as u32;

@@ -102,6 +102,13 @@ pub struct Config {
     /// clamped to the participant count. Like `worker_threads` this is a
     /// layout knob, ignored by the threaded oracle.
     pub shards: usize,
+    /// Optional seeded fault schedule ([`Scenario`](crate::Scenario))
+    /// applied by the batched executor between routing seal and delivery:
+    /// message drop/duplication/reordering plus crash-stop, crash-recovery
+    /// and mid-run joins at scheduled rounds. `None` (the default) is
+    /// bit-identical to a scenario-free run, as is `Some` with an empty
+    /// schedule. Unsupported by the threaded oracle (rejected up front).
+    pub scenario: Option<crate::Scenario>,
 }
 
 impl Config {
@@ -121,6 +128,7 @@ impl Config {
             max_rounds: 10_000_000,
             worker_threads: 0,
             shards: 1,
+            scenario: None,
         }
     }
 
@@ -162,6 +170,13 @@ impl Config {
     /// (`1` = the single-arena layout; clamped to the participant count).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Installs a seeded fault schedule (drops, duplicates, reorders,
+    /// crashes, recoveries, joins) for the batched executor to apply.
+    pub fn with_scenario(mut self, scenario: crate::Scenario) -> Self {
+        self.scenario = Some(scenario);
         self
     }
 

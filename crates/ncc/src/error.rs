@@ -73,6 +73,12 @@ pub enum SimError {
     /// The requested engine is not compiled in (the `threaded` feature is
     /// off and [`EngineKind::Threaded`](crate::EngineKind) was asked for).
     EngineUnavailable,
+    /// The configured [`Scenario`](crate::Scenario) is inconsistent with
+    /// the run it was attached to (node outside the participant mask,
+    /// recovery scheduled at or before its crash, reorder faults without
+    /// the queue policy, or the threaded oracle asked to run one). The
+    /// payload names the offending schedule entry.
+    InvalidScenario(String),
 }
 
 impl fmt::Display for SimError {
@@ -91,6 +97,7 @@ impl fmt::Display for SimError {
                     "threaded oracle engine not compiled in (feature `threaded`)"
                 )
             }
+            SimError::InvalidScenario(why) => write!(f, "invalid scenario: {why}"),
         }
     }
 }

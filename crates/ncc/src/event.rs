@@ -20,11 +20,17 @@
 //!
 //! Event ordering within one completed round `r`:
 //!
-//! 1. [`RunEvent::PhaseChange`] / [`RunEvent::StageTransition`] — protocol
+//! 1. [`RunEvent::NodeJoined`] / [`RunEvent::NodeRecovered`] — scenario
+//!    churn applied before the round's step phase, in schedule order;
+//! 2. [`RunEvent::PhaseChange`] / [`RunEvent::StageTransition`] — protocol
 //!    marks from the round's step phase (deduplicated: only *changes*
 //!    are emitted, in dense node-index order);
-//! 2. [`RunEvent::Compaction`] — batched executor only;
-//! 3. [`RunEvent::RoundCompleted`].
+//! 3. [`RunEvent::NodeCrashed`] — scenario crashes taking effect after
+//!    the round's step phase, in schedule order;
+//! 4. [`RunEvent::Compaction`] — batched executor only;
+//! 5. [`RunEvent::FaultInjected`] — the round's message-fault tally,
+//!    emitted only when the scenario engine perturbed something;
+//! 6. [`RunEvent::RoundCompleted`].
 //!
 //! One [`RunEvent::Done`] closes the engine stream; driver-level events
 //! (certification) may follow it on the same sink.
@@ -91,6 +97,52 @@ pub enum RunEvent {
         round: u64,
         /// Live slots surviving the compaction.
         live: usize,
+    },
+    /// The scenario engine perturbed this round's sealed traffic. Emitted
+    /// at most once per round, only when some counter is non-zero — so an
+    /// empty schedule leaves the stream bit-identical to a scenario-free
+    /// run. Deterministic given `(seed, scenario)`: the faults are drawn
+    /// from a per-round RNG in dense source order, worker- and
+    /// shard-invariant.
+    FaultInjected {
+        /// Round whose sealed traffic was perturbed.
+        round: u64,
+        /// Sealed messages discarded before delivery.
+        dropped: u64,
+        /// Extra copies injected before delivery.
+        duplicated: u64,
+        /// Destination buckets whose fresh FIFO prefix was permuted
+        /// (queue policy only).
+        reordered: u64,
+    },
+    /// A node was crash-stopped (or crash-paused, when a matching
+    /// [`NodeRecovered`](RunEvent::NodeRecovered) follows) by the
+    /// scenario schedule. Takes effect after the node's step in `round`:
+    /// the node participates in `round` and is unreachable thereafter —
+    /// exactly the observable footprint of a protocol that voluntarily
+    /// halts at `round`.
+    NodeCrashed {
+        /// Round after whose step phase the node went down.
+        round: u64,
+        /// Path position of the node (the schedule's addressing space).
+        node: usize,
+    },
+    /// A crashed node came back at the start of `round` per the scenario
+    /// schedule: its step machine resumes where it stopped, its queued
+    /// backlog survives, and messages sent while it was down are gone.
+    NodeRecovered {
+        /// Round at whose start the node rejoined.
+        round: u64,
+        /// Path position of the node.
+        node: usize,
+    },
+    /// A scheduled churn join: the node sat out every earlier round
+    /// (unreachable, like a dead node) and starts its protocol at `round`.
+    NodeJoined {
+        /// Round at whose start the node began participating.
+        round: u64,
+        /// Path position of the node.
+        node: usize,
     },
     /// Driver-level: the max-flow certification began.
     CertificationStarted {
@@ -189,6 +241,24 @@ impl RunEvent {
             }
             RunEvent::Compaction { round, live } => {
                 format!("{{\"event\":\"compaction\",\"round\":{round},\"live\":{live}}}")
+            }
+            RunEvent::FaultInjected {
+                round,
+                dropped,
+                duplicated,
+                reordered,
+            } => format!(
+                "{{\"event\":\"fault\",\"round\":{round},\"dropped\":{dropped},\
+                 \"duplicated\":{duplicated},\"reordered\":{reordered}}}"
+            ),
+            RunEvent::NodeCrashed { round, node } => {
+                format!("{{\"event\":\"node_crashed\",\"round\":{round},\"node\":{node}}}")
+            }
+            RunEvent::NodeRecovered { round, node } => {
+                format!("{{\"event\":\"node_recovered\",\"round\":{round},\"node\":{node}}}")
+            }
+            RunEvent::NodeJoined { round, node } => {
+                format!("{{\"event\":\"node_joined\",\"round\":{round},\"node\":{node}}}")
             }
             RunEvent::CertificationStarted { nodes } => {
                 format!("{{\"event\":\"certification_started\",\"nodes\":{nodes}}}")
@@ -331,6 +401,19 @@ impl Sink for MetricsRecorder {
                 }
                 self.open_phase = Some((phase, round));
             }
+            RunEvent::FaultInjected {
+                dropped,
+                duplicated,
+                reordered,
+                ..
+            } => {
+                self.stats.faults_dropped += dropped;
+                self.stats.faults_duplicated += duplicated;
+                self.stats.faults_reordered += reordered;
+            }
+            RunEvent::NodeCrashed { .. } => self.stats.crashes += 1,
+            RunEvent::NodeRecovered { .. } => self.stats.recoveries += 1,
+            RunEvent::NodeJoined { .. } => self.stats.joins += 1,
             RunEvent::Done { rounds, .. } => {
                 if let Some((open, start)) = self.open_phase.take() {
                     self.phases.push(PhaseRounds {
@@ -460,6 +543,25 @@ impl<W: std::io::Write + Send> Sink for ProgressSink<W> {
             ),
             RunEvent::PhaseChange { round, phase } => {
                 writeln!(self.writer, "round {:>8}: phase -> {phase}", round)
+            }
+            RunEvent::FaultInjected {
+                round,
+                dropped,
+                duplicated,
+                reordered,
+            } => writeln!(
+                self.writer,
+                "round {round:>8}: faults injected \
+                 ({dropped} dropped, {duplicated} duplicated, {reordered} reordered)"
+            ),
+            RunEvent::NodeCrashed { round, node } => {
+                writeln!(self.writer, "round {round:>8}: node {node} crashed")
+            }
+            RunEvent::NodeRecovered { round, node } => {
+                writeln!(self.writer, "round {round:>8}: node {node} recovered")
+            }
+            RunEvent::NodeJoined { round, node } => {
+                writeln!(self.writer, "round {round:>8}: node {node} joined")
             }
             RunEvent::CertificationStarted { nodes } => {
                 writeln!(self.writer, "certifying {nodes} nodes ...")

@@ -94,6 +94,7 @@ mod metrics;
 mod network;
 mod protocol;
 mod route;
+mod scenario;
 mod shard;
 mod wire;
 
@@ -108,6 +109,7 @@ pub use message::{tags, Envelope, Msg, NodeId};
 pub use metrics::{EngineStats, PhaseRounds, RunMetrics, ViolationCounts, ROUND_TRACE_LIMIT};
 pub use network::{Network, RunResult};
 pub use protocol::{NodeProtocol, NodeSeed, RoundCtx, Status};
+pub use scenario::{Scenario, ScenarioEvent};
 pub use wire::{WireEnvelope, WireMsg, WIRE_ADDRS, WIRE_WORDS};
 
 /// Computes the per-round send/receive capacity for an `n`-node network:

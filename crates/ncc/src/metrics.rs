@@ -164,6 +164,24 @@ pub struct EngineStats {
     /// (incoming-cell counting, the per-shard seal, and the canonical
     /// splice). 0 on unsharded runs.
     pub exchange_nanos: u64,
+    /// Sealed messages discarded by the scenario engine's drop faults.
+    /// Deterministic given `(seed, scenario)` — folded from the
+    /// [`FaultInjected`](crate::RunEvent::FaultInjected) narration, like
+    /// every other scenario counter below (all 0 on scenario-free runs).
+    pub faults_dropped: u64,
+    /// Extra copies injected by the scenario engine's duplicate faults.
+    pub faults_duplicated: u64,
+    /// Destination buckets whose fresh FIFO prefix the scenario engine
+    /// permuted (queue policy only).
+    pub faults_reordered: u64,
+    /// Nodes crash-stopped by the scenario schedule.
+    pub crashes: u64,
+    /// Nodes brought back by the scenario schedule after a scheduled
+    /// crash (crash-recovery, not crash-stop).
+    pub recoveries: u64,
+    /// Nodes that joined the run mid-protocol through the scenario
+    /// schedule's churn events.
+    pub joins: u64,
 }
 
 impl RunMetrics {

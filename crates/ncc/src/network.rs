@@ -423,6 +423,14 @@ mod threaded_runner {
         {
             let n = self.n;
             assert_eq!(alive.len(), n, "participant mask length must equal n");
+            if let Some(s) = &self.config().scenario {
+                return Err(SimError::InvalidScenario(format!(
+                    "the threaded oracle cannot run scenarios (scenario seed {} \
+                     with {} event(s) was configured); use the batched engine",
+                    s.seed(),
+                    s.events().len(),
+                )));
+            }
             let capacity = self.capacity();
             let (to_coord, from_nodes) = channel::unbounded::<Submission>();
             let mut to_nodes = Vec::with_capacity(n);

@@ -363,6 +363,29 @@ impl RouteBuffers {
     pub(crate) fn span(&self, i: usize) -> (u32, u32) {
         (self.starts[i], self.counts[i])
     }
+
+    /// The sealed arena's current length (an upper bound on the round's
+    /// total bucket volume — the scenario fault pass sizes its swap
+    /// arena from it).
+    pub(crate) fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Rewrites destination `i`'s bucket span. The scenario fault pass
+    /// rebuilds buckets into its own swap arena and re-points the spans
+    /// at the rebuilt layout before installing it.
+    pub(crate) fn set_span(&mut self, i: usize, start: u32, count: u32) {
+        self.starts[i] = start;
+        self.counts[i] = count;
+    }
+
+    /// Swaps `arena` in as the sealed delivery arena (the previous arena
+    /// lands in `arena`, to be reused as next round's swap buffer — both
+    /// vectors converge on their high-water capacity, so the exchange is
+    /// allocation-free at steady state).
+    pub(crate) fn install_arena(&mut self, arena: &mut Vec<WireEnvelope>) {
+        std::mem::swap(&mut self.arena, arena);
+    }
 }
 
 /// Flat-arena backlog for the [`Queue`](crate::CapacityPolicy::Queue)

@@ -57,6 +57,7 @@ use crate::batch::{
     step_slot, validate, Slot, StepOutcome, StepShared, PARALLEL_ROUTE_MIN_MSGS,
     PARALLEL_SWEEP_MIN_LIVE,
 };
+use crate::scenario::ChurnKind;
 
 /// One ownership shard: every piece of per-node engine state for one
 /// contiguous dense-index range, plus the shard's per-round journals and
@@ -189,6 +190,20 @@ where
     });
     let dense_of_slice: Option<&[u32]> = dense_of.as_deref();
 
+    // Scenario schedule: validated against this run's participant set
+    // and policy, then compiled to dense-index timelines. The runtime
+    // lives at the coordinator — churn and fault passes are coordinator
+    // phases, exactly like violation replay.
+    let mut scenario_rt = match &config.scenario {
+        Some(s) => {
+            s.validate(n, participants, config.capacity_policy)
+                .map_err(SimError::InvalidScenario)?;
+            let compiled = s.compile(|node| dense_of_slice.map_or(node as u32, |map| map[node]));
+            Some(crate::scenario::ScenarioRt::new(compiled))
+        }
+        None => None,
+    };
+
     // Per-shard KT0 trackers, seeded along the participant path (the
     // path link crossing a shard boundary lands in the predecessor's
     // shard — see `seed_path_sharded`).
@@ -271,6 +286,20 @@ where
     // parallel phases (the coordinator updates it between them).
     let mut alive_now: Vec<bool> = vec![true; k];
 
+    // Scheduled joiners start parked: alive (the run waits for them)
+    // but invisible to senders and skipped by every sweep until their
+    // join round un-parks them.
+    if let Some(rt) = &scenario_rt {
+        for sh in shards.iter_mut() {
+            for slot in sh.slots.iter_mut() {
+                if rt.starts_parked(slot.idx) {
+                    slot.paused = true;
+                    alive_now[slot.idx as usize] = false;
+                }
+            }
+        }
+    }
+
     // The exchange cells: row `src * S + dst` holds the envelopes shard
     // `src` diverted toward shard `dst` this round, in shard-`src` slot
     // order. Cleared (capacity retained) by the source at the start of
@@ -308,8 +337,41 @@ where
     let (mut exchange_nanos, mut deliver_nanos, mut learn_nanos) = (0u64, 0u64, 0u64);
     let (mut parallel_sweep_rounds, mut inline_sweep_rounds) = (0u64, 0u64);
 
+    let (mut fault_words_added, mut fault_words_removed) = (0u64, 0u64);
+
     while live > 0 {
         let window: usize = shards.iter().map(|sh| sh.slots.len()).sum();
+
+        // --- Scenario churn (pre-step): recoveries and joins un-park
+        // their slots before anyone steps; the round's fault rates (and,
+        // when any could fire, the coordinator RNG) are resolved here. ---
+        if let Some(rt) = scenario_rt.as_mut() {
+            let round = metrics.rounds;
+            rt.begin_round(round);
+            for &op in rt.pre_step_ops(round) {
+                let sh = &mut shards[shard_of(op.dense as usize)];
+                let Ok(pos) = sh.slots.binary_search_by_key(&op.dense, |sl| sl.idx) else {
+                    continue;
+                };
+                let slot = &mut sh.slots[pos];
+                if !slot.alive || !slot.paused {
+                    continue;
+                }
+                slot.paused = false;
+                alive_now[op.dense as usize] = true;
+                emitter.emit(match op.kind {
+                    ChurnKind::Recover => RunEvent::NodeRecovered {
+                        round,
+                        node: op.node,
+                    },
+                    ChurnKind::Join => RunEvent::NodeJoined {
+                        round,
+                        node: op.node,
+                    },
+                    ChurnKind::CrashStop | ChurnKind::CrashPause => continue,
+                });
+            }
+        }
 
         // --- Step phase: each shard polls its own slots over its own
         // inbox arena. ---
@@ -354,7 +416,7 @@ where
                 .expect("panic flag set without a panic record");
             return Err(SimError::NodePanic { node, message });
         }
-        let newly_done: usize = shards.iter().map(|sh| sh.finished).sum();
+        let mut newly_done: usize = shards.iter().map(|sh| sh.finished).sum();
         if newly_done > 0 {
             live -= newly_done;
             for sh in shards.iter_mut() {
@@ -383,6 +445,52 @@ where
                         emitter.emit_marks(metrics.rounds, phase, stage);
                     }
                 }
+            }
+        }
+        // --- Scenario churn (post-step): crash-stops and crash-pauses
+        // take effect after the step, mirroring the unsharded engine —
+        // the crashed node stepped this round but its sends are
+        // discarded, and its backlog joins the shard's dead-drain. ---
+        if let Some(rt) = scenario_rt.as_mut() {
+            let round = metrics.rounds;
+            for &op in rt.post_step_ops(round) {
+                let sh = &mut shards[shard_of(op.dense as usize)];
+                let Ok(pos) = sh.slots.binary_search_by_key(&op.dense, |sl| sl.idx) else {
+                    continue;
+                };
+                let slot = &mut sh.slots[pos];
+                if !slot.alive || slot.paused {
+                    continue;
+                }
+                match op.kind {
+                    ChurnKind::CrashStop => {
+                        slot.alive = false;
+                        slot.proto = None;
+                        live -= 1;
+                        newly_done += 1;
+                        let local = op.dense - sh.base;
+                        if queue_mode && sh.queues.backlog_len(local as usize) > 0 {
+                            sh.dead_backlog.push(local);
+                        }
+                    }
+                    ChurnKind::CrashPause => slot.paused = true,
+                    ChurnKind::Recover | ChurnKind::Join => continue,
+                }
+                let slot = &mut sh.slots[pos];
+                slot.out.clear();
+                slot.inbox_len = 0;
+                slot.phase_mark = None;
+                slot.stage_mark = None;
+                alive_now[op.dense as usize] = false;
+                emitter.emit(RunEvent::NodeCrashed {
+                    round,
+                    node: op.node,
+                });
+            }
+            // Killing the last live node ends the run exactly as the
+            // last voluntary retirement would.
+            if live == 0 {
+                break;
             }
         }
         // --- Compaction: the unsharded (global) trigger; each shard
@@ -558,6 +666,39 @@ where
         }
         exchange_nanos += t_phase.elapsed().as_nanos() as u64;
 
+        // --- Scenario fault pass: perturb each shard's sealed buckets
+        // in shard order — shard ranges ascend, so this is exactly the
+        // global dense destination walk of the unsharded engine and the
+        // coordinator RNG is consumed identically at any shard count.
+        // The swap arena rotates through the shards' arenas, converging
+        // on the largest high-water mark (no steady-state allocation).
+        if let Some(rt) = scenario_rt.as_mut() {
+            if rt.faults_active() {
+                for sh in shards.iter_mut() {
+                    let ShardState {
+                        base,
+                        slots,
+                        buffers,
+                        ..
+                    } = sh;
+                    let b = *base;
+                    rt.perturb(buffers, slots.iter().map(|sl| (sl.idx - b) as usize));
+                }
+                let tally = rt.tally();
+                if tally.any() {
+                    round_messages = round_messages - tally.dropped + tally.duplicated;
+                    fault_words_added += tally.words_added;
+                    fault_words_removed += tally.words_removed;
+                    emitter.emit(RunEvent::FaultInjected {
+                        round,
+                        dropped: tally.dropped,
+                        duplicated: tally.duplicated,
+                        reordered: tally.reordered,
+                    });
+                }
+            }
+        }
+
         // --- Receive side: shard-local queue delivery or capacity
         // checks (journaled, replayed in shard order below). ---
         let t_phase = Instant::now();
@@ -590,7 +731,11 @@ where
                         continue;
                     }
                     let i = (slot.idx as usize) - lo;
-                    let (start, take, queued) = queues.deliver(i, buffers.bucket(i), cap);
+                    // A parked slot receives nothing, but its backlog
+                    // must still ride the double-buffer swap (cap 0 =
+                    // re-queue everything, FIFO intact for recovery).
+                    let cap_i = if slot.paused { 0 } else { cap };
+                    let (start, take, queued) = queues.deliver(i, buffers.bucket(i), cap_i);
                     *max_queue = (*max_queue).max(queued);
                     slot.inbox_start = start;
                     slot.inbox_len = take;
@@ -712,6 +857,10 @@ where
         metrics.max_queue_len = metrics.max_queue_len.max(sh.max_queue);
         metrics.undelivered += sh.undelivered + sh.queues.backlog_total();
     }
+    // Scenario faults adjust the word fold the same way the unsharded
+    // engine adjusts it in-round (folded here because the per-shard word
+    // counters are only harvested at the end of the run).
+    metrics.words = metrics.words + fault_words_added - fault_words_removed;
     if track {
         metrics.max_knowledge = shards
             .iter()

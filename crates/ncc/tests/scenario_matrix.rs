@@ -1,0 +1,281 @@
+//! Scenario-matrix differential tests: seeded fault injection must be a
+//! pure function of `(run seed, scenario seed, schedule)` — invisible to
+//! the execution layout. A fixed schedule runs at shard counts 1/2/4 ×
+//! worker counts 1/2/8 and the outputs, bit-identical [`RunMetrics`], and
+//! RAW event streams (fault and churn narration included) are held equal
+//! to the 1-shard/1-worker baseline. The suite also pins the two identity
+//! contracts: an empty schedule is bit-identical to a scenario-free run,
+//! and a scheduled crash-stop is transcript-identical to the same node
+//! dying voluntarily in the same round.
+
+mod common;
+
+use common::Gossip;
+use dgr_ncc::{
+    CapacityPolicy, Config, EngineKind, Network, Recording, RunEvent, RunResult, Scenario, SimError,
+};
+
+const SHARDS: [usize; 2] = [2, 4];
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+/// Runs the batched engine once per (shards × workers) cell under the
+/// given scenario and asserts outputs, metrics, and the raw event stream
+/// are bit-identical to the unsharded single-worker baseline.
+fn assert_scenario_matrix(
+    n: usize,
+    config: &Config,
+    scenario: &Scenario,
+    base: u64,
+    stagger: u64,
+    fan: usize,
+) -> (RunResult<u64>, Vec<RunEvent>) {
+    let run = |shards: usize, workers: usize| {
+        let net = Network::new(
+            n,
+            config
+                .clone()
+                .with_shards(shards)
+                .with_worker_threads(workers)
+                .with_scenario(scenario.clone()),
+        );
+        let mut events = Recording::new();
+        let result: RunResult<u64> = net
+            .run_protocol_on(EngineKind::Batched, None, Some(&mut events), |s| {
+                Gossip::new(s, base, stagger, fan)
+            })
+            .unwrap();
+        (result, events.events().to_vec())
+    };
+    let (result_1, events_1) = run(1, 1);
+    for shards in SHARDS {
+        for workers in WORKERS {
+            let (result_s, events_s) = run(shards, workers);
+            assert_eq!(
+                result_1.outputs, result_s.outputs,
+                "transcripts diverge at {shards} shards × {workers} workers (n={n})"
+            );
+            assert_eq!(
+                result_1.metrics, result_s.metrics,
+                "metrics diverge at {shards} shards × {workers} workers (n={n})"
+            );
+            assert_eq!(
+                events_1, events_s,
+                "raw event streams diverge at {shards} shards × {workers} workers (n={n})"
+            );
+        }
+    }
+    (result_1, events_1)
+}
+
+#[test]
+fn scenario_matrix_full_schedule_queue_tracked() {
+    // Every fault family at once, under the policy that makes delivery
+    // order observable (FIFO backlog) and with KT0 tracking folding the
+    // delivered envelopes into per-node knowledge: drop and duplicate
+    // windows overlap, a reorder window permutes fresh prefixes, two
+    // nodes crash (one recovers), and one node joins late.
+    let mut config = Config::ncc0(91);
+    config.capacity_policy = CapacityPolicy::Queue;
+    let scenario = Scenario::new(4242)
+        .drop_messages(2..=9, 0.02)
+        .duplicate_messages(4..=12, 0.01)
+        .reorder(3..=10)
+        .crash(17, 6)
+        .crash_recover(23, 4, 8)
+        .join(41, 5);
+    let (result, events) = assert_scenario_matrix(4_000, &config, &scenario, 14, 0, 3);
+
+    // The schedule actually fired, and the narration reached the stats.
+    let stats = &result.engine;
+    assert!(stats.faults_dropped > 0, "drop window never fired");
+    assert!(stats.faults_duplicated > 0, "duplicate window never fired");
+    assert!(stats.faults_reordered > 0, "reorder window never fired");
+    assert_eq!(stats.crashes, 2, "crash-stop + crash-pause narration");
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(stats.joins, 1);
+    let narrated: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::FaultInjected { dropped, .. } => Some(*dropped),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(narrated, stats.faults_dropped);
+    // The crash-stopped node produces no output; everyone else retires
+    // normally (the run completes under fire — Gossip is lifetime-driven
+    // and tolerates lost traffic).
+    assert_eq!(result.outputs.len(), 3_999);
+}
+
+#[test]
+fn empty_schedule_is_bit_identical_to_scenario_free() {
+    let mut config = Config::ncc0(92);
+    config.capacity_policy = CapacityPolicy::Queue;
+    let run = |scenario: Option<Scenario>| {
+        let mut c = config.clone();
+        if let Some(s) = scenario {
+            c = c.with_scenario(s);
+        }
+        let net = Network::new(2_000, c);
+        let mut events = Recording::new();
+        let result: RunResult<u64> = net
+            .run_protocol_on(EngineKind::Batched, None, Some(&mut events), |s| {
+                Gossip::new(s, 10, 6, 3)
+            })
+            .unwrap();
+        (result, events.events().to_vec())
+    };
+    let (base_result, base_events) = run(None);
+    let (empty_result, empty_events) = run(Some(Scenario::new(777)));
+    assert_eq!(base_result.outputs, empty_result.outputs);
+    assert_eq!(base_result.metrics, empty_result.metrics);
+    assert_eq!(base_events, empty_events, "empty schedule must be inert");
+
+    // Same for a schedule whose windows can never fire: quiet rounds
+    // consume no randomness and never touch the arena.
+    let (far_result, far_events) = run(Some(
+        Scenario::new(778).drop_messages(1_000_000..=u64::MAX, 0.5),
+    ));
+    assert_eq!(base_result.outputs, far_result.outputs);
+    assert_eq!(base_result.metrics, far_result.metrics);
+    assert_eq!(
+        base_events, far_events,
+        "never-firing windows must be inert"
+    );
+}
+
+#[test]
+fn crash_stop_matches_the_voluntary_death_transcript() {
+    // Run A: every node dies voluntarily at its staggered lifetime.
+    // Run B: immortal protocols, and a schedule that crash-stops each
+    // node at exactly the round its twin would have retired. The wire
+    // footprint of a crash is designed to be *exactly* a voluntary
+    // `Done` (the node steps in its final round, its staged sends are
+    // discarded, senders see DeadRecipient from the same round on) — so
+    // events (minus the NodeCrashed narration) and metrics must match
+    // bit for bit; only the outputs differ (a crashed node never gets
+    // to return one).
+    let n = 1_500;
+    let (base, stagger, fan) = (8u64, 6u64, 2usize);
+    let mut config = Config::ncc0(93);
+    config.capacity_policy = CapacityPolicy::Queue;
+
+    let net = Network::new(n, config.clone());
+    let mut voluntary_events = Recording::new();
+    let voluntary: RunResult<u64> = net
+        .run_protocol_on(
+            EngineKind::Batched,
+            None,
+            Some(&mut voluntary_events),
+            |s| Gossip::new(s, base, stagger, fan),
+        )
+        .unwrap();
+
+    let mut scenario = Scenario::new(0);
+    for (pos, &id) in net.ids_in_path_order().iter().enumerate() {
+        scenario = scenario.crash(pos, base + id % stagger);
+    }
+    let net = Network::new(n, config.with_scenario(scenario));
+    let mut crashed_events = Recording::new();
+    let crashed: RunResult<u64> = net
+        .run_protocol_on(EngineKind::Batched, None, Some(&mut crashed_events), |s| {
+            Gossip::new(s, u64::MAX, 0, fan)
+        })
+        .unwrap();
+
+    assert_eq!(voluntary.metrics, crashed.metrics);
+    let without_churn: Vec<RunEvent> = crashed_events
+        .events()
+        .iter()
+        .filter(|e| !matches!(e, RunEvent::NodeCrashed { .. }))
+        .cloned()
+        .collect();
+    assert_eq!(
+        voluntary_events.events(),
+        &without_churn[..],
+        "crash-stop must be wire-identical to voluntary death"
+    );
+    assert_eq!(voluntary.outputs.len(), n);
+    assert!(crashed.outputs.is_empty());
+    assert_eq!(crashed.engine.crashes, n as u64);
+}
+
+#[test]
+fn scenarios_reject_the_threaded_oracle() {
+    let config = Config::ncc0(94).with_scenario(Scenario::new(1).drop_messages(0..=5, 0.1));
+    let net = Network::new(64, config);
+    match net.run_protocol_threaded(|s| Gossip::new(s, 5, 0, 1)) {
+        Err(SimError::InvalidScenario(why)) => {
+            assert!(why.contains("threaded oracle"), "unhelpful message: {why}")
+        }
+        other => panic!(
+            "expected InvalidScenario, got {:?}",
+            other.map(|r| r.metrics.rounds)
+        ),
+    }
+}
+
+#[test]
+fn invalid_schedules_are_rejected_before_setup() {
+    // Reorder without a FIFO queue to permute.
+    let config = Config::ncc0(95).with_scenario(Scenario::new(1).reorder(0..=5));
+    let net = Network::new(64, config);
+    match net.run_protocol(|s| Gossip::new(s, 5, 0, 1)) {
+        Err(SimError::InvalidScenario(why)) => {
+            assert!(why.contains("CapacityPolicy::Queue"), "message: {why}")
+        }
+        other => panic!(
+            "expected InvalidScenario, got {:?}",
+            other.map(|r| r.metrics.rounds)
+        ),
+    }
+    // Node outside the network.
+    let config = Config::ncc0(96).with_scenario(Scenario::new(1).crash(64, 3));
+    let net = Network::new(64, config);
+    match net.run_protocol(|s| Gossip::new(s, 5, 0, 1)) {
+        Err(SimError::InvalidScenario(why)) => {
+            assert!(why.contains("not a participant"), "message: {why}")
+        }
+        other => panic!(
+            "expected InvalidScenario, got {:?}",
+            other.map(|r| r.metrics.rounds)
+        ),
+    }
+}
+
+/// The certified-under-drops contract: a lossy network degrades the
+/// transcript, never the engine. The run completes, every surviving node
+/// retires with an output, and the post-fault accounting balances — the
+/// per-round delivered counts the engine narrates equal the sealed
+/// volume minus drops plus duplicates, which the stats counters must
+/// reproduce exactly.
+#[test]
+fn gossip_certifies_under_one_percent_drop() {
+    let mut config = Config::ncc0(97);
+    config.capacity_policy = CapacityPolicy::Queue;
+    let scenario = Scenario::new(29)
+        .drop_messages(0..=u64::MAX, 0.01)
+        .duplicate_messages(0..=u64::MAX, 0.005);
+    let net = Network::new(4_000, config.with_scenario(scenario));
+    let mut events = Recording::new();
+    let result: RunResult<u64> = net
+        .run_protocol_on(EngineKind::Batched, None, Some(&mut events), |s| {
+            Gossip::new(s, 12, 5, 3)
+        })
+        .unwrap();
+    assert_eq!(result.outputs.len(), 4_000, "every node must still retire");
+    let stats = &result.engine;
+    assert!(stats.faults_dropped > 0);
+    assert!(stats.faults_duplicated > 0);
+    // Conservation: sum of narrated per-round deliveries == total
+    // delivered messages in the metrics, fault adjustments included.
+    let narrated: u64 = events
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::RoundCompleted { delivered, .. } => Some(*delivered),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(narrated, result.metrics.messages);
+}

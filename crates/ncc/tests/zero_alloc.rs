@@ -20,7 +20,7 @@
 mod common;
 
 use common::Ping;
-use dgr_ncc::{Config, Network};
+use dgr_ncc::{Config, Network, Scenario};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -137,6 +137,56 @@ fn strict_kt0_tracking_does_not_allocate_per_round() {
          vs {long} over 510 — the knowledge tracker must be quiescent once \
          knowledge stops spreading"
     );
+}
+
+/// Allocation count of a Ping run under an always-on drop + duplicate
+/// scenario. The fault pass rebuilds every bucket through the scenario's
+/// swap arena each round; that arena (and the pre-compiled churn
+/// timelines, and the stack-seeded per-round RNG) must be round-reused —
+/// after the first faulted round, nothing about injection may touch the
+/// heap.
+fn allocations_for_scenario(rounds: u64, shards: usize) -> u64 {
+    let scenario = Scenario::new(5)
+        .drop_messages(1..=u64::MAX, 0.02)
+        .duplicate_messages(1..=u64::MAX, 0.01);
+    let config = Config::ncc0(99)
+        .with_worker_threads(1)
+        .with_shards(shards)
+        .with_scenario(scenario);
+    let net = Network::new(512, config);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    MEASURING.with(|m| m.set(true));
+    let result = net.run_protocol(|s| Ping::new(s, rounds)).unwrap();
+    MEASURING.with(|m| m.set(false));
+    assert_eq!(result.metrics.rounds, rounds);
+    assert!(
+        result.engine.faults_dropped > 0,
+        "the drop window never fired — the probe is not measuring the fault pass"
+    );
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// Fault injection must be allocation-free at steady state, in both the
+/// single-arena and the ownership-sharded layouts (where the swap arena
+/// rotates through the shards' bucket arenas).
+#[test]
+fn scenario_fault_pass_does_not_allocate_per_round() {
+    // Fault volume is random per round, so high-water convergence takes a
+    // few dozen rounds (the rarest realloc observed lands before round
+    // 60). Both run lengths replay the identical seeded prefix, so
+    // comparing 110 vs 510 rounds asserts exactly: no allocation after
+    // convergence, for 400 further faulted rounds.
+    for shards in [1usize, 4] {
+        let _ = allocations_for_scenario(5, shards);
+        let short = allocations_for_scenario(110, shards);
+        let long = allocations_for_scenario(510, shards);
+        assert_eq!(
+            long, short,
+            "scenario round loop allocates ({shards} shard(s)): {short} \
+             allocations over 110 rounds vs {long} over 510 — the fault \
+             pass's scratch buffers must be round-reused"
+        );
+    }
 }
 
 /// The sharded round loop — per-shard step/seal/deliver/learn plus the

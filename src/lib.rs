@@ -144,7 +144,7 @@ use std::sync::mpsc;
 pub use dgr_ncc::EngineKind as Engine;
 pub use dgr_ncc::{
     CapacityPolicy, JsonlSink, MetricsRecorder, NodeId, NullSink, PhaseRounds, ProgressSink,
-    Recording, RouteMode, RunEvent, Sink,
+    Recording, RouteMode, RunEvent, Scenario, ScenarioEvent, Sink,
 };
 pub use dgr_primitives::sort::SortBackend;
 
@@ -159,7 +159,7 @@ pub mod prelude {
     pub use dgr_graph::Graph;
     pub use dgr_ncc::{
         CapacityPolicy, Config, Model, Network, NodeId, NullSink, ProgressSink, Recording,
-        RunEvent, RunMetrics, Sink,
+        RunEvent, RunMetrics, Scenario, ScenarioEvent, Sink,
     };
     pub use dgr_trees::{TreeAlgo, TreeRealization};
 }
@@ -343,6 +343,7 @@ pub struct Realization {
     shards: Option<usize>,
     max_rounds: Option<u64>,
     certify: bool,
+    scenario: Option<Scenario>,
     sink: Option<Box<dyn Sink>>,
 }
 
@@ -368,6 +369,7 @@ impl Clone for Realization {
             shards: self.shards,
             max_rounds: self.max_rounds,
             certify: self.certify,
+            scenario: self.scenario.clone(),
             sink: None,
         }
     }
@@ -390,6 +392,7 @@ impl std::fmt::Debug for Realization {
             .field("shards", &self.shards)
             .field("max_rounds", &self.max_rounds)
             .field("certify", &self.certify)
+            .field("scenario", &self.scenario)
             .field("observed", &self.sink.is_some())
             .finish()
     }
@@ -416,6 +419,7 @@ impl Realization {
             shards: None,
             max_rounds: None,
             certify: true,
+            scenario: None,
             sink: None,
         }
     }
@@ -499,6 +503,22 @@ impl Realization {
     /// shard count, and the threaded oracle ignores it.
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = Some(shards);
+        self
+    }
+
+    /// Attaches a seeded adversary: a [`Scenario`] schedule of message
+    /// faults (drop / duplicate / reorder rates over round windows) and
+    /// node churn (crash-stop, crash-recovery, late joins), injected
+    /// deterministically between the engine's routing seal and delivery.
+    /// The schedule rides the simulator configuration, so it applies to
+    /// **every** batched protocol run the workload performs (round
+    /// numbers restart per run). Fault injection never changes what a
+    /// scenario-free run would do — an empty schedule is bit-identical
+    /// to no scenario at all, and a given `(seed, scenario)` pair replays
+    /// identically at any worker or shard count. Batched engine only:
+    /// combining it with [`Engine::Threaded`] is rejected at validation.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
         self
     }
 
@@ -641,6 +661,27 @@ impl Realization {
                  recording) capacity policy for its scatter fan-in, but {policy_source} — \
                  add .policy(CapacityPolicy::Queue)"
             )));
+        }
+        if let Some(scenario) = &self.scenario {
+            if self.engine == Engine::Threaded {
+                return Err(RealizationError::InvalidRequest(format!(
+                    ".scenario(seed {}) cannot run on .engine(Engine::Threaded) — fault \
+                     injection lives in the batched engines' routing seal; drop the \
+                     engine override or use Engine::Batched",
+                    scenario.seed()
+                )));
+            }
+            if let Err(why) = scenario.validate(
+                self.input_len(),
+                self.mask.as_deref(),
+                config.capacity_policy,
+            ) {
+                return Err(RealizationError::InvalidRequest(format!(
+                    ".scenario(seed {}) is inconsistent with this request: {why}",
+                    scenario.seed()
+                )));
+            }
+            config.scenario = Some(scenario.clone());
         }
         Ok(config)
     }

@@ -131,6 +131,45 @@ fn tracked_queue_warmup_at_n_200k() {
     assert!(result.engine.knowledge_arena >= n);
 }
 
+/// The release-mode adversarial smoke CI runs alongside the tracked one:
+/// the same 200k queue-paced tracked warm-up with a seeded scenario
+/// dropping 1% of all sealed traffic. Faults degrade the transcript,
+/// never the engine — the run still completes in the fixed warm-up round
+/// count, stays violation-free (drops happen *after* validation), keeps
+/// accumulating knowledge from what does get through, and the fault
+/// counters reconcile with a seeded replay.
+#[test]
+fn drop1_tracked_queue_warmup_at_n_200k() {
+    let n = 200_000;
+    let run = || {
+        let mut config = Config::ncc0(29);
+        config.capacity_policy = CapacityPolicy::Queue;
+        let config = config.with_scenario(Scenario::new(29).drop_messages(0..=u64::MAX, 0.01));
+        let net = Network::new(n, config);
+        net.run_protocol(primitives::proto::PathToClique::new)
+            .unwrap()
+    };
+    let result = run();
+    assert!(result.metrics.is_clean());
+    assert_eq!(
+        result.metrics.rounds,
+        primitives::proto::clique::rounds_for(n)
+    );
+    assert_eq!(result.outputs.len(), n, "every node still retires");
+    assert!(
+        result.metrics.max_knowledge > 0,
+        "tracking was on; surviving traffic must still teach"
+    );
+    assert!(
+        result.engine.faults_dropped > 0,
+        "the full-window 1% schedule must fire at 200k scale"
+    );
+    // Same (run seed, scenario seed) → the same messages die.
+    let replay = run();
+    assert_eq!(replay.engine.faults_dropped, result.engine.faults_dropped);
+    assert_eq!(replay.metrics, result.metrics);
+}
+
 /// The road-to-10⁷ milestone, now the ownership-sharded exit bar: the
 /// NCC₀ path-to-clique warm-up at ten million nodes across eight shards
 /// with full KT0 knowledge tracking **on** — every contact learned
