@@ -491,6 +491,7 @@ fn parse_history_entries(line: &str) -> Vec<(String, f64)> {
 /// `workload@n`, stamped with the wall clock, the sweep mode, and the
 /// hardware fingerprint the regression gate scopes to.
 fn history_record(entries: &[Entry], quick: bool, fingerprint: &str) -> String {
+    // detlint: allow(ambient-entropy) — wall-clock stamp for the append-only BENCH_history entry; benchmarking is the one place wall time is the point
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())

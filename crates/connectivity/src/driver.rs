@@ -20,7 +20,7 @@ use dgr_ncc::{
     Config, EngineKind, EngineStats, Model, Network, NodeId, RunEvent, RunMetrics, SimError, Sink,
 };
 use dgr_primitives::sort::SortBackend;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How many nodes at most get the full `O(n²)`-flow all-pairs check;
 /// larger instances use the hub check (which the paper's own proof
@@ -33,18 +33,18 @@ pub struct ThresholdRealization {
     /// The realized overlay.
     pub graph: Graph,
     /// Requirement per node.
-    pub rho: HashMap<NodeId, usize>,
+    pub rho: BTreeMap<NodeId, usize>,
     /// Node IDs in knowledge-path order.
     pub path_order: Vec<NodeId>,
     /// Explicit neighbor lists (NCC0 driver only; empty for NCC1).
-    pub explicit_neighbors: HashMap<NodeId, Vec<NodeId>>,
+    pub explicit_neighbors: BTreeMap<NodeId, Vec<NodeId>>,
     /// The max-flow certification report.
     pub report: ThresholdReport,
     /// Simulator metrics.
     pub metrics: RunMetrics,
 }
 
-fn rho_assignment(net: &Network, inst: &ThresholdInstance) -> HashMap<NodeId, usize> {
+fn rho_assignment(net: &Network, inst: &ThresholdInstance) -> BTreeMap<NodeId, usize> {
     net.assign_in_path_order(&inst.rho)
 }
 
@@ -164,13 +164,13 @@ pub fn realize_threshold_run(
 /// after the engine's `Done`).
 fn certify_explicit_run(
     net: &Network,
-    by_id: HashMap<NodeId, usize>,
+    by_id: BTreeMap<NodeId, usize>,
     result: dgr_ncc::RunResult<ThresholdOutcome>,
     certify: bool,
     sink: Option<&mut dyn Sink>,
 ) -> ThresholdRealization {
     let metrics = result.metrics.clone();
-    let lists: HashMap<NodeId, Vec<NodeId>> = result
+    let lists: BTreeMap<NodeId, Vec<NodeId>> = result
         .outputs
         .into_iter()
         .map(|(id, o)| (id, o.neighbors))
@@ -194,7 +194,7 @@ fn certify_explicit_run(
 /// mistake for a verdict.
 fn run_certification(
     graph: &Graph,
-    by_id: &HashMap<NodeId, usize>,
+    by_id: &BTreeMap<NodeId, usize>,
     certify: bool,
     mut sink: Option<&mut dyn Sink>,
 ) -> ThresholdReport {
@@ -286,7 +286,7 @@ pub fn realize_ncc1_batched(
 /// certification (both engines' NCC1 runs funnel through here).
 fn certify_implicit_run(
     net: &Network,
-    by_id: HashMap<NodeId, usize>,
+    by_id: BTreeMap<NodeId, usize>,
     result: dgr_ncc::RunResult<ThresholdOutcome>,
     certify: bool,
     sink: Option<&mut dyn Sink>,
@@ -302,7 +302,7 @@ fn certify_implicit_run(
         graph: assembled.graph,
         rho: by_id,
         path_order: net.ids_in_path_order().to_vec(),
-        explicit_neighbors: HashMap::new(),
+        explicit_neighbors: BTreeMap::new(),
         report,
         metrics,
     }

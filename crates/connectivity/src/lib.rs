@@ -27,9 +27,6 @@
 //! [`driver::realize_prefix_envelope_run`] — are the engine room of the
 //! `dgr::Realization` facade builder.
 
-// The first-party crates must not call the deprecated shims themselves.
-#![cfg_attr(not(test), deny(deprecated))]
-
 pub mod distributed;
 pub mod driver;
 pub mod sequential;

@@ -111,7 +111,7 @@ mod tests {
         ] {
             let inst = ThresholdInstance::new(rho.clone());
             let g = sequential_realization(&inst);
-            let by_id: std::collections::HashMap<u64, usize> =
+            let by_id: std::collections::BTreeMap<u64, usize> =
                 (0..rho.len()).map(|i| (i as u64, rho[i])).collect();
             let report = check_thresholds(&g, &by_id, true);
             assert!(report.satisfied, "{rho:?}: {report:?}");

@@ -3,7 +3,7 @@
 //! paths, which Dinic computes exactly.
 
 use dgr_graph::{Dinic, Graph};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Node identifier (matches `dgr_ncc::NodeId`).
 type NodeId = u64;
@@ -44,7 +44,7 @@ impl ThresholdReport {
 /// (`Conn(u,v) ≥ min(Conn(u,w), Conn(v,w))`) implies all pairs.
 pub fn check_thresholds(
     g: &Graph,
-    rho: &HashMap<NodeId, usize>,
+    rho: &BTreeMap<NodeId, usize>,
     all_pairs: bool,
 ) -> ThresholdReport {
     let mut report = ThresholdReport {
@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn cycle_satisfies_rho_two() {
         let g = Graph::from_edges(0..4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
-        let rho: HashMap<u64, usize> = (0..4).map(|i| (i, 2)).collect();
+        let rho: BTreeMap<u64, usize> = (0..4).map(|i| (i, 2)).collect();
         let r = check_thresholds(&g, &rho, true);
         assert!(r.satisfied);
         assert_eq!(r.pairs_checked, 6);
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn path_fails_rho_two() {
         let g = Graph::from_edges(0..3, [(0, 1), (1, 2)]).unwrap();
-        let rho: HashMap<u64, usize> = (0..3).map(|i| (i, 2)).collect();
+        let rho: BTreeMap<u64, usize> = (0..3).map(|i| (i, 2)).collect();
         let r = check_thresholds(&g, &rho, true);
         assert!(!r.satisfied);
         let (_, _, need, got) = r.first_violation.unwrap();
@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn hub_mode_agrees_with_all_pairs_here() {
         let g = Graph::from_edges(0..5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)]).unwrap();
-        let mut rho: HashMap<u64, usize> = (1..5).map(|i| (i, 2)).collect();
+        let mut rho: BTreeMap<u64, usize> = (1..5).map(|i| (i, 2)).collect();
         rho.insert(0, 4);
         assert!(check_thresholds(&g, &rho, true).satisfied);
         assert!(check_thresholds(&g, &rho, false).satisfied);

@@ -21,7 +21,7 @@ use crate::verify::{self, Assembled};
 use dgr_graph::Graph;
 use dgr_ncc::{Config, EngineKind, EngineStats, Network, NodeId, RunMetrics, SimError, Sink};
 use dgr_primitives::sort::SortBackend;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A realized overlay together with everything needed to verify it.
 #[derive(Clone, Debug)]
@@ -30,14 +30,14 @@ pub struct RealizedOutput {
     pub graph: Graph,
     /// Multiset degrees (duplicates counted; equals simple degrees on all
     /// exact runs).
-    pub multi_degrees: HashMap<NodeId, usize>,
+    pub multi_degrees: BTreeMap<NodeId, usize>,
     /// Requested degree per node.
-    pub requested: HashMap<NodeId, usize>,
+    pub requested: BTreeMap<NodeId, usize>,
     /// Node IDs in knowledge-path order (position `i` requested
     /// `degrees[i]`).
     pub path_order: Vec<NodeId>,
     /// Explicit-mode only: each node's full claimed neighbor list.
-    pub explicit_neighbors: HashMap<NodeId, Vec<NodeId>>,
+    pub explicit_neighbors: BTreeMap<NodeId, Vec<NodeId>>,
     /// Duplicate edge claims (multigraph bookkeeping; 0 in exact mode).
     pub duplicate_edges: usize,
     /// Algorithm 3 phase count (the Lemma 10 quantity).
@@ -83,7 +83,7 @@ impl DriverOutput {
     }
 }
 
-fn degree_assignment(net: &Network, degrees: &[usize]) -> HashMap<NodeId, usize> {
+fn degree_assignment(net: &Network, degrees: &[usize]) -> BTreeMap<NodeId, usize> {
     net.assign_in_path_order(degrees)
 }
 
@@ -91,7 +91,7 @@ fn finish(
     net: &Network,
     degrees: &[usize],
     assembled: Assembled,
-    explicit_neighbors: HashMap<NodeId, Vec<NodeId>>,
+    explicit_neighbors: BTreeMap<NodeId, Vec<NodeId>>,
     phases: u64,
     metrics: RunMetrics,
 ) -> DriverOutput {
@@ -220,7 +220,7 @@ pub fn realize_degrees(
 fn realize_direct_threaded(
     net: &Network,
     degrees: &[usize],
-    by_id: &HashMap<NodeId, usize>,
+    by_id: &BTreeMap<NodeId, usize>,
     flavor: Flavor,
     sink: Option<&mut dyn Sink>,
 ) -> Result<DegreesRun, SimError> {
@@ -243,7 +243,7 @@ fn realize_direct_threaded(
         Some(outs) => {
             let phases = outs.first().map(|(_, (p, _))| *p).unwrap_or(0);
             if flavor == Flavor::Explicit {
-                let lists: HashMap<NodeId, Vec<NodeId>> = outs
+                let lists: BTreeMap<NodeId, Vec<NodeId>> = outs
                     .into_iter()
                     .map(|(id, (_, neighbors))| (id, neighbors))
                     .collect();
@@ -255,7 +255,7 @@ fn realize_direct_threaded(
                     net.ids_in_path_order(),
                     outs.into_iter().map(|(id, (_, neighbors))| (id, neighbors)),
                 );
-                finish(net, degrees, assembled, HashMap::new(), phases, metrics)
+                finish(net, degrees, assembled, BTreeMap::new(), phases, metrics)
             }
         }
     };
@@ -342,7 +342,7 @@ fn finish_batched(
         Some(outs) => {
             let phases = outs.first().map(|(_, o)| o.phases).unwrap_or(0);
             if explicit {
-                let lists: HashMap<NodeId, Vec<NodeId>> =
+                let lists: BTreeMap<NodeId, Vec<NodeId>> =
                     outs.into_iter().map(|(id, o)| (id, o.neighbors)).collect();
                 let assembled = verify::assemble_explicit(net.ids_in_path_order(), &lists)
                     .expect("explicit realization lost symmetry");
@@ -352,7 +352,7 @@ fn finish_batched(
                     net.ids_in_path_order(),
                     outs.into_iter().map(|(id, o)| (id, o.neighbors)),
                 );
-                finish(net, degrees, assembled, HashMap::new(), phases, metrics)
+                finish(net, degrees, assembled, BTreeMap::new(), phases, metrics)
             }
         }
     }
@@ -444,7 +444,7 @@ fn finish_masked(
                 .filter(|&(_, &p)| p)
                 .map(|(&id, _)| id)
                 .collect();
-            let requested: HashMap<NodeId, usize> = net
+            let requested: BTreeMap<NodeId, usize> = net
                 .ids_in_path_order()
                 .iter()
                 .zip(degrees.iter())
@@ -461,7 +461,7 @@ fn finish_masked(
                 multi_degrees: assembled.multi_degrees,
                 requested,
                 path_order: members,
-                explicit_neighbors: HashMap::new(),
+                explicit_neighbors: BTreeMap::new(),
                 duplicate_edges: assembled.duplicate_edges,
                 phases,
                 metrics,

@@ -36,10 +36,6 @@
 //! and the engine room from white-box internals (the differential suites
 //! in `crates/core/tests`).
 
-// The first-party crates must not call the deprecated shims themselves
-// (tests exercising back-compat excepted).
-#![cfg_attr(not(test), deny(deprecated))]
-
 pub mod distributed;
 pub mod driver;
 pub mod erdos_gallai;

@@ -7,7 +7,7 @@
 
 use dgr_graph::Graph;
 use dgr_ncc::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An assembled overlay: the simple graph plus multiset bookkeeping.
 #[derive(Clone, Debug)]
@@ -15,8 +15,10 @@ pub struct Assembled {
     /// The realized overlay as a simple graph (duplicates collapsed).
     pub graph: Graph,
     /// Multiset degree of every node (duplicates counted — the quantity
-    /// the Theorem 13 envelope guarantees speak about).
-    pub multi_degrees: HashMap<NodeId, usize>,
+    /// the Theorem 13 envelope guarantees speak about). Ordered so that
+    /// consumers may iterate it without leaking hash order into anything
+    /// they build.
+    pub multi_degrees: BTreeMap<NodeId, usize>,
     /// Number of duplicate edge claims (0 for every exact realization).
     pub duplicate_edges: usize,
 }
@@ -28,7 +30,7 @@ pub fn assemble_implicit(
     stored: impl IntoIterator<Item = (NodeId, Vec<NodeId>)>,
 ) -> Assembled {
     let mut graph = Graph::new(nodes.iter().copied());
-    let mut multi_degrees: HashMap<NodeId, usize> = nodes.iter().map(|&id| (id, 0)).collect();
+    let mut multi_degrees: BTreeMap<NodeId, usize> = nodes.iter().map(|&id| (id, 0)).collect();
     let mut duplicate_edges = 0;
     for (u, neighbors) in stored {
         for v in neighbors {
@@ -54,11 +56,14 @@ pub fn assemble_implicit(
 /// A description of the first asymmetric edge claim found.
 pub fn assemble_explicit(
     nodes: &[NodeId],
-    lists: &HashMap<NodeId, Vec<NodeId>>,
+    lists: &BTreeMap<NodeId, Vec<NodeId>>,
 ) -> Result<Assembled, String> {
     // Normalize: each claimed edge (u,v) keyed min/max; must be claimed by
-    // exactly both endpoints.
-    let mut claims: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    // exactly both endpoints. Both maps here are ordered: the iteration
+    // order decides edge-insertion order (hence `Graph` adjacency-list
+    // order) and which asymmetric claim gets blamed first, so it must be
+    // a function of the claims alone, not of a per-process hash seed.
+    let mut claims: BTreeMap<(NodeId, NodeId), usize> = BTreeMap::new();
     for (&u, neighbors) in lists {
         for &v in neighbors {
             if u == v {
@@ -68,7 +73,7 @@ pub fn assemble_explicit(
         }
     }
     let mut graph = Graph::new(nodes.iter().copied());
-    let mut multi_degrees: HashMap<NodeId, usize> = nodes.iter().map(|&id| (id, 0)).collect();
+    let mut multi_degrees: BTreeMap<NodeId, usize> = nodes.iter().map(|&id| (id, 0)).collect();
     let mut duplicate_edges = 0;
     for (&(u, v), &count) in &claims {
         if count % 2 != 0 {
@@ -90,8 +95,9 @@ pub fn assemble_explicit(
 }
 
 /// Do the realized (simple-graph) degrees match the requested degrees
-/// exactly? Returns the first mismatch.
-pub fn degrees_match(graph: &Graph, requested: &HashMap<NodeId, usize>) -> Result<(), String> {
+/// exactly? Returns the first mismatch — "first" in ID order, so the
+/// blamed node is deterministic.
+pub fn degrees_match(graph: &Graph, requested: &BTreeMap<NodeId, usize>) -> Result<(), String> {
     for (&id, &want) in requested {
         let got = graph.degree_of(id);
         if got != want {
@@ -119,7 +125,7 @@ mod tests {
     #[test]
     fn explicit_assembly_requires_symmetry() {
         let nodes = [1, 2];
-        let mut lists = HashMap::new();
+        let mut lists = BTreeMap::new();
         lists.insert(1, vec![2]);
         lists.insert(2, vec![]);
         assert!(assemble_explicit(&nodes, &lists).is_err());
@@ -132,9 +138,9 @@ mod tests {
     #[test]
     fn degree_match_reports_mismatch() {
         let g = Graph::from_edges([1, 2, 3], [(1, 2)]).unwrap();
-        let want: HashMap<_, _> = [(1, 1), (2, 1), (3, 0)].into();
+        let want: BTreeMap<_, _> = [(1, 1), (2, 1), (3, 0)].into();
         assert!(degrees_match(&g, &want).is_ok());
-        let want: HashMap<_, _> = [(1, 2)].into();
+        let want: BTreeMap<_, _> = [(1, 2)].into();
         assert!(degrees_match(&g, &want).is_err());
     }
 }

@@ -1,0 +1,432 @@
+//! A hand-rolled line-oriented Rust lexer: just enough tokenization to
+//! blank out comments, string/char literals and doc text so the rule
+//! patterns only ever match *code*, while the comment text itself is kept
+//! per line for `detlint: allow(...)` annotation parsing.
+//!
+//! The build environment is offline (no `syn`, no `proc-macro2`), and the
+//! determinism rules are deliberately lexical — see `ARCHITECTURE.md`,
+//! "Static determinism discipline". The lexer handles the constructs that
+//! would otherwise cause false positives or missed annotations:
+//!
+//! * line comments, nested block comments;
+//! * string literals, raw strings (`r#".."#` with any hash count), byte
+//!   and byte-raw strings;
+//! * char literals vs. lifetimes (`'a'` vs `<'a>`);
+//! * `#[cfg(test)]` / `#[cfg(all(test, ..))]` / `#[test]` item spans,
+//!   which the rules exempt entirely.
+
+/// One `detlint: allow(<rule>) — <reason>` annotation parsed from a
+/// comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule slug inside the parentheses, e.g. `unordered-iteration`.
+    pub rule: String,
+    /// The free-text justification after the dash. Empty = missing — a
+    /// finding suppressed without a reason is still reported.
+    pub reason: String,
+}
+
+/// One lexed source line.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// The source text with comment bodies and literal contents replaced
+    /// by spaces (structure — quotes, braces — preserved as spaces too).
+    pub code: String,
+    /// The original line, verbatim (used for snippets).
+    pub raw: String,
+    /// Comment text that appears on this line (line + block comments).
+    pub comment: String,
+    /// True when the line carries no code at all (blank or comment-only).
+    pub comment_only: bool,
+    /// Allow annotations written on this line.
+    pub allows: Vec<Allow>,
+    /// True when the line falls inside a `#[cfg(test)]`/`#[test]` span.
+    pub in_test: bool,
+}
+
+/// A lexed file: lines plus derived spans.
+#[derive(Debug)]
+pub struct Lexed {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    Block(u32),  // nested block comment depth
+    Str,         // "..."
+    RawStr(u32), // r##"..."## with hash count
+    Char,        // '...'
+}
+
+impl Lexed {
+    /// Lexes full source text.
+    pub fn lex(src: &str) -> Lexed {
+        let mut lines = Vec::new();
+        let mut state = State::Normal;
+        for raw in src.lines() {
+            let (code, comment, next) = lex_line(raw, state);
+            state = next;
+            let comment_only = code.trim().is_empty();
+            let allows = parse_allows(&comment);
+            lines.push(Line {
+                code,
+                raw: raw.to_string(),
+                comment,
+                comment_only,
+                allows,
+                in_test: false,
+            });
+        }
+        let mut lexed = Lexed { lines };
+        lexed.mark_test_spans();
+        lexed
+    }
+
+    /// The allow annotations that govern a finding on `line` (0-based):
+    /// annotations on the line itself, or on the contiguous run of
+    /// comment-only lines immediately above it.
+    pub fn allows_for(&self, line: usize) -> Vec<&Allow> {
+        let mut out: Vec<&Allow> = self.lines[line].allows.iter().collect();
+        let mut i = line;
+        while i > 0 && self.lines[i - 1].comment_only {
+            i -= 1;
+            out.extend(self.lines[i].allows.iter());
+        }
+        out
+    }
+
+    /// Marks every line covered by a `#[cfg(test)]`-like attribute's item
+    /// as test code. The span runs from the attribute to the matching
+    /// close brace of the item's body (or the terminating `;` for
+    /// brace-less items).
+    fn mark_test_spans(&mut self) {
+        let starts: Vec<usize> = self
+            .lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| is_test_attr(&l.code))
+            .map(|(i, _)| i)
+            .collect();
+        for start in starts {
+            let end = self.item_span_end(start).min(self.lines.len() - 1);
+            for line in &mut self.lines[start..=end] {
+                line.in_test = true;
+            }
+        }
+    }
+
+    /// Finds the last line of the item that starts at (or directly
+    /// follows) `start`: brace-matches from the first `{` at depth 0, or
+    /// stops at a `;` before any brace opens.
+    fn item_span_end(&self, start: usize) -> usize {
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        for (i, line) in self.lines.iter().enumerate().skip(start) {
+            for ch in line.code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            return i;
+                        }
+                    }
+                    ';' if !opened && depth == 0 && i > start => return i,
+                    _ => {}
+                }
+            }
+        }
+        self.lines.len() - 1
+    }
+}
+
+/// Does this code line open a test-only item?
+fn is_test_attr(code: &str) -> bool {
+    let t = code.trim_start();
+    t.starts_with("#[cfg(test)]")
+        || t.starts_with("#[cfg(all(test")
+        || t.starts_with("#[cfg(any(test")
+        || t.starts_with("#[test]")
+        || t.starts_with("#[cfg(all(test,")
+        || t.starts_with("#[cfg_attr(test")
+}
+
+/// Lexes one line given the state carried over from the previous line.
+/// Returns (blanked code, collected comment text, state after the line).
+fn lex_line(raw: &str, mut state: State) -> (String, String, State) {
+    let bytes: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Normal => {
+                if c == '/' && next == Some('/') {
+                    // Line comment: capture the rest, blank it in code.
+                    comment.push_str(&raw[char_offset(raw, i)..]);
+                    for _ in i..bytes.len() {
+                        code.push(' ');
+                    }
+                    i = bytes.len();
+                    continue;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push(' ');
+                    i += 1;
+                    continue;
+                } else if (c == 'r' || c == 'b') && raw_string_hashes(&bytes, i).is_some() {
+                    let (hashes, skip) = raw_string_hashes(&bytes, i).unwrap();
+                    state = State::RawStr(hashes);
+                    for _ in 0..skip {
+                        code.push(' ');
+                    }
+                    i += skip;
+                    continue;
+                } else if c == '\'' {
+                    // Lifetime (`'a`, `'static`) vs char literal. A
+                    // lifetime is `'` + ident not closed by another `'`.
+                    let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                        && bytes.get(i + 2).copied() != Some('\'');
+                    if is_lifetime {
+                        code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    state = State::Char;
+                    code.push(' ');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::Block(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    comment.push(' ');
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if next.is_some() {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    state = State::Normal;
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes, i, hashes) {
+                    state = State::Normal;
+                    for _ in 0..=(hashes as usize) {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    code.push(' ');
+                    if next.is_some() {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    state = State::Normal;
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Line comments, strings and chars do not span lines; a string's
+    // closing quote on a later line would be malformed Rust anyway, but
+    // never leave the lexer stuck on it.
+    if state == State::Str || state == State::Char {
+        state = State::Normal;
+    }
+    (code, comment, state)
+}
+
+/// Byte offset of the `i`-th char of `raw`.
+fn char_offset(raw: &str, i: usize) -> usize {
+    raw.char_indices().nth(i).map_or(raw.len(), |(o, _)| o)
+}
+
+/// If position `i` starts a raw-string opener (`r"`, `r#"`, `br##"` …),
+/// returns (hash count, chars consumed by the opener).
+fn raw_string_hashes(bytes: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'"') {
+        Some((hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+/// Does the `"` at position `i` close a raw string with `hashes` hashes?
+fn closes_raw(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Parses every allow annotation out of a line's comment text. The
+/// syntax is `detlint: allow(<rule>) — <reason>` (an ASCII `-` or `:`
+/// also separates the reason).
+fn parse_allows(comment: &str) -> Vec<Allow> {
+    // Built by concatenation so detlint's own sources never contain the
+    // annotation needle in comment position.
+    let needle = concat!("detlint: ", "allow(");
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(needle) {
+        let after = &rest[pos + needle.len()..];
+        let Some(close) = after.find(')') else { break };
+        let rule = after[..close].trim().to_string();
+        let tail = &after[close + 1..];
+        // The reason follows an em-dash, hyphen or colon separator.
+        let reason = tail
+            .trim_start()
+            .trim_start_matches(['—', '-', ':', ' '])
+            .trim()
+            .to_string();
+        // A later annotation on the same line ends this one's reason.
+        let reason = match reason.find(needle) {
+            Some(p) => reason[..p].trim_end_matches("//").trim().to_string(),
+            None => reason,
+        };
+        if !rule.is_empty() {
+            out.push(Allow { rule, reason });
+        }
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_strings_and_comments() {
+        let l = Lexed::lex("let x = \"HashMap iter\"; // HashMap comment");
+        assert!(!l.lines[0].code.contains("HashMap"));
+        assert!(l.lines[0].comment.contains("HashMap comment"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let l = Lexed::lex("let s = r#\"thread_rng()\"#; let c = '\"'; let d = x.iter();");
+        assert!(!l.lines[0].code.contains("thread_rng"));
+        assert!(l.lines[0].code.contains(".iter()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = Lexed::lex("fn f<'a>(x: &'a HashMap<u8, u8>) { x.keys(); }");
+        assert!(l.lines[0].code.contains("HashMap"));
+        assert!(l.lines[0].code.contains(".keys()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still */ b";
+        let l = Lexed::lex(src);
+        let code = &l.lines[0].code;
+        assert!(code.contains('a') && code.contains('b'));
+        assert!(!code.contains("inner") && !code.contains("still"));
+    }
+
+    #[test]
+    fn cfg_test_span_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}";
+        let l = Lexed::lex(src);
+        assert!(!l.lines[0].in_test);
+        assert!(l.lines[1].in_test && l.lines[3].in_test && l.lines[4].in_test);
+        assert!(!l.lines[5].in_test);
+    }
+
+    #[test]
+    fn allow_parsing_with_reason() {
+        let needle = concat!("// detlint: ", "allow(ambient-entropy) — wall-clock only");
+        let l = Lexed::lex(&format!("let t = now(); {needle}"));
+        let allows = l.allows_for(0);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "ambient-entropy");
+        assert_eq!(allows[0].reason, "wall-clock only");
+    }
+
+    #[test]
+    fn allow_on_preceding_comment_line_attaches() {
+        let needle = concat!("// detlint: ", "allow(relaxed-atomic) — count only");
+        let src = format!("{needle}\nx.store(1, Ordering::Relaxed);");
+        let l = Lexed::lex(&src);
+        assert_eq!(l.allows_for(1).len(), 1);
+        assert!(l.allows_for(1)[0].reason.contains("count only"));
+    }
+
+    #[test]
+    fn allow_without_reason_is_empty_reason() {
+        let needle = concat!("// detlint: ", "allow(unordered-iteration)");
+        let l = Lexed::lex(needle);
+        let allows = &l.lines[0].allows;
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].reason.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! **detlint** — the workspace determinism linter.
+//!
+//! Every guarantee this repository ships — bit-identical transcripts
+//! across engines, worker counts, shards and scenario schedules — is
+//! enforced *dynamically* by differential test matrices. The rules those
+//! matrices police are mechanical, and this crate makes them **static**:
+//! a zero-dependency, hand-rolled lexer + line-oriented scanner that
+//! walks every first-party `.rs` file and reports violations of the
+//! determinism discipline at `cargo run -p detlint -- check` time,
+//! instead of as a flaky 8-worker×4-shard diff three PRs later.
+//!
+//! The rules (see [`rules::Rule`] and `ARCHITECTURE.md`, "Static
+//! determinism discipline"):
+//!
+//! | code | slug                   | discipline |
+//! |------|------------------------|------------|
+//! | R1   | `unordered-iteration`  | no `HashMap`/`HashSet` iteration on transcript-affecting paths |
+//! | R2   | `ambient-entropy`      | all randomness from `Config::seed`; wall clocks only as declared metrics timers |
+//! | R3   | `relaxed-atomic`       | relaxed atomics in sweeps / lock-guarded state carry a written order-independence proof |
+//! | R4   | `send-outside-journal` | no sends/event emission from sweep closures outside the journal-replay files |
+//! | R5   | `float-accumulation`   | no float accumulation inside parallel folds |
+//!
+//! Findings are suppressible only via an inline comment carrying a
+//! justification; see [`lexer::Allow`]. Test code (`#[cfg(test)]` spans,
+//! `tests/`, `benches/`) is exempt; observer code (the bench harness,
+//! this crate, `examples/`) is held only to the entropy-source rules.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+pub use lexer::{Allow, Lexed};
+pub use rules::Rule;
+pub use scan::{scan_file, FileClass, Finding};
+pub use workspace::{check_workspace, classify, CheckResult};

@@ -1,0 +1,82 @@
+//! The `detlint` CLI.
+//!
+//! ```text
+//! detlint check [--root <dir>] [--json <path>]   # scan, exit 1 on findings
+//! detlint rules                                  # print the rule catalogue
+//! ```
+//!
+//! `check` walks the workspace (default: the current directory), applies
+//! the determinism rules to every first-party `.rs` file, prints the
+//! human report to stdout and — with `--json` — writes the
+//! machine-readable report for CI artifact upload. Exit codes: 0 clean,
+//! 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" | "rules" if cmd.is_none() => cmd = Some(args[i].clone()),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = PathBuf::from(p),
+                    None => return usage("--root needs a directory"),
+                }
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json_path = Some(PathBuf::from(p)),
+                    None => return usage("--json needs a file path"),
+                }
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    match cmd.as_deref() {
+        Some("rules") => {
+            print!("{}", detlint::report::rules_text());
+            ExitCode::SUCCESS
+        }
+        Some("check") | None => {
+            let result = match detlint::check_workspace(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("detlint: cannot scan {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            print!(
+                "{}",
+                detlint::report::text(&result.findings, result.files_scanned)
+            );
+            if let Some(path) = json_path {
+                let json = detlint::report::json(&result.findings, result.files_scanned);
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("detlint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            if result.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage("expected `check` or `rules`"),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("detlint: {err}");
+    eprintln!("usage: detlint check [--root <dir>] [--json <path>] | detlint rules");
+    ExitCode::from(2)
+}

@@ -1,0 +1,161 @@
+//! Human-readable and machine-readable (JSON) rendering of findings.
+//!
+//! The JSON serializer is hand-rolled (the build environment is offline;
+//! detlint has zero dependencies by design) and emits a stable schema:
+//!
+//! ```json
+//! {
+//!   "files_scanned": 120,
+//!   "findings": [
+//!     {"rule": "R1", "slug": "unordered-iteration", "file": "crates/x/src/y.rs",
+//!      "line": 42, "message": "...", "snippet": "..."}
+//!   ]
+//! }
+//! ```
+
+use crate::rules::ALL;
+use crate::scan::Finding;
+use std::fmt::Write as _;
+
+/// Renders the human report. Findings are grouped in (file, line) order.
+pub fn text(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    for f in &sorted {
+        let _ = writeln!(
+            out,
+            "{}:{}: [{} {}] {}\n    {}",
+            f.file,
+            f.line,
+            f.rule.code(),
+            f.rule.slug(),
+            f.message,
+            f.snippet
+        );
+    }
+    if findings.is_empty() {
+        let _ = writeln!(
+            out,
+            "detlint: {files_scanned} files scanned, no findings — the workspace \
+             upholds the determinism discipline"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "detlint: {} finding{} in {} files scanned",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            files_scanned
+        );
+    }
+    out
+}
+
+/// Renders the rule catalogue (for `detlint rules`).
+pub fn rules_text() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "detlint rules (suppress with a justified allow comment):"
+    );
+    for r in ALL {
+        let _ = writeln!(out, "  {} {:<22} {}", r.code(), r.slug(), r.describe());
+    }
+    let needle = concat!("detlint: ", "allow(<slug>)");
+    let _ = writeln!(
+        out,
+        "\nSuppression syntax (same line or the comment block above):"
+    );
+    let _ = writeln!(out, "  // {needle} — <why this site is order-independent>");
+    out
+}
+
+/// Renders the JSON report.
+pub fn json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"finding_count\": {},", sorted.len());
+    out.push_str("  \"findings\": [");
+    for (i, f) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"rule\": {}, \"slug\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}",
+            escape(f.rule.code()),
+            escape(f.rule.slug()),
+            escape(&f.file),
+            f.line,
+            escape(&f.message),
+            escape(&f.snippet)
+        );
+        out.push('}');
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: Rule::UnorderedIteration,
+            file: "a/b.rs".into(),
+            line: 7,
+            message: "say \"no\"".into(),
+            snippet: "for x in m {".into(),
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = json(&[finding()], 3);
+        assert!(j.contains("\"files_scanned\": 3"));
+        assert!(j.contains("\\\"no\\\""));
+        assert!(j.contains("\"slug\": \"unordered-iteration\""));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let j = json(&[], 0);
+        assert!(j.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn text_mentions_clean_sweep() {
+        assert!(text(&[], 5).contains("no findings"));
+        assert!(text(&[finding()], 5).contains("[R1 unordered-iteration]"));
+    }
+}

@@ -1,0 +1,13 @@
+//! False-positive guard: seeded RNG, ordered maps, pure lookups.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn run(seed: u64, index: &HashMap<u64, usize>, ordered: &BTreeMap<u64, u64>) -> usize {
+    let rng = SmallRng::seed_from_u64(seed);
+    let _ = rng;
+    let mut hits = 0;
+    for (_, v) in ordered.iter() {
+        hits += index.get(v).copied().unwrap_or(0);
+    }
+    hits
+}

@@ -1,0 +1,16 @@
+//! False-positive guard: `#[cfg(test)]` code is exempt from every rule.
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn order_probe() {
+        let m: HashMap<u64, u64> = HashMap::new();
+        for k in m.keys() {
+            let _ = k;
+        }
+        let t = std::time::Instant::now();
+        let _ = t;
+    }
+}

@@ -1,0 +1,7 @@
+//! A suppression with no written justification must still fire.
+
+fn timer() {
+    // detlint: allow(ambient-entropy)
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+}

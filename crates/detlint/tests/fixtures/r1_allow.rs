@@ -1,0 +1,9 @@
+//! R1 allow fixture: justified iteration of an unordered container.
+
+use std::collections::HashMap;
+
+fn checksum(counts: &HashMap<u64, u64>) -> u64 {
+    // detlint: allow(unordered-iteration) — XOR-folded checksum: the fold is
+    // commutative and associative, so visitation order cannot change it
+    counts.values().fold(0, |acc, v| acc ^ v)
+}

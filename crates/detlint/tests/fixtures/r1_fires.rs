@@ -1,0 +1,26 @@
+//! R1 fixture: unordered-container iteration on a transcript path.
+
+use std::collections::{HashMap, HashSet};
+
+struct Router {
+    known: HashSet<u64>,
+}
+
+fn degrees(rho: &HashMap<u64, usize>) -> usize {
+    let mut total = 0;
+    for (_, d) in rho.iter() {
+        total += d;
+    }
+    for id in &rho {
+        let _ = id;
+    }
+    total
+}
+
+impl Router {
+    fn flush(&mut self) {
+        for k in self.known.iter() {
+            let _ = k;
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! R2 allow fixture: seeded RNG and a justified metrics timer.
+
+fn seed_well(seed: u64) -> u64 {
+    let rng = SmallRng::seed_from_u64(seed);
+    let _ = rng;
+    // detlint: allow(ambient-entropy) — per-phase wall-clock timer: the
+    // elapsed nanos feed stats only and never a transcript
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+    0
+}

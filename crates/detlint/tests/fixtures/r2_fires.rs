@@ -1,0 +1,10 @@
+//! R2 fixture: ambient entropy sources.
+
+fn seed_badly() -> u64 {
+    let mut rng = rand::thread_rng();
+    let alt = SmallRng::from_entropy();
+    let stamp = std::time::SystemTime::now();
+    let t0 = std::time::Instant::now();
+    let _ = (&mut rng, alt, stamp, t0);
+    0
+}

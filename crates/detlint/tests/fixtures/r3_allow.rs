@@ -1,0 +1,16 @@
+//! R3 allow fixture: justified order-independent shared mutation.
+
+fn sweep(vals: &[u64], done: &AtomicUsize) {
+    vals.par_iter().for_each(|_| {
+        // detlint: allow(relaxed-atomic) — commutative done-count:
+        // addition order cannot change the sum, read after the barrier
+        done.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+fn shared() {
+    // detlint: allow(relaxed-atomic) — single writer: the engine emits
+    // sequentially from the round loop; the lock guards reader snapshots
+    let cell = std::sync::Mutex::new(Vec::new());
+    let _ = cell;
+}

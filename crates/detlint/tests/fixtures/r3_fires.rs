@@ -1,0 +1,16 @@
+//! R3 fixture: relaxed atomics inside a sweep, unjustified lock state.
+
+fn sweep(vals: &[u64], done: &AtomicUsize) {
+    vals.par_iter().for_each(|_| {
+        done.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+fn sequential(done: &AtomicUsize) {
+    // Relaxed outside any sweep fn: not a finding (single-threaded).
+    done.store(0, Ordering::Relaxed);
+}
+
+fn shared() -> std::sync::Mutex<Vec<u64>> {
+    std::sync::Mutex::new(Vec::new())
+}

@@ -1,0 +1,9 @@
+//! R4 allow fixture: a justified direct send inside a sweep.
+
+fn sweep(nodes: &mut [Node]) {
+    nodes.par_iter_mut().for_each(|node| {
+        // detlint: allow(send-outside-journal) — self-delivery only: each
+        // closure sends to its own node's queue, no cross-worker ordering
+        ctx.send(node.id, Message::Nudge);
+    });
+}

@@ -1,0 +1,15 @@
+//! R4 fixture: emission from a sweep closure outside the journal files.
+
+fn sweep(nodes: &mut [Node]) {
+    nodes.par_iter_mut().for_each(|node| {
+        ctx.send(node.peer, Message::Degree(node.degree));
+        node.events.emit(RunEvent::RoundStart);
+    });
+}
+
+fn round_loop(nodes: &mut [Node]) {
+    // Sequential emission outside any sweep: not a finding.
+    for node in nodes.iter_mut() {
+        node.events.emit(RunEvent::RoundEnd);
+    }
+}

@@ -1,0 +1,8 @@
+//! R5 allow fixture: justified exact float accumulation.
+
+fn total(chunks: &[Vec<u64>]) -> f64 {
+    // detlint: allow(float-accumulation) — chunk lengths are integers far
+    // below 2^53, so the f64 sum is exact in every association order
+    let sum: f64 = chunks.par_iter().map(|c| c.len() as f64).sum();
+    sum
+}

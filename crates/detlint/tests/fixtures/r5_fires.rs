@@ -1,0 +1,15 @@
+//! R5 fixture: floating-point accumulation inside parallel folds.
+
+fn mean_degree(chunks: &[Vec<u64>]) -> f64 {
+    let total: f64 = chunks.par_iter().map(|c| c.len() as f64).sum();
+    total
+}
+
+fn partial_sums(vals: &[f32]) -> f32 {
+    vals.par_iter().fold(|| 0.0f32, |acc: f32, v| acc + v).sum::<f32>()
+}
+
+fn sequential_mean(vals: &[f64]) -> f64 {
+    // Sequential float accumulation: deterministic, not a finding.
+    vals.iter().sum::<f64>() / vals.len() as f64
+}

@@ -1,0 +1,26 @@
+//! The gate the CI step re-runs: the workspace itself must scan clean.
+//!
+//! Every suppression in first-party code carries a written
+//! order-independence justification, so a finding here means either new
+//! code broke the determinism discipline or an annotation lost its
+//! reason. Fix the code (or justify the site) rather than loosening the
+//! rule.
+
+use detlint::{check_workspace, report};
+use std::path::Path;
+
+#[test]
+fn workspace_upholds_the_determinism_discipline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let result = check_workspace(&root).expect("workspace walk");
+    assert!(
+        result.files_scanned > 50,
+        "suspiciously few files scanned ({}); classification drift?",
+        result.files_scanned
+    );
+    assert!(
+        result.findings.is_empty(),
+        "detlint findings in the workspace:\n{}",
+        report::text(&result.findings, result.files_scanned)
+    );
+}

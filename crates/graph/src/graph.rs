@@ -5,13 +5,15 @@
 //! views. Parallel edges and self-loops are rejected: degree-sequence
 //! realizations must be *simple* graphs.
 
-use std::collections::HashMap;
+// `index` is lookup-only (never iterated), so hash order cannot leak;
+// `DegreeMap` IS iterated by consumers and therefore ordered.
+use std::collections::{BTreeMap, HashMap};
 
 /// Node identifier type (matches `dgr_ncc::NodeId`).
 pub type NodeId = u64;
 
-/// A map from node ID to its degree.
-pub type DegreeMap = HashMap<NodeId, usize>;
+/// A map from node ID to its degree (ordered: consumers iterate it).
+pub type DegreeMap = BTreeMap<NodeId, usize>;
 
 /// A simple undirected graph.
 #[derive(Clone, Debug, Default)]

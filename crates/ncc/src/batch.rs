@@ -551,6 +551,7 @@ where
         }
 
         // --- Step phase: poll every live protocol in parallel. ---
+        // detlint: allow(ambient-entropy) — per-phase wall-clock timer: the elapsed nanos feed EngineStats::*_nanos (observability only) and never a transcript, round count, or message
         let t_phase = Instant::now();
         let finished = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
@@ -564,12 +565,15 @@ where
             let step_one = |slot: &mut Slot<P>| match step_slot(slot, arena, &step_shared) {
                 StepOutcome::Skipped | StepOutcome::Running { marked: false } => {}
                 StepOutcome::Running { marked: true } => {
+                    // detlint: allow(relaxed-atomic) — one-way flag; any arrival order of the racing stores yields the same post-join value (true), read only after the pool barrier
                     marked.store(true, Ordering::Relaxed);
                 }
                 StepOutcome::Finished { panicked: p } => {
                     if p {
+                        // detlint: allow(relaxed-atomic) — one-way flag raised at most once per slot; order-independent, read after the pool barrier
                         panicked.store(true, Ordering::Relaxed);
                     }
+                    // detlint: allow(relaxed-atomic) — commutative done-count: addition order cannot change the sum, read only after the pool barrier
                     finished.fetch_add(1, Ordering::Relaxed);
                 }
             };
@@ -587,6 +591,7 @@ where
             }
         }
         step_nanos += t_phase.elapsed().as_nanos() as u64;
+        // detlint: allow(relaxed-atomic) — post-barrier read; the pool join supplies the happens-before edge, and blame is re-derived below by a deterministic lowest-dense-index scan
         if panicked.load(Ordering::Relaxed) {
             // Deterministic attribution: blame the lowest dense index.
             let (node, message) = slots
@@ -595,6 +600,7 @@ where
                 .expect("panic flag set without a panic record");
             return Err(SimError::NodePanic { node, message });
         }
+        // detlint: allow(relaxed-atomic) — post-barrier read of the commutative done-count
         let mut newly_done = finished.load(Ordering::Relaxed);
         if newly_done > 0 {
             live -= newly_done;
@@ -616,6 +622,7 @@ where
         // --- Protocol marks: collect in dense (slot) order and emit the
         // deduplicated phase/stage events. The scan only runs when some
         // step actually marked — mark-free protocols pay one atomic load.
+        // detlint: allow(relaxed-atomic) — post-barrier read of the one-way mark flag; the mark scan itself walks slots in dense order
         if marked.load(Ordering::Relaxed) {
             for slot in slots.iter_mut() {
                 let (phase, stage) = (slot.phase_mark.take(), slot.stage_mark.take());
@@ -703,6 +710,7 @@ where
         // bucket contents stay in dense source order).
         let round = metrics.rounds;
         let mut round_messages: u64 = 0;
+        // detlint: allow(ambient-entropy) — per-phase wall-clock timer: the elapsed nanos feed EngineStats::*_nanos (observability only) and never a transcript, round count, or message
         let t_phase = Instant::now();
         // The dense/sparse classification is a pure function of the
         // previous round's volume — worker-count-invariant, so the
@@ -912,6 +920,7 @@ where
         // scheduling: both paths produce bit-identical inbox layouts,
         // metrics, violations and knowledge (see the per-path notes), so
         // the heuristic can never affect results.
+        // detlint: allow(ambient-entropy) — per-phase wall-clock timer: the elapsed nanos feed EngineStats::*_nanos (observability only) and never a transcript, round count, or message
         let t_phase = Instant::now();
         let parallel_sweep = workers > 1
             && (round_messages >= PARALLEL_ROUTE_MIN_MSGS || window >= PARALLEL_SWEEP_MIN_LIVE);
@@ -1181,6 +1190,7 @@ where
         deliver_nanos += t_phase.elapsed().as_nanos() as u64;
 
         // --- Knowledge propagation + delivery metrics. ---
+        // detlint: allow(ambient-entropy) — per-phase wall-clock timer: the elapsed nanos feed EngineStats::*_nanos (observability only) and never a transcript, round count, or message
         let t_phase = Instant::now();
         if !parallel_sweep {
             let delivery_arena: &[WireEnvelope] = if queue_mode {

@@ -432,6 +432,7 @@ impl Sink for MetricsRecorder {
 /// operator script) can keep a handle while the builder consumes the
 /// sink: `realization.observe(recording.clone())`.
 #[derive(Clone, Debug, Default)]
+// detlint: allow(relaxed-atomic) — the engines emit into sinks sequentially from the round loop (single writer); the lock exists so tests can snapshot the buffer after the run, and contention can therefore never reorder events
 pub struct Recording(std::sync::Arc<std::sync::Mutex<Vec<RunEvent>>>);
 
 impl Recording {

@@ -106,7 +106,10 @@ impl Network {
 
     /// Zips per-node inputs onto the IDs in knowledge-path order:
     /// `values[i]` is assigned to the `i`-th node of `G_k`. The standard
-    /// driver bookkeeping for wiring a workload onto a network.
+    /// driver bookkeeping for wiring a workload onto a network. Returns
+    /// an ordered map: driver output assembly iterates these
+    /// assignments, and iteration order must not depend on a per-process
+    /// hash seed (the `unordered-iteration` detlint rule).
     ///
     /// # Panics
     ///
@@ -114,7 +117,7 @@ impl Network {
     pub fn assign_in_path_order<T: Copy>(
         &self,
         values: &[T],
-    ) -> std::collections::HashMap<NodeId, T> {
+    ) -> std::collections::BTreeMap<NodeId, T> {
         assert_eq!(self.n, values.len(), "one input value per node is required");
         self.ids
             .iter()
@@ -451,8 +454,12 @@ mod threaded_runner {
                 Model::Ncc0 => None,
             };
 
+            // detlint: allow(relaxed-atomic) — threaded-oracle output collection: each node
+            // thread writes only its own pre-assigned slot index, exactly once at Done, and
+            // the vec is read only after every thread is joined — slot-indexed writes are
+            // order-independent.
             let outputs: Arc<Mutex<Vec<Option<R>>>> =
-                Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+                Arc::new(Mutex::new((0..n).map(|_| None).collect())); // detlint: allow(relaxed-atomic) — continuation of the slot-indexed statement above
             let node_fn = &node_fn;
             let participant_count = alive.iter().filter(|&&a| a).count();
 

@@ -17,7 +17,7 @@ use dgr_core::{verify, Unrealizable};
 use dgr_graph::Graph;
 use dgr_ncc::{Config, EngineKind, EngineStats, Network, NodeId, RunMetrics, SimError, Sink};
 use dgr_primitives::sort::SortBackend;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which tree construction to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,7 +36,7 @@ pub struct RealizedTree {
     /// Its exact diameter.
     pub diameter: usize,
     /// Requested degree per node.
-    pub requested: HashMap<NodeId, usize>,
+    pub requested: BTreeMap<NodeId, usize>,
     /// Node IDs in knowledge-path order.
     pub path_order: Vec<NodeId>,
     /// Simulator metrics.
@@ -76,7 +76,7 @@ impl TreeRealization {
 /// funnel through here).
 fn finish_tree(
     net: &Network,
-    by_id: HashMap<NodeId, usize>,
+    by_id: BTreeMap<NodeId, usize>,
     result: dgr_ncc::RunResult<Result<TreeOutcome, Unrealizable>>,
 ) -> TreeRealization {
     let metrics = result.metrics;
@@ -107,7 +107,7 @@ fn finish_tree(
     }))
 }
 
-fn degree_assignment(net: &Network, degrees: &[usize]) -> HashMap<NodeId, usize> {
+fn degree_assignment(net: &Network, degrees: &[usize]) -> BTreeMap<NodeId, usize> {
     net.assign_in_path_order(degrees)
 }
 

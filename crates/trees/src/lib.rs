@@ -16,9 +16,6 @@
 //!   non-deprecated entry point [`realize_tree_run`] is the engine room
 //!   of the `dgr::Realization` facade builder.
 
-// The first-party crates must not call the deprecated shims themselves.
-#![cfg_attr(not(test), deny(deprecated))]
-
 pub mod distributed;
 pub mod driver;
 pub mod greedy;

@@ -123,8 +123,6 @@
 //! design (including the builder's full knob matrix and the migration
 //! table from the deprecated `realize_*` entry points).
 
-#![cfg_attr(not(test), deny(deprecated))]
-
 pub use dgr_connectivity as connectivity;
 pub use dgr_core as realization;
 pub use dgr_graph as graph;
